@@ -1,0 +1,109 @@
+// Ablation of the §IV false-positive suppressions: how many reports does
+// Taskgrind produce on a clean (race-free) workload with each suppression
+// disabled - the paper's "~400,000 determinacy races on naive
+// instrumentation" story, quantified per mechanism.
+//
+// Rows: the correct mini-LULESH (-s 8) and the clean TMB kernels.
+// Columns: full suppressions / no ignore-list / no allocator overload /
+// no stack filter / no TLS filter.
+//
+// Usage: bench_ablation_suppressions [--csv]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lulesh/lulesh.hpp"
+#include "programs/registry.hpp"
+#include "support/table.hpp"
+#include "tools/session.hpp"
+
+namespace tg::bench {
+namespace {
+
+using tools::SessionOptions;
+using tools::SessionResult;
+using tools::ToolKind;
+
+struct Variant {
+  const char* name;
+  void (*tweak)(SessionOptions&);
+};
+
+const Variant kVariants[] = {
+    {"full", [](SessionOptions&) {}},
+    {"no-ignore-list",
+     [](SessionOptions& o) { o.taskgrind_ignore_runtime = false; }},
+    {"no-alloc-overload",
+     [](SessionOptions& o) { o.taskgrind_replace_allocator = false; }},
+    {"no-stack-filter",
+     [](SessionOptions& o) {
+       o.taskgrind_suppress_stack = false;
+       o.taskgrind_stack_incarnations = false;  // both §IV-D defences off
+     }},
+    {"no-tls-filter",
+     [](SessionOptions& o) { o.taskgrind_suppress_tls = false; }},
+};
+
+size_t run_one(const rt::GuestProgram& program, const Variant& variant,
+               int threads, uint64_t quantum) {
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = threads;
+  options.quantum = quantum;
+  options.seed = 1;
+  variant.tweak(options);
+  const SessionResult result = tools::run_session(program, options);
+  return result.raw_report_count;
+}
+
+int run(bool csv) {
+  TextTable table({"workload (race-free)", "full", "no-ignore-list",
+                   "no-alloc-overload", "no-stack-filter", "no-tls-filter"});
+
+  auto add_row = [&](const rt::GuestProgram& program, int threads,
+                     uint64_t quantum) {
+    std::vector<std::string> cells{program.name};
+    for (const Variant& variant : kVariants) {
+      cells.push_back(
+          std::to_string(run_one(program, variant, threads, quantum)));
+    }
+    table.add_row(std::move(cells));
+  };
+
+  // LULESH at 4 threads with a small scheduling quantum so completions
+  // interleave creations (descriptor recycling becomes visible, like real
+  // preemptive threads).
+  lulesh::LuleshParams params;
+  params.s = 8;
+  params.iters = 4;
+  add_row(lulesh::make_lulesh(params), 4, 200);
+
+  // The TMB pitfalls are same-thread phenomena: run them single-threaded.
+  for (const char* name :
+       {"TMB1000-memory-recycling_1", "TMB1002-stack_2", "TMB1006-tls_1"}) {
+    const rt::GuestProgram* program = progs::find_program(name);
+    if (program != nullptr) add_row(*program, 1, 20000);
+  }
+
+  std::printf(
+      "Suppression ablation (raw conflict counts; ALL workloads here are\n"
+      "race-free, so every non-zero cell is false positives - the paper's\n"
+      "§IV engineering story):\n\n%s\n",
+      csv ? table.csv().c_str() : table.render().c_str());
+  std::printf(
+      "The paper reports ~400,000 raw reports on LULESH (-s 4) before any\n"
+      "filtering; the no-ignore-list column shows the same class of flood\n"
+      "here (scheduler descriptors recycled between unordered tasks).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+  return tg::bench::run(csv);
+}

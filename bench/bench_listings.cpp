@@ -1,0 +1,50 @@
+// Reproduces the paper's §V-C error-reporting comparison (Listings 4-6):
+// run the Listing 4 program under ROMP and under Taskgrind and print both
+// tools' reports side by side - bare addresses vs debug-info-rich output
+// with allocation provenance.
+#include <cstdio>
+
+#include "programs/registry.hpp"
+#include "tools/session.hpp"
+
+namespace tg::bench {
+namespace {
+
+int run() {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  if (program == nullptr) {
+    std::fprintf(stderr, "listing4-task missing from the registry\n");
+    return 1;
+  }
+
+  std::printf("Listing 4 (task.c): two tasks concurrently write x[0]\n\n");
+
+  tools::SessionOptions options;
+  options.num_threads = 2;
+
+  std::printf("=== Listing 5: what ROMP reports ===\n");
+  options.tool = tools::ToolKind::kRomp;
+  const auto romp = tools::run_session(*program, options);
+  for (const std::string& text : romp.report_texts) {
+    std::printf("%s\n", text.c_str());
+  }
+
+  std::printf("=== Listing 6: what Taskgrind reports ===\n");
+  options.tool = tools::ToolKind::kTaskgrind;
+  const auto taskgrind = tools::run_session(*program, options);
+  for (const std::string& text : taskgrind.report_texts) {
+    std::printf("%s\n", text.c_str());
+  }
+
+  std::printf(
+      "Taskgrind's report carries source lines for both accesses and the\n"
+      "allocation site of the block (captured by the overloaded allocator\n"
+      "through Valgrind-style function replacement); ROMP's carries only\n"
+      "the bare address, as in the paper.\n");
+  return romp.racy() && taskgrind.racy() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() { return tg::bench::run(); }

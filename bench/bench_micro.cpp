@@ -1,0 +1,219 @@
+// google-benchmark micro measurements of the costs behind the paper's
+// overhead story: per-access interval recording, segment-graph
+// reachability, VM dispatch, guest allocation, and vector-clock checks.
+#include <benchmark/benchmark.h>
+
+#include "core/interval_set.hpp"
+#include "core/segment_graph.hpp"
+#include "support/rng.hpp"
+#include "tools/archer.hpp"
+#include "vex/builder.hpp"
+#include "vex/galloc.hpp"
+#include "vex/memory.hpp"
+#include "vex/vm.hpp"
+
+namespace tg {
+namespace {
+
+// --- interval trees: the §III-B recording hot path -------------------------
+
+void BM_IntervalSetDenseSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    core::IntervalSet set;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      set.add(0x1000 + static_cast<uint64_t>(i) * 8,
+              0x1000 + static_cast<uint64_t>(i) * 8 + 8, {});
+    }
+    benchmark::DoNotOptimize(set.interval_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalSetDenseSweep)->Arg(1024)->Arg(16384);
+
+void BM_IntervalSetRandomInserts(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    core::IntervalSet set;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      const uint64_t lo = rng.below(1u << 20);
+      set.add(lo, lo + 1 + rng.below(64), {});
+    }
+    benchmark::DoNotOptimize(set.interval_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalSetRandomInserts)->Arg(1024)->Arg(16384);
+
+void BM_IntervalSetIntersection(benchmark::State& state) {
+  Rng rng(11);
+  core::IntervalSet a, b;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    uint64_t lo = rng.below(1u << 22);
+    a.add(lo, lo + 8, {});
+    lo = rng.below(1u << 22);
+    b.add(lo, lo + 8, {});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersects(b));
+  }
+}
+BENCHMARK(BM_IntervalSetIntersection)->Arg(256)->Arg(4096);
+
+// --- segment graph reachability (Algorithm 1's inner test) ------------------
+
+void BM_GraphReachability(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  core::SegmentGraph graph;
+  Rng rng(3);
+  for (size_t i = 0; i < n; ++i) graph.new_segment();
+  for (size_t e = 0; e < n * 4; ++e) {
+    auto a = static_cast<core::SegId>(rng.below(n));
+    auto b = static_cast<core::SegId>(rng.below(n));
+    if (a == b) continue;
+    graph.add_edge(std::min(a, b), std::max(a, b));
+  }
+  graph.finalize();
+  for (auto _ : state) {
+    auto a = static_cast<core::SegId>(rng.below(n));
+    auto b = static_cast<core::SegId>(rng.below(n));
+    benchmark::DoNotOptimize(graph.ordered(a, b));
+  }
+}
+BENCHMARK(BM_GraphReachability)->Arg(256)->Arg(4096);
+
+void BM_GraphFinalize(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SegmentGraph graph;
+    Rng rng(3);
+    for (size_t i = 0; i < n; ++i) graph.new_segment();
+    for (size_t e = 0; e < n * 4; ++e) {
+      auto a = static_cast<core::SegId>(rng.below(n));
+      auto b = static_cast<core::SegId>(rng.below(n));
+      if (a == b) continue;
+      graph.add_edge(std::min(a, b), std::max(a, b));
+    }
+    state.ResumeTiming();
+    graph.finalize();
+    benchmark::DoNotOptimize(graph.reachable(0, static_cast<core::SegId>(n - 1)));
+  }
+}
+BENCHMARK(BM_GraphFinalize)->Arg(512)->Arg(4096);
+
+// --- VM dispatch rate --------------------------------------------------------
+
+class NullIntrinsics : public vex::IntrinsicHandler {
+ public:
+  Result on_intrinsic(vex::HostCtx&, vex::IntrinsicId,
+                      std::span<const vex::Value>,
+                      std::span<const int64_t>) override {
+    return Result::cont();
+  }
+};
+
+vex::Program make_loop_program() {
+  vex::ProgramBuilder pb("bench");
+  vex::FnBuilder& f = pb.fn("main", "bench.c");
+  vex::Slot sum = f.slot();
+  sum.set(0);
+  f.for_(0, 1'000'000, [&](vex::Slot i) {
+    sum.set(sum.get() + i.get());
+  });
+  f.ret(sum.get());
+  return pb.take();
+}
+
+void BM_VmDispatchUninstrumented(benchmark::State& state) {
+  const vex::Program program = make_loop_program();
+  NullIntrinsics handler;
+  for (auto _ : state) {
+    vex::Vm vm(program);
+    vm.set_intrinsic_handler(&handler);
+    vex::ThreadCtx& thread = vm.create_thread();
+    vm.push_call(thread, program.entry, {});
+    vm.run(thread, 0, UINT64_MAX);
+    benchmark::DoNotOptimize(thread.last_return.i);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(vm.retired()));
+  }
+}
+BENCHMARK(BM_VmDispatchUninstrumented)->Unit(benchmark::kMillisecond);
+
+class CountingTool : public vex::Tool {
+ public:
+  std::string_view name() const override { return "count"; }
+  vex::InstrumentationSet instrumentation_for(const vex::Function&) override {
+    return vex::InstrumentationSet::accesses();
+  }
+  void on_load(vex::ThreadCtx&, vex::GuestAddr, uint32_t,
+               vex::SrcLoc) override {
+    ++events;
+  }
+  void on_store(vex::ThreadCtx&, vex::GuestAddr, uint32_t,
+                vex::SrcLoc) override {
+    ++events;
+  }
+  uint64_t events = 0;
+};
+
+void BM_VmDispatchInstrumented(benchmark::State& state) {
+  const vex::Program program = make_loop_program();
+  NullIntrinsics handler;
+  for (auto _ : state) {
+    vex::Vm vm(program);
+    CountingTool tool;
+    vm.set_tool(&tool);
+    vm.set_intrinsic_handler(&handler);
+    vex::ThreadCtx& thread = vm.create_thread();
+    vm.push_call(thread, program.entry, {});
+    vm.run(thread, 0, UINT64_MAX);
+    benchmark::DoNotOptimize(tool.events);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(vm.retired()));
+  }
+}
+BENCHMARK(BM_VmDispatchInstrumented)->Unit(benchmark::kMillisecond);
+
+// --- guest allocator ----------------------------------------------------------
+
+void BM_GuestAllocatorChurn(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    vex::GuestAllocator alloc(vex::GuestLayout::kHeapBase);
+    std::vector<vex::GuestAddr> live;
+    for (int i = 0; i < 4096; ++i) {
+      if (live.size() > 64 && rng.chance(0.5)) {
+        const size_t victim = rng.below(live.size());
+        alloc.deallocate(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+      } else {
+        live.push_back(alloc.allocate(8 + rng.below(256)));
+      }
+    }
+    benchmark::DoNotOptimize(alloc.live_bytes());
+  }
+}
+BENCHMARK(BM_GuestAllocatorChurn);
+
+// --- vector clocks (the Archer model's hot path) ------------------------------
+
+void BM_VectorClockJoin(benchmark::State& state) {
+  tools::VectorClock a, b;
+  for (int t = 0; t < 8; ++t) {
+    a.set(t, static_cast<uint64_t>(t * 3));
+    b.set(t, static_cast<uint64_t>(100 - t));
+  }
+  for (auto _ : state) {
+    tools::VectorClock c = a;
+    c.join(b);
+    benchmark::DoNotOptimize(c.get(7));
+  }
+}
+BENCHMARK(BM_VectorClockJoin);
+
+}  // namespace
+}  // namespace tg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// The paper's §VII future-work item: "the determinacy race post-processing
+// analysis is an embarrassingly parallel algorithm, but it is currently run
+// sequentially". This bench measures the parallel implementation of
+// Algorithm 1 over the racy mini-LULESH segment graph.
+//
+// Usage: bench_parallel_analysis [--s N] [--csv]
+#include <cstdio>
+#include <cstring>
+
+#include "lulesh/lulesh.hpp"
+#include "support/table.hpp"
+#include "tools/session.hpp"
+
+namespace tg::bench {
+namespace {
+
+int run(int s, bool csv) {
+  lulesh::LuleshParams params;
+  params.s = s;
+  params.iters = 8;   // more iterations -> more segments -> more pairs
+  params.tel = 8;
+  params.tnl = 8;
+  params.racy = true;
+  const rt::GuestProgram program = lulesh::make_lulesh(params);
+
+  TextTable table({"analysis threads", "analysis (s)", "speedup",
+                   "findings"});
+  double base = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    tools::SessionOptions options;
+    options.tool = tools::ToolKind::kTaskgrind;
+    options.num_threads = 1;
+    options.analysis_threads = threads;
+    const tools::SessionResult result = tools::run_session(program, options);
+    if (threads == 1) base = result.analysis_seconds;
+    table.add_row({std::to_string(threads),
+                   format_seconds(result.analysis_seconds),
+                   format_ratio(result.analysis_seconds > 0
+                                    ? base / result.analysis_seconds
+                                    : 1.0),
+                   std::to_string(result.report_count)});
+  }
+  std::printf(
+      "Parallel post-mortem analysis (racy mini-LULESH -s %d -tel 8 -tnl 8"
+      " -i 8):\n\n%s\n"
+      "Findings must be identical at every thread count (determinism is\n"
+      "asserted by tests/test_taskgrind.cpp). Speedups are bounded by this\n"
+      "machine's core count.\n",
+      s, csv ? table.csv().c_str() : table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main(int argc, char** argv) {
+  int s = 12;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--s") == 0 && i + 1 < argc) {
+      s = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    }
+  }
+  return tg::bench::run(s, csv);
+}

@@ -1,0 +1,100 @@
+// Regenerates Table I: micro-benchmark verdicts for TaskSanitizer, Archer,
+// ROMP and Taskgrind over the DRB task subset (4 threads) and the TMB
+// suite (1 and 4 threads), side by side with the published cells.
+//
+// Usage: bench_table1 [--seed N] [--csv]
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench/table1_data.hpp"
+#include "programs/registry.hpp"
+#include "support/table.hpp"
+#include "tools/session.hpp"
+
+namespace tg::bench {
+namespace {
+
+using tools::SessionOptions;
+using tools::SessionResult;
+using tools::ToolKind;
+using tools::Verdict;
+
+constexpr ToolKind kTools[] = {ToolKind::kTaskSan, ToolKind::kArcher,
+                               ToolKind::kRomp, ToolKind::kTaskgrind};
+
+std::string run_cell(const rt::GuestProgram& program, ToolKind tool,
+                     int threads, uint64_t seed) {
+  SessionOptions options;
+  options.tool = tool;
+  options.num_threads = threads;
+  options.seed = seed;
+  const SessionResult result = tools::run_session(program, options);
+  return tools::verdict_name(tools::classify(program.has_race, result));
+}
+
+int run(uint64_t seed, bool csv) {
+  TextTable table({"benchmark", "threads", "race", "TaskSan", "(paper)",
+                   "Archer", "(paper)", "ROMP", "(paper)", "Taskgrind",
+                   "(paper)"});
+
+  std::map<std::string, int> false_negatives;
+  std::map<std::string, int> matches;
+  int rows_total = 0;
+
+  for (const PaperRow& row : paper_table1()) {
+    const rt::GuestProgram* program = progs::find_program(row.name);
+    if (program == nullptr) {
+      std::fprintf(stderr, "missing program: %s\n",
+                   std::string(row.name).c_str());
+      return 1;
+    }
+    std::vector<std::string> cells;
+    cells.push_back(std::string(row.name));
+    cells.push_back(std::to_string(row.threads));
+    cells.push_back(row.race ? "yes" : "no");
+
+    const std::string_view paper[] = {row.tasksan, row.archer, row.romp,
+                                      row.taskgrind};
+    for (size_t t = 0; t < 4; ++t) {
+      const std::string verdict =
+          run_cell(*program, kTools[t], row.threads, seed);
+      cells.push_back(verdict);
+      cells.push_back(std::string(paper[t]));
+      const char* tool = tools::tool_name(kTools[t]);
+      if (verdict == "FN") false_negatives[tool]++;
+      if (paper[t].find(verdict) != std::string_view::npos) {
+        matches[tool]++;
+      }
+      rows_total++;
+    }
+    table.add_row(std::move(cells));
+  }
+
+  std::printf("%s\n", csv ? table.csv().c_str() : table.render().c_str());
+
+  std::printf("Summary (the paper's headline is the FN count):\n");
+  for (ToolKind tool : kTools) {
+    const char* name = tools::tool_name(tool);
+    std::printf("  %-14s false negatives: %d   cells matching paper: %d/%d\n",
+                name, false_negatives[name], matches[name], rows_total / 4);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    }
+  }
+  return tg::bench::run(seed, csv);
+}

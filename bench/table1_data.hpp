@@ -1,0 +1,76 @@
+// The published Table I cells, for side-by-side comparison in
+// bench_table1 and the integration tests.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace tg::bench {
+
+struct PaperRow {
+  std::string_view name;     // registry name
+  int threads;               // OMP_NUM_THREADS of the row
+  bool race;                 // "Determinacy Race" column
+  std::string_view tasksan;  // published verdicts
+  std::string_view archer;
+  std::string_view romp;
+  std::string_view taskgrind;
+};
+
+inline const std::vector<PaperRow>& paper_table1() {
+  static const std::vector<PaperRow> rows = {
+      {"DRB027-taskdependmissing-orig", 4, true, "TP", "FN", "TP", "TP"},
+      {"DRB072-taskdep1-orig", 4, false, "TN", "TN", "TN", "TN"},
+      {"DRB078-taskdep2-orig", 4, false, "TN", "TN", "TN", "FP"},
+      {"DRB079-taskdep3-orig", 4, false, "ncs", "TN", "TN", "FP"},
+      {"DRB095-doall2-taskloop-orig", 4, true, "ncs", "TP", "TP", "TP"},
+      {"DRB096-doall2-taskloop-collapse-orig", 4, false, "ncs", "TN", "TN",
+       "FP"},
+      {"DRB100-task-reference-orig", 4, false, "ncs", "FP", "TN", "FP"},
+      {"DRB101-task-value-orig", 4, false, "FP", "FP", "TN", "FP"},
+      {"DRB106-taskwaitmissing-orig", 4, true, "TP", "TP", "TP", "TP"},
+      {"DRB107-taskgroup-orig", 4, false, "FP", "TN", "TN", "FP"},
+      {"DRB122-taskundeferred-orig", 4, false, "FP", "TN", "FP", "TN"},
+      {"DRB123-taskundeferred-orig", 4, true, "TP", "TP", "TP", "TP"},
+      {"DRB127-tasking-threadprivate1-orig", 4, false, "ncs", "TN", "segv",
+       "FP"},
+      {"DRB128-tasking-threadprivate2-orig", 4, false, "ncs", "TN", "TN",
+       "FP"},
+      {"DRB129-mergeable-taskwait-orig", 4, true, "ncs", "FN", "FN", "FN"},
+      {"DRB130-mergeable-taskwait-orig", 4, false, "ncs", "TN", "TN", "TN"},
+      {"DRB131-taskdep4-orig-omp45", 4, true, "ncs", "TP", "TP", "TP"},
+      {"DRB132-taskdep4-orig-omp45", 4, false, "ncs", "TN", "TN", "TN"},
+      {"DRB133-taskdep5-orig-omp45", 4, false, "ncs", "TN", "TN", "TN"},
+      {"DRB134-taskdep5-orig-omp45", 4, true, "ncs", "TP", "TP", "TP"},
+      {"DRB135-taskdep-mutexinoutset-orig", 4, false, "ncs", "TN", "FP",
+       "TN"},
+      {"DRB136-taskdep-mutexinoutset-orig", 4, true, "TP", "TP", "TP",
+       "TP"},
+      {"DRB165-taskdep4-orig-omp50", 4, true, "ncs", "FN", "TP", "TP"},
+      {"DRB166-taskdep4-orig-omp50", 4, false, "ncs", "TN", "TN", "TN"},
+      {"DRB167-taskdep4-orig-omp50", 4, false, "ncs", "TN", "TN", "TN"},
+      {"DRB168-taskdep5-orig-omp50", 4, true, "ncs", "TP", "TP", "TP"},
+      {"DRB173-non-sibling-taskdep", 4, true, "FN", "FN", "FN", "TP"},
+      {"DRB174-non-sibling-taskdep", 4, false, "TP", "TN", "TN", "FP"},
+      {"DRB175-non-sibling-taskdep2", 4, true, "FN", "TP", "TP", "TP"},
+
+      {"TMB1000-memory-recycling_1", 1, false, "TN", "TN", "TN", "TN"},
+      {"TMB1001-stack_1", 1, true, "TP", "FN", "FN", "TP"},
+      {"TMB1002-stack_2", 1, false, "TN", "TN", "TN", "TN"},
+      {"TMB1003-stack_3", 1, false, "FP", "TN", "TN", "TN"},
+      {"TMB1004-stack_4", 1, true, "TP", "FN", "TP", "TP"},
+      {"TMB1005-stack_5", 1, false, "FP", "TN", "TN", "TN"},
+      {"TMB1006-tls_1", 1, false, "FP", "TN", "TN", "TN"},
+
+      {"TMB1000-memory-recycling_1", 4, false, "TN", "TN", "TN", "FP"},
+      {"TMB1001-stack_1", 4, true, "TP", "FN/TP", "TP", "TP"},
+      {"TMB1002-stack_2", 4, false, "TN", "TN", "TN", "FP"},
+      {"TMB1003-stack_3", 4, false, "TN", "TN", "TN", "TN"},
+      {"TMB1004-stack_4", 4, true, "TP", "TP", "TP", "TP"},
+      {"TMB1005-stack_5", 4, false, "TN", "TN", "TN", "TN"},
+      {"TMB1006-tls_1", 4, false, "FP", "TN", "TN", "FP"},
+  };
+  return rows;
+}
+
+}  // namespace tg::bench

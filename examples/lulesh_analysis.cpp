@@ -1,0 +1,64 @@
+// Analyze mini-LULESH: find the intentionally removed task dependence.
+//
+//   $ ./examples/lulesh_analysis
+//
+// Runs the racy variant (phase C's dependence on the force block removed)
+// and the correct variant under Taskgrind, and shows how the §V-B
+// "tasks deferrable" annotation makes the single-thread analysis sound.
+#include <cstdio>
+
+#include "lulesh/lulesh.hpp"
+#include "tools/session.hpp"
+
+using namespace tg;
+
+namespace {
+
+tools::SessionResult analyze(const lulesh::LuleshParams& params,
+                             int threads) {
+  const rt::GuestProgram program = lulesh::make_lulesh(params);
+  tools::SessionOptions options;
+  options.tool = tools::ToolKind::kTaskgrind;
+  options.num_threads = threads;
+  return tools::run_session(program, options);
+}
+
+}  // namespace
+
+int main() {
+  lulesh::LuleshParams params;
+  params.s = 8;
+  params.tel = 4;
+  params.tnl = 4;
+  params.iters = 4;
+
+  std::printf("=== correct variant, 1 thread ===\n");
+  params.racy = false;
+  auto clean = analyze(params, 1);
+  std::printf("findings: %zu (expected 0)\n\n", clean.report_count);
+
+  std::printf("=== racy variant (C's in:f dependence removed), 1 thread ===\n");
+  params.racy = true;
+  auto racy = analyze(params, 1);
+  std::printf("findings: %zu, raw conflicts: %zu\n",
+              racy.report_count, racy.raw_report_count);
+  if (!racy.report_texts.empty()) {
+    std::printf("\nfirst report:\n%s\n", racy.report_texts[0].c_str());
+  }
+
+  std::printf(
+      "=== same racy variant WITHOUT the deferrable annotation ===\n"
+      "(single-threaded runtimes serialize every task; without the paper's\n"
+      " client-request annotation the logical parallelism is invisible)\n");
+  params.annotate_deferrable = false;
+  auto blind = analyze(params, 1);
+  std::printf("findings: %zu (the LLVM-serialization false negative)\n",
+              blind.report_count);
+
+  const bool ok =
+      clean.report_count == 0 && racy.report_count > 0 &&
+      blind.report_count == 0;
+  std::printf("\n%s\n", ok ? "all three behaviours as published"
+                           : "UNEXPECTED result");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Heap-allocation provenance (paper §III-C).
+//
+// Taskgrind overloads the allocator through function replacement; every
+// allocation records the requested size and a guest stack trace, so reports
+// can say "N bytes from 0x... allocated in block 0x... of size S, from
+// file:line". free() marks the block freed but never recycles it (§IV-B).
+#pragma once
+
+#include <map>
+
+#include "core/report.hpp"
+#include "vex/ir.hpp"
+
+namespace tg::core {
+
+class AllocRegistry {
+ public:
+  void record(vex::GuestAddr addr, uint64_t size, vex::StackTrace trace) {
+    AllocInfo info;
+    info.addr = addr;
+    info.size = size;
+    info.trace = std::move(trace);
+    blocks_[addr] = std::move(info);
+  }
+
+  void mark_freed(vex::GuestAddr addr) {
+    auto it = blocks_.find(addr);
+    if (it != blocks_.end()) it->second.freed = true;
+  }
+
+  /// Block containing `addr`, or nullptr.
+  const AllocInfo* containing(vex::GuestAddr addr) const {
+    auto it = blocks_.upper_bound(addr);
+    if (it == blocks_.begin()) return nullptr;
+    --it;
+    if (addr >= it->second.addr && addr < it->second.addr + it->second.size) {
+      return &it->second;
+    }
+    return nullptr;
+  }
+
+  size_t size() const { return blocks_.size(); }
+
+ private:
+  std::map<vex::GuestAddr, AllocInfo> blocks_;
+};
+
+}  // namespace tg::core

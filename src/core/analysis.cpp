@@ -1,0 +1,216 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace tg::core {
+
+namespace {
+
+/// Is [lo, hi) inside the stack frames this segment created? Frames pushed
+/// during the segment live strictly below the recorded entry stack pointer
+/// (stacks grow down), within the thread's stack area.
+bool in_segment_local_stack(const Segment& segment, uint64_t lo,
+                            uint64_t hi) {
+  return lo >= segment.stack_limit && hi <= segment.sp_at_start;
+}
+
+bool in_stack_area(const Segment& segment, uint64_t lo, uint64_t hi) {
+  return lo >= segment.stack_limit && hi <= segment.stack_base;
+}
+
+/// Is [lo, hi) inside one of the TLS blocks recorded in the segment's DTV?
+bool in_dtv_blocks(const Segment& segment, const vex::Program& program,
+                   uint64_t lo, uint64_t hi) {
+  const auto& blocks = segment.dtv_at_end.blocks;
+  for (size_t module = 0; module < blocks.size(); ++module) {
+    if (blocks[module] == 0) continue;
+    uint32_t size = module < program.tls_module_sizes.size()
+                        ? program.tls_module_sizes[module]
+                        : 0;
+    if (size == 0) size = 8;
+    if (lo >= blocks[module] && hi <= blocks[module] + size) return true;
+  }
+  return false;
+}
+
+bool share_mutex(const Segment& a, const Segment& b) {
+  for (uint64_t ma : a.mutexes) {
+    for (uint64_t mb : b.mutexes) {
+      if (ma == mb) return true;
+    }
+  }
+  return false;
+}
+
+struct PairWorker {
+  const SegmentGraph& graph;
+  const vex::Program& program;
+  const AllocRegistry* allocs;
+  const AnalysisOptions& options;
+  const std::vector<SegId>& active;
+
+  AnalysisStats stats;
+  std::vector<RaceReport> reports;
+
+  void endpoint(RaceEndpoint& e, const Segment& segment, vex::SrcLoc loc,
+                bool is_write) const {
+    e.task_id = segment.task_id;
+    e.segment_id = segment.id;
+    e.tid = segment.tid;
+    e.file = program.file_name(loc.valid() ? loc.file
+                                           : segment.first_access_loc.file);
+    e.line = loc.line;
+    e.is_write = is_write;
+  }
+
+  /// Algorithm 1 line 4: s1.w vs (s2.r U s2.w), one direction.
+  void conflicts(const Segment& s1, const Segment& s2) {
+    auto handle = [&](const IntervalSet& other, bool other_writes) {
+      s1.writes.for_each_overlap(
+          other, [&](const IntervalSet::Overlap& overlap) {
+            stats.raw_conflicts++;
+            // §IV-D: segment-local stack reuse.
+            if (options.suppress_stack &&
+                in_stack_area(s1, overlap.lo, overlap.hi) &&
+                in_segment_local_stack(s1, overlap.lo, overlap.hi) &&
+                in_segment_local_stack(s2, overlap.lo, overlap.hi)) {
+              stats.suppressed_stack++;
+              return;
+            }
+            // §IV-C: thread-local storage - same thread, same DTV.
+            if (options.suppress_tls && s1.tid == s2.tid &&
+                s1.tcb == s2.tcb && s1.dtv_at_end == s2.dtv_at_end &&
+                in_dtv_blocks(s1, program, overlap.lo, overlap.hi)) {
+              stats.suppressed_tls++;
+              return;
+            }
+            if (reports.size() >= options.max_reports) return;
+            RaceReport report;
+            report.lo = overlap.lo;
+            report.hi = overlap.hi;
+            endpoint(report.first, s1, overlap.this_loc, true);
+            endpoint(report.second, s2, overlap.other_loc, other_writes);
+            if (allocs != nullptr) {
+              report.alloc = allocs->containing(overlap.lo);
+            }
+            reports.push_back(std::move(report));
+          });
+    };
+    handle(s2.writes, true);
+    handle(s2.reads, false);
+  }
+
+  void pair(SegId a, SegId b) {
+    const Segment& s1 = graph.segment(a);
+    const Segment& s2 = graph.segment(b);
+    stats.pairs_total++;
+    if (options.use_region_fast_path && graph.region_ordered(s1, s2)) {
+      stats.pairs_region_fast++;
+      return;
+    }
+    if (graph.ordered(a, b)) {
+      stats.pairs_ordered++;
+      return;
+    }
+    if (options.respect_mutexes && share_mutex(s1, s2)) {
+      stats.pairs_mutex++;
+      return;
+    }
+    conflicts(s1, s2);
+    conflicts(s2, s1);
+  }
+};
+
+}  // namespace
+
+AnalysisResult analyze_races(const SegmentGraph& graph,
+                             const vex::Program& program,
+                             const AllocRegistry* allocs,
+                             const AnalysisOptions& options) {
+  TG_ASSERT_MSG(graph.finalized(), "analyze_races needs a finalized graph");
+  const double start = now_seconds();
+
+  // Only segments that touched memory participate in pairing.
+  std::vector<SegId> active;
+  for (SegId i = 0; i < graph.size(); ++i) {
+    const Segment& segment = graph.segment(i);
+    if (segment.kind == SegKind::kTask && segment.has_accesses()) {
+      active.push_back(i);
+    }
+  }
+
+  const int nthreads =
+      std::max(1, std::min<int>(options.threads,
+                                static_cast<int>(active.size()) / 2 + 1));
+  std::vector<PairWorker> workers;
+  workers.reserve(static_cast<size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    workers.push_back(
+        PairWorker{graph, program, allocs, options, active, {}, {}});
+  }
+
+  auto run_worker = [&](int index) {
+    PairWorker& worker = workers[static_cast<size_t>(index)];
+    // Strided partition of the outer loop: pair (i, j) for all j > i.
+    for (size_t i = static_cast<size_t>(index); i < active.size();
+         i += static_cast<size_t>(nthreads)) {
+      for (size_t j = i + 1; j < active.size(); ++j) {
+        worker.pair(active[i], active[j]);
+      }
+    }
+  };
+
+  if (nthreads == 1) {
+    run_worker(0);
+  } else {
+    // The paper's future-work item: the pass is embarrassingly parallel.
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(nthreads));
+    for (int t = 0; t < nthreads; ++t) pool.emplace_back(run_worker, t);
+    for (auto& thread : pool) thread.join();
+  }
+
+  AnalysisResult result;
+  for (const PairWorker& worker : workers) {
+    result.stats.pairs_total += worker.stats.pairs_total;
+    result.stats.pairs_ordered += worker.stats.pairs_ordered;
+    result.stats.pairs_region_fast += worker.stats.pairs_region_fast;
+    result.stats.pairs_mutex += worker.stats.pairs_mutex;
+    result.stats.raw_conflicts += worker.stats.raw_conflicts;
+    result.stats.suppressed_stack += worker.stats.suppressed_stack;
+    result.stats.suppressed_tls += worker.stats.suppressed_tls;
+    result.reports.insert(result.reports.end(), worker.reports.begin(),
+                          worker.reports.end());
+  }
+
+  // Deterministic order regardless of thread count, then dedup by finding.
+  std::sort(result.reports.begin(), result.reports.end(),
+            [](const RaceReport& a, const RaceReport& b) {
+              if (a.first.segment_id != b.first.segment_id) {
+                return a.first.segment_id < b.first.segment_id;
+              }
+              if (a.second.segment_id != b.second.segment_id) {
+                return a.second.segment_id < b.second.segment_id;
+              }
+              return a.lo < b.lo;
+            });
+  std::set<std::string> seen;
+  std::vector<RaceReport> deduped;
+  for (auto& report : result.reports) {
+    if (seen.insert(report_dedup_key(report)).second) {
+      deduped.push_back(std::move(report));
+    }
+  }
+  result.reports = std::move(deduped);
+
+  result.stats.seconds = now_seconds() - start;
+  return result;
+}
+
+}  // namespace tg::core

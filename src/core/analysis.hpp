@@ -1,0 +1,57 @@
+// The determinacy-race analysis pass - Algorithm 1 of the paper.
+//
+// For every pair of segments with no happens-before path either way,
+// intersect s1.w with (s2.r U s2.w) (both directions); every non-empty
+// overlap is a candidate determinacy race, which then runs the §IV
+// suppression gauntlet (segment-local stack, TLS, mutexinoutset).
+//
+// The paper notes the pass is embarrassingly parallel but ran sequentially
+// inside Valgrind; `threads > 1` implements the future-work parallel
+// version (bench/bench_parallel_analysis measures it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alloc_registry.hpp"
+#include "core/report.hpp"
+#include "core/segment_graph.hpp"
+#include "vex/ir.hpp"
+
+namespace tg::core {
+
+struct AnalysisOptions {
+  bool suppress_stack = true;   // paper §IV-D
+  bool suppress_tls = true;     // paper §IV-C
+  bool respect_mutexes = true;  // mutexinoutset exclusion
+  bool use_region_fast_path = true;  // Eq. 1
+  int threads = 1;
+  size_t max_reports = 200'000;
+};
+
+struct AnalysisStats {
+  uint64_t pairs_total = 0;
+  uint64_t pairs_ordered = 0;        // skipped via reachability
+  uint64_t pairs_region_fast = 0;    // skipped via Eq. 1
+  uint64_t pairs_mutex = 0;          // skipped via shared mutex
+  uint64_t raw_conflicts = 0;        // overlaps before suppression/dedup
+  uint64_t suppressed_stack = 0;
+  uint64_t suppressed_tls = 0;
+  double seconds = 0;
+};
+
+struct AnalysisResult {
+  std::vector<RaceReport> reports;  // deduplicated, deterministic order
+  AnalysisStats stats;
+
+  bool racy() const { return !reports.empty(); }
+};
+
+/// Runs Algorithm 1 over a finalized graph. `program` resolves debug-info
+/// file ids for report rendering; `allocs` may be null (no provenance).
+AnalysisResult analyze_races(const SegmentGraph& graph,
+                             const vex::Program& program,
+                             const AllocRegistry* allocs,
+                             const AnalysisOptions& options);
+
+}  // namespace tg::core

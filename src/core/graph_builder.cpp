@@ -1,0 +1,489 @@
+#include "core/graph_builder.hpp"
+
+#include "runtime/task.hpp"
+#include "runtime/worker.hpp"
+#include "support/assert.hpp"
+
+namespace tg::core {
+
+using rt::SyncKind;
+using rt::TaskFlags;
+
+SegmentGraphBuilder::SegmentGraphBuilder(Policy policy) : policy_(policy) {}
+
+SegmentGraphBuilder::TTask& SegmentGraphBuilder::task(uint64_t id) {
+  auto [it, inserted] = tasks_.try_emplace(id);
+  if (inserted) it->second.id = id;
+  return it->second;
+}
+
+SegmentGraphBuilder::TRegion& SegmentGraphBuilder::region(uint64_t id) {
+  auto [it, inserted] = regions_.try_emplace(id);
+  if (inserted) it->second.id = id;
+  return it->second;
+}
+
+SegId SegmentGraphBuilder::barrier_node(TRegion& r, uint64_t epoch) {
+  auto [it, inserted] = r.barrier_nodes.try_emplace(epoch, kNoSeg);
+  if (inserted) {
+    Segment& node = graph_.new_segment(SegKind::kBarrier);
+    node.region_id = r.id;
+    it->second = node.id;
+  }
+  return it->second;
+}
+
+SegId SegmentGraphBuilder::open_segment(TTask& t, int tid) {
+  Segment& segment = graph_.new_segment(SegKind::kTask);
+  segment.task_id = t.id;
+  segment.seq_in_task = t.seg_count++;
+  segment.tid = tid;
+  segment.region_id = t.region;
+  segment.mutexes = t.mutexes;
+  if (vm_ != nullptr && tid >= 0 &&
+      static_cast<size_t>(tid) < vm_->thread_count()) {
+    const vex::ThreadCtx& ctx = vm_->thread(tid);
+    segment.sp_at_start = ctx.sp;
+    segment.stack_base = ctx.stack_base;
+    segment.stack_limit = ctx.stack_limit;
+    segment.tcb = ctx.tcb;
+    t.open_dtv_gen = ctx.dtv.gen;
+  }
+  // Program order chaining within the task (across the close/open pair of
+  // a sync boundary, prev_seg holds the predecessor).
+  if (t.cur_seg != kNoSeg) {
+    graph_.add_edge(t.cur_seg, segment.id);
+  } else if (t.prev_seg != kNoSeg) {
+    graph_.add_edge(t.prev_seg, segment.id);
+  }
+  t.cur_seg = segment.id;
+  t.last_seg = segment.id;
+  if (t.first_seg == kNoSeg) {
+    t.first_seg = segment.id;
+    if (t.creator_pre_seg != kNoSeg) {
+      graph_.add_edge(t.creator_pre_seg, segment.id);
+    }
+  }
+  return segment.id;
+}
+
+void SegmentGraphBuilder::close_segment(TTask& t) {
+  if (t.cur_seg == kNoSeg) return;
+  Segment& segment = graph_.segment(t.cur_seg);
+  if (vm_ != nullptr && t.bound_tid >= 0 &&
+      static_cast<size_t>(t.bound_tid) < vm_->thread_count()) {
+    const vex::ThreadCtx& ctx = vm_->thread(t.bound_tid);
+    segment.dtv_at_end = ctx.dtv;
+    segment.tcb = ctx.tcb;
+    if (ctx.dtv.gen != t.open_dtv_gen) {
+      // Paper §IV-C: the DTV changed while the segment ran; the TLS
+      // suppression for this segment is unreliable - warn.
+      segment.dtv_changed_during = true;
+      ++dtv_gen_warnings_;
+    }
+  }
+  t.prev_seg = t.cur_seg;
+  t.cur_seg = kNoSeg;
+}
+
+void SegmentGraphBuilder::completion_edges(const TTask& t, SegId to) {
+  if (t.last_seg != kNoSeg) graph_.add_edge(t.last_seg, to);
+  if (t.fulfill_pre_seg != kNoSeg) graph_.add_edge(t.fulfill_pre_seg, to);
+}
+
+// --- events -----------------------------------------------------------------
+
+void SegmentGraphBuilder::task_create(uint64_t task_id, uint64_t parent_id,
+                                      uint32_t flags, uint64_t region_id,
+                                      vex::SrcLoc loc) {
+  TTask& t = task(task_id);
+  t.parent = parent_id;
+  t.flags = flags;
+  t.region = region_id;
+  t.create_loc = loc;
+  t.is_implicit = flags & TaskFlags::kImplicit;
+  t.is_undeferred = flags & TaskFlags::kUndeferred;
+
+  if (region_id != kNoId) {
+    TRegion& r = region(region_id);
+    t.create_epoch = r.cur_epoch;
+    if (t.is_implicit) {
+      r.implicit_members.push_back(task_id);
+      // Implicit tasks descend from the fork node.
+      t.creator_pre_seg = r.fork_node;
+      return;
+    }
+    r.explicit_members.push_back(task_id);
+  }
+  if (parent_id == kNoId) return;  // the initial task
+
+  TTask& parent = task(parent_id);
+  parent.children.push_back(task_id);
+  // Charge to the parent's innermost open taskgroup, else inherit.
+  t.charged_group = !parent.open_groups.empty() ? parent.open_groups.back()
+                                                : parent.charged_group;
+  if (t.charged_group != kNoId) {
+    groups_[t.charged_group].members.push_back(task_id);
+  }
+
+  // Split the parent's segment at the create.
+  const SegId pre = parent.cur_seg;
+  close_segment(parent);
+  const SegId post = open_segment(parent, parent.bound_tid);
+  t.creator_pre_seg = pre != kNoSeg ? pre : parent.prev_seg;
+
+  if (t.is_undeferred && !policy_.undeferred_parallel) {
+    // Serialized: the parent's continuation also happens after the child.
+    t.undeferred_join = post;
+  }
+}
+
+void SegmentGraphBuilder::dependence(uint64_t pred, uint64_t succ) {
+  deps_.emplace_back(pred, succ);
+}
+
+void SegmentGraphBuilder::schedule_begin(uint64_t task_id, int tid) {
+  if (cur_task_by_tid_.size() <= static_cast<size_t>(tid)) {
+    cur_task_by_tid_.resize(tid + 1, kNoId);
+  }
+  cur_task_by_tid_[static_cast<size_t>(tid)] = task_id;
+  TTask& t = task(task_id);
+  if (t.bound_tid < 0) t.bound_tid = tid;
+  if (t.first_seg == kNoSeg) open_segment(t, tid);
+}
+
+void SegmentGraphBuilder::schedule_end(uint64_t task_id, int tid) {
+  (void)task_id;
+  if (static_cast<size_t>(tid) < cur_task_by_tid_.size()) {
+    cur_task_by_tid_[static_cast<size_t>(tid)] = kNoId;
+  }
+}
+
+void SegmentGraphBuilder::task_complete(uint64_t task_id) {
+  TTask& t = task(task_id);
+  close_segment(t);
+  t.completed = true;
+  if (t.undeferred_join != kNoSeg) {
+    completion_edges(t, t.undeferred_join);
+  }
+}
+
+void SegmentGraphBuilder::sync_begin(SyncKind kind, uint64_t task_id,
+                                     int tid) {
+  (void)tid;
+  TTask& t = task(task_id);
+  if (kind == SyncKind::kTaskwait) {
+    // Snapshot the children awaited by this taskwait.
+    PendingJoin join;
+    join.waited_tasks = t.children;
+    t.pending_joins.push_back(joins_.size());
+    joins_.push_back(std::move(join));
+  }
+  if (kind == SyncKind::kTaskgroupEnd) {
+    PendingJoin join;
+    join.group = t.open_groups.empty() ? kNoId : t.open_groups.back();
+    t.pending_joins.push_back(joins_.size());
+    joins_.push_back(std::move(join));
+  }
+  close_segment(t);
+}
+
+void SegmentGraphBuilder::sync_end(SyncKind kind, uint64_t task_id, int tid) {
+  TTask& t = task(task_id);
+  const SegId cont = open_segment(t, tid);
+  switch (kind) {
+    case SyncKind::kTaskwait:
+    case SyncKind::kTaskgroupEnd: {
+      // Joins are LIFO per task: syncs cannot overlap within one task.
+      if (!t.pending_joins.empty()) {
+        joins_[t.pending_joins.back()].continuation = cont;
+        t.pending_joins.pop_back();
+      }
+      if (kind == SyncKind::kTaskgroupEnd && !t.open_groups.empty()) {
+        t.open_groups.pop_back();
+      }
+      break;
+    }
+    case SyncKind::kBarrier: {
+      if (t.waiting_barrier != kNoSeg) {
+        graph_.add_edge(t.waiting_barrier, cont);
+        t.waiting_barrier = kNoSeg;
+      }
+      break;
+    }
+    case SyncKind::kParallelJoin:
+      break;
+  }
+}
+
+void SegmentGraphBuilder::taskgroup_begin(uint64_t task_id) {
+  TTask& t = task(task_id);
+  const uint64_t group_id = next_group_id_++;
+  groups_[group_id].owner = task_id;
+  t.open_groups.push_back(group_id);
+}
+
+void SegmentGraphBuilder::barrier_arrive(uint64_t region_id, uint64_t epoch,
+                                         uint64_t task_id) {
+  TRegion& r = region(region_id);
+  TTask& t = task(task_id);
+  const SegId node = barrier_node(r, epoch);
+  // sync_begin(kBarrier) already closed the segment; prev_seg points at it.
+  if (t.prev_seg != kNoSeg) graph_.add_edge(t.prev_seg, node);
+  t.waiting_barrier = node;
+}
+
+void SegmentGraphBuilder::barrier_release(uint64_t region_id,
+                                          uint64_t epoch) {
+  TRegion& r = region(region_id);
+  r.cur_epoch = epoch + 1;
+}
+
+void SegmentGraphBuilder::parallel_begin(uint64_t region_id,
+                                         uint64_t enc_task, int nthreads) {
+  (void)nthreads;
+  TRegion& r = region(region_id);
+  Segment& fork = graph_.new_segment(SegKind::kFork);
+  fork.region_id = region_id;
+  r.fork_node = fork.id;
+  r.fork_seq = ++global_seq_;
+
+  TTask& enc = task(enc_task);
+  close_segment(enc);
+  if (enc.prev_seg != kNoSeg) graph_.add_edge(enc.prev_seg, fork.id);
+}
+
+void SegmentGraphBuilder::parallel_end(uint64_t region_id,
+                                       uint64_t enc_task) {
+  TRegion& r = region(region_id);
+  Segment& join = graph_.new_segment(SegKind::kJoin);
+  join.region_id = region_id;
+  r.join_node = join.id;
+  r.join_seq = ++global_seq_;
+
+  TTask& enc = task(enc_task);
+  const SegId cont = open_segment(enc, enc.bound_tid);
+  graph_.add_edge(join.id, cont);
+}
+
+void SegmentGraphBuilder::mutex_acquired(uint64_t task_id, uint64_t mutex,
+                                         bool task_level) {
+  if (!task_level) return;  // lexical critical sections are unsupported
+  task(task_id).mutexes.push_back(mutex);
+}
+
+void SegmentGraphBuilder::task_fulfill(uint64_t task_id, int fulfiller_tid) {
+  // Split the fulfiller's current segment: everything before the fulfill
+  // happens-before anything that waits on the detached task.
+  if (static_cast<size_t>(fulfiller_tid) < cur_task_by_tid_.size()) {
+    const uint64_t fulfiller_id =
+        cur_task_by_tid_[static_cast<size_t>(fulfiller_tid)];
+    if (fulfiller_id != kNoId && fulfiller_id != task_id) {
+      TTask& fulfiller = task(fulfiller_id);
+      const SegId pre = fulfiller.cur_seg;
+      close_segment(fulfiller);
+      open_segment(fulfiller, fulfiller.bound_tid);
+      task(task_id).fulfill_pre_seg =
+          pre != kNoSeg ? pre : fulfiller.prev_seg;
+    }
+  }
+}
+
+void SegmentGraphBuilder::feb_release(uint64_t task_id, vex::GuestAddr addr,
+                                      bool full_channel) {
+  TTask& t = task(task_id);
+  const SegId pre = t.cur_seg != kNoSeg ? t.cur_seg : t.prev_seg;
+  close_segment(t);
+  open_segment(t, t.bound_tid);
+  feb_last_release_[{addr, full_channel}] =
+      pre != kNoSeg ? pre : t.cur_seg;
+}
+
+void SegmentGraphBuilder::feb_acquire(uint64_t task_id, vex::GuestAddr addr,
+                                      bool full_channel) {
+  TTask& t = task(task_id);
+  close_segment(t);
+  const SegId cont = open_segment(t, t.bound_tid);
+  auto it = feb_last_release_.find({addr, full_channel});
+  if (it != feb_last_release_.end() && it->second != kNoSeg) {
+    graph_.add_edge(it->second, cont);
+  }
+}
+
+void SegmentGraphBuilder::record_access(int tid, vex::GuestAddr addr,
+                                        uint32_t size, bool is_write,
+                                        vex::SrcLoc loc) {
+  if (static_cast<size_t>(tid) >= cur_task_by_tid_.size()) return;
+  const uint64_t task_id = cur_task_by_tid_[static_cast<size_t>(tid)];
+  if (task_id == kNoId) return;
+  TTask& t = task(task_id);
+  if (t.cur_seg == kNoSeg) return;  // parked at a sync; no code runs
+  Segment& segment = graph_.segment(t.cur_seg);
+  if (!segment.first_access_loc.valid()) segment.first_access_loc = loc;
+  if (is_write) {
+    segment.writes.add(addr, addr + size, loc);
+  } else {
+    segment.reads.add(addr, addr + size, loc);
+  }
+}
+
+SegId SegmentGraphBuilder::current_segment(int tid) {
+  if (static_cast<size_t>(tid) >= cur_task_by_tid_.size()) return kNoSeg;
+  const uint64_t task_id = cur_task_by_tid_[static_cast<size_t>(tid)];
+  if (task_id == kNoId) return kNoSeg;
+  return task(task_id).cur_seg;
+}
+
+SegmentGraph& SegmentGraphBuilder::finalize() {
+  TG_ASSERT(!finalized_);
+  finalized_ = true;
+
+  // Close any still-open segments (the root task at program end).
+  for (auto& [id, t] : tasks_) close_segment(t);
+
+  // Dependence edges.
+  for (const auto& [pred_id, succ_id] : deps_) {
+    auto pred_it = tasks_.find(pred_id);
+    auto succ_it = tasks_.find(succ_id);
+    if (pred_it == tasks_.end() || succ_it == tasks_.end()) continue;
+    if (succ_it->second.first_seg == kNoSeg) continue;
+    completion_edges(pred_it->second, succ_it->second.first_seg);
+  }
+
+  // taskwait / taskgroup joins.
+  for (const PendingJoin& join : joins_) {
+    if (join.continuation == kNoSeg) continue;  // program ended mid-wait
+    if (join.group != kNoId) {
+      auto it = groups_.find(join.group);
+      if (it == groups_.end()) continue;
+      for (uint64_t member : it->second.members) {
+        completion_edges(task(member), join.continuation);
+      }
+    } else {
+      for (uint64_t child : join.waited_tasks) {
+        completion_edges(task(child), join.continuation);
+      }
+    }
+  }
+
+  // Barrier completion guarantee + region joins.
+  for (auto& [region_id, r] : regions_) {
+    for (const auto& [epoch, node] : r.barrier_nodes) {
+      for (uint64_t member : r.explicit_members) {
+        const TTask& t = task(member);
+        if (t.create_epoch <= epoch) completion_edges(t, node);
+      }
+    }
+    if (r.join_node != kNoSeg) {
+      for (uint64_t member : r.implicit_members) {
+        completion_edges(task(member), r.join_node);
+      }
+      for (uint64_t member : r.explicit_members) {
+        completion_edges(task(member), r.join_node);
+      }
+    }
+    graph_.set_region_window(region_id, r.fork_seq, r.join_seq);
+  }
+
+  graph_.finalize();
+  return graph_;
+}
+
+// --- RtEvents adapter -------------------------------------------------------
+
+namespace {
+uint64_t region_id_of(const rt::Task& task) {
+  return task.region != nullptr ? task.region->id : kNoId;
+}
+}  // namespace
+
+void SegmentGraphBuilder::Listener::on_task_create(rt::Task& task,
+                                                   rt::Task* parent) {
+  builder_.task_create(task.id, parent != nullptr ? parent->id : kNoId,
+                       task.flags, region_id_of(task), task.create_loc);
+}
+
+void SegmentGraphBuilder::Listener::on_dependence(rt::Task& pred,
+                                                  rt::Task& succ,
+                                                  vex::GuestAddr) {
+  builder_.dependence(pred.id, succ.id);
+}
+
+void SegmentGraphBuilder::Listener::on_task_schedule_begin(
+    rt::Task& task, rt::Worker& worker) {
+  builder_.schedule_begin(task.id, worker.index());
+}
+
+void SegmentGraphBuilder::Listener::on_task_schedule_end(rt::Task& task,
+                                                         rt::Worker& worker) {
+  builder_.schedule_end(task.id, worker.index());
+}
+
+void SegmentGraphBuilder::Listener::on_task_complete(rt::Task& task) {
+  builder_.task_complete(task.id);
+}
+
+void SegmentGraphBuilder::Listener::on_sync_begin(rt::SyncKind kind,
+                                                  rt::Task& task,
+                                                  rt::Worker& worker) {
+  builder_.sync_begin(kind, task.id, worker.index());
+}
+
+void SegmentGraphBuilder::Listener::on_sync_end(rt::SyncKind kind,
+                                                rt::Task& task,
+                                                rt::Worker& worker) {
+  builder_.sync_end(kind, task.id, worker.index());
+}
+
+void SegmentGraphBuilder::Listener::on_taskgroup_begin(rt::Task& task) {
+  builder_.taskgroup_begin(task.id);
+}
+
+void SegmentGraphBuilder::Listener::on_barrier_arrive(rt::Region& region,
+                                                      rt::Worker& worker,
+                                                      uint64_t epoch) {
+  rt::Task* current = worker.current_task();
+  if (current != nullptr) {
+    builder_.barrier_arrive(region.id, epoch, current->id);
+  }
+}
+
+void SegmentGraphBuilder::Listener::on_barrier_release(rt::Region& region,
+                                                       uint64_t epoch) {
+  builder_.barrier_release(region.id, epoch);
+}
+
+void SegmentGraphBuilder::Listener::on_parallel_begin(rt::Region& region,
+                                                      rt::Task& enc) {
+  builder_.parallel_begin(region.id, enc.id, region.nthreads);
+}
+
+void SegmentGraphBuilder::Listener::on_parallel_end(rt::Region& region,
+                                                    rt::Task& enc) {
+  builder_.parallel_end(region.id, enc.id);
+}
+
+void SegmentGraphBuilder::Listener::on_mutex_acquired(rt::Task& task,
+                                                      uint64_t mutex,
+                                                      bool task_level) {
+  builder_.mutex_acquired(task.id, mutex, task_level);
+}
+
+void SegmentGraphBuilder::Listener::on_task_fulfill(rt::Task& task,
+                                                    rt::Worker& fulfiller) {
+  builder_.task_fulfill(task.id, fulfiller.index());
+}
+
+void SegmentGraphBuilder::Listener::on_feb_release(rt::Task& task,
+                                                   vex::GuestAddr addr,
+                                                   bool full_channel) {
+  builder_.feb_release(task.id, addr, full_channel);
+}
+
+void SegmentGraphBuilder::Listener::on_feb_acquire(rt::Task& task,
+                                                   vex::GuestAddr addr,
+                                                   bool full_channel) {
+  builder_.feb_acquire(task.id, addr, full_channel);
+}
+
+}  // namespace tg::core

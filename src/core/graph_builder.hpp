@@ -1,0 +1,213 @@
+// Builds the segment graph from the OMPT-style event stream.
+//
+// The API is deliberately *scalar* - task ids, flags, thread ids - exactly
+// the information a real OMPT tool receives, so Taskgrind's client-request
+// path (core/taskgrind.cpp) and the task-graph baselines (tools/) can share
+// the construction logic without peeking into runtime internals.
+//
+// Construction rules (see DESIGN.md §3):
+//  * a task's code is split into segments at every sync boundary: task
+//    create, taskwait, taskgroup end, barrier, parallel begin/end;
+//  * consecutive segments of a task are chained (program order);
+//  * task create adds pre-split(parent) -> first(child); undeferred tasks
+//    additionally add last(child) -> post-split(parent) unless the
+//    "tasks deferrable" annotation is active (paper §V-B);
+//  * dependence edges connect completion segments of the predecessor to the
+//    successor's first segment;
+//  * barriers are synthetic nodes: arrivals point in, continuations point
+//    out, and every explicit task of the region created before the epoch
+//    points in (the OpenMP barrier completion guarantee);
+//  * parallel regions get fork/join nodes and an Eq. 1 window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/segment_graph.hpp"
+#include "runtime/events.hpp"
+#include "vex/vm.hpp"
+
+namespace tg::core {
+
+inline constexpr uint64_t kNoId = UINT64_MAX;
+
+class SegmentGraphBuilder {
+ public:
+  struct Policy {
+    /// Treat undeferred tasks as logically parallel with their parent
+    /// (Taskgrind after the kTgTasksDeferrable client request).
+    bool undeferred_parallel = false;
+  };
+
+  SegmentGraphBuilder() : SegmentGraphBuilder(Policy{}) {}
+  explicit SegmentGraphBuilder(Policy policy);
+
+  /// The VM supplies thread state (stack pointers, DTV) for suppression
+  /// metadata. Must be set before events arrive.
+  void set_vm(vex::Vm* vm) { vm_ = vm; }
+  void set_undeferred_parallel(bool enabled) {
+    policy_.undeferred_parallel = enabled;
+  }
+
+  // --- scalar event API ---------------------------------------------------
+  void task_create(uint64_t task, uint64_t parent, uint32_t flags,
+                   uint64_t region, vex::SrcLoc loc);
+  void dependence(uint64_t pred, uint64_t succ);
+  void schedule_begin(uint64_t task, int tid);
+  void schedule_end(uint64_t task, int tid);
+  void task_complete(uint64_t task);
+  void sync_begin(rt::SyncKind kind, uint64_t task, int tid);
+  void sync_end(rt::SyncKind kind, uint64_t task, int tid);
+  void taskgroup_begin(uint64_t task);
+  void barrier_arrive(uint64_t region, uint64_t epoch, uint64_t task);
+  void barrier_release(uint64_t region, uint64_t epoch);
+  void parallel_begin(uint64_t region, uint64_t enc_task, int nthreads);
+  void parallel_end(uint64_t region, uint64_t enc_task);
+  void mutex_acquired(uint64_t task, uint64_t mutex, bool task_level);
+  void task_fulfill(uint64_t task, int fulfiller_tid);
+  /// FEB transitions: a release splits the task's segment and remembers the
+  /// pre-split segment on the (addr, channel) slot; an acquire splits and
+  /// draws an edge from the remembered segment.
+  void feb_release(uint64_t task, vex::GuestAddr addr, bool full_channel);
+  void feb_acquire(uint64_t task, vex::GuestAddr addr, bool full_channel);
+
+  // --- access recording -----------------------------------------------------
+  void record_access(int tid, vex::GuestAddr addr, uint32_t size,
+                     bool is_write, vex::SrcLoc loc);
+
+  /// Open segment of the task currently announced on `tid` (kNoSeg if
+  /// none). Used by tools that keep their own per-access structures.
+  SegId current_segment(int tid);
+
+  /// Expands deferred task-level links into segment edges and freezes the
+  /// graph. Call exactly once, after execution finished.
+  SegmentGraph& finalize();
+
+  SegmentGraph& graph() { return graph_; }
+  size_t task_count() const { return tasks_.size(); }
+
+  /// Number of DTV-generation-changed-during-segment warnings (the paper's
+  /// §IV-C "gen number" detection of fragile TLS suppression).
+  uint64_t dtv_gen_warnings() const { return dtv_gen_warnings_; }
+
+  /// A ready-made RtEvents adapter feeding this builder (used by baselines;
+  /// Taskgrind routes through its client-request channel instead).
+  rt::RtEvents& listener() { return listener_; }
+
+ private:
+  struct TTask {
+    uint64_t id = kNoId;
+    uint64_t parent = kNoId;
+    uint32_t flags = 0;
+    uint64_t region = kNoId;
+    vex::SrcLoc create_loc;
+    int bound_tid = -1;
+
+    SegId first_seg = kNoSeg;
+    SegId cur_seg = kNoSeg;
+    SegId last_seg = kNoSeg;
+    SegId prev_seg = kNoSeg;         // closed segment awaiting a sync_end
+    SegId creator_pre_seg = kNoSeg;  // parent segment before the create
+    SegId fulfill_pre_seg = kNoSeg;  // fulfiller segment before the fulfill
+    SegId undeferred_join = kNoSeg;  // parent post-create segment (serial)
+    SegId waiting_barrier = kNoSeg;  // barrier node currently parked at
+
+    std::vector<uint64_t> children;
+    std::vector<size_t> pending_joins;   // indices into joins_, LIFO
+    std::vector<uint64_t> open_groups;   // taskgroup stack (group ids)
+    uint64_t charged_group = kNoId;      // group this task belongs to
+    std::vector<uint64_t> mutexes;       // task-level (mutexinoutset)
+    uint32_t seg_count = 0;
+    uint64_t create_epoch = 0;           // region barrier epoch at creation
+    uint64_t open_dtv_gen = 0;           // dtv gen when cur_seg opened
+    bool completed = false;
+    bool is_implicit = false;
+    bool is_undeferred = false;
+  };
+
+  struct TGroup {
+    uint64_t owner = kNoId;
+    std::vector<uint64_t> members;
+  };
+
+  struct TRegion {
+    uint64_t id = kNoId;
+    SegId fork_node = kNoSeg;
+    SegId join_node = kNoSeg;
+    uint64_t fork_seq = 0;
+    uint64_t join_seq = UINT64_MAX;
+    uint64_t cur_epoch = 0;
+    std::vector<uint64_t> implicit_members;
+    std::vector<uint64_t> explicit_members;
+    std::map<uint64_t, SegId> barrier_nodes;  // epoch -> node
+  };
+
+  struct PendingJoin {
+    std::vector<uint64_t> waited_tasks;  // children snapshot / group members
+    uint64_t group = kNoId;              // when a taskgroup join
+    SegId continuation = kNoSeg;
+  };
+
+  class Listener : public rt::RtEvents {
+   public:
+    explicit Listener(SegmentGraphBuilder& builder) : builder_(builder) {}
+    void on_task_create(rt::Task& task, rt::Task* parent) override;
+    void on_dependence(rt::Task& pred, rt::Task& succ,
+                       vex::GuestAddr) override;
+    void on_task_schedule_begin(rt::Task& task, rt::Worker& worker) override;
+    void on_task_schedule_end(rt::Task& task, rt::Worker& worker) override;
+    void on_task_complete(rt::Task& task) override;
+    void on_sync_begin(rt::SyncKind kind, rt::Task& task,
+                       rt::Worker& worker) override;
+    void on_sync_end(rt::SyncKind kind, rt::Task& task,
+                     rt::Worker& worker) override;
+    void on_taskgroup_begin(rt::Task& task) override;
+    void on_barrier_arrive(rt::Region& region, rt::Worker& worker,
+                           uint64_t epoch) override;
+    void on_barrier_release(rt::Region& region, uint64_t epoch) override;
+    void on_parallel_begin(rt::Region& region, rt::Task& enc) override;
+    void on_parallel_end(rt::Region& region, rt::Task& enc) override;
+    void on_mutex_acquired(rt::Task& task, uint64_t mutex,
+                           bool task_level) override;
+    void on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) override;
+    void on_feb_release(rt::Task& task, vex::GuestAddr addr,
+                        bool full_channel) override;
+    void on_feb_acquire(rt::Task& task, vex::GuestAddr addr,
+                        bool full_channel) override;
+
+   private:
+    SegmentGraphBuilder& builder_;
+  };
+
+  TTask& task(uint64_t id);
+  TRegion& region(uint64_t id);
+  SegId barrier_node(TRegion& r, uint64_t epoch);
+  /// Opens a fresh segment for `task` on `tid`, recording suppression
+  /// metadata from the VM thread state.
+  SegId open_segment(TTask& t, int tid);
+  /// Closes the task's current segment, snapshotting DTV/TCB.
+  void close_segment(TTask& t);
+  void completion_edges(const TTask& t, SegId to);
+
+  Policy policy_;
+  vex::Vm* vm_ = nullptr;
+  SegmentGraph graph_;
+  Listener listener_{*this};
+
+  std::map<uint64_t, TTask> tasks_;
+  std::map<uint64_t, TRegion> regions_;
+  std::map<uint64_t, TGroup> groups_;
+  uint64_t next_group_id_ = 0;
+  uint64_t global_seq_ = 0;
+
+  std::vector<std::pair<uint64_t, uint64_t>> deps_;  // (pred, succ)
+  std::map<std::pair<vex::GuestAddr, bool>, SegId> feb_last_release_;
+  std::vector<PendingJoin> joins_;
+  std::vector<uint64_t> cur_task_by_tid_;  // announced task per thread
+  uint64_t dtv_gen_warnings_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace tg::core

@@ -1,0 +1,112 @@
+#include "core/interval_set.hpp"
+
+#include "support/assert.hpp"
+
+namespace tg::core {
+
+IntervalSet::~IntervalSet() {
+  account(-static_cast<int64_t>(intervals_.size()));
+}
+
+IntervalSet::IntervalSet(IntervalSet&& other) noexcept
+    : intervals_(std::move(other.intervals_)) {
+  other.intervals_.clear();
+}
+
+void IntervalSet::account(int64_t node_delta) {
+  if (node_delta != 0) {
+    MemAccountant::instance().add(MemCategory::kIntervalTrees,
+                                  node_delta * kNodeBytes);
+  }
+}
+
+void IntervalSet::add(uint64_t lo, uint64_t hi, vex::SrcLoc loc) {
+  TG_ASSERT(lo < hi);
+  const int64_t before = static_cast<int64_t>(intervals_.size());
+
+  // Find the first interval that could touch [lo, hi): the predecessor of
+  // lo if it reaches lo, else the first interval starting at or after lo.
+  auto it = intervals_.upper_bound(lo);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.hi >= lo) it = prev;
+  }
+
+  // Absorb every interval overlapping or adjacent to [lo, hi).
+  uint64_t new_lo = lo;
+  uint64_t new_hi = hi;
+  vex::SrcLoc new_loc = loc;
+  bool absorbed_any = false;
+  while (it != intervals_.end() && it->first <= new_hi) {
+    if (it->second.hi < new_lo) {
+      ++it;
+      continue;
+    }
+    if (!absorbed_any) {
+      // Keep the existing representative location: it was recorded first.
+      new_loc = it->second.loc;
+      absorbed_any = true;
+    }
+    new_lo = std::min(new_lo, it->first);
+    new_hi = std::max(new_hi, it->second.hi);
+    it = intervals_.erase(it);
+  }
+  intervals_.emplace(new_lo, Node{new_hi, new_loc});
+  account(static_cast<int64_t>(intervals_.size()) - before);
+}
+
+uint64_t IntervalSet::byte_count() const {
+  uint64_t total = 0;
+  for (const auto& [lo, node] : intervals_) total += node.hi - lo;
+  return total;
+}
+
+bool IntervalSet::contains(uint64_t addr) const {
+  auto it = intervals_.upper_bound(addr);
+  if (it == intervals_.begin()) return false;
+  --it;
+  return addr < it->second.hi;
+}
+
+bool IntervalSet::intersects(const IntervalSet& other) const {
+  // Parallel ordered walk; O(min(n,m) * log) worst case but usually the
+  // smaller set drives.
+  const IntervalSet& a = interval_count() <= other.interval_count()
+                             ? *this
+                             : other;
+  const IntervalSet& b = &a == this ? other : *this;
+  for (const auto& [lo, node] : a.intervals_) {
+    auto it = b.intervals_.upper_bound(node.hi - 1);
+    if (it != b.intervals_.begin()) {
+      --it;
+      if (it->second.hi > lo) return true;
+    }
+  }
+  return false;
+}
+
+void IntervalSet::for_each_overlap(
+    const IntervalSet& other,
+    const std::function<void(const Overlap&)>& fn) const {
+  auto ia = intervals_.begin();
+  auto ib = other.intervals_.begin();
+  while (ia != intervals_.end() && ib != other.intervals_.end()) {
+    const uint64_t lo = std::max(ia->first, ib->first);
+    const uint64_t hi = std::min(ia->second.hi, ib->second.hi);
+    if (lo < hi) {
+      fn(Overlap{lo, hi, ia->second.loc, ib->second.loc});
+    }
+    if (ia->second.hi <= ib->second.hi) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+}
+
+void IntervalSet::for_each(
+    const std::function<void(uint64_t, uint64_t, vex::SrcLoc)>& fn) const {
+  for (const auto& [lo, node] : intervals_) fn(lo, node.hi, node.loc);
+}
+
+}  // namespace tg::core

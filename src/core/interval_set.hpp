@@ -1,0 +1,72 @@
+// Per-segment access interval trees (paper §III-B, Fig. 3).
+//
+// An IntervalSet stores the set of byte ranges a segment read or wrote, as
+// maximal disjoint intervals in an ordered balanced tree. Dense accesses
+// (array sweeps) coalesce into single intervals, which is what keeps memory
+// bounded on LULESH-sized workloads; all operations used by the analysis
+// are O(log n) in the number of dense intervals.
+//
+// Each interval keeps the source location of the first access that created
+// it, so reports can cite file:line.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "support/accounting.hpp"
+#include "vex/ir.hpp"
+
+namespace tg::core {
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  ~IntervalSet();
+  IntervalSet(IntervalSet&& other) noexcept;
+  IntervalSet& operator=(IntervalSet&&) = delete;
+  IntervalSet(const IntervalSet&) = delete;
+  IntervalSet& operator=(const IntervalSet&) = delete;
+
+  /// Records [lo, hi). Adjacent and overlapping intervals coalesce; the
+  /// representative SrcLoc of the earliest-created constituent wins.
+  void add(uint64_t lo, uint64_t hi, vex::SrcLoc loc);
+
+  bool empty() const { return intervals_.empty(); }
+  size_t interval_count() const { return intervals_.size(); }
+  uint64_t byte_count() const;
+
+  bool contains(uint64_t addr) const;
+
+  /// True when some byte is in both sets - the Algorithm 1 test.
+  bool intersects(const IntervalSet& other) const;
+
+  struct Overlap {
+    uint64_t lo;
+    uint64_t hi;
+    vex::SrcLoc this_loc;   // representative location in *this
+    vex::SrcLoc other_loc;  // representative location in `other`
+  };
+
+  /// Invokes `fn` for every maximal overlapping range, ordered by address.
+  void for_each_overlap(const IntervalSet& other,
+                        const std::function<void(const Overlap&)>& fn) const;
+
+  /// Ordered walk over all intervals.
+  void for_each(const std::function<void(uint64_t lo, uint64_t hi,
+                                         vex::SrcLoc)>& fn) const;
+
+ private:
+  struct Node {
+    uint64_t hi;
+    vex::SrcLoc loc;
+  };
+
+  static constexpr int64_t kNodeBytes = 64;  // accounting estimate per node
+
+  void account(int64_t node_delta);
+
+  std::map<uint64_t, Node> intervals_;  // lo -> (hi, loc)
+};
+
+}  // namespace tg::core

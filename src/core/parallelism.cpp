@@ -1,0 +1,87 @@
+#include "core/parallelism.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace tg::core {
+
+namespace {
+
+uint64_t weight_of(const Segment& segment) {
+  if (segment.kind != SegKind::kTask) return 0;
+  return segment.reads.byte_count() + segment.writes.byte_count();
+}
+
+}  // namespace
+
+ParallelismProfile profile_parallelism(const SegmentGraph& graph) {
+  TG_ASSERT_MSG(graph.finalized(), "profile needs a finalized graph");
+  ParallelismProfile profile;
+
+  const size_t n = graph.size();
+  std::vector<uint64_t> weight(n, 0);
+  for (SegId i = 0; i < n; ++i) {
+    weight[i] = weight_of(graph.segment(i));
+    profile.work += weight[i];
+    if (weight[i] > 0) profile.segments++;
+  }
+
+  // Longest weighted path over the DAG: process in a topological order
+  // derived from in-degrees (the graph is already known to be acyclic).
+  std::vector<uint32_t> indegree(n, 0);
+  for (SegId i = 0; i < n; ++i) {
+    for (SegId next : graph.successors(i)) indegree[next]++;
+  }
+  std::vector<uint64_t> best(n, 0);
+  std::vector<SegId> best_pred(n, kNoSeg);
+  std::vector<SegId> order;
+  order.reserve(n);
+  for (SegId i = 0; i < n; ++i) {
+    if (indegree[i] == 0) order.push_back(i);
+  }
+  for (size_t cursor = 0; cursor < order.size(); ++cursor) {
+    const SegId node = order[cursor];
+    const uint64_t through = best[node] + weight[node];
+    for (SegId next : graph.successors(node)) {
+      if (through > best[next]) {
+        best[next] = through;
+        best_pred[next] = node;
+      }
+      if (--indegree[next] == 0) order.push_back(next);
+    }
+  }
+  TG_ASSERT(order.size() == n);
+
+  SegId tail = kNoSeg;
+  for (SegId i = 0; i < n; ++i) {
+    const uint64_t total = best[i] + weight[i];
+    if (tail == kNoSeg || total > profile.span) {
+      profile.span = total;
+      tail = i;
+    }
+  }
+  for (SegId cur = tail; cur != kNoSeg; cur = best_pred[cur]) {
+    if (weight[cur] > 0) profile.critical_path.push_back(cur);
+  }
+  std::reverse(profile.critical_path.begin(), profile.critical_path.end());
+
+  profile.average_parallelism =
+      profile.span > 0
+          ? static_cast<double>(profile.work) / static_cast<double>(profile.span)
+          : 0.0;
+  return profile;
+}
+
+std::string ParallelismProfile::to_string() const {
+  std::ostringstream out;
+  out << "work=" << work << "B span=" << span << "B parallelism=";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", average_parallelism);
+  out << buf << " (" << segments << " weighted segments, critical path "
+      << critical_path.size() << " segments)";
+  return out.str();
+}
+
+}  // namespace tg::core

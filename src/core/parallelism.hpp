@@ -1,0 +1,39 @@
+// Parallelism profile - a second analysis over the same segment graph.
+//
+// The paper closes hoping Taskgrind grows "more analysis ... toward a more
+// general 'trial and error' parallel programming assistant". This pass
+// computes the classic work/span decomposition of the recorded execution:
+//
+//   work  = total weight of all segments,
+//   span  = heaviest happens-before path through the graph,
+//   average parallelism = work / span,
+//
+// with each segment weighted by its recorded memory traffic (the quantity
+// the tool already measures on every instrumented access). It also reports
+// the segments on the critical path, so a programmer can see *which* task
+// region limits scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/segment_graph.hpp"
+
+namespace tg::core {
+
+struct ParallelismProfile {
+  uint64_t work = 0;  // sum of segment weights (bytes of recorded traffic)
+  uint64_t span = 0;  // weight of the heaviest path
+  double average_parallelism = 0;  // work / span (1.0 = fully serial)
+  size_t segments = 0;             // task segments with any weight
+  std::vector<SegId> critical_path;  // heaviest path, in execution order
+
+  std::string to_string() const;
+};
+
+/// Computes the profile over a finalized graph. Weights are
+/// bytes-read + bytes-written per segment; synthetic nodes weigh zero.
+ParallelismProfile profile_parallelism(const SegmentGraph& graph);
+
+}  // namespace tg::core

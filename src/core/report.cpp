@@ -1,0 +1,67 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace tg::core {
+
+namespace {
+
+void append_endpoint(std::ostringstream& out, const RaceEndpoint& e) {
+  out << e.file << ":" << e.line;
+}
+
+}  // namespace
+
+std::string RaceReport::to_string() const {
+  std::ostringstream out;
+  out << "Segments ";
+  append_endpoint(out, first);
+  out << " and ";
+  append_endpoint(out, second);
+  out << " were declared independent while accessing the same memory"
+      << " address\n";
+  out << (hi - lo) << " bytes from 0x" << std::hex << lo << std::dec;
+  if (alloc != nullptr) {
+    out << " allocated in block 0x" << std::hex << alloc->addr << std::dec
+        << " of size " << alloc->size;
+    if (alloc->freed) out << " (freed)";
+    out << "\n";
+    for (const auto& frame : alloc->trace) {
+      out << "   from " << frame.file << ":" << frame.line << " ("
+          << frame.fn_name << ")\n";
+    }
+  } else {
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string RaceReport::summary() const {
+  std::ostringstream out;
+  out << "race ";
+  append_endpoint(out, first);
+  out << (first.is_write ? " W" : " R");
+  out << " <-> ";
+  append_endpoint(out, second);
+  out << (second.is_write ? " W" : " R");
+  out << " @0x" << std::hex << lo << "+" << std::dec << (hi - lo);
+  return out.str();
+}
+
+std::string report_dedup_key(const RaceReport& report) {
+  std::ostringstream out;
+  const bool swap = std::string(report.first.file) > report.second.file ||
+                    (std::string(report.first.file) == report.second.file &&
+                     report.first.line > report.second.line);
+  const RaceEndpoint& a = swap ? report.second : report.first;
+  const RaceEndpoint& b = swap ? report.first : report.second;
+  out << a.file << ":" << a.line << "|" << b.file << ":" << b.line;
+  if (report.alloc != nullptr) {
+    out << "|blk" << report.alloc->addr;
+  } else {
+    out << "|addr" << report.lo;
+  }
+  return out.str();
+}
+
+}  // namespace tg::core

@@ -1,0 +1,52 @@
+// Determinacy-race reports (paper §V-C, Listing 6).
+//
+// A report names the two segments, the conflicting byte range, the source
+// locations of the accesses (from debug info), and - when the range lies in
+// a tracked heap block - the allocation site with its captured stack trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vex/ir.hpp"
+#include "vex/thread.hpp"
+
+namespace tg::core {
+
+/// Heap-allocation provenance captured by the overloaded allocator.
+struct AllocInfo {
+  vex::GuestAddr addr = 0;
+  uint64_t size = 0;
+  bool freed = false;  // free() was called (and turned into a no-op)
+  vex::StackTrace trace;
+};
+
+struct RaceEndpoint {
+  uint64_t task_id = UINT64_MAX;
+  uint32_t segment_id = 0;
+  int tid = -1;
+  const char* file = "?";
+  uint32_t line = 0;
+  bool is_write = false;
+};
+
+struct RaceReport {
+  vex::GuestAddr lo = 0;  // conflicting byte range [lo, hi)
+  vex::GuestAddr hi = 0;
+  RaceEndpoint first;
+  RaceEndpoint second;
+  const AllocInfo* alloc = nullptr;  // null when not a tracked heap block
+
+  /// Listing 6-style rendering.
+  std::string to_string() const;
+
+  /// One-line form for tables and logs.
+  std::string summary() const;
+};
+
+/// Deduplication key: reports about the same pair of source locations on
+/// the same block are one finding, the way real tools dedupe by stack.
+std::string report_dedup_key(const RaceReport& report);
+
+}  // namespace tg::core

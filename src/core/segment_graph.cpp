@@ -1,0 +1,141 @@
+#include "core/segment_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/accounting.hpp"
+#include "support/assert.hpp"
+
+namespace tg::core {
+
+SegmentGraph::~SegmentGraph() {
+  MemAccountant::instance().add(MemCategory::kSegments, -accounted_bytes_);
+}
+
+Segment& SegmentGraph::new_segment(SegKind kind) {
+  TG_ASSERT(!finalized_);
+  auto segment = std::make_unique<Segment>();
+  segment->id = static_cast<SegId>(segments_.size());
+  segment->kind = kind;
+  segments_.push_back(std::move(segment));
+  adjacency_.emplace_back();
+  MemAccountant::instance().add(MemCategory::kSegments, 256);
+  accounted_bytes_ += 256;
+  return *segments_.back();
+}
+
+void SegmentGraph::add_edge(SegId from, SegId to) {
+  TG_ASSERT(!finalized_);
+  TG_ASSERT(from < segments_.size() && to < segments_.size());
+  if (from == to) return;
+  auto& out = adjacency_[from];
+  if (!out.empty() && out.back() == to) return;  // cheap duplicate filter
+  out.push_back(to);
+  ++edge_count_;
+  MemAccountant::instance().add(MemCategory::kSegments, 8);
+  accounted_bytes_ += 8;
+}
+
+void SegmentGraph::set_region_window(uint64_t region_id, uint64_t fork_seq,
+                                     uint64_t join_seq) {
+  if (region_windows_.size() <= region_id) {
+    region_windows_.resize(region_id + 1);
+  }
+  region_windows_[region_id] = RegionWindow{fork_seq, join_seq};
+}
+
+void SegmentGraph::finalize() {
+  TG_ASSERT(!finalized_);
+  finalized_ = true;
+  const size_t n = segments_.size();
+  topo_order_.reserve(n);
+  topo_pos_.assign(n, 0);
+
+  // Kahn's algorithm; the construction produces a DAG (edges always point
+  // from earlier to later program events), asserted here.
+  std::vector<uint32_t> indegree(n, 0);
+  for (const auto& out : adjacency_) {
+    for (SegId to : out) indegree[to]++;
+  }
+  std::vector<SegId> frontier;
+  for (SegId i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+  while (!frontier.empty()) {
+    const SegId node = frontier.back();
+    frontier.pop_back();
+    topo_pos_[node] = static_cast<uint32_t>(topo_order_.size());
+    topo_order_.push_back(node);
+    for (SegId to : adjacency_[node]) {
+      if (--indegree[to] == 0) frontier.push_back(to);
+    }
+  }
+  TG_ASSERT_MSG(topo_order_.size() == n, "segment graph has a cycle");
+
+  // Ancestor bitsets in topological order: anc(v) = union of anc(u)+{u}
+  // over in-edges u->v. We iterate nodes in topo order and push bits
+  // forward along out-edges.
+  words_ = (n + 63) / 64;
+  ancestors_.assign(n * words_, 0);
+  const int64_t bytes = static_cast<int64_t>(n * words_ * 8);
+  MemAccountant::instance().add(MemCategory::kSegments, bytes);
+  accounted_bytes_ += bytes;
+
+  for (SegId u : topo_order_) {
+    const uint64_t* src = &ancestors_[u * words_];
+    for (SegId v : adjacency_[u]) {
+      uint64_t* dst = &ancestors_[v * words_];
+      for (size_t w = 0; w < words_; ++w) dst[w] |= src[w];
+      dst[u / 64] |= 1ull << (u % 64);
+    }
+  }
+}
+
+bool SegmentGraph::reachable(SegId a, SegId b) const {
+  TG_ASSERT(finalized_);
+  if (a == b) return false;
+  return (ancestors_[b * words_ + a / 64] >> (a % 64)) & 1;
+}
+
+bool SegmentGraph::region_ordered(const Segment& a, const Segment& b) const {
+  if (a.region_id == b.region_id) return false;
+  if (a.region_id >= region_windows_.size() ||
+      b.region_id >= region_windows_.size()) {
+    return false;
+  }
+  const RegionWindow& ra = region_windows_[a.region_id];
+  const RegionWindow& rb = region_windows_[b.region_id];
+  return ra.join_seq <= rb.fork_seq || rb.join_seq <= ra.fork_seq;
+}
+
+std::string SegmentGraph::to_dot() const {
+  std::ostringstream out;
+  out << "digraph segments {\n";
+  for (const auto& segment : segments_) {
+    out << "  s" << segment->id << " [label=\"";
+    switch (segment->kind) {
+      case SegKind::kTask:
+        out << "t" << segment->task_id << "." << segment->seq_in_task;
+        break;
+      case SegKind::kBarrier:
+        out << "barrier";
+        break;
+      case SegKind::kFork:
+        out << "fork";
+        break;
+      case SegKind::kJoin:
+        out << "join";
+        break;
+    }
+    out << "\"];\n";
+  }
+  for (SegId from = 0; from < adjacency_.size(); ++from) {
+    for (SegId to : adjacency_[from]) {
+      out << "  s" << from << " -> s" << to << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tg::core

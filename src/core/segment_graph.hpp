@@ -1,0 +1,122 @@
+// The segment graph (paper §II-A, Fig. 1).
+//
+// Nodes are segments: maximal instruction sequences of one task between two
+// synchronization boundaries, plus synthetic synchronization nodes (barrier
+// epochs, region fork/join). An edge means happens-before. Reachability is
+// answered from ancestor bitsets over a topological order, with the Eq. 1
+// parallel-region fast path checked first.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/interval_set.hpp"
+#include "vex/thread.hpp"
+
+namespace tg::core {
+
+using SegId = uint32_t;
+inline constexpr SegId kNoSeg = UINT32_MAX;
+
+enum class SegKind : uint8_t {
+  kTask,     // code of a task between sync boundaries
+  kBarrier,  // synthetic: one barrier epoch of a region
+  kFork,     // synthetic: parallel-region fork
+  kJoin,     // synthetic: parallel-region join
+};
+
+struct Segment {
+  SegId id = kNoSeg;
+  SegKind kind = SegKind::kTask;
+  uint64_t task_id = UINT64_MAX;
+  uint32_t seq_in_task = 0;  // ordinal of this segment within its task
+  int tid = -1;              // worker thread it executed on
+  uint64_t region_id = UINT64_MAX;
+  vex::SrcLoc first_access_loc;
+
+  IntervalSet reads;
+  IntervalSet writes;
+
+  // Suppression inputs (paper §IV-C/D).
+  vex::GuestAddr sp_at_start = 0;    // stack pointer when the segment began
+  vex::GuestAddr stack_base = 0;     // thread stack top (highest address)
+  vex::GuestAddr stack_limit = 0;    // thread stack floor (lowest address)
+  vex::GuestAddr tcb = 0;
+  vex::Dtv dtv_at_end;
+  bool dtv_changed_during = false;   // dtv gen moved while segment ran
+  std::vector<uint64_t> mutexes;     // task mutexes (mutexinoutset)
+
+  bool has_accesses() const { return !reads.empty() || !writes.empty(); }
+};
+
+class SegmentGraph {
+ public:
+  SegmentGraph() = default;
+  ~SegmentGraph();
+  SegmentGraph(const SegmentGraph&) = delete;
+  SegmentGraph& operator=(const SegmentGraph&) = delete;
+
+  Segment& new_segment(SegKind kind = SegKind::kTask);
+  Segment& segment(SegId id) { return *segments_[id]; }
+  const Segment& segment(SegId id) const { return *segments_[id]; }
+  size_t size() const { return segments_.size(); }
+
+  /// Adds the happens-before edge from -> to. Self edges are ignored,
+  /// duplicates are tolerated.
+  void add_edge(SegId from, SegId to);
+
+  /// Region interval on the encountering task's timeline, for the Eq. 1
+  /// fast path: regions whose [fork_seq, join_seq] windows are disjoint are
+  /// totally ordered, hence all their segments are.
+  void set_region_window(uint64_t region_id, uint64_t fork_seq,
+                         uint64_t join_seq);
+
+  /// Freezes the graph: topological order + ancestor bitsets. Must be
+  /// called once, before reachable(); add_edge afterwards is an error.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Is there a path a ->* b (strictly, a != b)?
+  bool reachable(SegId a, SegId b) const;
+
+  /// Unordered = no path either way.
+  bool ordered(SegId a, SegId b) const {
+    return reachable(a, b) || reachable(b, a);
+  }
+
+  /// Eq. 1: true when the two segments are in different, sequentially
+  /// ordered parallel regions (answer known without touching bitsets).
+  bool region_ordered(const Segment& a, const Segment& b) const;
+
+  size_t edge_count() const { return edge_count_; }
+  const std::vector<SegId>& successors(SegId id) const {
+    return adjacency_[id];
+  }
+
+  /// Dot rendering for debugging / docs.
+  std::string to_dot() const;
+
+ private:
+  struct RegionWindow {
+    uint64_t fork_seq = 0;
+    uint64_t join_seq = UINT64_MAX;
+  };
+
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<std::vector<SegId>> adjacency_;
+  size_t edge_count_ = 0;
+  bool finalized_ = false;
+
+  // Reachability structures (valid after finalize()).
+  std::vector<SegId> topo_order_;
+  std::vector<uint32_t> topo_pos_;
+  std::vector<uint64_t> ancestors_;  // n x words bit matrix
+  size_t words_ = 0;
+
+  std::vector<RegionWindow> region_windows_;  // indexed by region id
+  int64_t accounted_bytes_ = 0;
+};
+
+}  // namespace tg::core

@@ -1,0 +1,322 @@
+#include "core/taskgrind.hpp"
+
+#include "runtime/task.hpp"
+#include "runtime/worker.hpp"
+#include "support/assert.hpp"
+
+namespace tg::core {
+
+using vex::GuestAddr;
+using vex::Value;
+
+TaskgrindTool::TaskgrindTool(TaskgrindOptions options)
+    : options_(std::move(options)),
+      builder_(SegmentGraphBuilder::Policy{options_.undeferred_parallel}) {}
+
+void TaskgrindTool::attach(vex::Vm& vm) {
+  vm_ = &vm;
+  builder_.set_vm(&vm);
+}
+
+vex::InstrumentationSet TaskgrindTool::instrumentation_for(
+    const vex::Function& fn) {
+  auto matches = [&](const std::vector<std::string>& prefixes) {
+    for (const std::string& prefix : prefixes) {
+      if (fn.name.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  // The instrument-list, when present, wins: only listed symbols are
+  // observed. Otherwise everything except the ignore-list is instrumented -
+  // the heavyweight-DBI premise (even libc, even "closed-source" code).
+  if (!options_.instrument_list.empty()) {
+    return matches(options_.instrument_list)
+               ? vex::InstrumentationSet::accesses()
+               : vex::InstrumentationSet::none();
+  }
+  if (matches(options_.ignore_list)) return vex::InstrumentationSet::none();
+  return vex::InstrumentationSet::accesses();
+}
+
+GuestAddr TaskgrindTool::remap_stack(GuestAddr addr) {
+  if (!options_.stack_incarnations || addr < vex::GuestLayout::kStackArea ||
+      addr >= vex::GuestLayout::kVirtualStackBase) {
+    return addr;
+  }
+  vex::Vm::FrameLoc loc;
+  if (!vm_->locate_stack_frame(addr, loc)) return addr;
+  // Each activation gets a fresh virtual window: reused frame memory never
+  // aliases across incarnations, exactly like the no-op'd free() makes
+  // heap blocks unique. Frames are < 16 MiB by construction.
+  return vex::GuestLayout::kVirtualStackBase + (loc.incarnation << 24) +
+         (addr - loc.base);
+}
+
+void TaskgrindTool::on_load(vex::ThreadCtx& thread, GuestAddr addr,
+                            uint32_t size, vex::SrcLoc loc) {
+  if (ignoring_tids_.count(thread.tid)) return;
+  ++access_events_;
+  builder_.record_access(thread.tid, remap_stack(addr), size,
+                         /*is_write=*/false, loc);
+}
+
+void TaskgrindTool::on_store(vex::ThreadCtx& thread, GuestAddr addr,
+                             uint32_t size, vex::SrcLoc loc) {
+  if (ignoring_tids_.count(thread.tid)) return;
+  ++access_events_;
+  builder_.record_access(thread.tid, remap_stack(addr), size,
+                         /*is_write=*/true, loc);
+}
+
+void TaskgrindTool::on_client_request(vex::ThreadCtx& thread, uint64_t code,
+                                      std::span<const Value> args) {
+  switch (static_cast<vex::ClientReq>(code)) {
+    case vex::ClientReq::kTgTasksDeferrable:
+      // Paper §V-B: the client asserts its tasks are semantically
+      // deferrable even when the runtime serialized them.
+      builder_.set_undeferred_parallel(true);
+      return;
+    case vex::ClientReq::kTgIgnoreBegin:
+      ignoring_tids_.insert(thread.tid);
+      return;
+    case vex::ClientReq::kTgIgnoreEnd:
+      ignoring_tids_.erase(thread.tid);
+      return;
+    case vex::ClientReq::kUserNote:
+      return;
+    default:
+      decode(code, args);
+  }
+}
+
+std::optional<vex::HostFn> TaskgrindTool::replace_function(
+    std::string_view symbol) {
+  if (!options_.replace_allocator) return std::nullopt;
+
+  if (symbol == "malloc") {
+    return vex::HostFn([this](vex::HostCtx& ctx, std::span<const Value> a) {
+      const uint64_t size = static_cast<uint64_t>(a[0].i);
+      const GuestAddr addr = ctx.vm.sys_alloc().allocate(size);
+      allocs_.record(addr, size, ctx.vm.capture_stack(ctx.thread));
+      return Value::from_u(addr);
+    });
+  }
+  if (symbol == "calloc") {
+    return vex::HostFn([this](vex::HostCtx& ctx, std::span<const Value> a) {
+      const uint64_t size =
+          static_cast<uint64_t>(a[0].i) * static_cast<uint64_t>(a[1].i);
+      const GuestAddr addr = ctx.vm.sys_alloc().allocate(size);
+      // Tool-side zeroing: replacement code is not instrumented, exactly
+      // like Valgrind's replaced allocators.
+      for (uint64_t i = 0; i < size; ++i) ctx.store_raw(addr + i, 1, 0);
+      allocs_.record(addr, size, ctx.vm.capture_stack(ctx.thread));
+      return Value::from_u(addr);
+    });
+  }
+  if (symbol == "realloc") {
+    return vex::HostFn([this](vex::HostCtx& ctx, std::span<const Value> a) {
+      const GuestAddr old_addr = a[0].u;
+      const uint64_t new_size = static_cast<uint64_t>(a[1].i);
+      const GuestAddr addr = ctx.vm.sys_alloc().allocate(new_size);
+      if (old_addr != 0) {
+        const uint64_t old_size =
+            ctx.vm.sys_alloc().live_block_size(old_addr);
+        const uint64_t copy = old_size < new_size ? old_size : new_size;
+        for (uint64_t i = 0; i < copy; ++i) {
+          ctx.store_raw(addr + i, 1, ctx.load_raw(old_addr + i, 1));
+        }
+        allocs_.mark_freed(old_addr);  // old block kept live: no recycling
+      }
+      allocs_.record(addr, new_size, ctx.vm.capture_stack(ctx.thread));
+      return Value::from_u(addr);
+    });
+  }
+  if (symbol == "free") {
+    // §IV-B: deallocation becomes a no-op so two allocations never alias.
+    return vex::HostFn([this](vex::HostCtx&, std::span<const Value> a) {
+      if (a[0].u != 0) allocs_.mark_freed(a[0].u);
+      return Value{};
+    });
+  }
+  return std::nullopt;
+}
+
+// --- the OMPT adapter (events -> client requests -> decode) ----------------
+
+void TaskgrindTool::forward(Req code, std::initializer_list<uint64_t> args) {
+  // Only scalars cross this boundary, mirroring Valgrind client requests.
+  std::vector<Value> packed;
+  packed.reserve(args.size());
+  for (uint64_t arg : args) packed.push_back(Value::from_u(arg));
+  decode(static_cast<uint64_t>(code), packed);
+}
+
+void TaskgrindTool::decode(uint64_t code, std::span<const Value> args) {
+  auto u = [&](size_t i) { return args[i].u; };
+  auto i32 = [&](size_t i) { return static_cast<int>(args[i].i); };
+  switch (static_cast<Req>(code)) {
+    case Req::kTaskCreate: {
+      vex::SrcLoc loc{static_cast<uint32_t>(u(4)),
+                      static_cast<uint32_t>(u(5))};
+      builder_.task_create(u(0), u(1), static_cast<uint32_t>(u(2)), u(3),
+                           loc);
+      return;
+    }
+    case Req::kDependence:
+      builder_.dependence(u(0), u(1));
+      return;
+    case Req::kScheduleBegin:
+      builder_.schedule_begin(u(0), i32(1));
+      return;
+    case Req::kScheduleEnd:
+      builder_.schedule_end(u(0), i32(1));
+      return;
+    case Req::kTaskComplete:
+      builder_.task_complete(u(0));
+      return;
+    case Req::kSyncBegin:
+      builder_.sync_begin(static_cast<rt::SyncKind>(u(0)), u(1), i32(2));
+      return;
+    case Req::kSyncEnd:
+      builder_.sync_end(static_cast<rt::SyncKind>(u(0)), u(1), i32(2));
+      return;
+    case Req::kTaskgroupBegin:
+      builder_.taskgroup_begin(u(0));
+      return;
+    case Req::kBarrierArrive:
+      builder_.barrier_arrive(u(0), u(1), u(2));
+      return;
+    case Req::kBarrierRelease:
+      builder_.barrier_release(u(0), u(1));
+      return;
+    case Req::kParallelBegin:
+      builder_.parallel_begin(u(0), u(1), i32(2));
+      return;
+    case Req::kParallelEnd:
+      builder_.parallel_end(u(0), u(1));
+      return;
+    case Req::kMutexAcquired:
+      builder_.mutex_acquired(u(0), u(1), u(2) != 0);
+      return;
+    case Req::kFulfill:
+      builder_.task_fulfill(u(0), i32(1));
+      return;
+    case Req::kFebRelease:
+      builder_.feb_release(u(0), u(1), u(2) != 0);
+      return;
+    case Req::kFebAcquire:
+      builder_.feb_acquire(u(0), u(1), u(2) != 0);
+      return;
+  }
+  // Unknown requests are ignored, like Valgrind does.
+}
+
+namespace {
+uint64_t region_of(const rt::Task& task) {
+  return task.region != nullptr ? task.region->id : kNoId;
+}
+}  // namespace
+
+void TaskgrindTool::on_task_create(rt::Task& task, rt::Task* parent) {
+  forward(Req::kTaskCreate,
+          {task.id, parent != nullptr ? parent->id : kNoId,
+           static_cast<uint64_t>(task.flags), region_of(task),
+           task.create_loc.file, task.create_loc.line});
+}
+
+void TaskgrindTool::on_dependence(rt::Task& pred, rt::Task& succ,
+                                  GuestAddr) {
+  forward(Req::kDependence, {pred.id, succ.id});
+}
+
+void TaskgrindTool::on_task_schedule_begin(rt::Task& task,
+                                           rt::Worker& worker) {
+  forward(Req::kScheduleBegin,
+          {task.id, static_cast<uint64_t>(worker.index())});
+}
+
+void TaskgrindTool::on_task_schedule_end(rt::Task& task,
+                                         rt::Worker& worker) {
+  forward(Req::kScheduleEnd,
+          {task.id, static_cast<uint64_t>(worker.index())});
+}
+
+void TaskgrindTool::on_task_complete(rt::Task& task) {
+  forward(Req::kTaskComplete, {task.id});
+}
+
+void TaskgrindTool::on_sync_begin(rt::SyncKind kind, rt::Task& task,
+                                  rt::Worker& worker) {
+  forward(Req::kSyncBegin, {static_cast<uint64_t>(kind), task.id,
+                            static_cast<uint64_t>(worker.index())});
+}
+
+void TaskgrindTool::on_sync_end(rt::SyncKind kind, rt::Task& task,
+                                rt::Worker& worker) {
+  forward(Req::kSyncEnd, {static_cast<uint64_t>(kind), task.id,
+                          static_cast<uint64_t>(worker.index())});
+}
+
+void TaskgrindTool::on_taskgroup_begin(rt::Task& task) {
+  forward(Req::kTaskgroupBegin, {task.id});
+}
+
+void TaskgrindTool::on_barrier_arrive(rt::Region& region, rt::Worker& worker,
+                                      uint64_t epoch) {
+  rt::Task* current = worker.current_task();
+  if (current == nullptr) return;
+  forward(Req::kBarrierArrive, {region.id, epoch, current->id});
+}
+
+void TaskgrindTool::on_barrier_release(rt::Region& region, uint64_t epoch) {
+  forward(Req::kBarrierRelease, {region.id, epoch});
+}
+
+void TaskgrindTool::on_parallel_begin(rt::Region& region, rt::Task& enc) {
+  forward(Req::kParallelBegin,
+          {region.id, enc.id, static_cast<uint64_t>(region.nthreads)});
+}
+
+void TaskgrindTool::on_parallel_end(rt::Region& region, rt::Task& enc) {
+  forward(Req::kParallelEnd, {region.id, enc.id});
+}
+
+void TaskgrindTool::on_mutex_acquired(rt::Task& task, uint64_t mutex,
+                                      bool task_level) {
+  forward(Req::kMutexAcquired,
+          {task.id, mutex, task_level ? 1ull : 0ull});
+}
+
+void TaskgrindTool::on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) {
+  forward(Req::kFulfill,
+          {task.id, static_cast<uint64_t>(fulfiller.index())});
+}
+
+void TaskgrindTool::on_feb_release(rt::Task& task, GuestAddr addr,
+                                   bool full_channel) {
+  forward(Req::kFebRelease, {task.id, addr, full_channel ? 1ull : 0ull});
+}
+
+void TaskgrindTool::on_feb_acquire(rt::Task& task, GuestAddr addr,
+                                   bool full_channel) {
+  forward(Req::kFebAcquire, {task.id, addr, full_channel ? 1ull : 0ull});
+}
+
+// --- analysis ----------------------------------------------------------------
+
+AnalysisResult TaskgrindTool::run_analysis() {
+  TG_ASSERT_MSG(vm_ != nullptr, "TaskgrindTool::attach was not called");
+  if (!finalized_) {
+    builder_.finalize();
+    finalized_ = true;
+  }
+  AnalysisOptions options;
+  options.suppress_stack = options_.suppress_stack;
+  options.suppress_tls = options_.suppress_tls;
+  options.respect_mutexes = options_.respect_mutexes;
+  options.threads = options_.analysis_threads;
+  options.max_reports = options_.max_reports;
+  return analyze_races(builder_.graph(), vm_->program(), &allocs_, options);
+}
+
+}  // namespace tg::core

@@ -1,0 +1,147 @@
+// Taskgrind: the paper's tool (Fig. 2), assembled.
+//
+//   guest program -> minivex VM -> [TaskgrindTool plugin]
+//        |                              ^
+//        v                              | client requests
+//   minomp runtime --OMPT events--> [built-in OMPT adapter]
+//
+// The OMPT adapter receives runtime events and forwards them to the plugin
+// over the client-request channel as plain scalars - exactly the layering
+// the paper describes (the OMPT tool is "injected into the instrumented
+// program" and talks to the Valgrind plugin via client requests). The
+// plugin feeds a SegmentGraphBuilder, records every instrumented access
+// into per-segment interval trees, overloads the allocator through function
+// replacement (free becomes a no-op; allocation sites keep stack traces),
+// and runs Algorithm 1 post-mortem.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/alloc_registry.hpp"
+#include "core/analysis.hpp"
+#include "core/graph_builder.hpp"
+#include "runtime/events.hpp"
+#include "vex/tool.hpp"
+#include "vex/vm.hpp"
+
+namespace tg::core {
+
+struct TaskgrindOptions {
+  /// Symbol prefixes whose code is not instrumented (paper §IV-A). The
+  /// default covers the parallel runtime (our __kmp_* equivalent).
+  std::vector<std::string> ignore_list = {"__mnp"};
+  /// When non-empty, ONLY symbols matching these prefixes are instrumented.
+  std::vector<std::string> instrument_list;
+
+  bool replace_allocator = true;  // §IV-B: free -> no-op + provenance
+  bool suppress_stack = true;     // §IV-D
+  bool suppress_tls = true;       // §IV-C
+  /// Rename stack addresses per frame incarnation before recording - the
+  /// no-op-free idea applied to the stack. Fixes the paper's remaining
+  /// §IV-D gap (conflicts on *reused ancestor frames seen through
+  /// pointers*, their DRB174 / multi-threaded TMB false positives) without
+  /// hiding true races on live frames. Set false to reproduce the paper's
+  /// frame-registration behaviour exactly.
+  bool stack_incarnations = true;
+  bool respect_mutexes = true;    // mutexinoutset exclusion
+  /// Treat undeferred tasks as logically parallel from the start (the
+  /// kTgTasksDeferrable client request also enables this at run time).
+  bool undeferred_parallel = false;
+  int analysis_threads = 1;  // >1 = the paper's future-work parallel pass
+  size_t max_reports = 200'000;
+};
+
+class TaskgrindTool : public vex::Tool, public rt::RtEvents {
+ public:
+  explicit TaskgrindTool(TaskgrindOptions options = {});
+
+  /// Must be called after the Vm exists and before execution starts.
+  void attach(vex::Vm& vm);
+
+  // --- vex::Tool ----------------------------------------------------------
+  std::string_view name() const override { return "taskgrind"; }
+  vex::InstrumentationSet instrumentation_for(
+      const vex::Function& fn) override;
+  void on_load(vex::ThreadCtx& thread, vex::GuestAddr addr, uint32_t size,
+               vex::SrcLoc loc) override;
+  void on_store(vex::ThreadCtx& thread, vex::GuestAddr addr, uint32_t size,
+                vex::SrcLoc loc) override;
+  void on_client_request(vex::ThreadCtx& thread, uint64_t code,
+                         std::span<const vex::Value> args) override;
+  std::optional<vex::HostFn> replace_function(
+      std::string_view symbol) override;
+
+  // --- rt::RtEvents (the built-in OMPT adapter) -----------------------------
+  void on_task_create(rt::Task& task, rt::Task* parent) override;
+  void on_dependence(rt::Task& pred, rt::Task& succ,
+                     vex::GuestAddr addr) override;
+  void on_task_schedule_begin(rt::Task& task, rt::Worker& worker) override;
+  void on_task_schedule_end(rt::Task& task, rt::Worker& worker) override;
+  void on_task_complete(rt::Task& task) override;
+  void on_sync_begin(rt::SyncKind kind, rt::Task& task,
+                     rt::Worker& worker) override;
+  void on_sync_end(rt::SyncKind kind, rt::Task& task,
+                   rt::Worker& worker) override;
+  void on_taskgroup_begin(rt::Task& task) override;
+  void on_barrier_arrive(rt::Region& region, rt::Worker& worker,
+                         uint64_t epoch) override;
+  void on_barrier_release(rt::Region& region, uint64_t epoch) override;
+  void on_parallel_begin(rt::Region& region, rt::Task& enc) override;
+  void on_parallel_end(rt::Region& region, rt::Task& enc) override;
+  void on_mutex_acquired(rt::Task& task, uint64_t mutex,
+                         bool task_level) override;
+  void on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) override;
+  void on_feb_release(rt::Task& task, vex::GuestAddr addr,
+                      bool full_channel) override;
+  void on_feb_acquire(rt::Task& task, vex::GuestAddr addr,
+                      bool full_channel) override;
+
+  // --- analysis --------------------------------------------------------------
+  /// Finalizes the segment graph (idempotent) and runs Algorithm 1.
+  AnalysisResult run_analysis();
+
+  SegmentGraphBuilder& builder() { return builder_; }
+  const AllocRegistry& allocs() const { return allocs_; }
+  uint64_t access_events() const { return access_events_; }
+  const TaskgrindOptions& options() const { return options_; }
+
+ private:
+  /// Client-request codes used by the OMPT adapter (beyond vex::ClientReq).
+  enum class Req : uint64_t {
+    kTaskCreate = 1000,
+    kDependence,
+    kScheduleBegin,
+    kScheduleEnd,
+    kTaskComplete,
+    kSyncBegin,
+    kSyncEnd,
+    kTaskgroupBegin,
+    kBarrierArrive,
+    kBarrierRelease,
+    kParallelBegin,
+    kParallelEnd,
+    kMutexAcquired,
+    kFulfill,
+    kFebRelease,
+    kFebAcquire,
+  };
+
+  /// The adapter side: packs scalars and crosses the client-request
+  /// boundary (nothing but integers crosses, as in real Valgrind).
+  void forward(Req code, std::initializer_list<uint64_t> args);
+  void decode(uint64_t code, std::span<const vex::Value> args);
+
+  TaskgrindOptions options_;
+  vex::Vm* vm_ = nullptr;
+  SegmentGraphBuilder builder_;
+  AllocRegistry allocs_;
+  std::set<int> ignoring_tids_;  // kTgIgnoreBegin/End regions
+  vex::GuestAddr remap_stack(vex::GuestAddr addr);
+  uint64_t access_events_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace tg::core

@@ -1,0 +1,397 @@
+#include "lulesh/lulesh.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "runtime/frontend.hpp"
+#include "support/assert.hpp"
+#include "vex/builder.hpp"
+
+namespace tg::lulesh {
+
+using rt::Omp;
+using rt::TaskArgs;
+using rt::TaskOpts;
+using vex::FnBuilder;
+using vex::GuestAddr;
+using vex::ProgramBuilder;
+using vex::Slot;
+using vex::V;
+
+namespace {
+
+constexpr double kDt = 0.01;
+constexpr double kGamma = 0.3;    // EOS: p = gamma * e / v
+constexpr double kCorner = 0.125;  // force share per adjacent element
+constexpr double kDvol = 0.01;     // volume response to velocity
+
+struct Mesh {
+  int s;
+  int s1;
+  int64_t nelem;
+  int64_t nnode;
+  int64_t echunk;  // elements per element-loop task
+  int64_t nchunk;  // nodes per node-loop task
+
+  explicit Mesh(const LuleshParams& p)
+      : s(p.s),
+        s1(p.s + 1),
+        nelem(static_cast<int64_t>(p.s) * p.s * p.s),
+        nnode(static_cast<int64_t>(s1) * s1 * s1),
+        echunk((nelem + p.tel - 1) / p.tel),
+        nchunk((nnode + p.tnl - 1) / p.tnl) {}
+
+  int64_t center_element() const {
+    const int c = s / 2;
+    return c + static_cast<int64_t>(s) * (c + static_cast<int64_t>(s) * c);
+  }
+};
+
+/// Guest pointer-table layout: one global slot per array.
+struct Arrays {
+  GuestAddr en, vol, pr, m, f, u, x;
+};
+
+}  // namespace
+
+double reference_origin_energy(const LuleshParams& params) {
+  const Mesh mesh(params);
+  std::vector<double> en(mesh.nelem, 0.0), vol(mesh.nelem, 1.0),
+      pr(mesh.nelem, 0.0);
+  std::vector<double> m(mesh.nnode, 1.0), f(mesh.nnode, 0.0),
+      u(mesh.nnode, 0.0), x(mesh.nnode, 0.0);
+  en[static_cast<size_t>(mesh.center_element())] = 1000.0;
+
+  const int s = mesh.s;
+  const int s1 = mesh.s1;
+  for (int iter = 0; iter < params.iters; ++iter) {
+    for (int64_t e = 0; e < mesh.nelem; ++e) {
+      pr[e] = kGamma * en[e] / vol[e];
+    }
+    for (int64_t nd = 0; nd < mesh.nnode; ++nd) {
+      const int nz = static_cast<int>(nd / (s1 * s1));
+      const int rem = static_cast<int>(nd % (s1 * s1));
+      const int ny = rem / s1;
+      const int nx = rem % s1;
+      double acc = 0.0;
+      for (int dz = 0; dz <= 1; ++dz) {
+        for (int dy = 0; dy <= 1; ++dy) {
+          for (int dx = 0; dx <= 1; ++dx) {
+            const int ex = nx - dx, ey = ny - dy, ez = nz - dz;
+            if (ex >= 0 && ex < s && ey >= 0 && ey < s && ez >= 0 &&
+                ez < s) {
+              acc = acc + pr[ex + static_cast<int64_t>(s) * (ey + static_cast<int64_t>(s) * ez)];
+            }
+          }
+        }
+      }
+      f[nd] = acc * kCorner;
+    }
+    for (int64_t nd = 0; nd < mesh.nnode; ++nd) {
+      u[nd] = u[nd] + kDt * (f[nd] / m[nd]);
+      x[nd] = x[nd] + kDt * u[nd];
+    }
+    for (int64_t e = 0; e < mesh.nelem; ++e) {
+      const int ez = static_cast<int>(e / (s * s));
+      const int rem = static_cast<int>(e % (s * s));
+      const int ey = rem / s;
+      const int ex = rem % s;
+      double sumu = 0.0;
+      for (int dz = 0; dz <= 1; ++dz) {
+        for (int dy = 0; dy <= 1; ++dy) {
+          for (int dx = 0; dx <= 1; ++dx) {
+            const int64_t nd =
+                (ex + dx) +
+                static_cast<int64_t>(s1) * ((ey + dy) +
+                                            static_cast<int64_t>(s1) * (ez + dz));
+            sumu = sumu + u[nd];
+          }
+        }
+      }
+      const double dvol = kDvol * kDt * sumu;
+      vol[e] = vol[e] + dvol;
+      en[e] = en[e] - pr[e] * dvol;
+    }
+  }
+  return en[static_cast<size_t>(mesh.center_element())];
+}
+
+namespace {
+
+/// Emits "for each index in [args lo, hi): body(index)" inside a task fn.
+void block_loop(FnBuilder& tf, TaskArgs& args,
+                const std::function<void(V)>& body) {
+  tf.for_(args.get(0), args.get(1), [&](Slot i) { body(i.get()); });
+}
+
+}  // namespace
+
+rt::GuestProgram make_lulesh(const LuleshParams& params) {
+  const Mesh mesh(params);
+
+  rt::GuestProgram program;
+  program.name = std::string("lulesh") + (params.racy ? "-racy" : "") +
+                 "-s" + std::to_string(params.s);
+  program.category = "lulesh";
+  program.has_race = params.racy;
+  program.features = {"parallel", "single", "task", "taskwait", "dep"};
+  program.description =
+      "mini-LULESH proxy, -s " + std::to_string(params.s) + " -tel " +
+      std::to_string(params.tel) + " -tnl " + std::to_string(params.tnl) +
+      " -i " + std::to_string(params.iters) +
+      (params.racy ? " (one dependence removed)" : "");
+
+  program.build = [params, mesh]() {
+    ProgramBuilder pb("lulesh");
+    rt::install_runtime_abi(pb);
+    Omp omp(pb);
+
+    Arrays a;
+    a.en = pb.global("p_en", 8);
+    a.vol = pb.global("p_vol", 8);
+    a.pr = pb.global("p_pr", 8);
+    a.m = pb.global("p_m", 8);
+    a.f = pb.global("p_f", 8);
+    a.u = pb.global("p_u", 8);
+    a.x = pb.global("p_x", 8);
+
+    const int s = mesh.s;
+    const int s1 = mesh.s1;
+    auto ptr = [&](FnBuilder& fn, GuestAddr slot) {
+      return fn.ld(fn.c(static_cast<int64_t>(slot)));
+    };
+    auto at = [&](FnBuilder& fn, GuestAddr slot, V index) {
+      return ptr(fn, slot) + index * fn.c(8);
+    };
+
+    // ---- phase bodies (one outlined function per phase) -----------------
+    FnBuilder& f = pb.fn("main", "lulesh.cc");
+
+    // Phase A: p = gamma * e / v over an element block.
+    const auto phase_a = [&](FnBuilder& tf, TaskArgs& args) {
+      tf.line(100);
+      block_loop(tf, args, [&](V e) {
+        V press = tf.fmul(tf.cf(kGamma),
+                          tf.fdiv(tf.ld(at(tf, a.en, e)),
+                                  tf.ld(at(tf, a.vol, e))));
+        tf.st(at(tf, a.pr, e), press);
+      });
+    };
+
+    // Phase B: gather corner pressures into nodal force.
+    const auto phase_b = [&](FnBuilder& tf, TaskArgs& args) {
+      tf.line(200);
+      block_loop(tf, args, [&](V nd) {
+        Slot acc = tf.slot();
+        acc.set(tf.cf(0.0));
+        V nz = nd / tf.c(s1 * s1);
+        V rem = nd % tf.c(s1 * s1);
+        V ny = rem / tf.c(s1);
+        V nx = rem % tf.c(s1);
+        for (int dz = 0; dz <= 1; ++dz) {
+          for (int dy = 0; dy <= 1; ++dy) {
+            for (int dx = 0; dx <= 1; ++dx) {
+              V ex = nx - tf.c(dx);
+              V ey = ny - tf.c(dy);
+              V ez = nz - tf.c(dz);
+              V ok = (ex >= tf.c(0)) && (ex < tf.c(s)) && (ey >= tf.c(0)) &&
+                     (ey < tf.c(s)) && (ez >= tf.c(0)) && (ez < tf.c(s));
+              tf.if_(ok, [&] {
+                V el = ex + tf.c(s) * (ey + tf.c(s) * ez);
+                acc.set(tf.fadd(acc.get(), tf.ld(at(tf, a.pr, el))));
+              });
+            }
+          }
+        }
+        tf.line(230);
+        tf.st(at(tf, a.f, nd), tf.fmul(acc.get(), tf.cf(kCorner)));
+      });
+    };
+
+    // Phase C: velocity and position updates.
+    const auto phase_c = [&](FnBuilder& tf, TaskArgs& args) {
+      tf.line(300);
+      block_loop(tf, args, [&](V nd) {
+        V unew = tf.fadd(tf.ld(at(tf, a.u, nd)),
+                         tf.fmul(tf.cf(kDt),
+                                 tf.fdiv(tf.ld(at(tf, a.f, nd)),
+                                         tf.ld(at(tf, a.m, nd)))));
+        tf.st(at(tf, a.u, nd), unew);
+        tf.line(305);
+        V xnew = tf.fadd(tf.ld(at(tf, a.x, nd)), tf.fmul(tf.cf(kDt), unew));
+        tf.st(at(tf, a.x, nd), xnew);
+      });
+    };
+
+    // Phase D: volume and energy updates from corner velocities.
+    const auto phase_d = [&](FnBuilder& tf, TaskArgs& args) {
+      tf.line(400);
+      block_loop(tf, args, [&](V e) {
+        V ez = e / tf.c(s * s);
+        V rem = e % tf.c(s * s);
+        V ey = rem / tf.c(s);
+        V ex = rem % tf.c(s);
+        Slot sumu = tf.slot();
+        sumu.set(tf.cf(0.0));
+        for (int dz = 0; dz <= 1; ++dz) {
+          for (int dy = 0; dy <= 1; ++dy) {
+            for (int dx = 0; dx <= 1; ++dx) {
+              V nd = (ex + tf.c(dx)) +
+                     tf.c(s1) * ((ey + tf.c(dy)) + tf.c(s1) * (ez + tf.c(dz)));
+              sumu.set(tf.fadd(sumu.get(), tf.ld(at(tf, a.u, nd))));
+            }
+          }
+        }
+        tf.line(430);
+        V dvol = tf.fmul(tf.cf(kDvol * kDt), sumu.get());
+        V vnew = tf.fadd(tf.ld(at(tf, a.vol, e)), dvol);
+        tf.st(at(tf, a.vol, e), vnew);
+        V enew = tf.fsub(tf.ld(at(tf, a.en, e)),
+                         tf.fmul(tf.ld(at(tf, a.pr, e)), dvol));
+        tf.st(at(tf, a.en, e), enew);
+      });
+    };
+
+    // ---- main -------------------------------------------------------------
+    f.line(10);
+    auto alloc_into = [&](GuestAddr slot, int64_t count) {
+      V p = f.malloc_(f.c(count * 8));
+      f.st(f.c(static_cast<int64_t>(slot)), p);
+    };
+    alloc_into(a.en, mesh.nelem);
+    alloc_into(a.vol, mesh.nelem);
+    alloc_into(a.pr, mesh.nelem);
+    alloc_into(a.m, mesh.nnode);
+    alloc_into(a.f, mesh.nnode);
+    alloc_into(a.u, mesh.nnode);
+    alloc_into(a.x, mesh.nnode);
+
+    f.line(20);
+    f.for_(0, mesh.nelem, [&](Slot e) {
+      f.st(at(f, a.vol, e.get()), f.cf(1.0));
+      f.st(at(f, a.en, e.get()), f.cf(0.0));
+      f.st(at(f, a.pr, e.get()), f.cf(0.0));
+    });
+    f.for_(0, mesh.nnode, [&](Slot nd) {
+      f.st(at(f, a.m, nd.get()), f.cf(1.0));
+      f.st(at(f, a.f, nd.get()), f.cf(0.0));
+      f.st(at(f, a.u, nd.get()), f.cf(0.0));
+      f.st(at(f, a.x, nd.get()), f.cf(0.0));
+    });
+    f.line(30);
+    f.st(at(f, a.en, f.c(mesh.center_element())), f.cf(1000.0));
+
+    if (params.annotate_deferrable) {
+      omp.annotate_tasks_deferrable(f);
+    }
+
+    const LuleshParams p = params;
+    const Mesh m2 = mesh;
+    Omp* op = &omp;
+    omp.parallel(f, {}, [&](FnBuilder& pf, TaskArgs&) {
+      op->single(pf, [&] {
+        pf.for_(0, p.iters, [&](Slot iter) {
+          (void)iter;
+          // Phase A: one task per element block.
+          pf.line(50);
+          pf.for_(0, p.tel, [&](Slot b) {
+            V lo = b.get() * pf.c(m2.echunk);
+            Slot hi = pf.slot();
+            hi.set(lo + pf.c(m2.echunk));
+            pf.if_(hi.get() > pf.c(m2.nelem),
+                   [&] { hi.set(m2.nelem); });
+            TaskOpts opts;
+            opts.deps = {rt::dep_in(at(pf, a.en, lo)),
+                         rt::dep_in(at(pf, a.vol, lo)),
+                         rt::dep_out(at(pf, a.pr, lo))};
+            op->task(pf, opts, {lo, hi.get()}, phase_a);
+          });
+
+          // Phase B: one task per node block; reads every pressure block.
+          pf.line(60);
+          pf.for_(0, p.tnl, [&](Slot b) {
+            V lo = b.get() * pf.c(m2.nchunk);
+            Slot hi = pf.slot();
+            hi.set(lo + pf.c(m2.nchunk));
+            pf.if_(hi.get() > pf.c(m2.nnode),
+                   [&] { hi.set(m2.nnode); });
+            TaskOpts opts;
+            for (int k = 0; k < p.tel; ++k) {
+              opts.deps.push_back(
+                  rt::dep_in(at(pf, a.pr, pf.c(k * m2.echunk))));
+            }
+            opts.deps.push_back(rt::dep_out(at(pf, a.f, lo)));
+            op->task(pf, opts, {lo, hi.get()}, phase_b);
+          });
+
+          // Phase C: one task per node block.
+          pf.line(70);
+          pf.for_(0, p.tnl, [&](Slot b) {
+            V lo = b.get() * pf.c(m2.nchunk);
+            Slot hi = pf.slot();
+            hi.set(lo + pf.c(m2.nchunk));
+            pf.if_(hi.get() > pf.c(m2.nnode),
+                   [&] { hi.set(m2.nnode); });
+            TaskOpts opts;
+            if (!p.racy) {
+              // The dependence the racy variant removes (paper §V-B).
+              opts.deps.push_back(rt::dep_in(at(pf, a.f, lo)));
+            }
+            opts.deps.push_back(rt::dep_out(at(pf, a.u, lo)));
+            opts.deps.push_back(rt::dep_out(at(pf, a.x, lo)));
+            op->task(pf, opts, {lo, hi.get()}, phase_c);
+          });
+
+          // Phase D: one task per element block; reads every velocity block.
+          pf.line(80);
+          pf.for_(0, p.tel, [&](Slot b) {
+            V lo = b.get() * pf.c(m2.echunk);
+            Slot hi = pf.slot();
+            hi.set(lo + pf.c(m2.echunk));
+            pf.if_(hi.get() > pf.c(m2.nelem),
+                   [&] { hi.set(m2.nelem); });
+            TaskOpts opts;
+            for (int k = 0; k < p.tnl; ++k) {
+              opts.deps.push_back(
+                  rt::dep_in(at(pf, a.u, pf.c(k * m2.nchunk))));
+            }
+            opts.deps.push_back(rt::dep_in(at(pf, a.pr, lo)));
+            opts.deps.push_back(rt::dep_inout(at(pf, a.en, lo)));
+            opts.deps.push_back(rt::dep_inout(at(pf, a.vol, lo)));
+            op->task(pf, opts, {lo, hi.get()}, phase_d);
+          });
+
+          if (p.progress) {
+            // Progress report, ordered after this iteration's energies.
+            pf.line(90);
+            TaskOpts opts;
+            for (int k = 0; k < p.tel; ++k) {
+              opts.deps.push_back(
+                  rt::dep_in(at(pf, a.en, pf.c(k * m2.echunk))));
+            }
+            op->task(pf, opts, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.line(91);
+                       tf.print_str("cycle energy=");
+                       tf.print_f64(
+                           tf.ld(at(tf, a.en, tf.c(m2.center_element()))));
+                       tf.print_str("\n");
+                     });
+          }
+        });
+        op->taskwait(pf);
+      });
+    });
+
+    f.line(95);
+    f.print_str("final origin energy=");
+    f.print_f64(f.ld(at(f, a.en, f.c(mesh.center_element()))));
+    f.print_str("\n");
+    f.ret(f.c(0));
+    return pb.take();
+  };
+  return program;
+}
+
+}  // namespace tg::lulesh

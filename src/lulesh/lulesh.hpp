@@ -1,0 +1,44 @@
+// mini-LULESH: the dependent-task proxy application of Table II / Fig. 4.
+//
+// A Sedov-blast-style explicit hydro step on an s^3 element / (s+1)^3 node
+// hexahedral mesh, decomposed the way the paper's LULESH task port is
+// parameterized:
+//   -s    mesh edge size (O(s^3) time and memory),
+//   -tel  tasks per element loop,
+//   -tnl  tasks per node loop,
+//   -i    iterations,
+//   -p    progress printing.
+//
+// Each iteration runs four phases as dependent sibling tasks:
+//   A  per-element EOS update           (in: e,v blocks    out: p block)
+//   B  per-node force gather            (in: all p blocks  out: f block)
+//   C  per-node velocity/position       (in: f block       out: u,x blocks)
+//   D  per-element volume/energy        (in: all x blocks  out: e,v blocks)
+//
+// The racy variant removes phase C's dependence on the force block - the
+// paper's "removing a task dependence to introduce data races
+// intentionally" - so C reads f while B is still accumulating it.
+#pragma once
+
+#include "runtime/guest_program.hpp"
+
+namespace tg::lulesh {
+
+struct LuleshParams {
+  int s = 16;
+  int tel = 4;
+  int tnl = 4;
+  int iters = 4;
+  bool progress = false;    // -p
+  bool racy = false;        // drop the B->C dependence
+  bool annotate_deferrable = true;  // paper §V-B client request
+};
+
+/// Builds the registry entry (category "lulesh"). has_race == params.racy.
+rt::GuestProgram make_lulesh(const LuleshParams& params);
+
+/// Expected final blast energy at the origin element, computed host-side
+/// with the same arithmetic (for verification tests).
+double reference_origin_energy(const LuleshParams& params);
+
+}  // namespace tg::lulesh

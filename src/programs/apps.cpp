@@ -1,0 +1,193 @@
+// Larger application-shaped workloads (category "app"): the kinds of
+// programs the paper's intro motivates porting to tasks - recursive
+// divide-and-conquer, a wavefront with dependences, and a producer/consumer
+// pipeline. Each has a correct and an intentionally broken variant.
+#include "programs/common.hpp"
+
+namespace tg::progs {
+
+namespace {
+
+int64_t sa(GuestAddr addr) { return static_cast<int64_t>(addr); }
+
+/// Recursive task-parallel mergesort over a guest array.
+void build_mergesort(Ctx& c, bool missing_sync) {
+  constexpr int kN = 64;
+  const GuestAddr data = c.pb.global("data", 8 * kN);
+  const GuestAddr scratch = c.pb.global("scratch", 8 * kN);
+
+  // sort(lo, hi): recursive; sorts data[lo, hi).
+  FnBuilder& sort = c.pb.fn("msort", "mergesort.c", 2);
+  {
+    sort.line(10);
+    V lo = sort.param(0);
+    V hi = sort.param(1);
+    Slot done = sort.slot();
+    done.set(0);
+    sort.if_(hi - lo <= sort.c(1), [&] { done.set(1); });
+    sort.if_(done.get() == sort.c(0), [&] {
+      V mid = lo + (hi - lo) / sort.c(2);
+      sort.line(14);
+      c.omp.task(sort, {}, {lo, mid}, [&](FnBuilder& tf, TaskArgs& a) {
+        tf.line(15);
+        tf.call("msort", {a.get(0), a.get(1)});
+      });
+      sort.line(17);
+      sort.call("msort", {mid, hi});
+      if (!missing_sync) c.omp.taskwait(sort);  // BUG when skipped
+      // Merge [lo,mid) and [mid,hi) through the scratch buffer.
+      sort.line(20);
+      Slot i = sort.slot();
+      Slot j = sort.slot();
+      Slot k = sort.slot();
+      i.set(lo);
+      j.set(mid);
+      k.set(lo);
+      auto at = [&](FnBuilder& fn, GuestAddr base, V index) {
+        return fn.c(sa(base)) + index * fn.c(8);
+      };
+      sort.while_(
+          [&] { return (i.get() < mid) && (j.get() < hi); },
+          [&] {
+            V a = sort.ld(at(sort, data, i.get()));
+            V b = sort.ld(at(sort, data, j.get()));
+            sort.if_(
+                a <= b,
+                [&] {
+                  sort.st(at(sort, scratch, k.get()), a);
+                  i.set(i.get() + sort.c(1));
+                },
+                [&] {
+                  sort.st(at(sort, scratch, k.get()), b);
+                  j.set(j.get() + sort.c(1));
+                });
+            k.set(k.get() + sort.c(1));
+          });
+      sort.while_([&] { return i.get() < mid; }, [&] {
+        sort.st(at(sort, scratch, k.get()), sort.ld(at(sort, data, i.get())));
+        i.set(i.get() + sort.c(1));
+        k.set(k.get() + sort.c(1));
+      });
+      sort.while_([&] { return j.get() < hi; }, [&] {
+        sort.st(at(sort, scratch, k.get()), sort.ld(at(sort, data, j.get())));
+        j.set(j.get() + sort.c(1));
+        k.set(k.get() + sort.c(1));
+      });
+      sort.for_(lo, hi, [&](Slot idx) {
+        sort.st(at(sort, data, idx.get()),
+                sort.ld(at(sort, scratch, idx.get())));
+      });
+    });
+    sort.ret();
+  }
+
+  FnBuilder& f = c.f();
+  f.line(40);
+  // Deterministic "random" fill: x_{n+1} = (x_n * 1103515245 + 12345) mod
+  // 2^31, then sort and verify.
+  Slot x = f.slot();
+  x.set(42);
+  f.for_(0, kN, [&](Slot i) {
+    x.set((x.get() * f.c(1103515245) + f.c(12345)) % f.c(2147483647));
+    f.st(f.c(sa(data)) + i.get() * f.c(8), x.get() % f.c(1000));
+  });
+  c.omp.annotate_tasks_deferrable(f);
+  c.omp.parallel(f, {}, [&](FnBuilder& pf, TaskArgs&) {
+    c.omp.single(pf, [&] {
+      pf.line(50);
+      pf.call("msort", {pf.c(0), pf.c(kN)});
+    });
+  });
+  // Verify sortedness: return the number of inversions (0 when correct).
+  Slot bad = f.slot();
+  bad.set(0);
+  f.for_(1, kN, [&](Slot i) {
+    V prev = f.ld(f.c(sa(data)) + (i.get() - f.c(1)) * f.c(8));
+    V cur = f.ld(f.c(sa(data)) + i.get() * f.c(8));
+    f.if_(prev > cur, [&] { bad.set(bad.get() + f.c(1)); });
+  });
+  f.ret(bad.get());
+}
+
+/// 2D wavefront (Smith-Waterman-like) over dependences: cell (i,j) depends
+/// on (i-1,j) and (i,j-1). The racy variant drops the row dependence.
+void build_wavefront(Ctx& c, bool racy) {
+  constexpr int kDim = 8;
+  const GuestAddr grid = c.pb.global("grid", 8 * kDim * kDim);
+  FnBuilder& f = c.f();
+  c.omp.annotate_tasks_deferrable(f);
+  auto cell_addr = [&](FnBuilder& fn, V i, V j) {
+    return fn.c(sa(grid)) + (i * fn.c(kDim) + j) * fn.c(8);
+  };
+  c.in_single([&](FnBuilder& pf) {
+    // Seed the borders.
+    pf.for_(0, kDim, [&](Slot k) {
+      pf.st(cell_addr(pf, k.get(), pf.c(0)), k.get());
+      pf.st(cell_addr(pf, pf.c(0), k.get()), k.get());
+    });
+    pf.for_(1, kDim, [&](Slot i) {
+      pf.for_(1, kDim, [&](Slot j) {
+        pf.line(30);
+        TaskOpts opts;
+        opts.deps.push_back(rt::dep_out(cell_addr(pf, i.get(), j.get())));
+        opts.deps.push_back(
+            rt::dep_in(cell_addr(pf, i.get(), j.get() - pf.c(1))));
+        if (!racy) {
+          opts.deps.push_back(
+              rt::dep_in(cell_addr(pf, i.get() - pf.c(1), j.get())));
+        }
+        c.omp.task(pf, opts, {i.get(), j.get()},
+                   [&](FnBuilder& tf, TaskArgs& a) {
+                     tf.line(35);
+                     V i2 = a.get(0);
+                     V j2 = a.get(1);
+                     V up = tf.ld(cell_addr(tf, i2 - tf.c(1), j2));
+                     V left = tf.ld(cell_addr(tf, i2, j2 - tf.c(1)));
+                     Slot best = tf.slot();
+                     best.set(up);
+                     tf.if_(left > up, [&] { best.set(left); });
+                     tf.st(cell_addr(tf, i2, j2), best.get() + tf.c(1));
+                   });
+      });
+    });
+    c.omp.taskwait(pf);
+  });
+  // The corner value is deterministic when the dependences are right.
+  f.ret(f.ld(cell_addr(f, f.c(kDim - 1), f.c(kDim - 1))));
+}
+
+}  // namespace
+
+std::vector<GuestProgram> app_programs() {
+  std::vector<GuestProgram> v;
+
+  v.push_back(make_program(
+      "app-mergesort", "app", false,
+      {"parallel", "single", "task", "taskwait"},
+      "recursive task-parallel mergesort (64 elements), properly synced",
+      [](Ctx& c) { build_mergesort(c, /*missing_sync=*/false); }));
+
+  v.push_back(make_program(
+      "app-mergesort-racy", "app", true,
+      {"parallel", "single", "task", "taskwait"},
+      "mergesort merging before the spawned half finished (missing "
+      "taskwait)",
+      [](Ctx& c) { build_mergesort(c, /*missing_sync=*/true); }));
+
+  v.push_back(make_program(
+      "app-wavefront", "app", false,
+      {"parallel", "single", "task", "taskwait", "dep"},
+      "8x8 dependence wavefront (each cell after its north and west "
+      "neighbours)",
+      [](Ctx& c) { build_wavefront(c, /*racy=*/false); }));
+
+  v.push_back(make_program(
+      "app-wavefront-racy", "app", true,
+      {"parallel", "single", "task", "taskwait", "dep"},
+      "wavefront with the north dependence dropped",
+      [](Ctx& c) { build_wavefront(c, /*racy=*/true); }));
+
+  return v;
+}
+
+}  // namespace tg::progs

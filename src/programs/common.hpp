@@ -1,0 +1,66 @@
+// Shared scaffolding for benchmark kernels.
+//
+// Every kernel builds a guest program through a Ctx; most use the
+// DataRaceBench shape  main { #pragma omp parallel { #pragma omp single {
+// ... } } }  via in_single().
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/frontend.hpp"
+#include "runtime/guest_program.hpp"
+#include "vex/builder.hpp"
+
+namespace tg::progs {
+
+using rt::GuestProgram;
+using rt::Omp;
+using rt::TaskArgs;
+using rt::TaskOpts;
+using vex::FnBuilder;
+using vex::GuestAddr;
+using vex::ProgramBuilder;
+using vex::Slot;
+using vex::V;
+
+struct Ctx {
+  ProgramBuilder pb;
+  Omp omp;
+  FnBuilder* main_fn;
+
+  Ctx(const std::string& name, const std::string& file)
+      : pb(name), omp(pb) {
+    rt::install_runtime_abi(pb);
+    main_fn = &pb.fn("main", file);
+  }
+
+  FnBuilder& f() { return *main_fn; }
+
+  /// The DRB scaffold: parallel (runtime-default team size) + single.
+  void in_single(const std::function<void(FnBuilder&)>& body) {
+    omp.parallel(f(), {}, [&](FnBuilder& pf, TaskArgs&) {
+      omp.single(pf, [&] { body(pf); });
+    });
+  }
+
+  vex::Program finish() {
+    if (!main_fn->terminated()) main_fn->ret(main_fn->c(0));
+    return pb.take();
+  }
+};
+
+/// Wraps a kernel body into a registry entry.
+GuestProgram make_program(std::string name, std::string category,
+                          bool has_race, std::vector<std::string> features,
+                          std::string description,
+                          std::function<void(Ctx&)> body);
+
+/// Registry sections (defined across drb.cpp / tmb.cpp / misc.cpp).
+std::vector<GuestProgram> drb_programs();
+std::vector<GuestProgram> tmb_programs();
+std::vector<GuestProgram> misc_programs();
+std::vector<GuestProgram> app_programs();
+
+}  // namespace tg::progs

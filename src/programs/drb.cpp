@@ -1,0 +1,781 @@
+// The DataRaceBench task subset of Table I, re-implemented in the guest
+// DSL. Each kernel reproduces the construct its DRB original exercises and
+// carries the ground-truth label from the paper's "Determinacy Race" column.
+//
+// Where a kernel's published tool outcome relies on libc-internal state
+// (print buffers, rand's seed), the kernel genuinely uses those libc calls:
+// heavyweight DBI sees them, compile-time instrumentation does not - see
+// EXPERIMENTS.md for the per-cell discussion.
+#include "programs/common.hpp"
+
+namespace tg::progs {
+
+namespace {
+
+int64_t sa(GuestAddr addr) { return static_cast<int64_t>(addr); }
+
+}  // namespace
+
+std::vector<GuestProgram> drb_programs() {
+  std::vector<GuestProgram> v;
+
+  v.push_back(make_program(
+      "DRB027-taskdependmissing-orig", "drb", true,
+      {"parallel", "single", "task", "taskwait"},
+      "two tasks write the same variable, no depend clauses",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("i", 8);
+        c.in_single([&](FnBuilder& pf) {
+          pf.line(61);
+          c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            tf.line(62);
+            tf.st(tf.c(sa(x)), tf.c(1));
+          });
+          pf.line(64);
+          c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            tf.line(65);
+            tf.st(tf.c(sa(x)), tf.c(2));
+          });
+          c.omp.taskwait(pf);
+        });
+        c.f().print_str("i=");
+        c.f().print_i64(c.f().ld(c.f().c(sa(x))));
+        c.f().print_str("\n");
+      }));
+
+  v.push_back(make_program(
+      "DRB072-taskdep1-orig", "drb", false,
+      {"parallel", "single", "task", "taskwait", "dep"},
+      "out->out dependence chain serializes the writers",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("i", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(20);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.line(21);
+                       tf.sleep_ms(3000);
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.line(25);
+                       tf.st(tf.c(sa(x)), tf.c(2));
+                     });
+          c.omp.taskwait(pf);
+          pf.line(28);
+          pf.print_i64(pf.ld(pf.c(sa(x))));
+          pf.print_str("\n");
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB078-taskdep2-orig", "drb", false,
+      {"parallel", "single", "task", "taskwait", "dep"},
+      "writer then two parallel readers that print - clean per deps; "
+      "the in-task print_i64 calls share the libc stream buffer",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("i", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(22);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.line(23);
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          for (int reader = 0; reader < 2; ++reader) {
+            pf.line(26 + 3 * reader);
+            c.omp.task(pf, {.deps = {rt::dep_in(xa)}}, {},
+                       [&](FnBuilder& tf, TaskArgs&) {
+                         tf.line(27);
+                         tf.print_i64(tf.ld(tf.c(sa(x))));
+                       });
+          }
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB079-taskdep3-orig", "drb", false,
+      {"parallel", "single", "task", "taskwait", "dep",
+       "dep-array-section"},
+      "array-section dependence; parallel readers print their sections",
+      [](Ctx& c) {
+        const GuestAddr arr = c.pb.global("a", 8 * 4);
+        c.in_single([&](FnBuilder& pf) {
+          V aa = pf.c(sa(arr));
+          pf.line(22);
+          c.omp.task(pf, {.deps = {rt::dep_out(aa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.line(23);
+                       tf.for_(0, 4, [&](Slot i) {
+                         tf.st(tf.c(sa(arr)) + i.get() * tf.c(8), i.get());
+                       });
+                     });
+          for (int reader = 0; reader < 2; ++reader) {
+            pf.line(27 + 4 * reader);
+            c.omp.task(pf, {.deps = {rt::dep_in(aa)}}, {pf.c(reader * 2)},
+                       [&](FnBuilder& tf, TaskArgs& ta) {
+                         tf.line(28);
+                         V base = tf.c(sa(arr)) + ta.get(0) * tf.c(8);
+                         tf.print_i64(tf.ld(base));
+                         tf.print_i64(tf.ld(base + tf.c(8)));
+                       });
+          }
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB095-doall2-taskloop-orig", "drb", true,
+      {"parallel", "single", "taskloop"},
+      "taskloop over the outer loop; the inner index is shared",
+      [](Ctx& c) {
+        const GuestAddr a = c.pb.global("a", 8 * 16);
+        const GuestAddr j_shared = c.pb.global("j", 8);
+        c.in_single([&](FnBuilder& pf) {
+          pf.line(58);
+          c.omp.taskloop(pf, {.grainsize = 1}, {}, pf.c(0), pf.c(4),
+                         [&](FnBuilder& tf, TaskArgs&, Slot i) {
+                           // j is shared across chunks - the race.
+                           tf.line(60);
+                           V ja = tf.c(sa(j_shared));
+                           tf.st(ja, tf.c(0));
+                           tf.while_(
+                               [&] { return tf.ld(ja) < tf.c(4); },
+                               [&] {
+                                 V j = tf.ld(ja);
+                                 tf.st(tf.c(sa(a)) +
+                                           (i.get() * tf.c(4) + j) * tf.c(8),
+                                       i.get() + j);
+                                 tf.st(ja, j + tf.c(1));
+                               });
+                         });
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB096-doall2-taskloop-collapse-orig", "drb", false,
+      {"parallel", "single", "taskloop"},
+      "collapsed taskloop, private indices - clean; chunks seed their "
+      "values through rand(), whose libc-internal seed is shared",
+      [](Ctx& c) {
+        const GuestAddr a = c.pb.global("a", 8 * 16);
+        c.in_single([&](FnBuilder& pf) {
+          pf.line(57);
+          c.omp.taskloop(pf, {.grainsize = 4}, {}, pf.c(0), pf.c(16),
+                         [&](FnBuilder& tf, TaskArgs&, Slot k) {
+                           tf.line(59);
+                           V noise = tf.rand_() % tf.c(3);
+                           tf.st(tf.c(sa(a)) + k.get() * tf.c(8),
+                                 k.get() + noise);
+                         });
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB100-task-reference-orig", "drb", false,
+      {"parallel", "single", "task", "taskwait", "cpp-capture"},
+      "object captured by reference; readers log it (shared libc stream)",
+      [](Ctx& c) {
+        c.in_single([&](FnBuilder& pf) {
+          pf.line(30);
+          V obj = pf.malloc_(pf.c(16));
+          pf.st(obj, pf.c(7));
+          pf.st(obj + pf.c(8), pf.c(9));
+          for (int reader = 0; reader < 2; ++reader) {
+            pf.line(33 + 3 * reader);
+            c.omp.task(pf, {}, {obj}, [&](FnBuilder& tf, TaskArgs& ta) {
+              tf.line(34);
+              tf.print_i64(tf.ld(ta.get(0)));
+              tf.print_i64(tf.ld(ta.get(0) + tf.c(8)));
+            });
+          }
+          c.omp.taskwait(pf);
+          pf.free_(obj);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB101-task-value-orig", "drb", false,
+      {"parallel", "single", "task", "taskwait"},
+      "value captures; each task mutates its own local copy and logs it",
+      [](Ctx& c) {
+        c.in_single([&](FnBuilder& pf) {
+          Slot i = pf.slot();
+          i.set(42);
+          for (int t = 0; t < 2; ++t) {
+            pf.line(31 + 4 * t);
+            c.omp.task(pf, {}, {i.get()}, [&](FnBuilder& tf, TaskArgs& ta) {
+              tf.line(32);
+              Slot copy = tf.slot();
+              copy.set(ta.get(0));
+              copy.set(copy.get() + tf.c(1));  // private mutation
+              tf.print_i64(copy.get());
+            });
+          }
+          i.set(0);  // does not affect the captured values
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB106-taskwaitmissing-orig", "drb", true,
+      {"parallel", "single", "task", "taskwait"},
+      "parent reads the array before waiting for the writer tasks",
+      [](Ctx& c) {
+        const GuestAddr a = c.pb.global("a", 8 * 8);
+        const GuestAddr sum = c.pb.global("sum", 8);
+        c.in_single([&](FnBuilder& pf) {
+          pf.for_(0, 8, [&](Slot i) {
+            pf.line(25);
+            c.omp.task(pf, {}, {i.get()}, [&](FnBuilder& tf, TaskArgs& ta) {
+              tf.line(26);
+              tf.st(tf.c(sa(a)) + ta.get(0) * tf.c(8), ta.get(0) + tf.c(1));
+            });
+          });
+          // BUG: no taskwait here.
+          pf.line(30);
+          Slot acc = pf.slot();
+          acc.set(0);
+          pf.for_(0, 8, [&](Slot i) {
+            acc.set(acc.get() + pf.ld(pf.c(sa(a)) + i.get() * pf.c(8)));
+          });
+          pf.st(pf.c(sa(sum)), acc.get());
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB107-taskgroup-orig", "drb", false,
+      {"parallel", "single", "task", "taskgroup"},
+      "taskgroup orders the child against the parent's later read",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("result", 8);
+        c.in_single([&](FnBuilder& pf) {
+          pf.line(25);
+          c.omp.taskgroup(pf, [&] {
+            c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+              tf.line(27);
+              tf.st(tf.c(sa(x)), tf.c(1));
+            });
+          });
+          pf.line(30);
+          pf.print_i64(pf.ld(pf.c(sa(x))));
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB122-taskundeferred-orig", "drb", false,
+      {"parallel", "single", "task", "undeferred"},
+      "if(0) task completes before the parent continues",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("var", 8);
+        c.in_single([&](FnBuilder& pf) {
+          pf.line(23);
+          TaskOpts opts;
+          opts.if0 = true;
+          for (int t = 0; t < 4; ++t) {
+            c.omp.task(pf, opts, {}, [&](FnBuilder& tf, TaskArgs&) {
+              tf.line(25);
+              V xa = tf.c(sa(x));
+              tf.st(xa, tf.ld(xa) + tf.c(1));
+            });
+          }
+          pf.line(28);
+          pf.print_i64(pf.ld(pf.c(sa(x))));
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB123-taskundeferred-orig", "drb", true,
+      {"parallel", "single", "task", "undeferred"},
+      "a deferred writer races with an undeferred writer",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("var", 8);
+        c.in_single([&](FnBuilder& pf) {
+          pf.line(23);
+          c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            tf.line(24);
+            tf.sleep_ms(100);
+            V xa = tf.c(sa(x));
+            tf.st(xa, tf.ld(xa) + tf.c(1));
+          });
+          TaskOpts opts;
+          opts.if0 = true;
+          pf.line(27);
+          c.omp.task(pf, opts, {}, [&](FnBuilder& tf, TaskArgs&) {
+            tf.line(28);
+            V xa = tf.c(sa(x));
+            tf.st(xa, tf.ld(xa) + tf.c(1));
+          });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  auto threadprivate_kernel = [](Ctx& c, bool with_reads) {
+    c.in_single([&](FnBuilder& pf) {
+      for (int t = 0; t < 8; ++t) {
+        pf.line(30 + t);
+        c.omp.task(pf, {}, {pf.c(t)}, [&](FnBuilder& tf, TaskArgs& ta) {
+          tf.line(40);
+          V tp = c.omp.threadprivate(tf, "counter", 8);
+          if (with_reads) {
+            tf.st(tp, tf.ld(tp) + ta.get(0));
+          } else {
+            tf.st(tp, ta.get(0));
+          }
+        });
+      }
+      c.omp.taskwait(pf);
+    });
+  };
+
+  v.push_back(make_program(
+      "DRB127-tasking-threadprivate1-orig", "drb", false,
+      {"parallel", "single", "task", "taskwait", "threadprivate"},
+      "tasks write the executing thread's threadprivate copy",
+      [threadprivate_kernel](Ctx& c) { threadprivate_kernel(c, false); }));
+
+  v.push_back(make_program(
+      "DRB128-tasking-threadprivate2-orig", "drb", false,
+      {"parallel", "single", "task", "taskwait", "threadprivate"},
+      "tasks update (read-modify-write) their threadprivate copy",
+      [threadprivate_kernel](Ctx& c) { threadprivate_kernel(c, true); }));
+
+  v.push_back(make_program(
+      "DRB129-mergeable-taskwait-orig", "drb", true,
+      {"task", "mergeable"},
+      "mergeable task in a team of one; parent reads without taskwait "
+      "(a conforming implementation may defer the task)",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        FnBuilder& f = c.f();
+        f.line(15);
+        f.st(f.c(sa(x)), f.c(2));
+        TaskOpts opts;
+        opts.mergeable = true;
+        f.line(17);
+        c.omp.task(f, opts, {}, [&](FnBuilder& tf, TaskArgs&) {
+          tf.line(18);
+          V xa = tf.c(sa(x));
+          tf.st(xa, tf.ld(xa) + tf.c(1));
+        });
+        f.line(20);
+        f.print_i64(f.ld(f.c(sa(x))));  // BUG: no taskwait
+      }));
+
+  v.push_back(make_program(
+      "DRB130-mergeable-taskwait-orig", "drb", false,
+      {"task", "taskwait", "mergeable"},
+      "mergeable task properly waited on before the read",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        FnBuilder& f = c.f();
+        f.line(15);
+        f.st(f.c(sa(x)), f.c(2));
+        TaskOpts opts;
+        opts.mergeable = true;
+        f.line(17);
+        c.omp.task(f, opts, {}, [&](FnBuilder& tf, TaskArgs&) {
+          tf.line(18);
+          V xa = tf.c(sa(x));
+          tf.st(xa, tf.ld(xa) + tf.c(1));
+        });
+        c.omp.taskwait(f);
+        f.line(21);
+        f.print_i64(f.ld(f.c(sa(x))));
+      }));
+
+  v.push_back(make_program(
+      "DRB131-taskdep4-orig-omp45", "drb", true,
+      {"parallel", "single", "task", "taskwait", "dep", "dep-omp45"},
+      "the consumer task reads x without declaring the dependence",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        const GuestAddr y = c.pb.global("y", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          V ya = pf.c(sa(y));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.line(25);
+                       tf.sleep_ms(100);
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          pf.line(28);
+          c.omp.task(pf, {.deps = {rt::dep_out(ya)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.line(29);  // BUG: reads x with no in:x dep
+                       tf.st(tf.c(sa(y)), tf.ld(tf.c(sa(x))));
+                     });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB132-taskdep4-orig-omp45", "drb", false,
+      {"parallel", "single", "task", "taskwait", "dep", "dep-omp45"},
+      "fixed DRB131: the consumer declares in:x",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        const GuestAddr y = c.pb.global("y", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          V ya = pf.c(sa(y));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.line(25);
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          pf.line(28);
+          c.omp.task(pf, {.deps = {rt::dep_in(xa), rt::dep_out(ya)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.line(29);
+                       tf.st(tf.c(sa(y)), tf.ld(tf.c(sa(x))));
+                     });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB133-taskdep5-orig-omp45", "drb", false,
+      {"parallel", "single", "task", "taskwait", "dep", "dep-omp45"},
+      "out -> inout -> in chain",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          pf.line(27);
+          c.omp.task(pf, {.deps = {rt::dep_inout(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       V a = tf.c(sa(x));
+                       tf.st(a, tf.ld(a) * tf.c(10));
+                     });
+          pf.line(30);
+          c.omp.task(pf, {.deps = {rt::dep_in(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) { tf.ld(tf.c(sa(x))); });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB134-taskdep5-orig-omp45", "drb", true,
+      {"parallel", "single", "task", "taskwait", "dep", "dep-omp45"},
+      "DRB133 with the middle dependence dropped",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.sleep_ms(100);
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          pf.line(27);  // BUG: no dependence at all
+          c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            V a = tf.c(sa(x));
+            tf.st(a, tf.ld(a) * tf.c(10));
+          });
+          pf.line(30);
+          c.omp.task(pf, {.deps = {rt::dep_in(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) { tf.ld(tf.c(sa(x))); });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB135-taskdep-mutexinoutset-orig", "drb", false,
+      {"parallel", "single", "task", "taskwait", "dep", "mutexinoutset"},
+      "two mutexinoutset accumulators exclude each other",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          for (int t = 0; t < 2; ++t) {
+            pf.line(27 + 3 * t);
+            c.omp.task(pf, {.deps = {rt::dep_mutexinoutset(xa)}}, {},
+                       [&](FnBuilder& tf, TaskArgs&) {
+                         V a = tf.c(sa(x));
+                         tf.st(a, tf.ld(a) + tf.c(5));
+                       });
+          }
+          pf.line(34);
+          c.omp.task(pf, {.deps = {rt::dep_in(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) { tf.ld(tf.c(sa(x))); });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB136-taskdep-mutexinoutset-orig", "drb", true,
+      {"parallel", "single", "task", "taskwait", "dep", "mutexinoutset"},
+      "DRB135 but the parent reads x before the taskwait",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        const GuestAddr out = c.pb.global("out", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          for (int t = 0; t < 2; ++t) {
+            pf.line(27 + 3 * t);
+            c.omp.task(pf, {.deps = {rt::dep_mutexinoutset(xa)}}, {},
+                       [&](FnBuilder& tf, TaskArgs&) {
+                         V a = tf.c(sa(x));
+                         tf.st(a, tf.ld(a) + tf.c(5));
+                       });
+          }
+          pf.line(33);  // BUG: read before taskwait
+          pf.st(pf.c(sa(out)), pf.ld(pf.c(sa(x))));
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB165-taskdep4-orig-omp50", "drb", true,
+      {"parallel", "single", "task", "taskwait", "dep", "dep-omp50"},
+      "two in-dependent readers both write the same output",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        const GuestAddr y = c.pb.global("y", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          for (int t = 0; t < 2; ++t) {
+            pf.line(27 + 3 * t);
+            c.omp.task(pf, {.deps = {rt::dep_in(xa)}}, {pf.c(t)},
+                       [&](FnBuilder& tf, TaskArgs& ta) {
+                         // BUG: both write y.
+                         tf.st(tf.c(sa(y)),
+                               tf.ld(tf.c(sa(x))) + ta.get(0));
+                       });
+          }
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB166-taskdep4-orig-omp50", "drb", false,
+      {"parallel", "single", "task", "taskwait", "dep", "dep-omp50"},
+      "fixed DRB165: readers write distinct outputs",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        const GuestAddr y = c.pb.global("y", 8 * 2);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          for (int t = 0; t < 2; ++t) {
+            pf.line(27 + 3 * t);
+            c.omp.task(pf, {.deps = {rt::dep_in(xa)}}, {pf.c(t)},
+                       [&](FnBuilder& tf, TaskArgs& ta) {
+                         tf.st(tf.c(sa(y)) + ta.get(0) * tf.c(8),
+                               tf.ld(tf.c(sa(x))) + ta.get(0));
+                       });
+          }
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB167-taskdep4-orig-omp50", "drb", false,
+      {"parallel", "single", "task", "taskwait", "dep", "dep-omp50"},
+      "inoutset members write distinct variables",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        const GuestAddr y = c.pb.global("y", 8 * 2);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          for (int t = 0; t < 2; ++t) {
+            pf.line(27 + 3 * t);
+            c.omp.task(pf, {.deps = {rt::dep_inoutset(xa)}}, {pf.c(t)},
+                       [&](FnBuilder& tf, TaskArgs& ta) {
+                         tf.st(tf.c(sa(y)) + ta.get(0) * tf.c(8),
+                               tf.ld(tf.c(sa(x))));
+                       });
+          }
+          pf.line(33);
+          c.omp.task(pf, {.deps = {rt::dep_in(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) { tf.ld(tf.c(sa(x))); });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB168-taskdep5-orig-omp50", "drb", true,
+      {"parallel", "single", "task", "taskwait", "dep", "dep-omp50"},
+      "inoutset members (mutually unordered) both write x",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V xa = pf.c(sa(x));
+          pf.line(24);
+          c.omp.task(pf, {.deps = {rt::dep_out(xa)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       tf.st(tf.c(sa(x)), tf.c(1));
+                     });
+          for (int t = 0; t < 2; ++t) {
+            pf.line(27 + 3 * t);
+            // BUG: inoutset peers are unordered yet both update x.
+            c.omp.task(pf, {.deps = {rt::dep_inoutset(xa)}}, {},
+                       [&](FnBuilder& tf, TaskArgs&) {
+                         V a = tf.c(sa(x));
+                         tf.st(a, tf.ld(a) + tf.c(5));
+                       });
+          }
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB173-non-sibling-taskdep", "drb", true,
+      {"parallel", "single", "task", "taskwait", "dep",
+       "non-sibling-dep"},
+      "dependences between NON-sibling tasks do not synchronize",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        const GuestAddr y = c.pb.global("y", 8);
+        c.in_single([&](FnBuilder& pf) {
+          pf.line(22);
+          c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            V xa = tf.c(sa(x));
+            tf.line(24);
+            c.omp.task(tf, {.deps = {rt::dep_out(xa)}}, {},
+                       [&](FnBuilder& tf2, TaskArgs&) {
+                         tf2.line(25);
+                         tf2.st(tf2.c(sa(x)), tf2.c(1));
+                       });
+            c.omp.taskwait(tf);
+          });
+          pf.line(29);
+          c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            V xa = tf.c(sa(x));
+            tf.line(31);
+            // BUG: in:x matches the out:x of a NON-sibling - no ordering.
+            c.omp.task(tf, {.deps = {rt::dep_in(xa)}}, {},
+                       [&](FnBuilder& tf2, TaskArgs&) {
+                         tf2.line(32);
+                         tf2.st(tf2.c(sa(y)), tf2.ld(tf2.c(sa(x))));
+                       });
+            c.omp.taskwait(tf);
+          });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB174-non-sibling-taskdep", "drb", false,
+      {"parallel", "single", "task", "taskwait", "dep",
+       "non-sibling-dep"},
+      "fixed DRB173: the outer siblings are ordered by their own deps",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        const GuestAddr y = c.pb.global("y", 8);
+        const GuestAddr gate = c.pb.global("gate", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V ga = pf.c(sa(gate));
+          pf.line(22);
+          c.omp.task(pf, {.deps = {rt::dep_out(ga)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       V xa = tf.c(sa(x));
+                       tf.line(24);
+                       c.omp.task(tf, {.deps = {rt::dep_out(xa)}}, {},
+                                  [&](FnBuilder& tf2, TaskArgs&) {
+                                    tf2.line(25);
+                                    tf2.st(tf2.c(sa(x)), tf2.c(1));
+                                  });
+                       c.omp.taskwait(tf);
+                     });
+          pf.line(29);
+          c.omp.task(pf, {.deps = {rt::dep_in(ga)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       V xa = tf.c(sa(x));
+                       tf.line(31);
+                       c.omp.task(tf, {.deps = {rt::dep_in(xa)}}, {},
+                                  [&](FnBuilder& tf2, TaskArgs&) {
+                                    tf2.line(32);
+                                    tf2.st(tf2.c(sa(y)),
+                                           tf2.ld(tf2.c(sa(x))));
+                                  });
+                       c.omp.taskwait(tf);
+                     });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "DRB175-non-sibling-taskdep2", "drb", true,
+      {"parallel", "single", "task", "taskwait", "dep",
+       "non-sibling-dep"},
+      "DRB174 without the inner taskwait: the grandchild escapes",
+      [](Ctx& c) {
+        const GuestAddr x = c.pb.global("x", 8);
+        const GuestAddr y = c.pb.global("y", 8);
+        const GuestAddr gate = c.pb.global("gate", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V ga = pf.c(sa(gate));
+          pf.line(22);
+          c.omp.task(pf, {.deps = {rt::dep_out(ga)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       V xa = tf.c(sa(x));
+                       tf.line(24);
+                       c.omp.task(tf, {.deps = {rt::dep_out(xa)}}, {},
+                                  [&](FnBuilder& tf2, TaskArgs&) {
+                                    tf2.line(25);
+                                    tf2.sleep_ms(100);
+                                    tf2.st(tf2.c(sa(x)), tf2.c(1));
+                                  });
+                       // BUG: no taskwait - the child may outlive us.
+                     });
+          pf.line(29);
+          c.omp.task(pf, {.deps = {rt::dep_in(ga)}}, {},
+                     [&](FnBuilder& tf, TaskArgs&) {
+                       V xa = tf.c(sa(x));
+                       tf.line(31);
+                       c.omp.task(tf, {.deps = {rt::dep_in(xa)}}, {},
+                                  [&](FnBuilder& tf2, TaskArgs&) {
+                                    tf2.line(32);
+                                    tf2.st(tf2.c(sa(y)),
+                                           tf2.ld(tf2.c(sa(x))));
+                                  });
+                       c.omp.taskwait(tf);
+                     });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  return v;
+}
+
+}  // namespace tg::progs

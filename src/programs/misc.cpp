@@ -1,0 +1,137 @@
+// Demo programs: the paper's Listing 4, a Cilk fibonacci, and small
+// showcases used by the examples and the CLI.
+#include "programs/common.hpp"
+
+namespace tg::progs {
+
+namespace {
+
+int64_t sa(GuestAddr addr) { return static_cast<int64_t>(addr); }
+
+}  // namespace
+
+std::vector<GuestProgram> misc_programs() {
+  std::vector<GuestProgram> v;
+
+  // The paper's Listing 4 (task.c), verbatim shape and line numbers.
+  v.push_back(make_program(
+      "listing4-task", "demo", true,
+      {"parallel", "single", "task"},
+      "paper Listing 4: two tasks concurrently write x[0]",
+      [](Ctx& c) {
+        FnBuilder& f = c.f();
+        f.line(3);
+        V x = f.malloc_(f.c(2 * 4));
+        c.omp.parallel(f, {x}, [&](FnBuilder& pf, TaskArgs& a) {
+          c.omp.single(pf, [&] {
+            pf.line(8);
+            c.omp.task(pf, {}, {a.get(0)},
+                       [&](FnBuilder& tf, TaskArgs& ta) {
+                         tf.line(9);
+                         tf.st(ta.get(0), tf.c(42), 4);
+                       });
+            pf.line(11);
+            c.omp.task(pf, {}, {a.get(0)},
+                       [&](FnBuilder& tf, TaskArgs& ta) {
+                         tf.line(12);
+                         tf.st(ta.get(0), tf.c(43), 4);
+                       });
+          });
+        });
+        f.line(15);
+        f.ret(f.c(0));
+      }));
+
+  // Cilk-style fibonacci: spawn/sync over the shared runtime.
+  v.push_back(make_program(
+      "cilk-fib", "demo", false, {"parallel", "single", "task", "taskwait"},
+      "cilk_spawn/cilk_sync fibonacci(16) - race-free divide and conquer",
+      [](Ctx& c) {
+        rt::Cilk cilk(c.pb);
+        const GuestAddr out = c.pb.global("out", 8);
+        FnBuilder& fib = c.pb.fn("fib", "cilk-fib.c", 2);
+        {
+          fib.line(5);
+          Slot a = fib.slot();
+          Slot b = fib.slot();
+          fib.if_(
+              fib.param(0) < fib.c(2),
+              [&] { fib.st(fib.param(1), fib.param(0)); },
+              [&] {
+                fib.line(8);
+                cilk.spawn(fib, {fib.param(0), a.addr()},
+                           [&](FnBuilder& tf, TaskArgs& ta) {
+                             tf.line(9);
+                             tf.call("fib", {ta.get(0) - tf.c(1), ta.get(1)});
+                           });
+                fib.line(11);
+                fib.call("fib", {fib.param(0) - fib.c(2), b.addr()});
+                cilk.sync(fib);
+                fib.line(13);
+                fib.st(fib.param(1), fib.ld(a.addr()) + fib.ld(b.addr()));
+              });
+          fib.ret();
+        }
+        FnBuilder& f = c.f();
+        f.line(20);
+        cilk.program(f, f.c(0), {}, [&](FnBuilder& pf, TaskArgs&) {
+          pf.line(21);
+          pf.call("fib", {pf.c(16), pf.c(sa(out))});
+        });
+        f.line(23);
+        f.print_str("fib(16) = ");
+        f.print_i64(f.ld(f.c(sa(out))));
+        f.print_str("\n");
+        f.ret(f.c(0));
+      }));
+
+  // A racy Cilk reduction: spawned tasks accumulate into one cell.
+  v.push_back(make_program(
+      "cilk-racy-sum", "demo", true,
+      {"parallel", "single", "task", "taskwait"},
+      "cilk_spawn tasks accumulate into a shared sum without a reducer",
+      [](Ctx& c) {
+        rt::Cilk cilk(c.pb);
+        const GuestAddr sum = c.pb.global("sum", 8);
+        FnBuilder& f = c.f();
+        cilk.program(f, f.c(0), {}, [&](FnBuilder& pf, TaskArgs&) {
+          pf.for_(1, 9, [&](Slot i) {
+            pf.line(7);
+            cilk.spawn(pf, {i.get()}, [&](FnBuilder& tf, TaskArgs& ta) {
+              tf.line(8);
+              V addr = tf.c(sa(sum));
+              tf.st(addr, tf.ld(addr) + ta.get(0));  // BUG: no reducer
+            });
+          });
+          cilk.sync(pf);
+        });
+        f.ret(f.ld(f.c(sa(sum))));
+      }));
+
+  // Pipeline over dependences: stages connected by inout chains, clean.
+  v.push_back(make_program(
+      "dep-pipeline", "demo", false,
+      {"parallel", "single", "task", "taskwait", "dep"},
+      "a 4-stage, 8-item software pipeline built from task dependences",
+      [](Ctx& c) {
+        const GuestAddr cells = c.pb.global("cells", 8 * 8);
+        c.in_single([&](FnBuilder& pf) {
+          for (int stage = 0; stage < 4; ++stage) {
+            pf.for_(0, 8, [&](Slot i) {
+              V cell = pf.c(sa(cells)) + i.get() * pf.c(8);
+              pf.line(10 + stage);
+              c.omp.task(pf, {.deps = {rt::dep_inout(cell)}}, {cell},
+                         [&](FnBuilder& tf, TaskArgs& ta) {
+                           V addr = ta.get(0);
+                           tf.st(addr, tf.ld(addr) * tf.c(3) + tf.c(1));
+                         });
+            });
+          }
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  return v;
+}
+
+}  // namespace tg::progs

@@ -1,0 +1,52 @@
+#include "programs/registry.hpp"
+
+#include "programs/common.hpp"
+
+namespace tg::progs {
+
+GuestProgram make_program(std::string name, std::string category,
+                          bool has_race, std::vector<std::string> features,
+                          std::string description,
+                          std::function<void(Ctx&)> body) {
+  GuestProgram program;
+  program.name = name;
+  program.category = std::move(category);
+  program.has_race = has_race;
+  program.features = std::move(features);
+  program.description = std::move(description);
+  program.build = [name, body = std::move(body)]() {
+    Ctx ctx(name, name + ".c");
+    body(ctx);
+    return ctx.finish();
+  };
+  return program;
+}
+
+const std::vector<rt::GuestProgram>& all_programs() {
+  static const std::vector<rt::GuestProgram> programs = [] {
+    std::vector<rt::GuestProgram> all;
+    for (auto& p : drb_programs()) all.push_back(std::move(p));
+    for (auto& p : tmb_programs()) all.push_back(std::move(p));
+    for (auto& p : misc_programs()) all.push_back(std::move(p));
+    for (auto& p : app_programs()) all.push_back(std::move(p));
+    return all;
+  }();
+  return programs;
+}
+
+const rt::GuestProgram* find_program(std::string_view name) {
+  for (const auto& program : all_programs()) {
+    if (program.name == name) return &program;
+  }
+  return nullptr;
+}
+
+std::vector<const rt::GuestProgram*> programs_in(std::string_view category) {
+  std::vector<const rt::GuestProgram*> result;
+  for (const auto& program : all_programs()) {
+    if (program.category == category) result.push_back(&program);
+  }
+  return result;
+}
+
+}  // namespace tg::progs

@@ -1,0 +1,20 @@
+// The guest-program registry: every DRB kernel, every TMB kernel, the
+// paper's listings and the demo programs, addressable by name.
+#pragma once
+
+#include <vector>
+
+#include "runtime/guest_program.hpp"
+
+namespace tg::progs {
+
+/// All registered programs (DRB + TMB + misc). Stable order.
+const std::vector<rt::GuestProgram>& all_programs();
+
+/// nullptr when not found.
+const rt::GuestProgram* find_program(std::string_view name);
+
+/// Programs of one category ("drb", "tmb", "demo").
+std::vector<const rt::GuestProgram*> programs_in(std::string_view category);
+
+}  // namespace tg::progs

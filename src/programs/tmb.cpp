@@ -1,0 +1,181 @@
+// The Taskgrind-specific microbenchmarks (TMB) of Table I - one per
+// heavyweight-DBI pitfall from paper §IV. They run at 1 and 4 threads; all
+// carry the kTgTasksDeferrable client-request annotation so that Taskgrind
+// analyses the *logical* task graph even when a single-threaded runtime
+// serializes everything (paper §V-A / §V-B).
+#include "programs/common.hpp"
+
+namespace tg::progs {
+
+std::vector<GuestProgram> tmb_programs() {
+  std::vector<GuestProgram> v;
+
+  v.push_back(make_program(
+      "TMB1000-memory-recycling_1", "tmb", false,
+      {"parallel", "single", "task", "taskwait", "memory-recycling"},
+      "paper Listing 1: per-task malloc/write/free; the system allocator "
+      "recycles addresses between independent tasks",
+      [](Ctx& c) {
+        c.omp.annotate_tasks_deferrable(c.f());
+        c.in_single([&](FnBuilder& pf) {
+          pf.for_(0, 2, [&](Slot) {
+            pf.line(3);
+            c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+              tf.line(5);
+              V x = tf.malloc_(tf.c(4));
+              tf.line(6);
+              tf.st(x, tf.c(1), 4);
+              tf.line(7);
+              tf.free_(x);
+            });
+          });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "TMB1001-stack_1", "tmb", true,
+      {"parallel", "single", "task", "taskwait", "stack"},
+      "independent tasks write a variable on the parent's stack frame",
+      [](Ctx& c) {
+        c.omp.annotate_tasks_deferrable(c.f());
+        c.in_single([&](FnBuilder& pf) {
+          Slot shared = pf.slot();
+          shared.set(0);
+          V addr = shared.addr();
+          pf.for_(0, 2, [&](Slot) {
+            pf.line(10);
+            c.omp.task(pf, {}, {addr}, [&](FnBuilder& tf, TaskArgs& ta) {
+              tf.line(11);
+              tf.st(ta.get(0), tf.c(7));  // BUG: unsynchronized
+            });
+          });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "TMB1002-stack_2", "tmb", false,
+      {"parallel", "single", "task", "taskwait", "stack"},
+      "paper Listing 3: each task writes its own stack local; tied tasks "
+      "on one thread reuse the same frame addresses",
+      [](Ctx& c) {
+        c.omp.annotate_tasks_deferrable(c.f());
+        c.in_single([&](FnBuilder& pf) {
+          pf.for_(0, 2, [&](Slot) {
+            pf.line(4);
+            c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+              tf.line(6);
+              Slot x = tf.slot();
+              x.set(42);
+              x.set(x.get() + tf.c(1));
+            });
+          });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "TMB1003-stack_3", "tmb", false,
+      {"parallel", "single", "task", "taskwait", "stack"},
+      "task locals written through a helper function (deeper frame reuse)",
+      [](Ctx& c) {
+        // Helper with its own frame, called from each task.
+        FnBuilder& helper = c.pb.fn("scribble", "TMB1003-stack_3.c", 1);
+        {
+          helper.line(20);
+          Slot tmp = helper.slot();
+          tmp.set(helper.param(0));
+          tmp.set(tmp.get() * helper.c(2));
+          helper.ret(tmp.get());
+        }
+        c.omp.annotate_tasks_deferrable(c.f());
+        c.in_single([&](FnBuilder& pf) {
+          pf.for_(0, 2, [&](Slot i) {
+            pf.line(8);
+            c.omp.task(pf, {}, {i.get()}, [&](FnBuilder& tf, TaskArgs& ta) {
+              tf.line(10);
+              tf.call("scribble", {ta.get(0)});
+            });
+          });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "TMB1004-stack_4", "tmb", true,
+      {"parallel", "single", "task", "taskwait", "stack"},
+      "the parent races with a task on a parent-stack variable",
+      [](Ctx& c) {
+        c.omp.annotate_tasks_deferrable(c.f());
+        c.in_single([&](FnBuilder& pf) {
+          Slot shared = pf.slot();
+          shared.set(0);
+          V addr = shared.addr();
+          pf.line(9);
+          c.omp.task(pf, {}, {addr}, [&](FnBuilder& tf, TaskArgs& ta) {
+            tf.line(10);
+            tf.st(ta.get(0), tf.c(1));
+          });
+          pf.line(12);  // BUG: parent writes before the taskwait
+          shared.set(2);
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "TMB1005-stack_5", "tmb", false,
+      {"parallel", "single", "task", "taskwait", "stack"},
+      "tasks with recursive helpers: multi-level frame reuse, no sharing",
+      [](Ctx& c) {
+        FnBuilder& rec = c.pb.fn("descend", "TMB1005-stack_5.c", 1);
+        {
+          rec.line(18);
+          Slot local = rec.slot();
+          local.set(rec.param(0));
+          Slot result = rec.slot();
+          rec.if_(
+              local.get() <= rec.c(0),
+              [&] { result.set(0); },
+              [&] {
+                V sub = rec.call("descend", {local.get() - rec.c(1)});
+                result.set(sub + local.get());
+              });
+          rec.ret(result.get());
+        }
+        c.omp.annotate_tasks_deferrable(c.f());
+        c.in_single([&](FnBuilder& pf) {
+          pf.for_(0, 2, [&](Slot) {
+            pf.line(6);
+            c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+              tf.line(8);
+              tf.call("descend", {tf.c(4)});
+            });
+          });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  v.push_back(make_program(
+      "TMB1006-tls_1", "tmb", false,
+      {"parallel", "single", "task", "taskwait", "tls"},
+      "paper Listing 2: tasks write a _Thread_local variable",
+      [](Ctx& c) {
+        c.pb.tls_var("x", 8);
+        c.omp.annotate_tasks_deferrable(c.f());
+        c.in_single([&](FnBuilder& pf) {
+          pf.for_(0, 2, [&](Slot i) {
+            pf.line(4);
+            c.omp.task(pf, {}, {i.get()}, [&](FnBuilder& tf, TaskArgs& ta) {
+              tf.line(5);
+              tf.st(tf.tls("x"), ta.get(0));
+            });
+          });
+          c.omp.taskwait(pf);
+        });
+      }));
+
+  return v;
+}
+
+}  // namespace tg::progs

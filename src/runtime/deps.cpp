@@ -1,0 +1,91 @@
+#include "runtime/deps.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tg::rt {
+
+const char* dep_kind_name(DepKind kind) {
+  switch (kind) {
+    case DepKind::kIn: return "in";
+    case DepKind::kOut: return "out";
+    case DepKind::kInOut: return "inout";
+    case DepKind::kInOutSet: return "inoutset";
+    case DepKind::kMutexInOutSet: return "mutexinoutset";
+  }
+  return "?";
+}
+
+void DepResolver::resolve(Task& task, std::vector<DepEdge>& edges) {
+  const uint64_t parent_id = task.parent ? task.parent->id : 0;
+  std::vector<Task*> preds;
+
+  auto add_preds = [&](const std::vector<Task*>& tasks,
+                       vex::GuestAddr addr) {
+    for (Task* pred : tasks) {
+      if (pred == &task) continue;
+      // Deduplicate edges per (pred, succ) pair.
+      if (std::find(preds.begin(), preds.end(), pred) != preds.end()) {
+        continue;
+      }
+      preds.push_back(pred);
+      edges.push_back(DepEdge{pred, &task, addr});
+    }
+  };
+
+  for (const Dep& dep : task.deps) {
+    AddrState& st = state_[Key{parent_id, dep.addr}];
+    switch (dep.kind) {
+      case DepKind::kIn:
+        add_preds(st.writers, dep.addr);
+        st.readers.push_back(&task);
+        break;
+
+      case DepKind::kOut:
+      case DepKind::kInOut:
+        add_preds(st.writers, dep.addr);
+        add_preds(st.readers, dep.addr);
+        st.writers.assign(1, &task);
+        st.readers.clear();
+        st.gen_preds.clear();
+        st.gen = Gen::kWriter;
+        break;
+
+      case DepKind::kInOutSet:
+      case DepKind::kMutexInOutSet: {
+        const Gen wanted =
+            dep.kind == DepKind::kInOutSet ? Gen::kInOutSet : Gen::kMutex;
+        if (st.gen != wanted) {
+          // Start a new set generation: everything live so far precedes
+          // every member of the set; members are mutually unordered.
+          st.gen_preds = st.writers;
+          st.gen_preds.insert(st.gen_preds.end(), st.readers.begin(),
+                              st.readers.end());
+          st.writers.clear();
+          st.readers.clear();
+          st.gen = wanted;
+        }
+        add_preds(st.gen_preds, dep.addr);
+        st.writers.push_back(&task);
+        if (dep.kind == DepKind::kMutexInOutSet) {
+          // Members exclude each other at run time via a mutex identified
+          // by the dependence address.
+          if (std::find(task.mutexes.begin(), task.mutexes.end(), dep.addr) ==
+              task.mutexes.end()) {
+            task.mutexes.push_back(dep.addr);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+void DepResolver::forget_parent(const Task& parent) {
+  const Key lo{parent.id, 0};
+  const Key hi{parent.id + 1, 0};
+  state_.erase(state_.lower_bound(lo), state_.lower_bound(hi));
+}
+
+}  // namespace tg::rt

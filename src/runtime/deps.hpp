@@ -1,0 +1,55 @@
+// OpenMP task-dependence resolution.
+//
+// Dependences only relate *sibling* tasks (tasks of the same generating task
+// region) - the OpenMP rule that DRB173/174/175 (non-sibling-taskdep) probe.
+// The resolver therefore keys its state by (parent task, address).
+//
+// Supported kinds: in, out, inout, inoutset, mutexinoutset - the full 5.x
+// set; the paper notes Taskgrind supports inoutset while TaskSanitizer does
+// not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace tg::rt {
+
+/// An edge produced by dependence resolution. `pred` may already be
+/// completed; the runtime still reports the edge to tools (the logical
+/// ordering holds regardless), but only uncompleted predecessors gate the
+/// successor's readiness.
+struct DepEdge {
+  Task* pred;
+  Task* succ;
+  vex::GuestAddr addr;
+};
+
+class DepResolver {
+ public:
+  /// Computes all dependence edges into `task` given its deps list, updates
+  /// the per-address state, and appends each discovered edge to `edges`
+  /// (deduplicated per predecessor). Also fills `task->mutexes` for
+  /// mutexinoutset deps.
+  void resolve(Task& task, std::vector<DepEdge>& edges);
+
+  /// Drops state for a finished generating-task region.
+  void forget_parent(const Task& parent);
+
+ private:
+  enum class Gen : uint8_t { kNone, kWriter, kInOutSet, kMutex };
+
+  struct AddrState {
+    Gen gen = Gen::kNone;
+    std::vector<Task*> writers;   // current writer generation members
+    std::vector<Task*> readers;   // in-tasks since the last writer gen
+    std::vector<Task*> gen_preds;  // predecessors captured at set-gen start
+  };
+
+  using Key = std::pair<uint64_t, vex::GuestAddr>;  // (parent id, address)
+  std::map<Key, AddrState> state_;
+};
+
+}  // namespace tg::rt

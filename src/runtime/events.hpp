@@ -1,0 +1,120 @@
+// OMPT-style runtime event bus.
+//
+// The minomp runtime raises these callbacks at every point the paper's
+// architecture needs (Fig. 2): Taskgrind's built-in OMPT adapter converts
+// them to client requests for the plugin, while the baseline tools subscribe
+// directly. Events carry *logical* information (task identities, dependence
+// edges, sync epochs); the physical placement (which worker) is part of the
+// event too, because thread-centric analyzers (Archer) need it.
+#pragma once
+
+#include <cstdint>
+
+#include "vex/ir.hpp"
+
+namespace tg::rt {
+
+struct Task;
+struct Region;
+class Worker;
+
+enum class SyncKind : uint8_t {
+  kTaskwait,
+  kTaskgroupEnd,
+  kBarrier,
+  kParallelJoin,
+};
+
+class RtEvents {
+ public:
+  virtual ~RtEvents() = default;
+
+  virtual void on_thread_begin(int tid) { (void)tid; }
+
+  virtual void on_parallel_begin(Region& region, Task& encountering) {
+    (void)region; (void)encountering;
+  }
+  virtual void on_parallel_end(Region& region, Task& encountering) {
+    (void)region; (void)encountering;
+  }
+
+  /// A task (implicit or explicit) was created. Dependence edges follow as
+  /// separate on_dependence events before the task first runs.
+  virtual void on_task_create(Task& task, Task* parent) {
+    (void)task; (void)parent;
+  }
+  virtual void on_dependence(Task& pred, Task& succ, vex::GuestAddr addr) {
+    (void)pred; (void)succ; (void)addr;
+  }
+
+  /// Physical scheduling: `task` starts or resumes on `worker` /
+  /// suspends or finishes on it. Between begin/end, every access on that
+  /// worker's thread belongs to `task`.
+  virtual void on_task_schedule_begin(Task& task, Worker& worker) {
+    (void)task; (void)worker;
+  }
+  virtual void on_task_schedule_end(Task& task, Worker& worker) {
+    (void)task; (void)worker;
+  }
+
+  /// Logical completion (after a detached task's event is fulfilled).
+  virtual void on_task_complete(Task& task) { (void)task; }
+
+  /// Synchronization regions on the encountering task.
+  virtual void on_sync_begin(SyncKind kind, Task& task, Worker& worker) {
+    (void)kind; (void)task; (void)worker;
+  }
+  virtual void on_sync_end(SyncKind kind, Task& task, Worker& worker) {
+    (void)kind; (void)task; (void)worker;
+  }
+
+  virtual void on_taskgroup_begin(Task& task) { (void)task; }
+
+  virtual void on_barrier_arrive(Region& region, Worker& worker,
+                                 uint64_t epoch) {
+    (void)region; (void)worker; (void)epoch;
+  }
+  virtual void on_barrier_release(Region& region, uint64_t epoch) {
+    (void)region; (void)epoch;
+  }
+
+  /// mutexinoutset / critical: `task` now holds / released `mutex_id`.
+  /// `task_level` is true for mutexinoutset (held for the whole task) and
+  /// false for lexical critical sections.
+  virtual void on_mutex_acquired(Task& task, uint64_t mutex_id,
+                                 bool task_level) {
+    (void)task; (void)mutex_id; (void)task_level;
+  }
+  virtual void on_mutex_released(Task& task, uint64_t mutex_id,
+                                 bool task_level) {
+    (void)task; (void)mutex_id; (void)task_level;
+  }
+
+  /// A threadprivate variable was materialized for a thread (the event the
+  /// original ROMP build crashed on, per Table I's "segv" cells).
+  virtual void on_threadprivate(Task& task, uint32_t var,
+                                vex::GuestAddr addr) {
+    (void)task; (void)var; (void)addr;
+  }
+
+  /// Full/empty-bit transitions (Qthreads). `full_channel` distinguishes
+  /// the two happens-before channels of an FEB word: writers release /
+  /// readers acquire on the full channel; readers release / writers
+  /// acquire on the empty channel.
+  virtual void on_feb_release(Task& task, vex::GuestAddr addr,
+                              bool full_channel) {
+    (void)task; (void)addr; (void)full_channel;
+  }
+  virtual void on_feb_acquire(Task& task, vex::GuestAddr addr,
+                              bool full_channel) {
+    (void)task; (void)addr; (void)full_channel;
+  }
+
+  virtual void on_task_detach(Task& task) { (void)task; }
+  /// `fulfiller` is the worker whose code called omp_fulfill_event.
+  virtual void on_task_fulfill(Task& task, Worker& fulfiller) {
+    (void)task; (void)fulfiller;
+  }
+};
+
+}  // namespace tg::rt

@@ -1,0 +1,34 @@
+#include "runtime/execution.hpp"
+
+#include "support/stats.hpp"
+
+namespace tg::rt {
+
+Execution::Execution(const vex::Program& program, RtOptions options,
+                     vex::Tool* tool, const std::vector<RtEvents*>& listeners) {
+  vm_ = std::make_unique<vex::Vm>(program);
+  if (tool != nullptr) vm_->set_tool(tool);
+  runtime_ = std::make_unique<Runtime>(*vm_, options);
+  for (RtEvents* listener : listeners) runtime_->add_listener(listener);
+}
+
+ExecResult Execution::run() {
+  ExecResult result;
+  const double start = now_seconds();
+  result.outcome = runtime_->run_main();
+  result.wall_seconds = now_seconds() - start;
+  result.output = vm_->output();
+  result.retired = vm_->retired();
+  result.peak_bytes = MemAccountant::instance().peak();
+  result.tasks_created = runtime_->tasks_created();
+  return result;
+}
+
+ExecResult execute_program(const vex::Program& program,
+                           const RtOptions& options, vex::Tool* tool,
+                           const std::vector<RtEvents*>& listeners) {
+  Execution execution(program, options, tool, listeners);
+  return execution.run();
+}
+
+}  // namespace tg::rt

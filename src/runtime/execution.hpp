@@ -1,0 +1,47 @@
+// One-call guest execution: VM + tool + runtime, wired the way Fig. 2 of
+// the paper wires Valgrind core, plugin and OMPT tool.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "vex/tool.hpp"
+#include "vex/vm.hpp"
+
+namespace tg::rt {
+
+struct ExecResult {
+  RunOutcome outcome;
+  std::string output;        // captured guest stdout
+  uint64_t retired = 0;      // guest instructions executed
+  double wall_seconds = 0;   // host wall-clock of the run
+  int64_t peak_bytes = 0;    // accounted peak memory during the run
+  uint64_t tasks_created = 0;
+};
+
+/// Runs `program` to completion under `options`, with an optional tool
+/// installed in the VM and optional extra OMPT listeners (analysis tools
+/// usually implement both interfaces and appear in both lists).
+ExecResult execute_program(const vex::Program& program,
+                           const RtOptions& options, vex::Tool* tool,
+                           const std::vector<RtEvents*>& listeners);
+
+/// A VM+Runtime pair kept alive for inspection (tests, the CLI driver).
+class Execution {
+ public:
+  Execution(const vex::Program& program, RtOptions options, vex::Tool* tool,
+            const std::vector<RtEvents*>& listeners);
+
+  ExecResult run();
+
+  vex::Vm& vm() { return *vm_; }
+  Runtime& runtime() { return *runtime_; }
+
+ private:
+  std::unique_ptr<vex::Vm> vm_;
+  std::unique_ptr<Runtime> runtime_;
+};
+
+}  // namespace tg::rt

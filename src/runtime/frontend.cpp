@@ -1,0 +1,217 @@
+#include "runtime/frontend.hpp"
+
+#include "runtime/runtime.hpp"
+#include "support/assert.hpp"
+#include "vex/stdlib.hpp"
+
+namespace tg::rt {
+
+using vex::FnBuilder;
+using vex::IntrinsicId;
+using vex::V;
+
+void install_runtime_abi(vex::ProgramBuilder& pb) {
+  vex::install_stdlib(pb);
+  register_runtime_symbols(pb);
+}
+
+FnBuilder& Omp::outline(FnBuilder& parent, const char* what) {
+  std::string fn_name = pb_.fn_name(parent.id()) + ".omp_" + what + "." +
+                        std::to_string(outline_counter_++);
+  FnBuilder& outlined = pb_.fn_in_file(std::move(fn_name), parent.file(), 1);
+  outlined.line(parent.current_line());
+  return outlined;
+}
+
+void Omp::parallel(FnBuilder& f, V nthreads, const std::vector<V>& captures,
+                   const OutlinedBody& body) {
+  FnBuilder& outlined = outline(f, "parallel");
+  {
+    TaskArgs args(outlined);
+    body(outlined, args);
+    if (!outlined.terminated()) {
+      // The region's closing implicit barrier.
+      outlined.intrinsic(IntrinsicId::kBarrier, {}, {});
+      outlined.ret();
+    }
+  }
+  std::vector<V> args;
+  args.push_back(nthreads);
+  args.insert(args.end(), captures.begin(), captures.end());
+  f.intrinsic(IntrinsicId::kParallelBegin, args,
+              {static_cast<int64_t>(outlined.id()),
+               static_cast<int64_t>(captures.size())});
+  f.intrinsic(IntrinsicId::kParallelEnd, {}, {});
+}
+
+void Omp::parallel(FnBuilder& f, const std::vector<V>& captures,
+                   const OutlinedBody& body) {
+  parallel(f, f.c(0), captures, body);
+}
+
+void Omp::task(FnBuilder& f, const TaskOpts& opts,
+               const std::vector<V>& captures, const OutlinedBody& body) {
+  FnBuilder& outlined = outline(f, "task");
+  {
+    TaskArgs args(outlined);
+    body(outlined, args);
+    if (!outlined.terminated()) outlined.ret();
+  }
+  std::vector<V> args;
+  args.insert(args.end(), captures.begin(), captures.end());
+  std::vector<int64_t> iargs = {static_cast<int64_t>(outlined.id()),
+                                static_cast<int64_t>(opts.flags()),
+                                static_cast<int64_t>(captures.size()),
+                                static_cast<int64_t>(opts.deps.size())};
+  for (const DepSpec& dep : opts.deps) {
+    args.push_back(dep.addr);
+    iargs.push_back(static_cast<int64_t>(dep.kind));
+  }
+  f.intrinsic(IntrinsicId::kTaskCreate, args, iargs);
+}
+
+void Omp::taskloop(FnBuilder& f, const TaskloopOpts& opts,
+                   const std::vector<V>& captures, V lo, V hi,
+                   const LoopBody& body) {
+  FnBuilder& outlined = outline(f, "taskloop");
+  {
+    TaskArgs args(outlined);
+    const auto ncapt = static_cast<uint32_t>(captures.size());
+    V chunk_lo = args.get(ncapt);
+    V chunk_hi = args.get(ncapt + 1);
+    outlined.for_(chunk_lo, chunk_hi,
+                  [&](vex::Slot i) { body(outlined, args, i); });
+    if (!outlined.terminated()) outlined.ret();
+  }
+  std::vector<V> args;
+  args.insert(args.end(), captures.begin(), captures.end());
+  args.push_back(lo);
+  args.push_back(hi);
+  f.intrinsic(IntrinsicId::kTaskloop, args,
+              {static_cast<int64_t>(outlined.id()),
+               static_cast<int64_t>(captures.size()), opts.grainsize,
+               opts.nogroup ? 1 : 0});
+  if (!opts.nogroup) {
+    f.intrinsic(IntrinsicId::kTaskgroupEnd, {}, {});
+  }
+}
+
+void Omp::taskwait(FnBuilder& f) {
+  f.intrinsic(IntrinsicId::kTaskWait, {}, {});
+}
+
+void Omp::taskgroup(FnBuilder& f, const std::function<void()>& body) {
+  f.intrinsic(IntrinsicId::kTaskgroupBegin, {}, {});
+  body();
+  f.intrinsic(IntrinsicId::kTaskgroupEnd, {}, {});
+}
+
+void Omp::barrier(FnBuilder& f) {
+  f.intrinsic(IntrinsicId::kBarrier, {}, {});
+}
+
+void Omp::single(FnBuilder& f, const std::function<void()>& body) {
+  const uint32_t site = single_sites_++;
+  V won = f.intrinsic(IntrinsicId::kSingleBegin, {},
+                      {static_cast<int64_t>(site)});
+  f.if_(won, body);
+  // The single construct's implicit barrier (no nowait support).
+  f.intrinsic(IntrinsicId::kSingleEnd, {}, {});
+}
+
+void Omp::critical(FnBuilder& f, const std::string& name,
+                   const std::function<void()>& body) {
+  auto [it, inserted] =
+      critical_ids_.emplace(name, static_cast<uint32_t>(critical_ids_.size()));
+  (void)inserted;
+  const int64_t id = it->second;
+  f.intrinsic(IntrinsicId::kCriticalBegin, {}, {id});
+  body();
+  f.intrinsic(IntrinsicId::kCriticalEnd, {}, {id});
+}
+
+void Omp::master(FnBuilder& f, const std::function<void()>& body) {
+  V tid = thread_num(f);
+  f.if_(tid == f.c(0), body);
+}
+
+V Omp::thread_num(FnBuilder& f) {
+  return f.intrinsic(IntrinsicId::kThreadNum, {}, {});
+}
+
+V Omp::num_threads(FnBuilder& f) {
+  return f.intrinsic(IntrinsicId::kNumThreads, {}, {});
+}
+
+V Omp::threadprivate(FnBuilder& f, const std::string& name, uint32_t size) {
+  auto [it, inserted] = threadprivate_ids_.emplace(
+      name, static_cast<uint32_t>(threadprivate_ids_.size()));
+  (void)inserted;
+  return f.intrinsic(IntrinsicId::kThreadprivateAddr, {},
+                     {static_cast<int64_t>(it->second),
+                      static_cast<int64_t>(size)});
+}
+
+V Omp::detach_event(FnBuilder& f) {
+  return f.intrinsic(IntrinsicId::kTaskDetach, {}, {});
+}
+
+void Omp::fulfill_event(FnBuilder& f, V handle) {
+  f.intrinsic(IntrinsicId::kFulfillEvent, {handle}, {});
+}
+
+void Omp::annotate_tasks_deferrable(FnBuilder& f) {
+  f.client_request(static_cast<uint64_t>(vex::ClientReq::kTgTasksDeferrable),
+                   {});
+}
+
+void Cilk::program(FnBuilder& f, V nworkers, const std::vector<V>& captures,
+                   const OutlinedBody& body) {
+  omp_.parallel(f, nworkers, captures,
+                [&](FnBuilder& pf, TaskArgs& args) {
+                  omp_.single(pf, [&] { body(pf, args); });
+                });
+}
+
+void Cilk::spawn(FnBuilder& f, const std::vector<V>& captures,
+                 const OutlinedBody& body) {
+  omp_.task(f, TaskOpts{}, captures, body);
+}
+
+void Cilk::sync(FnBuilder& f) { omp_.taskwait(f); }
+
+void Qthreads::program(FnBuilder& f, V nworkers,
+                       const std::vector<V>& captures,
+                       const OutlinedBody& body) {
+  omp_.parallel(f, nworkers, captures,
+                [&](FnBuilder& pf, TaskArgs& args) {
+                  omp_.single(pf, [&] { body(pf, args); });
+                });
+}
+
+void Qthreads::fork(FnBuilder& f, const std::vector<V>& captures,
+                    const OutlinedBody& body) {
+  omp_.task(f, TaskOpts{}, captures, body);
+}
+
+void Qthreads::writeEF(FnBuilder& f, V addr, V value) {
+  f.intrinsic(IntrinsicId::kFebWriteEF, {addr, value}, {});
+}
+
+V Qthreads::readFE(FnBuilder& f, V addr) {
+  return f.intrinsic(IntrinsicId::kFebReadFE, {addr}, {});
+}
+
+V Qthreads::readFF(FnBuilder& f, V addr) {
+  return f.intrinsic(IntrinsicId::kFebReadFF, {addr}, {});
+}
+
+void Qthreads::fill(FnBuilder& f, V addr) {
+  f.intrinsic(IntrinsicId::kFebFill, {addr}, {});
+}
+
+void Qthreads::empty(FnBuilder& f, V addr) {
+  f.intrinsic(IntrinsicId::kFebEmpty, {addr}, {});
+}
+
+}  // namespace tg::rt

@@ -1,0 +1,215 @@
+// OpenMP-style front-end over the guest builder.
+//
+// This plays the role of the compiler's OpenMP lowering: each construct
+// outlines its body into a fresh guest function (the way clang produces
+// .omp_outlined. functions), copies captured values through the runtime's
+// capture blocks (firstprivate), and emits the matching runtime intrinsics.
+//
+// Example - the paper's Listing 4:
+//
+//   Omp omp(pb);
+//   auto& f = pb.fn("main", "task.c");
+//   V x = f.malloc_(f.c(2 * 4));
+//   omp.parallel(f, {x}, [&](FnBuilder& pf, TaskArgs& a) {
+//     omp.single(pf, [&] {
+//       omp.task(pf, {}, {a.get(0)}, [&](FnBuilder& tf, TaskArgs& ta) {
+//         tf.st(ta.get(0), tf.c(42), 4);
+//       });
+//       ...
+//     });
+//   });
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/task.hpp"
+#include "vex/builder.hpp"
+
+namespace tg::rt {
+
+/// Installs everything a guest program needs to run under the minomp
+/// runtime: the host libc (vex/stdlib) plus the runtime attribution
+/// symbols. Call once, immediately after constructing the ProgramBuilder.
+void install_runtime_abi(vex::ProgramBuilder& pb);
+
+/// Accessor for the capture block inside an outlined function.
+class TaskArgs {
+ public:
+  explicit TaskArgs(vex::FnBuilder& fb) : fb_(fb) {}
+
+  /// Load of captured word `index` (a real, instrumented guest access,
+  /// like reading a firstprivate from the task struct).
+  vex::V get(uint32_t index) {
+    return fb_.ld(base() + fb_.c(8 * static_cast<int64_t>(index)));
+  }
+  /// Same, as a double.
+  vex::V getf(uint32_t index) { return get(index); }
+  /// Address of captured word `index` (to write results back through).
+  vex::V addr(uint32_t index) {
+    return base() + fb_.c(8 * static_cast<int64_t>(index));
+  }
+
+ private:
+  vex::V base() { return fb_.param(0); }
+  vex::FnBuilder& fb_;
+};
+
+struct DepSpec {
+  DepKind kind;
+  vex::V addr;
+};
+
+inline DepSpec dep_in(vex::V addr) { return {DepKind::kIn, addr}; }
+inline DepSpec dep_out(vex::V addr) { return {DepKind::kOut, addr}; }
+inline DepSpec dep_inout(vex::V addr) { return {DepKind::kInOut, addr}; }
+inline DepSpec dep_inoutset(vex::V addr) {
+  return {DepKind::kInOutSet, addr};
+}
+inline DepSpec dep_mutexinoutset(vex::V addr) {
+  return {DepKind::kMutexInOutSet, addr};
+}
+
+struct TaskOpts {
+  std::vector<DepSpec> deps;
+  bool if0 = false;        // if(0) => undeferred
+  bool final_ = false;     // final(1)
+  bool mergeable = false;  // mergeable clause
+  bool detachable = false; // detach(event) clause
+
+  uint32_t flags() const {
+    uint32_t f = 0;
+    if (if0) f |= TaskFlags::kUndeferred;
+    if (final_) f |= TaskFlags::kFinal;
+    if (mergeable) f |= TaskFlags::kMergeable;
+    if (detachable) f |= TaskFlags::kDetachable;
+    return f;
+  }
+};
+
+struct TaskloopOpts {
+  int64_t grainsize = 0;  // 0 = runtime default
+  bool nogroup = false;
+};
+
+using OutlinedBody = std::function<void(vex::FnBuilder&, TaskArgs&)>;
+using LoopBody = std::function<void(vex::FnBuilder&, TaskArgs&, vex::Slot)>;
+
+/// OpenMP construct emitter. One instance per program under construction.
+class Omp {
+ public:
+  explicit Omp(vex::ProgramBuilder& pb) : pb_(pb) {}
+
+  /// #pragma omp parallel num_threads(nthreads) - 0 means the runtime
+  /// default. Captures are firstprivate 64-bit words (pass addresses to
+  /// share variables).
+  void parallel(vex::FnBuilder& f, vex::V nthreads,
+                const std::vector<vex::V>& captures, const OutlinedBody& body);
+  void parallel(vex::FnBuilder& f, const std::vector<vex::V>& captures,
+                const OutlinedBody& body);
+
+  /// #pragma omp task [depend(...)] [if(0)] [final] [mergeable] [detach]
+  void task(vex::FnBuilder& f, const TaskOpts& opts,
+            const std::vector<vex::V>& captures, const OutlinedBody& body);
+
+  /// #pragma omp taskloop grainsize(...) [nogroup] for i in [lo, hi)
+  void taskloop(vex::FnBuilder& f, const TaskloopOpts& opts,
+                const std::vector<vex::V>& captures, vex::V lo, vex::V hi,
+                const LoopBody& body);
+
+  void taskwait(vex::FnBuilder& f);
+  void taskgroup(vex::FnBuilder& f, const std::function<void()>& body);
+  void barrier(vex::FnBuilder& f);
+  /// #pragma omp single (with the construct's implicit barrier)
+  void single(vex::FnBuilder& f, const std::function<void()>& body);
+  void critical(vex::FnBuilder& f, const std::string& name,
+                const std::function<void()>& body);
+  /// #pragma omp master - body runs only on thread 0, no barrier.
+  void master(vex::FnBuilder& f, const std::function<void()>& body);
+
+  vex::V thread_num(vex::FnBuilder& f);
+  vex::V num_threads(vex::FnBuilder& f);
+
+  /// OpenMP threadprivate: per-thread heap-cached copy (NOT TLS).
+  vex::V threadprivate(vex::FnBuilder& f, const std::string& name,
+                       uint32_t size);
+
+  /// detach support: event handle of the current (detachable) task.
+  vex::V detach_event(vex::FnBuilder& f);
+  void fulfill_event(vex::FnBuilder& f, vex::V handle);
+
+  /// Taskgrind client request (paper §V-B): annotate that tasks are
+  /// semantically deferrable even when the runtime serializes them.
+  void annotate_tasks_deferrable(vex::FnBuilder& f);
+
+ private:
+  vex::FnBuilder& outline(vex::FnBuilder& parent, const char* what);
+
+  vex::ProgramBuilder& pb_;
+  uint32_t outline_counter_ = 0;
+  uint32_t single_sites_ = 0;
+  std::map<std::string, uint32_t> critical_ids_;
+  std::map<std::string, uint32_t> threadprivate_ids_;
+};
+
+/// Cilk-style front-end: spawn/sync over the same runtime, with the whole
+/// program inside one implicit parallel region (the paper's Eq. 1 remark:
+/// "Cilk programs can be assumed to have a single parallel region").
+class Cilk {
+ public:
+  explicit Cilk(vex::ProgramBuilder& pb) : omp_(pb) {}
+
+  /// Wraps `body` as the Cilk root: a parallel region whose single() block
+  /// runs the user's main, with `nworkers` workers stealing spawned tasks.
+  void program(vex::FnBuilder& f, vex::V nworkers,
+               const std::vector<vex::V>& captures, const OutlinedBody& body);
+
+  /// x = cilk_spawn fn(...) - the spawned body runs as a task.
+  void spawn(vex::FnBuilder& f, const std::vector<vex::V>& captures,
+             const OutlinedBody& body);
+
+  /// cilk_sync - waits for every task spawned by the current function.
+  void sync(vex::FnBuilder& f);
+
+  Omp& omp() { return omp_; }
+
+ private:
+  Omp omp_;
+};
+
+/// Qthreads-style front-end (paper §III-A(c)): lightweight tasks
+/// (qthread_fork) synchronized with full/empty bits. FEB words live in
+/// ordinary guest memory; their status is runtime state, and each
+/// transition produces the happens-before events Taskgrind's "subtle
+/// extensions" need.
+class Qthreads {
+ public:
+  explicit Qthreads(vex::ProgramBuilder& pb) : omp_(pb) {}
+
+  /// Wraps `body` as the qthreads main: one region, `nworkers` shepherds.
+  void program(vex::FnBuilder& f, vex::V nworkers,
+               const std::vector<vex::V>& captures, const OutlinedBody& body);
+
+  /// qthread_fork: the body runs as an independent lightweight task.
+  void fork(vex::FnBuilder& f, const std::vector<vex::V>& captures,
+            const OutlinedBody& body);
+
+  /// Waits for every qthread forked by the current task.
+  void join_all(vex::FnBuilder& f) { omp_.taskwait(f); }
+
+  // FEB operations on a 64-bit word at `addr`.
+  void writeEF(vex::FnBuilder& f, vex::V addr, vex::V value);
+  vex::V readFE(vex::FnBuilder& f, vex::V addr);
+  vex::V readFF(vex::FnBuilder& f, vex::V addr);
+  void fill(vex::FnBuilder& f, vex::V addr);
+  void empty(vex::FnBuilder& f, vex::V addr);
+
+  Omp& omp() { return omp_; }
+
+ private:
+  Omp omp_;
+};
+
+}  // namespace tg::rt

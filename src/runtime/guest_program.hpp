@@ -1,0 +1,34 @@
+// Guest-program metadata: what the benchmark registry hands to sessions.
+//
+// `features` lists the OpenMP constructs a kernel uses, with the DRB-style
+// era tags (dep-omp45, dep-omp50). Compile-time-limited tools (our
+// TaskSanitizer model, pinned to its Clang-8 era) refuse programs whose
+// features they do not support - the "ncs" cells of Table I.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vex/ir.hpp"
+
+namespace tg::rt {
+
+struct GuestProgram {
+  std::string name;
+  std::string category;  // "drb", "tmb", "demo", "lulesh"
+  bool has_race = false;  // ground truth ("Determinacy Race" column)
+  std::vector<std::string> features;
+  std::string description;
+  /// Builds a fresh Program (kernels bake their parameters in here).
+  std::function<vex::Program()> build;
+
+  bool uses(std::string_view feature) const {
+    for (const auto& f : features) {
+      if (f == feature) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace tg::rt

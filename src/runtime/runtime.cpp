@@ -1,0 +1,920 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "support/accounting.hpp"
+#include "support/assert.hpp"
+#include "support/log.hpp"
+#include "vex/builder.hpp"
+
+namespace tg::rt {
+
+using vex::GuestAddr;
+using vex::Value;
+
+namespace {
+constexpr uint32_t kDescriptorBytes = 32;
+}
+
+void register_runtime_symbols(vex::ProgramBuilder& pb) {
+  auto unreachable = [](vex::HostCtx&, std::span<const Value>) -> Value {
+    TG_UNREACHABLE("runtime pseudo-symbol called as a guest function");
+  };
+  // Attribution-only symbols: runtime bookkeeping accesses are charged to
+  // these, so symbol-based ignore-lists (paper §IV-A) apply to them.
+  pb.host_fn("__mnp_task_alloc", unreachable, vex::FnKind::kRuntime);
+  pb.host_fn("__mnp_sched", unreachable, vex::FnKind::kRuntime);
+  pb.host_fn("__mnp_threadprivate", unreachable, vex::FnKind::kRuntime);
+  pb.host_fn("__mnp_feb", unreachable, vex::FnKind::kRuntime);
+}
+
+Runtime::Runtime(vex::Vm& vm, RtOptions options)
+    : vm_(vm), options_(options), rng_(options.seed) {
+  vm_.set_intrinsic_handler(this);
+  fn_task_alloc_ = vm_.program().find_fn("__mnp_task_alloc");
+  fn_sched_ = vm_.program().find_fn("__mnp_sched");
+  fn_threadprivate_ = vm_.program().find_fn("__mnp_threadprivate");
+  fn_feb_ = vm_.program().find_fn("__mnp_feb");
+  TG_ASSERT_MSG(fn_task_alloc_ != vex::kNoFunc,
+                "program built without runtime ABI "
+                "(call install_runtime_abi before take())");
+}
+
+Runtime::~Runtime() {
+  MemAccountant::instance().add(MemCategory::kRuntime, -runtime_bytes_);
+}
+
+Worker& Runtime::ensure_worker(int index) {
+  while (static_cast<int>(workers_.size()) <= index) {
+    const int tid = static_cast<int>(workers_.size());
+    vex::ThreadCtx& ctx = vm_.create_thread();
+    TG_ASSERT(ctx.tid == tid);
+    workers_.push_back(std::make_unique<Worker>(tid, ctx));
+    emit([&](RtEvents& l) { l.on_thread_begin(tid); });
+  }
+  return *workers_[static_cast<size_t>(index)];
+}
+
+Task& Runtime::make_task(Task* parent, Region* region, vex::FuncId fn,
+                         uint32_t flags) {
+  auto task = std::make_unique<Task>();
+  task->id = next_task_id_++;
+  task->parent = parent;
+  task->region = region;
+  task->fn = fn;
+  task->flags = flags;
+  tasks_.push_back(std::move(task));
+  return *tasks_.back();
+}
+
+void Runtime::set_current(Worker& worker, Task* task) {
+  if (worker.announced == task) return;
+  if (worker.announced != nullptr) {
+    emit([&](RtEvents& l) {
+      l.on_task_schedule_end(*worker.announced, worker);
+    });
+  }
+  worker.announced = task;
+  if (task != nullptr) {
+    emit([&](RtEvents& l) { l.on_task_schedule_begin(*task, worker); });
+  }
+}
+
+// --- guest-visible bookkeeping ------------------------------------------
+
+GuestAddr Runtime::alloc_capture(vex::ThreadCtx& thread, uint32_t words,
+                                 std::span<const Value> values) {
+  const uint32_t bytes = words ? words * 8 : 8;
+  GuestAddr addr = 0;
+  if (options_.recycle_captures) {
+    // __kmp_fast_allocate-style recycling: reuse the most recently freed
+    // block that fits (paper §IV-B notes Taskgrind does NOT cover this).
+    for (size_t i = free_captures_.size(); i-- > 0;) {
+      if (capture_sizes_[free_captures_[i]] >= bytes) {
+        addr = free_captures_[i];
+        free_captures_.erase(free_captures_.begin() +
+                             static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  if (addr == 0) {
+    addr = vm_.rt_alloc().allocate(bytes);
+    capture_sizes_[addr] = bytes;
+    runtime_bytes_ += bytes;
+    MemAccountant::instance().add(MemCategory::kRuntime, bytes);
+  }
+  // Firstprivate copies are performed by runtime code (like the memcpy
+  // inside __kmpc_omp_task_alloc), so the stores carry runtime attribution.
+  for (uint32_t i = 0; i < values.size(); ++i) {
+    vm_.record_store(thread, addr + 8ull * i, 8, values[i].u, fn_task_alloc_);
+  }
+  return addr;
+}
+
+void Runtime::release_capture(Task& task) {
+  if (task.capture == 0) return;
+  if (options_.recycle_captures) free_captures_.push_back(task.capture);
+  task.capture = 0;
+}
+
+GuestAddr Runtime::alloc_descriptor(vex::ThreadCtx& thread) {
+  (void)thread;
+  if (!free_descriptors_.empty()) {
+    const GuestAddr addr = free_descriptors_.back();
+    free_descriptors_.pop_back();
+    return addr;
+  }
+  const GuestAddr addr = vm_.rt_alloc().allocate(kDescriptorBytes);
+  runtime_bytes_ += kDescriptorBytes;
+  MemAccountant::instance().add(MemCategory::kRuntime, kDescriptorBytes);
+  return addr;
+}
+
+void Runtime::release_descriptor(GuestAddr addr) {
+  if (addr != 0) free_descriptors_.push_back(addr);
+}
+
+void Runtime::touch_descriptor(vex::ThreadCtx& thread, Task& task,
+                               uint8_t state) {
+  if (task.descriptor == 0) return;
+  // Scheduler state transitions written into the (recycled) descriptor -
+  // the runtime-internal traffic an ignore-list exists to filter out.
+  vm_.record_store(thread, task.descriptor, 8, task.id, fn_sched_);
+  vm_.record_store(thread, task.descriptor + 8, 1, state, fn_sched_);
+}
+
+void Runtime::bump_team_counter(vex::ThreadCtx& thread, int64_t delta) {
+  if (team_counter_ == 0) {
+    team_counter_ = vm_.rt_alloc().allocate(8);
+    runtime_bytes_ += 8;
+    MemAccountant::instance().add(MemCategory::kRuntime, 8);
+  }
+  // Like LLVM's task-team counters: every worker's scheduler path does a
+  // read-modify-write of shared runtime state. Attributed to __mnp_sched,
+  // so the default ignore-list hides it; naive instrumentation floods.
+  const uint64_t value =
+      vm_.record_load(thread, team_counter_, 8, fn_sched_);
+  vm_.record_store(thread, team_counter_, 8,
+                   value + static_cast<uint64_t>(delta), fn_sched_);
+}
+
+// --- scheduling ----------------------------------------------------------
+
+RunOutcome Runtime::run_main() {
+  Worker& w0 = ensure_worker(0);
+  root_ = &make_task(nullptr, nullptr, vm_.program().entry,
+                     TaskFlags::kImplicit | TaskFlags::kInitial);
+  root_->state = TaskState::kRunning;
+  root_->bound = &w0;
+  emit([&](RtEvents& l) { l.on_task_create(*root_, nullptr); });
+  set_current(w0, root_);
+  w0.execs().push_back(Exec{root_, 0, false, SyncKind::kTaskwait, false,
+                            false, nullptr});
+  vm_.push_call(w0.ctx(), root_->fn, {});
+
+  RunOutcome outcome;
+  while (true) {
+    if (vm_.halted()) break;
+    if (vm_.retired() > options_.max_retired) {
+      outcome.status = RunOutcome::Status::kBudgetExceeded;
+      break;
+    }
+    const size_t nworkers = workers_.size();
+    bool progress = false;
+    for (size_t k = 0; k < nworkers; ++k) {
+      const size_t i = (rr_cursor_ + k) % nworkers;
+      progress = step_worker(*workers_[i]) || progress;
+      if (vm_.halted()) break;
+    }
+    rr_cursor_ = (rr_cursor_ + 1) % std::max<size_t>(1, workers_.size());
+    if (!w0.has_exec()) break;  // main returned
+    if (!progress && !vm_.halted()) {
+      outcome.status = RunOutcome::Status::kDeadlock;
+      TG_LOG_WARN("runtime: deadlock detected (no worker can progress)");
+      break;
+    }
+  }
+
+  set_current(w0, nullptr);
+  outcome.retired = vm_.retired();
+  outcome.exit_code =
+      vm_.halted() ? vm_.exit_code() : w0.ctx().last_return.i;
+  return outcome;
+}
+
+bool Runtime::step_worker(Worker& worker) {
+  if (!worker.has_exec()) return false;
+  vex::ThreadCtx& ctx = worker.ctx();
+  Exec& e = worker.top();
+
+  if (e.blocked) {
+    // Re-execute the blocking intrinsic: its wake condition may now hold.
+    const uint64_t before = ctx.retired;
+    const vex::RunResult result =
+        vm_.run(ctx, e.frame_floor, options_.quantum);
+    if (result == vex::RunResult::kBlocked) {
+      // Still parked. At a task scheduling point the worker may pick up
+      // other ready work (this is how barriers drain the task pool, and how
+      // tied tasks stack on a suspended parent).
+      if (worker.top().at_tsp) {
+        if (Task* task = find_task_for(worker)) {
+          begin_task_on(worker, task);
+          return true;
+        }
+      }
+      // Progress only if the re-check ran more than the intrinsic itself.
+      return (ctx.retired - before) > 1;
+    }
+    handle_run_result(worker, result);
+    return true;
+  }
+
+  const vex::RunResult result = vm_.run(ctx, e.frame_floor, options_.quantum);
+  handle_run_result(worker, result);
+  return true;
+}
+
+void Runtime::handle_run_result(Worker& worker, vex::RunResult result) {
+  switch (result) {
+    case vex::RunResult::kFrameFloor:
+      finish_top_exec(worker);
+      break;
+    case vex::RunResult::kBlocked:       // exec marked blocked by handler
+    case vex::RunResult::kBudget:        // quantum expired; resume later
+    case vex::RunResult::kRescheduled:   // activation structure changed
+    case vex::RunResult::kHalted:
+      break;
+  }
+}
+
+bool Runtime::mutexes_available(const Task& task) const {
+  for (uint64_t mutex : task.mutexes) {
+    if (held_task_mutexes_.count(mutex)) return false;
+  }
+  return true;
+}
+
+Task* Runtime::find_task_for(Worker& worker) {
+  // An undeferred child being waited on takes absolute priority: the parent
+  // is suspended until it completes.
+  if (worker.has_exec() && worker.top().pending_inline != nullptr) {
+    Task* pending = worker.top().pending_inline;
+    if (pending->state == TaskState::kReady && mutexes_available(*pending)) {
+      return pending;  // undeferred child: never in any deque
+    }
+  }
+
+  // Own deque, newest first (LIFO).
+  auto& deque = worker.deque();
+  for (size_t i = deque.size(); i-- > 0;) {
+    Task* task = deque[i];
+    if (!mutexes_available(*task)) continue;
+    deque.erase(deque.begin() + static_cast<ptrdiff_t>(i));
+    return task;
+  }
+
+  // Steal: random victims, oldest first (FIFO).
+  const size_t nworkers = workers_.size();
+  for (size_t attempt = 0; attempt < 2 * nworkers; ++attempt) {
+    Worker& victim = *workers_[rng_.below(nworkers)];
+    if (&victim == &worker) continue;
+    auto& vdq = victim.deque();
+    for (size_t i = 0; i < vdq.size(); ++i) {
+      Task* task = vdq[i];
+      if (!mutexes_available(*task)) continue;
+      vdq.erase(vdq.begin() + static_cast<ptrdiff_t>(i));
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void Runtime::begin_task_on(Worker& worker, Task* task) {
+  TG_ASSERT(task->state == TaskState::kReady);
+  vex::ThreadCtx& ctx = worker.ctx();
+  task->state = TaskState::kRunning;
+  task->bound = &worker;
+  for (uint64_t mutex : task->mutexes) {
+    TG_ASSERT(!held_task_mutexes_.count(mutex));
+    held_task_mutexes_.insert(mutex);
+    emit([&](RtEvents& l) { l.on_mutex_acquired(*task, mutex, true); });
+  }
+  // Announce before pushing the activation: the tool snapshots the stack
+  // pointer when the segment opens, and the task's own frames must lie
+  // *below* that snapshot for the paper's §IV-D suppression to work.
+  set_current(worker, task);
+  touch_descriptor(ctx, *task, 1);
+  worker.execs().push_back(Exec{task, ctx.frames.size(), false,
+                                SyncKind::kTaskwait, false, false, nullptr});
+  Value capture_arg = Value::from_u(task->capture);
+  vm_.push_call(ctx, task->fn, std::span<const Value>(&capture_arg, 1),
+                vex::kNoReg, task->create_loc);
+}
+
+void Runtime::finish_top_exec(Worker& worker) {
+  TG_ASSERT(worker.has_exec());
+  Exec exec = worker.top();
+  worker.execs().pop_back();
+  Task* task = exec.task;
+  vex::ThreadCtx& ctx = worker.ctx();
+
+  for (uint64_t mutex : task->mutexes) {
+    held_task_mutexes_.erase(mutex);
+    emit([&](RtEvents& l) { l.on_mutex_released(*task, mutex, true); });
+  }
+  touch_descriptor(ctx, *task, 2);
+  if (!task->is_implicit()) bump_team_counter(ctx, -1);
+  task->state = TaskState::kFinished;
+
+  set_current(worker, worker.has_exec() ? worker.top().task : nullptr);
+
+  if (task->is_implicit()) {
+    if (task->region != nullptr) task->region->active_implicit--;
+    task->state = TaskState::kCompleted;
+    emit([&](RtEvents& l) { l.on_task_complete(*task); });
+    return;
+  }
+
+  if (task->detach_requested && !task->detach_fulfilled) {
+    // Completion deferred until omp_fulfill_event (detach clause).
+    return;
+  }
+  complete_task(*task, &worker);
+}
+
+void Runtime::complete_task(Task& task, Worker* worker) {
+  TG_ASSERT(task.state == TaskState::kFinished);
+  task.state = TaskState::kCompleted;
+  emit([&](RtEvents& l) { l.on_task_complete(task); });
+
+  if (task.parent != nullptr) task.parent->children_live--;
+  if (task.group != nullptr) task.group->live--;
+  if (task.region != nullptr) task.region->pending_explicit--;
+
+  release_capture(task);
+  release_descriptor(task.descriptor);
+  task.descriptor = 0;
+
+  for (Task* succ : task.successors) {
+    if (--succ->npredecessors == 0 && succ->state == TaskState::kCreated) {
+      succ->state = TaskState::kReady;
+      // Undeferred successors are executed by their (suspended) creator.
+      if (!succ->is_undeferred()) enqueue_ready(*succ, worker);
+    }
+  }
+}
+
+void Runtime::enqueue_ready(Task& task, Worker* preferred) {
+  Worker& target = preferred != nullptr ? *preferred : *workers_[0];
+  target.deque().push_back(&task);
+}
+
+// --- intrinsics -----------------------------------------------------------
+
+Runtime::Result Runtime::on_intrinsic(vex::HostCtx& ctx, vex::IntrinsicId id,
+                                      std::span<const Value> args,
+                                      std::span<const int64_t> iargs) {
+  Worker* worker = Worker::of(ctx.thread);
+  TG_ASSERT_MSG(worker != nullptr, "intrinsic from unmanaged thread");
+  switch (id) {
+    case vex::IntrinsicId::kParallelBegin:
+      return do_parallel_begin(ctx, args, iargs);
+    case vex::IntrinsicId::kParallelEnd:
+      return do_parallel_end(*worker);
+    case vex::IntrinsicId::kTaskCreate:
+      return do_task_create(ctx, args, iargs);
+    case vex::IntrinsicId::kTaskloop:
+      return do_taskloop(ctx, args, iargs);
+    case vex::IntrinsicId::kTaskWait:
+      return do_taskwait(*worker);
+    case vex::IntrinsicId::kTaskYield:
+      return Result::cont();
+    case vex::IntrinsicId::kTaskgroupBegin:
+      return do_taskgroup_begin(*worker);
+    case vex::IntrinsicId::kTaskgroupEnd:
+      return do_taskgroup_end(*worker);
+    case vex::IntrinsicId::kBarrier:
+    case vex::IntrinsicId::kSingleEnd:
+      return do_barrier(*worker);
+    case vex::IntrinsicId::kSingleBegin:
+      return do_single_begin(*worker, static_cast<uint32_t>(iargs[0]));
+    case vex::IntrinsicId::kCriticalBegin:
+      return do_critical_begin(*worker, static_cast<uint64_t>(iargs[0]));
+    case vex::IntrinsicId::kCriticalEnd:
+      return do_critical_end(*worker, static_cast<uint64_t>(iargs[0]));
+    case vex::IntrinsicId::kThreadNum:
+      return Result::cont(Value::from_i(worker->thread_num));
+    case vex::IntrinsicId::kNumThreads:
+      return Result::cont(Value::from_i(
+          worker->region != nullptr ? worker->region->nthreads : 1));
+    case vex::IntrinsicId::kInParallel:
+      return Result::cont(Value::from_i(
+          worker->region != nullptr && worker->region->nthreads > 1));
+    case vex::IntrinsicId::kThreadprivateAddr:
+      return do_threadprivate_addr(*worker, static_cast<uint32_t>(iargs[0]),
+                                   static_cast<uint32_t>(iargs[1]));
+    case vex::IntrinsicId::kTaskDetach:
+      return do_task_detach(*worker);
+    case vex::IntrinsicId::kFulfillEvent:
+      return do_fulfill(args[0].u, *worker);
+    case vex::IntrinsicId::kFebWriteEF:
+    case vex::IntrinsicId::kFebReadFE:
+    case vex::IntrinsicId::kFebReadFF:
+    case vex::IntrinsicId::kFebFill:
+    case vex::IntrinsicId::kFebEmpty:
+      return do_feb(ctx, id, args);
+    case vex::IntrinsicId::kSleepMs:
+      // Cooperative: a scheduling hint only; determinacy analysis is
+      // timing-independent by design.
+      return Result::cont();
+    case vex::IntrinsicId::kExit:
+      vm_.halt(args.empty() ? 0 : args[0].i);
+      return Result::cont();
+  }
+  TG_UNREACHABLE("unknown intrinsic");
+}
+
+Runtime::Result Runtime::do_parallel_begin(vex::HostCtx& ctx,
+                                           std::span<const Value> args,
+                                           std::span<const int64_t> iargs) {
+  Worker* master = Worker::of(ctx.thread);
+  TG_ASSERT_MSG(master->region == nullptr,
+                "nested parallel regions are not supported");
+  const auto fn = static_cast<vex::FuncId>(iargs[0]);
+  const auto ncapt = static_cast<uint32_t>(iargs[1]);
+  int nthreads = static_cast<int>(args[0].i);
+  if (nthreads <= 0) nthreads = options_.num_threads;
+  TG_ASSERT(args.size() == 1 + ncapt);
+
+  auto region = std::make_unique<Region>();
+  region->id = next_region_id_++;
+  region->nthreads = nthreads;
+  region->encountering = master->current_task();
+  regions_.push_back(std::move(region));
+  Region& r = *regions_.back();
+
+  const GuestAddr capture =
+      alloc_capture(ctx.thread, ncapt, args.subspan(1, ncapt));
+
+  emit([&](RtEvents& l) { l.on_parallel_begin(r, *r.encountering); });
+
+  // Team: this worker plus the next nthreads-1 workers.
+  for (int i = 0; i < nthreads; ++i) {
+    Worker& w = i == 0 ? *master : ensure_worker(i);
+    TG_ASSERT_MSG(i == 0 || w.region == nullptr,
+                  "worker already busy in another region");
+    w.region = &r;
+    w.thread_num = i;
+    r.workers.push_back(&w);
+
+    Task& t = make_task(r.encountering, &r, fn, TaskFlags::kImplicit);
+    t.capture = capture;
+    t.capture_words = ncapt;
+    t.thread_num = i;
+    t.create_loc = ctx.loc;
+    r.implicit_tasks.push_back(&t);
+    r.active_implicit++;
+    emit([&](RtEvents& l) { l.on_task_create(t, r.encountering); });
+  }
+
+  // Start implicit tasks: workers 1..n-1 from their idle floors, the master
+  // on top of the encountering frame.
+  for (int i = 1; i < nthreads; ++i) {
+    Worker& w = *r.workers[static_cast<size_t>(i)];
+    Task* t = r.implicit_tasks[static_cast<size_t>(i)];
+    t->state = TaskState::kRunning;
+    t->bound = &w;
+    set_current(w, t);
+    w.execs().push_back(Exec{t, w.ctx().frames.size(), false,
+                             SyncKind::kTaskwait, false, false, nullptr});
+    Value capture_arg = Value::from_u(capture);
+    vm_.push_call(w.ctx(), fn, std::span<const Value>(&capture_arg, 1),
+                  vex::kNoReg, ctx.loc);
+  }
+  Task* t0 = r.implicit_tasks[0];
+  t0->state = TaskState::kRunning;
+  t0->bound = master;
+  set_current(*master, t0);
+  master->execs().push_back(Exec{t0, master->ctx().frames.size(), false,
+                                 SyncKind::kTaskwait, false, false, nullptr});
+  Value capture_arg = Value::from_u(capture);
+  vm_.push_call(master->ctx(), fn, std::span<const Value>(&capture_arg, 1),
+                vex::kNoReg, ctx.loc);
+  return Result::resched();
+}
+
+Runtime::Result Runtime::do_parallel_end(Worker& worker) {
+  Region* r = worker.region;
+  TG_ASSERT_MSG(r != nullptr, "parallel_end outside a region");
+  if (r->active_implicit > 0) {
+    Exec& e = worker.top();
+    e.blocked = true;
+    e.block_reason = SyncKind::kParallelJoin;
+    e.at_tsp = true;  // join is a barrier-like scheduling point
+    return Result::block();
+  }
+  Exec& e = worker.top();
+  e.blocked = false;
+  emit([&](RtEvents& l) { l.on_parallel_end(*r, *r->encountering); });
+  for (Worker* w : r->workers) {
+    w->region = nullptr;
+    w->thread_num = 0;
+    w->barrier_target = 0;
+  }
+  return Result::cont();
+}
+
+Runtime::Result Runtime::do_task_create(vex::HostCtx& ctx,
+                                        std::span<const Value> args,
+                                        std::span<const int64_t> iargs) {
+  Worker& worker = *Worker::of(ctx.thread);
+  Exec& e = worker.top();
+
+  // Undeferred child already created by a previous execution of this
+  // intrinsic: just wait for its completion.
+  if (e.pending_inline != nullptr) {
+    if (e.pending_inline->state != TaskState::kCompleted) {
+      e.blocked = true;
+      e.block_reason = SyncKind::kTaskwait;
+      e.at_tsp = true;
+      return Result::block();
+    }
+    e.pending_inline = nullptr;
+    e.blocked = false;
+    return Result::cont();
+  }
+
+  const auto fn = static_cast<vex::FuncId>(iargs[0]);
+  uint32_t flags = static_cast<uint32_t>(iargs[1]);
+  const auto ncapt = static_cast<uint32_t>(iargs[2]);
+  const auto ndeps = static_cast<uint32_t>(iargs[3]);
+  TG_ASSERT(args.size() == ncapt + ndeps);
+  TG_ASSERT(iargs.size() == 4 + ndeps);
+
+  Task* creator = worker.current_task();
+  Region* region = worker.region;
+
+  if (creator->flags & TaskFlags::kFinal) {
+    // Included task: descendants of a final task are final and undeferred.
+    flags |= TaskFlags::kFinal | TaskFlags::kUndeferred;
+  }
+  if (options_.serialize_single_thread &&
+      (region == nullptr || region->nthreads == 1)) {
+    // LLVM serializes every explicit task in a single-threaded team and
+    // reports it undeferred through OMPT - indistinguishable from if(0).
+    flags |= TaskFlags::kUndeferred | TaskFlags::kSerializedByRuntime;
+  }
+  if (options_.merge_mergeable && (flags & TaskFlags::kMergeable) &&
+      (flags & TaskFlags::kUndeferred)) {
+    // A merged task; we still give it its own frames (like LLVM, which
+    // never truly merges - the behaviour behind the DRB129 false negative).
+  }
+
+  Task& task = make_task(creator, region, fn, flags);
+  task.create_loc = ctx.loc;
+  task.capture = alloc_capture(ctx.thread, ncapt, args.subspan(0, ncapt));
+  task.capture_words = ncapt;
+  task.descriptor = alloc_descriptor(ctx.thread);
+  touch_descriptor(ctx.thread, task, 0);
+  bump_team_counter(ctx.thread, 1);
+
+  for (uint32_t d = 0; d < ndeps; ++d) {
+    task.deps.push_back(Dep{static_cast<DepKind>(iargs[4 + d]),
+                            args[ncapt + d].u});
+  }
+
+  creator->children_live++;
+  task.group = creator->open_group != nullptr ? creator->open_group
+                                              : creator->group;
+  if (task.group != nullptr) task.group->live++;
+  if (region != nullptr) region->pending_explicit++;
+
+  emit([&](RtEvents& l) { l.on_task_create(task, creator); });
+
+  std::vector<DepEdge> edges;
+  deps_.resolve(task, edges);
+  for (const DepEdge& edge : edges) {
+    emit([&](RtEvents& l) { l.on_dependence(*edge.pred, *edge.succ,
+                                            edge.addr); });
+    if (edge.pred->state != TaskState::kCompleted) {
+      task.npredecessors++;
+      edge.pred->successors.push_back(&task);
+    }
+  }
+
+  if (task.npredecessors == 0) {
+    task.state = TaskState::kReady;
+    // Undeferred tasks never enter the stealable pool: like LLVM's if(0)
+    // path, the encountering thread runs them itself (via pending_inline).
+    if (!(flags & TaskFlags::kUndeferred)) {
+      worker.deque().push_back(&task);
+    }
+  }
+
+  if (flags & TaskFlags::kUndeferred) {
+    // The encountering task suspends until the child completes. The child
+    // runs on this worker's stack (or is stolen once ready).
+    e.pending_inline = &task;
+    e.blocked = true;
+    e.block_reason = SyncKind::kTaskwait;
+    e.at_tsp = true;
+    return Result::block();
+  }
+  return Result::cont(Value::from_u(task.id));
+}
+
+Runtime::Result Runtime::do_taskloop(vex::HostCtx& ctx,
+                                     std::span<const Value> args,
+                                     std::span<const int64_t> iargs) {
+  Worker& worker = *Worker::of(ctx.thread);
+  const auto fn = static_cast<vex::FuncId>(iargs[0]);
+  const auto ncapt = static_cast<uint32_t>(iargs[1]);
+  int64_t grain = iargs[2];
+  const bool nogroup = iargs[3] != 0;
+  TG_ASSERT(args.size() == ncapt + 2);
+  const int64_t lo = args[ncapt].i;
+  const int64_t hi = args[ncapt + 1].i;
+  if (grain <= 0) grain = std::max<int64_t>(1, (hi - lo) / 8);
+
+  Task* creator = worker.current_task();
+  Region* region = worker.region;
+
+  // taskloop carries an implicit taskgroup unless nogroup: open one here;
+  // the front-end emits a TaskgroupEnd right after this intrinsic.
+  if (!nogroup) do_taskgroup_begin(worker);
+
+  const bool serialized =
+      options_.serialize_single_thread &&
+      (region == nullptr || region->nthreads == 1);
+
+  for (int64_t chunk_lo = lo; chunk_lo < hi; chunk_lo += grain) {
+    const int64_t chunk_hi = std::min(hi, chunk_lo + grain);
+    uint32_t flags = 0;
+    if (serialized) {
+      // Serialized chunks still run as separate tasks, drained at the
+      // taskgroup end; no undeferred inlining is needed since the creator
+      // blocks there anyway.
+      flags |= TaskFlags::kSerializedByRuntime | TaskFlags::kUndeferred;
+    }
+    Task& task = make_task(creator, region, fn, flags);
+    task.create_loc = ctx.loc;
+    std::vector<Value> capture(args.begin(), args.begin() + ncapt);
+    capture.push_back(Value::from_i(chunk_lo));
+    capture.push_back(Value::from_i(chunk_hi));
+    task.capture = alloc_capture(ctx.thread, ncapt + 2, capture);
+    task.capture_words = ncapt + 2;
+    task.descriptor = alloc_descriptor(ctx.thread);
+    touch_descriptor(ctx.thread, task, 0);
+
+    creator->children_live++;
+    task.group = creator->open_group != nullptr ? creator->open_group
+                                                : creator->group;
+    if (task.group != nullptr) task.group->live++;
+    if (region != nullptr) region->pending_explicit++;
+    emit([&](RtEvents& l) { l.on_task_create(task, creator); });
+
+    task.state = TaskState::kReady;
+    worker.deque().push_back(&task);
+  }
+  return Result::cont();
+}
+
+Runtime::Result Runtime::do_taskwait(Worker& worker) {
+  Exec& e = worker.top();
+  Task* task = worker.current_task();
+  if (!e.sync_open) {
+    e.sync_open = true;
+    emit([&](RtEvents& l) {
+      l.on_sync_begin(SyncKind::kTaskwait, *task, worker);
+    });
+  }
+  if (task->children_live > 0) {
+    e.blocked = true;
+    e.block_reason = SyncKind::kTaskwait;
+    e.at_tsp = true;
+    return Result::block();
+  }
+  e.blocked = false;
+  e.sync_open = false;
+  emit([&](RtEvents& l) { l.on_sync_end(SyncKind::kTaskwait, *task, worker); });
+  return Result::cont();
+}
+
+Runtime::Result Runtime::do_taskgroup_begin(Worker& worker) {
+  Task* task = worker.current_task();
+  auto group = std::make_unique<Taskgroup>();
+  group->parent = task->open_group;
+  group->owner = task;
+  groups_.push_back(std::move(group));
+  task->open_group = groups_.back().get();
+  emit([&](RtEvents& l) { l.on_taskgroup_begin(*task); });
+  return Result::cont();
+}
+
+Runtime::Result Runtime::do_taskgroup_end(Worker& worker) {
+  Exec& e = worker.top();
+  Task* task = worker.current_task();
+  Taskgroup* group = task->open_group;
+  TG_ASSERT_MSG(group != nullptr, "taskgroup end without begin");
+  if (!e.sync_open) {
+    e.sync_open = true;
+    emit([&](RtEvents& l) {
+      l.on_sync_begin(SyncKind::kTaskgroupEnd, *task, worker);
+    });
+  }
+  if (group->live > 0) {
+    e.blocked = true;
+    e.block_reason = SyncKind::kTaskgroupEnd;
+    e.at_tsp = true;
+    return Result::block();
+  }
+  task->open_group = group->parent;
+  e.blocked = false;
+  e.sync_open = false;
+  emit([&](RtEvents& l) {
+    l.on_sync_end(SyncKind::kTaskgroupEnd, *task, worker);
+  });
+  return Result::cont();
+}
+
+Runtime::Result Runtime::do_barrier(Worker& worker) {
+  Region* r = worker.region;
+  if (r == nullptr) return Result::cont();  // barrier in a team of one
+  Exec& e = worker.top();
+  Task* task = worker.current_task();
+
+  if (!e.sync_open) {
+    // First arrival of this activation at this barrier instance.
+    e.sync_open = true;
+    worker.barrier_target = r->barrier_epoch + 1;
+    r->barrier_arrived++;
+    emit([&](RtEvents& l) {
+      l.on_sync_begin(SyncKind::kBarrier, *task, worker);
+      l.on_barrier_arrive(*r, worker, r->barrier_epoch);
+    });
+  }
+  // The OpenMP barrier guarantee: it only completes once every explicit
+  // task of the region has completed (blocked workers drain the pool).
+  if (r->barrier_arrived == r->nthreads && r->pending_explicit == 0) {
+    const uint64_t epoch = r->barrier_epoch;
+    r->barrier_epoch++;
+    r->barrier_arrived = 0;
+    emit([&](RtEvents& l) { l.on_barrier_release(*r, epoch); });
+  }
+  if (r->barrier_epoch >= worker.barrier_target) {
+    e.blocked = false;
+    e.sync_open = false;
+    emit([&](RtEvents& l) {
+      l.on_sync_end(SyncKind::kBarrier, *task, worker);
+    });
+    return Result::cont();
+  }
+  e.blocked = true;
+  e.block_reason = SyncKind::kBarrier;
+  e.at_tsp = true;
+  return Result::block();
+}
+
+Runtime::Result Runtime::do_single_begin(Worker& worker, uint32_t site) {
+  Region* r = worker.region;
+  if (r == nullptr) return Result::cont(Value::from_i(1));
+  if (r->single_claimed(site)) return Result::cont(Value::from_i(0));
+  r->singles_claimed.push_back(site);
+  return Result::cont(Value::from_i(1));
+}
+
+Runtime::Result Runtime::do_critical_begin(Worker& worker,
+                                           uint64_t mutex_id) {
+  auto it = critical_owner_.find(mutex_id);
+  if (it == critical_owner_.end()) {
+    critical_owner_.emplace(mutex_id, &worker);
+    Task* task = worker.current_task();
+    emit([&](RtEvents& l) { l.on_mutex_acquired(*task, mutex_id, false); });
+    Exec& e = worker.top();
+    e.blocked = false;
+    return Result::cont();
+  }
+  TG_ASSERT_MSG(it->second != &worker, "recursive critical section");
+  Exec& e = worker.top();
+  e.blocked = true;
+  e.block_reason = SyncKind::kTaskwait;
+  e.at_tsp = false;  // a critical wait is NOT a task scheduling point
+  return Result::block();
+}
+
+Runtime::Result Runtime::do_critical_end(Worker& worker, uint64_t mutex_id) {
+  auto it = critical_owner_.find(mutex_id);
+  TG_ASSERT_MSG(it != critical_owner_.end() && it->second == &worker,
+                "critical end without ownership");
+  critical_owner_.erase(it);
+  Task* task = worker.current_task();
+  emit([&](RtEvents& l) { l.on_mutex_released(*task, mutex_id, false); });
+  return Result::cont();
+}
+
+Runtime::Result Runtime::do_task_detach(Worker& worker) {
+  Task* task = worker.current_task();
+  TG_ASSERT_MSG(!task->is_implicit(), "detach on an implicit task");
+  task->detach_requested = true;
+  task->detach_event = next_detach_event_++;
+  detach_events_[task->detach_event] = task;
+  emit([&](RtEvents& l) { l.on_task_detach(*task); });
+  return Result::cont(Value::from_u(task->detach_event));
+}
+
+Runtime::Result Runtime::do_fulfill(uint64_t handle, Worker& worker) {
+  auto it = detach_events_.find(handle);
+  TG_ASSERT_MSG(it != detach_events_.end(), "fulfill of unknown event");
+  Task* task = it->second;
+  detach_events_.erase(it);
+  task->detach_fulfilled = true;
+  emit([&](RtEvents& l) { l.on_task_fulfill(*task, worker); });
+  if (task->state == TaskState::kFinished) {
+    complete_task(*task, &worker);
+  }
+  return Result::cont();
+}
+
+Runtime::Result Runtime::do_threadprivate_addr(Worker& worker, uint32_t var,
+                                               uint32_t size) {
+  const auto key = std::make_pair(var, worker.index());
+  auto it = threadprivate_.find(key);
+  if (it == threadprivate_.end()) {
+    // kmpc_threadprivate_cached-style: a heap block per (var, thread). Not
+    // TLS - which is exactly why Taskgrind's §IV-C suppression misses it
+    // (the paper's DRB127/128 false positives).
+    const GuestAddr addr = vm_.rt_alloc().allocate(size);
+    runtime_bytes_ += size;
+    MemAccountant::instance().add(MemCategory::kRuntime, size);
+    it = threadprivate_.emplace(key, addr).first;
+    Task* task = worker.current_task();
+    if (task != nullptr) {
+      emit([&](RtEvents& l) { l.on_threadprivate(*task, var, addr); });
+    }
+  }
+  return Result::cont(Value::from_u(it->second));
+}
+
+Runtime::Result Runtime::do_feb(vex::HostCtx& ctx, vex::IntrinsicId id,
+                                std::span<const Value> args) {
+  Worker& worker = *Worker::of(ctx.thread);
+  Task* task = worker.current_task();
+  const GuestAddr addr = args[0].u;
+  bool& full = feb_full_[addr];
+  Exec& e = worker.top();
+
+  auto park = [&]() {
+    e.blocked = true;
+    e.block_reason = SyncKind::kTaskwait;
+    e.at_tsp = true;  // qthreads workers run other qthreads while waiting
+    return Result::block();
+  };
+  auto release = [&](bool full_channel) {
+    emit([&](RtEvents& l) { l.on_feb_release(*task, addr, full_channel); });
+  };
+  auto acquire = [&](bool full_channel) {
+    emit([&](RtEvents& l) { l.on_feb_acquire(*task, addr, full_channel); });
+  };
+
+  switch (id) {
+    case vex::IntrinsicId::kFebWriteEF: {
+      if (full) return park();
+      // Proceeding past an empty word acquires from whoever emptied it.
+      acquire(/*full_channel=*/false);
+      // The payload store happens inside the runtime (qthread_writeEF),
+      // like __kmp code: attributed to __mnp_feb, ignore-list material.
+      vm_.record_store(ctx.thread, addr, 8, args[1].u, fn_feb_);
+      full = true;
+      release(/*full_channel=*/true);
+      e.blocked = false;
+      return Result::cont();
+    }
+    case vex::IntrinsicId::kFebReadFE:
+    case vex::IntrinsicId::kFebReadFF: {
+      if (!full) return park();
+      acquire(/*full_channel=*/true);
+      const uint64_t value = vm_.record_load(ctx.thread, addr, 8, fn_feb_);
+      if (id == vex::IntrinsicId::kFebReadFE) {
+        full = false;
+        release(/*full_channel=*/false);
+      }
+      e.blocked = false;
+      return Result::cont(Value::from_u(value));
+    }
+    case vex::IntrinsicId::kFebFill: {
+      full = true;
+      release(/*full_channel=*/true);
+      return Result::cont();
+    }
+    case vex::IntrinsicId::kFebEmpty: {
+      full = false;
+      release(/*full_channel=*/false);
+      return Result::cont();
+    }
+    default:
+      TG_UNREACHABLE("not an FEB intrinsic");
+  }
+}
+
+}  // namespace tg::rt

@@ -1,0 +1,127 @@
+// Task, taskgroup and parallel-region descriptors for the minomp runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vex/ir.hpp"
+
+namespace tg::rt {
+
+class Worker;
+struct Region;
+struct Task;
+
+/// OpenMP task dependence kinds (OpenMP 5.x), including the two the paper
+/// singles out as Taskgrind-supported / TaskSanitizer-unsupported.
+enum class DepKind : uint8_t {
+  kIn,
+  kOut,
+  kInOut,
+  kInOutSet,
+  kMutexInOutSet,
+};
+
+const char* dep_kind_name(DepKind kind);
+
+struct Dep {
+  DepKind kind;
+  vex::GuestAddr addr;
+};
+
+/// Task flags, mirroring the OMPT task flag vocabulary.
+struct TaskFlags {
+  static constexpr uint32_t kImplicit = 1u << 0;
+  static constexpr uint32_t kUndeferred = 1u << 1;  // if(0)/final/serialized
+  static constexpr uint32_t kFinal = 1u << 2;
+  static constexpr uint32_t kMergeable = 1u << 3;
+  static constexpr uint32_t kDetachable = 1u << 4;
+  static constexpr uint32_t kInitial = 1u << 5;
+  // Runtime-internal: undeferred only because the region ran single-threaded
+  // (LLVM behaviour; indistinguishable through OMPT, so tools must NOT read
+  // this bit - it exists for runtime assertions and tests).
+  static constexpr uint32_t kSerializedByRuntime = 1u << 16;
+};
+
+enum class TaskState : uint8_t {
+  kCreated,    // waiting on dependences
+  kReady,      // in some worker's deque
+  kRunning,    // on a worker (possibly suspended at a scheduling point)
+  kFinished,   // frames drained; may still await a detach fulfill
+  kCompleted,  // logically complete; dependences released
+};
+
+struct Taskgroup {
+  Taskgroup* parent = nullptr;
+  Task* owner = nullptr;
+  int live = 0;  // uncompleted tasks charged to this group
+};
+
+struct Task {
+  uint64_t id = 0;
+  Task* parent = nullptr;
+  Region* region = nullptr;
+  vex::FuncId fn = vex::kNoFunc;
+  vex::GuestAddr capture = 0;   // runtime-allocated capture block
+  uint32_t capture_words = 0;
+  uint32_t flags = 0;
+  std::vector<Dep> deps;
+  vex::SrcLoc create_loc;       // where the pragma was (debug info)
+
+  // Dependence bookkeeping.
+  int npredecessors = 0;
+  std::vector<Task*> successors;
+  std::vector<uint64_t> mutexes;  // mutexinoutset objects to hold while running
+
+  // Hierarchy bookkeeping.
+  int children_live = 0;
+  Taskgroup* group = nullptr;      // taskgroup this task is charged to
+  Taskgroup* open_group = nullptr;  // innermost taskgroup region it opened
+
+  TaskState state = TaskState::kCreated;
+  Worker* bound = nullptr;  // tied worker once started
+  int thread_num = -1;      // implicit tasks: omp thread num in region
+
+  // Detach support.
+  bool detach_requested = false;
+  bool detach_fulfilled = false;
+  uint64_t detach_event = 0;
+
+  // Guest-visible runtime bookkeeping block (recycled across tasks;
+  // accesses to it are attributed to __mnp_sched).
+  vex::GuestAddr descriptor = 0;
+
+  bool is_implicit() const { return flags & TaskFlags::kImplicit; }
+  bool is_undeferred() const { return flags & TaskFlags::kUndeferred; }
+  bool is_mergeable() const { return flags & TaskFlags::kMergeable; }
+};
+
+struct Region {
+  uint64_t id = 0;
+  int nthreads = 1;
+  Task* encountering = nullptr;  // task that hit the parallel construct
+  std::vector<Worker*> workers;
+  std::vector<Task*> implicit_tasks;
+
+  // Barrier state (epoch protocol; see scheduler.cpp).
+  uint64_t barrier_epoch = 0;
+  int barrier_arrived = 0;
+
+  // Explicit tasks of this region that have not completed (a barrier only
+  // releases when this hits zero, per the OpenMP barrier guarantee).
+  int pending_explicit = 0;
+
+  int active_implicit = 0;  // implicit tasks still running
+
+  // `single` constructs claimed in this region, by lexical site id.
+  std::vector<uint32_t> singles_claimed;
+
+  bool single_claimed(uint32_t site) const {
+    for (uint32_t s : singles_claimed) {
+      if (s == site) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace tg::rt

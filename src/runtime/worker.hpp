@@ -1,0 +1,67 @@
+// Worker: one simulated OS thread of the minomp runtime.
+//
+// A worker owns one guest ThreadCtx and a deque of ready tasks. Tasks
+// executing on a worker form a stack of activations ("execs"): pushing a new
+// task onto a worker whose current task is parked at a scheduling point is
+// how tied-task stack reuse happens - the new task's guest frames literally
+// sit on the suspended task's stack, which is the mechanism behind the
+// paper's §IV-D segment-local false positives.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "runtime/task.hpp"
+#include "vex/thread.hpp"
+
+namespace tg::rt {
+
+/// One task activation on a worker's stack.
+struct Exec {
+  Task* task = nullptr;
+  size_t frame_floor = 0;  // guest frame count below this activation
+  bool blocked = false;
+  SyncKind block_reason = SyncKind::kTaskwait;
+  bool at_tsp = false;      // parked at a task scheduling point
+  bool sync_open = false;   // a sync_begin event was emitted, end pending
+  Task* pending_inline = nullptr;  // undeferred child being waited on
+};
+
+class Worker {
+ public:
+  Worker(int index, vex::ThreadCtx& ctx) : index_(index), ctx_(&ctx) {
+    ctx.sched_data = this;
+  }
+
+  int index() const { return index_; }
+  vex::ThreadCtx& ctx() { return *ctx_; }
+
+  bool has_exec() const { return !execs_.empty(); }
+  Exec& top() { return execs_.back(); }
+  const Exec& top() const { return execs_.back(); }
+  std::vector<Exec>& execs() { return execs_; }
+
+  Task* current_task() const {
+    return execs_.empty() ? nullptr : execs_.back().task;
+  }
+
+  std::deque<Task*>& deque() { return deque_; }
+
+  Region* region = nullptr;
+  int thread_num = 0;          // omp_get_thread_num value
+  uint64_t barrier_target = 0;  // barrier epoch this worker waits for
+  Task* announced = nullptr;   // task last announced via schedule events
+
+  static Worker* of(vex::ThreadCtx& ctx) {
+    return static_cast<Worker*>(ctx.sched_data);
+  }
+
+ private:
+  int index_;
+  vex::ThreadCtx* ctx_;
+  std::vector<Exec> execs_;
+  std::deque<Task*> deque_;
+};
+
+}  // namespace tg::rt

@@ -1,0 +1,69 @@
+#include "support/accounting.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace tg {
+
+const char* mem_category_name(MemCategory category) {
+  switch (category) {
+    case MemCategory::kGuestMemory:
+      return "guest-memory";
+    case MemCategory::kSegments:
+      return "segments";
+    case MemCategory::kIntervalTrees:
+      return "interval-trees";
+    case MemCategory::kShadow:
+      return "shadow";
+    case MemCategory::kAccessHistory:
+      return "access-history";
+    case MemCategory::kRuntime:
+      return "runtime";
+    case MemCategory::kTranslation:
+      return "translation";
+    case MemCategory::kOther:
+      return "other";
+    case MemCategory::kCount:
+      break;
+  }
+  return "?";
+}
+
+void MemAccountant::add(MemCategory category, int64_t bytes) {
+  auto index = static_cast<size_t>(category);
+  TG_ASSERT(index < static_cast<size_t>(MemCategory::kCount));
+  bytes_[index] += bytes;
+  total_ += bytes;
+  if (total_ > peak_) peak_ = total_;
+}
+
+int64_t MemAccountant::total() const { return total_; }
+
+int64_t MemAccountant::category_bytes(MemCategory category) const {
+  return bytes_[static_cast<size_t>(category)];
+}
+
+void MemAccountant::reset() {
+  for (auto& b : bytes_) b = 0;
+  total_ = 0;
+  peak_ = 0;
+}
+
+std::string MemAccountant::summary() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < static_cast<size_t>(MemCategory::kCount); ++i) {
+    if (bytes_[i] == 0) continue;
+    out << mem_category_name(static_cast<MemCategory>(i)) << "="
+        << bytes_[i] / 1024 << "KiB ";
+  }
+  out << "total=" << total_ / 1024 << "KiB peak=" << peak_ / 1024 << "KiB";
+  return out.str();
+}
+
+MemAccountant& MemAccountant::instance() {
+  static MemAccountant accountant;
+  return accountant;
+}
+
+}  // namespace tg

@@ -1,0 +1,70 @@
+// Memory accounting.
+//
+// The paper's Table II and Fig. 4 report *memory usage* of the analyzed
+// process: guest memory + tool data structures. Because our guest and tools
+// both live inside one host process, we account explicitly: every subsystem
+// that owns sizeable state registers its byte count under a category, and the
+// benchmark harnesses read the totals (and a high-water mark) instead of
+// scraping RSS, which would be dominated by host allocator noise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tg {
+
+enum class MemCategory : uint8_t {
+  kGuestMemory = 0,   // the guest flat address space
+  kSegments,          // segment graph nodes + edges
+  kIntervalTrees,     // per-segment access interval trees
+  kShadow,            // Archer-style shadow memory
+  kAccessHistory,     // ROMP-style per-location history
+  kRuntime,           // minomp task descriptors, deques
+  kTranslation,       // VM translation cache
+  kOther,
+  kCount,
+};
+
+const char* mem_category_name(MemCategory category);
+
+/// Process-wide accounting registry. Not thread-safe by design: the VM and
+/// runtime are cooperative (single host thread); the parallel analysis pass
+/// does not allocate through the accountant.
+class MemAccountant {
+ public:
+  void add(MemCategory category, int64_t bytes);
+  int64_t total() const;
+  int64_t peak() const { return peak_; }
+  int64_t category_bytes(MemCategory category) const;
+  void reset();
+
+  /// One line per non-zero category, for bench output.
+  std::string summary() const;
+
+  static MemAccountant& instance();
+
+ private:
+  int64_t bytes_[static_cast<size_t>(MemCategory::kCount)]{};
+  int64_t total_ = 0;
+  int64_t peak_ = 0;
+};
+
+/// RAII helper: accounts bytes on construction, releases on destruction.
+class ScopedBytes {
+ public:
+  ScopedBytes(MemCategory category, int64_t bytes)
+      : category_(category), bytes_(bytes) {
+    MemAccountant::instance().add(category_, bytes_);
+  }
+  ~ScopedBytes() { MemAccountant::instance().add(category_, -bytes_); }
+  ScopedBytes(const ScopedBytes&) = delete;
+  ScopedBytes& operator=(const ScopedBytes&) = delete;
+
+ private:
+  MemCategory category_;
+  int64_t bytes_;
+};
+
+}  // namespace tg

@@ -1,0 +1,32 @@
+// Assertion macros used throughout the Taskgrind reproduction.
+//
+// TG_ASSERT is active in all build types: this code base is a correctness
+// tool, and a silently corrupted segment graph is worse than an abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tg::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "taskgrind: assertion failed: %s (%s:%d)%s%s\n", expr,
+               file, line, msg ? " - " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace tg::detail
+
+#define TG_ASSERT(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::tg::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define TG_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::tg::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define TG_UNREACHABLE(msg) \
+  ::tg::detail::assert_fail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,27 @@
+// Minimal leveled logger.
+//
+// The instrumentation hot path never logs; logging exists for the CLI driver,
+// the benchmark harnesses and for debugging the runtime.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace tg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Thread-safe (single global mutex).
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define TG_LOG_DEBUG(...) ::tg::logf(::tg::LogLevel::kDebug, __VA_ARGS__)
+#define TG_LOG_INFO(...) ::tg::logf(::tg::LogLevel::kInfo, __VA_ARGS__)
+#define TG_LOG_WARN(...) ::tg::logf(::tg::LogLevel::kWarn, __VA_ARGS__)
+#define TG_LOG_ERROR(...) ::tg::logf(::tg::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace tg

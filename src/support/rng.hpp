@@ -1,0 +1,67 @@
+// Seeded pseudo-random number generation.
+//
+// Everything nondeterministic in this code base (work stealing, victim
+// selection, benchmark workloads) draws from an explicitly seeded Rng so
+// that every test and every reported experiment is reproducible, while
+// different seeds still reproduce the scheduling variance the paper reports
+// for Archer ("149 to 273" reports across runs).
+#pragma once
+
+#include <cstdint>
+
+namespace tg {
+
+/// xoshiro256** with a splitmix64 seeding sequence. Deterministic for a
+/// given seed on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be non-zero.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi].
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4]{};
+};
+
+}  // namespace tg

@@ -1,0 +1,31 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+namespace tg {
+
+SampleStats compute_stats(std::vector<double> samples) {
+  SampleStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.count = samples.size();
+  stats.min = samples.front();
+  stats.max = samples.back();
+  stats.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+               static_cast<double>(samples.size());
+  const size_t mid = samples.size() / 2;
+  stats.median = (samples.size() % 2 == 1)
+                     ? samples[mid]
+                     : 0.5 * (samples[mid - 1] + samples[mid]);
+  return stats;
+}
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace tg

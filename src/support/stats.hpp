@@ -1,0 +1,24 @@
+// Small statistics helpers for the benchmark harnesses (min/median/mean over
+// repeated runs, as the paper reports time ranges such as "149 to 273").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tg {
+
+struct SampleStats {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  size_t count = 0;
+};
+
+SampleStats compute_stats(std::vector<double> samples);
+
+/// Monotonic wall-clock in seconds.
+double now_seconds();
+
+}  // namespace tg

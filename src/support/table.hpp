@@ -1,0 +1,36 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// The Table I / Table II / Fig. 4 binaries print paper-style tables to
+// stdout and optionally CSV for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tg {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string render() const;
+
+  /// Render as CSV (header + rows).
+  std::string csv() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by the harnesses.
+std::string format_seconds(double seconds);
+std::string format_mib(double mib);
+std::string format_ratio(double ratio);
+
+}  // namespace tg

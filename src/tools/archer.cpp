@@ -1,0 +1,231 @@
+#include "tools/archer.hpp"
+
+#include <sstream>
+
+#include "runtime/task.hpp"
+#include "runtime/worker.hpp"
+#include "support/accounting.hpp"
+
+namespace tg::tools {
+
+using vex::GuestAddr;
+
+ArcherTool::ArcherTool(ArcherOptions options) : options_(options) {}
+
+VectorClock& ArcherTool::worker_clock(int tid) {
+  if (worker_clocks_.size() <= static_cast<size_t>(tid)) {
+    const size_t old_size = worker_clocks_.size();
+    worker_clocks_.resize(static_cast<size_t>(tid) + 1);
+    current_task_by_tid_.resize(static_cast<size_t>(tid) + 1, UINT64_MAX);
+    // Every thread starts at epoch 1 in its own component: epoch (t, 0) is
+    // what every other thread's clock trivially covers, so a thread that
+    // never ticked would look ordered with everyone.
+    for (size_t t = old_size; t <= static_cast<size_t>(tid); ++t) {
+      worker_clocks_[t].set(static_cast<int>(t), 1);
+    }
+  }
+  return worker_clocks_[static_cast<size_t>(tid)];
+}
+
+void ArcherTool::report(GuestAddr addr, vex::SrcLoc a, vex::SrcLoc b,
+                        const char* kind) {
+  racy_granules_.insert(addr >> options_.granule_shift);
+  if (reports_.size() >= options_.max_reports) return;
+  const char* file_a = vm_ != nullptr ? vm_->program().file_name(a.file) : "?";
+  const char* file_b = vm_ != nullptr ? vm_->program().file_name(b.file) : "?";
+  std::ostringstream key;
+  key << file_a << ":" << a.line << "|" << file_b << ":" << b.line;
+  if (!dedup_.insert(key.str()).second) return;
+  std::ostringstream text;
+  text << "WARNING: ThreadSanitizer: data race (" << kind << ")\n"
+       << "  at 0x" << std::hex << addr << std::dec << "\n"
+       << "  " << file_a << ":" << a.line << " <-> " << file_b << ":"
+       << b.line << "\n";
+  reports_.push_back(text.str());
+}
+
+void ArcherTool::access(int tid, GuestAddr addr, uint32_t size,
+                        bool is_write, vex::SrcLoc loc) {
+  VectorClock& clock = worker_clock(tid);
+  const GuestAddr first = addr >> options_.granule_shift;
+  const GuestAddr last = (addr + size - 1) >> options_.granule_shift;
+  for (GuestAddr granule = first; granule <= last; ++granule) {
+    ++checks_;
+    auto [it, inserted] = shadow_.try_emplace(granule);
+    if (inserted) {
+      shadow_bytes_ += 96;
+      MemAccountant::instance().add(MemCategory::kShadow, 96);
+    }
+    Shadow& cell = it->second;
+    // Prior write ordered before us?
+    if (cell.write_tid >= 0 &&
+        !clock.covers(cell.write_tid, cell.write_clock)) {
+      report(granule << options_.granule_shift, cell.write_loc, loc,
+             is_write ? "write-write" : "write-read");
+    }
+    if (is_write) {
+      // Prior reads ordered before us?
+      for (size_t r = 0; r < cell.reads.size(); ++r) {
+        const auto& [rtid, rclock] = cell.reads[r];
+        if (!clock.covers(rtid, rclock)) {
+          report(granule << options_.granule_shift, cell.read_locs[r], loc,
+                 "read-write");
+        }
+      }
+      cell.write_tid = tid;
+      cell.write_clock = clock.get(tid);
+      cell.write_loc = loc;
+      cell.reads.clear();
+      cell.read_locs.clear();
+    } else {
+      bool found = false;
+      for (size_t r = 0; r < cell.reads.size(); ++r) {
+        if (cell.reads[r].first == tid) {
+          cell.reads[r].second = clock.get(tid);
+          cell.read_locs[r] = loc;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        cell.reads.emplace_back(tid, clock.get(tid));
+        cell.read_locs.push_back(loc);
+      }
+    }
+  }
+}
+
+std::optional<vex::HostFn> ArcherTool::replace_function(
+    std::string_view symbol) {
+  if (symbol == "free") {
+    return vex::HostFn([](vex::HostCtx&, std::span<const vex::Value>) {
+      return vex::Value{};  // quarantined: never recycled
+    });
+  }
+  return std::nullopt;
+}
+
+void ArcherTool::on_load(vex::ThreadCtx& thread, GuestAddr addr,
+                         uint32_t size, vex::SrcLoc loc) {
+  access(thread.tid, addr, size, /*is_write=*/false, loc);
+}
+
+void ArcherTool::on_store(vex::ThreadCtx& thread, GuestAddr addr,
+                          uint32_t size, vex::SrcLoc loc) {
+  access(thread.tid, addr, size, /*is_write=*/true, loc);
+}
+
+void ArcherTool::on_task_create(rt::Task& task, rt::Task* parent) {
+  TaskClocks& clocks = tasks_[task.id];
+  if (parent != nullptr && parent->bound != nullptr) {
+    const int tid = parent->bound->index();
+    VectorClock& creator = worker_clock(tid);
+    // Release: the child acquires everything the creator has done so far.
+    clocks.acquire.join(creator);
+    creator.tick(tid);
+    tasks_[parent->id].children.push_back(task.id);
+  }
+}
+
+void ArcherTool::on_dependence(rt::Task& pred, rt::Task& succ, GuestAddr) {
+  // Lazy: join pred's release clock when it exists (it may not have
+  // completed yet; the successor cannot start before it does, and
+  // on_task_schedule_begin re-joins, so stash the relation instead).
+  TaskClocks& succ_clocks = tasks_[succ.id];
+  TaskClocks& pred_clocks = tasks_[pred.id];
+  if (pred_clocks.completed) {
+    succ_clocks.acquire.join(pred_clocks.release);
+  } else {
+    // Remember: at schedule_begin we join all completed predecessors.
+    pred_clocks.children.push_back(succ.id | (1ull << 63));
+  }
+}
+
+void ArcherTool::on_task_schedule_begin(rt::Task& task, rt::Worker& worker) {
+  const int tid = worker.index();
+  VectorClock& clock = worker_clock(tid);
+  clock.join(tasks_[task.id].acquire);
+  current_task_by_tid_[static_cast<size_t>(tid)] = task.id;
+}
+
+void ArcherTool::on_task_complete(rt::Task& task) {
+  TaskClocks& clocks = tasks_[task.id];
+  clocks.completed = true;
+  if (task.bound != nullptr) {
+    const int tid = task.bound->index();
+    // Join (not assign): a detached task's release already carries the
+    // fulfiller's clock from on_task_fulfill.
+    clocks.release.join(worker_clock(tid));
+    worker_clock(tid).tick(tid);
+  }
+  // Flush pending dependence releases.
+  for (uint64_t entry : clocks.children) {
+    if (entry & (1ull << 63)) {
+      tasks_[entry & ~(1ull << 63)].acquire.join(clocks.release);
+    }
+  }
+}
+
+void ArcherTool::on_sync_end(rt::SyncKind kind, rt::Task& task,
+                             rt::Worker& worker) {
+  const int tid = worker.index();
+  VectorClock& clock = worker_clock(tid);
+  if (kind == rt::SyncKind::kTaskwait ||
+      kind == rt::SyncKind::kTaskgroupEnd) {
+    // Join every completed child's release clock (OMPT gives Archer the
+    // task tree; descendants were joined transitively by their parents).
+    for (uint64_t child : tasks_[task.id].children) {
+      if (child & (1ull << 63)) continue;  // dependence stash, not a child
+      const TaskClocks& child_clocks = tasks_[child];
+      if (child_clocks.completed) clock.join(child_clocks.release);
+    }
+  }
+}
+
+void ArcherTool::on_barrier_arrive(rt::Region& region, rt::Worker& worker,
+                                   uint64_t epoch) {
+  VectorClock& barrier = barrier_clocks_[{region.id, epoch}];
+  barrier.join(worker_clock(worker.index()));
+}
+
+void ArcherTool::on_barrier_release(rt::Region& region, uint64_t epoch) {
+  // Everyone who arrived adopts the merged clock when they resume; since
+  // workers only resume after the release, push it into all region workers.
+  const VectorClock& barrier = barrier_clocks_[{region.id, epoch}];
+  for (rt::Worker* worker : region.workers) {
+    worker_clock(worker->index()).join(barrier);
+  }
+}
+
+void ArcherTool::on_mutex_acquired(rt::Task& task, uint64_t mutex, bool) {
+  if (task.bound == nullptr) return;
+  worker_clock(task.bound->index()).join(mutex_clocks_[mutex]);
+}
+
+void ArcherTool::on_mutex_released(rt::Task& task, uint64_t mutex, bool) {
+  if (task.bound == nullptr) return;
+  const int tid = task.bound->index();
+  mutex_clocks_[mutex].join(worker_clock(tid));
+  worker_clock(tid).tick(tid);
+}
+
+void ArcherTool::on_feb_release(rt::Task& task, GuestAddr addr,
+                                bool full_channel) {
+  if (task.bound == nullptr) return;
+  const int tid = task.bound->index();
+  feb_clocks_[{addr, full_channel}].join(worker_clock(tid));
+  worker_clock(tid).tick(tid);
+}
+
+void ArcherTool::on_feb_acquire(rt::Task& task, GuestAddr addr,
+                                bool full_channel) {
+  if (task.bound == nullptr) return;
+  worker_clock(task.bound->index()).join(feb_clocks_[{addr, full_channel}]);
+}
+
+void ArcherTool::on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) {
+  // The fulfiller releases into the detached task's completion clock.
+  tasks_[task.id].release.join(worker_clock(fulfiller.index()));
+}
+
+}  // namespace tg::tools

@@ -1,0 +1,168 @@
+// Archer model: a thread-centric, compile-time-instrumented race detector.
+//
+// Reimplements the *approach* of Archer (ThreadSanitizer + OMPT): FastTrack
+// style vector clocks per worker thread, happens-before derived from the
+// actual execution (program order per thread + observed synchronization),
+// and instrumentation of user translation units only.
+//
+// The two properties Table I / Table II hinge on fall out of the design:
+//  * single-threaded runs serialize all tasks onto one worker, so every
+//    access is ordered by that worker's clock -> the paper's single-thread
+//    false negatives ("Archer never reports errors running single-thread");
+//  * code the compiler never saw (libc, the parallel runtime) is invisible
+//    -> false negatives on races through uninstrumented code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/events.hpp"
+#include "vex/tool.hpp"
+#include "vex/vm.hpp"
+
+namespace tg::tools {
+
+/// A vector clock over worker thread ids.
+class VectorClock {
+ public:
+  uint64_t get(int tid) const {
+    return static_cast<size_t>(tid) < clock_.size()
+               ? clock_[static_cast<size_t>(tid)]
+               : 0;
+  }
+  void set(int tid, uint64_t value) {
+    grow(tid);
+    clock_[static_cast<size_t>(tid)] = value;
+  }
+  void tick(int tid) {
+    grow(tid);
+    clock_[static_cast<size_t>(tid)]++;
+  }
+  void join(const VectorClock& other) {
+    if (other.clock_.size() > clock_.size()) {
+      clock_.resize(other.clock_.size(), 0);
+    }
+    for (size_t i = 0; i < other.clock_.size(); ++i) {
+      clock_[i] = std::max(clock_[i], other.clock_[i]);
+    }
+  }
+  /// epoch (tid, value) happens-before this clock?
+  bool covers(int tid, uint64_t value) const { return get(tid) >= value; }
+
+  bool operator==(const VectorClock&) const = default;
+
+ private:
+  void grow(int tid) {
+    if (static_cast<size_t>(tid) >= clock_.size()) {
+      clock_.resize(static_cast<size_t>(tid) + 1, 0);
+    }
+  }
+  std::vector<uint64_t> clock_;
+};
+
+struct ArcherOptions {
+  uint32_t granule_shift = 3;  // 8-byte shadow cells, like ThreadSanitizer
+  size_t max_reports = 100'000;
+};
+
+class ArcherTool : public vex::Tool, public rt::RtEvents {
+ public:
+  explicit ArcherTool(ArcherOptions options = {});
+
+  // --- vex::Tool -----------------------------------------------------------
+  std::string_view name() const override { return "archer"; }
+  vex::InstrumentationSet instrumentation_for(
+      const vex::Function& fn) override {
+    // Compile-time instrumentation: user translation units only.
+    return fn.kind == vex::FnKind::kUser
+               ? vex::InstrumentationSet::accesses()
+               : vex::InstrumentationSet::none();
+  }
+  void on_load(vex::ThreadCtx& thread, vex::GuestAddr addr, uint32_t size,
+               vex::SrcLoc loc) override;
+  void on_store(vex::ThreadCtx& thread, vex::GuestAddr addr, uint32_t size,
+                vex::SrcLoc loc) override;
+  /// TSan runtimes intercept the allocator and quarantine freed blocks, so
+  /// address recycling never confuses the shadow state.
+  std::optional<vex::HostFn> replace_function(
+      std::string_view symbol) override;
+
+  // --- rt::RtEvents ----------------------------------------------------------
+  void on_task_create(rt::Task& task, rt::Task* parent) override;
+  void on_dependence(rt::Task& pred, rt::Task& succ,
+                     vex::GuestAddr addr) override;
+  void on_task_schedule_begin(rt::Task& task, rt::Worker& worker) override;
+  void on_task_complete(rt::Task& task) override;
+  void on_sync_end(rt::SyncKind kind, rt::Task& task,
+                   rt::Worker& worker) override;
+  void on_barrier_arrive(rt::Region& region, rt::Worker& worker,
+                         uint64_t epoch) override;
+  void on_barrier_release(rt::Region& region, uint64_t epoch) override;
+  void on_mutex_acquired(rt::Task& task, uint64_t mutex, bool) override;
+  void on_mutex_released(rt::Task& task, uint64_t mutex, bool) override;
+  void on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) override;
+  void on_feb_release(rt::Task& task, vex::GuestAddr addr,
+                      bool full_channel) override;
+  void on_feb_acquire(rt::Task& task, vex::GuestAddr addr,
+                      bool full_channel) override;
+
+  /// Unique race findings (deduped by source-location pair), in the order
+  /// they were first seen. Ready as soon as execution finishes - Archer
+  /// detects online, there is no post-mortem pass.
+  const std::vector<std::string>& reports() const { return reports_; }
+  size_t report_count() const { return reports_.size(); }
+  /// Distinct racy shadow cells - the per-run report volume the paper's
+  /// Table II counts (tsan emits one report per racy location until
+  /// suppressed), which varies with scheduling.
+  size_t racy_granules() const { return racy_granules_.size(); }
+  uint64_t checks() const { return checks_; }
+
+  /// Resolves file names for report rendering.
+  void attach(vex::Vm& vm) { vm_ = &vm; }
+
+ private:
+  struct Shadow {
+    // Last write epoch.
+    int write_tid = -1;
+    uint64_t write_clock = 0;
+    vex::SrcLoc write_loc;
+    // Read epochs per thread (small: thread counts are tiny).
+    std::vector<std::pair<int, uint64_t>> reads;
+    std::vector<vex::SrcLoc> read_locs;
+  };
+
+  struct TaskClocks {
+    VectorClock acquire;  // joined into the worker when the task starts
+    VectorClock release;  // worker clock when the task completed
+    std::vector<uint64_t> children;
+    bool completed = false;
+  };
+
+  VectorClock& worker_clock(int tid);
+  void access(int tid, vex::GuestAddr addr, uint32_t size, bool is_write,
+              vex::SrcLoc loc);
+  void report(vex::GuestAddr addr, vex::SrcLoc a, vex::SrcLoc b,
+              const char* kind);
+
+  ArcherOptions options_;
+  vex::Vm* vm_ = nullptr;
+  std::vector<VectorClock> worker_clocks_;
+  std::vector<uint64_t> current_task_by_tid_;
+  std::map<uint64_t, TaskClocks> tasks_;
+  std::map<uint64_t, VectorClock> mutex_clocks_;
+  std::map<std::pair<vex::GuestAddr, bool>, VectorClock> feb_clocks_;
+  std::map<std::pair<uint64_t, uint64_t>, VectorClock> barrier_clocks_;
+  std::unordered_map<vex::GuestAddr, Shadow> shadow_;
+  int64_t shadow_bytes_ = 0;
+
+  std::vector<std::string> reports_;
+  std::set<std::string> dedup_;
+  std::set<vex::GuestAddr> racy_granules_;
+  uint64_t checks_ = 0;
+};
+
+}  // namespace tg::tools

@@ -1,0 +1,112 @@
+#include "tools/romp.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "runtime/task.hpp"
+#include "support/accounting.hpp"
+
+namespace tg::tools {
+
+using vex::GuestAddr;
+
+RompTool::RompTool(RompOptions options) : options_(options) {}
+
+RompTool::~RompTool() {
+  MemAccountant::instance().add(MemCategory::kAccessHistory,
+                                -history_bytes_);
+}
+
+void RompTool::access(int tid, GuestAddr addr, uint32_t size,
+                      bool is_write) {
+  if (crashed_ || out_of_memory_) return;
+  const core::SegId segment = builder_.current_segment(tid);
+  if (segment == core::kNoSeg) return;
+  // Word-granular shadow (4 bytes), like the original's per-location state.
+  const GuestAddr first = addr >> 2;
+  const GuestAddr last = (addr + size - 1) >> 2;
+  for (GuestAddr word = first; word <= last; ++word) {
+    auto& entries = history_[word];
+    // Per-access history entries, like the original's per-location access
+    // records - this is the O(accesses) growth that killed it on LULESH.
+    entries.push_back(HistoryEntry{0, segment, is_write});
+    constexpr int64_t kEntryBytes = 24;
+    history_bytes_ += kEntryBytes;
+    MemAccountant::instance().add(MemCategory::kAccessHistory, kEntryBytes);
+    if (history_bytes_ > options_.max_history_bytes) {
+      out_of_memory_ = true;
+      return;
+    }
+  }
+}
+
+void RompTool::on_load(vex::ThreadCtx& thread, GuestAddr addr, uint32_t size,
+                       vex::SrcLoc) {
+  access(thread.tid, addr, size, /*is_write=*/false);
+}
+
+void RompTool::on_store(vex::ThreadCtx& thread, GuestAddr addr,
+                        uint32_t size, vex::SrcLoc) {
+  access(thread.tid, addr, size, /*is_write=*/true);
+}
+
+std::optional<vex::HostFn> RompTool::replace_function(
+    std::string_view symbol) {
+  if (symbol != "free") return std::nullopt;
+  return vex::HostFn([this](vex::HostCtx& ctx,
+                            std::span<const vex::Value> args) {
+    const GuestAddr addr = args[0].u;
+    if (addr == 0) return vex::Value{};
+    const uint64_t size = ctx.vm.sys_alloc().live_block_size(addr);
+    // Reset the shadow for the dying block, then really free it.
+    for (GuestAddr word = addr >> 2; word <= (addr + size - 1) >> 2;
+         ++word) {
+      auto it = history_.find(word);
+      if (it == history_.end()) continue;
+      const int64_t bytes = static_cast<int64_t>(it->second.size()) * 24;
+      history_bytes_ -= bytes;
+      MemAccountant::instance().add(MemCategory::kAccessHistory, -bytes);
+      history_.erase(it);
+    }
+    ctx.vm.sys_alloc().deallocate(addr);
+    return vex::Value{};
+  });
+}
+
+void RompTool::on_threadprivate(rt::Task&, uint32_t, GuestAddr) {
+  if (options_.crash_on_threadprivate) {
+    // The ROMP build evaluated in the paper dies here (Table I "segv").
+    crashed_ = true;
+  }
+}
+
+std::vector<std::string> RompTool::run_analysis() {
+  std::vector<std::string> reports;
+  if (crashed_) return reports;
+  core::SegmentGraph& graph = builder_.finalize();
+
+  for (const auto& [addr, entries] : history_) {
+    bool reported = false;
+    const size_t limit = std::min<size_t>(entries.size(), 256);
+    for (size_t i = 0; i < limit && !reported; ++i) {
+      for (size_t j = i + 1; j < limit; ++j) {
+        const HistoryEntry& a = entries[i];
+        const HistoryEntry& b = entries[j];
+        if (!a.is_write && !b.is_write) continue;
+        if (a.segment == b.segment) continue;
+        if (graph.ordered(a.segment, b.segment)) continue;
+        // Listing 5: ROMP reports the bare address, nothing more.
+        std::ostringstream text;
+        text << "data race found:\n  heap address: 0x" << std::hex
+             << (addr << 2) << std::dec << "\n  bytes: 4\n";
+        reports.push_back(text.str());
+        reported = true;
+        break;
+      }
+    }
+    if (reports.size() >= options_.max_reports) break;
+  }
+  return reports;
+}
+
+}  // namespace tg::tools

@@ -1,0 +1,91 @@
+// ROMP model: static binary instrumentation with per-location access
+// histories.
+//
+// ROMP rewrites the application binary (so it sees user code but not shared
+// libraries) and keeps, for every memory location, the full history of
+// accesses labelled with the accessing task - no interval compression. Its
+// checking is sound on OpenMP task graphs, but:
+//  * memory grows with the access count per location (the paper measured
+//    75 GB on LULESH -s 64 before it crashed) - we model the crash with a
+//    configurable budget;
+//  * reports carry bare addresses, no debug info (paper Listing 5);
+//  * the build the paper used segfaults on threadprivate (Table I "segv") -
+//    we reproduce that outcome when the event fires.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph_builder.hpp"
+#include "runtime/events.hpp"
+#include "vex/tool.hpp"
+
+namespace tg::tools {
+
+struct RompOptions {
+  /// Access-history budget; exceeding it aborts the analysis the way the
+  /// real tool died on LULESH (Table II / Fig. 4 discussion).
+  int64_t max_history_bytes = 1ll << 29;  // 512 MiB default
+  size_t max_reports = 100'000;
+  /// The paper's ROMP build crashes on threadprivate - keep true to
+  /// reproduce Table I's segv cell.
+  bool crash_on_threadprivate = true;
+};
+
+class RompTool : public vex::Tool, public rt::RtEvents {
+ public:
+  explicit RompTool(RompOptions options = {});
+  ~RompTool() override;
+
+  // --- vex::Tool -----------------------------------------------------------
+  std::string_view name() const override { return "romp"; }
+  vex::InstrumentationSet instrumentation_for(
+      const vex::Function& fn) override {
+    // Static rewriting of the application binary only.
+    return fn.kind == vex::FnKind::kUser
+               ? vex::InstrumentationSet::accesses()
+               : vex::InstrumentationSet::none();
+  }
+  void on_load(vex::ThreadCtx& thread, vex::GuestAddr addr, uint32_t size,
+               vex::SrcLoc loc) override;
+  void on_store(vex::ThreadCtx& thread, vex::GuestAddr addr, uint32_t size,
+                vex::SrcLoc loc) override;
+  /// ROMP hooks deallocation to reset the shadow (access history) of the
+  /// freed range; the block itself really is freed, so recycling happens.
+  std::optional<vex::HostFn> replace_function(
+      std::string_view symbol) override;
+
+  // --- rt::RtEvents: task-graph construction shares the builder. -----------
+  rt::RtEvents& graph_listener() { return builder_.listener(); }
+  void on_threadprivate(rt::Task& task, uint32_t var,
+                        vex::GuestAddr addr) override;
+
+  void attach(vex::Vm& vm) { builder_.set_vm(&vm); }
+
+  /// Post-mortem check over the access histories.
+  /// Returns bare-address report strings (Listing 5 style).
+  std::vector<std::string> run_analysis();
+
+  bool crashed() const { return crashed_; }
+  bool out_of_memory() const { return out_of_memory_; }
+  int64_t history_bytes() const { return history_bytes_; }
+  core::SegmentGraphBuilder& builder() { return builder_; }
+
+ private:
+  struct HistoryEntry {
+    uint64_t task_id;  // resolved to segments at analysis time? No:
+    core::SegId segment;
+    bool is_write;
+  };
+
+  void access(int tid, vex::GuestAddr addr, uint32_t size, bool is_write);
+
+  RompOptions options_;
+  core::SegmentGraphBuilder builder_;
+  std::unordered_map<vex::GuestAddr, std::vector<HistoryEntry>> history_;
+  int64_t history_bytes_ = 0;
+  bool crashed_ = false;
+  bool out_of_memory_ = false;
+};
+
+}  // namespace tg::tools

@@ -1,0 +1,222 @@
+#include "tools/session.hpp"
+
+#include <algorithm>
+
+#include "core/taskgrind.hpp"
+#include "runtime/execution.hpp"
+#include "support/accounting.hpp"
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+#include "tools/archer.hpp"
+#include "tools/romp.hpp"
+#include "tools/tasksan.hpp"
+
+namespace tg::tools {
+
+const char* tool_name(ToolKind kind) {
+  switch (kind) {
+    case ToolKind::kNone: return "none";
+    case ToolKind::kTaskgrind: return "taskgrind";
+    case ToolKind::kArcher: return "archer";
+    case ToolKind::kTaskSan: return "tasksanitizer";
+    case ToolKind::kRomp: return "romp";
+  }
+  return "?";
+}
+
+ToolKind tool_from_name(std::string_view name) {
+  if (name == "none") return ToolKind::kNone;
+  if (name == "taskgrind") return ToolKind::kTaskgrind;
+  if (name == "archer") return ToolKind::kArcher;
+  if (name == "tasksanitizer" || name == "tasksan") return ToolKind::kTaskSan;
+  if (name == "romp") return ToolKind::kRomp;
+  TG_UNREACHABLE("unknown tool name");
+}
+
+bool tool_supports(ToolKind tool, const rt::GuestProgram& program) {
+  if (tool != ToolKind::kTaskSan) return true;
+  const auto& supported = TaskSanTool::supported_features();
+  for (const std::string& feature : program.features) {
+    if (std::find(supported.begin(), supported.end(), feature) ==
+        supported.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void fill_exec(SessionResult& result, const rt::ExecResult& exec) {
+  result.output = exec.output;
+  result.exit_code = exec.outcome.exit_code;
+  result.exec_seconds = exec.wall_seconds;
+  result.retired = exec.retired;
+  result.tasks_created = exec.tasks_created;
+  switch (exec.outcome.status) {
+    case rt::RunOutcome::Status::kOk:
+      break;
+    case rt::RunOutcome::Status::kDeadlock:
+      result.status = SessionResult::Status::kDeadlock;
+      break;
+    case rt::RunOutcome::Status::kBudgetExceeded:
+      result.status = SessionResult::Status::kBudget;
+      break;
+  }
+}
+
+void keep_reports(SessionResult& result, std::vector<std::string> texts,
+                  size_t count) {
+  result.report_count = count;
+  constexpr size_t kKeep = 8;
+  if (texts.size() > kKeep) texts.resize(kKeep);
+  result.report_texts = std::move(texts);
+}
+
+}  // namespace
+
+SessionResult run_session(const rt::GuestProgram& program,
+                          const SessionOptions& options) {
+  SessionResult result;
+  if (!tool_supports(options.tool, program)) {
+    result.status = SessionResult::Status::kNcs;
+    return result;
+  }
+
+  // Fresh accounting per session so peak_bytes is per-run.
+  MemAccountant::instance().reset();
+
+  const vex::Program guest = program.build();
+
+  rt::RtOptions rt_options;
+  rt_options.num_threads = options.num_threads;
+  rt_options.seed = options.seed;
+  rt_options.quantum = options.quantum;
+  rt_options.max_retired = options.max_retired;
+
+  switch (options.tool) {
+    case ToolKind::kNone: {
+      rt::Execution exec(guest, rt_options, nullptr, {});
+      fill_exec(result, exec.run());
+      result.peak_bytes = MemAccountant::instance().peak();
+      return result;
+    }
+
+    case ToolKind::kTaskgrind: {
+      core::TaskgrindOptions tg_options;
+      tg_options.analysis_threads = options.analysis_threads;
+      tg_options.suppress_stack = options.taskgrind_suppress_stack;
+      tg_options.suppress_tls = options.taskgrind_suppress_tls;
+      tg_options.stack_incarnations = options.taskgrind_stack_incarnations;
+      tg_options.replace_allocator = options.taskgrind_replace_allocator;
+      if (!options.taskgrind_ignore_runtime) tg_options.ignore_list.clear();
+      core::TaskgrindTool tool(tg_options);
+      rt::Execution exec(guest, rt_options, &tool, {&tool});
+      tool.attach(exec.vm());
+      fill_exec(result, exec.run());
+      if (result.status == SessionResult::Status::kOk ||
+          result.status == SessionResult::Status::kBudget) {
+        const core::AnalysisResult analysis = tool.run_analysis();
+        result.analysis_seconds = analysis.stats.seconds;
+        result.raw_report_count = analysis.stats.raw_conflicts -
+                                  analysis.stats.suppressed_stack -
+                                  analysis.stats.suppressed_tls;
+        std::vector<std::string> texts;
+        for (const auto& report : analysis.reports) {
+          texts.push_back(report.to_string());
+          if (texts.size() >= 8) break;
+        }
+        keep_reports(result, std::move(texts), analysis.reports.size());
+      }
+      result.peak_bytes = MemAccountant::instance().peak();
+      return result;
+    }
+
+    case ToolKind::kArcher: {
+      ArcherTool tool;
+      rt::Execution exec(guest, rt_options, &tool, {&tool});
+      tool.attach(exec.vm());
+      fill_exec(result, exec.run());
+      keep_reports(result, tool.reports(), tool.report_count());
+      result.raw_report_count = tool.racy_granules();
+      result.peak_bytes = MemAccountant::instance().peak();
+      return result;
+    }
+
+    case ToolKind::kTaskSan: {
+      TaskSanTool tool;
+      rt::Execution exec(guest, rt_options, &tool, {&tool});
+      tool.attach(exec.vm());
+      fill_exec(result, exec.run());
+      if (result.status == SessionResult::Status::kOk) {
+        const core::AnalysisResult analysis = tool.run_analysis();
+        result.analysis_seconds = analysis.stats.seconds;
+        result.raw_report_count = analysis.stats.raw_conflicts;
+        std::vector<std::string> texts;
+        for (const auto& report : analysis.reports) {
+          texts.push_back(report.summary());
+          if (texts.size() >= 8) break;
+        }
+        keep_reports(result, std::move(texts), analysis.reports.size());
+      }
+      result.peak_bytes = MemAccountant::instance().peak();
+      return result;
+    }
+
+    case ToolKind::kRomp: {
+      RompOptions romp_options;
+      romp_options.max_history_bytes = options.romp_max_history_bytes;
+      RompTool tool(romp_options);
+      rt::Execution exec(guest, rt_options, &tool,
+                         {&tool.graph_listener(), &tool});
+      tool.attach(exec.vm());
+      fill_exec(result, exec.run());
+      if (tool.crashed() || tool.out_of_memory()) {
+        result.status = SessionResult::Status::kCrash;
+      } else if (result.status == SessionResult::Status::kOk) {
+        const double start = now_seconds();
+        auto reports = tool.run_analysis();
+        result.analysis_seconds = now_seconds() - start;
+        const size_t count = reports.size();
+        result.raw_report_count = count;
+        keep_reports(result, std::move(reports), count);
+      }
+      result.peak_bytes = MemAccountant::instance().peak();
+      return result;
+    }
+  }
+  TG_UNREACHABLE("unhandled tool kind");
+}
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kTP: return "TP";
+    case Verdict::kFP: return "FP";
+    case Verdict::kTN: return "TN";
+    case Verdict::kFN: return "FN";
+    case Verdict::kNcs: return "ncs";
+    case Verdict::kSegv: return "segv";
+    case Verdict::kDeadlock: return "deadlock";
+  }
+  return "?";
+}
+
+Verdict classify(bool ground_truth_race, const SessionResult& result) {
+  switch (result.status) {
+    case SessionResult::Status::kNcs:
+      return Verdict::kNcs;
+    case SessionResult::Status::kCrash:
+      return Verdict::kSegv;
+    case SessionResult::Status::kDeadlock:
+    case SessionResult::Status::kBudget:
+      return Verdict::kDeadlock;
+    case SessionResult::Status::kOk:
+      break;
+  }
+  if (ground_truth_race) {
+    return result.racy() ? Verdict::kTP : Verdict::kFN;
+  }
+  return result.racy() ? Verdict::kFP : Verdict::kTN;
+}
+
+}  // namespace tg::tools

@@ -1,0 +1,80 @@
+// Sessions: run a guest program under a chosen analysis tool and classify
+// the outcome - the machinery behind Table I, Table II, Fig. 4 and the CLI.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/guest_program.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tg::tools {
+
+enum class ToolKind {
+  kNone,       // uninstrumented reference run
+  kTaskgrind,
+  kArcher,
+  kTaskSan,
+  kRomp,
+};
+
+const char* tool_name(ToolKind kind);
+ToolKind tool_from_name(std::string_view name);  // asserts on unknown
+
+struct SessionOptions {
+  ToolKind tool = ToolKind::kTaskgrind;
+  int num_threads = 1;
+  uint64_t seed = 1;
+  uint64_t quantum = 20000;
+  uint64_t max_retired = 4'000'000'000ull;
+  int analysis_threads = 1;          // Taskgrind post-mortem parallelism
+  bool taskgrind_suppress_stack = true;
+  bool taskgrind_suppress_tls = true;
+  bool taskgrind_stack_incarnations = true;
+  bool taskgrind_replace_allocator = true;
+  bool taskgrind_ignore_runtime = true;  // the default __mnp ignore-list
+  int64_t romp_max_history_bytes = 1ll << 29;
+};
+
+struct SessionResult {
+  enum class Status {
+    kOk,
+    kNcs,       // "no compiler support" (TaskSanitizer feature gate)
+    kCrash,     // tool crashed (ROMP segv / OOM)
+    kDeadlock,  // guest execution deadlocked
+    kBudget,    // guest execution exceeded the instruction budget
+  };
+
+  Status status = Status::kOk;
+  size_t report_count = 0;      // deduplicated findings
+  size_t raw_report_count = 0;  // per-location / per-conflict volume
+                                // (what Table II's "N of reports" counts)
+  std::vector<std::string> report_texts;  // capped at a few for display
+  std::string output;                     // guest stdout
+  int64_t exit_code = 0;
+
+  double exec_seconds = 0;      // recording phase (like the paper's timing)
+  double analysis_seconds = 0;  // post-mortem pass (excluded in the paper)
+  int64_t peak_bytes = 0;       // accounted peak memory
+  uint64_t retired = 0;         // guest instructions
+  uint64_t tasks_created = 0;
+
+  bool racy() const { return report_count > 0; }
+};
+
+/// True when `tool` can even build/instrument the program ("ncs" check).
+bool tool_supports(ToolKind tool, const rt::GuestProgram& program);
+
+/// Runs the program under the tool. Never throws; crashes and deadlocks
+/// are reported through SessionResult::status.
+SessionResult run_session(const rt::GuestProgram& program,
+                          const SessionOptions& options);
+
+/// Table I verdict classification.
+enum class Verdict { kTP, kFP, kTN, kFN, kNcs, kSegv, kDeadlock };
+
+const char* verdict_name(Verdict verdict);
+Verdict classify(bool ground_truth_race, const SessionResult& result);
+
+}  // namespace tg::tools

@@ -1,0 +1,148 @@
+#include "tools/tasksan.hpp"
+
+#include "runtime/worker.hpp"
+#include "support/assert.hpp"
+
+namespace tg::tools {
+
+using vex::GuestAddr;
+using vex::Value;
+
+TaskSanTool::TaskSanTool()
+    : builder_(core::SegmentGraphBuilder::Policy{
+          /*undeferred_parallel=*/true}) {}
+
+const std::vector<std::string>& TaskSanTool::supported_features() {
+  // The Clang-8-era feature set (see Table I's ncs pattern).
+  static const std::vector<std::string> features = {
+      "parallel", "single",   "task",  "taskwait",
+      "taskgroup", "dep",     "stack", "tls",
+      "memory-recycling",     "undeferred", "non-sibling-dep",
+  };
+  return features;
+}
+
+void TaskSanTool::attach(vex::Vm& vm) {
+  vm_ = &vm;
+  builder_.set_vm(&vm);
+}
+
+void TaskSanTool::on_load(vex::ThreadCtx& thread, GuestAddr addr,
+                          uint32_t size, vex::SrcLoc loc) {
+  builder_.record_access(thread.tid, addr, size, /*is_write=*/false, loc);
+}
+
+void TaskSanTool::on_store(vex::ThreadCtx& thread, GuestAddr addr,
+                           uint32_t size, vex::SrcLoc loc) {
+  builder_.record_access(thread.tid, addr, size, /*is_write=*/true, loc);
+}
+
+std::optional<vex::HostFn> TaskSanTool::replace_function(
+    std::string_view symbol) {
+  // Quarantine model: freed blocks are never recycled while analysed.
+  if (symbol == "free") {
+    return vex::HostFn(
+        [](vex::HostCtx&, std::span<const Value>) { return Value{}; });
+  }
+  return std::nullopt;
+}
+
+void TaskSanTool::on_task_create(rt::Task& task, rt::Task* parent) {
+  const uint64_t parent_id = parent != nullptr ? parent->id : core::kNoId;
+  const uint64_t region =
+      task.region != nullptr ? task.region->id : core::kNoId;
+  builder_.task_create(task.id, parent_id, task.flags, region,
+                       task.create_loc);
+
+  // TaskSanitizer's dependence matching: keyed by address only, blind to
+  // the sibling rule. Non-sibling tasks with matching deps get (wrongly)
+  // ordered - the DRB173/175 false-negative mechanism.
+  for (const rt::Dep& dep : task.deps) {
+    AddrDeps& state = global_deps_[dep.addr];
+    switch (dep.kind) {
+      case rt::DepKind::kIn:
+        for (uint64_t writer : state.writers) {
+          builder_.dependence(writer, task.id);
+        }
+        state.readers.push_back(task.id);
+        break;
+      default:  // every other kind handled as a writer
+        for (uint64_t writer : state.writers) {
+          builder_.dependence(writer, task.id);
+        }
+        for (uint64_t reader : state.readers) {
+          builder_.dependence(reader, task.id);
+        }
+        state.writers.assign(1, task.id);
+        state.readers.clear();
+        break;
+    }
+  }
+}
+
+void TaskSanTool::on_task_schedule_begin(rt::Task& task, rt::Worker& worker) {
+  builder_.schedule_begin(task.id, worker.index());
+}
+
+void TaskSanTool::on_task_schedule_end(rt::Task& task, rt::Worker& worker) {
+  builder_.schedule_end(task.id, worker.index());
+}
+
+void TaskSanTool::on_task_complete(rt::Task& task) {
+  builder_.task_complete(task.id);
+}
+
+void TaskSanTool::on_sync_begin(rt::SyncKind kind, rt::Task& task,
+                                rt::Worker& worker) {
+  builder_.sync_begin(kind, task.id, worker.index());
+}
+
+void TaskSanTool::on_sync_end(rt::SyncKind kind, rt::Task& task,
+                              rt::Worker& worker) {
+  builder_.sync_end(kind, task.id, worker.index());
+}
+
+void TaskSanTool::on_taskgroup_begin(rt::Task&) {
+  // Not forwarded: this model's taskgroup handling is split-only, without
+  // the end-of-group join edges - the DRB107 false-positive mechanism.
+}
+
+void TaskSanTool::on_barrier_arrive(rt::Region& region, rt::Worker& worker,
+                                    uint64_t epoch) {
+  rt::Task* current = worker.current_task();
+  if (current != nullptr) {
+    builder_.barrier_arrive(region.id, epoch, current->id);
+  }
+}
+
+void TaskSanTool::on_barrier_release(rt::Region& region, uint64_t epoch) {
+  builder_.barrier_release(region.id, epoch);
+}
+
+void TaskSanTool::on_parallel_begin(rt::Region& region, rt::Task& enc) {
+  builder_.parallel_begin(region.id, enc.id, region.nthreads);
+}
+
+void TaskSanTool::on_parallel_end(rt::Region& region, rt::Task& enc) {
+  builder_.parallel_end(region.id, enc.id);
+}
+
+void TaskSanTool::on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) {
+  builder_.task_fulfill(task.id, fulfiller.index());
+}
+
+core::AnalysisResult TaskSanTool::run_analysis() {
+  TG_ASSERT(vm_ != nullptr);
+  if (!finalized_) {
+    builder_.finalize();
+    finalized_ = true;
+  }
+  core::AnalysisOptions options;
+  options.suppress_stack = false;  // no §IV-D equivalent
+  options.suppress_tls = false;    // no §IV-C equivalent
+  options.respect_mutexes = false;
+  return core::analyze_races(builder_.graph(), vm_->program(), nullptr,
+                             options);
+}
+
+}  // namespace tg::tools

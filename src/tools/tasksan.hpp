@@ -1,0 +1,88 @@
+// TaskSanitizer model: a task-centric, compile-time-instrumented detector.
+//
+// Like Taskgrind it reasons over the logical task graph (it is the tool the
+// paper credits for the segment-graph formalism), but with the limitations
+// its era implies:
+//  * compile-time instrumentation: user code only (libc/runtime invisible);
+//  * a Clang-8-vintage construct set - programs using newer constructs do
+//    not compile ("ncs" in Table I); the session layer enforces this via
+//    the feature list in GuestProgram;
+//  * dependences are matched globally by address, NOT per task-generating
+//    region - which silently orders non-sibling tasks and produces the
+//    DRB173/175 false negatives;
+//  * undeferred tasks are treated as parallel (it cannot tell a serialized
+//    task from a deferred one) - the DRB122 false positive;
+//  * no segment-local stack or TLS suppression (TMB 1003/1005/1006 FPs);
+//  * the allocator is intercepted with a quarantine, so recycling false
+//    positives do not appear (TMB 1000 TN).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/graph_builder.hpp"
+#include "runtime/events.hpp"
+#include "runtime/task.hpp"
+#include "vex/tool.hpp"
+
+namespace tg::tools {
+
+class TaskSanTool : public vex::Tool, public rt::RtEvents {
+ public:
+  TaskSanTool();
+
+  /// Constructs this model of TaskSanitizer can handle; the session layer
+  /// reports "ncs" for programs using anything else.
+  static const std::vector<std::string>& supported_features();
+
+  // --- vex::Tool -----------------------------------------------------------
+  std::string_view name() const override { return "tasksanitizer"; }
+  vex::InstrumentationSet instrumentation_for(
+      const vex::Function& fn) override {
+    return fn.kind == vex::FnKind::kUser
+               ? vex::InstrumentationSet::accesses()
+               : vex::InstrumentationSet::none();
+  }
+  void on_load(vex::ThreadCtx& thread, vex::GuestAddr addr, uint32_t size,
+               vex::SrcLoc loc) override;
+  void on_store(vex::ThreadCtx& thread, vex::GuestAddr addr, uint32_t size,
+                vex::SrcLoc loc) override;
+  std::optional<vex::HostFn> replace_function(
+      std::string_view symbol) override;
+
+  // --- rt::RtEvents: forwarded to the builder, except dependences which are
+  // resolved with TaskSanitizer's global-address model. ---------------------
+  void on_task_create(rt::Task& task, rt::Task* parent) override;
+  void on_task_schedule_begin(rt::Task& task, rt::Worker& worker) override;
+  void on_task_schedule_end(rt::Task& task, rt::Worker& worker) override;
+  void on_task_complete(rt::Task& task) override;
+  void on_sync_begin(rt::SyncKind kind, rt::Task& task,
+                     rt::Worker& worker) override;
+  void on_sync_end(rt::SyncKind kind, rt::Task& task,
+                   rt::Worker& worker) override;
+  void on_taskgroup_begin(rt::Task& task) override;
+  void on_barrier_arrive(rt::Region& region, rt::Worker& worker,
+                         uint64_t epoch) override;
+  void on_barrier_release(rt::Region& region, uint64_t epoch) override;
+  void on_parallel_begin(rt::Region& region, rt::Task& enc) override;
+  void on_parallel_end(rt::Region& region, rt::Task& enc) override;
+  void on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) override;
+
+  void attach(vex::Vm& vm);
+  core::AnalysisResult run_analysis();
+
+ private:
+  struct AddrDeps {
+    std::vector<uint64_t> writers;
+    std::vector<uint64_t> readers;
+  };
+
+  core::SegmentGraphBuilder builder_;
+  // Global (non-sibling-blind) dependence state by address.
+  std::map<vex::GuestAddr, AddrDeps> global_deps_;
+  vex::Vm* vm_ = nullptr;
+  bool finalized_ = false;
+};
+
+}  // namespace tg::tools

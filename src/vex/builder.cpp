@@ -1,0 +1,531 @@
+#include "vex/builder.hpp"
+
+#include "support/assert.hpp"
+
+namespace tg::vex {
+
+namespace {
+
+FnBuilder* same_fb(V a, V b) {
+  TG_ASSERT_MSG(a.fb != nullptr && a.fb == b.fb,
+                "mixing values from different functions");
+  return a.fb;
+}
+
+}  // namespace
+
+static V emit_binop(Op op, V a, V b) {
+  FnBuilder* fb = same_fb(a, b);
+  Instr instr;
+  instr.op = op;
+  instr.dst = fb->new_reg();
+  instr.a = a.reg;
+  instr.b = b.reg;
+  const Reg dst = instr.dst;
+  fb->emit(std::move(instr));
+  return V{dst, fb};
+}
+
+V operator+(V a, V b) { return emit_binop(Op::kAdd, a, b); }
+V operator-(V a, V b) { return emit_binop(Op::kSub, a, b); }
+V operator*(V a, V b) { return emit_binop(Op::kMul, a, b); }
+V operator/(V a, V b) { return emit_binop(Op::kDivS, a, b); }
+V operator%(V a, V b) { return emit_binop(Op::kRemS, a, b); }
+V operator==(V a, V b) { return emit_binop(Op::kCmpEq, a, b); }
+V operator!=(V a, V b) { return emit_binop(Op::kCmpNe, a, b); }
+V operator<(V a, V b) { return emit_binop(Op::kCmpLtS, a, b); }
+V operator<=(V a, V b) { return emit_binop(Op::kCmpLeS, a, b); }
+V operator>(V a, V b) { return emit_binop(Op::kCmpGtS, a, b); }
+V operator>=(V a, V b) { return emit_binop(Op::kCmpGeS, a, b); }
+V operator&&(V a, V b) { return emit_binop(Op::kAnd, a, b); }
+V operator||(V a, V b) { return emit_binop(Op::kOr, a, b); }
+
+V Slot::addr() const {
+  TG_ASSERT(fb != nullptr);
+  Instr instr;
+  instr.op = Op::kLea;
+  instr.dst = fb->new_reg();
+  instr.imm = offset;
+  const Reg dst = instr.dst;
+  fb->emit(std::move(instr));
+  return V{dst, fb};
+}
+
+V Slot::get() const { return fb->ld(addr(), size); }
+
+void Slot::set(V value) const { fb->st(addr(), value, size); }
+
+void Slot::set(int64_t value) const { set(fb->c(value)); }
+
+FnBuilder::FnBuilder(ProgramBuilder& pb, FuncId id, uint32_t file)
+    : pb_(pb), id_(id), file_(file) {
+  blocks_.emplace_back();
+}
+
+V FnBuilder::c(int64_t value) {
+  Instr instr;
+  instr.op = Op::kConstI;
+  instr.dst = new_reg();
+  instr.imm = value;
+  const Reg dst = instr.dst;
+  emit(std::move(instr));
+  return V{dst, this};
+}
+
+V FnBuilder::cf(double value) {
+  Instr instr;
+  instr.op = Op::kConstF;
+  instr.dst = new_reg();
+  instr.fimm = value;
+  const Reg dst = instr.dst;
+  emit(std::move(instr));
+  return V{dst, this};
+}
+
+V FnBuilder::param(uint32_t index) {
+  TG_ASSERT_MSG(index < nparams_, "parameter index out of range");
+  return V{index, this};
+}
+
+Slot FnBuilder::slot(uint32_t size) {
+  const uint32_t aligned = (size + 7u) & ~7u;
+  Slot s{frame_size_, size, this};
+  frame_size_ += aligned;
+  return s;
+}
+
+Slot FnBuilder::slot_array(uint32_t count, uint32_t elem_size) {
+  const uint32_t bytes = count * elem_size;
+  Slot s = slot(bytes);
+  s.size = elem_size;  // get()/set() operate on element 0
+  return s;
+}
+
+V FnBuilder::ld(V addr, uint32_t size) {
+  TG_ASSERT(addr.fb == this);
+  Instr instr;
+  instr.op = Op::kLoad;
+  instr.size = static_cast<uint8_t>(size);
+  instr.dst = new_reg();
+  instr.a = addr.reg;
+  const Reg dst = instr.dst;
+  emit(std::move(instr));
+  return V{dst, this};
+}
+
+void FnBuilder::st(V addr, V value, uint32_t size) {
+  TG_ASSERT(addr.fb == this && value.fb == this);
+  Instr instr;
+  instr.op = Op::kStore;
+  instr.size = static_cast<uint8_t>(size);
+  instr.a = addr.reg;
+  instr.b = value.reg;
+  emit(std::move(instr));
+}
+
+void FnBuilder::st(V addr, int64_t value, uint32_t size) {
+  st(addr, c(value), size);
+}
+
+V FnBuilder::global(std::string_view name) {
+  const GlobalVar* var = pb_.program_.find_global(name);
+  TG_ASSERT_MSG(var != nullptr, "unknown global");
+  return c(static_cast<int64_t>(var->addr));
+}
+
+V FnBuilder::tls(std::string_view name) {
+  for (const auto& var : pb_.program_.tls_vars) {
+    if (var.name == name) {
+      Instr instr;
+      instr.op = Op::kTlsAddr;
+      instr.dst = new_reg();
+      instr.aux = var.module;
+      instr.imm = var.offset;
+      const Reg dst = instr.dst;
+      emit(std::move(instr));
+      return V{dst, this};
+    }
+  }
+  TG_UNREACHABLE("unknown _Thread_local variable");
+}
+
+V FnBuilder::fadd(V a, V b) { return emit_binop(Op::kFAdd, a, b); }
+V FnBuilder::fsub(V a, V b) { return emit_binop(Op::kFSub, a, b); }
+V FnBuilder::fmul(V a, V b) { return emit_binop(Op::kFMul, a, b); }
+V FnBuilder::fdiv(V a, V b) { return emit_binop(Op::kFDiv, a, b); }
+V FnBuilder::fmin_(V a, V b) { return emit_binop(Op::kFMin, a, b); }
+V FnBuilder::fmax_(V a, V b) { return emit_binop(Op::kFMax, a, b); }
+V FnBuilder::flt(V a, V b) { return emit_binop(Op::kFCmpLt, a, b); }
+V FnBuilder::fle(V a, V b) { return emit_binop(Op::kFCmpLe, a, b); }
+V FnBuilder::feq(V a, V b) { return emit_binop(Op::kFCmpEq, a, b); }
+V FnBuilder::band(V a, V b) { return emit_binop(Op::kAnd, a, b); }
+V FnBuilder::bor(V a, V b) { return emit_binop(Op::kOr, a, b); }
+V FnBuilder::bxor(V a, V b) { return emit_binop(Op::kXor, a, b); }
+V FnBuilder::shl(V a, V b) { return emit_binop(Op::kShl, a, b); }
+V FnBuilder::shr(V a, V b) { return emit_binop(Op::kShrS, a, b); }
+
+static V emit_unop(FnBuilder* fb, Op op, V a) {
+  TG_ASSERT(a.fb == fb);
+  Instr instr;
+  instr.op = op;
+  instr.dst = fb->new_reg();
+  instr.a = a.reg;
+  const Reg dst = instr.dst;
+  fb->emit(std::move(instr));
+  return V{dst, fb};
+}
+
+V FnBuilder::fneg(V a) { return emit_unop(this, Op::kFNeg, a); }
+V FnBuilder::fsqrt(V a) { return emit_unop(this, Op::kFSqrt, a); }
+V FnBuilder::fabs_(V a) { return emit_unop(this, Op::kFAbs, a); }
+V FnBuilder::i2f(V a) { return emit_unop(this, Op::kI2F, a); }
+V FnBuilder::f2i(V a) { return emit_unop(this, Op::kF2I, a); }
+
+void FnBuilder::if_(V cond, const std::function<void()>& then_body,
+                    const std::function<void()>& else_body) {
+  TG_ASSERT(cond.fb == this);
+  const BlockId bthen = new_block();
+  const BlockId belse = else_body ? new_block() : kNoReg;
+  const BlockId bend = new_block();
+
+  Instr br;
+  br.op = Op::kBr;
+  br.a = cond.reg;
+  br.imm = bthen;
+  br.aux = else_body ? belse : bend;
+  emit(std::move(br));
+
+  switch_to(bthen);
+  then_body();
+  if (!terminated()) {
+    Instr jmp;
+    jmp.op = Op::kJmp;
+    jmp.imm = bend;
+    emit(std::move(jmp));
+  }
+
+  if (else_body) {
+    switch_to(belse);
+    else_body();
+    if (!terminated()) {
+      Instr jmp;
+      jmp.op = Op::kJmp;
+      jmp.imm = bend;
+      emit(std::move(jmp));
+    }
+  }
+  switch_to(bend);
+}
+
+void FnBuilder::while_(const std::function<V()>& cond,
+                       const std::function<void()>& body) {
+  const BlockId bcond = new_block();
+  Instr jmp;
+  jmp.op = Op::kJmp;
+  jmp.imm = bcond;
+  emit(std::move(jmp));
+
+  switch_to(bcond);
+  V test = cond();
+  const BlockId bbody = new_block();
+  const BlockId bend = new_block();
+  Instr br;
+  br.op = Op::kBr;
+  br.a = test.reg;
+  br.imm = bbody;
+  br.aux = bend;
+  emit(std::move(br));
+
+  switch_to(bbody);
+  body();
+  if (!terminated()) {
+    Instr back;
+    back.op = Op::kJmp;
+    back.imm = bcond;
+    emit(std::move(back));
+  }
+  switch_to(bend);
+}
+
+void FnBuilder::for_(V lo, V hi, const std::function<void(Slot)>& body) {
+  Slot i = slot(8);
+  i.set(lo);
+  // Registers are function-scoped, so re-reading `hi` in the condition
+  // block is legal even though it was materialized before the loop.
+  while_([&] { return i.get() < hi; }, [&] {
+    body(i);
+    i.set(i.get() + c(1));
+  });
+}
+
+void FnBuilder::for_(int64_t lo, int64_t hi,
+                     const std::function<void(Slot)>& body) {
+  for_(c(lo), c(hi), body);
+}
+
+V FnBuilder::call(std::string_view callee, std::initializer_list<V> args) {
+  return call(callee, std::vector<V>(args));
+}
+
+V FnBuilder::call(std::string_view callee, const std::vector<V>& args) {
+  const FuncId target = pb_.find_fn(callee);
+  TG_ASSERT_MSG(target != kNoFunc, "call to unknown function");
+  Instr instr;
+  instr.op = Op::kCall;
+  instr.imm = target;
+  instr.dst = new_reg();
+  for (V arg : args) {
+    TG_ASSERT(arg.fb == this);
+    instr.args.push_back(arg.reg);
+  }
+  const Reg dst = instr.dst;
+  emit(std::move(instr));
+  return V{dst, this};
+}
+
+void FnBuilder::ret(V value) {
+  Instr instr;
+  instr.op = Op::kRet;
+  instr.a = value.reg;
+  emit(std::move(instr));
+}
+
+void FnBuilder::ret() {
+  Instr instr;
+  instr.op = Op::kRet;
+  emit(std::move(instr));
+}
+
+void FnBuilder::halt(V code) {
+  Instr instr;
+  instr.op = Op::kHalt;
+  instr.a = code.reg;
+  emit(std::move(instr));
+}
+
+V FnBuilder::intrinsic(IntrinsicId id, const std::vector<V>& args,
+                       const std::vector<int64_t>& iargs) {
+  Instr instr;
+  instr.op = Op::kIntrinsic;
+  instr.imm = static_cast<int64_t>(id);
+  instr.dst = new_reg();
+  for (V arg : args) {
+    TG_ASSERT(arg.fb == this);
+    instr.args.push_back(arg.reg);
+  }
+  instr.iargs = iargs;
+  const Reg dst = instr.dst;
+  emit(std::move(instr));
+  return V{dst, this};
+}
+
+void FnBuilder::client_request(uint64_t code, const std::vector<V>& args) {
+  Instr instr;
+  instr.op = Op::kClientReq;
+  instr.imm = static_cast<int64_t>(code);
+  for (V arg : args) {
+    TG_ASSERT(arg.fb == this);
+    instr.args.push_back(arg.reg);
+  }
+  emit(std::move(instr));
+}
+
+Reg FnBuilder::new_reg() { return nregs_++; }
+
+BlockId FnBuilder::new_block() {
+  blocks_.emplace_back();
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+void FnBuilder::switch_to(BlockId block) {
+  TG_ASSERT(block < blocks_.size());
+  cur_block_ = block;
+}
+
+Instr& FnBuilder::emit(Instr instr) {
+  TG_ASSERT_MSG(!terminated(), "emitting into a terminated block");
+  instr.loc = SrcLoc{file_, cur_line_};
+  blocks_[cur_block_].instrs.push_back(std::move(instr));
+  return blocks_[cur_block_].instrs.back();
+}
+
+bool FnBuilder::terminated() const {
+  const auto& instrs = blocks_[cur_block_].instrs;
+  if (instrs.empty()) return false;
+  switch (instrs.back().op) {
+    case Op::kJmp:
+    case Op::kBr:
+    case Op::kRet:
+    case Op::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void FnBuilder::print_str(std::string_view text) {
+  const GuestAddr addr = pb_.string_lit(text);
+  call("print_str", {c(static_cast<int64_t>(addr))});
+}
+
+void FnBuilder::print_i64(V value) { call("print_i64", {value}); }
+
+void FnBuilder::print_f64(V value) { call("print_f64", {value}); }
+
+V FnBuilder::rand_() { return call("rand", {}); }
+
+void FnBuilder::sleep_ms(int64_t ms) {
+  intrinsic(IntrinsicId::kSleepMs, {c(ms)}, {});
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  program_.name = std::move(name);
+  program_.files.push_back("<unknown>");
+}
+
+ProgramBuilder::~ProgramBuilder() = default;
+
+FnBuilder& ProgramBuilder::fn(std::string name, std::string file,
+                              uint32_t nparams) {
+  return fn_in_file(std::move(name), file_id(file), nparams);
+}
+
+FnBuilder& ProgramBuilder::fn_in_file(std::string name, uint32_t file,
+                                      uint32_t nparams) {
+  TG_ASSERT(!taken_);
+  TG_ASSERT_MSG(program_.fn_by_name.find(name) == program_.fn_by_name.end(),
+                "duplicate function name");
+  Function function;
+  function.name = name;
+  function.id = static_cast<FuncId>(program_.functions.size());
+  function.file = file;
+  function.kind = FnKind::kUser;
+  program_.fn_by_name.emplace(name, function.id);
+  program_.functions.push_back(std::move(function));
+  if (name == "main") program_.entry = program_.functions.back().id;
+
+  auto fb = std::make_unique<FnBuilder>(*this, program_.functions.back().id,
+                                        program_.functions.back().file);
+  fb->nparams_ = nparams;
+  fb->nregs_ = nparams;  // params occupy the first registers
+  fn_builders_.push_back(std::move(fb));
+  return *fn_builders_.back();
+}
+
+FuncId ProgramBuilder::host_fn(std::string name, HostFn impl, FnKind kind) {
+  TG_ASSERT(!taken_);
+  Function function;
+  function.name = name;
+  function.id = static_cast<FuncId>(program_.functions.size());
+  function.file = file_id(kind == FnKind::kRuntime ? "<runtime>" : "<libc>");
+  function.host = std::move(impl);
+  function.kind = kind;
+  program_.fn_by_name.emplace(std::move(name), function.id);
+  program_.functions.push_back(std::move(function));
+  return program_.functions.back().id;
+}
+
+GuestAddr ProgramBuilder::global(std::string name, uint64_t size) {
+  TG_ASSERT(!taken_);
+  const GuestAddr addr = (global_cursor_ + 7) & ~7ull;
+  global_cursor_ = addr + size;
+  TG_ASSERT_MSG(global_cursor_ < GuestLayout::kHeapBase,
+                "global area exhausted");
+  program_.globals.push_back(GlobalVar{std::move(name), addr, size});
+  program_.globals_size = global_cursor_ - GuestLayout::kGlobalsBase;
+  return addr;
+}
+
+GuestAddr ProgramBuilder::global_init(std::string name,
+                                      std::initializer_list<int64_t> words) {
+  const GuestAddr addr = global(std::move(name), words.size() * 8);
+  GuestAddr cursor = addr;
+  for (int64_t word : words) {
+    program_.global_init.emplace_back(cursor, word);
+    cursor += 8;
+  }
+  return addr;
+}
+
+GuestAddr ProgramBuilder::string_lit(std::string_view text) {
+  auto it = string_pool_.find(std::string(text));
+  if (it != string_pool_.end()) return it->second;
+  const GuestAddr addr =
+      global("__str" + std::to_string(string_pool_.size()), text.size() + 1);
+  // Pack the bytes into 8-byte init words.
+  std::string padded(text);
+  padded.push_back('\0');
+  while (padded.size() % 8 != 0) padded.push_back('\0');
+  for (size_t i = 0; i < padded.size(); i += 8) {
+    int64_t word = 0;
+    for (size_t j = 0; j < 8; ++j) {
+      word |= static_cast<int64_t>(static_cast<uint8_t>(padded[i + j]))
+              << (8 * j);
+    }
+    program_.global_init.emplace_back(addr + i, word);
+  }
+  string_pool_.emplace(std::string(text), addr);
+  return addr;
+}
+
+uint32_t ProgramBuilder::tls_var(std::string name, uint32_t size) {
+  TG_ASSERT(!taken_);
+  uint32_t& module_size = program_.tls_module_sizes[0];
+  const uint32_t offset = (module_size + 7u) & ~7u;
+  module_size = offset + size;
+  program_.tls_vars.push_back(TlsVar{std::move(name), 0, offset, size});
+  return offset;
+}
+
+uint32_t ProgramBuilder::file_id(const std::string& file) {
+  for (uint32_t i = 0; i < program_.files.size(); ++i) {
+    if (program_.files[i] == file) return i;
+  }
+  program_.files.push_back(file);
+  return static_cast<uint32_t>(program_.files.size() - 1);
+}
+
+FuncId ProgramBuilder::find_fn(std::string_view name) const {
+  return program_.find_fn(name);
+}
+
+const std::string& ProgramBuilder::fn_name(FuncId id) const {
+  return program_.functions[id].name;
+}
+
+Program ProgramBuilder::take() {
+  TG_ASSERT(!taken_);
+  taken_ = true;
+  for (auto& fb : fn_builders_) {
+    Function& function = program_.functions[fb->id_];
+    function.nregs = fb->nregs_;
+    function.frame_size = fb->frame_size_;
+    function.nparams = fb->nparams_;
+    function.blocks = std::move(fb->blocks_);
+    // Ensure every block is terminated; fall off the end = implicit ret.
+    for (auto& block : function.blocks) {
+      if (block.instrs.empty()) {
+        Instr reti;
+        reti.op = Op::kRet;
+        block.instrs.push_back(reti);
+      } else {
+        switch (block.instrs.back().op) {
+          case Op::kJmp:
+          case Op::kBr:
+          case Op::kRet:
+          case Op::kHalt:
+            break;
+          default: {
+            Instr reti;
+            reti.op = Op::kRet;
+            block.instrs.push_back(reti);
+          }
+        }
+      }
+    }
+  }
+  fn_builders_.clear();
+  return std::move(program_);
+}
+
+}  // namespace tg::vex

@@ -1,0 +1,217 @@
+// Structured guest-program builder.
+//
+// Guest programs (the DRB/TMB kernels, LULESH, the examples) are written in
+// C++ against this builder, which emits minivex IR - playing the role of the
+// compiler front-end that produced the binary Valgrind would instrument.
+// The surface mimics -O0 compiled C: named stack slots are real guest-memory
+// locations (every read/write of a "variable" is a recorded access),
+// expressions allocate fresh virtual registers, and control flow is
+// structured (if_/while_/for_).
+//
+// OpenMP-style constructs (task/parallel/taskwait...) are *not* here; they
+// live in runtime/frontend.hpp, which knows the runtime ABI and performs the
+// outlining a compiler would do.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vex/ir.hpp"
+#include "vex/memory.hpp"
+
+namespace tg::vex {
+
+class FnBuilder;
+
+/// A value handle: a virtual register inside one function under
+/// construction. Cheap to copy; single-assignment by construction.
+struct V {
+  Reg reg = kNoReg;
+  FnBuilder* fb = nullptr;
+
+  bool valid() const { return reg != kNoReg; }
+};
+
+// Arithmetic sugar. All operands must belong to the same FnBuilder.
+V operator+(V a, V b);
+V operator-(V a, V b);
+V operator*(V a, V b);
+V operator/(V a, V b);
+V operator%(V a, V b);
+V operator==(V a, V b);
+V operator!=(V a, V b);
+V operator<(V a, V b);
+V operator<=(V a, V b);
+V operator>(V a, V b);
+V operator>=(V a, V b);
+V operator&&(V a, V b);  // bitwise-and of 0/1 values (no short circuit)
+V operator||(V a, V b);
+
+/// A named guest stack slot (a local variable). Loads and stores through a
+/// Slot are genuine guest memory accesses at `fp + offset`.
+struct Slot {
+  uint32_t offset = 0;
+  uint32_t size = 8;
+  FnBuilder* fb = nullptr;
+
+  V addr() const;         // &var
+  V get() const;          // var (integer/f64 bits)
+  void set(V value) const;  // var = value
+  void set(int64_t value) const;
+};
+
+class ProgramBuilder;
+
+class FnBuilder {
+ public:
+  FnBuilder(ProgramBuilder& pb, FuncId id, uint32_t file);
+  FnBuilder(const FnBuilder&) = delete;
+  FnBuilder& operator=(const FnBuilder&) = delete;
+
+  ProgramBuilder& pb() { return pb_; }
+  FuncId id() const { return id_; }
+  uint32_t file() const { return file_; }
+
+  /// Debug info: set the current "source line"; stamped on every
+  /// subsequently emitted instruction.
+  void line(uint32_t line) { cur_line_ = line; }
+  uint32_t current_line() const { return cur_line_; }
+
+  // --- values ---------------------------------------------------------
+  V c(int64_t value);   // integer constant
+  V cf(double value);   // floating constant
+  V param(uint32_t index);  // function parameter (register 0..nparams)
+
+  // --- locals / memory --------------------------------------------------
+  Slot slot(uint32_t size = 8);     // named local variable (stack memory)
+  Slot slot_array(uint32_t count, uint32_t elem_size = 8);
+  V ld(V addr, uint32_t size = 8);
+  void st(V addr, V value, uint32_t size = 8);
+  void st(V addr, int64_t value, uint32_t size = 8);
+  V global(std::string_view name);  // address of a program global
+  V tls(std::string_view name);     // address of a _Thread_local variable
+
+  // --- float helpers ----------------------------------------------------
+  V fadd(V a, V b);
+  V fsub(V a, V b);
+  V fmul(V a, V b);
+  V fdiv(V a, V b);
+  V fneg(V a);
+  V fsqrt(V a);
+  V fabs_(V a);
+  V fmin_(V a, V b);
+  V fmax_(V a, V b);
+  V flt(V a, V b);
+  V fle(V a, V b);
+  V fgt(V a, V b) { return flt(b, a); }
+  V feq(V a, V b);
+  V i2f(V a);
+  V f2i(V a);
+
+  // --- integer helpers not covered by operators -------------------------
+  V band(V a, V b);
+  V bor(V a, V b);
+  V bxor(V a, V b);
+  V shl(V a, V b);
+  V shr(V a, V b);
+
+  // --- control flow ------------------------------------------------------
+  void if_(V cond, const std::function<void()>& then_body,
+           const std::function<void()>& else_body = {});
+  /// while (cond()) body(); - cond re-evaluated each iteration.
+  void while_(const std::function<V()>& cond,
+              const std::function<void()>& body);
+  /// for (i = lo; i < hi; ++i) body(i) - `i` lives in a fresh stack slot,
+  /// so iteration-variable traffic is real memory traffic, like -O0 code.
+  void for_(V lo, V hi, const std::function<void(Slot)>& body);
+  void for_(int64_t lo, int64_t hi, const std::function<void(Slot)>& body);
+
+  // --- calls & termination ------------------------------------------------
+  V call(std::string_view callee, std::initializer_list<V> args);
+  V call(std::string_view callee, const std::vector<V>& args);
+  void ret(V value);
+  void ret();
+  void halt(V code);
+
+  // --- escape hatches ------------------------------------------------------
+  V intrinsic(IntrinsicId id, const std::vector<V>& args,
+              const std::vector<int64_t>& iargs);
+  void client_request(uint64_t code, const std::vector<V>& args);
+  Reg new_reg();
+  BlockId new_block();
+  void switch_to(BlockId block);
+  Instr& emit(Instr instr);
+  /// True when the current block already ends in a terminator.
+  bool terminated() const;
+  BlockId current_block() const { return cur_block_; }
+
+  // Convenience wrappers over common libc calls.
+  V malloc_(V size) { return call("malloc", {size}); }
+  void free_(V ptr) { call("free", {ptr}); }
+  void print_str(std::string_view text);
+  void print_i64(V value);
+  void print_f64(V value);
+  V rand_();
+  void sleep_ms(int64_t ms);
+
+ private:
+  friend class ProgramBuilder;
+
+  ProgramBuilder& pb_;
+  FuncId id_;
+  uint32_t file_;
+  uint32_t cur_line_ = 0;
+  BlockId cur_block_ = 0;
+  uint32_t nregs_ = 0;
+  uint32_t frame_size_ = 0;
+  uint32_t nparams_ = 0;
+  std::vector<Block> blocks_;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+  ~ProgramBuilder();
+  ProgramBuilder(const ProgramBuilder&) = delete;
+  ProgramBuilder& operator=(const ProgramBuilder&) = delete;
+
+  /// Creates an IR function. `file` is its source file for debug info.
+  FnBuilder& fn(std::string name, std::string file, uint32_t nparams = 0);
+  /// Same, with an already-interned file id (used by outlining).
+  FnBuilder& fn_in_file(std::string name, uint32_t file, uint32_t nparams);
+
+  /// Registers a host-implemented guest function (libc, runtime services).
+  FuncId host_fn(std::string name, HostFn impl, FnKind kind = FnKind::kLibc);
+
+  /// Reserves a zero-initialized global; returns its guest address.
+  GuestAddr global(std::string name, uint64_t size);
+  GuestAddr global_init(std::string name, std::initializer_list<int64_t> words);
+  /// Interns a NUL-terminated string literal in global space.
+  GuestAddr string_lit(std::string_view text);
+
+  /// Declares a module-0 _Thread_local variable; returns its TLS offset.
+  uint32_t tls_var(std::string name, uint32_t size);
+
+  uint32_t file_id(const std::string& file);
+  FuncId find_fn(std::string_view name) const;
+  const std::string& fn_name(FuncId id) const;
+  bool has_fn(std::string_view name) const { return find_fn(name) != kNoFunc; }
+
+  /// Finalizes: flushes function bodies, validates, returns the Program.
+  /// The builder must not be used afterwards.
+  Program take();
+
+ private:
+  friend class FnBuilder;
+
+  Program program_;
+  std::vector<std::unique_ptr<FnBuilder>> fn_builders_;
+  GuestAddr global_cursor_ = GuestLayout::kGlobalsBase;
+  std::unordered_map<std::string, GuestAddr> string_pool_;
+  bool taken_ = false;
+};
+
+}  // namespace tg::vex

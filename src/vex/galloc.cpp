@@ -1,0 +1,93 @@
+#include "vex/galloc.hpp"
+
+#include "support/assert.hpp"
+
+namespace tg::vex {
+
+namespace {
+uint64_t round_up(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+GuestAllocator::GuestAllocator(GuestAddr heap_base, uint64_t heap_span)
+    : heap_base_(heap_base), heap_end_(heap_base + heap_span), brk_(heap_base) {}
+
+GuestAddr GuestAllocator::allocate(uint64_t size) {
+  if (size == 0) size = 1;
+  const uint64_t span = round_up(size, kAlign);
+
+  // First fit over the address-ordered free list: the lowest (most recently
+  // coalesced / earliest freed) block wins, maximizing address recycling.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < span) continue;
+    const GuestAddr addr = it->first;
+    const uint64_t remaining = it->second - span;
+    free_.erase(it);
+    if (remaining >= kAlign) {
+      free_.emplace(addr + span, remaining);
+    }
+    live_.emplace(addr, span + (remaining < kAlign ? remaining : 0));
+    request_[addr] = size;
+    live_bytes_ += size;
+    ++alloc_count_;
+    return addr;
+  }
+
+  const GuestAddr addr = brk_;
+  TG_ASSERT_MSG(addr + span <= heap_end_, "guest heap exhausted");
+  brk_ += span;
+  live_.emplace(addr, span);
+  request_[addr] = size;
+  live_bytes_ += size;
+  ++alloc_count_;
+  return addr;
+}
+
+void GuestAllocator::deallocate(GuestAddr addr) {
+  auto it = live_.find(addr);
+  TG_ASSERT_MSG(it != live_.end(), "guest free of non-live block");
+  uint64_t span = it->second;
+  live_bytes_ -= request_[addr];
+  request_.erase(addr);
+  live_.erase(it);
+  ++free_count_;
+
+  GuestAddr start = addr;
+  // Coalesce with successor.
+  auto next = free_.lower_bound(start);
+  if (next != free_.end() && next->first == start + span) {
+    span += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  auto prev = free_.lower_bound(start);
+  if (prev != free_.begin()) {
+    --prev;
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      span += prev->second;
+      free_.erase(prev);
+    }
+  }
+  free_.emplace(start, span);
+}
+
+uint64_t GuestAllocator::live_block_size(GuestAddr addr) const {
+  auto it = request_.find(addr);
+  return it == request_.end() ? 0 : it->second;
+}
+
+bool GuestAllocator::is_live(GuestAddr addr) const {
+  return live_.count(addr) != 0;
+}
+
+GuestAddr GuestAllocator::block_containing(GuestAddr addr) const {
+  auto it = live_.upper_bound(addr);
+  if (it == live_.begin()) return 0;
+  --it;
+  if (addr >= it->first && addr < it->first + it->second) return it->first;
+  return 0;
+}
+
+}  // namespace tg::vex

@@ -1,0 +1,59 @@
+// Guest system allocator.
+//
+// A first-fit, address-ordered free list with neighbour coalescing over the
+// guest heap. Freed blocks are recycled at the *lowest* available address,
+// which is exactly the behaviour that produces the paper's §IV-B
+// memory-recycling false positives: two logically-independent tasks that
+// malloc/free the same size will observe the same guest address.
+//
+// Taskgrind suppresses those false positives by replacing `free` with a
+// no-op through the function-replacement mechanism (see core/).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "vex/ir.hpp"
+
+namespace tg::vex {
+
+class GuestAllocator {
+ public:
+  explicit GuestAllocator(GuestAddr heap_base, uint64_t heap_span = 1ull << 30);
+
+  /// Returns a 16-byte aligned block, recycling freed space first-fit.
+  GuestAddr allocate(uint64_t size);
+
+  /// Recycles the block. Asserts on double free / wild free.
+  void deallocate(GuestAddr addr);
+
+  /// Size originally requested for a live block, or 0 if unknown.
+  uint64_t live_block_size(GuestAddr addr) const;
+  bool is_live(GuestAddr addr) const;
+
+  /// Allocation containing `addr`, or 0. Used by report symbolization.
+  GuestAddr block_containing(GuestAddr addr) const;
+
+  uint64_t live_bytes() const { return live_bytes_; }
+  uint64_t high_water_addr() const { return brk_; }
+  uint64_t alloc_count() const { return alloc_count_; }
+  uint64_t free_count() const { return free_count_; }
+
+ private:
+  static constexpr uint64_t kAlign = 16;
+
+  GuestAddr heap_base_;
+  GuestAddr heap_end_;
+  GuestAddr brk_;  // bump frontier past which nothing was handed out yet
+
+  std::map<GuestAddr, uint64_t> free_;              // addr -> span bytes
+  std::map<GuestAddr, uint64_t> live_;              // addr -> span bytes
+  std::unordered_map<GuestAddr, uint64_t> request_;  // addr -> requested size
+
+  uint64_t live_bytes_ = 0;
+  uint64_t alloc_count_ = 0;
+  uint64_t free_count_ = 0;
+};
+
+}  // namespace tg::vex

@@ -1,0 +1,220 @@
+#include "vex/ir.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace tg::vex {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConstI: return "consti";
+    case Op::kConstF: return "constf";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDivS: return "divs";
+    case Op::kRemS: return "rems";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShrS: return "shrs";
+    case Op::kShrU: return "shru";
+    case Op::kCmpEq: return "cmpeq";
+    case Op::kCmpNe: return "cmpne";
+    case Op::kCmpLtS: return "cmplts";
+    case Op::kCmpLeS: return "cmples";
+    case Op::kCmpGtS: return "cmpgts";
+    case Op::kCmpGeS: return "cmpges";
+    case Op::kFAdd: return "fadd";
+    case Op::kFSub: return "fsub";
+    case Op::kFMul: return "fmul";
+    case Op::kFDiv: return "fdiv";
+    case Op::kFNeg: return "fneg";
+    case Op::kFSqrt: return "fsqrt";
+    case Op::kFAbs: return "fabs";
+    case Op::kFMin: return "fmin";
+    case Op::kFMax: return "fmax";
+    case Op::kFCmpLt: return "fcmplt";
+    case Op::kFCmpLe: return "fcmple";
+    case Op::kFCmpEq: return "fcmpeq";
+    case Op::kFCmpNe: return "fcmpne";
+    case Op::kI2F: return "i2f";
+    case Op::kF2I: return "f2i";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kLea: return "lea";
+    case Op::kTlsAddr: return "tlsaddr";
+    case Op::kJmp: return "jmp";
+    case Op::kBr: return "br";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kIntrinsic: return "intrinsic";
+    case Op::kClientReq: return "clientreq";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+bool op_has_dst(Op op) {
+  switch (op) {
+    case Op::kStore:
+    case Op::kJmp:
+    case Op::kBr:
+    case Op::kRet:
+    case Op::kClientReq:
+    case Op::kHalt:
+      return false;
+    default:
+      return true;
+  }
+}
+
+const char* intrinsic_name(IntrinsicId id) {
+  switch (id) {
+    case IntrinsicId::kParallelBegin: return "parallel_begin";
+    case IntrinsicId::kParallelEnd: return "parallel_end";
+    case IntrinsicId::kTaskCreate: return "task_create";
+    case IntrinsicId::kTaskWait: return "taskwait";
+    case IntrinsicId::kTaskYield: return "taskyield";
+    case IntrinsicId::kTaskgroupBegin: return "taskgroup_begin";
+    case IntrinsicId::kTaskgroupEnd: return "taskgroup_end";
+    case IntrinsicId::kBarrier: return "barrier";
+    case IntrinsicId::kSingleBegin: return "single_begin";
+    case IntrinsicId::kSingleEnd: return "single_end";
+    case IntrinsicId::kCriticalBegin: return "critical_begin";
+    case IntrinsicId::kCriticalEnd: return "critical_end";
+    case IntrinsicId::kThreadNum: return "omp_get_thread_num";
+    case IntrinsicId::kNumThreads: return "omp_get_num_threads";
+    case IntrinsicId::kInParallel: return "omp_in_parallel";
+    case IntrinsicId::kThreadprivateAddr: return "threadprivate_addr";
+    case IntrinsicId::kTaskDetach: return "task_detach";
+    case IntrinsicId::kFulfillEvent: return "omp_fulfill_event";
+    case IntrinsicId::kTaskloop: return "taskloop";
+    case IntrinsicId::kFebWriteEF: return "feb_writeEF";
+    case IntrinsicId::kFebReadFE: return "feb_readFE";
+    case IntrinsicId::kFebReadFF: return "feb_readFF";
+    case IntrinsicId::kFebFill: return "feb_fill";
+    case IntrinsicId::kFebEmpty: return "feb_empty";
+    case IntrinsicId::kSleepMs: return "sleep_ms";
+    case IntrinsicId::kExit: return "exit";
+  }
+  return "?";
+}
+
+FuncId Program::find_fn(std::string_view name) const {
+  auto it = fn_by_name.find(std::string(name));
+  return it == fn_by_name.end() ? kNoFunc : it->second;
+}
+
+const GlobalVar* Program::find_global(std::string_view name) const {
+  for (const auto& g : globals) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const GlobalVar* Program::global_containing(GuestAddr addr) const {
+  for (const auto& g : globals) {
+    if (addr >= g.addr && addr < g.addr + g.size) return &g;
+  }
+  return nullptr;
+}
+
+const char* Program::file_name(uint32_t file) const {
+  if (file < files.size()) return files[file].c_str();
+  return "<unknown>";
+}
+
+std::string Program::validate() const {
+  std::ostringstream err;
+  if (entry == kNoFunc || entry >= functions.size()) {
+    err << "missing entry function; ";
+  }
+  for (const auto& fn : functions) {
+    if (fn.is_host()) {
+      if (!fn.blocks.empty()) {
+        err << fn.name << ": host function with IR blocks; ";
+      }
+      continue;
+    }
+    if (fn.blocks.empty()) {
+      err << fn.name << ": empty function; ";
+      continue;
+    }
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+      const Block& block = fn.blocks[b];
+      if (block.instrs.empty()) {
+        err << fn.name << ": empty block " << b << "; ";
+        continue;
+      }
+      for (size_t i = 0; i < block.instrs.size(); ++i) {
+        const Instr& instr = block.instrs[i];
+        auto check_reg = [&](Reg r, const char* what) {
+          if (r != kNoReg && r >= fn.nregs) {
+            err << fn.name << " b" << b << ":" << i << " " << op_name(instr.op)
+                << ": " << what << " register r" << r << " out of range; ";
+          }
+        };
+        check_reg(instr.dst, "dst");
+        check_reg(instr.a, "a");
+        check_reg(instr.b, "b");
+        for (Reg r : instr.args) check_reg(r, "arg");
+        const bool is_terminator = i + 1 == block.instrs.size();
+        switch (instr.op) {
+          case Op::kJmp:
+            if (static_cast<size_t>(instr.imm) >= fn.blocks.size()) {
+              err << fn.name << ": jmp target out of range; ";
+            }
+            if (!is_terminator) err << fn.name << ": jmp not terminator; ";
+            break;
+          case Op::kBr:
+            if (static_cast<size_t>(instr.imm) >= fn.blocks.size() ||
+                instr.aux >= fn.blocks.size()) {
+              err << fn.name << ": br target out of range; ";
+            }
+            if (!is_terminator) err << fn.name << ": br not terminator; ";
+            break;
+          case Op::kRet:
+          case Op::kHalt:
+            if (!is_terminator) {
+              err << fn.name << ": " << op_name(instr.op)
+                  << " not terminator; ";
+            }
+            break;
+          case Op::kCall:
+            if (static_cast<size_t>(instr.imm) >= functions.size()) {
+              err << fn.name << ": call target out of range; ";
+            }
+            break;
+          case Op::kLoad:
+          case Op::kStore:
+            if (instr.size != 1 && instr.size != 2 && instr.size != 4 &&
+                instr.size != 8) {
+              err << fn.name << ": bad access size; ";
+            }
+            break;
+          default:
+            break;
+        }
+        if (is_terminator) {
+          switch (instr.op) {
+            case Op::kJmp:
+            case Op::kBr:
+            case Op::kRet:
+            case Op::kHalt:
+              break;
+            default:
+              err << fn.name << " b" << b
+                  << ": block does not end in a terminator; ";
+          }
+        }
+      }
+    }
+  }
+  return err.str();
+}
+
+}  // namespace tg::vex

@@ -1,0 +1,289 @@
+// minivex intermediate representation.
+//
+// This is the reproduction's stand-in for Valgrind's VEX IR: guest programs
+// are expressed as functions of basic blocks over virtual registers, and the
+// VM translates blocks one at a time (consulting the active tool, which may
+// weave instrumentation in) before executing them. See DESIGN.md §3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tg::vex {
+
+using Reg = uint32_t;
+using FuncId = uint32_t;
+using BlockId = uint32_t;
+using GuestAddr = uint64_t;
+
+inline constexpr Reg kNoReg = std::numeric_limits<Reg>::max();
+inline constexpr FuncId kNoFunc = std::numeric_limits<FuncId>::max();
+
+/// A 64-bit guest value; integer and floating interpretations share storage,
+/// exactly like a machine register.
+union Value {
+  int64_t i;
+  uint64_t u;
+  double f;
+
+  Value() : i(0) {}
+  static Value from_i(int64_t v) {
+    Value value;
+    value.i = v;
+    return value;
+  }
+  static Value from_u(uint64_t v) {
+    Value value;
+    value.u = v;
+    return value;
+  }
+  static Value from_f(double v) {
+    Value value;
+    value.f = v;
+    return value;
+  }
+};
+
+/// Source location (debug info). `file` indexes Program::files.
+struct SrcLoc {
+  uint32_t file = 0;
+  uint32_t line = 0;
+
+  bool valid() const { return line != 0; }
+};
+
+enum class Op : uint8_t {
+  // Data movement.
+  kConstI,  // dst = imm (also used for global addresses, resolved at build)
+  kConstF,  // dst = fimm
+  kMov,     // dst = a
+
+  // Integer ALU, dst = a OP b.
+  kAdd,
+  kSub,
+  kMul,
+  kDivS,
+  kRemS,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShrS,
+  kShrU,
+
+  // Integer comparisons, dst = (a OP b) ? 1 : 0.
+  kCmpEq,
+  kCmpNe,
+  kCmpLtS,
+  kCmpLeS,
+  kCmpGtS,
+  kCmpGeS,
+
+  // Floating point, dst = a OP b (or unary on a).
+  kFAdd,
+  kFSub,
+  kFMul,
+  kFDiv,
+  kFNeg,
+  kFSqrt,
+  kFAbs,
+  kFMin,
+  kFMax,
+
+  // Floating comparisons, dst = (a OP b) ? 1 : 0.
+  kFCmpLt,
+  kFCmpLe,
+  kFCmpEq,
+  kFCmpNe,
+
+  // Conversions.
+  kI2F,  // dst.f = (double)a.i
+  kF2I,  // dst.i = (int64_t)a.f
+
+  // Memory. Effective address is a + imm. `size` is 1, 2, 4 or 8 bytes.
+  // Integer loads are zero-extended for sizes < 8.
+  kLoad,   // dst = mem[a + imm]
+  kStore,  // mem[a + imm] = b
+  kLea,    // dst = frame_pointer + imm (address of a stack slot)
+  kTlsAddr,  // dst = address of TLS variable (module aux, offset imm);
+             // resolves through the executing thread's DTV, allocating the
+             // module's TLS block lazily on first touch.
+
+  // Control flow.
+  kJmp,   // goto block imm
+  kBr,    // if (a != 0) goto block imm else goto block aux
+  kCall,  // dst = call function imm(args...); subject to fn replacement
+  kRet,   // return a (or nothing when a == kNoReg)
+
+  // Environment.
+  kIntrinsic,   // dst = intrinsic imm(args..., iargs...) - runtime services
+  kClientReq,   // client request imm(args...) - guest -> tool channel
+  kHalt,        // stop the whole machine
+};
+
+const char* op_name(Op op);
+bool op_has_dst(Op op);
+
+/// Runtime services reachable from guest code. The task-parallel runtime
+/// (minomp) registers an IntrinsicHandler with the VM to implement these.
+enum class IntrinsicId : uint32_t {
+  // Parallelism (iargs[0] = outlined FuncId where applicable).
+  kParallelBegin,  // args: num_threads, captures...; iargs: fn, ncapt
+  kParallelEnd,    // join: blocks until the team's implicit tasks finish
+  kTaskCreate,     // args: captures..., dep addrs...; iargs: fn, flags, ...
+  kTaskWait,
+  kTaskYield,
+  kTaskgroupBegin,
+  kTaskgroupEnd,
+  kBarrier,
+  kSingleBegin,  // -> 1 if the calling thread won the single region
+  kSingleEnd,
+  kCriticalBegin,
+  kCriticalEnd,
+  kThreadNum,
+  kNumThreads,
+  kInParallel,
+  kThreadprivateAddr,  // iargs: var id, size -> per-thread cached copy
+  kTaskDetach,         // -> detach event handle for the current task
+  kFulfillEvent,       // args: event handle
+  kTaskloop,           // args: capture addr, lo, hi; iargs: fn, grainsize, flags
+
+  // Qthreads-style full/empty-bit synchronization (paper §III-A(c): the
+  // "subtle extensions to Taskgrind semantics" FEBs require).
+  kFebWriteEF,  // args: addr, value - wait until empty, write, mark full
+  kFebReadFE,   // args: addr - wait until full, read, mark empty
+  kFebReadFF,   // args: addr - wait until full, read, stay full
+  kFebFill,     // args: addr - mark full without writing
+  kFebEmpty,    // args: addr - mark empty
+
+  // Misc guest services.
+  kSleepMs,  // scheduling hint; cooperative yield
+  kExit,
+};
+
+const char* intrinsic_name(IntrinsicId id);
+
+/// Client request codes (guest -> tool). Mirrors Valgrind's client request
+/// mechanism; Taskgrind-specific annotations live here too.
+enum class ClientReq : uint32_t {
+  kUserNote = 0,
+  // Paper §V-B: annotate that a task is semantically deferrable even if the
+  // runtime serialized it (used for the LULESH single-thread runs).
+  kTgTasksDeferrable,
+  kTgIgnoreBegin,
+  kTgIgnoreEnd,
+};
+
+struct Instr {
+  Op op = Op::kHalt;
+  uint8_t size = 8;   // memory access width
+  uint8_t flags = 0;  // translation-time flags (see TranslatedBlock)
+  Reg dst = kNoReg;
+  Reg a = kNoReg;
+  Reg b = kNoReg;
+  int64_t imm = 0;   // constant / offset / target block / callee / id
+  uint32_t aux = 0;  // second branch target / TLS module
+  double fimm = 0;   // kConstF payload
+  std::vector<Reg> args;      // call / intrinsic operand registers
+  std::vector<int64_t> iargs;  // intrinsic immediate operands
+  SrcLoc loc;
+};
+
+struct Block {
+  std::vector<Instr> instrs;
+};
+
+class Vm;
+struct ThreadCtx;
+
+/// Context handed to host-implemented guest functions. Guest-visible side
+/// effects must go through load()/store() so the active tool observes them;
+/// raw() accessors bypass instrumentation (tool-private metadata, like a
+/// replaced allocator's bookkeeping inside real Valgrind).
+struct HostCtx {
+  Vm& vm;
+  ThreadCtx& thread;
+  FuncId fn;     // the host function being executed
+  SrcLoc loc;    // call site (debug info of the guest call)
+
+  uint64_t load(GuestAddr addr, uint32_t size);
+  void store(GuestAddr addr, uint32_t size, uint64_t value);
+  uint64_t load_raw(GuestAddr addr, uint32_t size);
+  void store_raw(GuestAddr addr, uint32_t size, uint64_t value);
+};
+
+using HostFn = std::function<Value(HostCtx&, std::span<const Value>)>;
+
+/// Provenance of a function's code, the way the baseline tools see it:
+/// compile-time instrumenters (Archer, TaskSanitizer) only see kUser code;
+/// static binary rewriters (ROMP) see the application binary but not shared
+/// libraries; heavyweight DBI (Taskgrind) sees everything and filters with
+/// ignore/instrument lists instead.
+enum class FnKind : uint8_t {
+  kUser,     // application translation units
+  kLibc,     // C library (printf, rand, memcpy, allocator entry points)
+  kRuntime,  // parallel runtime internals (__mnp_*, our __kmp_* equivalent)
+};
+
+struct Function {
+  std::string name;
+  FuncId id = kNoFunc;
+  uint32_t file = 0;        // index into Program::files
+  uint32_t nregs = 0;       // virtual register count
+  uint32_t frame_size = 0;  // guest stack frame bytes
+  uint32_t nparams = 0;     // parameters arrive in regs [0, nparams)
+  std::vector<Block> blocks;
+  HostFn host;              // host-implemented when set (blocks empty)
+  FnKind kind = FnKind::kUser;
+
+  bool is_host() const { return static_cast<bool>(host); }
+};
+
+struct GlobalVar {
+  std::string name;
+  GuestAddr addr = 0;
+  uint64_t size = 0;
+};
+
+struct TlsVar {
+  std::string name;
+  uint32_t module = 0;
+  uint32_t offset = 0;
+  uint32_t size = 0;
+};
+
+/// A complete guest program: functions, globals, TLS image, debug info.
+struct Program {
+  std::string name;
+  std::vector<Function> functions;
+  std::vector<std::string> files;
+  std::unordered_map<std::string, FuncId> fn_by_name;
+  FuncId entry = kNoFunc;
+
+  uint64_t globals_size = 0;
+  std::vector<GlobalVar> globals;
+  std::vector<std::pair<GuestAddr, int64_t>> global_init;  // 8-byte words
+
+  // Single-module (module 0) TLS image for _Thread_local variables; extra
+  // modules can be added by dlopen-style tests.
+  std::vector<uint32_t> tls_module_sizes = {0};
+  std::vector<TlsVar> tls_vars;
+
+  const Function& fn(FuncId id) const { return functions[id]; }
+  FuncId find_fn(std::string_view name) const;
+  const GlobalVar* find_global(std::string_view name) const;
+  /// Symbolize a guest address against globals (for reports).
+  const GlobalVar* global_containing(GuestAddr addr) const;
+  const char* file_name(uint32_t file) const;
+
+  /// Structural sanity checks (register bounds, branch targets, entry).
+  /// Returns an empty string when valid, else a diagnostic.
+  std::string validate() const;
+};
+
+}  // namespace tg::vex

@@ -1,0 +1,89 @@
+#include "vex/memory.hpp"
+
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace tg::vex {
+
+GuestMemory::GuestMemory() = default;
+
+GuestMemory::~GuestMemory() {
+  MemAccountant::instance().add(MemCategory::kGuestMemory,
+                                -static_cast<int64_t>(resident_bytes_));
+}
+
+uint8_t* GuestMemory::chunk_for(GuestAddr addr) {
+  TG_ASSERT_MSG(!is_trap(addr), "guest access in trap zone (null deref?)");
+  const uint64_t index = addr >> kChunkShift;
+  TG_ASSERT_MSG(index < (1ull << 22), "guest address out of range");
+  if (index >= chunks_.size()) chunks_.resize(index + 1);
+  auto& chunk = chunks_[index];
+  if (!chunk) {
+    chunk = std::make_unique<uint8_t[]>(kChunkSize);
+    std::memset(chunk.get(), 0, kChunkSize);
+    resident_bytes_ += kChunkSize;
+    MemAccountant::instance().add(MemCategory::kGuestMemory, kChunkSize);
+  }
+  return chunk.get();
+}
+
+uint64_t GuestMemory::load(GuestAddr addr, uint32_t size) {
+  if (uint8_t* p = span_ptr(addr, size)) {
+    switch (size) {
+      case 1: return *p;
+      case 2: { uint16_t v; std::memcpy(&v, p, 2); return v; }
+      case 4: { uint32_t v; std::memcpy(&v, p, 4); return v; }
+      case 8: { uint64_t v; std::memcpy(&v, p, 8); return v; }
+      default: TG_UNREACHABLE("bad load size");
+    }
+  }
+  // Chunk-straddling access: byte-wise little-endian assembly.
+  uint64_t value = 0;
+  for (uint32_t i = 0; i < size; ++i) {
+    value |= static_cast<uint64_t>(load(addr + i, 1)) << (8 * i);
+  }
+  return value;
+}
+
+void GuestMemory::store(GuestAddr addr, uint32_t size, uint64_t value) {
+  if (uint8_t* p = span_ptr(addr, size)) {
+    switch (size) {
+      case 1: *p = static_cast<uint8_t>(value); return;
+      case 2: { uint16_t v = static_cast<uint16_t>(value); std::memcpy(p, &v, 2); return; }
+      case 4: { uint32_t v = static_cast<uint32_t>(value); std::memcpy(p, &v, 4); return; }
+      case 8: std::memcpy(p, &value, 8); return;
+      default: TG_UNREACHABLE("bad store size");
+    }
+  }
+  for (uint32_t i = 0; i < size; ++i) {
+    store(addr + i, 1, (value >> (8 * i)) & 0xff);
+  }
+}
+
+double GuestMemory::load_f64(GuestAddr addr) {
+  uint64_t bits = load(addr, 8);
+  double value;
+  std::memcpy(&value, &bits, 8);
+  return value;
+}
+
+void GuestMemory::store_f64(GuestAddr addr, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  store(addr, 8, bits);
+}
+
+void GuestMemory::copy(GuestAddr dst, GuestAddr src, uint64_t size) {
+  // Sizes here are small (task capture blocks, string copies); byte loop via
+  // the chunked accessors keeps boundary handling in one place.
+  for (uint64_t i = 0; i < size; ++i) {
+    store(dst + i, 1, load(src + i, 1));
+  }
+}
+
+void GuestMemory::fill(GuestAddr dst, uint8_t byte, uint64_t size) {
+  for (uint64_t i = 0; i < size; ++i) store(dst + i, 1, byte);
+}
+
+}  // namespace tg::vex

@@ -1,0 +1,90 @@
+// Guest flat address space.
+//
+// The guest sees a 64-bit address space laid out like a small process image:
+//
+//   0x0000_0000 .. 0x0000_ffff   unmapped (null-pointer trap zone)
+//   0x0001_0000 .. globals       program globals
+//   0x0100_0000 .. heap          guest heap (system allocator, TLS blocks,
+//                                runtime task descriptors)
+//   0x4000_0000 .. stacks        one descending stack per guest thread
+//
+// Storage is chunked so sparse regions (stacks) cost nothing until touched.
+// Loads and stores here are *uninstrumented* primitives; instrumentation is
+// woven in by the VM / HostCtx on top of them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/accounting.hpp"
+#include "vex/ir.hpp"
+
+namespace tg::vex {
+
+struct GuestLayout {
+  static constexpr GuestAddr kGlobalsBase = 0x0001'0000;
+  static constexpr GuestAddr kHeapBase = 0x0100'0000;
+  // Separate arena for runtime-internal allocations (task captures,
+  // descriptors, TLS blocks, TCBs): LLVM's __kmp_fast_allocate likewise
+  // draws from its own pools, so runtime traffic never interleaves with
+  // the user's malloc recycling behaviour.
+  static constexpr GuestAddr kRtHeapBase = 0x2000'0000;
+  static constexpr GuestAddr kStackArea = 0x4000'0000;
+  static constexpr uint64_t kStackSize = 1ull << 20;  // 1 MiB per thread
+  // Virtual range used by tools that rename stack addresses per frame
+  // incarnation (see TaskgrindOptions::stack_incarnations). Never backed
+  // by real guest memory.
+  static constexpr GuestAddr kVirtualStackBase = 0x1000'0000'0000ull;
+
+  static GuestAddr stack_top(int tid) {
+    return kStackArea + static_cast<uint64_t>(tid + 1) * kStackSize;
+  }
+  static GuestAddr stack_bottom(int tid) {
+    return kStackArea + static_cast<uint64_t>(tid) * kStackSize;
+  }
+};
+
+class GuestMemory {
+ public:
+  GuestMemory();
+  ~GuestMemory();
+  GuestMemory(const GuestMemory&) = delete;
+  GuestMemory& operator=(const GuestMemory&) = delete;
+
+  /// Zero-extended integer load of 1/2/4/8 bytes.
+  uint64_t load(GuestAddr addr, uint32_t size);
+  void store(GuestAddr addr, uint32_t size, uint64_t value);
+
+  double load_f64(GuestAddr addr);
+  void store_f64(GuestAddr addr, double value);
+
+  void copy(GuestAddr dst, GuestAddr src, uint64_t size);
+  void fill(GuestAddr dst, uint8_t byte, uint64_t size);
+
+  /// True when the address falls in a trap zone (first 64 KiB).
+  static bool is_trap(GuestAddr addr) { return addr < 0x1'0000; }
+
+  /// Bytes of chunk storage actually materialized.
+  uint64_t resident_bytes() const { return resident_bytes_; }
+
+ private:
+  static constexpr uint64_t kChunkShift = 18;  // 256 KiB chunks
+  static constexpr uint64_t kChunkSize = 1ull << kChunkShift;
+  static constexpr uint64_t kChunkMask = kChunkSize - 1;
+
+  uint8_t* chunk_for(GuestAddr addr);
+
+  // Fast path: access entirely inside one chunk.
+  uint8_t* span_ptr(GuestAddr addr, uint32_t size) {
+    if (((addr & kChunkMask) + size) <= kChunkSize) {
+      return chunk_for(addr) + (addr & kChunkMask);
+    }
+    return nullptr;
+  }
+
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  uint64_t resident_bytes_ = 0;
+};
+
+}  // namespace tg::vex

@@ -1,0 +1,136 @@
+#include "vex/stdlib.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "vex/vm.hpp"
+
+namespace tg::vex {
+
+namespace {
+
+/// Stages `text` through the shared libc stream buffer (guest-visible
+/// stores) and then appends it to the captured program output.
+void emit_through_iob(HostCtx& ctx, GuestAddr iob, std::string_view text) {
+  constexpr uint64_t kIobSize = 256;
+  for (size_t i = 0; i < text.size(); ++i) {
+    ctx.store(iob + (i % kIobSize), 1, static_cast<uint8_t>(text[i]));
+  }
+  ctx.vm.append_output(text);
+}
+
+}  // namespace
+
+void install_stdlib(ProgramBuilder& pb) {
+  const GuestAddr iob = pb.global("__iob", 256);
+  const GuestAddr rand_seed = pb.global("__rand_seed", 8);
+
+  pb.host_fn("malloc", [](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 1);
+    const GuestAddr addr =
+        ctx.vm.sys_alloc().allocate(static_cast<uint64_t>(args[0].i));
+    return Value::from_u(addr);
+  });
+
+  pb.host_fn("free", [](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 1);
+    if (args[0].u != 0) ctx.vm.sys_alloc().deallocate(args[0].u);
+    return Value{};
+  });
+
+  pb.host_fn("calloc", [](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 2);
+    const uint64_t bytes =
+        static_cast<uint64_t>(args[0].i) * static_cast<uint64_t>(args[1].i);
+    const GuestAddr addr = ctx.vm.sys_alloc().allocate(bytes);
+    for (uint64_t i = 0; i < bytes; ++i) ctx.store(addr + i, 1, 0);
+    return Value::from_u(addr);
+  });
+
+  pb.host_fn("realloc", [](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 2);
+    const GuestAddr old_addr = args[0].u;
+    const uint64_t new_size = static_cast<uint64_t>(args[1].i);
+    if (old_addr == 0) {
+      return Value::from_u(ctx.vm.sys_alloc().allocate(new_size));
+    }
+    const uint64_t old_size = ctx.vm.sys_alloc().live_block_size(old_addr);
+    const GuestAddr new_addr = ctx.vm.sys_alloc().allocate(new_size);
+    const uint64_t copy = old_size < new_size ? old_size : new_size;
+    for (uint64_t i = 0; i < copy; ++i) {
+      ctx.store(new_addr + i, 1, ctx.load(old_addr + i, 1));
+    }
+    ctx.vm.sys_alloc().deallocate(old_addr);
+    return Value::from_u(new_addr);
+  });
+
+  pb.host_fn("memcpy", [](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 3);
+    const GuestAddr dst = args[0].u;
+    const GuestAddr src = args[1].u;
+    const uint64_t size = static_cast<uint64_t>(args[2].i);
+    for (uint64_t i = 0; i < size; ++i) {
+      ctx.store(dst + i, 1, ctx.load(src + i, 1));
+    }
+    return Value::from_u(dst);
+  });
+
+  pb.host_fn("memset", [](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 3);
+    const GuestAddr dst = args[0].u;
+    const uint8_t byte = static_cast<uint8_t>(args[1].i);
+    const uint64_t size = static_cast<uint64_t>(args[2].i);
+    for (uint64_t i = 0; i < size; ++i) ctx.store(dst + i, 1, byte);
+    return Value::from_u(dst);
+  });
+
+  pb.host_fn("print_str", [iob](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 1);
+    std::string text;
+    GuestAddr cursor = args[0].u;
+    for (;;) {
+      const uint8_t byte = static_cast<uint8_t>(ctx.load(cursor++, 1));
+      if (byte == 0) break;
+      text.push_back(static_cast<char>(byte));
+      TG_ASSERT_MSG(text.size() < 1u << 16, "unterminated guest string");
+    }
+    emit_through_iob(ctx, iob, text);
+    return Value::from_i(static_cast<int64_t>(text.size()));
+  });
+
+  pb.host_fn("print_i64", [iob](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 1);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, args[0].i);
+    emit_through_iob(ctx, iob, buf);
+    return Value{};
+  });
+
+  pb.host_fn("print_f64", [iob](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 1);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", args[0].f);
+    emit_through_iob(ctx, iob, buf);
+    return Value{};
+  });
+
+  pb.host_fn("rand", [rand_seed](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.empty());
+    // glibc-style LCG over a shared global seed: a read-modify-write of
+    // libc-internal state, invisible to compile-time instrumentation.
+    uint64_t seed = ctx.load(rand_seed, 8);
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    ctx.store(rand_seed, 8, seed);
+    return Value::from_i(static_cast<int64_t>((seed >> 33) & 0x7fffffff));
+  });
+
+  pb.host_fn("srand", [rand_seed](HostCtx& ctx, std::span<const Value> args) {
+    TG_ASSERT(args.size() == 1);
+    ctx.store(rand_seed, 8, args[0].u);
+    return Value{};
+  });
+}
+
+}  // namespace tg::vex

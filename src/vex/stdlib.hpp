@@ -1,0 +1,21 @@
+// Host-implemented guest C library.
+//
+// These functions behave like the pieces of libc our guest kernels need. The
+// important property for the paper's pitfalls: they have *internal
+// guest-visible state* - the allocator recycles addresses (§IV-B), printf
+// stages bytes through a shared stream buffer and rand keeps a global seed.
+// Heavyweight DBI (Taskgrind) instruments this code like any other; compile-
+// time instrumenters (Archer/TaskSanitizer) never see it. That asymmetry is
+// the source of several Table I outcomes.
+#pragma once
+
+#include "vex/builder.hpp"
+
+namespace tg::vex {
+
+/// Registers malloc/free/calloc/realloc, memcpy/memset, print_* and
+/// rand/srand with the program. Must be called before user functions that
+/// reference them are built.
+void install_stdlib(ProgramBuilder& pb);
+
+}  // namespace tg::vex

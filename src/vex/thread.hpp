@@ -1,0 +1,72 @@
+// Guest thread contexts.
+//
+// A ThreadCtx is the VM state of one simulated guest thread: register frames,
+// a guest-memory stack, and the ELF-style TLS bookkeeping (TCB + DTV) the
+// paper's §IV-C suppression relies on. Contexts are plain suspendable state -
+// the runtime's cooperative scheduler decides which one advances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vex/ir.hpp"
+
+namespace tg::vex {
+
+struct Frame {
+  FuncId fn = kNoFunc;
+  BlockId block = 0;
+  uint32_t ip = 0;
+  GuestAddr fp = 0;     // guest frame base (lowest address of the frame)
+  Reg ret_reg = kNoReg;  // caller register receiving the return value
+  SrcLoc call_loc;       // where this frame was called from (for back traces)
+  uint64_t incarnation = 0;  // unique per activation, machine-wide
+  std::vector<Value> regs;
+};
+
+/// Dynamic Thread Vector: per-module TLS block addresses, with a generation
+/// counter bumped on every (re)allocation - mirroring glibc's dtv gen.
+struct Dtv {
+  uint64_t gen = 0;
+  std::vector<GuestAddr> blocks;  // 0 = module block not yet allocated
+
+  bool operator==(const Dtv&) const = default;
+};
+
+enum class ThreadStatus : uint8_t {
+  kRunnable,
+  kBlocked,   // parked at a scheduling point (taskwait/barrier/...)
+  kFinished,  // no frames left
+};
+
+struct ThreadCtx {
+  int tid = -1;
+  GuestAddr stack_base = 0;   // highest address (stacks grow down)
+  GuestAddr stack_limit = 0;  // lowest legal address
+  GuestAddr sp = 0;
+  std::vector<Frame> frames;
+  GuestAddr tcb = 0;  // thread control block identity (a unique guest addr)
+  Dtv dtv;
+  ThreadStatus status = ThreadStatus::kRunnable;
+  uint64_t retired = 0;  // instructions executed on this thread
+  Value last_return;     // value returned by the most recent drained frame
+
+  // Opaque slot for the runtime scheduler (Worker back-pointer).
+  void* sched_data = nullptr;
+
+  Frame& top() { return frames.back(); }
+  const Frame& top() const { return frames.back(); }
+  bool has_frames() const { return !frames.empty(); }
+};
+
+/// One entry of a symbolized guest back trace.
+struct StackFrameInfo {
+  FuncId fn = kNoFunc;
+  const char* fn_name = "?";
+  const char* file = "?";
+  uint32_t line = 0;
+};
+
+using StackTrace = std::vector<StackFrameInfo>;
+
+}  // namespace tg::vex

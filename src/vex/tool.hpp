@@ -1,0 +1,73 @@
+// The tool plugin interface - the reproduction of Valgrind's tool API.
+//
+// A Tool is consulted at translation time (which events to weave into each
+// block, honouring ignore/instrument lists by symbol) and receives the woven
+// events at execution time. It can also replace guest functions by symbol
+// (Valgrind "function replacement", used for allocator overloading) and
+// receive client requests from the guest.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "vex/ir.hpp"
+#include "vex/thread.hpp"
+
+namespace tg::vex {
+
+/// Which event callbacks the tool wants for code in a given function.
+struct InstrumentationSet {
+  bool loads = false;
+  bool stores = false;
+  bool instrs = false;  // per-instruction callback (expensive)
+
+  static InstrumentationSet none() { return {}; }
+  static InstrumentationSet accesses() { return {true, true, false}; }
+  static InstrumentationSet everything() { return {true, true, true}; }
+
+  bool any() const { return loads || stores || instrs; }
+};
+
+class Tool {
+ public:
+  virtual ~Tool() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Translation-time decision: called once per function when its first
+  /// block is translated (and again if the translation cache is flushed).
+  virtual InstrumentationSet instrumentation_for(const Function& fn) {
+    (void)fn;
+    return InstrumentationSet::none();
+  }
+
+  /// Execution-time events. `loc` carries debug info of the guest access.
+  virtual void on_load(ThreadCtx& thread, GuestAddr addr, uint32_t size,
+                       SrcLoc loc) {
+    (void)thread; (void)addr; (void)size; (void)loc;
+  }
+  virtual void on_store(ThreadCtx& thread, GuestAddr addr, uint32_t size,
+                        SrcLoc loc) {
+    (void)thread; (void)addr; (void)size; (void)loc;
+  }
+  virtual void on_instr(ThreadCtx& thread, const Instr& instr) {
+    (void)thread; (void)instr;
+  }
+
+  /// Client requests (guest -> tool channel).
+  virtual void on_client_request(ThreadCtx& thread, uint64_t code,
+                                 std::span<const Value> args) {
+    (void)thread; (void)code; (void)args;
+  }
+
+  /// Function replacement: return a host implementation to be called instead
+  /// of `symbol`, or nullopt to leave it alone. Resolved at translation time.
+  virtual std::optional<HostFn> replace_function(std::string_view symbol) {
+    (void)symbol;
+    return std::nullopt;
+  }
+};
+
+}  // namespace tg::vex

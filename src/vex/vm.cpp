@@ -1,0 +1,516 @@
+#include "vex/vm.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace tg::vex {
+
+namespace {
+
+uint8_t encode_iset(InstrumentationSet set) {
+  return static_cast<uint8_t>(1 + (set.loads ? 1 : 0) + (set.stores ? 2 : 0) +
+                              (set.instrs ? 4 : 0));
+}
+
+InstrumentationSet decode_iset(uint8_t encoded) {
+  InstrumentationSet set;
+  const uint8_t bits = static_cast<uint8_t>(encoded - 1);
+  set.loads = bits & 1;
+  set.stores = bits & 2;
+  set.instrs = bits & 4;
+  return set;
+}
+
+}  // namespace
+
+uint64_t HostCtx::load(GuestAddr addr, uint32_t size) {
+  return vm.record_load(thread, addr, size, fn, loc);
+}
+
+void HostCtx::store(GuestAddr addr, uint32_t size, uint64_t value) {
+  vm.record_store(thread, addr, size, value, fn, loc);
+}
+
+uint64_t HostCtx::load_raw(GuestAddr addr, uint32_t size) {
+  return vm.memory().load(addr, size);
+}
+
+void HostCtx::store_raw(GuestAddr addr, uint32_t size, uint64_t value) {
+  vm.memory().store(addr, size, value);
+}
+
+Vm::Vm(const Program& program)
+    : program_(program),
+      sys_alloc_(GuestLayout::kHeapBase,
+                 GuestLayout::kRtHeapBase - GuestLayout::kHeapBase),
+      rt_alloc_(GuestLayout::kRtHeapBase,
+                GuestLayout::kStackArea - GuestLayout::kRtHeapBase) {
+  const std::string problems = program.validate();
+  TG_ASSERT_MSG(problems.empty(), problems.c_str());
+  tcache_.resize(program.functions.size());
+  iset_cache_.assign(program.functions.size(), 0);
+  replacements_.resize(program.functions.size());
+  for (const auto& [addr, word] : program.global_init) {
+    memory_.store(addr, 8, static_cast<uint64_t>(word));
+  }
+}
+
+void Vm::set_tool(Tool* tool) {
+  tool_ = tool;
+  flush_translations();
+  // Resolve function replacements by symbol, once - like Valgrind's
+  // redirection table built at startup.
+  for (auto& slot : replacements_) slot = nullptr;
+  if (tool_) {
+    for (const auto& fn : program_.functions) {
+      if (auto replacement = tool_->replace_function(fn.name)) {
+        replacements_[fn.id] = std::move(*replacement);
+      }
+    }
+  }
+}
+
+void Vm::flush_translations() {
+  for (auto& per_fn : tcache_) per_fn.clear();
+  std::fill(iset_cache_.begin(), iset_cache_.end(), 0);
+  MemAccountant::instance().add(MemCategory::kTranslation, -tcache_bytes_);
+  tcache_bytes_ = 0;
+}
+
+InstrumentationSet Vm::instrumentation_for(FuncId fn) {
+  uint8_t& cached = iset_cache_[fn];
+  if (cached == 0) {
+    InstrumentationSet set = tool_ ? tool_->instrumentation_for(program_.fn(fn))
+                                   : InstrumentationSet::none();
+    cached = encode_iset(set);
+  }
+  return decode_iset(cached);
+}
+
+const Vm::TransBlock& Vm::translated(FuncId fn, BlockId block) {
+  auto& per_fn = tcache_[fn];
+  if (per_fn.empty()) {
+    per_fn.resize(program_.fn(fn).blocks.size());
+  }
+  auto& slot = per_fn[block];
+  if (!slot) {
+    const InstrumentationSet set = instrumentation_for(fn);
+    auto trans = std::make_unique<TransBlock>();
+    trans->code = program_.fn(fn).blocks[block].instrs;
+    for (auto& instr : trans->code) {
+      instr.flags = 0;
+      if (set.loads && instr.op == Op::kLoad) instr.flags |= kInstrLoad;
+      if (set.stores && instr.op == Op::kStore) instr.flags |= kInstrStore;
+      if (set.instrs) instr.flags |= kInstrEvery;
+    }
+    const int64_t bytes =
+        static_cast<int64_t>(trans->code.size() * sizeof(Instr));
+    tcache_bytes_ += bytes;
+    MemAccountant::instance().add(MemCategory::kTranslation, bytes);
+    ++translations_;
+    slot = std::move(trans);
+  }
+  return *slot;
+}
+
+ThreadCtx& Vm::create_thread() {
+  const int tid = static_cast<int>(threads_.size());
+  auto thread = std::make_unique<ThreadCtx>();
+  thread->tid = tid;
+  thread->stack_base = GuestLayout::stack_top(tid);
+  thread->stack_limit = GuestLayout::stack_bottom(tid);
+  thread->sp = thread->stack_base;
+  // TCB: a unique guest address identifying the thread's control block.
+  thread->tcb = rt_alloc_.allocate(64);
+  if (tid == 0) {
+    // The main thread's TLS image is installed eagerly by the loader.
+    resolve_tls(*thread, 0, 0);
+  }
+  threads_.push_back(std::move(thread));
+  return *threads_.back();
+}
+
+void Vm::push_call(ThreadCtx& thread, FuncId fn_id,
+                   std::span<const Value> args, Reg ret_reg, SrcLoc call_loc) {
+  const Function& fn = program_.fn(fn_id);
+  TG_ASSERT_MSG(!fn.is_host(), "push_call on host function");
+  Frame frame;
+  frame.fn = fn_id;
+  frame.block = 0;
+  frame.ip = 0;
+  frame.ret_reg = ret_reg;
+  frame.call_loc = call_loc;
+  frame.incarnation = next_incarnation_++;
+  frame.regs.resize(fn.nregs);
+  const uint64_t frame_span = (fn.frame_size + 15u) & ~15u;
+  TG_ASSERT_MSG(thread.sp - frame_span >= thread.stack_limit,
+                "guest stack overflow");
+  thread.sp -= frame_span;
+  frame.fp = thread.sp;
+  TG_ASSERT(args.size() <= fn.nregs);
+  for (size_t i = 0; i < args.size(); ++i) frame.regs[i] = args[i];
+  thread.frames.push_back(std::move(frame));
+}
+
+Value Vm::call_host(ThreadCtx& thread, FuncId fn_id,
+                    std::span<const Value> args, SrcLoc loc) {
+  const Function& fn = program_.fn(fn_id);
+  TG_ASSERT_MSG(fn.is_host(), "call_host on IR function");
+  HostCtx ctx{*this, thread, fn_id, loc};
+  return fn.host(ctx, args);
+}
+
+GuestAddr Vm::resolve_tls(ThreadCtx& thread, uint32_t module,
+                          uint32_t offset) {
+  if (thread.dtv.blocks.size() <= module) {
+    thread.dtv.blocks.resize(module + 1, 0);
+  }
+  GuestAddr& block = thread.dtv.blocks[module];
+  if (block == 0) {
+    uint32_t size = module < program_.tls_module_sizes.size()
+                        ? program_.tls_module_sizes[module]
+                        : 0;
+    if (size == 0) size = 8;  // modules always get a block, even if empty
+    block = rt_alloc_.allocate(size);
+    memory_.fill(block, 0, size);
+    thread.dtv.gen++;  // glibc bumps the dtv generation on (re)allocation
+  }
+  return block + offset;
+}
+
+bool Vm::locate_stack_frame(GuestAddr addr, FrameLoc& out) const {
+  if (addr < GuestLayout::kStackArea) return false;
+  const uint64_t tid = (addr - GuestLayout::kStackArea) / GuestLayout::kStackSize;
+  if (tid >= threads_.size()) return false;
+  const ThreadCtx& thread = *threads_[tid];
+  // Newest frames first: deep recursion resolves its hot frame quickly.
+  for (size_t i = thread.frames.size(); i-- > 0;) {
+    const Frame& frame = thread.frames[i];
+    const Function& fn = program_.fn(frame.fn);
+    const uint64_t span = (fn.frame_size + 15u) & ~15u;
+    if (addr >= frame.fp && addr < frame.fp + span) {
+      out.incarnation = frame.incarnation;
+      out.base = frame.fp;
+      return true;
+    }
+  }
+  return false;
+}
+
+StackTrace Vm::capture_stack(const ThreadCtx& thread) const {
+  StackTrace trace;
+  for (size_t i = thread.frames.size(); i-- > 0;) {
+    const Frame& frame = thread.frames[i];
+    const Function& fn = program_.fn(frame.fn);
+    StackFrameInfo info;
+    info.fn = frame.fn;
+    info.fn_name = fn.name.c_str();
+    SrcLoc loc;
+    if (i + 1 == thread.frames.size()) {
+      // Top frame: the instruction about to execute.
+      const auto& blocks = fn.blocks;
+      if (frame.block < blocks.size() &&
+          frame.ip < blocks[frame.block].instrs.size()) {
+        loc = blocks[frame.block].instrs[frame.ip].loc;
+      }
+    } else {
+      loc = thread.frames[i + 1].call_loc;
+    }
+    info.file = program_.file_name(loc.valid() ? loc.file : fn.file);
+    info.line = loc.line;
+    trace.push_back(info);
+  }
+  return trace;
+}
+
+uint64_t Vm::record_load(ThreadCtx& thread, GuestAddr addr, uint32_t size,
+                         FuncId attributed_fn, SrcLoc loc) {
+  if (tool_ && instrumentation_for(attributed_fn).loads) {
+    if (!loc.valid()) loc.file = program_.fn(attributed_fn).file;
+    tool_->on_load(thread, addr, size, loc);
+  }
+  return memory_.load(addr, size);
+}
+
+void Vm::record_store(ThreadCtx& thread, GuestAddr addr, uint32_t size,
+                      uint64_t value, FuncId attributed_fn, SrcLoc loc) {
+  if (tool_ && instrumentation_for(attributed_fn).stores) {
+    if (!loc.valid()) loc.file = program_.fn(attributed_fn).file;
+    tool_->on_store(thread, addr, size, loc);
+  }
+  memory_.store(addr, size, value);
+}
+
+RunResult Vm::run(ThreadCtx& thread, size_t frame_floor, uint64_t budget) {
+  TG_ASSERT(thread.status != ThreadStatus::kFinished || thread.has_frames());
+  thread.status = ThreadStatus::kRunnable;
+  while (budget-- > 0) {
+    if (halted_) return RunResult::kHalted;
+    if (thread.frames.size() <= frame_floor) {
+      if (thread.frames.empty()) thread.status = ThreadStatus::kFinished;
+      return RunResult::kFrameFloor;
+    }
+
+    // References must be re-fetched every step: intrinsics can push frames.
+    const size_t frame_index = thread.frames.size() - 1;
+    Frame& frame = thread.frames[frame_index];
+    const TransBlock& tblock = translated(frame.fn, frame.block);
+    TG_ASSERT(frame.ip < tblock.code.size());
+    const Instr& in = tblock.code[frame.ip];
+    auto& regs = frame.regs;
+
+    ++retired_;
+    ++thread.retired;
+
+    if ((in.flags & kInstrEvery) && tool_) tool_->on_instr(thread, in);
+
+    switch (in.op) {
+      case Op::kConstI:
+        regs[in.dst] = Value::from_i(in.imm);
+        break;
+      case Op::kConstF:
+        regs[in.dst] = Value::from_f(in.fimm);
+        break;
+      case Op::kMov:
+        regs[in.dst] = regs[in.a];
+        break;
+
+      case Op::kAdd:
+        regs[in.dst] = Value::from_i(regs[in.a].i + regs[in.b].i);
+        break;
+      case Op::kSub:
+        regs[in.dst] = Value::from_i(regs[in.a].i - regs[in.b].i);
+        break;
+      case Op::kMul:
+        regs[in.dst] = Value::from_i(regs[in.a].i * regs[in.b].i);
+        break;
+      case Op::kDivS:
+        TG_ASSERT_MSG(regs[in.b].i != 0, "guest integer division by zero");
+        regs[in.dst] = Value::from_i(regs[in.a].i / regs[in.b].i);
+        break;
+      case Op::kRemS:
+        TG_ASSERT_MSG(regs[in.b].i != 0, "guest integer remainder by zero");
+        regs[in.dst] = Value::from_i(regs[in.a].i % regs[in.b].i);
+        break;
+      case Op::kAnd:
+        regs[in.dst] = Value::from_u(regs[in.a].u & regs[in.b].u);
+        break;
+      case Op::kOr:
+        regs[in.dst] = Value::from_u(regs[in.a].u | regs[in.b].u);
+        break;
+      case Op::kXor:
+        regs[in.dst] = Value::from_u(regs[in.a].u ^ regs[in.b].u);
+        break;
+      case Op::kShl:
+        regs[in.dst] = Value::from_u(regs[in.a].u << (regs[in.b].u & 63));
+        break;
+      case Op::kShrS:
+        regs[in.dst] = Value::from_i(regs[in.a].i >> (regs[in.b].u & 63));
+        break;
+      case Op::kShrU:
+        regs[in.dst] = Value::from_u(regs[in.a].u >> (regs[in.b].u & 63));
+        break;
+
+      case Op::kCmpEq:
+        regs[in.dst] = Value::from_i(regs[in.a].i == regs[in.b].i);
+        break;
+      case Op::kCmpNe:
+        regs[in.dst] = Value::from_i(regs[in.a].i != regs[in.b].i);
+        break;
+      case Op::kCmpLtS:
+        regs[in.dst] = Value::from_i(regs[in.a].i < regs[in.b].i);
+        break;
+      case Op::kCmpLeS:
+        regs[in.dst] = Value::from_i(regs[in.a].i <= regs[in.b].i);
+        break;
+      case Op::kCmpGtS:
+        regs[in.dst] = Value::from_i(regs[in.a].i > regs[in.b].i);
+        break;
+      case Op::kCmpGeS:
+        regs[in.dst] = Value::from_i(regs[in.a].i >= regs[in.b].i);
+        break;
+
+      case Op::kFAdd:
+        regs[in.dst] = Value::from_f(regs[in.a].f + regs[in.b].f);
+        break;
+      case Op::kFSub:
+        regs[in.dst] = Value::from_f(regs[in.a].f - regs[in.b].f);
+        break;
+      case Op::kFMul:
+        regs[in.dst] = Value::from_f(regs[in.a].f * regs[in.b].f);
+        break;
+      case Op::kFDiv:
+        regs[in.dst] = Value::from_f(regs[in.a].f / regs[in.b].f);
+        break;
+      case Op::kFNeg:
+        regs[in.dst] = Value::from_f(-regs[in.a].f);
+        break;
+      case Op::kFSqrt:
+        regs[in.dst] = Value::from_f(std::sqrt(regs[in.a].f));
+        break;
+      case Op::kFAbs:
+        regs[in.dst] = Value::from_f(std::fabs(regs[in.a].f));
+        break;
+      case Op::kFMin:
+        regs[in.dst] = Value::from_f(std::fmin(regs[in.a].f, regs[in.b].f));
+        break;
+      case Op::kFMax:
+        regs[in.dst] = Value::from_f(std::fmax(regs[in.a].f, regs[in.b].f));
+        break;
+
+      case Op::kFCmpLt:
+        regs[in.dst] = Value::from_i(regs[in.a].f < regs[in.b].f);
+        break;
+      case Op::kFCmpLe:
+        regs[in.dst] = Value::from_i(regs[in.a].f <= regs[in.b].f);
+        break;
+      case Op::kFCmpEq:
+        regs[in.dst] = Value::from_i(regs[in.a].f == regs[in.b].f);
+        break;
+      case Op::kFCmpNe:
+        regs[in.dst] = Value::from_i(regs[in.a].f != regs[in.b].f);
+        break;
+
+      case Op::kI2F:
+        regs[in.dst] = Value::from_f(static_cast<double>(regs[in.a].i));
+        break;
+      case Op::kF2I:
+        regs[in.dst] = Value::from_i(static_cast<int64_t>(regs[in.a].f));
+        break;
+
+      case Op::kLoad: {
+        const GuestAddr addr = regs[in.a].u + static_cast<uint64_t>(in.imm);
+        if (in.flags & kInstrLoad) tool_->on_load(thread, addr, in.size, in.loc);
+        regs[in.dst] = Value::from_u(memory_.load(addr, in.size));
+        break;
+      }
+      case Op::kStore: {
+        const GuestAddr addr = regs[in.a].u + static_cast<uint64_t>(in.imm);
+        if (in.flags & kInstrStore) {
+          tool_->on_store(thread, addr, in.size, in.loc);
+        }
+        memory_.store(addr, in.size, regs[in.b].u);
+        break;
+      }
+      case Op::kLea:
+        regs[in.dst] = Value::from_u(frame.fp + static_cast<uint64_t>(in.imm));
+        break;
+      case Op::kTlsAddr:
+        regs[in.dst] = Value::from_u(resolve_tls(
+            thread, in.aux, static_cast<uint32_t>(in.imm)));
+        break;
+
+      case Op::kJmp:
+        frame.block = static_cast<BlockId>(in.imm);
+        frame.ip = 0;
+        continue;
+      case Op::kBr:
+        frame.block = regs[in.a].i != 0 ? static_cast<BlockId>(in.imm)
+                                        : static_cast<BlockId>(in.aux);
+        frame.ip = 0;
+        continue;
+
+      case Op::kCall: {
+        const auto callee = static_cast<FuncId>(in.imm);
+        std::vector<Value> args;
+        args.reserve(in.args.size());
+        for (Reg r : in.args) args.push_back(regs[r]);
+        // Function replacement first (allocator overloading etc.).
+        if (const HostFn& repl = replacements_[callee]) {
+          HostCtx ctx{*this, thread, callee, in.loc};
+          Value ret = repl(ctx, args);
+          if (in.dst != kNoReg) regs[in.dst] = ret;
+          frame.ip++;
+          break;
+        }
+        const Function& fn = program_.fn(callee);
+        if (fn.is_host()) {
+          HostCtx ctx{*this, thread, callee, in.loc};
+          Value ret = fn.host(ctx, args);
+          if (in.dst != kNoReg) regs[in.dst] = ret;
+          frame.ip++;
+          break;
+        }
+        // Guest call: advance past the call, then push the callee frame.
+        frame.ip++;
+        push_call(thread, callee, args, in.dst, in.loc);
+        break;
+      }
+      case Op::kRet: {
+        Value ret;
+        if (in.a != kNoReg) ret = regs[in.a];
+        const Reg ret_reg = frame.ret_reg;
+        const Function& fn = program_.fn(frame.fn);
+        thread.sp = frame.fp + ((fn.frame_size + 15u) & ~15u);
+        thread.frames.pop_back();
+        thread.last_return = ret;
+        if (!thread.frames.empty() && ret_reg != kNoReg) {
+          thread.frames.back().regs[ret_reg] = ret;
+        }
+        if (thread.frames.empty()) thread.status = ThreadStatus::kFinished;
+        break;
+      }
+
+      case Op::kIntrinsic: {
+        TG_ASSERT_MSG(handler_ != nullptr, "no intrinsic handler installed");
+        std::vector<Value> args;
+        args.reserve(in.args.size());
+        for (Reg r : in.args) args.push_back(regs[r]);
+        HostCtx ctx{*this, thread, frame.fn, in.loc};
+        const auto result = handler_->on_intrinsic(
+            ctx, static_cast<IntrinsicId>(in.imm), args, in.iargs);
+        if (result.action == IntrinsicHandler::Result::Action::kBlock) {
+          thread.status = ThreadStatus::kBlocked;
+          return RunResult::kBlocked;
+        }
+        // The handler may have pushed frames; write results to the frame
+        // that issued the intrinsic, not to whatever is on top now.
+        Frame& issuer = thread.frames[frame_index];
+        if (in.dst != kNoReg) issuer.regs[in.dst] = result.ret;
+        issuer.ip++;
+        if (halted_) return RunResult::kHalted;
+        if (result.action == IntrinsicHandler::Result::Action::kReschedule) {
+          return RunResult::kRescheduled;
+        }
+        break;
+      }
+
+      case Op::kClientReq: {
+        if (tool_) {
+          std::vector<Value> args;
+          args.reserve(in.args.size());
+          for (Reg r : in.args) args.push_back(regs[r]);
+          tool_->on_client_request(thread, static_cast<uint64_t>(in.imm),
+                                   args);
+        }
+        frame.ip++;
+        break;
+      }
+
+      case Op::kHalt:
+        halt(in.a != kNoReg ? regs[in.a].i : 0);
+        return RunResult::kHalted;
+    }
+
+    // Default advance for straight-line instructions (branches `continue`,
+    // calls/intrinsics manage ip themselves, ret pops).
+    switch (in.op) {
+      case Op::kJmp:
+      case Op::kBr:
+      case Op::kCall:
+      case Op::kRet:
+      case Op::kIntrinsic:
+      case Op::kClientReq:
+      case Op::kHalt:
+        break;
+      default:
+        frame.ip++;
+        break;
+    }
+  }
+  return RunResult::kBudget;
+}
+
+}  // namespace tg::vex

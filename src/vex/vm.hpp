@@ -1,0 +1,180 @@
+// The minivex virtual machine.
+//
+// Executes guest programs block-at-a-time through a translation cache, the
+// way Valgrind's core does: the first time a block runs under a given tool,
+// it is "translated" - copied with the tool's requested instrumentation
+// woven in (per-function, honouring the tool's symbol filters) - and cached.
+// Execution then dispatches over the translated instructions, firing tool
+// callbacks on instrumented accesses.
+//
+// Guest threads are cooperative: the VM never runs more than one of them at
+// a time; the task runtime's scheduler decides which ThreadCtx advances and
+// for how long. This keeps every experiment deterministic under a seed.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vex/galloc.hpp"
+#include "vex/ir.hpp"
+#include "vex/memory.hpp"
+#include "vex/thread.hpp"
+#include "vex/tool.hpp"
+
+namespace tg::vex {
+
+/// Runtime services provider (implemented by the minomp runtime).
+class IntrinsicHandler {
+ public:
+  struct Result {
+    enum class Action : uint8_t {
+      kContinue,    // write ret to dst, advance past the intrinsic
+      kBlock,       // park the thread; the intrinsic re-executes on resume
+      kReschedule,  // like kContinue, but return to the scheduler first
+                    // (the handler changed the activation structure, e.g.
+                    // pushed an inline task's frames)
+    };
+    Action action = Action::kContinue;
+    Value ret;
+
+    static Result cont(Value v = Value{}) { return {Action::kContinue, v}; }
+    static Result block() { return {Action::kBlock, Value{}}; }
+    static Result resched(Value v = Value{}) {
+      return {Action::kReschedule, v};
+    }
+  };
+
+  virtual ~IntrinsicHandler() = default;
+  virtual Result on_intrinsic(HostCtx& ctx, IntrinsicId id,
+                              std::span<const Value> args,
+                              std::span<const int64_t> iargs) = 0;
+};
+
+enum class RunResult : uint8_t {
+  kFrameFloor,   // frames drained to the requested floor (call returned)
+  kBlocked,      // thread parked at a scheduling point
+  kBudget,       // instruction budget exhausted
+  kHalted,       // the whole machine halted (exit/halt)
+  kRescheduled,  // an intrinsic restructured activations; re-dispatch
+};
+
+class Vm {
+ public:
+  explicit Vm(const Program& program);
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  const Program& program() const { return program_; }
+  GuestMemory& memory() { return memory_; }
+  GuestAllocator& sys_alloc() { return sys_alloc_; }
+  /// Runtime-internal arena (captures, descriptors, TLS, TCBs).
+  GuestAllocator& rt_alloc() { return rt_alloc_; }
+
+  /// Installing a tool flushes the translation cache and re-resolves
+  /// function replacements (Valgrind does this once at startup; we allow it
+  /// any time before execution).
+  void set_tool(Tool* tool);
+  Tool* tool() const { return tool_; }
+
+  void set_intrinsic_handler(IntrinsicHandler* handler) { handler_ = handler; }
+
+  /// Creates a guest thread with its own stack. The first thread (the "main"
+  /// thread) gets its module-0 TLS block eagerly, like ld.so does; worker
+  /// threads allocate TLS blocks lazily on first touch (glibc behaviour the
+  /// paper's §IV-C suppression gap depends on).
+  ThreadCtx& create_thread();
+  ThreadCtx& thread(int tid) { return *threads_[static_cast<size_t>(tid)]; }
+  size_t thread_count() const { return threads_.size(); }
+
+  /// Pushes an activation of `fn` onto the thread. Arguments land in the
+  /// callee's first registers.
+  void push_call(ThreadCtx& thread, FuncId fn, std::span<const Value> args,
+                 Reg ret_reg = kNoReg, SrcLoc call_loc = {});
+
+  /// Runs the thread until its frame count drops to `frame_floor`, it
+  /// blocks, the budget runs out, or the machine halts.
+  RunResult run(ThreadCtx& thread, size_t frame_floor, uint64_t budget);
+
+  bool halted() const { return halted_; }
+  void halt(int64_t code) {
+    halted_ = true;
+    exit_code_ = code;
+  }
+  int64_t exit_code() const { return exit_code_; }
+
+  uint64_t retired() const { return retired_; }
+  uint64_t translations() const { return translations_; }
+
+  /// TLS resolution for the executing thread (lazy DTV block allocation).
+  GuestAddr resolve_tls(ThreadCtx& thread, uint32_t module, uint32_t offset);
+
+  /// Symbolized back trace of a thread's current guest stack.
+  StackTrace capture_stack(const ThreadCtx& thread) const;
+
+  /// Locates the live activation frame containing a stack-area address
+  /// (any thread). Used by tools that rename stack memory per frame
+  /// incarnation. Returns false when no live frame covers `addr`.
+  struct FrameLoc {
+    uint64_t incarnation = 0;
+    GuestAddr base = 0;
+  };
+  bool locate_stack_frame(GuestAddr addr, FrameLoc& out) const;
+
+  /// Guest-visible accesses performed by host-side code (runtime
+  /// bookkeeping, host-implemented libc). They route through the active
+  /// tool's instrumentation exactly like guest instructions, attributed to
+  /// `attributed_fn`'s symbol.
+  uint64_t record_load(ThreadCtx& thread, GuestAddr addr, uint32_t size,
+                       FuncId attributed_fn, SrcLoc loc = {});
+  void record_store(ThreadCtx& thread, GuestAddr addr, uint32_t size,
+                    uint64_t value, FuncId attributed_fn, SrcLoc loc = {});
+
+  /// Instrumentation set for a function under the current tool (cached).
+  InstrumentationSet instrumentation_for(FuncId fn);
+
+  /// Call a function (guest IR or host) to completion on the given thread.
+  /// Only usable from host context for *host* callees or when the caller
+  /// can afford nested interpretation; the runtime uses push_call instead.
+  Value call_host(ThreadCtx& thread, FuncId fn, std::span<const Value> args,
+                  SrcLoc loc);
+
+  /// Captured guest stdout.
+  void append_output(std::string_view text) { output_ += text; }
+  const std::string& output() const { return output_; }
+
+ private:
+  struct TransBlock {
+    std::vector<Instr> code;
+  };
+
+  static constexpr uint8_t kInstrLoad = 1;
+  static constexpr uint8_t kInstrStore = 2;
+  static constexpr uint8_t kInstrEvery = 4;
+
+  const TransBlock& translated(FuncId fn, BlockId block);
+  void flush_translations();
+
+  const Program& program_;
+  GuestMemory memory_;
+  GuestAllocator sys_alloc_;
+  GuestAllocator rt_alloc_;
+  Tool* tool_ = nullptr;
+  IntrinsicHandler* handler_ = nullptr;
+
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  std::vector<std::vector<std::unique_ptr<TransBlock>>> tcache_;
+  std::vector<uint8_t> iset_cache_;  // 0 = unknown, else encoded set + 1
+  std::vector<HostFn> replacements_;  // indexed by FuncId; empty fn = none
+  int64_t tcache_bytes_ = 0;
+
+  bool halted_ = false;
+  int64_t exit_code_ = 0;
+  uint64_t retired_ = 0;
+  uint64_t translations_ = 0;
+  uint64_t next_incarnation_ = 1;
+  std::string output_;
+};
+
+}  // namespace tg::vex

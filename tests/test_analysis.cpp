@@ -1,0 +1,280 @@
+// analyze_races unit tests over hand-built segment graphs: Algorithm 1's
+// pair handling, each suppression in isolation, mutex exclusion, report
+// dedup, caps and determinism under the parallel pass.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "vex/builder.hpp"
+#include "vex/memory.hpp"
+
+namespace tg::core {
+namespace {
+
+vex::SrcLoc loc(uint32_t line) { return {1, line}; }
+
+/// Minimal program for file-name resolution in reports.
+const vex::Program& test_program() {
+  static const vex::Program program = [] {
+    vex::ProgramBuilder pb("analysis_test");
+    vex::FnBuilder& f = pb.fn("main", "analysis.c");
+    f.ret(f.c(0));
+    return pb.take();
+  }();
+  return program;
+}
+
+struct GraphFixture {
+  SegmentGraph graph;
+
+  Segment& seg(int tid = 0) {
+    Segment& s = graph.new_segment();
+    s.task_id = s.id;
+    s.tid = tid;
+    return s;
+  }
+
+  AnalysisResult analyze(AnalysisOptions options = {}) {
+    if (!graph.finalized()) graph.finalize();
+    return analyze_races(graph, test_program(), nullptr, options);
+  }
+};
+
+TEST(Analysis, UnorderedWriteWriteConflict) {
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  a.writes.add(0x100, 0x108, loc(10));
+  b.writes.add(0x104, 0x10c, loc(20));
+  auto result = f.analyze();
+  ASSERT_EQ(result.reports.size(), 1u);
+  EXPECT_EQ(result.reports[0].lo, 0x104u);
+  EXPECT_EQ(result.reports[0].hi, 0x108u);
+}
+
+TEST(Analysis, OrderedPairSkipped) {
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  a.writes.add(0x100, 0x108, loc(10));
+  b.writes.add(0x100, 0x108, loc(20));
+  f.graph.add_edge(a.id, b.id);
+  auto result = f.analyze();
+  EXPECT_TRUE(result.reports.empty());
+  EXPECT_EQ(result.stats.pairs_ordered, 1u);
+}
+
+TEST(Analysis, ReadReadNeverConflicts) {
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  a.reads.add(0x100, 0x108, loc(10));
+  b.reads.add(0x100, 0x108, loc(20));
+  auto result = f.analyze();
+  EXPECT_TRUE(result.reports.empty());
+}
+
+TEST(Analysis, WriteReadConflictBothDirections) {
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  a.reads.add(0x100, 0x108, loc(10));
+  b.writes.add(0x100, 0x108, loc(20));
+  auto result = f.analyze();
+  ASSERT_EQ(result.reports.size(), 1u);
+  // One endpoint is the write, the other the read.
+  EXPECT_NE(result.reports[0].first.is_write,
+            result.reports[0].second.is_write);
+}
+
+TEST(Analysis, MutexSharingSkipsPair) {
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  a.writes.add(0x100, 0x108, loc(10));
+  b.writes.add(0x100, 0x108, loc(20));
+  a.mutexes = {0xAA};
+  b.mutexes = {0xAA};
+  auto result = f.analyze();
+  EXPECT_TRUE(result.reports.empty());
+  EXPECT_EQ(result.stats.pairs_mutex, 1u);
+
+  // Disabling mutex respect restores the conflict.
+  AnalysisOptions options;
+  options.respect_mutexes = false;
+  GraphFixture f2;
+  Segment& a2 = f2.seg();
+  Segment& b2 = f2.seg();
+  a2.writes.add(0x100, 0x108, loc(10));
+  b2.writes.add(0x100, 0x108, loc(20));
+  a2.mutexes = {0xAA};
+  b2.mutexes = {0xAA};
+  EXPECT_FALSE(f2.analyze(options).reports.empty());
+}
+
+TEST(Analysis, StackSuppressionRequiresBothTransient) {
+  const vex::GuestAddr base = vex::GuestLayout::stack_top(0);
+  const vex::GuestAddr limit = vex::GuestLayout::stack_bottom(0);
+
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  for (Segment* s : {&a, &b}) {
+    s->stack_base = base;
+    s->stack_limit = limit;
+    s->sp_at_start = base - 64;  // frames below base-64 are segment-local
+  }
+  // Both write an address below both segments' entry sp: reused frame.
+  a.writes.add(base - 128, base - 120, loc(10));
+  b.writes.add(base - 128, base - 120, loc(20));
+  auto suppressed = f.analyze();
+  EXPECT_TRUE(suppressed.reports.empty());
+  EXPECT_GE(suppressed.stats.suppressed_stack, 1u);
+
+  // An address ABOVE the entry sp (a live parent frame) is NOT suppressed.
+  GraphFixture f2;
+  Segment& a2 = f2.seg();
+  Segment& b2 = f2.seg();
+  for (Segment* s : {&a2, &b2}) {
+    s->stack_base = base;
+    s->stack_limit = limit;
+    s->sp_at_start = base - 64;
+  }
+  a2.writes.add(base - 32, base - 24, loc(10));
+  b2.writes.add(base - 32, base - 24, loc(20));
+  EXPECT_FALSE(f2.analyze().reports.empty());
+}
+
+TEST(Analysis, TlsSuppressionSameThreadSameDtv) {
+  GraphFixture f;
+  Segment& a = f.seg(0);
+  Segment& b = f.seg(0);
+  vex::Dtv dtv;
+  dtv.gen = 1;
+  dtv.blocks = {0x5000};
+  a.dtv_at_end = dtv;
+  b.dtv_at_end = dtv;
+  a.tcb = 0x77;
+  b.tcb = 0x77;
+  // The program's module-0 TLS size defaults to >= 8 bytes.
+  a.writes.add(0x5000, 0x5008, loc(10));
+  b.writes.add(0x5000, 0x5008, loc(20));
+  auto result = f.analyze();
+  EXPECT_TRUE(result.reports.empty());
+  EXPECT_GE(result.stats.suppressed_tls, 1u);
+
+  // Different threads: not suppressed.
+  GraphFixture f2;
+  Segment& a2 = f2.seg(0);
+  Segment& b2 = f2.seg(1);
+  a2.dtv_at_end = dtv;
+  b2.dtv_at_end = dtv;
+  a2.tcb = 0x77;
+  b2.tcb = 0x77;
+  a2.writes.add(0x5000, 0x5008, loc(10));
+  b2.writes.add(0x5000, 0x5008, loc(20));
+  EXPECT_FALSE(f2.analyze().reports.empty());
+}
+
+TEST(Analysis, RegionFastPathCounts) {
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  a.region_id = 0;
+  b.region_id = 1;
+  a.writes.add(0x100, 0x108, loc(10));
+  b.writes.add(0x100, 0x108, loc(20));
+  f.graph.set_region_window(0, 1, 2);
+  f.graph.set_region_window(1, 3, 4);
+  auto result = f.analyze();
+  EXPECT_TRUE(result.reports.empty());
+  EXPECT_EQ(result.stats.pairs_region_fast, 1u);
+}
+
+TEST(Analysis, DedupByLinePairAndBlock) {
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  Segment& c = f.seg();
+  // Three unordered segments, all writing the same range with the same
+  // source locations: one finding after dedup, three raw conflicts.
+  for (Segment* s : {&a, &b, &c}) s->writes.add(0x100, 0x108, loc(10));
+  auto result = f.analyze();
+  EXPECT_EQ(result.reports.size(), 1u);
+  EXPECT_EQ(result.stats.raw_conflicts, 3u * 2u);  // both directions
+}
+
+TEST(Analysis, MaxReportsCap) {
+  GraphFixture f;
+  // Many distinct-location conflicts.
+  for (int i = 0; i < 12; ++i) {
+    Segment& s = f.seg();
+    s.writes.add(0x100, 0x108, loc(static_cast<uint32_t>(100 + i)));
+  }
+  AnalysisOptions options;
+  options.max_reports = 5;
+  auto result = f.analyze(options);
+  EXPECT_LE(result.reports.size(), 5u);
+}
+
+TEST(Analysis, ParallelMatchesSequentialOnRandomGraph) {
+  auto build = [](SegmentGraph& graph) {
+    for (int i = 0; i < 40; ++i) {
+      Segment& s = graph.new_segment();
+      s.task_id = static_cast<uint64_t>(i);
+      s.tid = i % 3;
+      const uint64_t base = 0x1000 + static_cast<uint64_t>(i % 7) * 0x10;
+      if (i % 2 == 0) {
+        s.writes.add(base, base + 8, loc(static_cast<uint32_t>(i)));
+      } else {
+        s.reads.add(base, base + 8, loc(static_cast<uint32_t>(i)));
+      }
+      if (i >= 5) {
+        graph.add_edge(static_cast<SegId>(i - 5), static_cast<SegId>(i));
+      }
+    }
+    graph.finalize();
+  };
+  SegmentGraph g1, g2;
+  build(g1);
+  build(g2);
+  AnalysisOptions seq;
+  seq.threads = 1;
+  AnalysisOptions par;
+  par.threads = 4;
+  auto r1 = analyze_races(g1, test_program(), nullptr, seq);
+  auto r2 = analyze_races(g2, test_program(), nullptr, par);
+  ASSERT_EQ(r1.reports.size(), r2.reports.size());
+  for (size_t i = 0; i < r1.reports.size(); ++i) {
+    EXPECT_EQ(r1.reports[i].summary(), r2.reports[i].summary());
+  }
+  EXPECT_EQ(r1.stats.raw_conflicts, r2.stats.raw_conflicts);
+}
+
+TEST(Analysis, AllocProvenanceAttached) {
+  AllocRegistry allocs;
+  allocs.record(0x100, 64, {});
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  a.writes.add(0x110, 0x118, loc(10));
+  b.writes.add(0x110, 0x118, loc(20));
+  f.graph.finalize();
+  auto result = analyze_races(f.graph, test_program(), &allocs, {});
+  ASSERT_EQ(result.reports.size(), 1u);
+  ASSERT_NE(result.reports[0].alloc, nullptr);
+  EXPECT_EQ(result.reports[0].alloc->addr, 0x100u);
+  EXPECT_EQ(result.reports[0].alloc->size, 64u);
+}
+
+TEST(Analysis, SyntheticNodesNeverPaired) {
+  GraphFixture f;
+  Segment& a = f.seg();
+  a.writes.add(0x100, 0x108, loc(10));
+  Segment& barrier = f.graph.new_segment(SegKind::kBarrier);
+  barrier.writes.add(0x100, 0x108, loc(20));  // nonsensical, must be ignored
+  auto result = f.analyze();
+  EXPECT_TRUE(result.reports.empty());
+}
+
+}  // namespace
+}  // namespace tg::core

@@ -1,0 +1,122 @@
+// SegmentGraph reachability tests, including randomized DAGs checked
+// against a naive DFS reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/segment_graph.hpp"
+#include "support/rng.hpp"
+
+namespace tg::core {
+namespace {
+
+TEST(SegmentGraph, LinearChainReachable) {
+  SegmentGraph graph;
+  for (int i = 0; i < 5; ++i) graph.new_segment();
+  for (SegId i = 0; i + 1 < 5; ++i) graph.add_edge(i, i + 1);
+  graph.finalize();
+  EXPECT_TRUE(graph.reachable(0, 4));
+  EXPECT_TRUE(graph.reachable(1, 3));
+  EXPECT_FALSE(graph.reachable(4, 0));
+  EXPECT_FALSE(graph.reachable(2, 2));
+  EXPECT_TRUE(graph.ordered(0, 4));
+  EXPECT_TRUE(graph.ordered(4, 0));
+}
+
+TEST(SegmentGraph, DiamondSiblingsUnordered) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 : the Fig. 1 shape.
+  SegmentGraph graph;
+  for (int i = 0; i < 4; ++i) graph.new_segment();
+  graph.add_edge(0, 1);
+  graph.add_edge(0, 2);
+  graph.add_edge(1, 3);
+  graph.add_edge(2, 3);
+  graph.finalize();
+  EXPECT_FALSE(graph.ordered(1, 2));
+  EXPECT_TRUE(graph.ordered(0, 3));
+  EXPECT_TRUE(graph.reachable(0, 3));
+}
+
+TEST(SegmentGraph, RegionWindowsEq1) {
+  SegmentGraph graph;
+  Segment& a = graph.new_segment();
+  a.region_id = 0;
+  Segment& b = graph.new_segment();
+  b.region_id = 1;
+  Segment& c = graph.new_segment();
+  c.region_id = 2;
+  graph.set_region_window(0, 1, 2);
+  graph.set_region_window(1, 3, 4);
+  graph.set_region_window(2, 3, 5);  // overlaps region 1 (hypothetically)
+  graph.finalize();
+  // Eq. 1: region 0 joined before region 1 forked => ordered.
+  EXPECT_TRUE(graph.region_ordered(graph.segment(0), graph.segment(1)));
+  EXPECT_TRUE(graph.region_ordered(graph.segment(1), graph.segment(0)));
+  // Overlapping windows: not decidable by the fast path.
+  EXPECT_FALSE(graph.region_ordered(graph.segment(1), graph.segment(2)));
+  // Same region: fast path never answers.
+  EXPECT_FALSE(graph.region_ordered(graph.segment(0), graph.segment(0)));
+}
+
+TEST(SegmentGraph, DotRendering) {
+  SegmentGraph graph;
+  Segment& s = graph.new_segment();
+  s.task_id = 7;
+  graph.new_segment(SegKind::kBarrier);
+  graph.add_edge(0, 1);
+  const std::string dot = graph.to_dot();
+  EXPECT_NE(dot.find("t7.0"), std::string::npos);
+  EXPECT_NE(dot.find("barrier"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+}
+
+class GraphProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphProperty, ReachabilityMatchesDfs) {
+  Rng rng(GetParam());
+  const size_t n = 40 + rng.below(80);
+  SegmentGraph graph;
+  for (size_t i = 0; i < n; ++i) graph.new_segment();
+  // Random DAG: edges only forward in id order.
+  std::vector<std::vector<SegId>> adj(n);
+  for (size_t e = 0; e < n * 3; ++e) {
+    SegId a = static_cast<SegId>(rng.below(n));
+    SegId b = static_cast<SegId>(rng.below(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    graph.add_edge(a, b);
+    adj[a].push_back(b);
+  }
+  graph.finalize();
+
+  auto dfs_reachable = [&](SegId from, SegId to) {
+    std::vector<bool> seen(n, false);
+    std::vector<SegId> stack{from};
+    while (!stack.empty()) {
+      SegId cur = stack.back();
+      stack.pop_back();
+      for (SegId next : adj[cur]) {
+        if (next == to) return true;
+        if (!seen[next]) {
+          seen[next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+    return false;
+  };
+
+  for (int probe = 0; probe < 300; ++probe) {
+    SegId a = static_cast<SegId>(rng.below(n));
+    SegId b = static_cast<SegId>(rng.below(n));
+    if (a == b) continue;
+    EXPECT_EQ(graph.reachable(a, b), dfs_reachable(a, b))
+        << a << " -> " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace tg::core

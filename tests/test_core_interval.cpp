@@ -1,0 +1,196 @@
+// IntervalSet unit + randomized property tests against a reference model.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/interval_set.hpp"
+#include "support/rng.hpp"
+
+namespace tg::core {
+namespace {
+
+vex::SrcLoc loc(uint32_t line) { return vex::SrcLoc{0, line}; }
+
+TEST(IntervalSet, SingleAdd) {
+  IntervalSet set;
+  set.add(10, 14, loc(1));
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.byte_count(), 4u);
+  EXPECT_TRUE(set.contains(10));
+  EXPECT_TRUE(set.contains(13));
+  EXPECT_FALSE(set.contains(14));
+  EXPECT_FALSE(set.contains(9));
+}
+
+TEST(IntervalSet, AdjacentCoalesce) {
+  IntervalSet set;
+  set.add(10, 14, loc(1));
+  set.add(14, 18, loc(2));
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.byte_count(), 8u);
+}
+
+TEST(IntervalSet, OverlapCoalesce) {
+  IntervalSet set;
+  set.add(10, 20, loc(1));
+  set.add(15, 25, loc(2));
+  set.add(5, 12, loc(3));
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.byte_count(), 20u);
+}
+
+TEST(IntervalSet, DisjointStayApart) {
+  IntervalSet set;
+  set.add(10, 12, loc(1));
+  set.add(20, 22, loc(2));
+  set.add(30, 32, loc(3));
+  EXPECT_EQ(set.interval_count(), 3u);
+}
+
+TEST(IntervalSet, BridgeMergesMany) {
+  IntervalSet set;
+  for (uint64_t i = 0; i < 10; ++i) set.add(i * 10, i * 10 + 2, loc(1));
+  EXPECT_EQ(set.interval_count(), 10u);
+  set.add(0, 100, loc(2));
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.byte_count(), 100u);
+}
+
+TEST(IntervalSet, DenseSweepStaysCompact) {
+  // The Fig. 3 motivation: an array sweep accumulates to ONE interval.
+  IntervalSet set;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    set.add(0x1000 + i * 8, 0x1000 + i * 8 + 8, loc(1));
+  }
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.byte_count(), 80000u);
+}
+
+TEST(IntervalSet, IntersectsBasic) {
+  IntervalSet a, b;
+  a.add(10, 20, loc(1));
+  b.add(19, 30, loc(2));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+
+  IntervalSet c;
+  c.add(20, 30, loc(3));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(c.intersects(a));
+}
+
+TEST(IntervalSet, EmptyNeverIntersects) {
+  IntervalSet a, empty;
+  a.add(0, 100, loc(1));
+  EXPECT_FALSE(a.intersects(empty));
+  EXPECT_FALSE(empty.intersects(a));
+  EXPECT_FALSE(empty.intersects(empty));
+}
+
+TEST(IntervalSet, OverlapRangesAndLocs) {
+  IntervalSet a, b;
+  a.add(0, 10, loc(1));
+  a.add(20, 30, loc(2));
+  b.add(5, 25, loc(3));
+  std::vector<IntervalSet::Overlap> overlaps;
+  a.for_each_overlap(b, [&](const IntervalSet::Overlap& o) {
+    overlaps.push_back(o);
+  });
+  ASSERT_EQ(overlaps.size(), 2u);
+  EXPECT_EQ(overlaps[0].lo, 5u);
+  EXPECT_EQ(overlaps[0].hi, 10u);
+  EXPECT_EQ(overlaps[0].this_loc.line, 1u);
+  EXPECT_EQ(overlaps[0].other_loc.line, 3u);
+  EXPECT_EQ(overlaps[1].lo, 20u);
+  EXPECT_EQ(overlaps[1].hi, 25u);
+  EXPECT_EQ(overlaps[1].this_loc.line, 2u);
+}
+
+TEST(IntervalSet, KeepsFirstLocOnCoalesce) {
+  IntervalSet set;
+  set.add(10, 14, loc(7));
+  set.add(12, 18, loc(9));
+  std::vector<uint32_t> lines;
+  set.for_each([&](uint64_t, uint64_t, vex::SrcLoc l) {
+    lines.push_back(l.line);
+  });
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 7u);
+}
+
+// --- randomized property tests against a byte-set reference model ---------
+
+class IntervalSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  IntervalSet set;
+  std::set<uint64_t> model;
+  for (int op = 0; op < 500; ++op) {
+    const uint64_t lo = rng.below(256);
+    const uint64_t len = 1 + rng.below(16);
+    set.add(lo, lo + len, loc(1));
+    for (uint64_t b = lo; b < lo + len; ++b) model.insert(b);
+  }
+  EXPECT_EQ(set.byte_count(), model.size());
+  for (uint64_t b = 0; b < 300; ++b) {
+    const bool expected = model.count(b) != 0;
+    EXPECT_EQ(set.contains(b), expected) << "byte " << b;
+  }
+  // Intervals must be disjoint, sorted and non-adjacent (maximal).
+  uint64_t prev_hi = 0;
+  bool first = true;
+  set.for_each([&](uint64_t lo, uint64_t hi, vex::SrcLoc) {
+    EXPECT_LT(lo, hi);
+    if (!first) {
+      EXPECT_GT(lo, prev_hi);
+    }
+    prev_hi = hi;
+    first = false;
+  });
+}
+
+TEST_P(IntervalSetProperty, IntersectionMatchesReference) {
+  Rng rng(GetParam() * 977 + 3);
+  IntervalSet a, b;
+  std::set<uint64_t> ma, mb;
+  for (int op = 0; op < 60; ++op) {
+    uint64_t lo = rng.below(512);
+    uint64_t len = 1 + rng.below(8);
+    if (rng.chance(0.5)) {
+      a.add(lo, lo + len, loc(1));
+      for (uint64_t x = lo; x < lo + len; ++x) ma.insert(x);
+    } else {
+      b.add(lo, lo + len, loc(2));
+      for (uint64_t x = lo; x < lo + len; ++x) mb.insert(x);
+    }
+  }
+  bool expect = false;
+  for (uint64_t x : ma) {
+    if (mb.count(x)) {
+      expect = true;
+      break;
+    }
+  }
+  EXPECT_EQ(a.intersects(b), expect);
+  EXPECT_EQ(b.intersects(a), expect);
+
+  // Overlap union must equal the model intersection.
+  std::set<uint64_t> overlap_bytes;
+  a.for_each_overlap(b, [&](const IntervalSet::Overlap& o) {
+    for (uint64_t x = o.lo; x < o.hi; ++x) overlap_bytes.insert(x);
+  });
+  std::set<uint64_t> expected;
+  for (uint64_t x : ma) {
+    if (mb.count(x)) expected.insert(x);
+  }
+  EXPECT_EQ(overlap_bytes, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace tg::core

@@ -1,0 +1,180 @@
+// DepResolver unit tests: the OpenMP 5.x dependence matrix, sibling
+// scoping, set generations and mutexinoutset mutex assignment.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "runtime/deps.hpp"
+
+namespace tg::rt {
+namespace {
+
+struct Fixture {
+  DepResolver resolver;
+  std::vector<std::unique_ptr<Task>> tasks;
+  Task parent;
+
+  Fixture() { parent.id = 1000; }
+
+  Task& task(std::initializer_list<Dep> deps, Task* custom_parent = nullptr) {
+    auto t = std::make_unique<Task>();
+    t->id = tasks.size();
+    t->parent = custom_parent != nullptr ? custom_parent : &parent;
+    t->deps = deps;
+    tasks.push_back(std::move(t));
+    return *tasks.back();
+  }
+
+  std::set<std::pair<uint64_t, uint64_t>> resolve(Task& t) {
+    std::vector<DepEdge> edges;
+    resolver.resolve(t, edges);
+    std::set<std::pair<uint64_t, uint64_t>> result;
+    for (const DepEdge& e : edges) result.emplace(e.pred->id, e.succ->id);
+    return result;
+  }
+};
+
+constexpr vex::GuestAddr kX = 0x1000;
+constexpr vex::GuestAddr kY = 0x2000;
+
+TEST(Deps, InAfterOut) {
+  Fixture f;
+  Task& w = f.task({{DepKind::kOut, kX}});
+  Task& r = f.task({{DepKind::kIn, kX}});
+  EXPECT_TRUE(f.resolve(w).empty());
+  EXPECT_EQ(f.resolve(r), (std::set<std::pair<uint64_t, uint64_t>>{{0, 1}}));
+}
+
+TEST(Deps, ReadersDoNotChain) {
+  Fixture f;
+  Task& w = f.task({{DepKind::kOut, kX}});
+  Task& r1 = f.task({{DepKind::kIn, kX}});
+  Task& r2 = f.task({{DepKind::kIn, kX}});
+  f.resolve(w);
+  f.resolve(r1);
+  auto edges = f.resolve(r2);
+  // r2 depends on w only, never on r1.
+  EXPECT_EQ(edges, (std::set<std::pair<uint64_t, uint64_t>>{{0, 2}}));
+}
+
+TEST(Deps, OutAfterReadersWaitsForAll) {
+  Fixture f;
+  Task& w1 = f.task({{DepKind::kOut, kX}});
+  Task& r1 = f.task({{DepKind::kIn, kX}});
+  Task& r2 = f.task({{DepKind::kIn, kX}});
+  Task& w2 = f.task({{DepKind::kOut, kX}});
+  f.resolve(w1);
+  f.resolve(r1);
+  f.resolve(r2);
+  auto edges = f.resolve(w2);
+  EXPECT_EQ(edges, (std::set<std::pair<uint64_t, uint64_t>>{
+                       {0, 3}, {1, 3}, {2, 3}}));
+}
+
+TEST(Deps, OutOutChains) {
+  Fixture f;
+  Task& w1 = f.task({{DepKind::kOut, kX}});
+  Task& w2 = f.task({{DepKind::kInOut, kX}});
+  Task& w3 = f.task({{DepKind::kOut, kX}});
+  f.resolve(w1);
+  EXPECT_EQ(f.resolve(w2),
+            (std::set<std::pair<uint64_t, uint64_t>>{{0, 1}}));
+  EXPECT_EQ(f.resolve(w3),
+            (std::set<std::pair<uint64_t, uint64_t>>{{1, 2}}));
+}
+
+TEST(Deps, InoutsetMembersMutuallyIndependent) {
+  Fixture f;
+  Task& w = f.task({{DepKind::kOut, kX}});
+  Task& s1 = f.task({{DepKind::kInOutSet, kX}});
+  Task& s2 = f.task({{DepKind::kInOutSet, kX}});
+  Task& r = f.task({{DepKind::kIn, kX}});
+  f.resolve(w);
+  EXPECT_EQ(f.resolve(s1),
+            (std::set<std::pair<uint64_t, uint64_t>>{{0, 1}}));
+  EXPECT_EQ(f.resolve(s2),
+            (std::set<std::pair<uint64_t, uint64_t>>{{0, 2}}));
+  // The reader waits for every member of the set.
+  EXPECT_EQ(f.resolve(r),
+            (std::set<std::pair<uint64_t, uint64_t>>{{1, 3}, {2, 3}}));
+}
+
+TEST(Deps, InoutsetGenerationEndsAtNextWriter) {
+  Fixture f;
+  Task& s1 = f.task({{DepKind::kInOutSet, kX}});
+  Task& s2 = f.task({{DepKind::kInOutSet, kX}});
+  Task& w = f.task({{DepKind::kOut, kX}});
+  Task& s3 = f.task({{DepKind::kInOutSet, kX}});
+  f.resolve(s1);
+  f.resolve(s2);
+  EXPECT_EQ(f.resolve(w),
+            (std::set<std::pair<uint64_t, uint64_t>>{{0, 2}, {1, 2}}));
+  // A new set generation starts after the writer.
+  EXPECT_EQ(f.resolve(s3),
+            (std::set<std::pair<uint64_t, uint64_t>>{{2, 3}}));
+}
+
+TEST(Deps, MutexinoutsetAssignsMutexes) {
+  Fixture f;
+  Task& m1 = f.task({{DepKind::kMutexInOutSet, kX}});
+  Task& m2 = f.task({{DepKind::kMutexInOutSet, kX}});
+  f.resolve(m1);
+  f.resolve(m2);
+  ASSERT_EQ(m1.mutexes.size(), 1u);
+  ASSERT_EQ(m2.mutexes.size(), 1u);
+  EXPECT_EQ(m1.mutexes[0], m2.mutexes[0]);  // same exclusion object
+  // No ordering edges between the members themselves.
+}
+
+TEST(Deps, DistinctAddressesIndependent) {
+  Fixture f;
+  Task& wx = f.task({{DepKind::kOut, kX}});
+  Task& wy = f.task({{DepKind::kOut, kY}});
+  f.resolve(wx);
+  EXPECT_TRUE(f.resolve(wy).empty());
+}
+
+TEST(Deps, MultipleDepsUnion) {
+  Fixture f;
+  Task& wx = f.task({{DepKind::kOut, kX}});
+  Task& wy = f.task({{DepKind::kOut, kY}});
+  Task& both = f.task({{DepKind::kIn, kX}, {DepKind::kIn, kY}});
+  f.resolve(wx);
+  f.resolve(wy);
+  EXPECT_EQ(f.resolve(both),
+            (std::set<std::pair<uint64_t, uint64_t>>{{0, 2}, {1, 2}}));
+}
+
+TEST(Deps, EdgesDedupedPerPredecessor) {
+  Fixture f;
+  Task& w = f.task({{DepKind::kOut, kX}, {DepKind::kOut, kY}});
+  Task& r = f.task({{DepKind::kIn, kX}, {DepKind::kIn, kY}});
+  f.resolve(w);
+  std::vector<DepEdge> edges;
+  f.resolver.resolve(r, edges);
+  EXPECT_EQ(edges.size(), 1u);  // one edge even with two matching deps
+}
+
+TEST(Deps, SiblingScopingSeparatesParents) {
+  Fixture f;
+  Task other_parent;
+  other_parent.id = 2000;
+  Task& w = f.task({{DepKind::kOut, kX}});
+  Task& r = f.task({{DepKind::kIn, kX}}, &other_parent);
+  f.resolve(w);
+  // Different generating task region: no edge (the DRB173 rule).
+  EXPECT_TRUE(f.resolve(r).empty());
+}
+
+TEST(Deps, ForgetParentDropsState) {
+  Fixture f;
+  Task& w = f.task({{DepKind::kOut, kX}});
+  f.resolve(w);
+  f.resolver.forget_parent(f.parent);
+  Task& r = f.task({{DepKind::kIn, kX}});
+  EXPECT_TRUE(f.resolve(r).empty());
+}
+
+}  // namespace
+}  // namespace tg::rt

@@ -1,0 +1,197 @@
+// Front-end (compiler-lowering) tests: outlining, captures, construct
+// emission, string interning, debug-info stamping.
+#include <gtest/gtest.h>
+
+#include "runtime/execution.hpp"
+#include "runtime/frontend.hpp"
+#include "vex/builder.hpp"
+
+namespace tg::rt {
+namespace {
+
+using vex::FnBuilder;
+using vex::GuestAddr;
+using vex::ProgramBuilder;
+using vex::Slot;
+using vex::V;
+
+struct Front {
+  Front() : pb("front_test"), omp(pb) {
+    install_runtime_abi(pb);
+    main_fn = &pb.fn("main", "front.c");
+  }
+
+  vex::Program take() {
+    if (!main_fn->terminated()) main_fn->ret(main_fn->c(0));
+    return pb.take();
+  }
+
+  ExecResult run(int threads = 2) {
+    program = take();
+    RtOptions opts;
+    opts.num_threads = threads;
+    return execute_program(program, opts, nullptr, {});
+  }
+
+  ProgramBuilder pb;
+  Omp omp;
+  FnBuilder* main_fn;
+  vex::Program program;
+};
+
+TEST(Frontend, OutlinedFunctionsGetClangStyleNames) {
+  Front f;
+  f.omp.parallel(*f.main_fn, {}, [&](FnBuilder& pf, TaskArgs&) {
+    f.omp.task(pf, {}, {}, [](FnBuilder&, TaskArgs&) {});
+  });
+  const vex::Program program = f.take();
+  EXPECT_NE(program.find_fn("main.omp_parallel.0"), vex::kNoFunc);
+  EXPECT_NE(program.find_fn("main.omp_parallel.0.omp_task.1"), vex::kNoFunc);
+}
+
+TEST(Frontend, OutlinedFunctionsInheritFile) {
+  Front f;
+  f.omp.parallel(*f.main_fn, {}, [](FnBuilder&, TaskArgs&) {});
+  const vex::Program program = f.take();
+  const vex::FuncId outlined = program.find_fn("main.omp_parallel.0");
+  ASSERT_NE(outlined, vex::kNoFunc);
+  EXPECT_STREQ(program.file_name(program.fn(outlined).file), "front.c");
+}
+
+TEST(Frontend, RegionFnEndsWithImplicitBarrier) {
+  Front f;
+  f.omp.parallel(*f.main_fn, {}, [](FnBuilder&, TaskArgs&) {});
+  const vex::Program program = f.take();
+  const vex::Function& fn =
+      program.fn(program.find_fn("main.omp_parallel.0"));
+  bool found_barrier = false;
+  for (const auto& block : fn.blocks) {
+    for (const auto& instr : block.instrs) {
+      if (instr.op == vex::Op::kIntrinsic &&
+          static_cast<vex::IntrinsicId>(instr.imm) ==
+              vex::IntrinsicId::kBarrier) {
+        found_barrier = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_barrier);
+}
+
+TEST(Frontend, TaskArgsRoundTripValues) {
+  Front f;
+  FnBuilder& m = *f.main_fn;
+  const GuestAddr out = f.pb.global("out", 8 * 3);
+  f.omp.parallel(m, {}, [&](FnBuilder& pf, TaskArgs&) {
+    f.omp.single(pf, [&] {
+      f.omp.task(pf, {}, {pf.c(11), pf.c(22), pf.c(33)},
+                 [&](FnBuilder& tf, TaskArgs& a) {
+                   for (int i = 0; i < 3; ++i) {
+                     tf.st(tf.c(static_cast<int64_t>(out) + i * 8),
+                           a.get(static_cast<uint32_t>(i)));
+                   }
+                 });
+      f.omp.taskwait(pf);
+    });
+  });
+  Slot sum = m.slot();
+  sum.set(0);
+  m.for_(0, 3, [&](Slot i) {
+    sum.set(sum.get() + m.ld(m.c(static_cast<int64_t>(out)) + i.get() * m.c(8)));
+  });
+  m.ret(sum.get());
+  EXPECT_EQ(f.run().outcome.exit_code, 66);
+}
+
+TEST(Frontend, MasterRunsOnlyOnThreadZero) {
+  Front f;
+  FnBuilder& m = *f.main_fn;
+  const GuestAddr counter = f.pb.global("counter", 8);
+  f.omp.parallel(m, m.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    f.omp.master(pf, [&] {
+      V addr = pf.c(static_cast<int64_t>(counter));
+      pf.st(addr, pf.ld(addr) + pf.c(1));
+    });
+  });
+  m.ret(m.ld(m.c(static_cast<int64_t>(counter))));
+  EXPECT_EQ(f.run(4).outcome.exit_code, 1);
+}
+
+TEST(Frontend, CriticalSectionsByNameAreDistinct) {
+  Front f;
+  FnBuilder& m = *f.main_fn;
+  const GuestAddr a = f.pb.global("a", 8);
+  const GuestAddr b = f.pb.global("b", 8);
+  f.omp.parallel(m, m.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    f.omp.critical(pf, "first", [&] {
+      V addr = pf.c(static_cast<int64_t>(a));
+      pf.st(addr, pf.ld(addr) + pf.c(1));
+    });
+    f.omp.critical(pf, "second", [&] {
+      V addr = pf.c(static_cast<int64_t>(b));
+      pf.st(addr, pf.ld(addr) + pf.c(1));
+    });
+  });
+  m.ret(m.ld(m.c(static_cast<int64_t>(a))) +
+        m.ld(m.c(static_cast<int64_t>(b))));
+  EXPECT_EQ(f.run(4).outcome.exit_code, 8);
+}
+
+TEST(Frontend, TaskloopNogroupNeedsExplicitWait) {
+  Front f;
+  FnBuilder& m = *f.main_fn;
+  const GuestAddr sum = f.pb.global("sum", 8);
+  f.omp.parallel(m, m.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    f.omp.single(pf, [&] {
+      f.omp.taskloop(pf, {.grainsize = 2, .nogroup = true}, {}, pf.c(0),
+                     pf.c(10), [&](FnBuilder& tf, TaskArgs&, Slot i) {
+                       f.omp.critical(tf, "s", [&] {
+                         V addr = tf.c(static_cast<int64_t>(sum));
+                         tf.st(addr, tf.ld(addr) + i.get());
+                       });
+                     });
+      f.omp.taskwait(pf);  // nogroup: we must wait ourselves
+    });
+  });
+  m.ret(m.ld(m.c(static_cast<int64_t>(sum))));
+  EXPECT_EQ(f.run(2).outcome.exit_code, 45);
+}
+
+TEST(Frontend, StringLiteralsInterned) {
+  Front f;
+  const GuestAddr first = f.pb.string_lit("hello");
+  const GuestAddr again = f.pb.string_lit("hello");
+  const GuestAddr other = f.pb.string_lit("world");
+  EXPECT_EQ(first, again);
+  EXPECT_NE(first, other);
+}
+
+TEST(Frontend, LineStampsFlowIntoInstrs) {
+  Front f;
+  FnBuilder& m = *f.main_fn;
+  m.line(77);
+  Slot x = m.slot();
+  x.set(1);
+  const vex::Program program = f.take();
+  const vex::Function& fn = program.fn(program.entry);
+  bool saw = false;
+  for (const auto& instr : fn.blocks[0].instrs) {
+    if (instr.loc.line == 77) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(Frontend, NumThreadsIntrinsics) {
+  Front f;
+  FnBuilder& m = *f.main_fn;
+  const GuestAddr out = f.pb.global("out", 8);
+  f.omp.parallel(m, m.c(3), {}, [&](FnBuilder& pf, TaskArgs&) {
+    f.omp.single(pf, [&] {
+      pf.st(pf.c(static_cast<int64_t>(out)), f.omp.num_threads(pf));
+    });
+  });
+  m.ret(m.ld(m.c(static_cast<int64_t>(out))));
+  EXPECT_EQ(f.run(4).outcome.exit_code, 3);  // num_threads(3) wins
+}
+
+}  // namespace
+}  // namespace tg::rt

@@ -1,0 +1,313 @@
+// SegmentGraphBuilder unit tests through the scalar event API: segment
+// splitting, join expansion, barriers, regions, detach and FEB edges.
+#include <gtest/gtest.h>
+
+#include "core/graph_builder.hpp"
+#include "runtime/task.hpp"
+
+namespace tg::core {
+namespace {
+
+using rt::SyncKind;
+using rt::TaskFlags;
+
+/// Replays a canned event script and exposes the graph. No VM attached:
+/// suppression metadata stays zero, which these tests do not need.
+struct Script {
+  SegmentGraphBuilder builder;
+
+  Script() { builder.set_undeferred_parallel(true); }
+
+  uint64_t spawn(uint64_t parent, uint32_t flags = 0,
+                 uint64_t region = kNoId) {
+    const uint64_t id = next_id++;
+    builder.task_create(id, parent, flags, region, {});
+    return id;
+  }
+  void begin(uint64_t task, int tid = 0) {
+    builder.schedule_begin(task, tid);
+  }
+  void end(uint64_t task, int tid = 0) { builder.schedule_end(task, tid); }
+  void complete(uint64_t task) { builder.task_complete(task); }
+  void access(int tid, uint64_t addr, bool write) {
+    builder.record_access(tid, addr, 8, write, {});
+  }
+
+  SegmentGraph& finalize() { return builder.finalize(); }
+
+  /// All (write vs any) conflicting unordered segment pairs.
+  size_t conflicts() {
+    SegmentGraph& graph = builder.graph();
+    size_t count = 0;
+    for (SegId a = 0; a < graph.size(); ++a) {
+      for (SegId b = a + 1; b < graph.size(); ++b) {
+        const Segment& s1 = graph.segment(a);
+        const Segment& s2 = graph.segment(b);
+        if (s1.kind != SegKind::kTask || s2.kind != SegKind::kTask) continue;
+        if (graph.ordered(a, b)) continue;
+        if (s1.writes.intersects(s2.writes) ||
+            s1.writes.intersects(s2.reads) ||
+            s2.writes.intersects(s1.reads)) {
+          ++count;
+        }
+      }
+    }
+    return count;
+  }
+
+  uint64_t next_id = 0;
+};
+
+TEST(GraphBuilder, RootAloneHasOneSegment) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  s.access(0, 0x100, true);
+  s.complete(root);
+  SegmentGraph& graph = s.finalize();
+  EXPECT_EQ(graph.size(), 1u);
+  EXPECT_TRUE(graph.segment(0).writes.contains(0x100));
+}
+
+TEST(GraphBuilder, TaskCreateSplitsParent) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  s.access(0, 0x100, true);  // pre-create segment
+  const uint64_t child = s.spawn(root);
+  s.access(0, 0x108, true);  // post-create segment (parent continues)
+  s.end(root);
+  s.begin(child, 1);
+  s.access(1, 0x100, false);  // reads what the parent wrote BEFORE create
+  s.access(1, 0x108, false);  // reads what the parent wrote AFTER create
+  s.complete(child);
+  s.begin(root);
+  s.complete(root);
+  SegmentGraph& graph = s.finalize();
+
+  // Find the child's segment and the parent's two segments.
+  SegId pre = kNoSeg, post = kNoSeg, child_seg = kNoSeg;
+  for (SegId i = 0; i < graph.size(); ++i) {
+    const Segment& seg = graph.segment(i);
+    if (seg.task_id == root && seg.writes.contains(0x100)) pre = i;
+    if (seg.task_id == root && seg.writes.contains(0x108)) post = i;
+    if (seg.task_id == child) child_seg = i;
+  }
+  ASSERT_NE(pre, kNoSeg);
+  ASSERT_NE(post, kNoSeg);
+  ASSERT_NE(child_seg, kNoSeg);
+  EXPECT_TRUE(graph.reachable(pre, child_seg));    // ordered before child
+  EXPECT_FALSE(graph.ordered(post, child_seg));    // concurrent with child
+}
+
+TEST(GraphBuilder, TaskwaitJoinsChildren) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  const uint64_t child = s.spawn(root);
+  s.end(root);
+  s.begin(child, 1);
+  s.access(1, 0x200, true);
+  s.complete(child);
+  s.begin(root);
+  s.builder.sync_begin(SyncKind::kTaskwait, root, 0);
+  s.builder.sync_end(SyncKind::kTaskwait, root, 0);
+  s.access(0, 0x200, true);  // after the wait: ordered with the child
+  s.complete(root);
+  s.finalize();
+  EXPECT_EQ(s.conflicts(), 0u);
+}
+
+TEST(GraphBuilder, NoTaskwaitMeansConflict) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  const uint64_t child = s.spawn(root);
+  s.access(0, 0x200, true);  // parent writes while child may run
+  s.end(root);
+  s.begin(child, 1);
+  s.access(1, 0x200, true);
+  s.complete(child);
+  s.begin(root);
+  s.complete(root);
+  s.finalize();
+  EXPECT_EQ(s.conflicts(), 1u);
+}
+
+TEST(GraphBuilder, TaskgroupJoinsDescendantsDeep) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  s.builder.taskgroup_begin(root);
+  const uint64_t child = s.spawn(root);
+  s.end(root);
+  s.begin(child, 1);
+  const uint64_t grandchild = s.spawn(child);
+  s.complete(child);
+  s.begin(grandchild, 2);
+  s.access(2, 0x300, true);
+  s.complete(grandchild);
+  s.begin(root);
+  s.builder.sync_begin(SyncKind::kTaskgroupEnd, root, 0);
+  s.builder.sync_end(SyncKind::kTaskgroupEnd, root, 0);
+  s.access(0, 0x300, true);  // ordered even with the grandchild
+  s.complete(root);
+  s.finalize();
+  EXPECT_EQ(s.conflicts(), 0u);
+}
+
+TEST(GraphBuilder, DependenceEdgesOrderTasks) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  const uint64_t t1 = s.spawn(root);
+  const uint64_t t2 = s.spawn(root);
+  s.builder.dependence(t1, t2);
+  s.end(root);
+  s.begin(t1, 1);
+  s.access(1, 0x400, true);
+  s.complete(t1);
+  s.begin(t2, 2);
+  s.access(2, 0x400, true);
+  s.complete(t2);
+  s.begin(root);
+  s.complete(root);
+  s.finalize();
+  EXPECT_EQ(s.conflicts(), 0u);
+}
+
+TEST(GraphBuilder, BarrierNodeOrdersEpochs) {
+  Script s;
+  constexpr uint64_t kRegion = 7;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  s.builder.parallel_begin(kRegion, root, 2);
+  const uint64_t w0 = s.spawn(root, TaskFlags::kImplicit, kRegion);
+  const uint64_t w1 = s.spawn(root, TaskFlags::kImplicit, kRegion);
+  s.end(root);
+  s.begin(w0, 0);
+  s.begin(w1, 1);
+  s.access(0, 0x500, true);  // phase 1 on worker 0
+  // Both arrive at the barrier.
+  s.builder.sync_begin(SyncKind::kBarrier, w0, 0);
+  s.builder.barrier_arrive(kRegion, 0, w0);
+  s.builder.sync_begin(SyncKind::kBarrier, w1, 1);
+  s.builder.barrier_arrive(kRegion, 0, w1);
+  s.builder.barrier_release(kRegion, 0);
+  s.builder.sync_end(SyncKind::kBarrier, w0, 0);
+  s.builder.sync_end(SyncKind::kBarrier, w1, 1);
+  s.access(1, 0x500, true);  // phase 2 on worker 1: ordered by the barrier
+  s.complete(w0);
+  s.complete(w1);
+  s.builder.parallel_end(kRegion, root);
+  s.begin(root);
+  s.complete(root);
+  s.finalize();
+  EXPECT_EQ(s.conflicts(), 0u);
+}
+
+TEST(GraphBuilder, RegionWindowsSetForEq1) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  for (uint64_t region = 0; region < 2; ++region) {
+    s.builder.parallel_begin(region, root, 1);
+    const uint64_t w = s.spawn(root, TaskFlags::kImplicit, region);
+    s.end(root);
+    s.begin(w, 0);
+    s.access(0, 0x600, true);
+    s.complete(w);
+    s.builder.parallel_end(region, root);
+    s.begin(root);
+  }
+  s.complete(root);
+  SegmentGraph& graph = s.finalize();
+  // The two regions' implicit segments are region_ordered (Eq. 1).
+  SegId first = kNoSeg, second = kNoSeg;
+  for (SegId i = 0; i < graph.size(); ++i) {
+    const Segment& seg = graph.segment(i);
+    if (seg.kind != SegKind::kTask || !seg.writes.contains(0x600)) continue;
+    if (seg.region_id == 0) first = i;
+    if (seg.region_id == 1) second = i;
+  }
+  ASSERT_NE(first, kNoSeg);
+  ASSERT_NE(second, kNoSeg);
+  EXPECT_TRUE(graph.region_ordered(graph.segment(first),
+                                   graph.segment(second)));
+  EXPECT_EQ(s.conflicts(), 0u);
+}
+
+TEST(GraphBuilder, UndeferredSequentialWithoutPolicy) {
+  Script s;
+  s.builder.set_undeferred_parallel(false);
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  s.access(0, 0x700, true);
+  const uint64_t child = s.spawn(root, TaskFlags::kUndeferred);
+  s.end(root);
+  s.begin(child, 0);
+  s.access(0, 0x700, true);
+  s.complete(child);
+  s.begin(root);
+  s.access(0, 0x700, true);  // parent continuation: after the child
+  s.complete(root);
+  s.finalize();
+  EXPECT_EQ(s.conflicts(), 0u);  // fully serialized
+}
+
+TEST(GraphBuilder, FulfillOrdersDetachedCompletion) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  const uint64_t detached = s.spawn(root, TaskFlags::kDetachable);
+  const uint64_t fulfiller = s.spawn(root);
+  s.end(root);
+  s.begin(detached, 1);
+  s.complete(detached);  // frames done; completion awaits the fulfill
+  s.begin(fulfiller, 2);
+  s.access(2, 0x800, true);  // before the fulfill
+  s.builder.task_fulfill(detached, 2);
+  s.complete(fulfiller);
+  s.begin(root);
+  s.builder.sync_begin(SyncKind::kTaskwait, root, 0);
+  s.builder.sync_end(SyncKind::kTaskwait, root, 0);
+  s.access(0, 0x800, true);  // after the taskwait: ordered via fulfill
+  s.complete(root);
+  s.finalize();
+  EXPECT_EQ(s.conflicts(), 0u);
+}
+
+TEST(GraphBuilder, FebEdgesOrderAcrossTasks) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  const uint64_t producer = s.spawn(root);
+  const uint64_t consumer = s.spawn(root);
+  s.end(root);
+  s.begin(producer, 1);
+  s.access(1, 0x900, true);
+  s.builder.feb_release(producer, 0xFEB, true);
+  s.complete(producer);
+  s.begin(consumer, 2);
+  s.builder.feb_acquire(consumer, 0xFEB, true);
+  s.access(2, 0x900, false);
+  s.complete(consumer);
+  s.begin(root);
+  s.complete(root);
+  s.finalize();
+  EXPECT_EQ(s.conflicts(), 0u);
+}
+
+TEST(GraphBuilder, CurrentSegmentTracksAnnouncedTask) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  EXPECT_EQ(s.builder.current_segment(0), kNoSeg);
+  s.begin(root);
+  const SegId seg = s.builder.current_segment(0);
+  EXPECT_NE(seg, kNoSeg);
+  s.end(root);
+  EXPECT_EQ(s.builder.current_segment(0), kNoSeg);
+}
+
+}  // namespace
+}  // namespace tg::core

@@ -1,0 +1,158 @@
+// mini-LULESH tests: numerical agreement with the host reference, the
+// racy-variant detection, parameter handling and scaling behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "lulesh/lulesh.hpp"
+#include "tools/session.hpp"
+
+namespace tg::lulesh {
+namespace {
+
+using tools::SessionOptions;
+using tools::SessionResult;
+using tools::ToolKind;
+
+SessionResult run_lulesh(const LuleshParams& params, ToolKind tool,
+                         int threads, uint64_t seed = 1) {
+  const rt::GuestProgram program = make_lulesh(params);
+  SessionOptions options;
+  options.tool = tool;
+  options.num_threads = threads;
+  options.seed = seed;
+  return tools::run_session(program, options);
+}
+
+double parse_energy(const std::string& output) {
+  const auto pos = output.rfind("final origin energy=");
+  EXPECT_NE(pos, std::string::npos) << output;
+  return std::strtod(output.c_str() + pos + 20, nullptr);
+}
+
+class LuleshSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuleshSizes, MatchesHostReference) {
+  LuleshParams params;
+  params.s = GetParam();
+  params.iters = 3;
+  const auto result = run_lulesh(params, ToolKind::kNone, 1);
+  ASSERT_EQ(result.status, SessionResult::Status::kOk);
+  const double guest = parse_energy(result.output);
+  const double host = reference_origin_energy(params);
+  EXPECT_NEAR(guest, host, std::abs(host) * 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuleshSizes, ::testing::Values(2, 4, 6, 8));
+
+TEST(Lulesh, DeterministicAcrossThreadCounts) {
+  // The dependence structure makes the computation deterministic: any team
+  // size yields the same answer.
+  LuleshParams params;
+  params.s = 6;
+  params.iters = 4;
+  const auto t1 = run_lulesh(params, ToolKind::kNone, 1);
+  const auto t4 = run_lulesh(params, ToolKind::kNone, 4);
+  EXPECT_EQ(parse_energy(t1.output), parse_energy(t4.output));
+}
+
+TEST(Lulesh, CorrectVariantIsRaceFree) {
+  LuleshParams params;
+  params.s = 6;
+  for (int threads : {1, 4}) {
+    const auto result = run_lulesh(params, ToolKind::kTaskgrind, threads);
+    EXPECT_FALSE(result.racy())
+        << threads << " threads: " << result.report_texts.front();
+  }
+}
+
+TEST(Lulesh, RacyVariantIsDetectedAtOneThread) {
+  // Table II's key row: the paper's Taskgrind finds 458 reports on the
+  // racy run with one thread (where Archer finds none).
+  LuleshParams params;
+  params.s = 6;
+  params.racy = true;
+  const auto taskgrind = run_lulesh(params, ToolKind::kTaskgrind, 1);
+  EXPECT_TRUE(taskgrind.racy());
+  const auto archer = run_lulesh(params, ToolKind::kArcher, 1);
+  EXPECT_FALSE(archer.racy());  // Archer's single-thread blindness
+}
+
+TEST(Lulesh, RacyReportNamesTheForceArray) {
+  LuleshParams params;
+  params.s = 4;
+  params.racy = true;
+  const auto result = run_lulesh(params, ToolKind::kTaskgrind, 1);
+  ASSERT_TRUE(result.racy());
+  // Phase B writes (line 230) vs phase C reads (line 300) of f[].
+  EXPECT_NE(result.report_texts[0].find("lulesh.cc:230"), std::string::npos)
+      << result.report_texts[0];
+  EXPECT_NE(result.report_texts[0].find("lulesh.cc:300"), std::string::npos);
+}
+
+TEST(Lulesh, AnnotationRequiredSingleThread) {
+  LuleshParams params;
+  params.s = 4;
+  params.racy = true;
+  params.annotate_deferrable = false;  // drop the §V-B client request
+  const auto result = run_lulesh(params, ToolKind::kTaskgrind, 1);
+  EXPECT_FALSE(result.racy());  // serialized tasks look ordered
+}
+
+TEST(Lulesh, WorkScalesCubically) {
+  LuleshParams small, big;
+  small.s = 4;
+  big.s = 8;
+  const auto a = run_lulesh(small, ToolKind::kNone, 1);
+  const auto b = run_lulesh(big, ToolKind::kNone, 1);
+  const double ratio =
+      static_cast<double>(b.retired) / static_cast<double>(a.retired);
+  // 8^3 / 4^3 = 8; allow generous slack for fixed costs.
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(Lulesh, TaskCountsFollowTelTnl) {
+  LuleshParams params;
+  params.s = 4;
+  params.tel = 2;
+  params.tnl = 3;
+  params.iters = 2;
+  const auto result = run_lulesh(params, ToolKind::kNone, 2);
+  // Per iteration: tel(A) + tnl(B) + tnl(C) + tel(D) = 2+3+3+2 = 10 tasks,
+  // x2 iterations, + 1 root + nthreads implicit tasks.
+  EXPECT_EQ(result.tasks_created, 2u * 10u + 1u + 2u);
+}
+
+TEST(Lulesh, ProgressTaskPrintsPerIteration) {
+  LuleshParams params;
+  params.s = 2;
+  params.iters = 3;
+  params.progress = true;
+  const auto result = run_lulesh(params, ToolKind::kNone, 2);
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = result.output.find("cycle energy=", pos)) !=
+         std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Lulesh, ArcherRacyReportsVaryAcrossSeedsAt4Threads) {
+  LuleshParams params;
+  params.s = 6;
+  params.racy = true;
+  size_t lo = SIZE_MAX, hi = 0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto result = run_lulesh(params, ToolKind::kArcher, 4, seed);
+    lo = std::min(lo, result.raw_report_count);
+    hi = std::max(hi, result.raw_report_count);
+  }
+  EXPECT_GT(hi, 0u);  // the race is observable at 4 threads
+}
+
+}  // namespace
+}  // namespace tg::lulesh

@@ -1,0 +1,132 @@
+// Work/span parallelism profile tests (the "more analyses" extension).
+#include <gtest/gtest.h>
+
+#include "core/parallelism.hpp"
+#include "core/taskgrind.hpp"
+#include "runtime/execution.hpp"
+#include "runtime/frontend.hpp"
+#include "vex/builder.hpp"
+
+namespace tg::core {
+namespace {
+
+vex::SrcLoc loc() { return {0, 1}; }
+
+Segment& weighted(SegmentGraph& graph, uint64_t bytes) {
+  Segment& s = graph.new_segment();
+  s.task_id = s.id;
+  if (bytes > 0) s.writes.add(0x1000 * (s.id + 1), 0x1000 * (s.id + 1) + bytes, loc());
+  return s;
+}
+
+TEST(Parallelism, ChainIsSerial) {
+  SegmentGraph graph;
+  for (int i = 0; i < 4; ++i) weighted(graph, 10);
+  for (SegId i = 0; i + 1 < 4; ++i) graph.add_edge(i, i + 1);
+  graph.finalize();
+  const ParallelismProfile profile = profile_parallelism(graph);
+  EXPECT_EQ(profile.work, 40u);
+  EXPECT_EQ(profile.span, 40u);
+  EXPECT_DOUBLE_EQ(profile.average_parallelism, 1.0);
+  EXPECT_EQ(profile.critical_path.size(), 4u);
+}
+
+TEST(Parallelism, IndependentSegmentsScale) {
+  SegmentGraph graph;
+  for (int i = 0; i < 8; ++i) weighted(graph, 10);
+  graph.finalize();
+  const ParallelismProfile profile = profile_parallelism(graph);
+  EXPECT_EQ(profile.work, 80u);
+  EXPECT_EQ(profile.span, 10u);
+  EXPECT_DOUBLE_EQ(profile.average_parallelism, 8.0);
+  EXPECT_EQ(profile.critical_path.size(), 1u);
+}
+
+TEST(Parallelism, DiamondTakesHeavierArm) {
+  SegmentGraph graph;
+  Segment& top = weighted(graph, 5);
+  Segment& light = weighted(graph, 3);
+  Segment& heavy = weighted(graph, 30);
+  Segment& bottom = weighted(graph, 5);
+  graph.add_edge(top.id, light.id);
+  graph.add_edge(top.id, heavy.id);
+  graph.add_edge(light.id, bottom.id);
+  graph.add_edge(heavy.id, bottom.id);
+  graph.finalize();
+  const ParallelismProfile profile = profile_parallelism(graph);
+  EXPECT_EQ(profile.work, 43u);
+  EXPECT_EQ(profile.span, 40u);  // top + heavy + bottom
+  ASSERT_EQ(profile.critical_path.size(), 3u);
+  EXPECT_EQ(profile.critical_path[1], heavy.id);
+}
+
+TEST(Parallelism, SyntheticNodesWeighNothing) {
+  SegmentGraph graph;
+  Segment& a = weighted(graph, 10);
+  Segment& barrier = graph.new_segment(SegKind::kBarrier);
+  Segment& b = weighted(graph, 10);
+  graph.add_edge(a.id, barrier.id);
+  graph.add_edge(barrier.id, b.id);
+  graph.finalize();
+  const ParallelismProfile profile = profile_parallelism(graph);
+  EXPECT_EQ(profile.span, 20u);
+  EXPECT_EQ(profile.critical_path.size(), 2u);  // barrier filtered out
+}
+
+TEST(Parallelism, EmptyGraph) {
+  SegmentGraph graph;
+  graph.finalize();
+  const ParallelismProfile profile = profile_parallelism(graph);
+  EXPECT_EQ(profile.work, 0u);
+  EXPECT_EQ(profile.average_parallelism, 0.0);
+}
+
+TEST(Parallelism, EndToEndIndependentTasksBeatDependentChain) {
+  auto run = [](bool chained) {
+    vex::ProgramBuilder pb("par_profile");
+    rt::install_runtime_abi(pb);
+    rt::Omp omp(pb);
+    vex::FnBuilder& f = pb.fn("main", "p.c");
+    const vex::GuestAddr cells = pb.global("cells", 8 * 8);
+    const vex::GuestAddr dep = pb.global("dep", 8);
+    omp.annotate_tasks_deferrable(f);
+    omp.parallel(f, {}, [&](vex::FnBuilder& pf, rt::TaskArgs&) {
+      omp.single(pf, [&] {
+        for (int t = 0; t < 8; ++t) {
+          rt::TaskOpts opts;
+          if (chained) {
+            opts.deps.push_back(
+                rt::dep_inout(pf.c(static_cast<int64_t>(dep))));
+          }
+          omp.task(pf, opts, {pf.c(t)},
+                   [&](vex::FnBuilder& tf, rt::TaskArgs& a) {
+                     vex::V addr = tf.c(static_cast<int64_t>(cells)) +
+                                   a.get(0) * tf.c(8);
+                     tf.for_(0, 16, [&](vex::Slot) {
+                       tf.st(addr, tf.ld(addr) + tf.c(1));
+                     });
+                   });
+        }
+        omp.taskwait(pf);
+      });
+    });
+    f.ret(f.c(0));
+    const vex::Program program = pb.take();
+    TaskgrindTool tool;
+    rt::RtOptions options;
+    options.num_threads = 2;
+    rt::Execution exec(program, options, &tool, {&tool});
+    tool.attach(exec.vm());
+    exec.run();
+    tool.run_analysis();
+    return profile_parallelism(tool.builder().graph());
+  };
+
+  const ParallelismProfile wide = run(/*chained=*/false);
+  const ParallelismProfile serial = run(/*chained=*/true);
+  EXPECT_GT(wide.average_parallelism, 3.0);
+  EXPECT_LT(serial.average_parallelism, wide.average_parallelism / 2);
+}
+
+}  // namespace
+}  // namespace tg::core

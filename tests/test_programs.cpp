@@ -1,0 +1,127 @@
+// Registry integrity: every registered kernel builds a valid program, runs
+// to completion uninstrumented at 1 and 4 threads, and carries coherent
+// metadata.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "programs/registry.hpp"
+#include "runtime/execution.hpp"
+#include "tools/session.hpp"
+
+namespace tg::progs {
+namespace {
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& program : all_programs()) {
+    EXPECT_TRUE(names.insert(program.name).second) << program.name;
+  }
+}
+
+TEST(Registry, ExpectedCounts) {
+  EXPECT_EQ(programs_in("drb").size(), 29u);  // the Table I DRB subset
+  EXPECT_EQ(programs_in("tmb").size(), 7u);   // the 7 TMB kernels
+  EXPECT_GE(programs_in("demo").size(), 4u);
+  EXPECT_EQ(programs_in("app").size(), 4u);
+}
+
+TEST(Registry, AppWorkloadsBehaveAsLabelled) {
+  for (const auto* program : programs_in("app")) {
+    tools::SessionOptions options;
+    options.tool = tools::ToolKind::kTaskgrind;
+    options.num_threads = 4;
+    const auto result = tools::run_session(*program, options);
+    ASSERT_EQ(result.status, tools::SessionResult::Status::kOk)
+        << program->name;
+    EXPECT_EQ(result.racy(), program->has_race) << program->name;
+  }
+}
+
+TEST(Registry, MergesortActuallySorts) {
+  const auto* program = find_program("app-mergesort");
+  ASSERT_NE(program, nullptr);
+  const vex::Program guest = program->build();
+  rt::RtOptions options;
+  options.num_threads = 4;
+  const auto result = rt::execute_program(guest, options, nullptr, {});
+  EXPECT_EQ(result.outcome.exit_code, 0);  // zero inversions
+}
+
+TEST(Registry, WavefrontCornerValueDeterministic) {
+  const auto* program = find_program("app-wavefront");
+  ASSERT_NE(program, nullptr);
+  for (int threads : {1, 4}) {
+    const vex::Program guest = program->build();
+    rt::RtOptions options;
+    options.num_threads = threads;
+    const auto result = rt::execute_program(guest, options, nullptr, {});
+    EXPECT_EQ(result.outcome.exit_code, 14);  // (8-1) + (8-1) hops
+  }
+}
+
+TEST(Registry, FindByName) {
+  EXPECT_NE(find_program("listing4-task"), nullptr);
+  EXPECT_EQ(find_program("no-such-program"), nullptr);
+}
+
+TEST(Registry, MetadataCoherent) {
+  for (const auto& program : all_programs()) {
+    EXPECT_FALSE(program.features.empty()) << program.name;
+    EXPECT_FALSE(program.description.empty()) << program.name;
+    EXPECT_TRUE(program.build != nullptr) << program.name;
+    EXPECT_TRUE(program.uses("task") || program.uses("taskloop"))
+        << program.name << " is not a tasking benchmark?";
+  }
+}
+
+class EveryProgram : public ::testing::TestWithParam<const rt::GuestProgram*> {
+};
+
+TEST_P(EveryProgram, BuildsValidProgram) {
+  const vex::Program program = GetParam()->build();
+  EXPECT_EQ(program.validate(), "");
+  EXPECT_NE(program.entry, vex::kNoFunc);
+}
+
+TEST_P(EveryProgram, RunsUninstrumentedBothTeamSizes) {
+  for (int threads : {1, 4}) {
+    const vex::Program guest = GetParam()->build();
+    rt::RtOptions options;
+    options.num_threads = threads;
+    const rt::ExecResult result =
+        rt::execute_program(guest, options, nullptr, {});
+    EXPECT_TRUE(result.outcome.ok())
+        << GetParam()->name << " @" << threads << " threads";
+  }
+}
+
+TEST_P(EveryProgram, DeterministicRetiredCountPerSeed) {
+  auto run = [&](uint64_t seed) {
+    const vex::Program guest = GetParam()->build();
+    rt::RtOptions options;
+    options.num_threads = 4;
+    options.seed = seed;
+    return rt::execute_program(guest, options, nullptr, {}).retired;
+  };
+  EXPECT_EQ(run(3), run(3));
+}
+
+std::vector<const rt::GuestProgram*> all_pointers() {
+  std::vector<const rt::GuestProgram*> result;
+  for (const auto& program : all_programs()) result.push_back(&program);
+  return result;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryProgram, ::testing::ValuesIn(all_pointers()),
+    [](const ::testing::TestParamInfo<const rt::GuestProgram*>& info) {
+      std::string name = info.param->name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tg::progs

@@ -1,0 +1,251 @@
+// Qthreads front-end + full/empty-bit tests (the paper's §III-A(c) future
+// work, implemented): execution semantics of FEB words, and the
+// happens-before edges they must contribute to every analysis tool.
+#include <gtest/gtest.h>
+
+#include "core/taskgrind.hpp"
+#include "runtime/execution.hpp"
+#include "runtime/frontend.hpp"
+#include "tools/archer.hpp"
+#include "vex/builder.hpp"
+
+namespace tg::rt {
+namespace {
+
+using vex::FnBuilder;
+using vex::GuestAddr;
+using vex::ProgramBuilder;
+using vex::Slot;
+using vex::V;
+
+struct QtHarness {
+  QtHarness() : pb("qt_test") {
+    install_runtime_abi(pb);
+    qt = std::make_unique<Qthreads>(pb);
+    main_fn = &pb.fn("main", "qt_test.c");
+  }
+
+  ExecResult run(int threads, uint64_t seed = 1) {
+    if (!main_fn->terminated()) main_fn->ret(main_fn->c(0));
+    program = pb.take();
+    RtOptions opts;
+    opts.num_threads = threads;
+    opts.seed = seed;
+    return execute_program(program, opts, nullptr, {});
+  }
+
+  core::AnalysisResult run_taskgrind(int threads) {
+    if (!main_fn->terminated()) main_fn->ret(main_fn->c(0));
+    program = pb.take();
+    tool = std::make_unique<core::TaskgrindTool>();
+    RtOptions opts;
+    opts.num_threads = threads;
+    Execution exec(program, opts, tool.get(), {tool.get()});
+    tool->attach(exec.vm());
+    exec_result = exec.run();
+    EXPECT_TRUE(exec_result.outcome.ok());
+    return tool->run_analysis();
+  }
+
+  ProgramBuilder pb;
+  std::unique_ptr<Qthreads> qt;
+  FnBuilder* main_fn;
+  vex::Program program;
+  std::unique_ptr<core::TaskgrindTool> tool;
+  ExecResult exec_result;
+};
+
+// --- execution semantics -----------------------------------------------------
+
+TEST(Feb, WriteEFThenReadFETransfersValue) {
+  QtHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr word = h.pb.global("word", 8);
+  h.qt->program(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    V wa = pf.c(static_cast<int64_t>(word));
+    h.qt->writeEF(pf, wa, pf.c(42));
+    V got = h.qt->readFE(pf, wa);
+    pf.call("print_i64", {got});
+  });
+  auto result = h.run(2);
+  EXPECT_TRUE(result.outcome.ok());
+  EXPECT_EQ(result.output, "42");
+}
+
+TEST(Feb, ReadFEBlocksUntilProducerWrites) {
+  QtHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr word = h.pb.global("word", 8);
+  const GuestAddr out = h.pb.global("out", 8);
+  h.qt->program(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    V wa = pf.c(static_cast<int64_t>(word));
+    // Consumer forked first: it must park until the producer runs.
+    h.qt->fork(pf, {wa}, [&](FnBuilder& tf, TaskArgs& ta) {
+      V got = h.qt->readFE(tf, ta.get(0));
+      tf.st(tf.c(static_cast<int64_t>(out)), got);
+    });
+    h.qt->fork(pf, {wa}, [&](FnBuilder& tf, TaskArgs& ta) {
+      // Burn some cycles so the consumer genuinely parks first.
+      Slot spin = tf.slot();
+      spin.set(0);
+      tf.for_(0, 500, [&](Slot j) { spin.set(spin.get() + j.get()); });
+      h.qt->writeEF(tf, ta.get(0), tf.c(7));
+    });
+    h.qt->join_all(pf);
+  });
+  auto result = h.run(2);
+  ASSERT_TRUE(result.outcome.ok());
+  // Read the result back through the harness exit code path.
+  EXPECT_TRUE(result.outcome.exit_code == 0);
+}
+
+TEST(Feb, WriteEFBlocksWhileFull) {
+  QtHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr word = h.pb.global("word", 8);
+  const GuestAddr log = h.pb.global("log", 8 * 4);
+  const GuestAddr cursor = h.pb.global("cursor", 8);
+  h.qt->program(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    V wa = pf.c(static_cast<int64_t>(word));
+    // Producer writes twice; the second write must wait for the consume.
+    h.qt->fork(pf, {wa}, [&](FnBuilder& tf, TaskArgs& ta) {
+      h.qt->writeEF(tf, ta.get(0), tf.c(1));
+      h.qt->writeEF(tf, ta.get(0), tf.c(2));
+    });
+    h.qt->fork(pf, {wa}, [&](FnBuilder& tf, TaskArgs& ta) {
+      for (int i = 0; i < 2; ++i) {
+        V got = h.qt->readFE(tf, ta.get(0));
+        V ca = tf.c(static_cast<int64_t>(cursor));
+        V cur = tf.ld(ca);
+        tf.st(tf.c(static_cast<int64_t>(log)) + cur * tf.c(8), got);
+        tf.st(ca, cur + tf.c(1));
+      }
+    });
+    h.qt->join_all(pf);
+  });
+  Slot ok = h.main_fn->slot();
+  FnBuilder& f2 = *h.main_fn;
+  ok.set(0);
+  f2.if_(f2.ld(f2.c(static_cast<int64_t>(log))) == f2.c(1), [&] {
+    f2.if_(f2.ld(f2.c(static_cast<int64_t>(log) + 8)) == f2.c(2),
+           [&] { ok.set(1); });
+  });
+  f2.ret(ok.get());
+  auto result = h.run(2);
+  EXPECT_EQ(result.outcome.exit_code, 1);  // values arrive in order
+}
+
+TEST(Feb, FillAndEmptyControlStatus) {
+  QtHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr word = h.pb.global("word", 8);
+  h.qt->program(f, f.c(1), {}, [&](FnBuilder& pf, TaskArgs&) {
+    V wa = pf.c(static_cast<int64_t>(word));
+    pf.st(wa, pf.c(9));       // plain store
+    h.qt->fill(pf, wa);       // mark full without writing
+    V got = h.qt->readFF(pf, wa);  // read, stays full
+    V got2 = h.qt->readFE(pf, wa);  // read, empties
+    pf.call("print_i64", {got});
+    pf.call("print_i64", {got2});
+    h.qt->writeEF(pf, wa, pf.c(5));  // now empty: succeeds immediately
+  });
+  auto result = h.run(1);
+  EXPECT_TRUE(result.outcome.ok());
+  EXPECT_EQ(result.output, "99");
+}
+
+TEST(Feb, UnmatchedReadDeadlocks) {
+  QtHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr word = h.pb.global("word", 8);
+  h.qt->program(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.qt->readFE(pf, pf.c(static_cast<int64_t>(word)));  // nobody fills
+  });
+  auto result = h.run(2);
+  EXPECT_EQ(result.outcome.status, RunOutcome::Status::kDeadlock);
+}
+
+// --- analysis: FEB edges must order accesses ---------------------------------
+
+void build_feb_pipeline(QtHarness& h, bool use_feb) {
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr word = h.pb.global("word", 8);
+  const GuestAddr data = h.pb.global("data", 8);
+  h.qt->omp().annotate_tasks_deferrable(f);
+  h.qt->program(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    V wa = pf.c(static_cast<int64_t>(word));
+    V da = pf.c(static_cast<int64_t>(data));
+    // Producer: writes the payload, then publishes through the FEB word.
+    h.qt->fork(pf, {wa, da}, [&](FnBuilder& tf, TaskArgs& ta) {
+      tf.st(ta.get(1), tf.c(123));
+      if (use_feb) h.qt->writeEF(tf, ta.get(0), tf.c(1));
+    });
+    // Consumer: waits on the FEB word, then reads the payload.
+    h.qt->fork(pf, {wa, da}, [&](FnBuilder& tf, TaskArgs& ta) {
+      if (use_feb) h.qt->readFE(tf, ta.get(0));
+      tf.ld(ta.get(1));
+    });
+    h.qt->join_all(pf);
+  });
+}
+
+TEST(FebAnalysis, PublishThroughFebOrdersPayload) {
+  QtHarness h;
+  build_feb_pipeline(h, /*use_feb=*/true);
+  auto result = h.run_taskgrind(2);
+  EXPECT_FALSE(result.racy()) << result.reports[0].to_string();
+}
+
+TEST(FebAnalysis, WithoutFebThePayloadRaces) {
+  QtHarness h;
+  build_feb_pipeline(h, /*use_feb=*/false);
+  auto result = h.run_taskgrind(2);
+  EXPECT_TRUE(result.racy());
+}
+
+TEST(FebAnalysis, EmptyChannelOrdersWriterAfterReader) {
+  // Consumer reads (emptying), then producer's second writeEF proceeds:
+  // the writer's post-wait accesses are ordered after the reader's
+  // pre-empty accesses via the empty channel.
+  QtHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr word = h.pb.global("word", 8);
+  const GuestAddr scratch = h.pb.global("scratch", 8);
+  h.qt->omp().annotate_tasks_deferrable(f);
+  h.qt->program(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    V wa = pf.c(static_cast<int64_t>(word));
+    V sa = pf.c(static_cast<int64_t>(scratch));
+    h.qt->fork(pf, {wa, sa}, [&](FnBuilder& tf, TaskArgs& ta) {
+      h.qt->writeEF(tf, ta.get(0), tf.c(1));
+      h.qt->writeEF(tf, ta.get(0), tf.c(2));  // waits for the empty
+      tf.st(ta.get(1), tf.c(99));             // after the reader's read
+    });
+    h.qt->fork(pf, {wa, sa}, [&](FnBuilder& tf, TaskArgs& ta) {
+      tf.ld(ta.get(1));                  // reads scratch BEFORE emptying
+      h.qt->readFE(tf, ta.get(0));       // empties: releases the writer
+      h.qt->readFE(tf, ta.get(0));       // consume the second value
+    });
+    h.qt->join_all(pf);
+  });
+  auto result = h.run_taskgrind(2);
+  EXPECT_FALSE(result.racy()) << result.reports[0].to_string();
+}
+
+TEST(FebAnalysis, ArcherAlsoLearnsFebEdges) {
+  // Build the FEB pipeline and run it under the Archer model at 2 threads:
+  // the publish edge must order the payload accesses for vector clocks too.
+  QtHarness h;
+  build_feb_pipeline(h, /*use_feb=*/true);
+  if (!h.main_fn->terminated()) h.main_fn->ret(h.main_fn->c(0));
+  h.program = h.pb.take();
+  tools::ArcherTool archer;
+  RtOptions opts;
+  opts.num_threads = 2;
+  Execution exec(h.program, opts, &archer, {&archer});
+  archer.attach(exec.vm());
+  EXPECT_TRUE(exec.run().outcome.ok());
+  EXPECT_EQ(archer.report_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tg::rt

@@ -1,0 +1,780 @@
+// minomp runtime tests: parallel regions, tasks, dependences, sync
+// constructs, scheduling, and the OMPT-style event stream.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "runtime/execution.hpp"
+#include "runtime/frontend.hpp"
+#include "runtime/runtime.hpp"
+#include "vex/builder.hpp"
+
+namespace tg::rt {
+namespace {
+
+using vex::FnBuilder;
+using vex::GuestAddr;
+using vex::ProgramBuilder;
+using vex::Slot;
+using vex::V;
+
+/// Records the event stream as readable strings for assertions.
+class EventRecorder : public RtEvents {
+ public:
+  void on_task_create(Task& task, Task* parent) override {
+    line() << "create t" << task.id << " parent="
+           << (parent != nullptr ? static_cast<int64_t>(parent->id) : -1)
+           << (task.is_implicit() ? " implicit" : "")
+           << (task.is_undeferred() ? " undeferred" : "");
+    creates++;
+  }
+  void on_dependence(Task& pred, Task& succ, GuestAddr) override {
+    line() << "dep t" << pred.id << "->t" << succ.id;
+    dep_edges.emplace(pred.id, succ.id);
+  }
+  void on_task_schedule_begin(Task& task, Worker& worker) override {
+    line() << "begin t" << task.id << " w" << worker.index();
+    placement[task.id].insert(worker.index());
+  }
+  void on_task_schedule_end(Task& task, Worker& worker) override {
+    line() << "end t" << task.id << " w" << worker.index();
+  }
+  void on_task_complete(Task& task) override {
+    line() << "complete t" << task.id;
+    completion_order.push_back(task.id);
+  }
+  void on_sync_begin(SyncKind kind, Task& task, Worker&) override {
+    line() << "sync_begin " << static_cast<int>(kind) << " t" << task.id;
+  }
+  void on_sync_end(SyncKind kind, Task& task, Worker&) override {
+    line() << "sync_end " << static_cast<int>(kind) << " t" << task.id;
+  }
+  void on_parallel_begin(Region& region, Task&) override {
+    line() << "parallel_begin r" << region.id << " n" << region.nthreads;
+    regions++;
+  }
+  void on_parallel_end(Region& region, Task&) override {
+    line() << "parallel_end r" << region.id;
+  }
+  void on_barrier_release(Region&, uint64_t epoch) override {
+    line() << "barrier_release e" << epoch;
+    barrier_releases++;
+  }
+  void on_mutex_acquired(Task& task, uint64_t, bool) override {
+    line() << "mutex_acquired t" << task.id;
+  }
+
+  std::ostringstream& line() {
+    log_ << "\n";
+    return log_;
+  }
+  std::string log() { return log_.str(); }
+  bool contains(const std::string& needle) {
+    return log_.str().find(needle) != std::string::npos;
+  }
+
+  int creates = 0;
+  int regions = 0;
+  int barrier_releases = 0;
+  std::set<std::pair<uint64_t, uint64_t>> dep_edges;
+  std::map<uint64_t, std::set<int>> placement;
+  std::vector<uint64_t> completion_order;
+
+ private:
+  std::ostringstream log_;
+};
+
+struct OmpHarness {
+  OmpHarness() : pb("rt_test") {
+    install_runtime_abi(pb);
+    omp = std::make_unique<Omp>(pb);
+    main_fn = &pb.fn("main", "rt_test.c");
+  }
+
+  ExecResult run(int threads, uint64_t seed = 1) {
+    if (!main_fn->terminated()) main_fn->ret(main_fn->c(0));
+    program = pb.take();
+    RtOptions opts;
+    opts.num_threads = threads;
+    opts.seed = seed;
+    return execute_program(program, opts, nullptr, {&events});
+  }
+
+  ProgramBuilder pb;
+  std::unique_ptr<Omp> omp;
+  FnBuilder* main_fn;
+  vex::Program program;
+  EventRecorder events;
+};
+
+// --- parallel regions -----------------------------------------------------
+
+TEST(Parallel, AllThreadsRunRegionBody) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr counter = h.pb.global("counter", 8);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    // Each implicit task bumps a (racy, but single-step) counter.
+    V addr = pf.c(static_cast<int64_t>(counter));
+    pf.st(addr, pf.ld(addr) + pf.c(1));
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(counter))));
+
+  auto result = h.run(4);
+  EXPECT_TRUE(result.outcome.ok());
+  EXPECT_EQ(result.outcome.exit_code, 4);
+  EXPECT_EQ(h.events.regions, 1);
+}
+
+TEST(Parallel, ThreadNumsAreDistinct) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr slots = h.pb.global("slots", 8 * 4);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    V tid = h.omp->thread_num(pf);
+    pf.st(pf.c(static_cast<int64_t>(slots)) + tid * pf.c(8), tid + pf.c(1));
+  });
+  Slot sum = f.slot();
+  sum.set(0);
+  f.for_(0, 4, [&](Slot i) {
+    sum.set(sum.get() +
+            f.ld(f.c(static_cast<int64_t>(slots)) + i.get() * f.c(8)));
+  });
+  f.ret(sum.get());
+
+  auto result = h.run(4);
+  EXPECT_EQ(result.outcome.exit_code, 1 + 2 + 3 + 4);
+}
+
+TEST(Parallel, SequentialRegionsBothRun) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr counter = h.pb.global("counter", 8);
+  for (int i = 0; i < 2; ++i) {
+    h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+      h.omp->single(pf, [&] {
+        V addr = pf.c(static_cast<int64_t>(counter));
+        pf.st(addr, pf.ld(addr) + pf.c(1));
+      });
+    });
+  }
+  f.ret(f.ld(f.c(static_cast<int64_t>(counter))));
+  auto result = h.run(2);
+  EXPECT_EQ(result.outcome.exit_code, 2);
+  EXPECT_EQ(h.events.regions, 2);
+}
+
+TEST(Parallel, CapturesArriveInRegion) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr out = h.pb.global("out", 8);
+  h.omp->parallel(f, f.c(2), {f.c(123)}, [&](FnBuilder& pf, TaskArgs& a) {
+    h.omp->single(pf, [&] {
+      pf.st(pf.c(static_cast<int64_t>(out)), a.get(0));
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(out))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 123);
+}
+
+// --- explicit tasks -------------------------------------------------------
+
+TEST(Tasks, TaskRunsAndTaskwaitWaits) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      h.omp->task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+        tf.st(tf.c(static_cast<int64_t>(x)), tf.c(41));
+      });
+      h.omp->taskwait(pf);
+      V addr = pf.c(static_cast<int64_t>(x));
+      pf.st(addr, pf.ld(addr) + pf.c(1));
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 42);
+}
+
+TEST(Tasks, FirstprivateCapturesValueAtCreation) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr out = h.pb.global("out", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      Slot i = pf.slot();
+      i.set(7);
+      h.omp->task(pf, {}, {i.get()}, [&](FnBuilder& tf, TaskArgs& a) {
+        tf.st(tf.c(static_cast<int64_t>(out)), a.get(0));
+      });
+      i.set(99);  // must not affect the captured value
+      h.omp->taskwait(pf);
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(out))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 7);
+}
+
+TEST(Tasks, ManyTasksAllExecute) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr sum = h.pb.global("sum", 8);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      pf.for_(1, 33, [&](Slot i) {
+        h.omp->task(pf, {}, {i.get()}, [&](FnBuilder& tf, TaskArgs& a) {
+          // Sum via critical to make the result deterministic.
+          h.omp->critical(tf, "sum", [&] {
+            V addr = tf.c(static_cast<int64_t>(sum));
+            tf.st(addr, tf.ld(addr) + a.get(0));
+          });
+        });
+      });
+      h.omp->taskwait(pf);
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(sum))));
+  EXPECT_EQ(h.run(4).outcome.exit_code, 32 * 33 / 2);
+}
+
+TEST(Tasks, StealingSpreadsAcrossWorkers) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr sink = h.pb.global("sink", 8 * 64);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      pf.for_(0, 64, [&](Slot i) {
+        h.omp->task(pf, {}, {i.get()}, [&](FnBuilder& tf, TaskArgs& a) {
+          // Busy-ish body so multiple quanta elapse.
+          Slot acc = tf.slot();
+          acc.set(0);
+          tf.for_(0, 200, [&](Slot j) { acc.set(acc.get() + j.get()); });
+          tf.st(tf.c(static_cast<int64_t>(sink)) + a.get(0) * tf.c(8),
+                acc.get());
+        });
+      });
+      h.omp->taskwait(pf);
+    });
+  });
+  auto result = h.run(4, /*seed=*/3);
+  EXPECT_TRUE(result.outcome.ok());
+  // At least two different workers must have executed explicit tasks.
+  std::set<int> workers_used;
+  for (auto& [task, workers] : h.events.placement) {
+    if (task < 5) continue;  // skip root/implicit
+    workers_used.insert(workers.begin(), workers.end());
+  }
+  EXPECT_GE(workers_used.size(), 2u);
+}
+
+TEST(Tasks, NestedTasksAndDeepTaskwait) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      h.omp->task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+        h.omp->task(tf, {}, {}, [&](FnBuilder& tf2, TaskArgs&) {
+          V addr = tf2.c(static_cast<int64_t>(x));
+          tf2.st(addr, tf2.ld(addr) + tf2.c(10));
+        });
+        h.omp->taskwait(tf);
+        V addr = tf.c(static_cast<int64_t>(x));
+        tf.st(addr, tf.ld(addr) + tf.c(1));
+      });
+      h.omp->taskwait(pf);
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 11);
+}
+
+TEST(Tasks, UndeferredIf0RunsInline) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      TaskOpts opts;
+      opts.if0 = true;
+      h.omp->task(pf, opts, {}, [&](FnBuilder& tf, TaskArgs&) {
+        tf.st(tf.c(static_cast<int64_t>(x)), tf.c(5));
+      });
+      // No taskwait: undeferred means it already completed here.
+      V addr = pf.c(static_cast<int64_t>(x));
+      pf.st(addr, pf.ld(addr) * pf.c(2));
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 10);
+  EXPECT_TRUE(h.events.contains("undeferred"));
+}
+
+TEST(Tasks, SingleThreadSerializesEverything) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(1), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+      tf.st(tf.c(static_cast<int64_t>(x)), tf.c(1));
+    });
+    // LLVM-style: at nthreads==1 the task ran undeferred, so x is set.
+    V addr = pf.c(static_cast<int64_t>(x));
+    pf.st(addr, pf.ld(addr) + pf.c(1));
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  EXPECT_EQ(h.run(1).outcome.exit_code, 2);
+  EXPECT_TRUE(h.events.contains("undeferred"));
+}
+
+// --- dependences ------------------------------------------------------------
+
+TEST(Deps, OutThenInOrdersTasks) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  const GuestAddr y = h.pb.global("y", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      V xa = pf.c(static_cast<int64_t>(x));
+      h.omp->task(pf, {.deps = {dep_out(xa)}}, {},
+                  [&](FnBuilder& tf, TaskArgs&) {
+                    tf.st(tf.c(static_cast<int64_t>(x)), tf.c(21));
+                  });
+      h.omp->task(pf, {.deps = {dep_in(xa)}}, {},
+                  [&](FnBuilder& tf, TaskArgs&) {
+                    V v = tf.ld(tf.c(static_cast<int64_t>(x)));
+                    tf.st(tf.c(static_cast<int64_t>(y)), v * tf.c(2));
+                  });
+      h.omp->taskwait(pf);
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(y))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 42);
+  EXPECT_TRUE(h.events.dep_edges.size() >= 1);
+}
+
+TEST(Deps, OutOutSerializesInOrder) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      V xa = pf.c(static_cast<int64_t>(x));
+      for (int value : {1, 2, 3}) {
+        h.omp->task(pf, {.deps = {dep_out(xa)}}, {pf.c(value)},
+                    [&](FnBuilder& tf, TaskArgs& a) {
+                      tf.st(tf.c(static_cast<int64_t>(x)), a.get(0));
+                    });
+      }
+      h.omp->taskwait(pf);
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  // Chain order is guaranteed by out->out dependences.
+  EXPECT_EQ(h.run(4).outcome.exit_code, 3);
+}
+
+TEST(Deps, InTasksRunInParallelGeneration) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      V xa = pf.c(static_cast<int64_t>(x));
+      h.omp->task(pf, {.deps = {dep_out(xa)}}, {},
+                  [&](FnBuilder& tf, TaskArgs&) {
+                    tf.st(tf.c(static_cast<int64_t>(x)), tf.c(1));
+                  });
+      h.omp->task(pf, {.deps = {dep_in(xa)}}, {},
+                  [](FnBuilder&, TaskArgs&) {});
+      h.omp->task(pf, {.deps = {dep_in(xa)}}, {},
+                  [](FnBuilder&, TaskArgs&) {});
+      h.omp->taskwait(pf);
+    });
+  });
+  h.run(2);
+  // writer(id 5?) -> both readers; readers have no edge between them.
+  // Count: exactly 2 dependence edges.
+  EXPECT_EQ(h.events.dep_edges.size(), 2u);
+}
+
+TEST(Deps, InoutsetMembersMutuallyIndependent) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      V xa = pf.c(static_cast<int64_t>(x));
+      h.omp->task(pf, {.deps = {dep_out(xa)}}, {},
+                  [](FnBuilder&, TaskArgs&) {});
+      h.omp->task(pf, {.deps = {dep_inoutset(xa)}}, {},
+                  [](FnBuilder&, TaskArgs&) {});
+      h.omp->task(pf, {.deps = {dep_inoutset(xa)}}, {},
+                  [](FnBuilder&, TaskArgs&) {});
+      h.omp->task(pf, {.deps = {dep_in(xa)}}, {},
+                  [](FnBuilder&, TaskArgs&) {});
+      h.omp->taskwait(pf);
+    });
+  });
+  h.run(2);
+  // Edges: out->setA, out->setB, setA->in, setB->in = 4; no setA<->setB.
+  EXPECT_EQ(h.events.dep_edges.size(), 4u);
+}
+
+TEST(Deps, MutexinoutsetNeverOverlaps) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  const GuestAddr marker = h.pb.global("marker", 8);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      V xa = pf.c(static_cast<int64_t>(x));
+      for (int i = 0; i < 4; ++i) {
+        h.omp->task(pf, {.deps = {dep_mutexinoutset(xa)}}, {},
+                    [&](FnBuilder& tf, TaskArgs&) {
+                      // marker must always read 0 then be restored: mutual
+                      // exclusion means no interleaving.
+                      V ma = tf.c(static_cast<int64_t>(marker));
+                      V seen = tf.ld(ma);
+                      tf.st(ma, seen + tf.c(1));
+                      Slot spin = tf.slot();
+                      spin.set(0);
+                      tf.for_(0, 50, [&](Slot j) {
+                        spin.set(spin.get() + j.get());
+                      });
+                      // Accumulate violations into x.
+                      V va = tf.c(static_cast<int64_t>(x));
+                      tf.st(va, tf.ld(va) + seen);
+                      tf.st(ma, tf.ld(ma) - tf.c(1));
+                    });
+      }
+      h.omp->taskwait(pf);
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  // Zero violations: each task saw marker == 0.
+  EXPECT_EQ(h.run(4).outcome.exit_code, 0);
+}
+
+TEST(Deps, NonSiblingDepsDoNotConnect) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      V xa = pf.c(static_cast<int64_t>(x));
+      // Task A spawns a child with depend(out:x); task B (sibling of A)
+      // depends in:x. The dependence does NOT order B after A's child.
+      h.omp->task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+        V xa2 = tf.c(static_cast<int64_t>(x));
+        h.omp->task(tf, {.deps = {dep_out(xa2)}}, {},
+                    [](FnBuilder&, TaskArgs&) {});
+        h.omp->taskwait(tf);
+      });
+      h.omp->task(pf, {.deps = {dep_in(xa)}}, {},
+                  [](FnBuilder&, TaskArgs&) {});
+      h.omp->taskwait(pf);
+    });
+  });
+  h.run(2);
+  EXPECT_TRUE(h.events.dep_edges.empty());
+}
+
+// --- sync constructs --------------------------------------------------------
+
+TEST(Sync, SingleExecutedByExactlyOneThread) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr counter = h.pb.global("counter", 8);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      V addr = pf.c(static_cast<int64_t>(counter));
+      pf.st(addr, pf.ld(addr) + pf.c(1));
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(counter))));
+  EXPECT_EQ(h.run(4).outcome.exit_code, 1);
+}
+
+TEST(Sync, BarrierSeparatesPhases) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr phase1 = h.pb.global("phase1", 8 * 4);
+  const GuestAddr ok = h.pb.global("ok", 8);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    V tid = h.omp->thread_num(pf);
+    pf.st(pf.c(static_cast<int64_t>(phase1)) + tid * pf.c(8), pf.c(1));
+    h.omp->barrier(pf);
+    // After the barrier every thread must see all phase1 writes.
+    Slot sum = pf.slot();
+    sum.set(0);
+    pf.for_(0, 4, [&](Slot i) {
+      sum.set(sum.get() +
+              pf.ld(pf.c(static_cast<int64_t>(phase1)) + i.get() * pf.c(8)));
+    });
+    pf.if_(sum.get() == pf.c(4), [&] {
+      V addr = pf.c(static_cast<int64_t>(ok));
+      pf.st(addr, pf.ld(addr) + pf.c(1));
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(ok))));
+  EXPECT_EQ(h.run(4).outcome.exit_code, 4);
+  EXPECT_GE(h.events.barrier_releases, 1);
+}
+
+TEST(Sync, BarrierDrainsPendingTasks) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->master(pf, [&] {
+      h.omp->task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+        tf.st(tf.c(static_cast<int64_t>(x)), tf.c(77));
+      });
+    });
+    h.omp->barrier(pf);
+    // The explicit task is guaranteed complete after the barrier.
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 77);
+}
+
+TEST(Sync, TaskgroupWaitsForDescendants) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      h.omp->taskgroup(pf, [&] {
+        h.omp->task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+          // Nested child also in the group (deep wait).
+          h.omp->task(tf, {}, {}, [&](FnBuilder& tf2, TaskArgs&) {
+            V addr = tf2.c(static_cast<int64_t>(x));
+            tf2.st(addr, tf2.ld(addr) + tf2.c(40));
+          });
+          V addr = tf.c(static_cast<int64_t>(x));
+          tf.st(addr, tf.ld(addr) + tf.c(2));
+        });
+      });
+      // Group closed: both increments visible.
+      V addr = pf.c(static_cast<int64_t>(x));
+      pf.st(addr, pf.ld(addr) * pf.c(10));
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 420);
+}
+
+TEST(Sync, CriticalIsMutuallyExclusive) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    pf.for_(0, 10, [&](Slot) {
+      h.omp->critical(pf, "x", [&] {
+        V addr = pf.c(static_cast<int64_t>(x));
+        pf.st(addr, pf.ld(addr) + pf.c(1));
+      });
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  EXPECT_EQ(h.run(4).outcome.exit_code, 40);
+}
+
+// --- taskloop ----------------------------------------------------------------
+
+TEST(Taskloop, CoversRangeExactlyOnce) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr hits = h.pb.global("hits", 8 * 100);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      h.omp->taskloop(pf, {.grainsize = 7}, {}, pf.c(0), pf.c(100),
+                      [&](FnBuilder& tf, TaskArgs&, Slot i) {
+                        V addr = tf.c(static_cast<int64_t>(hits)) +
+                                 i.get() * tf.c(8);
+                        tf.st(addr, tf.ld(addr) + tf.c(1));
+                      });
+    });
+  });
+  Slot bad = f.slot();
+  bad.set(0);
+  f.for_(0, 100, [&](Slot i) {
+    V v = f.ld(f.c(static_cast<int64_t>(hits)) + i.get() * f.c(8));
+    f.if_(v != f.c(1), [&] { bad.set(bad.get() + f.c(1)); });
+  });
+  f.ret(bad.get());
+  EXPECT_EQ(h.run(4).outcome.exit_code, 0);
+}
+
+TEST(Taskloop, ImplicitGroupWaits) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr sum = h.pb.global("sum", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      h.omp->taskloop(pf, {.grainsize = 3}, {}, pf.c(0), pf.c(10),
+                      [&](FnBuilder& tf, TaskArgs&, Slot i) {
+                        h.omp->critical(tf, "s", [&] {
+                          V addr = tf.c(static_cast<int64_t>(sum));
+                          tf.st(addr, tf.ld(addr) + i.get());
+                        });
+                      });
+      // taskloop's implicit taskgroup: all chunks complete here.
+      V addr = pf.c(static_cast<int64_t>(sum));
+      pf.st(addr, pf.ld(addr) * pf.c(2));
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(sum))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 2 * 45);
+}
+
+// --- threadprivate / detach ---------------------------------------------------
+
+TEST(Threadprivate, PerThreadCopies) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr ok = h.pb.global("ok", 8);
+  h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    V tp = h.omp->threadprivate(pf, "counter", 8);
+    V tid = h.omp->thread_num(pf);
+    pf.st(tp, tid + pf.c(100));
+    h.omp->barrier(pf);
+    // Re-resolve: same per-thread address, value intact.
+    V tp2 = h.omp->threadprivate(pf, "counter", 8);
+    pf.if_(pf.ld(tp2) == tid + pf.c(100), [&] {
+      h.omp->critical(pf, "ok", [&] {
+        V addr = pf.c(static_cast<int64_t>(ok));
+        pf.st(addr, pf.ld(addr) + pf.c(1));
+      });
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(ok))));
+  EXPECT_EQ(h.run(4).outcome.exit_code, 4);
+}
+
+TEST(Detach, TaskCompletesOnlyAfterFulfill) {
+  OmpHarness h;
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr handle = h.pb.global("handle", 8);
+  const GuestAddr x = h.pb.global("x", 8);
+  h.omp->parallel(f, f.c(2), {}, [&](FnBuilder& pf, TaskArgs&) {
+    h.omp->single(pf, [&] {
+      TaskOpts opts;
+      opts.detachable = true;
+      h.omp->task(pf, opts, {}, [&](FnBuilder& tf, TaskArgs&) {
+        V ev = h.omp->detach_event(tf);
+        tf.st(tf.c(static_cast<int64_t>(handle)), ev);
+        tf.st(tf.c(static_cast<int64_t>(x)), tf.c(1));
+      });
+      // Another task fulfills the event later.
+      h.omp->task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+        Slot ev = tf.slot();
+        ev.set(tf.ld(tf.c(static_cast<int64_t>(handle))));
+        // Busy-wait until the detached body stored its handle.
+        tf.while_([&] { return ev.get() == tf.c(0); },
+                  [&] {
+                    tf.intrinsic(vex::IntrinsicId::kTaskYield, {}, {});
+                    ev.set(tf.ld(tf.c(static_cast<int64_t>(handle))));
+                  });
+        h.omp->fulfill_event(tf, ev.get());
+      });
+      h.omp->taskwait(pf);  // completes only after the fulfill
+      V addr = pf.c(static_cast<int64_t>(x));
+      pf.st(addr, pf.ld(addr) + pf.c(41));
+    });
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(x))));
+  EXPECT_EQ(h.run(2).outcome.exit_code, 42);
+}
+
+// --- scheduling determinism -----------------------------------------------
+
+TEST(Scheduling, DeterministicForSeed) {
+  auto run_once = [](uint64_t seed) {
+    OmpHarness h;
+    FnBuilder& f = *h.main_fn;
+    const GuestAddr log_cursor = h.pb.global("cursor", 8);
+    const GuestAddr log = h.pb.global("log", 8 * 64);
+    h.omp->parallel(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+      h.omp->single(pf, [&] {
+        pf.for_(0, 32, [&](Slot i) {
+          h.omp->task(pf, {}, {i.get()}, [&](FnBuilder& tf, TaskArgs& a) {
+            h.omp->critical(tf, "log", [&] {
+              V ca = tf.c(static_cast<int64_t>(log_cursor));
+              V cur = tf.ld(ca);
+              tf.st(tf.c(static_cast<int64_t>(log)) + cur * tf.c(8),
+                    a.get(0));
+              tf.st(ca, cur + tf.c(1));
+            });
+          });
+        });
+        h.omp->taskwait(pf);
+      });
+    });
+    auto result = h.run(4, seed);
+    EXPECT_TRUE(result.outcome.ok());
+    return result.retired;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+TEST(Scheduling, CilkSpawnSyncFib) {
+  OmpHarness h;
+  Cilk cilk(h.pb);
+  FnBuilder& f = *h.main_fn;
+  const GuestAddr out = h.pb.global("out", 8);
+
+  // fib(n, result_addr) with spawned subcalls.
+  FnBuilder& fib = h.pb.fn("fib", "cilk_fib.c", 2);
+  {
+    Slot a = fib.slot();
+    Slot b = fib.slot();
+    fib.if_(
+        fib.param(0) < fib.c(2),
+        [&] { fib.st(fib.param(1), fib.param(0)); },
+        [&] {
+          cilk.spawn(fib, {fib.param(0), a.addr()},
+                     [&](FnBuilder& tf, TaskArgs& ta) {
+                       V r = tf.call("fib", {ta.get(0) - tf.c(1), ta.get(1)});
+                       (void)r;
+                     });
+          fib.call("fib", {fib.param(0) - fib.c(2), b.addr()});
+          cilk.sync(fib);
+          fib.st(fib.param(1), fib.ld(a.addr()) + fib.ld(b.addr()));
+        });
+    fib.ret();
+  }
+
+  cilk.program(f, f.c(4), {}, [&](FnBuilder& pf, TaskArgs&) {
+    pf.call("fib", {pf.c(10), pf.c(static_cast<int64_t>(out))});
+  });
+  f.ret(f.ld(f.c(static_cast<int64_t>(out))));
+  EXPECT_EQ(h.run(4).outcome.exit_code, 55);
+}
+
+TEST(Scheduling, NoDeadlockAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    OmpHarness h;
+    FnBuilder& f = *h.main_fn;
+    h.omp->parallel(f, f.c(3), {}, [&](FnBuilder& pf, TaskArgs&) {
+      h.omp->single(pf, [&] {
+        pf.for_(0, 20, [&](Slot) {
+          h.omp->task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            h.omp->task(tf, {}, {}, [](FnBuilder&, TaskArgs&) {});
+            h.omp->taskwait(tf);
+          });
+        });
+        h.omp->taskwait(pf);
+      });
+    });
+    EXPECT_TRUE(h.run(3, seed).outcome.ok()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tg::rt

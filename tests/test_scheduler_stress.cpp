@@ -1,0 +1,125 @@
+// Scheduler stress: randomized nested task programs across seeds and team
+// sizes. Asserts completion (no deadlock), per-seed determinism, and
+// semantic correctness (an atomic counter totals exactly the task count).
+#include <gtest/gtest.h>
+
+#include "runtime/execution.hpp"
+#include "runtime/frontend.hpp"
+#include "support/rng.hpp"
+#include "vex/builder.hpp"
+
+namespace tg::rt {
+namespace {
+
+using vex::FnBuilder;
+using vex::GuestAddr;
+using vex::ProgramBuilder;
+using vex::Slot;
+using vex::V;
+
+/// Builds a random tree of tasks. Every task increments a shared counter
+/// under `critical`; some levels taskwait, some rely on the region barrier.
+struct StressProgram {
+  int total_tasks = 0;
+
+  vex::Program build(uint64_t shape_seed) {
+    Rng rng(shape_seed);
+    ProgramBuilder pb("stress");
+    install_runtime_abi(pb);
+    Omp omp(pb);
+    const GuestAddr counter = pb.global("counter", 8);
+
+    FnBuilder& f = pb.fn("main", "stress.c");
+    // Recursive spawner: spawn(level): creates children, each of which may
+    // spawn again. The tree shape comes from the seeded Rng at BUILD time,
+    // so the same shape_seed always builds the same program.
+    std::function<void(FnBuilder&, int)> emit_level =
+        [&](FnBuilder& fn, int level) {
+          const int fanout =
+              level >= 3 ? 0 : 1 + static_cast<int>(rng.below(3));
+          for (int child = 0; child < fanout; ++child) {
+            ++total_tasks;
+            const bool nested_wait = rng.chance(0.4);
+            omp.task(fn, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+              // Busy body of random length.
+              const int64_t spin = 10 + static_cast<int64_t>(rng.below(80));
+              Slot acc = tf.slot();
+              acc.set(0);
+              tf.for_(0, spin, [&](Slot j) { acc.set(acc.get() + j.get()); });
+              omp.critical(tf, "c", [&] {
+                V addr = tf.c(static_cast<int64_t>(counter));
+                tf.st(addr, tf.ld(addr) + tf.c(1));
+              });
+              emit_level(tf, level + 1);
+              if (nested_wait) omp.taskwait(tf);
+            });
+          }
+          if (rng.chance(0.5)) omp.taskwait(fn);
+        };
+
+    omp.parallel(f, {}, [&](FnBuilder& pf, TaskArgs&) {
+      omp.single(pf, [&] {
+        emit_level(pf, 0);
+        omp.taskwait(pf);
+      });
+    });
+    f.ret(f.ld(f.c(static_cast<int64_t>(counter))));
+    return pb.take();
+  }
+};
+
+struct Case {
+  uint64_t shape_seed;
+  int threads;
+};
+
+class SchedulerStress : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SchedulerStress, CompletesWithExactTaskCount) {
+  const Case c = GetParam();
+  StressProgram stress;
+  const vex::Program program = stress.build(c.shape_seed);
+  for (uint64_t sched_seed = 1; sched_seed <= 3; ++sched_seed) {
+    RtOptions options;
+    options.num_threads = c.threads;
+    options.seed = sched_seed;
+    options.quantum = 100 + sched_seed * 77;  // vary slicing too
+    const ExecResult result = execute_program(program, options, nullptr, {});
+    ASSERT_TRUE(result.outcome.ok())
+        << "shape " << c.shape_seed << " threads " << c.threads << " seed "
+        << sched_seed;
+    EXPECT_EQ(result.outcome.exit_code, stress.total_tasks);
+  }
+}
+
+TEST_P(SchedulerStress, DeterministicPerSeed) {
+  const Case c = GetParam();
+  StressProgram s1, s2;
+  const vex::Program p1 = s1.build(c.shape_seed);
+  const vex::Program p2 = s2.build(c.shape_seed);
+  RtOptions options;
+  options.num_threads = c.threads;
+  options.seed = 9;
+  const ExecResult a = execute_program(p1, options, nullptr, {});
+  const ExecResult b = execute_program(p2, options, nullptr, {});
+  EXPECT_EQ(a.retired, b.retired);
+  EXPECT_EQ(a.outcome.exit_code, b.outcome.exit_code);
+}
+
+std::vector<Case> cases() {
+  std::vector<Case> result;
+  for (uint64_t shape = 1; shape <= 6; ++shape) {
+    for (int threads : {1, 2, 4}) result.push_back({shape, threads});
+  }
+  return result;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SchedulerStress, ::testing::ValuesIn(cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "shape" + std::to_string(info.param.shape_seed) + "_t" +
+             std::to_string(info.param.threads);
+    });
+
+}  // namespace
+}  // namespace tg::rt

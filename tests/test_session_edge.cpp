@@ -1,0 +1,122 @@
+// Session-layer edge cases: option plumbing, budget exhaustion, report
+// rendering details, and the dedup key's symmetry.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "programs/registry.hpp"
+#include "tools/session.hpp"
+
+namespace tg::tools {
+namespace {
+
+TEST(SessionEdge, BudgetExceededIsReported) {
+  const rt::GuestProgram* program = progs::find_program("cilk-fib");
+  ASSERT_NE(program, nullptr);
+  SessionOptions options;
+  options.tool = ToolKind::kNone;
+  options.num_threads = 2;
+  options.max_retired = 500;  // nowhere near enough for fib(16)
+  const SessionResult result = run_session(*program, options);
+  EXPECT_EQ(result.status, SessionResult::Status::kBudget);
+  EXPECT_EQ(classify(false, result), Verdict::kDeadlock);
+}
+
+TEST(SessionEdge, QuantumDoesNotChangeVerdicts) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  for (uint64_t quantum : {50ull, 500ull, 50'000ull}) {
+    SessionOptions options;
+    options.tool = ToolKind::kTaskgrind;
+    options.num_threads = 2;
+    options.quantum = quantum;
+    const SessionResult result = run_session(*program, options);
+    EXPECT_TRUE(result.racy()) << "quantum " << quantum;
+  }
+}
+
+TEST(SessionEdge, SuppressionOptionsAreRespected) {
+  const rt::GuestProgram* program = progs::find_program("TMB1006-tls_1");
+  ASSERT_NE(program, nullptr);
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = 1;
+  EXPECT_FALSE(run_session(*program, options).racy());
+  options.taskgrind_suppress_tls = false;
+  EXPECT_TRUE(run_session(*program, options).racy());
+}
+
+TEST(SessionEdge, AnalysisThreadsOptionKeepsVerdicts) {
+  const rt::GuestProgram* program =
+      progs::find_program("DRB106-taskwaitmissing-orig");
+  ASSERT_NE(program, nullptr);
+  size_t base_count = 0;
+  for (int threads : {1, 3}) {
+    SessionOptions options;
+    options.tool = ToolKind::kTaskgrind;
+    options.num_threads = 4;
+    options.analysis_threads = threads;
+    const SessionResult result = run_session(*program, options);
+    EXPECT_TRUE(result.racy());
+    if (threads == 1) {
+      base_count = result.report_count;
+    } else {
+      EXPECT_EQ(result.report_count, base_count);
+    }
+  }
+}
+
+TEST(SessionEdge, ReportTextsCapped) {
+  const rt::GuestProgram* program =
+      progs::find_program("DRB106-taskwaitmissing-orig");
+  ASSERT_NE(program, nullptr);
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = 4;
+  const SessionResult result = run_session(*program, options);
+  EXPECT_LE(result.report_texts.size(), 8u);
+  EXPECT_GE(result.report_count, result.report_texts.size());
+}
+
+// --- report rendering ----------------------------------------------------
+
+TEST(ReportRendering, FreedBlockAnnotated) {
+  core::AllocInfo alloc;
+  alloc.addr = 0x100;
+  alloc.size = 32;
+  alloc.freed = true;
+  core::RaceReport report;
+  report.lo = 0x104;
+  report.hi = 0x108;
+  report.first = {1, 0, 0, "a.c", 10, true};
+  report.second = {2, 1, 1, "a.c", 20, false};
+  report.alloc = &alloc;
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("(freed)"), std::string::npos);
+  EXPECT_NE(text.find("a.c:10"), std::string::npos);
+  EXPECT_NE(text.find("a.c:20"), std::string::npos);
+}
+
+TEST(ReportRendering, SummaryMarksDirections) {
+  core::RaceReport report;
+  report.lo = 0x10;
+  report.hi = 0x18;
+  report.first = {1, 0, 0, "a.c", 10, true};
+  report.second = {2, 1, 1, "b.c", 20, false};
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("a.c:10 W"), std::string::npos);
+  EXPECT_NE(summary.find("b.c:20 R"), std::string::npos);
+}
+
+TEST(ReportRendering, DedupKeySymmetric) {
+  core::RaceReport ab;
+  ab.lo = 0x10;
+  ab.hi = 0x18;
+  ab.first = {1, 0, 0, "a.c", 10, true};
+  ab.second = {2, 1, 1, "b.c", 20, true};
+  core::RaceReport ba = ab;
+  std::swap(ba.first, ba.second);
+  EXPECT_EQ(core::report_dedup_key(ab), core::report_dedup_key(ba));
+}
+
+}  // namespace
+}  // namespace tg::tools

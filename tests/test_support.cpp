@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "support/accounting.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Accounting, TotalsAndPeak) {
+  MemAccountant acc;
+  acc.add(MemCategory::kSegments, 100);
+  acc.add(MemCategory::kShadow, 50);
+  EXPECT_EQ(acc.total(), 150);
+  EXPECT_EQ(acc.peak(), 150);
+  acc.add(MemCategory::kShadow, -50);
+  EXPECT_EQ(acc.total(), 100);
+  EXPECT_EQ(acc.peak(), 150);
+  EXPECT_EQ(acc.category_bytes(MemCategory::kSegments), 100);
+}
+
+TEST(Accounting, ResetClears) {
+  MemAccountant acc;
+  acc.add(MemCategory::kOther, 10);
+  acc.reset();
+  EXPECT_EQ(acc.total(), 0);
+  EXPECT_EQ(acc.peak(), 0);
+}
+
+TEST(Stats, MedianEvenOdd) {
+  auto odd = compute_stats({3, 1, 2});
+  EXPECT_DOUBLE_EQ(odd.median, 2);
+  EXPECT_DOUBLE_EQ(odd.min, 1);
+  EXPECT_DOUBLE_EQ(odd.max, 3);
+  auto even = compute_stats({4, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(even.median, 2.5);
+  EXPECT_DOUBLE_EQ(even.mean, 2.5);
+}
+
+TEST(Stats, EmptyIsZero) {
+  auto stats = compute_stats({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, CsvQuotesCommas) {
+  TextTable table({"a"});
+  table.add_row({"x,y"});
+  EXPECT_NE(table.csv().find("\"x,y\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,649 @@
+// VM, builder, guest memory, allocator and stdlib tests.
+#include <gtest/gtest.h>
+
+#include "support/accounting.hpp"
+#include "vex/builder.hpp"
+#include "vex/galloc.hpp"
+#include "vex/memory.hpp"
+#include "vex/stdlib.hpp"
+#include "vex/vm.hpp"
+
+namespace tg::vex {
+namespace {
+
+// A trivial intrinsic handler for programs that do not use the runtime.
+class NullIntrinsics : public IntrinsicHandler {
+ public:
+  Result on_intrinsic(HostCtx&, IntrinsicId, std::span<const Value>,
+                      std::span<const int64_t>) override {
+    return Result::cont();
+  }
+};
+
+/// Builds main() with `body`, runs it to completion, returns (exit, vm).
+struct RunHarness {
+  explicit RunHarness(const std::function<void(FnBuilder&)>& body,
+                      bool with_stdlib = false) {
+    ProgramBuilder pb("test");
+    if (with_stdlib) install_stdlib(pb);
+    FnBuilder& f = pb.fn("main", "test.c");
+    body(f);
+    if (!f.terminated()) f.ret(f.c(0));
+    program = pb.take();
+    vm = std::make_unique<Vm>(program);
+    vm->set_intrinsic_handler(&null_intrinsics);
+    thread = &vm->create_thread();
+    vm->push_call(*thread, program.entry, {});
+    result = vm->run(*thread, 0, 100'000'000);
+  }
+
+  int64_t ret() const { return thread->last_return.i; }
+
+  Program program;
+  NullIntrinsics null_intrinsics;
+  std::unique_ptr<Vm> vm;
+  ThreadCtx* thread = nullptr;
+  RunResult result = RunResult::kBudget;
+};
+
+// --- guest memory ---------------------------------------------------------
+
+TEST(GuestMemory, RoundTripsAllSizes) {
+  GuestMemory mem;
+  for (uint32_t size : {1u, 2u, 4u, 8u}) {
+    const uint64_t value = 0x1122334455667788ull & ((size == 8)
+        ? ~0ull : ((1ull << (8 * size)) - 1));
+    mem.store(0x2000'0000 + size * 64, size, value);
+    EXPECT_EQ(mem.load(0x2000'0000 + size * 64, size), value) << size;
+  }
+}
+
+TEST(GuestMemory, ZeroInitialized) {
+  GuestMemory mem;
+  EXPECT_EQ(mem.load(0x3000'0000, 8), 0u);
+}
+
+TEST(GuestMemory, ChunkStraddlingAccess) {
+  GuestMemory mem;
+  // 256 KiB chunks; write across the first chunk boundary above the heap.
+  const GuestAddr addr = 0x0104'0000 - 3;
+  mem.store(addr, 8, 0xdeadbeefcafebabeull);
+  EXPECT_EQ(mem.load(addr, 8), 0xdeadbeefcafebabeull);
+}
+
+TEST(GuestMemory, FloatRoundTrip) {
+  GuestMemory mem;
+  mem.store_f64(0x2000'0000, 3.14159);
+  EXPECT_DOUBLE_EQ(mem.load_f64(0x2000'0000), 3.14159);
+}
+
+TEST(GuestMemory, CopyAndFill) {
+  GuestMemory mem;
+  mem.fill(0x2000'0000, 0xab, 16);
+  mem.copy(0x2000'0100, 0x2000'0000, 16);
+  EXPECT_EQ(mem.load(0x2000'010f, 1), 0xabu);
+}
+
+TEST(GuestMemory, ResidentBytesGrowOnTouch) {
+  GuestMemory mem;
+  const uint64_t before = mem.resident_bytes();
+  mem.store(0x2000'0000, 1, 1);
+  EXPECT_GT(mem.resident_bytes(), before);
+}
+
+// --- guest allocator ------------------------------------------------------
+
+TEST(GuestAllocator, RecyclesFreedAddresses) {
+  GuestAllocator alloc(GuestLayout::kHeapBase);
+  const GuestAddr a = alloc.allocate(64);
+  alloc.deallocate(a);
+  const GuestAddr b = alloc.allocate(64);
+  // The §IV-B memory-recycling behaviour: same address handed out twice.
+  EXPECT_EQ(a, b);
+}
+
+TEST(GuestAllocator, DistinctLiveBlocks) {
+  GuestAllocator alloc(GuestLayout::kHeapBase);
+  const GuestAddr a = alloc.allocate(64);
+  const GuestAddr b = alloc.allocate(64);
+  EXPECT_NE(a, b);
+  EXPECT_GE(b, a + 64);
+}
+
+TEST(GuestAllocator, CoalescesNeighbours) {
+  GuestAllocator alloc(GuestLayout::kHeapBase);
+  const GuestAddr a = alloc.allocate(16);
+  const GuestAddr b = alloc.allocate(16);
+  const GuestAddr c = alloc.allocate(16);
+  (void)c;
+  alloc.deallocate(a);
+  alloc.deallocate(b);
+  // a+b coalesced: a 32-byte request fits at the old `a`.
+  EXPECT_EQ(alloc.allocate(32), a);
+}
+
+TEST(GuestAllocator, FirstFitPrefersLowestAddress) {
+  GuestAllocator alloc(GuestLayout::kHeapBase);
+  const GuestAddr a = alloc.allocate(64);
+  const GuestAddr b = alloc.allocate(64);
+  alloc.deallocate(b);
+  alloc.deallocate(a);
+  EXPECT_EQ(alloc.allocate(16), a);
+}
+
+TEST(GuestAllocator, TracksLiveBytesAndCounts) {
+  GuestAllocator alloc(GuestLayout::kHeapBase);
+  const GuestAddr a = alloc.allocate(100);
+  EXPECT_EQ(alloc.live_bytes(), 100u);
+  EXPECT_EQ(alloc.live_block_size(a), 100u);
+  EXPECT_TRUE(alloc.is_live(a));
+  alloc.deallocate(a);
+  EXPECT_EQ(alloc.live_bytes(), 0u);
+  EXPECT_FALSE(alloc.is_live(a));
+  EXPECT_EQ(alloc.alloc_count(), 1u);
+  EXPECT_EQ(alloc.free_count(), 1u);
+}
+
+TEST(GuestAllocator, BlockContaining) {
+  GuestAllocator alloc(GuestLayout::kHeapBase);
+  const GuestAddr a = alloc.allocate(100);
+  EXPECT_EQ(alloc.block_containing(a + 50), a);
+  EXPECT_EQ(alloc.block_containing(a + 200), 0u);
+}
+
+// --- VM semantics ---------------------------------------------------------
+
+TEST(Vm, IntegerArithmetic) {
+  RunHarness h([](FnBuilder& f) {
+    V a = f.c(20);
+    V b = f.c(3);
+    f.ret(a * b + a / b - a % b);  // 60 + 6 - 2 = 64
+  });
+  EXPECT_EQ(h.ret(), 64);
+}
+
+TEST(Vm, Comparisons) {
+  RunHarness h([](FnBuilder& f) {
+    V a = f.c(5);
+    V b = f.c(7);
+    // (a<b) + (a<=b) + (a>b) + (a>=b) + (a==b) + (a!=b) = 1+1+0+0+0+1
+    f.ret((a < b) + (a <= b) + (a > b) + (a >= b) + (a == b) + (a != b));
+  });
+  EXPECT_EQ(h.ret(), 3);
+}
+
+TEST(Vm, FloatArithmetic) {
+  RunHarness h([](FnBuilder& f) {
+    V a = f.cf(2.0);
+    V x = f.fsqrt(f.fmul(a, f.cf(8.0)));  // 4
+    f.ret(f.f2i(f.fadd(x, f.cf(0.5))));
+  });
+  EXPECT_EQ(h.ret(), 4);
+}
+
+TEST(Vm, StackSlotsAreMemory) {
+  RunHarness h([](FnBuilder& f) {
+    Slot x = f.slot();
+    x.set(41);
+    x.set(x.get() + f.c(1));
+    f.ret(x.get());
+  });
+  EXPECT_EQ(h.ret(), 42);
+}
+
+TEST(Vm, IfElse) {
+  RunHarness h([](FnBuilder& f) {
+    Slot r = f.slot();
+    f.if_(f.c(1) < f.c(2), [&] { r.set(10); }, [&] { r.set(20); });
+    f.ret(r.get());
+  });
+  EXPECT_EQ(h.ret(), 10);
+}
+
+TEST(Vm, WhileLoopSumsRange) {
+  RunHarness h([](FnBuilder& f) {
+    Slot sum = f.slot();
+    sum.set(0);
+    f.for_(0, 10, [&](Slot i) { sum.set(sum.get() + i.get()); });
+    f.ret(sum.get());
+  });
+  EXPECT_EQ(h.ret(), 45);
+}
+
+TEST(Vm, NestedLoops) {
+  RunHarness h([](FnBuilder& f) {
+    Slot sum = f.slot();
+    sum.set(0);
+    f.for_(0, 5, [&](Slot i) {
+      f.for_(0, 5, [&](Slot j) {
+        sum.set(sum.get() + i.get() * j.get());
+      });
+    });
+    f.ret(sum.get());  // (0+1+2+3+4)^2 = 100
+  });
+  EXPECT_EQ(h.ret(), 100);
+}
+
+TEST(Vm, GuestFunctionCall) {
+  ProgramBuilder pb("call");
+  FnBuilder& add = pb.fn("add", "test.c", 2);
+  add.ret(add.param(0) + add.param(1));
+  FnBuilder& f = pb.fn("main", "test.c");
+  f.ret(f.call("add", {f.c(30), f.c(12)}));
+  Program program = pb.take();
+  Vm vm(program);
+  NullIntrinsics ni;
+  vm.set_intrinsic_handler(&ni);
+  ThreadCtx& t = vm.create_thread();
+  vm.push_call(t, program.entry, {});
+  EXPECT_EQ(vm.run(t, 0, 1'000'000), RunResult::kFrameFloor);
+  EXPECT_EQ(t.last_return.i, 42);
+}
+
+TEST(Vm, RecursionFibonacci) {
+  ProgramBuilder pb("fib");
+  FnBuilder& fib = pb.fn("fib", "test.c", 1);
+  {
+    Slot r = fib.slot();
+    fib.if_(
+        fib.param(0) < fib.c(2), [&] { r.set(fib.param(0)); },
+        [&] {
+          V a = fib.call("fib", {fib.param(0) - fib.c(1)});
+          V b = fib.call("fib", {fib.param(0) - fib.c(2)});
+          r.set(a + b);
+        });
+    fib.ret(r.get());
+  }
+  FnBuilder& f = pb.fn("main", "test.c");
+  f.ret(f.call("fib", {f.c(12)}));
+  Program program = pb.take();
+  Vm vm(program);
+  NullIntrinsics ni;
+  vm.set_intrinsic_handler(&ni);
+  ThreadCtx& t = vm.create_thread();
+  vm.push_call(t, program.entry, {});
+  vm.run(t, 0, 100'000'000);
+  EXPECT_EQ(t.last_return.i, 144);
+}
+
+TEST(Vm, GlobalsInitialized) {
+  ProgramBuilder pb("globals");
+  const GuestAddr g = pb.global_init("answer", {42});
+  FnBuilder& f = pb.fn("main", "test.c");
+  f.ret(f.ld(f.c(static_cast<int64_t>(g))));
+  Program program = pb.take();
+  Vm vm(program);
+  NullIntrinsics ni;
+  vm.set_intrinsic_handler(&ni);
+  ThreadCtx& t = vm.create_thread();
+  vm.push_call(t, program.entry, {});
+  vm.run(t, 0, 1'000'000);
+  EXPECT_EQ(t.last_return.i, 42);
+}
+
+TEST(Vm, HaltStopsMachine) {
+  RunHarness h([](FnBuilder& f) { f.halt(f.c(7)); });
+  EXPECT_EQ(h.result, RunResult::kHalted);
+  EXPECT_TRUE(h.vm->halted());
+  EXPECT_EQ(h.vm->exit_code(), 7);
+}
+
+// --- instrumentation ------------------------------------------------------
+
+/// Counts loads/stores per symbol kind, with optional symbol filtering.
+class CountingTool : public Tool {
+ public:
+  std::string_view name() const override { return "counting"; }
+
+  InstrumentationSet instrumentation_for(const Function& fn) override {
+    consulted.push_back(fn.name);
+    if (user_only && fn.kind != FnKind::kUser) {
+      return InstrumentationSet::none();
+    }
+    return InstrumentationSet::accesses();
+  }
+
+  void on_load(ThreadCtx&, GuestAddr, uint32_t, SrcLoc) override { loads++; }
+  void on_store(ThreadCtx&, GuestAddr, uint32_t, SrcLoc) override {
+    stores++;
+  }
+
+  bool user_only = false;
+  int loads = 0;
+  int stores = 0;
+  std::vector<std::string> consulted;
+};
+
+TEST(Instrumentation, CountsAccesses) {
+  ProgramBuilder pb("instr");
+  FnBuilder& f = pb.fn("main", "test.c");
+  Slot x = f.slot();
+  x.set(1);                  // 1 store
+  x.set(x.get() + f.c(1));   // 1 load, 1 store
+  f.ret(x.get());            // 1 load
+  Program program = pb.take();
+  Vm vm(program);
+  CountingTool tool;
+  vm.set_tool(&tool);
+  NullIntrinsics ni;
+  vm.set_intrinsic_handler(&ni);
+  ThreadCtx& t = vm.create_thread();
+  vm.push_call(t, program.entry, {});
+  vm.run(t, 0, 1'000'000);
+  EXPECT_EQ(tool.loads, 2);
+  EXPECT_EQ(tool.stores, 2);
+}
+
+TEST(Instrumentation, TranslationCacheConsultsOncePerFunction) {
+  ProgramBuilder pb("cache");
+  FnBuilder& f = pb.fn("main", "test.c");
+  Slot sum = f.slot();
+  sum.set(0);
+  f.for_(0, 100, [&](Slot i) { sum.set(sum.get() + i.get()); });
+  f.ret(sum.get());
+  Program program = pb.take();
+  Vm vm(program);
+  CountingTool tool;
+  vm.set_tool(&tool);
+  NullIntrinsics ni;
+  vm.set_intrinsic_handler(&ni);
+  ThreadCtx& t = vm.create_thread();
+  vm.push_call(t, program.entry, {});
+  vm.run(t, 0, 10'000'000);
+  // 100 iterations but each block translated once, one consult per fn.
+  EXPECT_EQ(tool.consulted.size(), 1u);
+  EXPECT_GT(vm.translations(), 0u);
+}
+
+TEST(Instrumentation, StdlibAccessesAttributedToLibc) {
+  ProgramBuilder pb("libc");
+  install_stdlib(pb);
+  FnBuilder& f = pb.fn("main", "test.c");
+  f.ret(f.rand_());  // rand does a libc-internal load+store of the seed
+  Program program = pb.take();
+
+  for (bool user_only : {false, true}) {
+    Vm vm(program);
+    CountingTool tool;
+    tool.user_only = user_only;
+    vm.set_tool(&tool);
+    NullIntrinsics ni;
+    vm.set_intrinsic_handler(&ni);
+    ThreadCtx& t = vm.create_thread();
+    vm.push_call(t, program.entry, {});
+    vm.run(t, 0, 1'000'000);
+    if (user_only) {
+      // Compile-time instrumentation never sees libc internals.
+      EXPECT_EQ(tool.loads + tool.stores, 0);
+    } else {
+      // Heavyweight DBI sees the seed read-modify-write.
+      EXPECT_GE(tool.loads, 1);
+      EXPECT_GE(tool.stores, 1);
+    }
+  }
+}
+
+TEST(Instrumentation, FunctionReplacementOverridesMalloc) {
+  class ReplacingTool : public Tool {
+   public:
+    std::string_view name() const override { return "repl"; }
+    std::optional<HostFn> replace_function(std::string_view symbol) override {
+      if (symbol == "malloc") {
+        return HostFn([this](HostCtx&, std::span<const Value>) {
+          calls++;
+          return Value::from_u(0x7777'0000);
+        });
+      }
+      return std::nullopt;
+    }
+    int calls = 0;
+  };
+
+  ProgramBuilder pb("repl");
+  install_stdlib(pb);
+  FnBuilder& f = pb.fn("main", "test.c");
+  f.ret(f.malloc_(f.c(8)));
+  Program program = pb.take();
+  Vm vm(program);
+  ReplacingTool tool;
+  vm.set_tool(&tool);
+  NullIntrinsics ni;
+  vm.set_intrinsic_handler(&ni);
+  ThreadCtx& t = vm.create_thread();
+  vm.push_call(t, program.entry, {});
+  vm.run(t, 0, 1'000'000);
+  EXPECT_EQ(tool.calls, 1);
+  EXPECT_EQ(static_cast<uint64_t>(t.last_return.i), 0x7777'0000u);
+}
+
+TEST(Instrumentation, ClientRequestsReachTool) {
+  class ReqTool : public Tool {
+   public:
+    std::string_view name() const override { return "req"; }
+    void on_client_request(ThreadCtx&, uint64_t code,
+                           std::span<const Value> args) override {
+      last_code = code;
+      if (!args.empty()) last_arg = args[0].i;
+    }
+    uint64_t last_code = 0;
+    int64_t last_arg = 0;
+  };
+
+  ProgramBuilder pb("req");
+  FnBuilder& f = pb.fn("main", "test.c");
+  f.client_request(99, {f.c(1234)});
+  f.ret(f.c(0));
+  Program program = pb.take();
+  Vm vm(program);
+  ReqTool tool;
+  vm.set_tool(&tool);
+  NullIntrinsics ni;
+  vm.set_intrinsic_handler(&ni);
+  ThreadCtx& t = vm.create_thread();
+  vm.push_call(t, program.entry, {});
+  vm.run(t, 0, 1'000'000);
+  EXPECT_EQ(tool.last_code, 99u);
+  EXPECT_EQ(tool.last_arg, 1234);
+}
+
+// --- TLS ------------------------------------------------------------------
+
+TEST(Tls, MainThreadEagerWorkersLazy) {
+  ProgramBuilder pb("tls");
+  pb.tls_var("x", 8);
+  FnBuilder& f = pb.fn("main", "test.c");
+  f.ret(f.c(0));
+  Program program = pb.take();
+  Vm vm(program);
+  ThreadCtx& main_thread = vm.create_thread();
+  ThreadCtx& worker = vm.create_thread();
+  // The loader sets up the main thread's TLS; workers get it on first touch.
+  EXPECT_EQ(main_thread.dtv.gen, 1u);
+  EXPECT_EQ(worker.dtv.gen, 0u);
+  const GuestAddr addr = vm.resolve_tls(worker, 0, 0);
+  EXPECT_NE(addr, 0u);
+  EXPECT_EQ(worker.dtv.gen, 1u);
+}
+
+TEST(Tls, DistinctPerThread) {
+  ProgramBuilder pb("tls2");
+  pb.tls_var("x", 8);
+  FnBuilder& f = pb.fn("main", "test.c");
+  f.ret(f.c(0));
+  Program program = pb.take();
+  Vm vm(program);
+  ThreadCtx& a = vm.create_thread();
+  ThreadCtx& b = vm.create_thread();
+  EXPECT_NE(vm.resolve_tls(a, 0, 0), vm.resolve_tls(b, 0, 0));
+  // Idempotent per thread.
+  EXPECT_EQ(vm.resolve_tls(a, 0, 0), vm.resolve_tls(a, 0, 0));
+}
+
+TEST(Tls, OffsetsWithinModuleBlock) {
+  ProgramBuilder pb("tls3");
+  const uint32_t off_x = pb.tls_var("x", 8);
+  const uint32_t off_y = pb.tls_var("y", 8);
+  EXPECT_NE(off_x, off_y);
+  FnBuilder& f = pb.fn("main", "test.c");
+  f.ret(f.c(0));
+  Program program = pb.take();
+  Vm vm(program);
+  ThreadCtx& t = vm.create_thread();
+  EXPECT_EQ(vm.resolve_tls(t, 0, off_y) - vm.resolve_tls(t, 0, off_x),
+            static_cast<GuestAddr>(off_y - off_x));
+}
+
+// --- stdlib ---------------------------------------------------------------
+
+TEST(Stdlib, PrintCapturesOutput) {
+  RunHarness h(
+      [](FnBuilder& f) {
+        f.print_str("x = ");
+        f.print_i64(f.c(42));
+        f.print_str("\n");
+        f.ret(f.c(0));
+      },
+      /*with_stdlib=*/true);
+  EXPECT_EQ(h.vm->output(), "x = 42\n");
+}
+
+TEST(Stdlib, MallocFreeRecycle) {
+  RunHarness h(
+      [](FnBuilder& f) {
+        V a = f.malloc_(f.c(32));
+        f.free_(a);
+        V b = f.malloc_(f.c(32));
+        f.ret(a == b);
+      },
+      /*with_stdlib=*/true);
+  EXPECT_EQ(h.ret(), 1);  // recycling: same address
+}
+
+TEST(Stdlib, MemcpyMemset) {
+  RunHarness h(
+      [](FnBuilder& f) {
+        V a = f.malloc_(f.c(16));
+        V b = f.malloc_(f.c(16));
+        f.call("memset", {a, f.c(7), f.c(16)});
+        f.call("memcpy", {b, a, f.c(16)});
+        f.ret(f.ld(b + f.c(15), 1));
+      },
+      /*with_stdlib=*/true);
+  EXPECT_EQ(h.ret(), 7);
+}
+
+TEST(Stdlib, CallocZeroes) {
+  RunHarness h(
+      [](FnBuilder& f) {
+        V a = f.malloc_(f.c(8));
+        f.st(a, f.c(-1));
+        f.free_(a);
+        V b = f.call("calloc", {f.c(1), f.c(8)});  // recycles a's block
+        f.ret(f.ld(b));
+      },
+      /*with_stdlib=*/true);
+  EXPECT_EQ(h.ret(), 0);
+}
+
+TEST(Stdlib, RandDeterministicAfterSrand) {
+  auto run = [] {
+    RunHarness h(
+        [](FnBuilder& f) {
+          f.call("srand", {f.c(11)});
+          f.ret(f.rand_());
+        },
+        /*with_stdlib=*/true);
+    return h.ret();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- stack traces ---------------------------------------------------------
+
+TEST(StackTrace, SymbolizesCallChain) {
+  ProgramBuilder pb("trace");
+  install_stdlib(pb);
+
+  class TraceTool : public Tool {
+   public:
+    explicit TraceTool(Vm*& vm_slot) : vm_slot_(vm_slot) {}
+    std::string_view name() const override { return "trace"; }
+    std::optional<HostFn> replace_function(std::string_view symbol) override {
+      if (symbol != "malloc") return std::nullopt;
+      return HostFn([this](HostCtx& ctx, std::span<const Value>) {
+        trace = vm_slot_->capture_stack(ctx.thread);
+        return Value::from_u(0x5555'0000);
+      });
+    }
+    StackTrace trace;
+    Vm*& vm_slot_;
+  };
+
+  FnBuilder& inner = pb.fn("inner", "trace.c", 0);
+  inner.line(10);
+  V p = inner.malloc_(inner.c(8));
+  inner.ret(p);
+  FnBuilder& f = pb.fn("main", "trace.c");
+  f.line(20);
+  f.ret(f.call("inner", {}));
+  Program program = pb.take();
+  Vm* vm_ptr = nullptr;
+  TraceTool tool(vm_ptr);
+  Vm vm(program);
+  vm_ptr = &vm;
+  vm.set_tool(&tool);
+  NullIntrinsics ni;
+  vm.set_intrinsic_handler(&ni);
+  ThreadCtx& t = vm.create_thread();
+  vm.push_call(t, program.entry, {});
+  vm.run(t, 0, 1'000'000);
+
+  ASSERT_EQ(tool.trace.size(), 2u);
+  EXPECT_STREQ(tool.trace[0].fn_name, "inner");
+  EXPECT_EQ(tool.trace[0].line, 10u);
+  EXPECT_STREQ(tool.trace[1].fn_name, "main");
+  EXPECT_EQ(tool.trace[1].line, 20u);
+}
+
+// --- validation -----------------------------------------------------------
+
+TEST(Validation, CatchesBadBranchTarget) {
+  Program program;
+  program.name = "bad";
+  program.files = {"f"};
+  Function fn;
+  fn.name = "main";
+  fn.id = 0;
+  fn.nregs = 1;
+  Block block;
+  Instr jmp;
+  jmp.op = Op::kJmp;
+  jmp.imm = 5;  // out of range
+  block.instrs.push_back(jmp);
+  fn.blocks.push_back(block);
+  program.functions.push_back(fn);
+  program.entry = 0;
+  EXPECT_NE(program.validate().find("jmp target"), std::string::npos);
+}
+
+TEST(Validation, CatchesMissingTerminator) {
+  Program program;
+  program.name = "bad";
+  program.files = {"f"};
+  Function fn;
+  fn.name = "main";
+  fn.id = 0;
+  fn.nregs = 2;
+  Block block;
+  Instr ci;
+  ci.op = Op::kConstI;
+  ci.dst = 0;
+  block.instrs.push_back(ci);
+  fn.blocks.push_back(block);
+  program.functions.push_back(fn);
+  program.entry = 0;
+  EXPECT_NE(program.validate().find("terminator"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tg::vex
