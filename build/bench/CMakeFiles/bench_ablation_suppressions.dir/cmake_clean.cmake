@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_suppressions.dir/bench_ablation_suppressions.cpp.o"
+  "CMakeFiles/bench_ablation_suppressions.dir/bench_ablation_suppressions.cpp.o.d"
+  "bench_ablation_suppressions"
+  "bench_ablation_suppressions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_suppressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

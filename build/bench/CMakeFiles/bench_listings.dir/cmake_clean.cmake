@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listings.dir/bench_listings.cpp.o"
+  "CMakeFiles/bench_listings.dir/bench_listings.cpp.o.d"
+  "bench_listings"
+  "bench_listings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_analysis.dir/bench_parallel_analysis.cpp.o"
+  "CMakeFiles/bench_parallel_analysis.dir/bench_parallel_analysis.cpp.o.d"
+  "bench_parallel_analysis"
+  "bench_parallel_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

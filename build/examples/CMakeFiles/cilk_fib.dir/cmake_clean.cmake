@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilk_fib.dir/cilk_fib.cpp.o"
+  "CMakeFiles/cilk_fib.dir/cilk_fib.cpp.o.d"
+  "cilk_fib"
+  "cilk_fib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilk_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

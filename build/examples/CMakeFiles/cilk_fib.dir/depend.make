@@ -1,0 +1,2 @@
+# Empty dependencies file for cilk_fib.
+# This may be replaced when dependencies are built.

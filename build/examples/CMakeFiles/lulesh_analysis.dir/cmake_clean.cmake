@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lulesh_analysis.dir/lulesh_analysis.cpp.o"
+  "CMakeFiles/lulesh_analysis.dir/lulesh_analysis.cpp.o.d"
+  "lulesh_analysis"
+  "lulesh_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lulesh_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

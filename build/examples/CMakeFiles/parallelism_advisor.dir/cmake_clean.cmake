@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelism_advisor.dir/parallelism_advisor.cpp.o"
+  "CMakeFiles/parallelism_advisor.dir/parallelism_advisor.cpp.o.d"
+  "parallelism_advisor"
+  "parallelism_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelism_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qthreads_feb.dir/qthreads_feb.cpp.o"
+  "CMakeFiles/qthreads_feb.dir/qthreads_feb.cpp.o.d"
+  "qthreads_feb"
+  "qthreads_feb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qthreads_feb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

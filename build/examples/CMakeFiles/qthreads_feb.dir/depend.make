@@ -1,0 +1,2 @@
+# Empty dependencies file for qthreads_feb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/main.cpp" "src/cli/CMakeFiles/taskgrind.dir/main.cpp.o" "gcc" "src/cli/CMakeFiles/taskgrind.dir/main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/tg_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/tg_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lulesh/CMakeFiles/tg_lulesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vex/CMakeFiles/tg_vex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskgrind.dir/main.cpp.o"
+  "CMakeFiles/taskgrind.dir/main.cpp.o.d"
+  "taskgrind"
+  "taskgrind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskgrind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

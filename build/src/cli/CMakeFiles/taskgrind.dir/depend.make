@@ -1,0 +1,2 @@
+# Empty dependencies file for taskgrind.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/tg_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/graph_builder.cpp" "src/core/CMakeFiles/tg_core.dir/graph_builder.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/graph_builder.cpp.o.d"
+  "/root/repo/src/core/interval_set.cpp" "src/core/CMakeFiles/tg_core.dir/interval_set.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/interval_set.cpp.o.d"
+  "/root/repo/src/core/parallelism.cpp" "src/core/CMakeFiles/tg_core.dir/parallelism.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/parallelism.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/tg_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/segment_graph.cpp" "src/core/CMakeFiles/tg_core.dir/segment_graph.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/segment_graph.cpp.o.d"
+  "/root/repo/src/core/taskgrind.cpp" "src/core/CMakeFiles/tg_core.dir/taskgrind.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/taskgrind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/tg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vex/CMakeFiles/tg_vex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_core.dir/analysis.cpp.o"
+  "CMakeFiles/tg_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/tg_core.dir/graph_builder.cpp.o"
+  "CMakeFiles/tg_core.dir/graph_builder.cpp.o.d"
+  "CMakeFiles/tg_core.dir/interval_set.cpp.o"
+  "CMakeFiles/tg_core.dir/interval_set.cpp.o.d"
+  "CMakeFiles/tg_core.dir/parallelism.cpp.o"
+  "CMakeFiles/tg_core.dir/parallelism.cpp.o.d"
+  "CMakeFiles/tg_core.dir/report.cpp.o"
+  "CMakeFiles/tg_core.dir/report.cpp.o.d"
+  "CMakeFiles/tg_core.dir/segment_graph.cpp.o"
+  "CMakeFiles/tg_core.dir/segment_graph.cpp.o.d"
+  "CMakeFiles/tg_core.dir/taskgrind.cpp.o"
+  "CMakeFiles/tg_core.dir/taskgrind.cpp.o.d"
+  "libtg_core.a"
+  "libtg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_lulesh.dir/lulesh.cpp.o"
+  "CMakeFiles/tg_lulesh.dir/lulesh.cpp.o.d"
+  "libtg_lulesh.a"
+  "libtg_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

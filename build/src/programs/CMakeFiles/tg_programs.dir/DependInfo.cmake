@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/programs/apps.cpp" "src/programs/CMakeFiles/tg_programs.dir/apps.cpp.o" "gcc" "src/programs/CMakeFiles/tg_programs.dir/apps.cpp.o.d"
+  "/root/repo/src/programs/drb.cpp" "src/programs/CMakeFiles/tg_programs.dir/drb.cpp.o" "gcc" "src/programs/CMakeFiles/tg_programs.dir/drb.cpp.o.d"
+  "/root/repo/src/programs/misc.cpp" "src/programs/CMakeFiles/tg_programs.dir/misc.cpp.o" "gcc" "src/programs/CMakeFiles/tg_programs.dir/misc.cpp.o.d"
+  "/root/repo/src/programs/registry.cpp" "src/programs/CMakeFiles/tg_programs.dir/registry.cpp.o" "gcc" "src/programs/CMakeFiles/tg_programs.dir/registry.cpp.o.d"
+  "/root/repo/src/programs/tmb.cpp" "src/programs/CMakeFiles/tg_programs.dir/tmb.cpp.o" "gcc" "src/programs/CMakeFiles/tg_programs.dir/tmb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/tg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vex/CMakeFiles/tg_vex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

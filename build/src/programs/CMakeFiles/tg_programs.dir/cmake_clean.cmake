@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_programs.dir/apps.cpp.o"
+  "CMakeFiles/tg_programs.dir/apps.cpp.o.d"
+  "CMakeFiles/tg_programs.dir/drb.cpp.o"
+  "CMakeFiles/tg_programs.dir/drb.cpp.o.d"
+  "CMakeFiles/tg_programs.dir/misc.cpp.o"
+  "CMakeFiles/tg_programs.dir/misc.cpp.o.d"
+  "CMakeFiles/tg_programs.dir/registry.cpp.o"
+  "CMakeFiles/tg_programs.dir/registry.cpp.o.d"
+  "CMakeFiles/tg_programs.dir/tmb.cpp.o"
+  "CMakeFiles/tg_programs.dir/tmb.cpp.o.d"
+  "libtg_programs.a"
+  "libtg_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_runtime.dir/deps.cpp.o"
+  "CMakeFiles/tg_runtime.dir/deps.cpp.o.d"
+  "CMakeFiles/tg_runtime.dir/execution.cpp.o"
+  "CMakeFiles/tg_runtime.dir/execution.cpp.o.d"
+  "CMakeFiles/tg_runtime.dir/frontend.cpp.o"
+  "CMakeFiles/tg_runtime.dir/frontend.cpp.o.d"
+  "CMakeFiles/tg_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/tg_runtime.dir/runtime.cpp.o.d"
+  "libtg_runtime.a"
+  "libtg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_support.dir/accounting.cpp.o"
+  "CMakeFiles/tg_support.dir/accounting.cpp.o.d"
+  "CMakeFiles/tg_support.dir/log.cpp.o"
+  "CMakeFiles/tg_support.dir/log.cpp.o.d"
+  "CMakeFiles/tg_support.dir/stats.cpp.o"
+  "CMakeFiles/tg_support.dir/stats.cpp.o.d"
+  "CMakeFiles/tg_support.dir/table.cpp.o"
+  "CMakeFiles/tg_support.dir/table.cpp.o.d"
+  "libtg_support.a"
+  "libtg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/archer.cpp" "src/tools/CMakeFiles/tg_tools.dir/archer.cpp.o" "gcc" "src/tools/CMakeFiles/tg_tools.dir/archer.cpp.o.d"
+  "/root/repo/src/tools/romp.cpp" "src/tools/CMakeFiles/tg_tools.dir/romp.cpp.o" "gcc" "src/tools/CMakeFiles/tg_tools.dir/romp.cpp.o.d"
+  "/root/repo/src/tools/session.cpp" "src/tools/CMakeFiles/tg_tools.dir/session.cpp.o" "gcc" "src/tools/CMakeFiles/tg_tools.dir/session.cpp.o.d"
+  "/root/repo/src/tools/tasksan.cpp" "src/tools/CMakeFiles/tg_tools.dir/tasksan.cpp.o" "gcc" "src/tools/CMakeFiles/tg_tools.dir/tasksan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vex/CMakeFiles/tg_vex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

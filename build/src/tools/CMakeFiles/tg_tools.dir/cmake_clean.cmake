@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_tools.dir/archer.cpp.o"
+  "CMakeFiles/tg_tools.dir/archer.cpp.o.d"
+  "CMakeFiles/tg_tools.dir/romp.cpp.o"
+  "CMakeFiles/tg_tools.dir/romp.cpp.o.d"
+  "CMakeFiles/tg_tools.dir/session.cpp.o"
+  "CMakeFiles/tg_tools.dir/session.cpp.o.d"
+  "CMakeFiles/tg_tools.dir/tasksan.cpp.o"
+  "CMakeFiles/tg_tools.dir/tasksan.cpp.o.d"
+  "libtg_tools.a"
+  "libtg_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vex/builder.cpp" "src/vex/CMakeFiles/tg_vex.dir/builder.cpp.o" "gcc" "src/vex/CMakeFiles/tg_vex.dir/builder.cpp.o.d"
+  "/root/repo/src/vex/galloc.cpp" "src/vex/CMakeFiles/tg_vex.dir/galloc.cpp.o" "gcc" "src/vex/CMakeFiles/tg_vex.dir/galloc.cpp.o.d"
+  "/root/repo/src/vex/ir.cpp" "src/vex/CMakeFiles/tg_vex.dir/ir.cpp.o" "gcc" "src/vex/CMakeFiles/tg_vex.dir/ir.cpp.o.d"
+  "/root/repo/src/vex/memory.cpp" "src/vex/CMakeFiles/tg_vex.dir/memory.cpp.o" "gcc" "src/vex/CMakeFiles/tg_vex.dir/memory.cpp.o.d"
+  "/root/repo/src/vex/stdlib.cpp" "src/vex/CMakeFiles/tg_vex.dir/stdlib.cpp.o" "gcc" "src/vex/CMakeFiles/tg_vex.dir/stdlib.cpp.o.d"
+  "/root/repo/src/vex/vm.cpp" "src/vex/CMakeFiles/tg_vex.dir/vm.cpp.o" "gcc" "src/vex/CMakeFiles/tg_vex.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

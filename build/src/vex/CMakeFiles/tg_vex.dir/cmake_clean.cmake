@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_vex.dir/builder.cpp.o"
+  "CMakeFiles/tg_vex.dir/builder.cpp.o.d"
+  "CMakeFiles/tg_vex.dir/galloc.cpp.o"
+  "CMakeFiles/tg_vex.dir/galloc.cpp.o.d"
+  "CMakeFiles/tg_vex.dir/ir.cpp.o"
+  "CMakeFiles/tg_vex.dir/ir.cpp.o.d"
+  "CMakeFiles/tg_vex.dir/memory.cpp.o"
+  "CMakeFiles/tg_vex.dir/memory.cpp.o.d"
+  "CMakeFiles/tg_vex.dir/stdlib.cpp.o"
+  "CMakeFiles/tg_vex.dir/stdlib.cpp.o.d"
+  "CMakeFiles/tg_vex.dir/vm.cpp.o"
+  "CMakeFiles/tg_vex.dir/vm.cpp.o.d"
+  "libtg_vex.a"
+  "libtg_vex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_vex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qthreads.dir/test_qthreads.cpp.o"
+  "CMakeFiles/test_qthreads.dir/test_qthreads.cpp.o.d"
+  "test_qthreads"
+  "test_qthreads.pdb"
+  "test_qthreads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskgrind.dir/test_taskgrind.cpp.o"
+  "CMakeFiles/test_taskgrind.dir/test_taskgrind.cpp.o.d"
+  "test_taskgrind"
+  "test_taskgrind.pdb"
+  "test_taskgrind[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskgrind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vex.dir/test_vex.cpp.o"
+  "CMakeFiles/test_vex.dir/test_vex.cpp.o.d"
+  "test_vex"
+  "test_vex.pdb"
+  "test_vex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

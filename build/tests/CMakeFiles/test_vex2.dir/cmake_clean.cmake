@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vex2.dir/test_vex2.cpp.o"
+  "CMakeFiles/test_vex2.dir/test_vex2.cpp.o.d"
+  "test_vex2"
+  "test_vex2.pdb"
+  "test_vex2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vex2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
