@@ -1,0 +1,159 @@
+// Order-maintenance engine benchmark: finalize cost, index memory, and
+// ordered() query throughput of the constant-space timestamp index, at
+// mini-LULESH sizes well beyond the old ancestor-bitset ceiling. The last
+// column shows what the retired O(n^2/8)-byte bitsets would have cost at
+// the same graph size.
+//
+// Usage: bench_ordering [--s N [--s M ...]] [--tel N] [--tnl N] [--i N]
+//        [--queries N] [--csv]
+//
+// Without --s, a preset ladder runs that grows BOTH the per-segment work
+// (-s) and the graph itself (-tel/-tnl): mini-LULESH's segment count is
+// set by the task decomposition, not the mesh size.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/taskgrind.hpp"
+#include "lulesh/lulesh.hpp"
+#include "runtime/execution.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace tg::bench {
+namespace {
+
+struct Config {
+  int s = 12;
+  int tel = 8;
+  int tnl = 8;
+  int iters = 8;
+};
+
+struct Row {
+  Config config;
+  size_t segments = 0;
+  double record_seconds = 0;
+  double finalize_seconds = 0;
+  uint64_t index_bytes = 0;
+  uint64_t bitset_bytes = 0;  // hypothetical O(n^2/8) cost
+  double queries_per_sec = 0;
+};
+
+Row run_size(const Config& config, uint64_t num_queries) {
+  lulesh::LuleshParams params;
+  params.s = config.s;
+  params.iters = config.iters;
+  params.tel = config.tel;
+  params.tnl = config.tnl;
+  params.racy = true;
+  const rt::GuestProgram program = lulesh::make_lulesh(params);
+  const vex::Program guest = program.build();
+
+  core::TaskgrindTool tool;
+  rt::RtOptions rt_options;
+  rt_options.num_threads = 1;
+  rt::Execution exec(guest, rt_options, &tool, {&tool});
+  tool.attach(exec.vm());
+
+  Row row;
+  row.config = config;
+  double t0 = now_seconds();
+  exec.run();
+  row.record_seconds = now_seconds() - t0;
+
+  core::SegmentGraph& graph = tool.builder().graph();
+  t0 = now_seconds();
+  graph.finalize();
+  row.finalize_seconds = now_seconds() - t0;
+
+  const size_t n = graph.size();
+  row.segments = n;
+  row.index_bytes = graph.index_bytes();
+  row.bitset_bytes =
+      static_cast<uint64_t>(n) * ((static_cast<uint64_t>(n) + 63) / 64) * 8;
+
+  // Query throughput over uniform random pairs (the access pattern of
+  // Algorithm 1 minus its locality).
+  Rng rng(42);
+  uint64_t ordered_count = 0;
+  t0 = now_seconds();
+  for (uint64_t q = 0; q < num_queries; ++q) {
+    const auto a = static_cast<core::SegId>(rng.next() % n);
+    const auto b = static_cast<core::SegId>(rng.next() % n);
+    ordered_count += graph.ordered(a, b) ? 1 : 0;
+  }
+  const double elapsed = now_seconds() - t0;
+  row.queries_per_sec =
+      elapsed > 0 ? static_cast<double>(num_queries) / elapsed : 0;
+  // Keep the loop observable.
+  if (ordered_count == num_queries + 1) std::printf("impossible\n");
+  return row;
+}
+
+int run(const std::vector<Config>& configs, uint64_t num_queries,
+        bool csv) {
+  TextTable table({"-s", "-tel/-tnl", "segments", "record (s)",
+                   "finalize (s)", "index (KiB)", "bitset (KiB)",
+                   "Mqueries/s"});
+  for (const Config& config : configs) {
+    const Row row = run_size(config, num_queries);
+    char mqps[32];
+    std::snprintf(mqps, sizeof(mqps), "%.2f", row.queries_per_sec / 1e6);
+    table.add_row({std::to_string(row.config.s),
+                   std::to_string(row.config.tel) + "/" +
+                       std::to_string(row.config.tnl),
+                   std::to_string(row.segments),
+                   format_seconds(row.record_seconds),
+                   format_seconds(row.finalize_seconds),
+                   std::to_string(row.index_bytes / 1024),
+                   std::to_string(row.bitset_bytes / 1024), mqps});
+  }
+  std::printf(
+      "Order-maintenance index (racy mini-LULESH,\n"
+      "%llu random ordered() queries per size):\n\n%s\n"
+      "index = O(n) timestamp stamps actually allocated;\n"
+      "bitset = what the retired ancestor-bitset oracle would allocate.\n",
+      static_cast<unsigned long long>(num_queries),
+      csv ? table.csv().c_str() : table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main(int argc, char** argv) {
+  std::vector<int> sizes;
+  tg::bench::Config base;
+  uint64_t num_queries = 2'000'000;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--s") == 0 && i + 1 < argc) {
+      sizes.push_back(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--tel") == 0 && i + 1 < argc) {
+      base.tel = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tnl") == 0 && i + 1 < argc) {
+      base.tnl = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--i") == 0 && i + 1 < argc) {
+      base.iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      num_queries = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    }
+  }
+  std::vector<tg::bench::Config> configs;
+  for (int s : sizes) {
+    tg::bench::Config config = base;
+    config.s = s;
+    configs.push_back(config);
+  }
+  if (configs.empty()) {
+    // Preset ladder: -s grows the per-segment footprint 4x per step
+    // (the issue's ">= 4x today's -s 12"), tel/tnl grow the graph.
+    configs = {{12, 8, 8, 8}, {24, 16, 16, 8}, {48, 32, 32, 8}};
+  }
+  return tg::bench::run(configs, num_queries, csv);
+}

@@ -35,6 +35,8 @@ void usage() {
       "  --analysis-threads=N   parallel post-mortem analysis (taskgrind)\n"
       "  --no-suppress-stack    disable the segment-local stack filter\n"
       "  --no-suppress-tls      disable the TLS filter\n"
+      "  --no-bbox-pruning      disable bounding-box pair pruning\n"
+      "  --bitset-oracle        order via ancestor bitsets (verification)\n"
       "  --no-replace-allocator keep the recycling allocator\n"
       "  --no-ignore-list       instrument the runtime too (naive mode)\n"
       "  --max-reports-shown=N  report texts to print (default 3)\n"
@@ -93,6 +95,10 @@ int main(int argc, char** argv) {
       options.taskgrind_suppress_tls = false;
     } else if (arg == "--no-replace-allocator") {
       options.taskgrind_replace_allocator = false;
+    } else if (arg == "--no-bbox-pruning") {
+      options.taskgrind_bbox_pruning = false;
+    } else if (arg == "--bitset-oracle") {
+      options.taskgrind_bitset_oracle = true;
     } else if (arg == "--no-ignore-list") {
       options.taskgrind_ignore_runtime = false;
     } else if (arg.rfind("--max-reports-shown=", 0) == 0) {
@@ -206,6 +212,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result.tasks_created),
       result.exec_seconds, result.analysis_seconds,
       static_cast<double>(result.peak_bytes) / 1048576.0);
+
+  if (options.tool == tg::tools::ToolKind::kTaskgrind) {
+    std::printf("analysis: %s\n",
+                tg::core::stats_summary(result.analysis_stats).c_str());
+  }
 
   if (result.report_count == 0) {
     std::printf("no determinacy races reported\n");

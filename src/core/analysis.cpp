@@ -1,7 +1,7 @@
 #include "core/analysis.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cstring>
 #include <set>
 #include <thread>
 
@@ -9,6 +9,22 @@
 #include "support/stats.hpp"
 
 namespace tg::core {
+
+bool sorted_sets_intersect(const std::vector<uint64_t>& a,
+                           const std::vector<uint64_t>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
 
 namespace {
 
@@ -39,13 +55,32 @@ bool in_dtv_blocks(const Segment& segment, const vex::Program& program,
   return false;
 }
 
-bool share_mutex(const Segment& a, const Segment& b) {
-  for (uint64_t ma : a.mutexes) {
-    for (uint64_t mb : b.mutexes) {
-      if (ma == mb) return true;
-    }
+/// One active segment with its address bounding box (reads U writes).
+struct ActiveSeg {
+  SegId id;
+  uint64_t lo;
+  uint64_t hi;
+};
+
+/// Total order over reports: the merged result is sorted with this before
+/// dedup, so the output is canonical regardless of thread count or pair
+/// enumeration order. Every discriminating field participates.
+bool report_less(const RaceReport& a, const RaceReport& b) {
+  if (a.first.segment_id != b.first.segment_id) {
+    return a.first.segment_id < b.first.segment_id;
   }
-  return false;
+  if (a.second.segment_id != b.second.segment_id) {
+    return a.second.segment_id < b.second.segment_id;
+  }
+  if (a.lo != b.lo) return a.lo < b.lo;
+  if (a.hi != b.hi) return a.hi < b.hi;
+  if (a.first.is_write != b.first.is_write) return b.first.is_write;
+  if (a.second.is_write != b.second.is_write) return b.second.is_write;
+  if (a.first.line != b.first.line) return a.first.line < b.first.line;
+  if (a.second.line != b.second.line) return a.second.line < b.second.line;
+  const int first_file = std::strcmp(a.first.file, b.first.file);
+  if (first_file != 0) return first_file < 0;
+  return std::strcmp(a.second.file, b.second.file) < 0;
 }
 
 struct PairWorker {
@@ -53,7 +88,6 @@ struct PairWorker {
   const vex::Program& program;
   const AllocRegistry* allocs;
   const AnalysisOptions& options;
-  const std::vector<SegId>& active;
 
   AnalysisStats stats;
   std::vector<RaceReport> reports;
@@ -83,14 +117,17 @@ struct PairWorker {
               stats.suppressed_stack++;
               return;
             }
-            // §IV-C: thread-local storage - same thread, same DTV.
+            // §IV-C: thread-local storage - same thread, same DTV. A DTV
+            // (re)allocated while either segment ran invalidates the
+            // end-of-segment snapshot (earlier accesses may have landed in
+            // the old blocks), so such segments are never suppressed.
             if (options.suppress_tls && s1.tid == s2.tid &&
                 s1.tcb == s2.tcb && s1.dtv_at_end == s2.dtv_at_end &&
+                !s1.dtv_changed_during && !s2.dtv_changed_during &&
                 in_dtv_blocks(s1, program, overlap.lo, overlap.hi)) {
               stats.suppressed_tls++;
               return;
             }
-            if (reports.size() >= options.max_reports) return;
             RaceReport report;
             report.lo = overlap.lo;
             report.hi = overlap.hi;
@@ -107,6 +144,10 @@ struct PairWorker {
   }
 
   void pair(SegId a, SegId b) {
+    // Canonical orientation regardless of enumeration order (the bbox sweep
+    // enumerates by address, not id), so reports are byte-identical to the
+    // unpruned pass.
+    if (a > b) std::swap(a, b);
     const Segment& s1 = graph.segment(a);
     const Segment& s2 = graph.segment(b);
     stats.pairs_total++;
@@ -114,11 +155,15 @@ struct PairWorker {
       stats.pairs_region_fast++;
       return;
     }
-    if (graph.ordered(a, b)) {
+    const bool hb_ordered = options.use_bitset_oracle
+                                ? graph.ordered_oracle(a, b)
+                                : graph.ordered(a, b);
+    if (hb_ordered) {
       stats.pairs_ordered++;
       return;
     }
-    if (options.respect_mutexes && share_mutex(s1, s2)) {
+    if (options.respect_mutexes &&
+        sorted_sets_intersect(s1.mutexes, s2.mutexes)) {
       stats.pairs_mutex++;
       return;
     }
@@ -134,15 +179,40 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
                              const AllocRegistry* allocs,
                              const AnalysisOptions& options) {
   TG_ASSERT_MSG(graph.finalized(), "analyze_races needs a finalized graph");
+  TG_ASSERT_MSG(!options.use_bitset_oracle || graph.has_bitset_oracle(),
+                "use_bitset_oracle needs enable_bitset_oracle() pre-finalize");
   const double start = now_seconds();
 
   // Only segments that touched memory participate in pairing.
-  std::vector<SegId> active;
+  std::vector<ActiveSeg> active;
   for (SegId i = 0; i < graph.size(); ++i) {
     const Segment& segment = graph.segment(i);
-    if (segment.kind == SegKind::kTask && segment.has_accesses()) {
-      active.push_back(i);
+    if (segment.kind != SegKind::kTask || !segment.has_accesses()) continue;
+    const IntervalSet::Bounds reads = segment.reads.bounds();
+    const IntervalSet::Bounds writes = segment.writes.bounds();
+    ActiveSeg entry{i, 0, 0};
+    if (reads.empty()) {
+      entry.lo = writes.lo;
+      entry.hi = writes.hi;
+    } else if (writes.empty()) {
+      entry.lo = reads.lo;
+      entry.hi = reads.hi;
+    } else {
+      entry.lo = std::min(reads.lo, writes.lo);
+      entry.hi = std::max(reads.hi, writes.hi);
     }
+    active.push_back(entry);
+  }
+
+  // The bbox sweep: sorted by box start, a pair (i, j < k) can only overlap
+  // while active[j].lo is below active[i].hi; the first j past that bound
+  // ends i's row (box starts are non-decreasing). Pairs never generated
+  // cannot produce overlaps, so findings are unchanged.
+  if (options.use_bbox_pruning) {
+    std::sort(active.begin(), active.end(),
+              [](const ActiveSeg& a, const ActiveSeg& b) {
+                return a.lo != b.lo ? a.lo < b.lo : a.id < b.id;
+              });
   }
 
   const int nthreads =
@@ -151,8 +221,7 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
   std::vector<PairWorker> workers;
   workers.reserve(static_cast<size_t>(nthreads));
   for (int t = 0; t < nthreads; ++t) {
-    workers.push_back(
-        PairWorker{graph, program, allocs, options, active, {}, {}});
+    workers.push_back(PairWorker{graph, program, allocs, options, {}, {}});
   }
 
   auto run_worker = [&](int index) {
@@ -161,7 +230,11 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
     for (size_t i = static_cast<size_t>(index); i < active.size();
          i += static_cast<size_t>(nthreads)) {
       for (size_t j = i + 1; j < active.size(); ++j) {
-        worker.pair(active[i], active[j]);
+        if (options.use_bbox_pruning && active[j].lo >= active[i].hi) {
+          worker.stats.pairs_skipped_bbox += active.size() - j;
+          break;
+        }
+        worker.pair(active[i].id, active[j].id);
       }
     }
   };
@@ -179,6 +252,7 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
   AnalysisResult result;
   for (const PairWorker& worker : workers) {
     result.stats.pairs_total += worker.stats.pairs_total;
+    result.stats.pairs_skipped_bbox += worker.stats.pairs_skipped_bbox;
     result.stats.pairs_ordered += worker.stats.pairs_ordered;
     result.stats.pairs_region_fast += worker.stats.pairs_region_fast;
     result.stats.pairs_mutex += worker.stats.pairs_mutex;
@@ -189,17 +263,10 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
                           worker.reports.end());
   }
 
-  // Deterministic order regardless of thread count, then dedup by finding.
-  std::sort(result.reports.begin(), result.reports.end(),
-            [](const RaceReport& a, const RaceReport& b) {
-              if (a.first.segment_id != b.first.segment_id) {
-                return a.first.segment_id < b.first.segment_id;
-              }
-              if (a.second.segment_id != b.second.segment_id) {
-                return a.second.segment_id < b.second.segment_id;
-              }
-              return a.lo < b.lo;
-            });
+  // Canonical order regardless of thread count, then dedup by finding, then
+  // the report cap - applied once on the merged set so the survivors do not
+  // depend on how the pairs were partitioned across workers.
+  std::sort(result.reports.begin(), result.reports.end(), report_less);
   std::set<std::string> seen;
   std::vector<RaceReport> deduped;
   for (auto& report : result.reports) {
@@ -207,8 +274,14 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
       deduped.push_back(std::move(report));
     }
   }
+  if (deduped.size() > options.max_reports) {
+    deduped.resize(options.max_reports);
+  }
   result.reports = std::move(deduped);
 
+  result.stats.segments_active = active.size();
+  result.stats.index_bytes = graph.index_bytes();
+  result.stats.oracle_bytes = graph.oracle_bytes();
   result.stats.seconds = now_seconds() - start;
   return result;
 }

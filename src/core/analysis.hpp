@@ -25,18 +25,32 @@ struct AnalysisOptions {
   bool suppress_tls = true;     // paper §IV-C
   bool respect_mutexes = true;  // mutexinoutset exclusion
   bool use_region_fast_path = true;  // Eq. 1
+  /// Bucket active segments by their address bounding box so pairs with
+  /// disjoint footprints are never generated. Sound: such pairs cannot
+  /// produce an overlap, so findings are identical either way.
+  bool use_bbox_pruning = true;
+  /// Answer ordered() from the ancestor-bitset oracle instead of the
+  /// timestamp index. Requires the graph to have been finalized with
+  /// SegmentGraph::enable_bitset_oracle(true). Verification only.
+  bool use_bitset_oracle = false;
   int threads = 1;
+  /// Cap on reported findings, applied once after the merged sort/dedup so
+  /// the surviving set is identical at every thread count.
   size_t max_reports = 200'000;
 };
 
 struct AnalysisStats {
-  uint64_t pairs_total = 0;
+  uint64_t pairs_total = 0;          // pairs examined (post bbox pruning)
+  uint64_t pairs_skipped_bbox = 0;   // never generated: disjoint bboxes
   uint64_t pairs_ordered = 0;        // skipped via reachability
   uint64_t pairs_region_fast = 0;    // skipped via Eq. 1
   uint64_t pairs_mutex = 0;          // skipped via shared mutex
   uint64_t raw_conflicts = 0;        // overlaps before suppression/dedup
   uint64_t suppressed_stack = 0;
   uint64_t suppressed_tls = 0;
+  uint64_t segments_active = 0;      // task segments that touched memory
+  uint64_t index_bytes = 0;          // timestamp order-maintenance index
+  uint64_t oracle_bytes = 0;         // ancestor bitsets (0 unless enabled)
   double seconds = 0;
 };
 
@@ -53,5 +67,10 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
                              const vex::Program& program,
                              const AllocRegistry* allocs,
                              const AnalysisOptions& options);
+
+/// Linear-merge intersection test over two sorted, duplicate-free sets
+/// (how the builder stores per-task mutex sets).
+bool sorted_sets_intersect(const std::vector<uint64_t>& a,
+                           const std::vector<uint64_t>& b);
 
 }  // namespace tg::core

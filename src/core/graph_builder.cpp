@@ -1,5 +1,7 @@
 #include "core/graph_builder.hpp"
 
+#include <algorithm>
+
 #include "runtime/task.hpp"
 #include "runtime/worker.hpp"
 #include "support/assert.hpp"
@@ -38,6 +40,11 @@ SegId SegmentGraphBuilder::open_segment(TTask& t, int tid) {
   segment.task_id = t.id;
   segment.seq_in_task = t.seg_count++;
   segment.tid = tid;
+  // Order-maintenance timestamp, assigned at creation: the task's serial
+  // timeline is one chain, the segment ordinal its position (program-order
+  // chaining below guarantees consecutive positions are edge-connected).
+  if (t.chain == kNoChain) t.chain = next_chain_id_++;
+  graph_.set_chain(segment.id, t.chain, segment.seq_in_task);
   segment.region_id = t.region;
   segment.mutexes = t.mutexes;
   if (vm_ != nullptr && tid >= 0 &&
@@ -269,7 +276,11 @@ void SegmentGraphBuilder::parallel_end(uint64_t region_id,
 void SegmentGraphBuilder::mutex_acquired(uint64_t task_id, uint64_t mutex,
                                          bool task_level) {
   if (!task_level) return;  // lexical critical sections are unsupported
-  task(task_id).mutexes.push_back(mutex);
+  // Kept sorted and unique so the analysis can intersect mutex sets with a
+  // linear merge instead of a quadratic scan.
+  auto& mutexes = task(task_id).mutexes;
+  const auto it = std::lower_bound(mutexes.begin(), mutexes.end(), mutex);
+  if (it == mutexes.end() || *it != mutex) mutexes.insert(it, mutex);
 }
 
 void SegmentGraphBuilder::task_fulfill(uint64_t task_id, int fulfiller_tid) {

@@ -118,7 +118,8 @@ class SegmentGraphBuilder {
     std::vector<size_t> pending_joins;   // indices into joins_, LIFO
     std::vector<uint64_t> open_groups;   // taskgroup stack (group ids)
     uint64_t charged_group = kNoId;      // group this task belongs to
-    std::vector<uint64_t> mutexes;       // task-level (mutexinoutset)
+    std::vector<uint64_t> mutexes;       // task-level, sorted + unique
+    uint32_t chain = kNoChain;           // order-maintenance chain id
     uint32_t seg_count = 0;
     uint64_t create_epoch = 0;           // region barrier epoch at creation
     uint64_t open_dtv_gen = 0;           // dtv gen when cur_seg opened
@@ -201,6 +202,7 @@ class SegmentGraphBuilder {
   std::map<uint64_t, TGroup> groups_;
   uint64_t next_group_id_ = 0;
   uint64_t global_seq_ = 0;
+  uint32_t next_chain_id_ = 0;
 
   std::vector<std::pair<uint64_t, uint64_t>> deps_;  // (pred, succ)
   std::map<std::pair<vex::GuestAddr, bool>, SegId> feb_last_release_;

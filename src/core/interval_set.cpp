@@ -55,6 +55,11 @@ void IntervalSet::add(uint64_t lo, uint64_t hi, vex::SrcLoc loc) {
   account(static_cast<int64_t>(intervals_.size()) - before);
 }
 
+IntervalSet::Bounds IntervalSet::bounds() const {
+  if (intervals_.empty()) return {};
+  return {intervals_.begin()->first, intervals_.rbegin()->second.hi};
+}
+
 uint64_t IntervalSet::byte_count() const {
   uint64_t total = 0;
   for (const auto& [lo, node] : intervals_) total += node.hi - lo;

@@ -36,6 +36,16 @@ class IntervalSet {
   size_t interval_count() const { return intervals_.size(); }
   uint64_t byte_count() const;
 
+  /// Tight address bounding box over all intervals, half-open [lo, hi).
+  /// {0, 0} when empty. O(1): the intervals are disjoint and ordered, so
+  /// the extremes are the first lo and the last hi.
+  struct Bounds {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    bool empty() const { return lo == hi; }
+  };
+  Bounds bounds() const;
+
   bool contains(uint64_t addr) const;
 
   /// True when some byte is in both sets - the Algorithm 1 test.

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/analysis.hpp"
+
 namespace tg::core {
 
 namespace {
@@ -60,6 +62,21 @@ std::string report_dedup_key(const RaceReport& report) {
     out << "|blk" << report.alloc->addr;
   } else {
     out << "|addr" << report.lo;
+  }
+  return out.str();
+}
+
+std::string stats_summary(const AnalysisStats& stats) {
+  std::ostringstream out;
+  out << "pairs=" << stats.pairs_total
+      << " skipped-bbox=" << stats.pairs_skipped_bbox
+      << " ordered=" << stats.pairs_ordered
+      << " region-fast=" << stats.pairs_region_fast
+      << " mutex=" << stats.pairs_mutex
+      << " active-segments=" << stats.segments_active
+      << " index-bytes=" << stats.index_bytes;
+  if (stats.oracle_bytes > 0) {
+    out << " oracle-bytes=" << stats.oracle_bytes;
   }
   return out.str();
 }

@@ -49,4 +49,10 @@ struct RaceReport {
 /// the same block are one finding, the way real tools dedupe by stack.
 std::string report_dedup_key(const RaceReport& report);
 
+struct AnalysisStats;  // core/analysis.hpp
+
+/// One-line rendering of the Algorithm 1 counters (pair pruning, index
+/// memory) for the CLI and the benches.
+std::string stats_summary(const AnalysisStats& stats);
+
 }  // namespace tg::core

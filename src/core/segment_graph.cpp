@@ -19,6 +19,7 @@ Segment& SegmentGraph::new_segment(SegKind kind) {
   segment->kind = kind;
   segments_.push_back(std::move(segment));
   adjacency_.emplace_back();
+  stamps_.emplace_back();
   MemAccountant::instance().add(MemCategory::kSegments, 256);
   accounted_bytes_ += 256;
   return *segments_.back();
@@ -36,6 +37,13 @@ void SegmentGraph::add_edge(SegId from, SegId to) {
   accounted_bytes_ += 8;
 }
 
+void SegmentGraph::set_chain(SegId id, uint32_t chain, uint32_t pos) {
+  TG_ASSERT(!finalized_);
+  TG_ASSERT(id < stamps_.size());
+  stamps_[id].chain = chain;
+  stamps_[id].chain_pos = pos;
+}
+
 void SegmentGraph::set_region_window(uint64_t region_id, uint64_t fork_seq,
                                      uint64_t join_seq) {
   if (region_windows_.size() <= region_id) {
@@ -48,11 +56,11 @@ void SegmentGraph::finalize() {
   TG_ASSERT(!finalized_);
   finalized_ = true;
   const size_t n = segments_.size();
-  topo_order_.reserve(n);
-  topo_pos_.assign(n, 0);
 
   // Kahn's algorithm; the construction produces a DAG (edges always point
   // from earlier to later program events), asserted here.
+  std::vector<SegId> topo_order;
+  topo_order.reserve(n);
   std::vector<uint32_t> indegree(n, 0);
   for (const auto& out : adjacency_) {
     for (SegId to : out) indegree[to]++;
@@ -64,35 +72,174 @@ void SegmentGraph::finalize() {
   while (!frontier.empty()) {
     const SegId node = frontier.back();
     frontier.pop_back();
-    topo_pos_[node] = static_cast<uint32_t>(topo_order_.size());
-    topo_order_.push_back(node);
+    stamps_[node].topo = static_cast<uint32_t>(topo_order.size());
+    topo_order.push_back(node);
     for (SegId to : adjacency_[node]) {
       if (--indegree[to] == 0) frontier.push_back(to);
     }
   }
-  TG_ASSERT_MSG(topo_order_.size() == n, "segment graph has a cycle");
+  TG_ASSERT_MSG(topo_order.size() == n, "segment graph has a cycle");
 
-  // Ancestor bitsets in topological order: anc(v) = union of anc(u)+{u}
-  // over in-edges u->v. We iterate nodes in topo order and push bits
-  // forward along out-edges.
-  words_ = (n + 63) / 64;
-  ancestors_.assign(n * words_, 0);
-  const int64_t bytes = static_cast<int64_t>(n * words_ * 8);
-  MemAccountant::instance().add(MemCategory::kSegments, bytes);
-  accounted_bytes_ += bytes;
-
-  for (SegId u : topo_order_) {
-    const uint64_t* src = &ancestors_[u * words_];
+  // Dag depth: longest path from a root, pushed forward in topo order.
+  for (SegId u : topo_order) {
     for (SegId v : adjacency_[u]) {
-      uint64_t* dst = &ancestors_[v * words_];
-      for (size_t w = 0; w < words_; ++w) dst[w] |= src[w];
-      dst[u / 64] |= 1ull << (u % 64);
+      stamps_[v].depth = std::max(stamps_[v].depth, stamps_[u].depth + 1);
+    }
+  }
+
+  // Two DFS sweeps over the out-edges (natural and reversed child order).
+  // The first also records a spanning-tree pre-order: [tree_pre, post[0]]
+  // containment proves reachability. Post-order ranks decrease along every
+  // edge of a DAG, so low[k] (the minimum post rank in the reachable set)
+  // gives the GRAIL refutation: a ->* b requires [low,post](b) nested in
+  // [low,post](a) for BOTH sweeps.
+  std::vector<uint8_t> visited(n);
+  struct Frame {
+    SegId node;
+    uint32_t next;
+  };
+  std::vector<Frame> stack;
+  for (int k = 0; k < 2; ++k) {
+    std::fill(visited.begin(), visited.end(), 0);
+    uint32_t pre_counter = 0;
+    uint32_t post_counter = 0;
+    const bool reversed = k == 1;
+    auto run_from = [&](SegId root) {
+      if (visited[root]) return;
+      visited[root] = 1;
+      if (k == 0) stamps_[root].tree_pre = pre_counter++;
+      stack.push_back({root, 0});
+      while (!stack.empty()) {
+        Frame& frame = stack.back();
+        const auto& out = adjacency_[frame.node];
+        if (frame.next < out.size()) {
+          const SegId child =
+              reversed ? out[out.size() - 1 - frame.next] : out[frame.next];
+          frame.next++;
+          if (!visited[child]) {
+            visited[child] = 1;
+            if (k == 0) stamps_[child].tree_pre = pre_counter++;
+            stack.push_back({child, 0});
+          }
+        } else {
+          stamps_[frame.node].post[k] = post_counter++;
+          stack.pop_back();
+        }
+      }
+    };
+    // Start from every node (in opposite id order per sweep, for label
+    // diversity); visited nodes are skipped, so each sweep is O(n + m).
+    // Starting mid-graph is harmless: post ranks still decrease along
+    // every edge because finished nodes keep their rank.
+    for (size_t i = 0; i < n; ++i) {
+      run_from(static_cast<SegId>(reversed ? n - 1 - i : i));
+    }
+    // low[k] via reverse-topological min-propagation.
+    for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+      const SegId u = *it;
+      uint32_t low = stamps_[u].post[k];
+      for (SegId v : adjacency_[u]) {
+        low = std::min(low, stamps_[v].low[k]);
+      }
+      stamps_[u].low[k] = low;
+    }
+  }
+
+  const int64_t index_cost = static_cast<int64_t>(n * sizeof(OrderStamp));
+  MemAccountant::instance().add(MemCategory::kSegments, index_cost);
+  accounted_bytes_ += index_cost;
+
+  if (bitset_oracle_enabled_) {
+    // Ancestor bitsets in topological order: anc(v) = union of anc(u)+{u}
+    // over in-edges u->v, pushed forward along out-edges.
+    words_ = (n + 63) / 64;
+    ancestors_.assign(n * words_, 0);
+    const int64_t bytes = static_cast<int64_t>(n * words_ * 8);
+    MemAccountant::instance().add(MemCategory::kSegments, bytes);
+    accounted_bytes_ += bytes;
+    for (SegId u : topo_order) {
+      const uint64_t* src = &ancestors_[u * words_];
+      for (SegId v : adjacency_[u]) {
+        uint64_t* dst = &ancestors_[v * words_];
+        for (size_t w = 0; w < words_; ++w) dst[w] |= src[w];
+        dst[u / 64] |= 1ull << (u % 64);
+      }
     }
   }
 }
 
+namespace {
+
+/// Does the timestamp evidence REFUTE a ->* b? (false = still possible)
+inline bool stamps_refute(const OrderStamp& a, const OrderStamp& b) {
+  if (a.topo >= b.topo) return true;
+  if (a.depth >= b.depth) return true;
+  if (a.low[0] > b.low[0] || b.post[0] > a.post[0]) return true;
+  if (a.low[1] > b.low[1] || b.post[1] > a.post[1]) return true;
+  return false;
+}
+
+/// Does the timestamp evidence PROVE a ->* b? (false = don't know yet)
+inline bool stamps_prove(const OrderStamp& a, const OrderStamp& b) {
+  if (a.chain == b.chain && a.chain != kNoChain) {
+    // Chains are serial paths; position comparison is exact. stamps_refute
+    // already rejected the pos >= case via topological positions.
+    return a.chain_pos < b.chain_pos;
+  }
+  // b inside a's DFS spanning subtree.
+  return a.tree_pre <= b.tree_pre && b.post[0] <= a.post[0];
+}
+
+}  // namespace
+
 bool SegmentGraph::reachable(SegId a, SegId b) const {
   TG_ASSERT(finalized_);
+  if (a == b) return false;
+  const OrderStamp& sa = stamps_[a];
+  const OrderStamp& sb = stamps_[b];
+  if (stamps_refute(sa, sb)) return false;
+  if (stamps_prove(sa, sb)) return true;
+  return search(a, b);
+}
+
+bool SegmentGraph::search(SegId from, SegId to) const {
+  // Label-pruned DFS for the rare undecided queries. The visited stamps are
+  // thread_local so the parallel analysis pass can query concurrently.
+  thread_local std::vector<uint32_t> visit_mark;
+  thread_local uint32_t visit_epoch = 0;
+  thread_local std::vector<SegId> stack;
+  if (visit_mark.size() < segments_.size()) {
+    visit_mark.assign(segments_.size(), 0);
+    visit_epoch = 0;
+  }
+  if (++visit_epoch == 0) {
+    std::fill(visit_mark.begin(), visit_mark.end(), 0);
+    visit_epoch = 1;
+  }
+  const OrderStamp& sb = stamps_[to];
+  stack.clear();
+  stack.push_back(from);
+  visit_mark[from] = visit_epoch;
+  while (!stack.empty()) {
+    const SegId u = stack.back();
+    stack.pop_back();
+    for (SegId v : adjacency_[u]) {
+      if (v == to) return true;
+      if (visit_mark[v] == visit_epoch) continue;
+      visit_mark[v] = visit_epoch;
+      const OrderStamp& sv = stamps_[v];
+      if (stamps_refute(sv, sb)) continue;
+      if (stamps_prove(sv, sb)) return true;
+      stack.push_back(v);
+    }
+  }
+  return false;
+}
+
+bool SegmentGraph::reachable_oracle(SegId a, SegId b) const {
+  TG_ASSERT(finalized_);
+  TG_ASSERT_MSG(bitset_oracle_enabled_,
+                "bitset oracle queried without enable_bitset_oracle()");
   if (a == b) return false;
   return (ancestors_[b * words_ + a / 64] >> (a % 64)) & 1;
 }

@@ -2,9 +2,21 @@
 //
 // Nodes are segments: maximal instruction sequences of one task between two
 // synchronization boundaries, plus synthetic synchronization nodes (barrier
-// epochs, region fork/join). An edge means happens-before. Reachability is
-// answered from ancestor bitsets over a topological order, with the Eq. 1
-// parallel-region fast path checked first.
+// epochs, region fork/join). An edge means happens-before.
+//
+// Reachability is answered by a constant-space order-maintenance index in
+// the spirit of DePa (Westrick et al., "Simple, Provably Efficient, and
+// Practical Order Maintenance for Task Parallelism"): every segment carries
+// a fixed-size timestamp - dag depth, a fork-path chain label assigned by
+// the builder at segment creation, a spanning-tree interval and two
+// GRAIL-style reachability intervals - and almost every ordered() query is
+// decided by O(1) timestamp comparisons. Unlike DePa's series-parallel
+// setting, our graphs also contain task-dependence, FEB and barrier edges,
+// so the index is paired with a rare, label-pruned DFS fallback that keeps
+// answers exact on arbitrary DAGs. The index is O(n) bytes where the old
+// ancestor-bitset matrix was O(n^2/8); the bitsets survive behind
+// enable_bitset_oracle() as a verification oracle for differential tests.
+// The Eq. 1 parallel-region fast path is checked before any of this.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +31,7 @@ namespace tg::core {
 
 using SegId = uint32_t;
 inline constexpr SegId kNoSeg = UINT32_MAX;
+inline constexpr uint32_t kNoChain = UINT32_MAX;
 
 enum class SegKind : uint8_t {
   kTask,     // code of a task between sync boundaries
@@ -46,9 +59,25 @@ struct Segment {
   vex::GuestAddr tcb = 0;
   vex::Dtv dtv_at_end;
   bool dtv_changed_during = false;   // dtv gen moved while segment ran
-  std::vector<uint64_t> mutexes;     // task mutexes (mutexinoutset)
+  std::vector<uint64_t> mutexes;     // task mutexes (mutexinoutset), sorted
 
   bool has_accesses() const { return !reads.empty() || !writes.empty(); }
+};
+
+/// Constant-size per-segment timestamp (the order-maintenance index entry).
+/// `chain`/`chain_pos` are assigned by the builder when the segment is
+/// created (the DePa-style fork-path label: a task's serial timeline is one
+/// chain, positions are program order); the rest is filled by finalize().
+struct OrderStamp {
+  uint32_t topo = 0;            // topological position
+  uint32_t depth = 0;           // dag depth (longest path from a root)
+  uint32_t chain = kNoChain;    // fork-path chain id (task timeline)
+  uint32_t chain_pos = 0;       // position within the chain
+  uint32_t tree_pre = 0;        // DFS pre-order rank; [tree_pre, post[0]]
+                                //   containment is a proof of reachability
+  uint32_t post[2] = {0, 0};    // DFS post-order ranks (two child orders)
+  uint32_t low[2] = {0, 0};     // min post rank over the reachable set;
+                                //   non-containment disproves reachability
 };
 
 class SegmentGraph {
@@ -67,33 +96,61 @@ class SegmentGraph {
   /// duplicates are tolerated.
   void add_edge(SegId from, SegId to);
 
+  /// Declares the segment's position on a serial chain (the builder calls
+  /// this at segment creation with the task's timeline). Consecutive
+  /// positions of one chain MUST be connected by edges; same-chain queries
+  /// are then answered by position comparison alone.
+  void set_chain(SegId id, uint32_t chain, uint32_t pos);
+
   /// Region interval on the encountering task's timeline, for the Eq. 1
   /// fast path: regions whose [fork_seq, join_seq] windows are disjoint are
   /// totally ordered, hence all their segments are.
   void set_region_window(uint64_t region_id, uint64_t fork_seq,
                          uint64_t join_seq);
 
-  /// Freezes the graph: topological order + ancestor bitsets. Must be
-  /// called once, before reachable(); add_edge afterwards is an error.
+  /// When enabled before finalize(), the O(n^2/8)-byte ancestor bitsets are
+  /// built alongside the O(n) timestamp index, for use as a verification
+  /// oracle (reachable_oracle / ordered_oracle). Off by default.
+  void enable_bitset_oracle(bool on) { bitset_oracle_enabled_ = on; }
+  bool has_bitset_oracle() const { return bitset_oracle_enabled_; }
+
+  /// Freezes the graph: topological order + timestamp index (+ optional
+  /// bitset oracle). Must be called once, before reachable(); add_edge
+  /// afterwards is an error. O(n + m).
   void finalize();
   bool finalized() const { return finalized_; }
 
   /// Is there a path a ->* b (strictly, a != b)?
   bool reachable(SegId a, SegId b) const;
 
-  /// Unordered = no path either way.
+  /// Unordered = no path either way. The topological positions orient the
+  /// only possible direction, so this is a single reachable() call.
   bool ordered(SegId a, SegId b) const {
-    return reachable(a, b) || reachable(b, a);
+    if (a == b) return false;
+    return stamps_[a].topo < stamps_[b].topo ? reachable(a, b)
+                                             : reachable(b, a);
+  }
+
+  /// Bitset-oracle twins (require enable_bitset_oracle(true) pre-finalize).
+  bool reachable_oracle(SegId a, SegId b) const;
+  bool ordered_oracle(SegId a, SegId b) const {
+    return reachable_oracle(a, b) || reachable_oracle(b, a);
   }
 
   /// Eq. 1: true when the two segments are in different, sequentially
-  /// ordered parallel regions (answer known without touching bitsets).
+  /// ordered parallel regions (answer known without touching the index).
   bool region_ordered(const Segment& a, const Segment& b) const;
 
   size_t edge_count() const { return edge_count_; }
   const std::vector<SegId>& successors(SegId id) const {
     return adjacency_[id];
   }
+  const OrderStamp& stamp(SegId id) const { return stamps_[id]; }
+
+  /// Bytes held by the timestamp index (valid after finalize()).
+  size_t index_bytes() const { return stamps_.size() * sizeof(OrderStamp); }
+  /// Bytes held by the bitset oracle (0 unless enabled).
+  size_t oracle_bytes() const { return ancestors_.size() * 8; }
 
   /// Dot rendering for debugging / docs.
   std::string to_dot() const;
@@ -104,14 +161,17 @@ class SegmentGraph {
     uint64_t join_seq = UINT64_MAX;
   };
 
+  /// Label-pruned DFS for the rare queries the timestamps cannot settle.
+  bool search(SegId from, SegId to) const;
+
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::vector<SegId>> adjacency_;
+  std::vector<OrderStamp> stamps_;
   size_t edge_count_ = 0;
   bool finalized_ = false;
+  bool bitset_oracle_enabled_ = false;
 
-  // Reachability structures (valid after finalize()).
-  std::vector<SegId> topo_order_;
-  std::vector<uint32_t> topo_pos_;
+  // Verification oracle (built only when enabled).
   std::vector<uint64_t> ancestors_;  // n x words bit matrix
   size_t words_ = 0;
 

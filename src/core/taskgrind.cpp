@@ -307,6 +307,9 @@ void TaskgrindTool::on_feb_acquire(rt::Task& task, GuestAddr addr,
 AnalysisResult TaskgrindTool::run_analysis() {
   TG_ASSERT_MSG(vm_ != nullptr, "TaskgrindTool::attach was not called");
   if (!finalized_) {
+    if (options_.use_bitset_oracle) {
+      builder_.graph().enable_bitset_oracle(true);
+    }
     builder_.finalize();
     finalized_ = true;
   }
@@ -314,6 +317,8 @@ AnalysisResult TaskgrindTool::run_analysis() {
   options.suppress_stack = options_.suppress_stack;
   options.suppress_tls = options_.suppress_tls;
   options.respect_mutexes = options_.respect_mutexes;
+  options.use_bbox_pruning = options_.use_bbox_pruning;
+  options.use_bitset_oracle = options_.use_bitset_oracle;
   options.threads = options_.analysis_threads;
   options.max_reports = options_.max_reports;
   return analyze_races(builder_.graph(), vm_->program(), &allocs_, options);

@@ -52,6 +52,12 @@ struct TaskgrindOptions {
   bool undeferred_parallel = false;
   int analysis_threads = 1;  // >1 = the paper's future-work parallel pass
   size_t max_reports = 200'000;
+  /// Skip pair generation for segments with disjoint address bounding
+  /// boxes (sound; findings are unchanged).
+  bool use_bbox_pruning = true;
+  /// Build the O(n^2/8) ancestor bitsets at finalize and answer ordering
+  /// from them instead of the O(n) timestamp index. Verification only.
+  bool use_bitset_oracle = false;
 };
 
 class TaskgrindTool : public vex::Tool, public rt::RtEvents {

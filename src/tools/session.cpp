@@ -109,6 +109,8 @@ SessionResult run_session(const rt::GuestProgram& program,
       tg_options.suppress_tls = options.taskgrind_suppress_tls;
       tg_options.stack_incarnations = options.taskgrind_stack_incarnations;
       tg_options.replace_allocator = options.taskgrind_replace_allocator;
+      tg_options.use_bbox_pruning = options.taskgrind_bbox_pruning;
+      tg_options.use_bitset_oracle = options.taskgrind_bitset_oracle;
       if (!options.taskgrind_ignore_runtime) tg_options.ignore_list.clear();
       core::TaskgrindTool tool(tg_options);
       rt::Execution exec(guest, rt_options, &tool, {&tool});
@@ -118,6 +120,7 @@ SessionResult run_session(const rt::GuestProgram& program,
           result.status == SessionResult::Status::kBudget) {
         const core::AnalysisResult analysis = tool.run_analysis();
         result.analysis_seconds = analysis.stats.seconds;
+        result.analysis_stats = analysis.stats;
         result.raw_report_count = analysis.stats.raw_conflicts -
                                   analysis.stats.suppressed_stack -
                                   analysis.stats.suppressed_tls;
@@ -151,6 +154,7 @@ SessionResult run_session(const rt::GuestProgram& program,
       if (result.status == SessionResult::Status::kOk) {
         const core::AnalysisResult analysis = tool.run_analysis();
         result.analysis_seconds = analysis.stats.seconds;
+        result.analysis_stats = analysis.stats;
         result.raw_report_count = analysis.stats.raw_conflicts;
         std::vector<std::string> texts;
         for (const auto& report : analysis.reports) {

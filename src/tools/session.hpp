@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis.hpp"
 #include "runtime/guest_program.hpp"
 #include "runtime/runtime.hpp"
 
@@ -34,6 +35,8 @@ struct SessionOptions {
   bool taskgrind_stack_incarnations = true;
   bool taskgrind_replace_allocator = true;
   bool taskgrind_ignore_runtime = true;  // the default __mnp ignore-list
+  bool taskgrind_bbox_pruning = true;    // address-bounding-box pair pruning
+  bool taskgrind_bitset_oracle = false;  // verification-only bitset ordering
   int64_t romp_max_history_bytes = 1ll << 29;
 };
 
@@ -56,6 +59,8 @@ struct SessionResult {
 
   double exec_seconds = 0;      // recording phase (like the paper's timing)
   double analysis_seconds = 0;  // post-mortem pass (excluded in the paper)
+  core::AnalysisStats analysis_stats;  // Algorithm 1 counters (taskgrind /
+                                       // tasksanitizer sessions only)
   int64_t peak_bytes = 0;       // accounted peak memory
   uint64_t retired = 0;         // guest instructions
   uint64_t tasks_created = 0;

@@ -1,0 +1,176 @@
+// Random task-program generator with a host-side happens-before oracle.
+// Shared by the randomized end-to-end property tests
+// (test_random_programs.cpp) and the ordering differential suite
+// (test_ordering_differential.cpp).
+//
+// The generator emits N sibling tasks inside parallel{single{...}}; each
+// task carries random dependences over a small variable pool and performs
+// random reads/writes over a small cell pool; taskwaits are sprinkled
+// between creations. The oracle computes the logical HB closure from the
+// same dependence rules (via rt::DepResolver) plus the taskwait joins, and
+// declares a race iff some unordered pair conflicts on a cell.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "programs/common.hpp"
+#include "runtime/deps.hpp"
+#include "support/rng.hpp"
+
+namespace tg::progs {
+
+inline constexpr int kRandomCells = 8;
+inline constexpr int kRandomDepVars = 4;
+
+struct RandomAccess {
+  int cell;
+  bool is_write;
+};
+
+struct RandomTaskSpec {
+  std::vector<rt::Dep> deps;  // addr field holds the dep-var INDEX here
+  std::vector<RandomAccess> accesses;
+  bool taskwait_after = false;
+};
+
+struct RandomProgram {
+  std::vector<RandomTaskSpec> specs;
+
+  static RandomProgram generate(uint64_t seed) {
+    Rng rng(seed);
+    RandomProgram p;
+    const int ntasks = 4 + static_cast<int>(rng.below(10));
+    for (int t = 0; t < ntasks; ++t) {
+      RandomTaskSpec spec;
+      const int ndeps = static_cast<int>(rng.below(3));
+      for (int d = 0; d < ndeps; ++d) {
+        const rt::DepKind kind =
+            std::array{rt::DepKind::kIn, rt::DepKind::kOut,
+                       rt::DepKind::kInOut}[rng.below(3)];
+        spec.deps.push_back(rt::Dep{kind, rng.below(kRandomDepVars)});
+      }
+      const int naccesses = 1 + static_cast<int>(rng.below(2));
+      for (int a = 0; a < naccesses; ++a) {
+        spec.accesses.push_back(RandomAccess{
+            static_cast<int>(rng.below(kRandomCells)), rng.chance(0.5)});
+      }
+      spec.taskwait_after = rng.chance(0.2);
+      p.specs.push_back(std::move(spec));
+    }
+    return p;
+  }
+
+  /// Host-side oracle: which cells race, per the logical task graph.
+  std::set<int> racy_cells() const {
+    const size_t n = specs.size();
+    // Logical edges i -> j.
+    std::vector<std::vector<size_t>> adj(n);
+
+    // Dependence edges via the production resolver (same spec rules).
+    rt::DepResolver resolver;
+    rt::Task parent;
+    parent.id = 10'000;
+    std::vector<std::unique_ptr<rt::Task>> tasks;
+    for (size_t i = 0; i < n; ++i) {
+      auto task = std::make_unique<rt::Task>();
+      task->id = i;
+      task->parent = &parent;
+      task->deps = specs[i].deps;
+      std::vector<rt::DepEdge> edges;
+      resolver.resolve(*task, edges);
+      for (const rt::DepEdge& edge : edges) {
+        adj[edge.pred->id].push_back(i);
+      }
+      tasks.push_back(std::move(task));
+    }
+    // taskwait joins: everything created before the wait happens-before
+    // everything created after it.
+    for (size_t i = 0; i < n; ++i) {
+      if (!specs[i].taskwait_after) continue;
+      for (size_t a = 0; a <= i; ++a) {
+        for (size_t b = i + 1; b < n; ++b) adj[a].push_back(b);
+      }
+    }
+    // Transitive closure (n is tiny).
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<size_t> stack{i};
+      while (!stack.empty()) {
+        const size_t cur = stack.back();
+        stack.pop_back();
+        for (size_t next : adj[cur]) {
+          if (!reach[i][next]) {
+            reach[i][next] = true;
+            stack.push_back(next);
+          }
+        }
+      }
+    }
+
+    std::set<int> racy;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (reach[i][j] || reach[j][i]) continue;
+        for (const RandomAccess& a : specs[i].accesses) {
+          for (const RandomAccess& b : specs[j].accesses) {
+            if (a.cell == b.cell && (a.is_write || b.is_write)) {
+              racy.insert(a.cell);
+            }
+          }
+        }
+      }
+    }
+    return racy;
+  }
+
+  /// Builds the guest program (cells live in a global array).
+  rt::GuestProgram to_guest(uint64_t seed) const {
+    std::vector<RandomTaskSpec> specs_copy = specs;
+    return make_program(
+        "random-" + std::to_string(seed), "random",
+        /*has_race=*/!racy_cells().empty(), {"parallel", "single", "task"},
+        "randomly generated dependence/taskwait program",
+        [specs_copy](Ctx& c) {
+          const GuestAddr cells = c.pb.global("cells", 8 * kRandomCells);
+          const GuestAddr dep_vars = c.pb.global("deps", 8 * kRandomDepVars);
+          c.omp.annotate_tasks_deferrable(c.f());
+          c.in_single([&](FnBuilder& pf) {
+            uint32_t line = 100;
+            for (const RandomTaskSpec& spec : specs_copy) {
+              pf.line(line);
+              TaskOpts opts;
+              for (const rt::Dep& dep : spec.deps) {
+                opts.deps.push_back(rt::DepSpec{
+                    dep.kind,
+                    pf.c(static_cast<int64_t>(dep_vars + dep.addr * 8))});
+              }
+              const std::vector<RandomAccess> accesses = spec.accesses;
+              const uint32_t task_line = line;
+              c.omp.task(pf, opts, {},
+                         [&, accesses, task_line](FnBuilder& tf, TaskArgs&) {
+                           tf.line(task_line + 1);
+                           for (const RandomAccess& access : accesses) {
+                             V addr = tf.c(static_cast<int64_t>(
+                                 cells +
+                                 static_cast<uint64_t>(access.cell) * 8));
+                             if (access.is_write) {
+                               tf.st(addr, tf.c(1));
+                             } else {
+                               tf.ld(addr);
+                             }
+                           }
+                         });
+              if (spec.taskwait_after) c.omp.taskwait(pf);
+              line += 10;
+            }
+            c.omp.taskwait(pf);
+          });
+        });
+  }
+};
+
+}  // namespace tg::progs

@@ -175,6 +175,170 @@ TEST(Analysis, TlsSuppressionSameThreadSameDtv) {
   EXPECT_FALSE(f2.analyze().reports.empty());
 }
 
+TEST(Analysis, TlsSuppressionDefeatedByDtvChangeDuringSegment) {
+  // A DTV (re)allocated while a segment ran means the end-of-segment
+  // snapshot does not describe where earlier accesses landed: the pair
+  // must be reported even though both snapshots compare equal.
+  vex::Dtv dtv;
+  dtv.gen = 1;
+  dtv.blocks = {0x5000};
+  for (bool changed_in_first : {true, false}) {
+    GraphFixture f;
+    Segment& a = f.seg(0);
+    Segment& b = f.seg(0);
+    a.dtv_at_end = dtv;
+    b.dtv_at_end = dtv;
+    a.tcb = 0x77;
+    b.tcb = 0x77;
+    (changed_in_first ? a : b).dtv_changed_during = true;
+    a.writes.add(0x5000, 0x5008, loc(10));
+    b.writes.add(0x5000, 0x5008, loc(20));
+    auto result = f.analyze();
+    EXPECT_FALSE(result.reports.empty()) << changed_in_first;
+    EXPECT_EQ(result.stats.suppressed_tls, 0u) << changed_in_first;
+  }
+}
+
+TEST(Analysis, TlsSuppressionDefeatedByDivergentDtvGenerations) {
+  // Same blocks but the generation counter moved between the snapshots:
+  // the DTVs compare unequal, so no suppression.
+  GraphFixture f;
+  Segment& a = f.seg(0);
+  Segment& b = f.seg(0);
+  a.dtv_at_end.gen = 1;
+  a.dtv_at_end.blocks = {0x5000};
+  b.dtv_at_end.gen = 2;
+  b.dtv_at_end.blocks = {0x5000};
+  a.tcb = 0x77;
+  b.tcb = 0x77;
+  a.writes.add(0x5000, 0x5008, loc(10));
+  b.writes.add(0x5000, 0x5008, loc(20));
+  auto result = f.analyze();
+  EXPECT_FALSE(result.reports.empty());
+  EXPECT_EQ(result.stats.suppressed_tls, 0u);
+}
+
+TEST(Analysis, TlsZeroSizeModuleFallsBackToEightBytes) {
+  // test_program() declares no TLS module sizes, so in_dtv_blocks falls
+  // back to size 8 for the recorded block: exactly [block, block+8) is
+  // suppressed, one byte past is not.
+  vex::Dtv dtv;
+  dtv.gen = 1;
+  dtv.blocks = {0x5000};
+  GraphFixture inside;
+  Segment& ia = inside.seg(0);
+  Segment& ib = inside.seg(0);
+  ia.dtv_at_end = dtv;
+  ib.dtv_at_end = dtv;
+  ia.tcb = 0x77;
+  ib.tcb = 0x77;
+  ia.writes.add(0x5000, 0x5008, loc(10));
+  ib.writes.add(0x5000, 0x5008, loc(20));
+  auto suppressed = inside.analyze();
+  EXPECT_TRUE(suppressed.reports.empty());
+  EXPECT_GE(suppressed.stats.suppressed_tls, 1u);
+
+  GraphFixture outside;
+  Segment& a = outside.seg(0);
+  Segment& b = outside.seg(0);
+  a.dtv_at_end = dtv;
+  b.dtv_at_end = dtv;
+  a.tcb = 0x77;
+  b.tcb = 0x77;
+  // Overlap [0x5004, 0x500c) crosses the fallback block end 0x5008.
+  a.writes.add(0x5004, 0x500c, loc(10));
+  b.writes.add(0x5004, 0x500c, loc(20));
+  auto reported = outside.analyze();
+  EXPECT_FALSE(reported.reports.empty());
+  EXPECT_EQ(reported.stats.suppressed_tls, 0u);
+}
+
+TEST(Analysis, MutexPairStillRacesAgainstUnprotectedSegment) {
+  // a and b serialize through a shared mutex, but c touches the same
+  // address with no mutex at all: (a, c) and (b, c) must still report.
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  Segment& c = f.seg();
+  a.writes.add(0x100, 0x108, loc(10));
+  b.writes.add(0x100, 0x108, loc(20));
+  c.writes.add(0x100, 0x108, loc(30));
+  a.mutexes = {0xAA};
+  b.mutexes = {0xAA};
+  auto result = f.analyze();
+  EXPECT_EQ(result.stats.pairs_mutex, 1u);  // only (a, b)
+  EXPECT_EQ(result.reports.size(), 2u);     // (a, c) and (b, c)
+}
+
+TEST(Analysis, SortedSetsIntersect) {
+  using V = std::vector<uint64_t>;
+  EXPECT_FALSE(sorted_sets_intersect(V{}, V{}));
+  EXPECT_FALSE(sorted_sets_intersect(V{1, 2, 3}, V{}));
+  EXPECT_FALSE(sorted_sets_intersect(V{}, V{1, 2, 3}));
+  EXPECT_FALSE(sorted_sets_intersect(V{1, 3, 5}, V{2, 4, 6}));
+  EXPECT_FALSE(sorted_sets_intersect(V{1, 2}, V{3, 4}));
+  EXPECT_TRUE(sorted_sets_intersect(V{1, 3, 5}, V{5}));
+  EXPECT_TRUE(sorted_sets_intersect(V{7}, V{1, 7, 9}));
+  EXPECT_TRUE(sorted_sets_intersect(V{1, 4, 9}, V{2, 4, 8}));
+  EXPECT_TRUE(sorted_sets_intersect(V{2}, V{2}));
+}
+
+TEST(Analysis, BboxPruningSkipsDisjointFootprints) {
+  GraphFixture f;
+  Segment& a = f.seg();
+  Segment& b = f.seg();
+  a.writes.add(0x100, 0x108, loc(10));
+  b.writes.add(0x900, 0x908, loc(20));  // far away: bboxes disjoint
+  auto result = f.analyze();
+  EXPECT_TRUE(result.reports.empty());
+  EXPECT_GE(result.stats.pairs_skipped_bbox, 1u);
+  EXPECT_EQ(result.stats.pairs_total, 0u);
+
+  // Pruning off: the pair is examined (and still yields nothing).
+  GraphFixture f2;
+  Segment& a2 = f2.seg();
+  Segment& b2 = f2.seg();
+  a2.writes.add(0x100, 0x108, loc(10));
+  b2.writes.add(0x900, 0x908, loc(20));
+  AnalysisOptions options;
+  options.use_bbox_pruning = false;
+  auto unpruned = f2.analyze(options);
+  EXPECT_TRUE(unpruned.reports.empty());
+  EXPECT_EQ(unpruned.stats.pairs_skipped_bbox, 0u);
+  EXPECT_EQ(unpruned.stats.pairs_total, 1u);
+}
+
+TEST(Analysis, BboxPruningPreservesFindings) {
+  auto build = [](SegmentGraph& graph) {
+    for (int i = 0; i < 30; ++i) {
+      Segment& s = graph.new_segment();
+      s.task_id = static_cast<uint64_t>(i);
+      s.tid = i % 3;
+      // Clustered footprints: some pairs disjoint, some overlapping.
+      const uint64_t base = 0x1000 + static_cast<uint64_t>(i % 5) * 0x1000;
+      s.writes.add(base, base + 8, loc(static_cast<uint32_t>(100 + i)));
+      if (i >= 4) {
+        graph.add_edge(static_cast<SegId>(i - 4), static_cast<SegId>(i));
+      }
+    }
+    graph.finalize();
+  };
+  SegmentGraph g1, g2;
+  build(g1);
+  build(g2);
+  AnalysisOptions with;
+  with.use_bbox_pruning = true;
+  AnalysisOptions without;
+  without.use_bbox_pruning = false;
+  auto r1 = analyze_races(g1, test_program(), nullptr, with);
+  auto r2 = analyze_races(g2, test_program(), nullptr, without);
+  EXPECT_GT(r1.stats.pairs_skipped_bbox, 0u);
+  ASSERT_EQ(r1.reports.size(), r2.reports.size());
+  for (size_t i = 0; i < r1.reports.size(); ++i) {
+    EXPECT_EQ(r1.reports[i].to_string(), r2.reports[i].to_string());
+  }
+}
+
 TEST(Analysis, RegionFastPathCounts) {
   GraphFixture f;
   Segment& a = f.seg();
@@ -214,6 +378,39 @@ TEST(Analysis, MaxReportsCap) {
   options.max_reports = 5;
   auto result = f.analyze(options);
   EXPECT_LE(result.reports.size(), 5u);
+}
+
+TEST(Analysis, MaxReportsCapIndependentOfThreadCount) {
+  // The cap is applied once, after the merged sort/dedup: a small cap must
+  // yield the exact same (full-length) report list at every thread count,
+  // not `threads * cap` survivors or a thread-dependent subset.
+  auto build = [](SegmentGraph& graph) {
+    for (int i = 0; i < 24; ++i) {
+      Segment& s = graph.new_segment();
+      s.task_id = static_cast<uint64_t>(i);
+      s.writes.add(0x100, 0x108, loc(static_cast<uint32_t>(100 + i)));
+    }
+    graph.finalize();
+  };
+  std::vector<std::string> expected;
+  for (int threads : {1, 2, 4, 8}) {
+    SegmentGraph graph;
+    build(graph);
+    AnalysisOptions options;
+    options.threads = threads;
+    options.max_reports = 7;
+    auto result = analyze_races(graph, test_program(), nullptr, options);
+    ASSERT_EQ(result.reports.size(), 7u) << "threads=" << threads;
+    std::vector<std::string> texts;
+    for (const auto& report : result.reports) {
+      texts.push_back(report.to_string());
+    }
+    if (threads == 1) {
+      expected = std::move(texts);
+    } else {
+      EXPECT_EQ(texts, expected) << "threads=" << threads;
+    }
+  }
 }
 
 TEST(Analysis, ParallelMatchesSequentialOnRandomGraph) {

@@ -118,5 +118,75 @@ TEST_P(GraphProperty, ReachabilityMatchesDfs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
 
+TEST_P(GraphProperty, TimestampIndexAgreesWithBitsetOracle) {
+  Rng rng(GetParam() * 7919);
+  const size_t n = 40 + rng.below(80);
+  SegmentGraph graph;
+  for (size_t i = 0; i < n; ++i) graph.new_segment();
+  for (size_t e = 0; e < n * 3; ++e) {
+    SegId a = static_cast<SegId>(rng.below(n));
+    SegId b = static_cast<SegId>(rng.below(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    graph.add_edge(a, b);
+  }
+  graph.enable_bitset_oracle(true);
+  graph.finalize();
+  EXPECT_GT(graph.oracle_bytes(), 0u);
+  for (SegId a = 0; a < n; ++a) {
+    for (SegId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      ASSERT_EQ(graph.reachable(a, b), graph.reachable_oracle(a, b))
+          << a << " -> " << b;
+      ASSERT_EQ(graph.ordered(a, b), graph.ordered_oracle(a, b))
+          << a << " <> " << b;
+    }
+  }
+}
+
+TEST(SegmentGraph, IndexIsLinearInSegmentCount) {
+  // The whole point of the timestamp index: O(n) bytes where the bitsets
+  // were O(n^2/8). Verify exact linearity and the quadratic oracle.
+  for (size_t n : {64u, 256u, 1024u}) {
+    SegmentGraph graph;
+    for (size_t i = 0; i < n; ++i) graph.new_segment();
+    for (SegId i = 0; i + 1 < n; ++i) graph.add_edge(i, i + 1);
+    graph.finalize();
+    EXPECT_EQ(graph.index_bytes(), n * sizeof(OrderStamp));
+    EXPECT_EQ(graph.oracle_bytes(), 0u);  // not enabled
+  }
+  SegmentGraph with_oracle;
+  const size_t n = 256;
+  for (size_t i = 0; i < n; ++i) with_oracle.new_segment();
+  with_oracle.enable_bitset_oracle(true);
+  with_oracle.finalize();
+  EXPECT_EQ(with_oracle.oracle_bytes(), n * ((n + 63) / 64) * 8);
+}
+
+TEST(SegmentGraph, ChainLabelsAnswerSameChainQueries) {
+  // Builder contract: consecutive chain positions are edge-connected, and
+  // same-chain queries resolve by position comparison.
+  SegmentGraph graph;
+  for (int i = 0; i < 6; ++i) graph.new_segment();
+  // Chain 0: segments 0 -> 2 -> 4; chain 1: segments 1 -> 3.
+  graph.add_edge(0, 2);
+  graph.add_edge(2, 4);
+  graph.add_edge(1, 3);
+  graph.set_chain(0, 0, 0);
+  graph.set_chain(2, 0, 1);
+  graph.set_chain(4, 0, 2);
+  graph.set_chain(1, 1, 0);
+  graph.set_chain(3, 1, 1);
+  graph.finalize();
+  EXPECT_EQ(graph.stamp(0).chain, 0u);
+  EXPECT_EQ(graph.stamp(4).chain_pos, 2u);
+  EXPECT_TRUE(graph.reachable(0, 4));
+  EXPECT_TRUE(graph.reachable(1, 3));
+  EXPECT_FALSE(graph.reachable(4, 0));
+  EXPECT_FALSE(graph.ordered(0, 1));  // different chains, no edges
+  EXPECT_FALSE(graph.ordered(2, 3));
+  EXPECT_TRUE(graph.ordered(2, 0));
+}
+
 }  // namespace
 }  // namespace tg::core
