@@ -32,16 +32,16 @@ struct Variant {
 const Variant kVariants[] = {
     {"full", [](SessionOptions&) {}},
     {"no-ignore-list",
-     [](SessionOptions& o) { o.taskgrind_ignore_runtime = false; }},
+     [](SessionOptions& o) { o.taskgrind.ignore_list.clear(); }},
     {"no-alloc-overload",
-     [](SessionOptions& o) { o.taskgrind_replace_allocator = false; }},
+     [](SessionOptions& o) { o.taskgrind.replace_allocator = false; }},
     {"no-stack-filter",
      [](SessionOptions& o) {
-       o.taskgrind_suppress_stack = false;
-       o.taskgrind_stack_incarnations = false;  // both §IV-D defences off
+       o.taskgrind.suppress_stack = false;
+       o.taskgrind.stack_incarnations = false;  // both §IV-D defences off
      }},
     {"no-tls-filter",
-     [](SessionOptions& o) { o.taskgrind_suppress_tls = false; }},
+     [](SessionOptions& o) { o.taskgrind.suppress_tls = false; }},
 };
 
 size_t run_one(const rt::GuestProgram& program, const Variant& variant,

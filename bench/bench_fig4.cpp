@@ -29,6 +29,8 @@ SessionResult measure(const lulesh::LuleshParams& params, ToolKind tool,
   options.tool = tool;
   options.num_threads = threads;
   options.seed = 1;
+  // The paper's Fig. 4 measures the record-then-post-mortem design.
+  options.taskgrind.streaming = false;
   options.max_retired = 60'000'000'000ull;
   // Keep ROMP's budget small enough to show its early crash like the paper.
   options.romp_max_history_bytes = 1ll << 28;  // 256 MiB

@@ -49,6 +49,9 @@ Cell measure(const lulesh::LuleshParams& params, ToolKind tool, int threads,
     options.tool = tool;
     options.num_threads = threads;
     options.seed = static_cast<uint64_t>(seed);
+    // Reproduce the paper's design point: record then analyze post-mortem
+    // (streaming overlap is bench_parallel_analysis' subject, not Table II's).
+    options.taskgrind.streaming = false;
     const SessionResult result = tools::run_session(program, options);
     if (result.status == SessionResult::Status::kDeadlock) {
       cell.deadlock = true;

@@ -1,0 +1,173 @@
+#include "cli/args.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace tg::cli {
+
+namespace {
+
+/// Strict base-10 parse of the whole string; atoi-style silent garbage
+/// (e.g. --threads=two -> 0) becomes a usage error instead.
+bool parse_u64(const char* text, uint64_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || text[0] == '-') {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool parse_positive_int(const char* text, int& out) {
+  uint64_t value = 0;
+  if (!parse_u64(text, value) || value == 0 || value > 1'000'000) {
+    return false;
+  }
+  out = static_cast<int>(value);
+  return true;
+}
+
+ParseOutcome fail(std::string message) {
+  ParseOutcome outcome;
+  outcome.ok = false;
+  outcome.error = std::move(message);
+  return outcome;
+}
+
+}  // namespace
+
+const char* usage_text() {
+  return
+      "usage: taskgrind [options] <program> | lulesh [lulesh options]\n"
+      "\n"
+      "options:\n"
+      "  --list                 list registered guest programs\n"
+      "  --tool=NAME            taskgrind|archer|tasksanitizer|romp|none\n"
+      "  --threads=N            team size (default 4)\n"
+      "  --seed=N               scheduler seed (default 1)\n"
+      "  --analysis-threads=N   streaming workers / post-mortem pass width\n"
+      "  --streaming            analyze on-the-fly, retire dead segments\n"
+      "                         (default for taskgrind)\n"
+      "  --post-mortem          whole-graph Algorithm 1 after execution\n"
+      "                         (the verification oracle)\n"
+      "  --json=FILE            write machine-readable session results\n"
+      "  --no-suppress-stack    disable the segment-local stack filter\n"
+      "  --no-suppress-tls      disable the TLS filter\n"
+      "  --no-bbox-pruning      disable bounding-box pair pruning\n"
+      "  --bitset-oracle        order via ancestor bitsets (verification)\n"
+      "  --no-replace-allocator keep the recycling allocator\n"
+      "  --no-ignore-list       instrument the runtime too (naive mode)\n"
+      "  --max-reports-shown=N  report texts to print (default 3)\n"
+      "  --dot=FILE             dump the segment graph (taskgrind only)\n"
+      "  --parallelism          print the work/span profile (taskgrind)\n"
+      "\n"
+      "lulesh options: -s N  -tel N  -tnl N  -i N  -p  --racy\n";
+}
+
+ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
+  out.session.tool = tools::ToolKind::kTaskgrind;
+  out.session.num_threads = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    auto lulesh_int = [&](int& slot) -> ParseOutcome {
+      if (i + 1 >= argc) return fail(arg + " needs a value");
+      uint64_t parsed = 0;
+      if (!parse_u64(argv[++i], parsed) || parsed == 0) {
+        return fail("invalid value for " + arg + ": '" + argv[i] + "'");
+      }
+      slot = static_cast<int>(parsed);
+      return {};
+    };
+    if (arg == "--list") {
+      out.want_list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      out.want_help = true;
+    } else if (arg.rfind("--tool=", 0) == 0) {
+      const auto tool = tools::tool_from_name(value("--tool="));
+      if (!tool.has_value()) {
+        return fail(std::string("unknown tool '") + value("--tool=") + "'");
+      }
+      out.session.tool = *tool;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!parse_positive_int(value("--threads="),
+                              out.session.num_threads)) {
+        return fail("invalid value for --threads: '" +
+                    std::string(value("--threads=")) + "'");
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!parse_u64(value("--seed="), out.session.seed)) {
+        return fail("invalid value for --seed: '" +
+                    std::string(value("--seed=")) + "'");
+      }
+    } else if (arg.rfind("--analysis-threads=", 0) == 0) {
+      if (!parse_positive_int(value("--analysis-threads="),
+                              out.session.taskgrind.analysis_threads)) {
+        return fail("invalid value for --analysis-threads: '" +
+                    std::string(value("--analysis-threads=")) + "'");
+      }
+    } else if (arg == "--streaming") {
+      out.session.taskgrind.streaming = true;
+    } else if (arg == "--post-mortem") {
+      out.session.taskgrind.streaming = false;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      out.json_path = value("--json=");
+      if (out.json_path.empty()) return fail("--json needs a file path");
+    } else if (arg == "--no-suppress-stack") {
+      out.session.taskgrind.suppress_stack = false;
+    } else if (arg == "--no-suppress-tls") {
+      out.session.taskgrind.suppress_tls = false;
+    } else if (arg == "--no-replace-allocator") {
+      out.session.taskgrind.replace_allocator = false;
+    } else if (arg == "--no-bbox-pruning") {
+      out.session.taskgrind.use_bbox_pruning = false;
+    } else if (arg == "--bitset-oracle") {
+      out.session.taskgrind.use_bitset_oracle = true;
+    } else if (arg == "--no-ignore-list") {
+      out.session.taskgrind.ignore_list.clear();
+    } else if (arg.rfind("--max-reports-shown=", 0) == 0) {
+      uint64_t shown = 0;
+      if (!parse_u64(value("--max-reports-shown="), shown)) {
+        return fail("invalid value for --max-reports-shown: '" +
+                    std::string(value("--max-reports-shown=")) + "'");
+      }
+      out.max_shown = static_cast<size_t>(shown);
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      out.dot_path = value("--dot=");
+    } else if (arg == "--parallelism") {
+      out.want_parallelism = true;
+    } else if (out.want_lulesh && arg == "-s") {
+      const ParseOutcome outcome = lulesh_int(out.lulesh_params.s);
+      if (!outcome.ok) return outcome;
+    } else if (out.want_lulesh && arg == "-tel") {
+      const ParseOutcome outcome = lulesh_int(out.lulesh_params.tel);
+      if (!outcome.ok) return outcome;
+    } else if (out.want_lulesh && arg == "-tnl") {
+      const ParseOutcome outcome = lulesh_int(out.lulesh_params.tnl);
+      if (!outcome.ok) return outcome;
+    } else if (out.want_lulesh && arg == "-i") {
+      const ParseOutcome outcome = lulesh_int(out.lulesh_params.iters);
+      if (!outcome.ok) return outcome;
+    } else if (out.want_lulesh && arg == "-p") {
+      out.lulesh_params.progress = true;
+    } else if (out.want_lulesh && arg == "--racy") {
+      out.lulesh_params.racy = true;
+    } else if (arg == "lulesh") {
+      out.want_lulesh = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      out.program_name = arg;
+    } else {
+      return fail("unknown option: " + arg);
+    }
+  }
+  return {};
+}
+
+}  // namespace tg::cli

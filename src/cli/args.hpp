@@ -1,0 +1,37 @@
+// CLI argument parsing, split from main() so tests can drive it directly:
+// unknown tools and malformed numeric flags must produce a usage error (exit
+// 1), never an abort.
+#pragma once
+
+#include <string>
+
+#include "lulesh/lulesh.hpp"
+#include "tools/session.hpp"
+
+namespace tg::cli {
+
+struct CliOptions {
+  tools::SessionOptions session;
+  size_t max_shown = 3;
+  std::string dot_path;
+  std::string json_path;   // --json=FILE machine-readable emission
+  bool want_parallelism = false;
+  bool want_list = false;
+  bool want_help = false;
+  std::string program_name;
+  lulesh::LuleshParams lulesh_params;
+  bool want_lulesh = false;
+};
+
+struct ParseOutcome {
+  bool ok = true;
+  std::string error;  // one-line reason when !ok (printed before usage)
+};
+
+const char* usage_text();
+
+/// Parses argv[1..argc). On failure the outcome carries a message and the
+/// CLI prints usage and exits 1; CliOptions contents are unspecified.
+ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out);
+
+}  // namespace tg::cli

@@ -7,11 +7,10 @@
 // Tools: taskgrind (default), archer, tasksanitizer, romp, none.
 // Exit status: 0 clean, 2 races reported, 3 tool crash / ncs, 1 usage error.
 #include <cstdio>
-#include <cstring>
+#include <fstream>
 #include <string>
 
-#include <fstream>
-
+#include "cli/args.hpp"
 #include "core/parallelism.hpp"
 #include "core/taskgrind.hpp"
 #include "lulesh/lulesh.hpp"
@@ -21,30 +20,6 @@
 #include "tools/session.hpp"
 
 namespace {
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: taskgrind [options] <program> | lulesh [lulesh options]\n"
-      "\n"
-      "options:\n"
-      "  --list                 list registered guest programs\n"
-      "  --tool=NAME            taskgrind|archer|tasksanitizer|romp|none\n"
-      "  --threads=N            team size (default 4)\n"
-      "  --seed=N               scheduler seed (default 1)\n"
-      "  --analysis-threads=N   parallel post-mortem analysis (taskgrind)\n"
-      "  --no-suppress-stack    disable the segment-local stack filter\n"
-      "  --no-suppress-tls      disable the TLS filter\n"
-      "  --no-bbox-pruning      disable bounding-box pair pruning\n"
-      "  --bitset-oracle        order via ancestor bitsets (verification)\n"
-      "  --no-replace-allocator keep the recycling allocator\n"
-      "  --no-ignore-list       instrument the runtime too (naive mode)\n"
-      "  --max-reports-shown=N  report texts to print (default 3)\n"
-      "  --dot=FILE             dump the segment graph (taskgrind only)\n"
-      "  --parallelism          print the work/span profile (taskgrind)\n"
-      "\n"
-      "lulesh options: -s N  -tel N  -tnl N  -i N  -p  --racy\n");
-}
 
 int list_programs() {
   tg::TextTable table({"name", "category", "race", "description"});
@@ -61,90 +36,35 @@ int list_programs() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  tg::tools::SessionOptions options;
-  options.tool = tg::tools::ToolKind::kTaskgrind;
-  options.num_threads = 4;
-  size_t max_shown = 3;
-  std::string dot_path;
-  bool want_parallelism = false;
-  std::string program_name;
-  tg::lulesh::LuleshParams lulesh_params;
-  bool want_lulesh = false;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&](const char* prefix) -> const char* {
-      return arg.c_str() + std::strlen(prefix);
-    };
-    if (arg == "--list") return list_programs();
-    if (arg == "--help" || arg == "-h") {
-      usage();
-      return 0;
-    }
-    if (arg.rfind("--tool=", 0) == 0) {
-      options.tool = tg::tools::tool_from_name(value("--tool="));
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      options.num_threads = std::atoi(value("--threads="));
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      options.seed = std::strtoull(value("--seed="), nullptr, 10);
-    } else if (arg.rfind("--analysis-threads=", 0) == 0) {
-      options.analysis_threads = std::atoi(value("--analysis-threads="));
-    } else if (arg == "--no-suppress-stack") {
-      options.taskgrind_suppress_stack = false;
-    } else if (arg == "--no-suppress-tls") {
-      options.taskgrind_suppress_tls = false;
-    } else if (arg == "--no-replace-allocator") {
-      options.taskgrind_replace_allocator = false;
-    } else if (arg == "--no-bbox-pruning") {
-      options.taskgrind_bbox_pruning = false;
-    } else if (arg == "--bitset-oracle") {
-      options.taskgrind_bitset_oracle = true;
-    } else if (arg == "--no-ignore-list") {
-      options.taskgrind_ignore_runtime = false;
-    } else if (arg.rfind("--max-reports-shown=", 0) == 0) {
-      max_shown = static_cast<size_t>(
-          std::atoi(value("--max-reports-shown=")));
-    } else if (arg.rfind("--dot=", 0) == 0) {
-      dot_path = value("--dot=");
-    } else if (arg == "--parallelism") {
-      want_parallelism = true;
-    } else if (want_lulesh && arg == "-s" && i + 1 < argc) {
-      lulesh_params.s = std::atoi(argv[++i]);
-    } else if (want_lulesh && arg == "-tel" && i + 1 < argc) {
-      lulesh_params.tel = std::atoi(argv[++i]);
-    } else if (want_lulesh && arg == "-tnl" && i + 1 < argc) {
-      lulesh_params.tnl = std::atoi(argv[++i]);
-    } else if (want_lulesh && arg == "-i" && i + 1 < argc) {
-      lulesh_params.iters = std::atoi(argv[++i]);
-    } else if (want_lulesh && arg == "-p") {
-      lulesh_params.progress = true;
-    } else if (want_lulesh && arg == "--racy") {
-      lulesh_params.racy = true;
-    } else if (arg == "lulesh") {
-      want_lulesh = true;
-    } else if (!arg.empty() && arg[0] != '-') {
-      program_name = arg;
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      usage();
-      return 1;
-    }
+  tg::cli::CliOptions cli;
+  const tg::cli::ParseOutcome parsed = tg::cli::parse_args(argc, argv, cli);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s\n", parsed.error.c_str());
+    std::fprintf(stderr, "%s", tg::cli::usage_text());
+    return 1;
   }
+  if (cli.want_list) return list_programs();
+  if (cli.want_help) {
+    std::fprintf(stderr, "%s", tg::cli::usage_text());
+    return 0;
+  }
+
+  tg::tools::SessionOptions& options = cli.session;
 
   tg::rt::GuestProgram lulesh_program;
   const tg::rt::GuestProgram* program = nullptr;
-  if (want_lulesh) {
-    lulesh_program = tg::lulesh::make_lulesh(lulesh_params);
+  if (cli.want_lulesh) {
+    lulesh_program = tg::lulesh::make_lulesh(cli.lulesh_params);
     program = &lulesh_program;
-  } else if (!program_name.empty()) {
-    program = tg::progs::find_program(program_name);
+  } else if (!cli.program_name.empty()) {
+    program = tg::progs::find_program(cli.program_name);
     if (program == nullptr) {
       std::fprintf(stderr, "unknown program '%s' (try --list)\n",
-                   program_name.c_str());
+                   cli.program_name.c_str());
       return 1;
     }
   } else {
-    usage();
+    std::fprintf(stderr, "%s", tg::cli::usage_text());
     return 1;
   }
 
@@ -153,10 +73,13 @@ int main(int argc, char** argv) {
               options.num_threads,
               static_cast<unsigned long long>(options.seed));
 
-  if (!dot_path.empty() || want_parallelism) {
-    // Dedicated taskgrind run that keeps the graph for inspection.
+  if (!cli.dot_path.empty() || cli.want_parallelism) {
+    // Dedicated taskgrind run that keeps the graph for inspection. The
+    // post-mortem path keeps the interval trees intact for to_dot.
     const tg::vex::Program guest = program->build();
-    tg::core::TaskgrindTool tool;
+    tg::core::TaskgrindOptions inspect_options = options.taskgrind;
+    inspect_options.streaming = false;
+    tg::core::TaskgrindTool tool(inspect_options);
     tg::rt::RtOptions rt_options;
     rt_options.num_threads = options.num_threads;
     rt_options.seed = options.seed;
@@ -164,13 +87,13 @@ int main(int argc, char** argv) {
     tool.attach(exec.vm());
     exec.run();
     tool.run_analysis();
-    if (!dot_path.empty()) {
-      std::ofstream out(dot_path);
+    if (!cli.dot_path.empty()) {
+      std::ofstream out(cli.dot_path);
       out << tool.builder().graph().to_dot();
       std::printf("segment graph written to %s (%zu nodes)\n",
-                  dot_path.c_str(), tool.builder().graph().size());
+                  cli.dot_path.c_str(), tool.builder().graph().size());
     }
-    if (want_parallelism) {
+    if (cli.want_parallelism) {
       const tg::core::ParallelismProfile profile =
           tg::core::profile_parallelism(tool.builder().graph());
       std::printf("parallelism profile: %s\n", profile.to_string().c_str());
@@ -179,6 +102,15 @@ int main(int argc, char** argv) {
 
   const tg::tools::SessionResult result =
       tg::tools::run_session(*program, options);
+
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << tg::tools::session_json(options, result) << "\n";
+  }
 
   if (!result.output.empty()) {
     std::printf("-- guest output --------------------------------\n%s",
@@ -224,7 +156,8 @@ int main(int argc, char** argv) {
   }
   std::printf("%zu unique finding(s), %zu raw conflict(s):\n\n",
               result.report_count, result.raw_report_count);
-  for (size_t i = 0; i < result.report_texts.size() && i < max_shown; ++i) {
+  for (size_t i = 0; i < result.report_texts.size() && i < cli.max_shown;
+       ++i) {
     std::printf("%s\n", result.report_texts[i].c_str());
   }
   return 2;

@@ -83,6 +83,63 @@ bool report_less(const RaceReport& a, const RaceReport& b) {
   return std::strcmp(a.second.file, b.second.file) < 0;
 }
 
+void fill_endpoint(RaceEndpoint& e, const Segment& segment,
+                   const vex::Program& program, vex::SrcLoc loc,
+                   bool is_write) {
+  e.task_id = segment.task_id;
+  e.segment_id = segment.id;
+  e.tid = segment.tid;
+  e.file = program.file_name(loc.valid() ? loc.file
+                                         : segment.first_access_loc.file);
+  e.line = loc.line;
+  e.is_write = is_write;
+}
+
+/// Algorithm 1 line 4: s1.w vs (s2.r U s2.w), one direction.
+void conflicts_one_way(const Segment& s1, const Segment& s2,
+                       const vex::Program& program,
+                       const AllocRegistry* allocs,
+                       const AnalysisOptions& options, AnalysisStats& stats,
+                       std::vector<RaceReport>& reports) {
+  auto handle = [&](const IntervalSet& other, bool other_writes) {
+    s1.writes.for_each_overlap(
+        other, [&](const IntervalSet::Overlap& overlap) {
+          stats.raw_conflicts++;
+          // §IV-D: segment-local stack reuse.
+          if (options.suppress_stack &&
+              in_stack_area(s1, overlap.lo, overlap.hi) &&
+              in_segment_local_stack(s1, overlap.lo, overlap.hi) &&
+              in_segment_local_stack(s2, overlap.lo, overlap.hi)) {
+            stats.suppressed_stack++;
+            return;
+          }
+          // §IV-C: thread-local storage - same thread, same DTV. A DTV
+          // (re)allocated while either segment ran invalidates the
+          // end-of-segment snapshot (earlier accesses may have landed in
+          // the old blocks), so such segments are never suppressed.
+          if (options.suppress_tls && s1.tid == s2.tid &&
+              s1.tcb == s2.tcb && s1.dtv_at_end == s2.dtv_at_end &&
+              !s1.dtv_changed_during && !s2.dtv_changed_during &&
+              in_dtv_blocks(s1, program, overlap.lo, overlap.hi)) {
+            stats.suppressed_tls++;
+            return;
+          }
+          RaceReport report;
+          report.lo = overlap.lo;
+          report.hi = overlap.hi;
+          fill_endpoint(report.first, s1, program, overlap.this_loc, true);
+          fill_endpoint(report.second, s2, program, overlap.other_loc,
+                        other_writes);
+          if (allocs != nullptr) {
+            report.alloc = allocs->containing(overlap.lo);
+          }
+          reports.push_back(std::move(report));
+        });
+  };
+  handle(s2.writes, true);
+  handle(s2.reads, false);
+}
+
 struct PairWorker {
   const SegmentGraph& graph;
   const vex::Program& program;
@@ -92,64 +149,9 @@ struct PairWorker {
   AnalysisStats stats;
   std::vector<RaceReport> reports;
 
-  void endpoint(RaceEndpoint& e, const Segment& segment, vex::SrcLoc loc,
-                bool is_write) const {
-    e.task_id = segment.task_id;
-    e.segment_id = segment.id;
-    e.tid = segment.tid;
-    e.file = program.file_name(loc.valid() ? loc.file
-                                           : segment.first_access_loc.file);
-    e.line = loc.line;
-    e.is_write = is_write;
-  }
-
-  /// Algorithm 1 line 4: s1.w vs (s2.r U s2.w), one direction.
-  void conflicts(const Segment& s1, const Segment& s2) {
-    auto handle = [&](const IntervalSet& other, bool other_writes) {
-      s1.writes.for_each_overlap(
-          other, [&](const IntervalSet::Overlap& overlap) {
-            stats.raw_conflicts++;
-            // §IV-D: segment-local stack reuse.
-            if (options.suppress_stack &&
-                in_stack_area(s1, overlap.lo, overlap.hi) &&
-                in_segment_local_stack(s1, overlap.lo, overlap.hi) &&
-                in_segment_local_stack(s2, overlap.lo, overlap.hi)) {
-              stats.suppressed_stack++;
-              return;
-            }
-            // §IV-C: thread-local storage - same thread, same DTV. A DTV
-            // (re)allocated while either segment ran invalidates the
-            // end-of-segment snapshot (earlier accesses may have landed in
-            // the old blocks), so such segments are never suppressed.
-            if (options.suppress_tls && s1.tid == s2.tid &&
-                s1.tcb == s2.tcb && s1.dtv_at_end == s2.dtv_at_end &&
-                !s1.dtv_changed_during && !s2.dtv_changed_during &&
-                in_dtv_blocks(s1, program, overlap.lo, overlap.hi)) {
-              stats.suppressed_tls++;
-              return;
-            }
-            RaceReport report;
-            report.lo = overlap.lo;
-            report.hi = overlap.hi;
-            endpoint(report.first, s1, overlap.this_loc, true);
-            endpoint(report.second, s2, overlap.other_loc, other_writes);
-            if (allocs != nullptr) {
-              report.alloc = allocs->containing(overlap.lo);
-            }
-            reports.push_back(std::move(report));
-          });
-    };
-    handle(s2.writes, true);
-    handle(s2.reads, false);
-  }
-
   void pair(SegId a, SegId b) {
-    // Canonical orientation regardless of enumeration order (the bbox sweep
-    // enumerates by address, not id), so reports are byte-identical to the
-    // unpruned pass.
-    if (a > b) std::swap(a, b);
-    const Segment& s1 = graph.segment(a);
-    const Segment& s2 = graph.segment(b);
+    const Segment& s1 = graph.segment(std::min(a, b));
+    const Segment& s2 = graph.segment(std::max(a, b));
     stats.pairs_total++;
     if (options.use_region_fast_path && graph.region_ordered(s1, s2)) {
       stats.pairs_region_fast++;
@@ -167,12 +169,39 @@ struct PairWorker {
       stats.pairs_mutex++;
       return;
     }
-    conflicts(s1, s2);
-    conflicts(s2, s1);
+    scan_pair_conflicts(s1, s2, program, allocs, options, stats, reports);
   }
 };
 
 }  // namespace
+
+void scan_pair_conflicts(const Segment& a, const Segment& b,
+                         const vex::Program& program,
+                         const AllocRegistry* allocs,
+                         const AnalysisOptions& options, AnalysisStats& stats,
+                         std::vector<RaceReport>& reports) {
+  // Canonical orientation regardless of enumeration order (the bbox sweep
+  // enumerates by address, the streaming engine by completion time), so
+  // reports are byte-identical across all of them.
+  const Segment& s1 = a.id <= b.id ? a : b;
+  const Segment& s2 = a.id <= b.id ? b : a;
+  conflicts_one_way(s1, s2, program, allocs, options, stats, reports);
+  conflicts_one_way(s2, s1, program, allocs, options, stats, reports);
+}
+
+void canonicalize_reports(std::vector<RaceReport>& reports,
+                          size_t max_reports) {
+  std::sort(reports.begin(), reports.end(), report_less);
+  std::set<std::string> seen;
+  std::vector<RaceReport> deduped;
+  for (auto& report : reports) {
+    if (seen.insert(report_dedup_key(report)).second) {
+      deduped.push_back(std::move(report));
+    }
+  }
+  if (deduped.size() > max_reports) deduped.resize(max_reports);
+  reports = std::move(deduped);
+}
 
 AnalysisResult analyze_races(const SegmentGraph& graph,
                              const vex::Program& program,

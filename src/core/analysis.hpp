@@ -51,7 +51,14 @@ struct AnalysisStats {
   uint64_t segments_active = 0;      // task segments that touched memory
   uint64_t index_bytes = 0;          // timestamp order-maintenance index
   uint64_t oracle_bytes = 0;         // ancestor bitsets (0 unless enabled)
-  double seconds = 0;
+  // Streaming engine counters (zero in post-mortem mode).
+  uint64_t segments_retired = 0;     // segments whose trees were freed early
+  uint64_t peak_live_segments = 0;   // max simultaneously unretired segments
+  uint64_t retired_tree_bytes = 0;   // interval-tree bytes released early
+  uint64_t pairs_deferred = 0;       // scanned before ordering was known
+  uint64_t retire_sweeps = 0;        // frontier retirement sweeps run
+  bool streamed = false;             // produced by the streaming engine
+  double seconds = 0;                // post-execution adjudication time
 };
 
 struct AnalysisResult {
@@ -67,6 +74,25 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
                              const vex::Program& program,
                              const AllocRegistry* allocs,
                              const AnalysisOptions& options);
+
+/// Algorithm 1 lines 4-6 for one unordered pair, both directions, with the
+/// §IV suppression gauntlet. The pair is canonically oriented by segment id
+/// inside, so the emitted reports are identical regardless of argument
+/// order. `allocs` may be null - the streaming engine passes null here and
+/// resolves provenance at adjudication time (the registry is still growing
+/// while its workers scan). Touches only the two segments' immutable data,
+/// so it is safe to call concurrently from scanner threads.
+void scan_pair_conflicts(const Segment& a, const Segment& b,
+                         const vex::Program& program,
+                         const AllocRegistry* allocs,
+                         const AnalysisOptions& options, AnalysisStats& stats,
+                         std::vector<RaceReport>& reports);
+
+/// The canonical post-merge pipeline: total-order sort, dedup by finding,
+/// then the report cap - applied once so the surviving set is identical at
+/// every thread count and in both analysis modes.
+void canonicalize_reports(std::vector<RaceReport>& reports,
+                          size_t max_reports);
 
 /// Linear-merge intersection test over two sorted, duplicate-free sets
 /// (how the builder stores per-task mutex sets).

@@ -91,6 +91,77 @@ void SegmentGraphBuilder::close_segment(TTask& t) {
   }
   t.prev_seg = t.cur_seg;
   t.cur_seg = kNoSeg;
+  if (sink_ != nullptr) sink_->segment_closed(t.prev_seg);
+}
+
+bool SegmentGraphBuilder::compute_frontier(std::vector<SegId>& out) const {
+  for (const auto& [id, t] : tasks_) {
+    if (t.completed) continue;
+    if (t.forked_region != kNoId) {
+      // Suspended at a parallel fork. The task's continuation reopens below
+      // the region's join node, and the join is ordered after every member
+      // completion (completion edges) - so any live member's growth point
+      // already covers this task's future. Using prev_seg here (the
+      // pre-fork segment) would be sound but fatal for retirement: nothing
+      // inside the region is its ancestor, so nothing would ever retire.
+      const TRegion& r = regions_.at(t.forked_region);
+      bool covered = false;
+      SegId completed_member_seg = kNoSeg;
+      auto scan = [&](const std::vector<uint64_t>& members) {
+        for (uint64_t m : members) {
+          const auto it = tasks_.find(m);
+          if (it == tasks_.end()) continue;
+          if (!it->second.completed) {
+            covered = true;  // its own frontier entry orders our future
+            return;
+          }
+          if (completed_member_seg == kNoSeg &&
+              it->second.last_seg != kNoSeg) {
+            completed_member_seg = it->second.last_seg;
+          }
+        }
+      };
+      scan(r.implicit_members);
+      if (!covered) scan(r.explicit_members);
+      if (covered) continue;
+      if (completed_member_seg != kNoSeg) {
+        // All members done: one member's final segment precedes the join,
+        // hence our continuation.
+        out.push_back(completed_member_seg);
+        continue;
+      }
+      if (r.fork_node != kNoSeg) {
+        // No members registered yet: they will attach below the fork node.
+        out.push_back(r.fork_node);
+        continue;
+      }
+      return false;
+    }
+    // Where this task's next segment will attach: its open segment, else
+    // the closed segment a continuation will chain from, else (for created
+    // but never-scheduled tasks) the creating parent's pre-split segment.
+    SegId growth = t.cur_seg != kNoSeg    ? t.cur_seg
+                   : t.prev_seg != kNoSeg ? t.prev_seg
+                   : t.last_seg != kNoSeg ? t.last_seg
+                                          : t.creator_pre_seg;
+    if (growth == kNoSeg) return false;
+    out.push_back(growth);
+  }
+  return true;
+}
+
+void SegmentGraphBuilder::maybe_sweep(bool force) {
+  if (sink_ == nullptr) return;
+  // Sweeps cost O(live window); one per task completion would dominate
+  // fine-grained task programs. Sync points that end a phase (barrier
+  // release, region join) force one - that is when a wave of segments
+  // becomes retirable.
+  constexpr uint32_t kSweepInterval = 16;
+  if (!force && ++ticks_since_sweep_ < kSweepInterval) return;
+  ticks_since_sweep_ = 0;
+  frontier_buf_.clear();
+  if (!compute_frontier(frontier_buf_)) return;
+  sink_->frontier_advanced(frontier_buf_);
 }
 
 void SegmentGraphBuilder::completion_edges(const TTask& t, SegId to) {
@@ -173,6 +244,7 @@ void SegmentGraphBuilder::task_complete(uint64_t task_id) {
   if (t.undeferred_join != kNoSeg) {
     completion_edges(t, t.undeferred_join);
   }
+  maybe_sweep(false);
 }
 
 void SegmentGraphBuilder::sync_begin(SyncKind kind, uint64_t task_id,
@@ -244,6 +316,7 @@ void SegmentGraphBuilder::barrier_release(uint64_t region_id,
                                           uint64_t epoch) {
   TRegion& r = region(region_id);
   r.cur_epoch = epoch + 1;
+  maybe_sweep(true);
 }
 
 void SegmentGraphBuilder::parallel_begin(uint64_t region_id,
@@ -258,6 +331,7 @@ void SegmentGraphBuilder::parallel_begin(uint64_t region_id,
   TTask& enc = task(enc_task);
   close_segment(enc);
   if (enc.prev_seg != kNoSeg) graph_.add_edge(enc.prev_seg, fork.id);
+  enc.forked_region = region_id;
 }
 
 void SegmentGraphBuilder::parallel_end(uint64_t region_id,
@@ -269,8 +343,14 @@ void SegmentGraphBuilder::parallel_end(uint64_t region_id,
   r.join_seq = ++global_seq_;
 
   TTask& enc = task(enc_task);
+  enc.forked_region = kNoId;
   const SegId cont = open_segment(enc, enc.bound_tid);
   graph_.add_edge(join.id, cont);
+  // Publish the region's [fork, join] window now rather than at finalize so
+  // the streaming enqueue filter can use the region fast path incrementally.
+  // Both sequence numbers are final once the region joins.
+  graph_.set_region_window(region_id, r.fork_seq, r.join_seq);
+  maybe_sweep(true);
 }
 
 void SegmentGraphBuilder::mutex_acquired(uint64_t task_id, uint64_t mutex,

@@ -33,6 +33,20 @@ namespace tg::core {
 
 inline constexpr uint64_t kNoId = UINT64_MAX;
 
+/// Consumer of builder progress, called synchronously on the builder (event)
+/// thread. The streaming analysis engine implements this to scan segments as
+/// they close and to retire segments the frontier has provably passed.
+class SegmentSink {
+ public:
+  virtual ~SegmentSink() = default;
+  /// `id` just closed: its access trees, mutexes and suppression metadata
+  /// are final (only *incoming* graph edges may still be added later).
+  virtual void segment_closed(SegId id) = 0;
+  /// Every future segment will be a descendant of (or equal to) one of
+  /// `frontier` - the growth points of all uncompleted tasks.
+  virtual void frontier_advanced(const std::vector<SegId>& frontier) = 0;
+};
+
 class SegmentGraphBuilder {
  public:
   struct Policy {
@@ -50,6 +64,16 @@ class SegmentGraphBuilder {
   void set_undeferred_parallel(bool enabled) {
     policy_.undeferred_parallel = enabled;
   }
+
+  /// Streams segment-close and frontier events to `sink` (not owned; may be
+  /// null to disable). Must be set before events arrive.
+  void set_sink(SegmentSink* sink) { sink_ = sink; }
+
+  /// Collects the growth points of every uncompleted task - the segments
+  /// all future segments will descend from. Returns false (and leaves `out`
+  /// unspecified) when some uncompleted task has no known growth point yet,
+  /// in which case no retirement is possible.
+  bool compute_frontier(std::vector<SegId>& out) const;
 
   // --- scalar event API ---------------------------------------------------
   void task_create(uint64_t task, uint64_t parent, uint32_t flags,
@@ -113,6 +137,7 @@ class SegmentGraphBuilder {
     SegId fulfill_pre_seg = kNoSeg;  // fulfiller segment before the fulfill
     SegId undeferred_join = kNoSeg;  // parent post-create segment (serial)
     SegId waiting_barrier = kNoSeg;  // barrier node currently parked at
+    uint64_t forked_region = kNoId;  // region this task is suspended forking
 
     std::vector<uint64_t> children;
     std::vector<size_t> pending_joins;   // indices into joins_, LIFO
@@ -184,6 +209,9 @@ class SegmentGraphBuilder {
 
   TTask& task(uint64_t id);
   TRegion& region(uint64_t id);
+  /// Runs a frontier sweep through the sink; unforced calls are throttled
+  /// (task completions are frequent, sweeps cost O(live window)).
+  void maybe_sweep(bool force);
   SegId barrier_node(TRegion& r, uint64_t epoch);
   /// Opens a fresh segment for `task` on `tid`, recording suppression
   /// metadata from the VM thread state.
@@ -196,6 +224,9 @@ class SegmentGraphBuilder {
   vex::Vm* vm_ = nullptr;
   SegmentGraph graph_;
   Listener listener_{*this};
+  SegmentSink* sink_ = nullptr;
+  uint32_t ticks_since_sweep_ = 0;
+  std::vector<SegId> frontier_buf_;
 
   std::map<uint64_t, TTask> tasks_;
   std::map<uint64_t, TRegion> regions_;

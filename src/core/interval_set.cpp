@@ -20,6 +20,14 @@ void IntervalSet::account(int64_t node_delta) {
   }
 }
 
+uint64_t IntervalSet::clear() {
+  const uint64_t released =
+      static_cast<uint64_t>(intervals_.size()) * kNodeBytes;
+  account(-static_cast<int64_t>(intervals_.size()));
+  intervals_.clear();
+  return released;
+}
+
 void IntervalSet::add(uint64_t lo, uint64_t hi, vex::SrcLoc loc) {
   TG_ASSERT(lo < hi);
   const int64_t before = static_cast<int64_t>(intervals_.size());

@@ -32,6 +32,10 @@ class IntervalSet {
   /// representative SrcLoc of the earliest-created constituent wins.
   void add(uint64_t lo, uint64_t hi, vex::SrcLoc loc);
 
+  /// Drops every interval and returns the accounted bytes released - how
+  /// the streaming engine retires a segment's trees.
+  uint64_t clear();
+
   bool empty() const { return intervals_.empty(); }
   size_t interval_count() const { return intervals_.size(); }
   uint64_t byte_count() const;

@@ -78,6 +78,13 @@ std::string stats_summary(const AnalysisStats& stats) {
   if (stats.oracle_bytes > 0) {
     out << " oracle-bytes=" << stats.oracle_bytes;
   }
+  if (stats.streamed) {
+    out << " streamed deferred=" << stats.pairs_deferred
+        << " retired=" << stats.segments_retired
+        << " live-peak=" << stats.peak_live_segments
+        << " retired-bytes=" << stats.retired_tree_bytes
+        << " sweeps=" << stats.retire_sweeps;
+  }
   return out.str();
 }
 

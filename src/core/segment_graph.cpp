@@ -19,10 +19,17 @@ Segment& SegmentGraph::new_segment(SegKind kind) {
   segment->kind = kind;
   segments_.push_back(std::move(segment));
   adjacency_.emplace_back();
+  if (predecessor_index_enabled_) predecessors_.emplace_back();
   stamps_.emplace_back();
   MemAccountant::instance().add(MemCategory::kSegments, 256);
   accounted_bytes_ += 256;
   return *segments_.back();
+}
+
+void SegmentGraph::enable_predecessor_index(bool on) {
+  TG_ASSERT_MSG(segments_.empty(),
+                "predecessor index must be enabled before the first segment");
+  predecessor_index_enabled_ = on;
 }
 
 void SegmentGraph::add_edge(SegId from, SegId to) {
@@ -32,6 +39,11 @@ void SegmentGraph::add_edge(SegId from, SegId to) {
   auto& out = adjacency_[from];
   if (!out.empty() && out.back() == to) return;  // cheap duplicate filter
   out.push_back(to);
+  if (predecessor_index_enabled_) {
+    predecessors_[to].push_back(from);
+    MemAccountant::instance().add(MemCategory::kSegments, 8);
+    accounted_bytes_ += 8;
+  }
   ++edge_count_;
   MemAccountant::instance().add(MemCategory::kSegments, 8);
   accounted_bytes_ += 8;

@@ -114,6 +114,15 @@ class SegmentGraph {
   void enable_bitset_oracle(bool on) { bitset_oracle_enabled_ = on; }
   bool has_bitset_oracle() const { return bitset_oracle_enabled_; }
 
+  /// When enabled (before the first segment exists), add_edge also records
+  /// the reverse edge, so the streaming engine can walk ancestors of a
+  /// just-closed segment on the un-finalized graph. Costs ~8 bytes/edge.
+  void enable_predecessor_index(bool on);
+  bool has_predecessor_index() const { return predecessor_index_enabled_; }
+  const std::vector<SegId>& predecessors(SegId id) const {
+    return predecessors_[id];
+  }
+
   /// Freezes the graph: topological order + timestamp index (+ optional
   /// bitset oracle). Must be called once, before reachable(); add_edge
   /// afterwards is an error. O(n + m).
@@ -166,10 +175,12 @@ class SegmentGraph {
 
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::vector<SegId>> adjacency_;
+  std::vector<std::vector<SegId>> predecessors_;  // when enabled
   std::vector<OrderStamp> stamps_;
   size_t edge_count_ = 0;
   bool finalized_ = false;
   bool bitset_oracle_enabled_ = false;
+  bool predecessor_index_enabled_ = false;
 
   // Verification oracle (built only when enabled).
   std::vector<uint64_t> ancestors_;  // n x words bit matrix

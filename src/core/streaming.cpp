@@ -1,0 +1,369 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace tg::core {
+
+namespace {
+inline constexpr uint32_t kNoPos = UINT32_MAX;
+/// Sweeps cost |frontier| reverse walks; past this many distinct growth
+/// points a sweep is skipped (retirement is best-effort, skipping is safe).
+inline constexpr size_t kMaxFrontierPoints = 256;
+}  // namespace
+
+StreamingAnalyzer::StreamingAnalyzer(SegmentGraph& graph,
+                                     const vex::Program& program,
+                                     const AllocRegistry* allocs,
+                                     AnalysisOptions options)
+    : graph_(graph),
+      program_(program),
+      allocs_(allocs),
+      options_(options) {
+  TG_ASSERT_MSG(graph_.has_predecessor_index(),
+                "StreamingAnalyzer needs SegmentGraph::enable_predecessor_"
+                "index() before segments exist");
+  const int nthreads = std::max(1, options_.threads);
+  workers_.reserve(static_cast<size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+StreamingAnalyzer::~StreamingAnalyzer() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void StreamingAnalyzer::grow_marks() {
+  const size_t n = graph_.size();
+  if (mark_sweep_.size() >= n) return;
+  mark_sweep_.resize(n, 0);
+  mark_point_.resize(n, 0);
+  mark_count_.resize(n, 0);
+  retired_.resize(n, 0);
+  pending_.resize(n, 0);
+  live_pos_.resize(n, kNoPos);
+}
+
+void StreamingAnalyzer::segment_closed(SegId id) {
+  TG_ASSERT(!finished_);
+  drain_completed();
+  grow_marks();
+  const Segment& seg = graph_.segment(id);
+  if (seg.kind != SegKind::kTask || !seg.has_accesses()) return;
+  ++segments_active_;
+
+  const IntervalSet::Bounds reads = seg.reads.bounds();
+  const IntervalSet::Bounds writes = seg.writes.bounds();
+  uint64_t lo;
+  uint64_t hi;
+  if (reads.empty()) {
+    lo = writes.lo;
+    hi = writes.hi;
+  } else if (writes.empty()) {
+    lo = reads.lo;
+    hi = reads.hi;
+  } else {
+    lo = std::min(reads.lo, writes.lo);
+    hi = std::max(reads.hi, writes.hi);
+  }
+
+  // Mark every live ancestor of the closed segment: those pairs are ordered
+  // on the partial graph already, and happens-before is monotone, so they
+  // can be dropped for good. The walk prunes at retired nodes (the retired
+  // set is ancestor-closed), bounding it to the live window.
+  ++sweep_id_;
+  mark_sweep_[id] = sweep_id_;
+  dfs_stack_.clear();
+  dfs_stack_.push_back(id);
+  while (!dfs_stack_.empty()) {
+    const SegId u = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    for (SegId v : graph_.predecessors(u)) {
+      if (mark_sweep_[v] == sweep_id_ || retired_[v]) continue;
+      mark_sweep_[v] = sweep_id_;
+      dfs_stack_.push_back(v);
+    }
+  }
+
+  // Pair against the live set. Three sound, findings-preserving filters:
+  // proved-ordered (above), disjoint bounding boxes (cannot overlap), and
+  // shared mutexes (immutable after segment open, same test post-mortem
+  // applies). Everything else is deferred to a worker batch.
+  std::vector<const Segment*> partners;
+  for (const LiveEntry& entry : live_) {
+    const Segment& partner = graph_.segment(entry.id);
+    if (options_.use_region_fast_path && graph_.region_ordered(seg, partner)) {
+      // Same precedence as the post-mortem pass: the region window check
+      // runs before the ordering query. Windows are published at
+      // parallel_end, so both are final here.
+      ++pairs_region_enqueue_;
+      continue;
+    }
+    if (mark_sweep_[entry.id] == sweep_id_) {
+      ++pairs_ordered_enqueue_;
+      continue;
+    }
+    if (entry.hi <= lo || hi <= entry.lo) {
+      ++pairs_skipped_bbox_;
+      continue;
+    }
+    if (options_.respect_mutexes &&
+        sorted_sets_intersect(seg.mutexes, partner.mutexes)) {
+      ++pairs_mutex_;
+      continue;
+    }
+    partners.push_back(&partner);
+    ++pairs_deferred_;
+  }
+
+  live_pos_[id] = static_cast<uint32_t>(live_.size());
+  live_.push_back(LiveEntry{id, lo, hi});
+  peak_live_segments_ = std::max<uint64_t>(peak_live_segments_, live_.size());
+
+  if (partners.empty()) return;
+  auto batch = std::make_unique<Batch>();
+  batch->seg = id;
+  batch->seg_ptr = &seg;
+  batch->partners = std::move(partners);
+  ++pending_[id];
+  for (const Segment* partner : batch->partners) ++pending_[partner->id];
+  Batch* raw = batch.get();
+  batches_.push_back(std::move(batch));
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(raw);
+  }
+  queue_cv_.notify_one();
+}
+
+void StreamingAnalyzer::frontier_advanced(const std::vector<SegId>& frontier) {
+  TG_ASSERT(!finished_);
+  drain_completed();
+  grow_marks();
+  ++retire_sweeps_;
+
+  std::vector<SegId> points = frontier;
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  if (points.empty()) {
+    // No uncompleted task left: nothing can run, every live segment is dead.
+    std::vector<SegId> ids;
+    ids.reserve(live_.size());
+    for (const LiveEntry& entry : live_) ids.push_back(entry.id);
+    for (SegId id : ids) retire(id);
+    return;
+  }
+  if (points.size() > kMaxFrontierPoints) return;
+
+  // A segment retires when it is a strict ancestor of EVERY growth point:
+  // every future segment attaches below some point, hence is ordered after
+  // it. One pruned reverse walk per point; a node reached by all |points|
+  // walks (and not itself a point) is dead.
+  ++sweep_id_;
+  candidates_.clear();
+  const uint32_t npoints = static_cast<uint32_t>(points.size());
+  for (uint32_t k = 0; k < npoints; ++k) {
+    auto visit = [&](SegId v) -> bool {
+      if (retired_[v]) return false;  // its ancestors are retired too
+      if (mark_sweep_[v] != sweep_id_) {
+        mark_sweep_[v] = sweep_id_;
+        mark_point_[v] = k;
+        mark_count_[v] = 1;
+        // Only nodes seen by the first walk can be seen by all of them.
+        if (k == 0) candidates_.push_back(v);
+        return true;
+      }
+      if (mark_point_[v] == k) return false;  // already counted this walk
+      mark_point_[v] = k;
+      ++mark_count_[v];
+      return true;
+    };
+    dfs_stack_.clear();
+    if (visit(points[k])) dfs_stack_.push_back(points[k]);
+    while (!dfs_stack_.empty()) {
+      const SegId u = dfs_stack_.back();
+      dfs_stack_.pop_back();
+      for (SegId v : graph_.predecessors(u)) {
+        if (visit(v)) dfs_stack_.push_back(v);
+      }
+    }
+  }
+  for (SegId u : candidates_) {
+    if (mark_count_[u] != npoints) continue;
+    if (std::binary_search(points.begin(), points.end(), u)) continue;
+    retire(u);
+  }
+}
+
+void StreamingAnalyzer::retire(SegId id) {
+  retired_[id] = 1;
+  const uint32_t pos = live_pos_[id];
+  if (pos == kNoPos) return;  // synthetic or accessless: nothing to free
+  live_pos_[live_.back().id] = pos;
+  live_[pos] = live_.back();
+  live_.pop_back();
+  live_pos_[id] = kNoPos;
+  if (pending_[id] == 0) {
+    Segment& segment = graph_.segment(id);
+    retired_tree_bytes_ += segment.reads.clear() + segment.writes.clear();
+    std::vector<uint64_t>().swap(segment.mutexes);
+    ++segments_retired_;
+  } else {
+    retire_waiting_.push_back(id);  // a worker still scans it; free later
+  }
+}
+
+void StreamingAnalyzer::drain_completed() {
+  std::vector<Batch*> done;
+  {
+    std::lock_guard<std::mutex> lock(completed_mutex_);
+    done.swap(completed_);
+  }
+  for (Batch* batch : done) {
+    if (batch->drained) continue;
+    batch->drained = true;
+    --pending_[batch->seg];
+    for (const Segment* partner : batch->partners) --pending_[partner->id];
+  }
+  if (!done.empty() && !retire_waiting_.empty()) flush_retire_waiting();
+}
+
+void StreamingAnalyzer::flush_retire_waiting() {
+  size_t kept = 0;
+  for (SegId id : retire_waiting_) {
+    if (pending_[id] != 0) {
+      retire_waiting_[kept++] = id;
+      continue;
+    }
+    Segment& segment = graph_.segment(id);
+    retired_tree_bytes_ += segment.reads.clear() + segment.writes.clear();
+    std::vector<uint64_t>().swap(segment.mutexes);
+    ++segments_retired_;
+  }
+  retire_waiting_.resize(kept);
+}
+
+void StreamingAnalyzer::worker_loop() {
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      batch = queue_.front();
+      queue_.pop_front();
+    }
+    run_batch(*batch);
+    {
+      std::lock_guard<std::mutex> lock(completed_mutex_);
+      completed_.push_back(batch);
+    }
+  }
+}
+
+void StreamingAnalyzer::run_batch(Batch& batch) {
+  // Workers touch nothing but the immutable data of closed segments; alloc
+  // provenance (a growing registry) is resolved at adjudication time.
+  for (const Segment* partner : batch.partners) {
+    AnalysisStats stats;
+    std::vector<RaceReport> reports;
+    scan_pair_conflicts(*batch.seg_ptr, *partner, program_, nullptr, options_,
+                        stats, reports);
+    if (stats.raw_conflicts == 0) continue;  // contributes nothing either way
+    PairOutcome outcome;
+    outcome.a = batch.seg;
+    outcome.b = partner->id;
+    outcome.raw_conflicts = stats.raw_conflicts;
+    outcome.suppressed_stack = stats.suppressed_stack;
+    outcome.suppressed_tls = stats.suppressed_tls;
+    outcome.reports = std::move(reports);
+    batch.outcomes.push_back(std::move(outcome));
+  }
+}
+
+AnalysisResult StreamingAnalyzer::finish() {
+  if (finished_) return result_;
+  finished_ = true;
+  TG_ASSERT_MSG(graph_.finalized(),
+                "StreamingAnalyzer::finish needs the finalized graph");
+  const double start = now_seconds();
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  drain_completed();
+  flush_retire_waiting();
+
+  // Adjudicate every deferred pair with the full index - the identical
+  // predicate the post-mortem pass applies, in the identical precedence
+  // order, so kept pairs (and with them raw_conflicts / suppressed_*) match
+  // exactly.
+  AnalysisResult result;
+  uint64_t adjudicated_ordered = 0;
+  uint64_t region_fast = 0;
+  for (const auto& batch : batches_) {
+    for (auto& outcome : batch->outcomes) {
+      const Segment& a = graph_.segment(outcome.a);
+      const Segment& b = graph_.segment(outcome.b);
+      if (options_.use_region_fast_path && graph_.region_ordered(a, b)) {
+        ++region_fast;
+        continue;
+      }
+      const bool hb_ordered = options_.use_bitset_oracle
+                                  ? graph_.ordered_oracle(outcome.a, outcome.b)
+                                  : graph_.ordered(outcome.a, outcome.b);
+      if (hb_ordered) {
+        ++adjudicated_ordered;
+        continue;
+      }
+      result.stats.raw_conflicts += outcome.raw_conflicts;
+      result.stats.suppressed_stack += outcome.suppressed_stack;
+      result.stats.suppressed_tls += outcome.suppressed_tls;
+      for (RaceReport& report : outcome.reports) {
+        if (allocs_ != nullptr) {
+          // The registry reached its final state (free is a no-op), so this
+          // matches what a scan-time lookup in post-mortem mode returns.
+          report.alloc = allocs_->containing(report.lo);
+        }
+        result.reports.push_back(std::move(report));
+      }
+    }
+  }
+  canonicalize_reports(result.reports, options_.max_reports);
+
+  AnalysisStats& stats = result.stats;
+  stats.pairs_total = pairs_region_enqueue_ + pairs_ordered_enqueue_ +
+                      pairs_mutex_ + pairs_deferred_;
+  stats.pairs_skipped_bbox = pairs_skipped_bbox_;
+  stats.pairs_ordered = pairs_ordered_enqueue_ + adjudicated_ordered;
+  stats.pairs_region_fast = pairs_region_enqueue_ + region_fast;
+  stats.pairs_mutex = pairs_mutex_;
+  stats.segments_active = segments_active_;
+  stats.index_bytes = graph_.index_bytes();
+  stats.oracle_bytes = graph_.oracle_bytes();
+  stats.segments_retired = segments_retired_;
+  stats.peak_live_segments = peak_live_segments_;
+  stats.retired_tree_bytes = retired_tree_bytes_;
+  stats.pairs_deferred = pairs_deferred_;
+  stats.retire_sweeps = retire_sweeps_;
+  stats.streamed = true;
+  stats.seconds = now_seconds() - start;
+  result_ = std::move(result);
+  return result_;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,156 @@
+// Streaming race analysis with segment retirement.
+//
+// Post-mortem Algorithm 1 keeps every interval tree alive until the guest
+// exits and only then starts scanning. This engine overlaps the scan with
+// execution and bounds peak memory by the *live frontier* instead of the
+// whole run, following two observations:
+//
+//  * Happens-before is monotone: the builder only ever adds edges. A pair
+//    proved ordered on the partial graph stays ordered, so such pairs can
+//    be discarded the moment a segment closes. Pairs that are NOT yet
+//    provably ordered are *deferred*: their conflict overlaps are computed
+//    eagerly on background workers (a closed segment's trees are
+//    immutable), but the ordering verdict is adjudicated after finalize()
+//    with the full index - which is exactly the post-mortem predicate, so
+//    findings are byte-identical (DePa-style on-the-fly ordering, Ronsse &
+//    De Bosschere-style history truncation).
+//
+//  * A segment s is provably dead once it is a strict ancestor of every
+//    growth point of every uncompleted task (the builder's frontier):
+//    every future segment attaches below some frontier point, hence is
+//    ordered after s, hence can never race with it. Dead segments are
+//    retired - their read/write interval trees freed, their node
+//    compacted - as soon as no worker still scans them.
+//
+// Threading: all graph mutation, retirement and memory accounting happen on
+// the builder (event) thread; workers touch only the immutable data of
+// closed segments. The retired set is ancestor-closed (ancestors of a
+// common ancestor are common ancestors), which lets every reverse walk
+// prune at retired nodes and keeps sweep cost proportional to the live
+// window.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/graph_builder.hpp"
+
+namespace tg::core {
+
+class StreamingAnalyzer final : public SegmentSink {
+ public:
+  /// The graph must have its predecessor index enabled and no segments yet.
+  /// `allocs` (may be null) is only read at finish() time, when it has
+  /// reached its final state - identical to what post-mortem sees.
+  StreamingAnalyzer(SegmentGraph& graph, const vex::Program& program,
+                    const AllocRegistry* allocs, AnalysisOptions options);
+  ~StreamingAnalyzer() override;  // joins workers; discards pending work
+
+  StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+  StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
+
+  // --- SegmentSink (builder thread) ----------------------------------------
+  void segment_closed(SegId id) override;
+  void frontier_advanced(const std::vector<SegId>& frontier) override;
+
+  /// Drains the pipeline and adjudicates every deferred pair against the
+  /// finalized graph. Requires graph.finalized(). Idempotent.
+  AnalysisResult finish();
+
+  /// Segments whose trees were freed before program end (test hook).
+  uint64_t segments_retired() const { return segments_retired_; }
+
+ private:
+  /// One deferred pair: overlaps + suppression already computed by a
+  /// worker, ordering verdict pending. Stats are bucketed per pair so only
+  /// finally-unordered pairs contribute to the merged counters - keeping
+  /// raw_conflicts/suppressed_* identical to the post-mortem pass.
+  struct PairOutcome {
+    SegId a = kNoSeg;
+    SegId b = kNoSeg;
+    uint64_t raw_conflicts = 0;
+    uint64_t suppressed_stack = 0;
+    uint64_t suppressed_tls = 0;
+    std::vector<RaceReport> reports;
+  };
+
+  /// One closed segment with the live partners it must be scanned against.
+  /// Raw pointers are captured on the builder thread (the segment vector
+  /// may reallocate; the pointees are stable).
+  struct Batch {
+    SegId seg = kNoSeg;
+    const Segment* seg_ptr = nullptr;
+    std::vector<const Segment*> partners;
+    std::vector<PairOutcome> outcomes;  // filled by the worker
+    bool drained = false;               // refcounts released (builder)
+  };
+
+  struct LiveEntry {
+    SegId id = kNoSeg;
+    uint64_t lo = 0;  // cached union bounding box of reads U writes
+    uint64_t hi = 0;
+  };
+
+  void worker_loop();
+  void run_batch(Batch& batch);
+  /// Releases the scan refcounts of finished batches (builder thread).
+  void drain_completed();
+  /// Frees the trees of retired segments no worker still scans.
+  void flush_retire_waiting();
+  void retire(SegId id);
+  void grow_marks();
+
+  SegmentGraph& graph_;
+  const vex::Program& program_;
+  const AllocRegistry* allocs_;
+  const AnalysisOptions options_;
+
+  // Live set: closed, unretired, access-bearing task segments - the only
+  // partner candidates for the next segment to close.
+  std::vector<LiveEntry> live_;
+  std::vector<uint32_t> live_pos_;   // seg id -> index in live_, or kNoPos
+  std::vector<uint8_t> retired_;     // seg id -> provably dead
+  std::vector<uint32_t> pending_;    // seg id -> batches still scanning it
+  std::vector<SegId> retire_waiting_;  // retired but pending_ > 0
+
+  // Sweep scratch (epoch-marked so nothing is cleared per sweep).
+  std::vector<uint32_t> mark_sweep_;   // last sweep id that touched node
+  std::vector<uint32_t> mark_point_;   // last frontier point within sweep
+  std::vector<uint32_t> mark_count_;   // frontier points reaching node
+  uint32_t sweep_id_ = 0;
+  std::vector<SegId> dfs_stack_;
+  std::vector<SegId> candidates_;
+
+  // Work queue.
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Batch*> queue_;
+  bool stopping_ = false;
+  std::mutex completed_mutex_;
+  std::vector<Batch*> completed_;
+  std::deque<std::unique_ptr<Batch>> batches_;  // owns everything enqueued
+
+  // Counters (builder thread).
+  uint64_t segments_active_ = 0;
+  uint64_t segments_retired_ = 0;
+  uint64_t retired_tree_bytes_ = 0;
+  uint64_t peak_live_segments_ = 0;
+  uint64_t retire_sweeps_ = 0;
+  uint64_t pairs_deferred_ = 0;
+  uint64_t pairs_ordered_enqueue_ = 0;
+  uint64_t pairs_region_enqueue_ = 0;
+  uint64_t pairs_mutex_ = 0;
+  uint64_t pairs_skipped_bbox_ = 0;
+
+  bool finished_ = false;
+  AnalysisResult result_;
+};
+
+}  // namespace tg::core

@@ -16,6 +16,17 @@ TaskgrindTool::TaskgrindTool(TaskgrindOptions options)
 void TaskgrindTool::attach(vex::Vm& vm) {
   vm_ = &vm;
   builder_.set_vm(&vm);
+  if (options_.streaming && streamer_ == nullptr) {
+    // Must happen before any segment exists: the engine walks ancestors on
+    // the un-finalized graph through the predecessor index.
+    builder_.graph().enable_predecessor_index(true);
+    if (options_.use_bitset_oracle) {
+      builder_.graph().enable_bitset_oracle(true);
+    }
+    streamer_ = std::make_unique<StreamingAnalyzer>(
+        builder_.graph(), vm.program(), &allocs_, analysis_options());
+    builder_.set_sink(streamer_.get());
+  }
 }
 
 vex::InstrumentationSet TaskgrindTool::instrumentation_for(
@@ -304,15 +315,7 @@ void TaskgrindTool::on_feb_acquire(rt::Task& task, GuestAddr addr,
 
 // --- analysis ----------------------------------------------------------------
 
-AnalysisResult TaskgrindTool::run_analysis() {
-  TG_ASSERT_MSG(vm_ != nullptr, "TaskgrindTool::attach was not called");
-  if (!finalized_) {
-    if (options_.use_bitset_oracle) {
-      builder_.graph().enable_bitset_oracle(true);
-    }
-    builder_.finalize();
-    finalized_ = true;
-  }
+AnalysisOptions TaskgrindTool::analysis_options() const {
   AnalysisOptions options;
   options.suppress_stack = options_.suppress_stack;
   options.suppress_tls = options_.suppress_tls;
@@ -321,7 +324,21 @@ AnalysisResult TaskgrindTool::run_analysis() {
   options.use_bitset_oracle = options_.use_bitset_oracle;
   options.threads = options_.analysis_threads;
   options.max_reports = options_.max_reports;
-  return analyze_races(builder_.graph(), vm_->program(), &allocs_, options);
+  return options;
+}
+
+AnalysisResult TaskgrindTool::run_analysis() {
+  TG_ASSERT_MSG(vm_ != nullptr, "TaskgrindTool::attach was not called");
+  if (!finalized_) {
+    if (options_.use_bitset_oracle && !builder_.graph().has_bitset_oracle()) {
+      builder_.graph().enable_bitset_oracle(true);
+    }
+    builder_.finalize();
+    finalized_ = true;
+  }
+  if (streamer_ != nullptr) return streamer_->finish();
+  return analyze_races(builder_.graph(), vm_->program(), &allocs_,
+                       analysis_options());
 }
 
 }  // namespace tg::core

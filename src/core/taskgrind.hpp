@@ -23,42 +23,13 @@
 #include "core/alloc_registry.hpp"
 #include "core/analysis.hpp"
 #include "core/graph_builder.hpp"
+#include "core/streaming.hpp"
+#include "core/taskgrind_options.hpp"
 #include "runtime/events.hpp"
 #include "vex/tool.hpp"
 #include "vex/vm.hpp"
 
 namespace tg::core {
-
-struct TaskgrindOptions {
-  /// Symbol prefixes whose code is not instrumented (paper §IV-A). The
-  /// default covers the parallel runtime (our __kmp_* equivalent).
-  std::vector<std::string> ignore_list = {"__mnp"};
-  /// When non-empty, ONLY symbols matching these prefixes are instrumented.
-  std::vector<std::string> instrument_list;
-
-  bool replace_allocator = true;  // §IV-B: free -> no-op + provenance
-  bool suppress_stack = true;     // §IV-D
-  bool suppress_tls = true;       // §IV-C
-  /// Rename stack addresses per frame incarnation before recording - the
-  /// no-op-free idea applied to the stack. Fixes the paper's remaining
-  /// §IV-D gap (conflicts on *reused ancestor frames seen through
-  /// pointers*, their DRB174 / multi-threaded TMB false positives) without
-  /// hiding true races on live frames. Set false to reproduce the paper's
-  /// frame-registration behaviour exactly.
-  bool stack_incarnations = true;
-  bool respect_mutexes = true;    // mutexinoutset exclusion
-  /// Treat undeferred tasks as logically parallel from the start (the
-  /// kTgTasksDeferrable client request also enables this at run time).
-  bool undeferred_parallel = false;
-  int analysis_threads = 1;  // >1 = the paper's future-work parallel pass
-  size_t max_reports = 200'000;
-  /// Skip pair generation for segments with disjoint address bounding
-  /// boxes (sound; findings are unchanged).
-  bool use_bbox_pruning = true;
-  /// Build the O(n^2/8) ancestor bitsets at finalize and answer ordering
-  /// from them instead of the O(n) timestamp index. Verification only.
-  bool use_bitset_oracle = false;
-};
 
 class TaskgrindTool : public vex::Tool, public rt::RtEvents {
  public:
@@ -106,7 +77,10 @@ class TaskgrindTool : public vex::Tool, public rt::RtEvents {
                       bool full_channel) override;
 
   // --- analysis --------------------------------------------------------------
-  /// Finalizes the segment graph (idempotent) and runs Algorithm 1.
+  /// Finalizes the segment graph (idempotent) and produces the findings:
+  /// with options.streaming, drains the on-the-fly pipeline and adjudicates
+  /// the deferred pairs; otherwise runs the post-mortem Algorithm 1 pass.
+  /// Both modes return byte-identical reports.
   AnalysisResult run_analysis();
 
   SegmentGraphBuilder& builder() { return builder_; }
@@ -140,10 +114,14 @@ class TaskgrindTool : public vex::Tool, public rt::RtEvents {
   void forward(Req code, std::initializer_list<uint64_t> args);
   void decode(uint64_t code, std::span<const vex::Value> args);
 
+  /// The AnalysisOptions corresponding to options_.
+  AnalysisOptions analysis_options() const;
+
   TaskgrindOptions options_;
   vex::Vm* vm_ = nullptr;
   SegmentGraphBuilder builder_;
   AllocRegistry allocs_;
+  std::unique_ptr<StreamingAnalyzer> streamer_;  // when options_.streaming
   std::set<int> ignoring_tids_;  // kTgIgnoreBegin/End regions
   vex::GuestAddr remap_stack(vex::GuestAddr addr);
   uint64_t access_events_ = 0;

@@ -1,0 +1,52 @@
+// Taskgrind configuration - the single source of truth for every knob the
+// tool exposes. The session layer embeds this struct verbatim (no
+// flag-by-flag copying), the CLI writes into it directly, and the JSON
+// emitter serializes it, so a knob added here is automatically plumbed
+// end to end.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tg::core {
+
+struct TaskgrindOptions {
+  /// Symbol prefixes whose code is not instrumented (paper §IV-A). The
+  /// default covers the parallel runtime (our __kmp_* equivalent).
+  std::vector<std::string> ignore_list = {"__mnp"};
+  /// When non-empty, ONLY symbols matching these prefixes are instrumented.
+  std::vector<std::string> instrument_list;
+
+  bool replace_allocator = true;  // §IV-B: free -> no-op + provenance
+  bool suppress_stack = true;     // §IV-D
+  bool suppress_tls = true;       // §IV-C
+  /// Rename stack addresses per frame incarnation before recording - the
+  /// no-op-free idea applied to the stack. Fixes the paper's remaining
+  /// §IV-D gap (conflicts on *reused ancestor frames seen through
+  /// pointers*, their DRB174 / multi-threaded TMB false positives) without
+  /// hiding true races on live frames. Set false to reproduce the paper's
+  /// frame-registration behaviour exactly.
+  bool stack_incarnations = true;
+  bool respect_mutexes = true;    // mutexinoutset exclusion
+  /// Treat undeferred tasks as logically parallel from the start (the
+  /// kTgTasksDeferrable client request also enables this at run time).
+  bool undeferred_parallel = false;
+  int analysis_threads = 1;  // streaming workers / post-mortem pass width
+  size_t max_reports = 200'000;
+  /// Skip pair generation for segments with disjoint address bounding
+  /// boxes (sound; findings are unchanged).
+  bool use_bbox_pruning = true;
+  /// Build the O(n^2/8) ancestor bitsets at finalize and answer ordering
+  /// from them instead of the O(n) timestamp index. Verification only.
+  bool use_bitset_oracle = false;
+  /// Run Algorithm 1 on-the-fly: segments are analyzed as they close and
+  /// retired (interval trees freed) once no live task can still conflict
+  /// with them, overlapping analysis with execution and bounding peak
+  /// memory by the live frontier. Findings are byte-identical to the
+  /// post-mortem pass, which remains available as the verification oracle
+  /// (set false / pass --post-mortem).
+  bool streaming = true;
+};
+
+}  // namespace tg::core

@@ -1,0 +1,53 @@
+// A minimal JSON emitter - enough for the machine-readable session output
+// (--json=FILE) that benches and CI consume instead of scraping the
+// human-readable stats line. Handles comma placement and string escaping;
+// callers are responsible for balanced begin/end calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tg {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Names the next value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separator();
+
+  std::string out_;
+  std::vector<uint8_t> first_in_scope_;  // stack: 1 until a scope's first item
+  bool after_key_ = false;
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view text);
+
+}  // namespace tg

@@ -6,6 +6,7 @@
 #include "runtime/execution.hpp"
 #include "support/accounting.hpp"
 #include "support/assert.hpp"
+#include "support/json.hpp"
 #include "support/stats.hpp"
 #include "tools/archer.hpp"
 #include "tools/romp.hpp"
@@ -24,13 +25,13 @@ const char* tool_name(ToolKind kind) {
   return "?";
 }
 
-ToolKind tool_from_name(std::string_view name) {
+std::optional<ToolKind> tool_from_name(std::string_view name) {
   if (name == "none") return ToolKind::kNone;
   if (name == "taskgrind") return ToolKind::kTaskgrind;
   if (name == "archer") return ToolKind::kArcher;
   if (name == "tasksanitizer" || name == "tasksan") return ToolKind::kTaskSan;
   if (name == "romp") return ToolKind::kRomp;
-  TG_UNREACHABLE("unknown tool name");
+  return std::nullopt;
 }
 
 bool tool_supports(ToolKind tool, const rt::GuestProgram& program) {
@@ -103,16 +104,7 @@ SessionResult run_session(const rt::GuestProgram& program,
     }
 
     case ToolKind::kTaskgrind: {
-      core::TaskgrindOptions tg_options;
-      tg_options.analysis_threads = options.analysis_threads;
-      tg_options.suppress_stack = options.taskgrind_suppress_stack;
-      tg_options.suppress_tls = options.taskgrind_suppress_tls;
-      tg_options.stack_incarnations = options.taskgrind_stack_incarnations;
-      tg_options.replace_allocator = options.taskgrind_replace_allocator;
-      tg_options.use_bbox_pruning = options.taskgrind_bbox_pruning;
-      tg_options.use_bitset_oracle = options.taskgrind_bitset_oracle;
-      if (!options.taskgrind_ignore_runtime) tg_options.ignore_list.clear();
-      core::TaskgrindTool tool(tg_options);
+      core::TaskgrindTool tool(options.taskgrind);
       rt::Execution exec(guest, rt_options, &tool, {&tool});
       tool.attach(exec.vm());
       fill_exec(result, exec.run());
@@ -190,6 +182,91 @@ SessionResult run_session(const rt::GuestProgram& program,
     }
   }
   TG_UNREACHABLE("unhandled tool kind");
+}
+
+namespace {
+
+const char* status_name(SessionResult::Status status) {
+  switch (status) {
+    case SessionResult::Status::kOk: return "ok";
+    case SessionResult::Status::kNcs: return "ncs";
+    case SessionResult::Status::kCrash: return "crash";
+    case SessionResult::Status::kDeadlock: return "deadlock";
+    case SessionResult::Status::kBudget: return "budget";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string session_json(const SessionOptions& options,
+                         const SessionResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "taskgrind-session-v1");
+  json.field("tool", tool_name(options.tool));
+
+  json.key("options").begin_object();
+  json.field("num_threads", options.num_threads);
+  json.field("seed", options.seed);
+  const core::TaskgrindOptions& tg = options.taskgrind;
+  json.key("taskgrind").begin_object();
+  json.field("streaming", tg.streaming);
+  json.field("analysis_threads", tg.analysis_threads);
+  json.field("suppress_stack", tg.suppress_stack);
+  json.field("suppress_tls", tg.suppress_tls);
+  json.field("stack_incarnations", tg.stack_incarnations);
+  json.field("replace_allocator", tg.replace_allocator);
+  json.field("respect_mutexes", tg.respect_mutexes);
+  json.field("use_bbox_pruning", tg.use_bbox_pruning);
+  json.field("use_bitset_oracle", tg.use_bitset_oracle);
+  json.field("max_reports", static_cast<uint64_t>(tg.max_reports));
+  json.key("ignore_list").begin_array();
+  for (const std::string& prefix : tg.ignore_list) json.value(prefix);
+  json.end_array();
+  json.end_object();  // taskgrind
+  json.end_object();  // options
+
+  json.key("result").begin_object();
+  json.field("status", status_name(result.status));
+  json.field("report_count", static_cast<uint64_t>(result.report_count));
+  json.field("raw_report_count",
+             static_cast<uint64_t>(result.raw_report_count));
+  json.field("exit_code", result.exit_code);
+  json.field("exec_seconds", result.exec_seconds);
+  json.field("analysis_seconds", result.analysis_seconds);
+  json.field("peak_bytes", result.peak_bytes);
+  json.field("retired", result.retired);
+  json.field("tasks_created", result.tasks_created);
+  json.key("reports").begin_array();
+  for (const std::string& text : result.report_texts) json.value(text);
+  json.end_array();
+  json.end_object();  // result
+
+  const core::AnalysisStats& stats = result.analysis_stats;
+  json.key("stats").begin_object();
+  json.field("streamed", stats.streamed);
+  json.field("pairs_total", stats.pairs_total);
+  json.field("pairs_skipped_bbox", stats.pairs_skipped_bbox);
+  json.field("pairs_ordered", stats.pairs_ordered);
+  json.field("pairs_region_fast", stats.pairs_region_fast);
+  json.field("pairs_mutex", stats.pairs_mutex);
+  json.field("pairs_deferred", stats.pairs_deferred);
+  json.field("raw_conflicts", stats.raw_conflicts);
+  json.field("suppressed_stack", stats.suppressed_stack);
+  json.field("suppressed_tls", stats.suppressed_tls);
+  json.field("segments_active", stats.segments_active);
+  json.field("segments_retired", stats.segments_retired);
+  json.field("peak_live_segments", stats.peak_live_segments);
+  json.field("retired_tree_bytes", stats.retired_tree_bytes);
+  json.field("retire_sweeps", stats.retire_sweeps);
+  json.field("index_bytes", stats.index_bytes);
+  json.field("oracle_bytes", stats.oracle_bytes);
+  json.field("seconds", stats.seconds);
+  json.end_object();  // stats
+
+  json.end_object();
+  return json.str();
 }
 
 const char* verdict_name(Verdict verdict) {

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "core/taskgrind_options.hpp"
 #include "runtime/guest_program.hpp"
 #include "runtime/runtime.hpp"
 
@@ -21,7 +23,8 @@ enum class ToolKind {
 };
 
 const char* tool_name(ToolKind kind);
-ToolKind tool_from_name(std::string_view name);  // asserts on unknown
+/// std::nullopt on an unknown name (callers decide how to report it).
+std::optional<ToolKind> tool_from_name(std::string_view name);
 
 struct SessionOptions {
   ToolKind tool = ToolKind::kTaskgrind;
@@ -29,14 +32,9 @@ struct SessionOptions {
   uint64_t seed = 1;
   uint64_t quantum = 20000;
   uint64_t max_retired = 4'000'000'000ull;
-  int analysis_threads = 1;          // Taskgrind post-mortem parallelism
-  bool taskgrind_suppress_stack = true;
-  bool taskgrind_suppress_tls = true;
-  bool taskgrind_stack_incarnations = true;
-  bool taskgrind_replace_allocator = true;
-  bool taskgrind_ignore_runtime = true;  // the default __mnp ignore-list
-  bool taskgrind_bbox_pruning = true;    // address-bounding-box pair pruning
-  bool taskgrind_bitset_oracle = false;  // verification-only bitset ordering
+  /// Taskgrind knobs, embedded verbatim - the single source of truth
+  /// (core/taskgrind_options.hpp). No flag-by-flag copying anywhere.
+  core::TaskgrindOptions taskgrind;
   int64_t romp_max_history_bytes = 1ll << 29;
 };
 
@@ -75,6 +73,13 @@ bool tool_supports(ToolKind tool, const rt::GuestProgram& program);
 /// are reported through SessionResult::status.
 SessionResult run_session(const rt::GuestProgram& program,
                           const SessionOptions& options);
+
+/// Machine-readable session emission (schema "taskgrind-session-v1"): the
+/// effective options, the SessionResult and the full AnalysisStats in one
+/// JSON object - what `--json=FILE`, the benches and CI consume instead of
+/// scraping the human-readable stats line.
+std::string session_json(const SessionOptions& options,
+                         const SessionResult& result);
 
 /// Table I verdict classification.
 enum class Verdict { kTP, kFP, kTN, kFN, kNcs, kSegv, kDeadlock };

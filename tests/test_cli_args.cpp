@@ -1,0 +1,129 @@
+// The options/output API surface: CLI parsing (unknown tools and malformed
+// numerics must be usage errors, not silent garbage), the nested
+// TaskgrindOptions round-trip, and the `--json` schema.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "programs/registry.hpp"
+#include "tools/session.hpp"
+
+namespace tg::cli {
+namespace {
+
+ParseOutcome parse(std::vector<const char*> argv, CliOptions& out) {
+  argv.insert(argv.begin(), "taskgrind");
+  return parse_args(static_cast<int>(argv.size()), argv.data(), out);
+}
+
+TEST(CliArgs, UnknownToolIsUsageError) {
+  CliOptions cli;
+  const ParseOutcome outcome = parse({"--tool=nonsense", "fib"}, cli);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("unknown tool"), std::string::npos)
+      << outcome.error;
+  EXPECT_NE(outcome.error.find("nonsense"), std::string::npos);
+}
+
+TEST(CliArgs, KnownToolsParse) {
+  for (const char* name :
+       {"taskgrind", "archer", "tasksanitizer", "romp", "none"}) {
+    CliOptions cli;
+    const ParseOutcome outcome =
+        parse({("--tool=" + std::string(name)).c_str(), "fib"}, cli);
+    ASSERT_TRUE(outcome.ok) << name << ": " << outcome.error;
+    EXPECT_EQ(tools::tool_name(cli.session.tool), std::string(name));
+  }
+}
+
+TEST(CliArgs, MalformedNumbersAreUsageErrors) {
+  for (const char* arg :
+       {"--threads=two", "--threads=", "--threads=0", "--threads=-3",
+        "--threads=4x", "--seed=banana", "--analysis-threads=1e9",
+        "--max-reports-shown=??"}) {
+    CliOptions cli;
+    const ParseOutcome outcome = parse({arg, "fib"}, cli);
+    EXPECT_FALSE(outcome.ok) << arg << " should be rejected";
+    EXPECT_NE(outcome.error.find("invalid value"), std::string::npos)
+        << arg << ": " << outcome.error;
+  }
+}
+
+TEST(CliArgs, UnknownOptionIsUsageError) {
+  CliOptions cli;
+  const ParseOutcome outcome = parse({"--frobnicate", "fib"}, cli);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(CliArgs, FlagsRoundTripThroughNestedOptions) {
+  CliOptions cli;
+  const ParseOutcome outcome = parse(
+      {"--threads=3", "--seed=7", "--analysis-threads=8", "--post-mortem",
+       "--no-suppress-stack", "--no-suppress-tls", "--no-bbox-pruning",
+       "--bitset-oracle", "--no-replace-allocator", "--no-ignore-list",
+       "--json=/tmp/out.json", "fib"},
+      cli);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(cli.session.num_threads, 3);
+  EXPECT_EQ(cli.session.seed, 7u);
+  const core::TaskgrindOptions& tg = cli.session.taskgrind;
+  EXPECT_EQ(tg.analysis_threads, 8);
+  EXPECT_FALSE(tg.streaming);
+  EXPECT_FALSE(tg.suppress_stack);
+  EXPECT_FALSE(tg.suppress_tls);
+  EXPECT_FALSE(tg.use_bbox_pruning);
+  EXPECT_TRUE(tg.use_bitset_oracle);
+  EXPECT_FALSE(tg.replace_allocator);
+  EXPECT_TRUE(tg.ignore_list.empty());
+  EXPECT_EQ(cli.json_path, "/tmp/out.json");
+  EXPECT_EQ(cli.program_name, "fib");
+
+  // Defaults: streaming is on unless --post-mortem asked otherwise.
+  CliOptions defaults;
+  ASSERT_TRUE(parse({"fib"}, defaults).ok);
+  EXPECT_TRUE(defaults.session.taskgrind.streaming);
+}
+
+TEST(CliArgs, UsageMentionsEveryMode) {
+  const std::string usage = usage_text();
+  for (const char* needle :
+       {"--streaming", "--post-mortem", "--json", "--tool",
+        "--analysis-threads"}) {
+    EXPECT_NE(usage.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(SessionJson, SchemaAndRoundTrippedValues) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  tools::SessionOptions options;
+  options.tool = tools::ToolKind::kTaskgrind;
+  options.num_threads = 2;
+  options.seed = 9;
+  const tools::SessionResult result = tools::run_session(*program, options);
+  const std::string json = tools::session_json(options, result);
+
+  // Structural smoke: one top-level object, the schema tag, and every
+  // section key the consumers (benches, CI artifacts) rely on.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* needle :
+       {"\"schema\":\"taskgrind-session-v1\"", "\"tool\":\"taskgrind\"",
+        "\"options\":", "\"taskgrind\":", "\"streaming\":true",
+        "\"num_threads\":2", "\"seed\":9", "\"result\":",
+        "\"status\":\"ok\"", "\"report_count\":1", "\"reports\":[",
+        "\"stats\":", "\"streamed\":true", "\"segments_retired\":",
+        "\"peak_live_segments\":", "\"retired_tree_bytes\":",
+        "\"pairs_deferred\":", "\"raw_conflicts\":"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  // Report text contains newlines - they must arrive escaped.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tg::cli

@@ -36,7 +36,11 @@ struct Recorded {
 Recorded record(const rt::GuestProgram& program, int num_threads = 2) {
   Recorded r;
   r.guest = program.build();
-  r.tool = std::make_unique<TaskgrindTool>();
+  // Post-mortem mode: this harness drives finalize()/analyze_races directly
+  // and needs every segment's interval trees intact (no retirement).
+  TaskgrindOptions topts;
+  topts.streaming = false;
+  r.tool = std::make_unique<TaskgrindTool>(topts);
   rt::RtOptions rt_options;
   rt_options.num_threads = num_threads;
   rt::Execution exec(r.guest, rt_options, r.tool.get(), {r.tool.get()});

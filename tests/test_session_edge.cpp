@@ -41,7 +41,7 @@ TEST(SessionEdge, SuppressionOptionsAreRespected) {
   options.tool = ToolKind::kTaskgrind;
   options.num_threads = 1;
   EXPECT_FALSE(run_session(*program, options).racy());
-  options.taskgrind_suppress_tls = false;
+  options.taskgrind.suppress_tls = false;
   EXPECT_TRUE(run_session(*program, options).racy());
 }
 
@@ -54,7 +54,7 @@ TEST(SessionEdge, AnalysisThreadsOptionKeepsVerdicts) {
     SessionOptions options;
     options.tool = ToolKind::kTaskgrind;
     options.num_threads = 4;
-    options.analysis_threads = threads;
+    options.taskgrind.analysis_threads = threads;
     const SessionResult result = run_session(*program, options);
     EXPECT_TRUE(result.racy());
     if (threads == 1) {

@@ -709,9 +709,31 @@ TEST(Sync, SequentialRegionsOrderedEq1) {
       h.omp->single(pf, [&] { pf.st(a.get(0), pf.c(r)); });
     });
   }
-  auto result = h.run(2);
+  // Post-mortem: the Eq. 1 region-window fast path must prune the
+  // cross-region pair before any ordering query runs.
+  TaskgrindOptions topts;
+  topts.streaming = false;
+  auto result = h.run(2, topts);
   EXPECT_FALSE(result.racy()) << result.reports[0].to_string();
   EXPECT_GE(result.stats.pairs_region_fast, 1u);
+}
+
+TEST(Sync, SequentialRegionsRetireStreamed) {
+  TgHarness h;
+  FnBuilder& f = *h.main_fn;
+  V x = f.malloc_(f.c(8));
+  for (int r = 0; r < 2; ++r) {
+    h.omp->parallel(f, f.c(2), {x}, [&](FnBuilder& pf, TaskArgs& a) {
+      h.omp->single(pf, [&] { pf.st(a.get(0), pf.c(r)); });
+    });
+  }
+  // Streaming: by the time the second region's segments close, the first
+  // region's are provably ordered before every growth point and retired -
+  // the cross-region pair is never even enumerated.
+  auto result = h.run(2);
+  EXPECT_FALSE(result.racy()) << result.reports[0].to_string();
+  EXPECT_TRUE(result.stats.streamed);
+  EXPECT_GE(result.stats.segments_retired, 1u);
 }
 
 TEST(Sync, DetachOrdersThroughFulfill) {
