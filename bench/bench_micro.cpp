@@ -3,9 +3,19 @@
 // reachability, VM dispatch, guest allocation, and vector-clock checks.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/graph_builder.hpp"
 #include "core/interval_set.hpp"
 #include "core/segment_graph.hpp"
+#include "runtime/task.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
+#include "support/stats.hpp"
 #include "tools/archer.hpp"
 #include "vex/builder.hpp"
 #include "vex/galloc.hpp"
@@ -58,6 +68,76 @@ void BM_IntervalSetIntersection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntervalSetIntersection)->Arg(256)->Arg(4096);
+
+// --- the full access-recording lane: builder cursor + arena add -------------
+//
+// These drive SegmentGraphBuilder::record_access - the code every guest
+// load/store lands on - not the bare IntervalSet, so the per-thread cursor
+// (tid -> task -> open segment resolution) is part of what is measured. One
+// implicit root task is announced on tid 0 and never rescheduled: the steady
+// state between two graph events. The per-iteration clear() models segment
+// retirement and is O(chunks), noise next to the adds.
+
+/// Announces one implicit root task on tid 0 and primes its cursor.
+void announce_root(core::SegmentGraphBuilder& builder) {
+  builder.task_create(0, core::kNoId, rt::TaskFlags::kImplicit, core::kNoId,
+                      {});
+  builder.schedule_begin(0, /*tid=*/0);
+  builder.record_access(0, 0x1000, 8, /*is_write=*/true, {});
+}
+
+void BM_AccessRecordDense(benchmark::State& state) {
+  core::SegmentGraphBuilder builder;
+  announce_root(builder);
+  core::Segment& seg =
+      builder.graph().segment(builder.current_segment(0));
+  for (auto _ : state) {
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      const uint64_t addr = 0x1000 + static_cast<uint64_t>(i) * 8;
+      builder.record_access(0, addr, 8, /*is_write=*/true, {});
+    }
+    benchmark::DoNotOptimize(seg.writes.interval_count());
+    seg.writes.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AccessRecordDense)->Arg(1024)->Arg(16384);
+
+void BM_AccessRecordStrided(benchmark::State& state) {
+  core::SegmentGraphBuilder builder;
+  announce_root(builder);
+  core::Segment& seg =
+      builder.graph().segment(builder.current_segment(0));
+  for (auto _ : state) {
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      // 64-byte stride: every access starts a new interval (append path).
+      const uint64_t addr = 0x1000 + static_cast<uint64_t>(i) * 64;
+      builder.record_access(0, addr, 8, /*is_write=*/true, {});
+    }
+    benchmark::DoNotOptimize(seg.writes.interval_count());
+    seg.writes.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AccessRecordStrided)->Arg(1024)->Arg(16384);
+
+void BM_AccessRecordSparse(benchmark::State& state) {
+  core::SegmentGraphBuilder builder;
+  announce_root(builder);
+  core::Segment& seg =
+      builder.graph().segment(builder.current_segment(0));
+  for (auto _ : state) {
+    Rng rng(13);  // re-seeded: every iteration inserts the same sequence
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      const uint64_t addr = 0x1000 + rng.below(1u << 20);
+      builder.record_access(0, addr, 8, /*is_write=*/true, {});
+    }
+    benchmark::DoNotOptimize(seg.writes.interval_count());
+    seg.writes.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AccessRecordSparse)->Arg(1024)->Arg(16384);
 
 // --- segment graph reachability (Algorithm 1's inner test) ------------------
 
@@ -213,7 +293,92 @@ void BM_VectorClockJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_VectorClockJoin);
 
+// --- machine-readable access-path throughput (--access-json=FILE) -----------
+//
+// CI gates on these numbers, so they are measured directly with wall-clock
+// timed loops over deterministic access counts rather than scraped from the
+// google-benchmark reporter. Same steady state as the BM_AccessRecord*
+// benches above: one announced root task, no graph events in the loop.
+
+struct PatternResult {
+  const char* name;
+  uint64_t accesses;
+  double seconds;
+};
+
+template <typename AddrFn>
+PatternResult run_access_pattern(const char* name, uint64_t accesses,
+                                 AddrFn&& addr_of) {
+  core::SegmentGraphBuilder builder;
+  announce_root(builder);
+  const double start = now_seconds();
+  for (uint64_t i = 0; i < accesses; ++i) {
+    builder.record_access(0, addr_of(i), 8, /*is_write=*/true, {});
+  }
+  return {name, accesses, now_seconds() - start};
+}
+
+int write_access_path_json(const std::string& path) {
+  std::vector<PatternResult> results;
+  results.push_back(run_access_pattern(
+      "dense", 1u << 22, [](uint64_t i) { return 0x1000 + i * 8; }));
+  results.push_back(run_access_pattern(
+      "strided", 1u << 20, [](uint64_t i) { return 0x1000 + i * 64; }));
+  Rng rng(13);
+  results.push_back(run_access_pattern("sparse", 1u << 20, [&](uint64_t) {
+    return 0x1000 + static_cast<uint64_t>(rng.below(1u << 20));
+  }));
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "taskgrind-access-path-v1");
+  json.key("patterns").begin_array();
+  for (const PatternResult& r : results) {
+    json.begin_object();
+    json.field("name", r.name);
+    json.field("accesses", r.accesses);
+    json.field("seconds", r.seconds);
+    json.field("accesses_per_sec",
+               r.seconds > 0 ? static_cast<double>(r.accesses) / r.seconds
+                             : 0.0);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json.str() << "\n";
+  return out.good() ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace tg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // benchmark::Initialize aborts on flags it does not know, so the
+  // tool-specific --access-json=FILE is stripped before it looks.
+  std::string access_json;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kFlag = "--access-json=";
+    if (arg.starts_with(kFlag)) {
+      access_json = arg.substr(kFlag.size());
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int kept = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&kept, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(kept, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!access_json.empty()) return tg::write_access_path_json(access_json);
+  return 0;
+}

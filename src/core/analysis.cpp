@@ -217,20 +217,8 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
   for (SegId i = 0; i < graph.size(); ++i) {
     const Segment& segment = graph.segment(i);
     if (segment.kind != SegKind::kTask || !segment.has_accesses()) continue;
-    const IntervalSet::Bounds reads = segment.reads.bounds();
-    const IntervalSet::Bounds writes = segment.writes.bounds();
-    ActiveSeg entry{i, 0, 0};
-    if (reads.empty()) {
-      entry.lo = writes.lo;
-      entry.hi = writes.hi;
-    } else if (writes.empty()) {
-      entry.lo = reads.lo;
-      entry.hi = reads.hi;
-    } else {
-      entry.lo = std::min(reads.lo, writes.lo);
-      entry.hi = std::max(reads.hi, writes.hi);
-    }
-    active.push_back(entry);
+    const IntervalSet::Bounds box = segment.access_bounds();
+    active.push_back(ActiveSeg{i, box.lo, box.hi});
   }
 
   // The bbox sweep: sorted by box start, a pair (i, j < k) can only overlap
@@ -295,18 +283,7 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
   // Canonical order regardless of thread count, then dedup by finding, then
   // the report cap - applied once on the merged set so the survivors do not
   // depend on how the pairs were partitioned across workers.
-  std::sort(result.reports.begin(), result.reports.end(), report_less);
-  std::set<std::string> seen;
-  std::vector<RaceReport> deduped;
-  for (auto& report : result.reports) {
-    if (seen.insert(report_dedup_key(report)).second) {
-      deduped.push_back(std::move(report));
-    }
-  }
-  if (deduped.size() > options.max_reports) {
-    deduped.resize(options.max_reports);
-  }
-  result.reports = std::move(deduped);
+  canonicalize_reports(result.reports, options.max_reports);
 
   result.stats.segments_active = active.size();
   result.stats.index_bytes = graph.index_bytes();

@@ -55,6 +55,7 @@ struct AnalysisStats {
   uint64_t segments_retired = 0;     // segments whose trees were freed early
   uint64_t peak_live_segments = 0;   // max simultaneously unretired segments
   uint64_t retired_tree_bytes = 0;   // interval-tree bytes released early
+  uint64_t peak_tree_bytes = 0;      // interval-tree arena high-water mark
   uint64_t pairs_deferred = 0;       // scanned before ordering was known
   uint64_t retire_sweeps = 0;        // frontier retirement sweeps run
   bool streamed = false;             // produced by the streaming engine

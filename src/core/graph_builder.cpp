@@ -36,6 +36,7 @@ SegId SegmentGraphBuilder::barrier_node(TRegion& r, uint64_t epoch) {
 }
 
 SegId SegmentGraphBuilder::open_segment(TTask& t, int tid) {
+  invalidate_cursors();
   Segment& segment = graph_.new_segment(SegKind::kTask);
   segment.task_id = t.id;
   segment.seq_in_task = t.seg_count++;
@@ -76,6 +77,7 @@ SegId SegmentGraphBuilder::open_segment(TTask& t, int tid) {
 
 void SegmentGraphBuilder::close_segment(TTask& t) {
   if (t.cur_seg == kNoSeg) return;
+  invalidate_cursors();
   Segment& segment = graph_.segment(t.cur_seg);
   if (vm_ != nullptr && t.bound_tid >= 0 &&
       static_cast<size_t>(t.bound_tid) < vm_->thread_count()) {
@@ -225,6 +227,7 @@ void SegmentGraphBuilder::schedule_begin(uint64_t task_id, int tid) {
     cur_task_by_tid_.resize(tid + 1, kNoId);
   }
   cur_task_by_tid_[static_cast<size_t>(tid)] = task_id;
+  invalidate_cursors();
   TTask& t = task(task_id);
   if (t.bound_tid < 0) t.bound_tid = tid;
   if (t.first_seg == kNoSeg) open_segment(t, tid);
@@ -235,6 +238,7 @@ void SegmentGraphBuilder::schedule_end(uint64_t task_id, int tid) {
   if (static_cast<size_t>(tid) < cur_task_by_tid_.size()) {
     cur_task_by_tid_[static_cast<size_t>(tid)] = kNoId;
   }
+  invalidate_cursors();
 }
 
 void SegmentGraphBuilder::task_complete(uint64_t task_id) {
@@ -401,21 +405,53 @@ void SegmentGraphBuilder::feb_acquire(uint64_t task_id, vex::GuestAddr addr,
   }
 }
 
-void SegmentGraphBuilder::record_access(int tid, vex::GuestAddr addr,
-                                        uint32_t size, bool is_write,
-                                        vex::SrcLoc loc) {
-  if (static_cast<size_t>(tid) >= cur_task_by_tid_.size()) return;
-  const uint64_t task_id = cur_task_by_tid_[static_cast<size_t>(tid)];
-  if (task_id == kNoId) return;
-  TTask& t = task(task_id);
-  if (t.cur_seg == kNoSeg) return;  // parked at a sync; no code runs
-  Segment& segment = graph_.segment(t.cur_seg);
-  if (!segment.first_access_loc.valid()) segment.first_access_loc = loc;
-  if (is_write) {
-    segment.writes.add(addr, addr + size, loc);
-  } else {
-    segment.reads.add(addr, addr + size, loc);
+void SegmentGraphBuilder::invalidate_cursors() {
+  for (AccessCursor& cursor : cursors_) {
+    cursor.resolved = false;
+    cursor.seg = nullptr;
+    cursor.sets[0] = nullptr;
+    cursor.sets[1] = nullptr;
+    // cursor.ignore is thread state, not segment state: it survives.
   }
+}
+
+void SegmentGraphBuilder::set_ignoring(int tid, bool on) {
+  if (tid < 0) return;
+  if (cursors_.size() <= static_cast<size_t>(tid)) {
+    cursors_.resize(static_cast<size_t>(tid) + 1);
+  }
+  cursors_[static_cast<size_t>(tid)].ignore = on;
+}
+
+void SegmentGraphBuilder::record_access_slow(int tid, vex::GuestAddr addr,
+                                             uint32_t size, bool is_write,
+                                             vex::SrcLoc loc) {
+  if (tid < 0) return;
+  if (cursors_.size() <= static_cast<size_t>(tid)) {
+    cursors_.resize(static_cast<size_t>(tid) + 1);
+  }
+  AccessCursor& cursor = cursors_[static_cast<size_t>(tid)];
+  cursor.resolved = true;
+  cursor.seg = nullptr;
+  cursor.sets[0] = nullptr;
+  cursor.sets[1] = nullptr;
+  if (static_cast<size_t>(tid) < cur_task_by_tid_.size()) {
+    const uint64_t task_id = cur_task_by_tid_[static_cast<size_t>(tid)];
+    if (task_id != kNoId) {
+      TTask& t = task(task_id);
+      if (t.cur_seg != kNoSeg) {  // else parked at a sync; no code runs
+        Segment& segment = graph_.segment(t.cur_seg);
+        cursor.seg = &segment;  // stable: the graph stores unique_ptrs
+        cursor.sets[0] = &segment.reads;
+        cursor.sets[1] = &segment.writes;
+      }
+    }
+  }
+  if (cursor.seg == nullptr) return;
+  if (!cursor.seg->first_access_loc.valid()) {
+    cursor.seg->first_access_loc = loc;
+  }
+  cursor.sets[is_write]->add(addr, addr + size, loc);
 }
 
 SegId SegmentGraphBuilder::current_segment(int tid) {

@@ -98,8 +98,36 @@ class SegmentGraphBuilder {
   void feb_acquire(uint64_t task, vex::GuestAddr addr, bool full_channel);
 
   // --- access recording -----------------------------------------------------
+  /// The per-access hot path (paper Fig. 4: every guest load/store lands
+  /// here). A per-thread cursor caches the resolved tid -> task -> open
+  /// segment chain, so the steady state is a bounds check plus two pointer
+  /// loads and an IntervalSet::add; every graph event that could move a
+  /// thread to a different segment invalidates the cursors and the next
+  /// access re-resolves through the slow path.
   void record_access(int tid, vex::GuestAddr addr, uint32_t size,
-                     bool is_write, vex::SrcLoc loc);
+                     bool is_write, vex::SrcLoc loc) {
+    if (static_cast<size_t>(tid) < cursors_.size()) {
+      AccessCursor& cursor = cursors_[static_cast<size_t>(tid)];
+      if (cursor.ignore) return;
+      if (cursor.resolved) {
+        if (cursor.seg == nullptr) return;  // parked at a sync; no code runs
+        if (!cursor.seg->first_access_loc.valid()) {
+          cursor.seg->first_access_loc = loc;
+        }
+        cursor.sets[is_write]->add(addr, addr + size, loc);
+        return;
+      }
+    }
+    record_access_slow(tid, addr, size, is_write, loc);
+  }
+
+  /// Per-thread ignore flag (kTgIgnoreBegin/End), folded into the access
+  /// cursor so the check shares its cache line with the segment pointers.
+  void set_ignoring(int tid, bool on);
+  bool ignoring(int tid) const {
+    return static_cast<size_t>(tid) < cursors_.size() &&
+           cursors_[static_cast<size_t>(tid)].ignore;
+  }
 
   /// Open segment of the task currently announced on `tid` (kNoSeg if
   /// none). Used by tools that keep their own per-access structures.
@@ -207,6 +235,20 @@ class SegmentGraphBuilder {
     SegmentGraphBuilder& builder_;
   };
 
+  /// Cached resolution of one thread's access path. `resolved` without a
+  /// segment means "drop accesses" (no announced task / parked at a sync);
+  /// `ignore` survives invalidation - it is thread state, not segment state.
+  struct AccessCursor {
+    IntervalSet* sets[2] = {nullptr, nullptr};  // indexed by is_write
+    Segment* seg = nullptr;
+    bool resolved = false;
+    bool ignore = false;
+  };
+
+  void record_access_slow(int tid, vex::GuestAddr addr, uint32_t size,
+                          bool is_write, vex::SrcLoc loc);
+  void invalidate_cursors();
+
   TTask& task(uint64_t id);
   TRegion& region(uint64_t id);
   /// Runs a frontier sweep through the sink; unforced calls are throttled
@@ -239,6 +281,7 @@ class SegmentGraphBuilder {
   std::map<std::pair<vex::GuestAddr, bool>, SegId> feb_last_release_;
   std::vector<PendingJoin> joins_;
   std::vector<uint64_t> cur_task_by_tid_;  // announced task per thread
+  std::vector<AccessCursor> cursors_;      // per-tid access fast lane
   uint64_t dtv_gen_warnings_ = 0;
   bool finalized_ = false;
 };

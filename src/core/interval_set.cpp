@@ -1,125 +1,308 @@
 #include "core/interval_set.hpp"
 
-#include "support/assert.hpp"
+#include <cstddef>
+#include <cstring>
+#include <new>
 
 namespace tg::core {
 
-IntervalSet::~IntervalSet() {
-  account(-static_cast<int64_t>(intervals_.size()));
-}
+IntervalSet::~IntervalSet() { clear(); }
 
 IntervalSet::IntervalSet(IntervalSet&& other) noexcept
-    : intervals_(std::move(other.intervals_)) {
-  other.intervals_.clear();
+    : chunks_(std::move(other.chunks_)),
+      free_list_(other.free_list_),
+      count_(other.count_),
+      bytes_(other.bytes_),
+      arena_bytes_(other.arena_bytes_),
+      directory_bytes_(other.directory_bytes_),
+      cursor_chunk_(other.cursor_chunk_),
+      cursor_item_(other.cursor_item_) {
+  other.chunks_.clear();
+  other.free_list_ = nullptr;
+  other.count_ = 0;
+  other.bytes_ = 0;
+  other.arena_bytes_ = 0;
+  other.directory_bytes_ = 0;
+  other.cursor_chunk_ = 0;
+  other.cursor_item_ = 0;
 }
 
-void IntervalSet::account(int64_t node_delta) {
-  if (node_delta != 0) {
-    MemAccountant::instance().add(MemCategory::kIntervalTrees,
-                                  node_delta * kNodeBytes);
+void IntervalSet::account(int64_t delta) {
+  if (delta != 0) {
+    arena_bytes_ += delta;
+    MemAccountant::instance().add(MemCategory::kIntervalTrees, delta);
   }
+}
+
+void IntervalSet::sync_directory_accounting() {
+  const int64_t now =
+      static_cast<int64_t>(chunks_.capacity() * sizeof(Chunk*));
+  account(now - directory_bytes_);
+  directory_bytes_ = now;
+}
+
+IntervalSet::Chunk* IntervalSet::alloc_chunk(uint32_t cap) {
+  // Reuse a recycled chunk when one fits; capacities only ever grow within
+  // a set, so first-fit is exact in practice.
+  Chunk** link = &free_list_;
+  while (*link != nullptr) {
+    if ((*link)->cap >= cap) {
+      Chunk* chunk = *link;
+      *link = chunk->next_free;
+      chunk->count = 0;
+      chunk->next_free = nullptr;
+      return chunk;
+    }
+    link = &(*link)->next_free;
+  }
+  auto* chunk = static_cast<Chunk*>(::operator new(chunk_alloc_bytes(cap)));
+  chunk->count = 0;
+  chunk->cap = cap;
+  chunk->next_free = nullptr;
+  account(static_cast<int64_t>(chunk_alloc_bytes(cap)));
+  return chunk;
+}
+
+void IntervalSet::recycle_chunk(Chunk* chunk) {
+  chunk->count = 0;
+  chunk->next_free = free_list_;
+  free_list_ = chunk;
 }
 
 uint64_t IntervalSet::clear() {
-  const uint64_t released =
-      static_cast<uint64_t>(intervals_.size()) * kNodeBytes;
-  account(-static_cast<int64_t>(intervals_.size()));
-  intervals_.clear();
+  const uint64_t released = static_cast<uint64_t>(arena_bytes_);
+  for (Chunk* chunk : chunks_) ::operator delete(chunk);
+  for (Chunk* chunk = free_list_; chunk != nullptr;) {
+    Chunk* next = chunk->next_free;
+    ::operator delete(chunk);
+    chunk = next;
+  }
+  free_list_ = nullptr;
+  std::vector<Chunk*>().swap(chunks_);
+  if (arena_bytes_ != 0) {
+    MemAccountant::instance().add(MemCategory::kIntervalTrees, -arena_bytes_);
+  }
+  arena_bytes_ = 0;
+  directory_bytes_ = 0;
+  count_ = 0;
+  bytes_ = 0;
+  cursor_chunk_ = 0;
+  cursor_item_ = 0;
   return released;
 }
 
-void IntervalSet::add(uint64_t lo, uint64_t hi, vex::SrcLoc loc) {
-  TG_ASSERT(lo < hi);
-  const int64_t before = static_cast<int64_t>(intervals_.size());
+void IntervalSet::find_first_touch(uint64_t lo, size_t& ci,
+                                   uint32_t& ii) const {
+  // Directory level: first chunk whose last interval reaches lo. Interval
+  // his are sorted across (and within) chunks because intervals are
+  // disjoint and ordered.
+  size_t a = 0;
+  size_t b = chunks_.size();
+  while (a < b) {
+    const size_t mid = (a + b) / 2;
+    const Chunk& c = *chunks_[mid];
+    if (c.items()[c.count - 1].hi >= lo) {
+      b = mid;
+    } else {
+      a = mid + 1;
+    }
+  }
+  ci = a;
+  ii = 0;
+  if (ci == chunks_.size()) return;
+  const Chunk& c = *chunks_[ci];
+  uint32_t x = 0;
+  uint32_t y = c.count;
+  while (x < y) {
+    const uint32_t mid = (x + y) / 2;
+    if (c.items()[mid].hi >= lo) {
+      y = mid;
+    } else {
+      x = mid + 1;
+    }
+  }
+  ii = x;  // < count: this chunk's last interval reaches lo
+}
 
-  // Find the first interval that could touch [lo, hi): the predecessor of
-  // lo if it reaches lo, else the first interval starting at or after lo.
-  auto it = intervals_.upper_bound(lo);
-  if (it != intervals_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second.hi >= lo) it = prev;
+void IntervalSet::push_back_interval(uint64_t lo, uint64_t hi,
+                                     vex::SrcLoc loc) {
+  Chunk* back = chunks_.empty() ? nullptr : chunks_.back();
+  if (back == nullptr || back->count == back->cap) {
+    if (back != nullptr && back->cap < kMaxCap) {
+      // Grow the tail chunk instead of fragmenting a small set.
+      Chunk* bigger = alloc_chunk(kMaxCap);
+      std::memcpy(bigger->items(), back->items(),
+                  back->count * sizeof(Interval));
+      bigger->count = back->count;
+      chunks_.back() = bigger;
+      recycle_chunk(back);
+      back = bigger;
+    } else {
+      back = alloc_chunk(chunks_.empty() ? kSmallCap : kMaxCap);
+      chunks_.push_back(back);
+      sync_directory_accounting();
+    }
+  }
+  back->items()[back->count] = Interval{lo, hi, loc};
+  ++back->count;
+  ++count_;
+  bytes_ += hi - lo;
+  cursor_chunk_ = static_cast<uint32_t>(chunks_.size() - 1);
+  cursor_item_ = back->count - 1;
+}
+
+void IntervalSet::insert_at(size_t ci, uint32_t ii, uint64_t lo, uint64_t hi,
+                            vex::SrcLoc loc) {
+  if (ci == chunks_.size()) {
+    push_back_interval(lo, hi, loc);
+    return;
+  }
+  Chunk* c = chunks_[ci];
+  if (c->count == c->cap && c->cap < kMaxCap) {
+    Chunk* bigger = alloc_chunk(kMaxCap);
+    std::memcpy(bigger->items(), c->items(), c->count * sizeof(Interval));
+    bigger->count = c->count;
+    chunks_[ci] = bigger;
+    recycle_chunk(c);
+    c = bigger;
+  }
+  if (c->count == c->cap) {
+    // Split: upper half moves to a fresh chunk right after this one.
+    Chunk* upper = alloc_chunk(kMaxCap);
+    const uint32_t keep = c->count / 2;
+    upper->count = c->count - keep;
+    std::memcpy(upper->items(), c->items() + keep,
+                upper->count * sizeof(Interval));
+    c->count = keep;
+    chunks_.insert(chunks_.begin() + static_cast<ptrdiff_t>(ci) + 1, upper);
+    sync_directory_accounting();
+    if (ii > keep) {
+      ++ci;
+      ii -= keep;
+      c = upper;
+    }
+  }
+  std::memmove(c->items() + ii + 1, c->items() + ii,
+               (c->count - ii) * sizeof(Interval));
+  c->items()[ii] = Interval{lo, hi, loc};
+  ++c->count;
+  ++count_;
+  bytes_ += hi - lo;
+  cursor_chunk_ = static_cast<uint32_t>(ci);
+  cursor_item_ = ii;
+}
+
+void IntervalSet::erase_run(size_t ci, uint32_t ii, size_t cj, uint32_t ij) {
+  if (ci == cj) {
+    Chunk& c = *chunks_[ci];
+    std::memmove(c.items() + ii, c.items() + ij,
+                 (c.count - ij) * sizeof(Interval));
+    c.count -= ij - ii;
+    return;
+  }
+  chunks_[ci]->count = ii;  // ii >= 1: the merged interval stays in place
+  if (cj < chunks_.size() && ij > 0) {
+    Chunk& c = *chunks_[cj];
+    std::memmove(c.items(), c.items() + ij,
+                 (c.count - ij) * sizeof(Interval));
+    c.count -= ij;
+  }
+  for (size_t k = ci + 1; k < cj; ++k) recycle_chunk(chunks_[k]);
+  chunks_.erase(chunks_.begin() + static_cast<ptrdiff_t>(ci) + 1,
+                chunks_.begin() + static_cast<ptrdiff_t>(cj));
+}
+
+void IntervalSet::add_slow(uint64_t lo, uint64_t hi, vex::SrcLoc loc) {
+  if (chunks_.empty()) {
+    push_back_interval(lo, hi, loc);
+    return;
+  }
+  {
+    // Strided/sparse ascending sweeps: a disjoint add past the last
+    // interval is a plain append.
+    const Chunk& back = *chunks_.back();
+    if (back.items()[back.count - 1].hi < lo) {
+      push_back_interval(lo, hi, loc);
+      return;
+    }
   }
 
-  // Absorb every interval overlapping or adjacent to [lo, hi).
+  size_t ci;
+  uint32_t ii;
+  find_first_touch(lo, ci, ii);
+
+  // Absorb every interval overlapping or adjacent to [lo, hi). The first
+  // absorbed interval (lowest address) donates the representative SrcLoc -
+  // it was recorded first.
   uint64_t new_lo = lo;
   uint64_t new_hi = hi;
   vex::SrcLoc new_loc = loc;
-  bool absorbed_any = false;
-  while (it != intervals_.end() && it->first <= new_hi) {
-    if (it->second.hi < new_lo) {
-      ++it;
-      continue;
+  uint64_t absorbed_bytes = 0;
+  size_t absorbed = 0;
+  size_t cj = ci;
+  uint32_t ij = ii;
+  while (cj < chunks_.size()) {
+    const Chunk& c = *chunks_[cj];
+    while (ij < c.count && c.items()[ij].lo <= new_hi) {
+      const Interval& v = c.items()[ij];
+      if (absorbed == 0) new_loc = v.loc;
+      new_lo = std::min(new_lo, v.lo);
+      new_hi = std::max(new_hi, v.hi);
+      absorbed_bytes += v.hi - v.lo;
+      ++absorbed;
+      ++ij;
     }
-    if (!absorbed_any) {
-      // Keep the existing representative location: it was recorded first.
-      new_loc = it->second.loc;
-      absorbed_any = true;
-    }
-    new_lo = std::min(new_lo, it->first);
-    new_hi = std::max(new_hi, it->second.hi);
-    it = intervals_.erase(it);
+    if (ij < c.count) break;  // stopped before this chunk's end
+    ++cj;
+    ij = 0;
+    if (cj < chunks_.size() && chunks_[cj]->items()[0].lo > new_hi) break;
   }
-  intervals_.emplace(new_lo, Node{new_hi, new_loc});
-  account(static_cast<int64_t>(intervals_.size()) - before);
+
+  if (absorbed == 0) {
+    insert_at(ci, ii, new_lo, new_hi, new_loc);
+    return;
+  }
+  chunks_[ci]->items()[ii] = Interval{new_lo, new_hi, new_loc};
+  if (absorbed > 1) erase_run(ci, ii + 1, cj, ij);
+  bytes_ += (new_hi - new_lo) - absorbed_bytes;
+  count_ -= absorbed - 1;
+  cursor_chunk_ = static_cast<uint32_t>(ci);
+  cursor_item_ = ii;
 }
 
 IntervalSet::Bounds IntervalSet::bounds() const {
-  if (intervals_.empty()) return {};
-  return {intervals_.begin()->first, intervals_.rbegin()->second.hi};
-}
-
-uint64_t IntervalSet::byte_count() const {
-  uint64_t total = 0;
-  for (const auto& [lo, node] : intervals_) total += node.hi - lo;
-  return total;
+  if (chunks_.empty()) return {};
+  const Chunk& back = *chunks_.back();
+  return {chunks_.front()->items()[0].lo, back.items()[back.count - 1].hi};
 }
 
 bool IntervalSet::contains(uint64_t addr) const {
-  auto it = intervals_.upper_bound(addr);
-  if (it == intervals_.begin()) return false;
-  --it;
-  return addr < it->second.hi;
+  size_t ci;
+  uint32_t ii;
+  find_first_touch(addr + 1, ci, ii);  // first interval with hi > addr
+  if (ci >= chunks_.size()) return false;
+  const Interval& v = chunks_[ci]->items()[ii];
+  return v.lo <= addr && addr < v.hi;
 }
 
 bool IntervalSet::intersects(const IntervalSet& other) const {
-  // Parallel ordered walk; O(min(n,m) * log) worst case but usually the
-  // smaller set drives.
-  const IntervalSet& a = interval_count() <= other.interval_count()
-                             ? *this
-                             : other;
+  // The smaller set drives; each of its intervals costs one binary search
+  // in the larger.
+  const IntervalSet& a = count_ <= other.count_ ? *this : other;
   const IntervalSet& b = &a == this ? other : *this;
-  for (const auto& [lo, node] : a.intervals_) {
-    auto it = b.intervals_.upper_bound(node.hi - 1);
-    if (it != b.intervals_.begin()) {
-      --it;
-      if (it->second.hi > lo) return true;
+  if (a.count_ == 0 || b.count_ == 0) return false;
+  for (const Chunk* c : a.chunks_) {
+    for (uint32_t i = 0; i < c->count; ++i) {
+      const Interval& v = c->items()[i];
+      size_t ci;
+      uint32_t ii;
+      b.find_first_touch(v.lo + 1, ci, ii);  // first w with w.hi > v.lo
+      if (ci < b.chunks_.size() && b.chunks_[ci]->items()[ii].lo < v.hi) {
+        return true;
+      }
     }
   }
   return false;
-}
-
-void IntervalSet::for_each_overlap(
-    const IntervalSet& other,
-    const std::function<void(const Overlap&)>& fn) const {
-  auto ia = intervals_.begin();
-  auto ib = other.intervals_.begin();
-  while (ia != intervals_.end() && ib != other.intervals_.end()) {
-    const uint64_t lo = std::max(ia->first, ib->first);
-    const uint64_t hi = std::min(ia->second.hi, ib->second.hi);
-    if (lo < hi) {
-      fn(Overlap{lo, hi, ia->second.loc, ib->second.loc});
-    }
-    if (ia->second.hi <= ib->second.hi) {
-      ++ia;
-    } else {
-      ++ib;
-    }
-  }
-}
-
-void IntervalSet::for_each(
-    const std::function<void(uint64_t, uint64_t, vex::SrcLoc)>& fn) const {
-  for (const auto& [lo, node] : intervals_) fn(lo, node.hi, node.loc);
 }
 
 }  // namespace tg::core

@@ -1,20 +1,31 @@
 // Per-segment access interval trees (paper §III-B, Fig. 3).
 //
 // An IntervalSet stores the set of byte ranges a segment read or wrote, as
-// maximal disjoint intervals in an ordered balanced tree. Dense accesses
-// (array sweeps) coalesce into single intervals, which is what keeps memory
-// bounded on LULESH-sized workloads; all operations used by the analysis
-// are O(log n) in the number of dense intervals.
+// maximal disjoint intervals. Dense accesses (array sweeps) coalesce into
+// single intervals, which is what keeps memory bounded on LULESH-sized
+// workloads.
+//
+// Representation: a chunked arena. Intervals live in fixed-capacity chunks
+// bump-filled in address order; a small directory vector orders the chunks.
+// A last-touched cursor makes the recording hot path O(1) amortized for the
+// dominant patterns (dense sweeps extend one interval in place, strided
+// sweeps append at the end); everything else is one binary search over the
+// directory plus one inside a chunk, with shifts bounded by the chunk
+// capacity. Chunks emptied by coalescing are recycled through a free list
+// and the whole arena is released wholesale by clear() - how the streaming
+// engine retires a segment's trees. Accounting is exact: every chunk and the
+// directory are charged byte-for-byte (no per-node estimate).
 //
 // Each interval keeps the source location of the first access that created
 // it, so reports can cite file:line.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <vector>
 
 #include "support/accounting.hpp"
+#include "support/assert.hpp"
 #include "vex/ir.hpp"
 
 namespace tg::core {
@@ -29,16 +40,42 @@ class IntervalSet {
   IntervalSet& operator=(const IntervalSet&) = delete;
 
   /// Records [lo, hi). Adjacent and overlapping intervals coalesce; the
-  /// representative SrcLoc of the earliest-created constituent wins.
-  void add(uint64_t lo, uint64_t hi, vex::SrcLoc loc);
+  /// representative SrcLoc of the lowest-addressed absorbed interval wins
+  /// (it was recorded first for the canonical dense-sweep pattern).
+  void add(uint64_t lo, uint64_t hi, vex::SrcLoc loc) {
+    TG_ASSERT(lo < hi);
+    // Fast lane: the last-touched interval. Dense sweeps either re-touch
+    // bytes already covered or extend the interval's upper end in place.
+    if (cursor_chunk_ < chunks_.size()) {
+      Chunk& c = *chunks_[cursor_chunk_];
+      if (cursor_item_ < c.count) {
+        Interval& cur = c.items()[cursor_item_];
+        if (lo >= cur.lo && lo <= cur.hi) {
+          if (hi <= cur.hi) return;  // fully covered
+          const Interval* next = peek_next(cursor_chunk_, cursor_item_);
+          if (next == nullptr || next->lo > hi) {
+            bytes_ += hi - cur.hi;
+            cur.hi = hi;  // pure extension: no successor reached
+            return;
+          }
+        }
+      }
+    }
+    add_slow(lo, hi, loc);
+  }
 
   /// Drops every interval and returns the accounted bytes released - how
-  /// the streaming engine retires a segment's trees.
+  /// the streaming engine retires a segment's trees. The arena (all chunks,
+  /// including recycled ones) is freed wholesale.
   uint64_t clear();
 
-  bool empty() const { return intervals_.empty(); }
-  size_t interval_count() const { return intervals_.size(); }
-  uint64_t byte_count() const;
+  bool empty() const { return count_ == 0; }
+  size_t interval_count() const { return count_; }
+  uint64_t byte_count() const { return bytes_; }
+
+  /// Exact bytes currently allocated for this set (chunks + directory) -
+  /// the number the memory accountant is charged with.
+  uint64_t arena_bytes() const { return static_cast<uint64_t>(arena_bytes_); }
 
   /// Tight address bounding box over all intervals, half-open [lo, hi).
   /// {0, 0} when empty. O(1): the intervals are disjoint and ordered, so
@@ -63,24 +100,101 @@ class IntervalSet {
   };
 
   /// Invokes `fn` for every maximal overlapping range, ordered by address.
-  void for_each_overlap(const IntervalSet& other,
-                        const std::function<void(const Overlap&)>& fn) const;
+  /// `fn` is a template visitor: the scan loop compiles to direct calls
+  /// (no std::function), which is what the streaming workers hammer.
+  template <typename Fn>
+  void for_each_overlap(const IntervalSet& other, Fn&& fn) const {
+    size_t ca = 0;
+    size_t cb = 0;
+    uint32_t ia = 0;
+    uint32_t ib = 0;
+    while (ca < chunks_.size() && cb < other.chunks_.size()) {
+      const Interval& va = chunks_[ca]->items()[ia];
+      const Interval& vb = other.chunks_[cb]->items()[ib];
+      const uint64_t lo = std::max(va.lo, vb.lo);
+      const uint64_t hi = std::min(va.hi, vb.hi);
+      if (lo < hi) fn(Overlap{lo, hi, va.loc, vb.loc});
+      if (va.hi <= vb.hi) {
+        if (++ia == chunks_[ca]->count) {
+          ++ca;
+          ia = 0;
+        }
+      } else {
+        if (++ib == other.chunks_[cb]->count) {
+          ++cb;
+          ib = 0;
+        }
+      }
+    }
+  }
 
-  /// Ordered walk over all intervals.
-  void for_each(const std::function<void(uint64_t lo, uint64_t hi,
-                                         vex::SrcLoc)>& fn) const;
+  /// Ordered walk over all intervals (template visitor, see above).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Chunk* c : chunks_) {
+      for (uint32_t i = 0; i < c->count; ++i) {
+        const Interval& v = c->items()[i];
+        fn(v.lo, v.hi, v.loc);
+      }
+    }
+  }
 
  private:
-  struct Node {
+  struct Interval {
+    uint64_t lo;
     uint64_t hi;
     vex::SrcLoc loc;
   };
 
-  static constexpr int64_t kNodeBytes = 64;  // accounting estimate per node
+  /// One arena block: a bump-filled, sorted run of intervals. The payload
+  /// lives directly behind the header.
+  struct Chunk {
+    uint32_t count;
+    uint32_t cap;
+    Chunk* next_free;  // free-list link while recycled
+    Interval* items() { return reinterpret_cast<Interval*>(this + 1); }
+    const Interval* items() const {
+      return reinterpret_cast<const Interval*>(this + 1);
+    }
+  };
 
-  void account(int64_t node_delta);
+  static constexpr uint32_t kSmallCap = 4;  // first chunk of a set
+  static constexpr uint32_t kMaxCap = 64;
 
-  std::map<uint64_t, Node> intervals_;  // lo -> (hi, loc)
+  static size_t chunk_alloc_bytes(uint32_t cap) {
+    return sizeof(Chunk) + static_cast<size_t>(cap) * sizeof(Interval);
+  }
+
+  const Interval* peek_next(size_t ci, uint32_t ii) const {
+    const Chunk& c = *chunks_[ci];
+    if (ii + 1 < c.count) return &c.items()[ii + 1];
+    if (ci + 1 < chunks_.size()) return &chunks_[ci + 1]->items()[0];
+    return nullptr;
+  }
+
+  Chunk* alloc_chunk(uint32_t cap);
+  void recycle_chunk(Chunk* chunk);
+  void add_slow(uint64_t lo, uint64_t hi, vex::SrcLoc loc);
+  void push_back_interval(uint64_t lo, uint64_t hi, vex::SrcLoc loc);
+  void insert_at(size_t ci, uint32_t ii, uint64_t lo, uint64_t hi,
+                 vex::SrcLoc loc);
+  /// Removes items [ (ci, ii) .. (cj, ij) ), which never includes item 0 of
+  /// chunk ci (the merged interval stays there).
+  void erase_run(size_t ci, uint32_t ii, size_t cj, uint32_t ij);
+  /// Position of the first interval with interval.hi >= lo, or
+  /// ci == chunks_.size() when none.
+  void find_first_touch(uint64_t lo, size_t& ci, uint32_t& ii) const;
+  void account(int64_t delta);
+  void sync_directory_accounting();
+
+  std::vector<Chunk*> chunks_;  // live chunks in address order
+  Chunk* free_list_ = nullptr;  // recycled chunks, freed on clear()
+  size_t count_ = 0;            // intervals across all chunks
+  uint64_t bytes_ = 0;          // covered bytes (maintained incrementally)
+  int64_t arena_bytes_ = 0;     // exact allocated bytes (chunks + directory)
+  int64_t directory_bytes_ = 0;
+  uint32_t cursor_chunk_ = 0;   // last-touched interval (the append hint)
+  uint32_t cursor_item_ = 0;
 };
 
 }  // namespace tg::core

@@ -19,6 +19,7 @@
 // The Eq. 1 parallel-region fast path is checked before any of this.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -62,6 +63,15 @@ struct Segment {
   std::vector<uint64_t> mutexes;     // task mutexes (mutexinoutset), sorted
 
   bool has_accesses() const { return !reads.empty() || !writes.empty(); }
+
+  /// Bounding box over reads U writes, for the pair-pruning sweeps.
+  IntervalSet::Bounds access_bounds() const {
+    const IntervalSet::Bounds r = reads.bounds();
+    const IntervalSet::Bounds w = writes.bounds();
+    if (r.empty()) return w;
+    if (w.empty()) return r;
+    return {std::min(r.lo, w.lo), std::max(r.hi, w.hi)};
+  }
 };
 
 /// Constant-size per-segment timestamp (the order-maintenance index entry).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/accounting.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
 
@@ -62,20 +63,9 @@ void StreamingAnalyzer::segment_closed(SegId id) {
   if (seg.kind != SegKind::kTask || !seg.has_accesses()) return;
   ++segments_active_;
 
-  const IntervalSet::Bounds reads = seg.reads.bounds();
-  const IntervalSet::Bounds writes = seg.writes.bounds();
-  uint64_t lo;
-  uint64_t hi;
-  if (reads.empty()) {
-    lo = writes.lo;
-    hi = writes.hi;
-  } else if (writes.empty()) {
-    lo = reads.lo;
-    hi = reads.hi;
-  } else {
-    lo = std::min(reads.lo, writes.lo);
-    hi = std::max(reads.hi, writes.hi);
-  }
+  const IntervalSet::Bounds box = seg.access_bounds();
+  const uint64_t lo = box.lo;
+  const uint64_t hi = box.hi;
 
   // Mark every live ancestor of the closed segment: those pairs are ordered
   // on the partial graph already, and happens-before is monotone, so they
@@ -358,6 +348,8 @@ AnalysisResult StreamingAnalyzer::finish() {
   stats.segments_retired = segments_retired_;
   stats.peak_live_segments = peak_live_segments_;
   stats.retired_tree_bytes = retired_tree_bytes_;
+  stats.peak_tree_bytes = static_cast<uint64_t>(
+      MemAccountant::instance().category_peak(MemCategory::kIntervalTrees));
   stats.pairs_deferred = pairs_deferred_;
   stats.retire_sweeps = retire_sweeps_;
   stats.streamed = true;

@@ -65,7 +65,7 @@ GuestAddr TaskgrindTool::remap_stack(GuestAddr addr) {
 
 void TaskgrindTool::on_load(vex::ThreadCtx& thread, GuestAddr addr,
                             uint32_t size, vex::SrcLoc loc) {
-  if (ignoring_tids_.count(thread.tid)) return;
+  if (builder_.ignoring(thread.tid)) return;
   ++access_events_;
   builder_.record_access(thread.tid, remap_stack(addr), size,
                          /*is_write=*/false, loc);
@@ -73,7 +73,7 @@ void TaskgrindTool::on_load(vex::ThreadCtx& thread, GuestAddr addr,
 
 void TaskgrindTool::on_store(vex::ThreadCtx& thread, GuestAddr addr,
                              uint32_t size, vex::SrcLoc loc) {
-  if (ignoring_tids_.count(thread.tid)) return;
+  if (builder_.ignoring(thread.tid)) return;
   ++access_events_;
   builder_.record_access(thread.tid, remap_stack(addr), size,
                          /*is_write=*/true, loc);
@@ -88,10 +88,10 @@ void TaskgrindTool::on_client_request(vex::ThreadCtx& thread, uint64_t code,
       builder_.set_undeferred_parallel(true);
       return;
     case vex::ClientReq::kTgIgnoreBegin:
-      ignoring_tids_.insert(thread.tid);
+      builder_.set_ignoring(thread.tid, true);
       return;
     case vex::ClientReq::kTgIgnoreEnd:
-      ignoring_tids_.erase(thread.tid);
+      builder_.set_ignoring(thread.tid, false);
       return;
     case vex::ClientReq::kUserNote:
       return;

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -122,7 +121,8 @@ class TaskgrindTool : public vex::Tool, public rt::RtEvents {
   SegmentGraphBuilder builder_;
   AllocRegistry allocs_;
   std::unique_ptr<StreamingAnalyzer> streamer_;  // when options_.streaming
-  std::set<int> ignoring_tids_;  // kTgIgnoreBegin/End regions
+  // kTgIgnoreBegin/End state lives in the builder's per-thread access
+  // cursors (one flag load instead of a std::set lookup per access).
   vex::GuestAddr remap_stack(vex::GuestAddr addr);
   uint64_t access_events_ = 0;
   bool finalized_ = false;

@@ -34,6 +34,7 @@ void MemAccountant::add(MemCategory category, int64_t bytes) {
   auto index = static_cast<size_t>(category);
   TG_ASSERT(index < static_cast<size_t>(MemCategory::kCount));
   bytes_[index] += bytes;
+  if (bytes_[index] > peaks_[index]) peaks_[index] = bytes_[index];
   total_ += bytes;
   if (total_ > peak_) peak_ = total_;
 }
@@ -44,8 +45,13 @@ int64_t MemAccountant::category_bytes(MemCategory category) const {
   return bytes_[static_cast<size_t>(category)];
 }
 
+int64_t MemAccountant::category_peak(MemCategory category) const {
+  return peaks_[static_cast<size_t>(category)];
+}
+
 void MemAccountant::reset() {
   for (auto& b : bytes_) b = 0;
+  for (auto& p : peaks_) p = 0;
   total_ = 0;
   peak_ = 0;
 }

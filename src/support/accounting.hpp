@@ -38,6 +38,10 @@ class MemAccountant {
   int64_t total() const;
   int64_t peak() const { return peak_; }
   int64_t category_bytes(MemCategory category) const;
+  /// High-water mark of one category alone (vs peak(), which is the peak of
+  /// the cross-category sum). Lets benches report e.g. peak interval-tree
+  /// bytes exactly, independent of when other subsystems peaked.
+  int64_t category_peak(MemCategory category) const;
   void reset();
 
   /// One line per non-zero category, for bench output.
@@ -47,6 +51,7 @@ class MemAccountant {
 
  private:
   int64_t bytes_[static_cast<size_t>(MemCategory::kCount)]{};
+  int64_t peaks_[static_cast<size_t>(MemCategory::kCount)]{};
   int64_t total_ = 0;
   int64_t peak_ = 0;
 };

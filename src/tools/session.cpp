@@ -259,6 +259,7 @@ std::string session_json(const SessionOptions& options,
   json.field("segments_retired", stats.segments_retired);
   json.field("peak_live_segments", stats.peak_live_segments);
   json.field("retired_tree_bytes", stats.retired_tree_bytes);
+  json.field("peak_tree_bytes", stats.peak_tree_bytes);
   json.field("retire_sweeps", stats.retire_sweeps);
   json.field("index_bytes", stats.index_bytes);
   json.field("oracle_bytes", stats.oracle_bytes);

@@ -37,6 +37,23 @@ void TaskSanTool::on_store(vex::ThreadCtx& thread, GuestAddr addr,
   builder_.record_access(thread.tid, addr, size, /*is_write=*/true, loc);
 }
 
+void TaskSanTool::on_client_request(vex::ThreadCtx& thread, uint64_t code,
+                                    std::span<const Value> args) {
+  (void)args;
+  // Same per-thread ignore fast lane as Taskgrind: the flag lives in the
+  // builder's access cursor, so record_access drops the events itself.
+  switch (static_cast<vex::ClientReq>(code)) {
+    case vex::ClientReq::kTgIgnoreBegin:
+      builder_.set_ignoring(thread.tid, true);
+      return;
+    case vex::ClientReq::kTgIgnoreEnd:
+      builder_.set_ignoring(thread.tid, false);
+      return;
+    default:
+      return;  // other requests are Taskgrind-specific
+  }
+}
+
 std::optional<vex::HostFn> TaskSanTool::replace_function(
     std::string_view symbol) {
   // Quarantine model: freed blocks are never recycled while analysed.

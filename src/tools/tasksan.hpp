@@ -48,6 +48,8 @@ class TaskSanTool : public vex::Tool, public rt::RtEvents {
                vex::SrcLoc loc) override;
   void on_store(vex::ThreadCtx& thread, vex::GuestAddr addr, uint32_t size,
                 vex::SrcLoc loc) override;
+  void on_client_request(vex::ThreadCtx& thread, uint64_t code,
+                         std::span<const vex::Value> args) override;
   std::optional<vex::HostFn> replace_function(
       std::string_view symbol) override;
 

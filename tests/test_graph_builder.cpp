@@ -309,5 +309,149 @@ TEST(GraphBuilder, CurrentSegmentTracksAnnouncedTask) {
   EXPECT_EQ(s.builder.current_segment(0), kNoSeg);
 }
 
+// --- access-cursor invalidation ---------------------------------------------
+// record_access caches the tid -> task -> open-segment resolution; these
+// tests pin down that every event that can move a thread to a different
+// segment invalidates the cache, so no access ever lands in a stale tree.
+
+TEST(GraphBuilder, CursorFollowsTaskwaitSplit) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  s.access(0, 0x100, true);  // resolves + caches the cursor
+  const SegId before = s.builder.current_segment(0);
+  s.builder.sync_begin(SyncKind::kTaskwait, root, 0);
+  s.builder.sync_end(SyncKind::kTaskwait, root, 0);
+  s.access(0, 0x200, true);  // must land in the post-wait segment
+  const SegId after = s.builder.current_segment(0);
+  ASSERT_NE(before, after);
+  s.complete(root);
+  SegmentGraph& graph = s.finalize();
+  EXPECT_TRUE(graph.segment(before).writes.contains(0x100));
+  EXPECT_FALSE(graph.segment(before).writes.contains(0x200));
+  EXPECT_TRUE(graph.segment(after).writes.contains(0x200));
+  EXPECT_FALSE(graph.segment(after).writes.contains(0x100));
+}
+
+TEST(GraphBuilder, CursorFollowsTaskCreateSplit) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  s.access(0, 0x100, true);
+  const SegId before = s.builder.current_segment(0);
+  const uint64_t child = s.spawn(root);  // splits the parent's segment
+  s.access(0, 0x200, true);
+  const SegId after = s.builder.current_segment(0);
+  ASSERT_NE(before, after);
+  s.begin(child, 1);
+  s.complete(child);
+  s.complete(root);
+  SegmentGraph& graph = s.finalize();
+  EXPECT_TRUE(graph.segment(before).writes.contains(0x100));
+  EXPECT_TRUE(graph.segment(after).writes.contains(0x200));
+  EXPECT_FALSE(graph.segment(after).writes.contains(0x100));
+}
+
+TEST(GraphBuilder, ScheduleEndDropsAccesses) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  s.access(0, 0x100, true);
+  s.end(root);
+  s.access(0, 0x200, true);  // no announced task: dropped, not crashed
+  s.access(0, 0x208, true);  // second hit exercises the cached negative
+  s.begin(root);
+  s.access(0, 0x300, true);
+  s.complete(root);
+  SegmentGraph& graph = s.finalize();
+  for (SegId i = 0; i < graph.size(); ++i) {
+    EXPECT_FALSE(graph.segment(i).writes.contains(0x200));
+    EXPECT_FALSE(graph.segment(i).writes.contains(0x208));
+  }
+  bool seen = false;
+  for (SegId i = 0; i < graph.size(); ++i) {
+    seen = seen || graph.segment(i).writes.contains(0x300);
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(GraphBuilder, IgnoreFlagDropsAndSurvivesSegmentChurn) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  s.access(0, 0x100, true);
+  s.builder.set_ignoring(0, true);
+  EXPECT_TRUE(s.builder.ignoring(0));
+  s.access(0, 0x200, true);  // dropped
+  // Segment churn while ignoring: the flag is thread state, not segment
+  // state, so it must survive the cursor invalidation.
+  s.builder.sync_begin(SyncKind::kTaskwait, root, 0);
+  s.builder.sync_end(SyncKind::kTaskwait, root, 0);
+  s.access(0, 0x210, true);  // still dropped
+  s.builder.set_ignoring(0, false);
+  EXPECT_FALSE(s.builder.ignoring(0));
+  s.access(0, 0x300, true);
+  s.complete(root);
+  SegmentGraph& graph = s.finalize();
+  bool seen_100 = false;
+  bool seen_300 = false;
+  for (SegId i = 0; i < graph.size(); ++i) {
+    const IntervalSet& writes = graph.segment(i).writes;
+    EXPECT_FALSE(writes.contains(0x200));
+    EXPECT_FALSE(writes.contains(0x210));
+    seen_100 = seen_100 || writes.contains(0x100);
+    seen_300 = seen_300 || writes.contains(0x300);
+  }
+  EXPECT_TRUE(seen_100);
+  EXPECT_TRUE(seen_300);
+}
+
+TEST(GraphBuilder, IgnoreFlagBeforeAnyAccessOrTask) {
+  Script s;
+  // The flag can arrive before the thread ever announced a task.
+  s.builder.set_ignoring(2, true);
+  EXPECT_TRUE(s.builder.ignoring(2));
+  EXPECT_FALSE(s.builder.ignoring(0));
+  EXPECT_FALSE(s.builder.ignoring(-1));
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root, 2);
+  s.access(2, 0x100, true);  // dropped: ignore set before resolution
+  s.builder.set_ignoring(2, false);
+  s.access(2, 0x200, true);
+  s.complete(root);
+  SegmentGraph& graph = s.finalize();
+  bool seen = false;
+  for (SegId i = 0; i < graph.size(); ++i) {
+    EXPECT_FALSE(graph.segment(i).writes.contains(0x100));
+    seen = seen || graph.segment(i).writes.contains(0x200);
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(GraphBuilder, CursorsIndependentPerThread) {
+  Script s;
+  const uint64_t root = s.spawn(kNoId, TaskFlags::kImplicit);
+  s.begin(root);
+  const uint64_t child = s.spawn(root);
+  s.begin(child, 1);
+  s.access(0, 0x100, true);
+  s.access(1, 0x200, true);
+  s.builder.set_ignoring(0, true);
+  s.access(0, 0x110, true);  // dropped
+  s.access(1, 0x210, true);  // tid 1 unaffected
+  s.builder.set_ignoring(0, false);
+  s.complete(child);
+  s.end(root);
+  s.begin(root);
+  s.complete(root);
+  SegmentGraph& graph = s.finalize();
+  bool seen_210 = false;
+  for (SegId i = 0; i < graph.size(); ++i) {
+    EXPECT_FALSE(graph.segment(i).writes.contains(0x110));
+    seen_210 = seen_210 || graph.segment(i).writes.contains(0x210);
+  }
+  EXPECT_TRUE(seen_210);
+}
+
 }  // namespace
 }  // namespace tg::core

@@ -1,0 +1,297 @@
+// Property/fuzz tests for the arena-backed IntervalSet against two
+// independent reference models:
+//  * RefSet - a std::map-based reimplementation of the original interval
+//    algorithm (the pre-arena representation), including its SrcLoc merge
+//    rule (lowest-addressed absorbed interval donates the location). The
+//    arena set must agree interval-for-interval, location included: that is
+//    the byte-identical-findings guarantee the differential suites rely on.
+//  * a plain byte set for membership/intersection ground truth.
+// Also checks that the exact memory accounting returns to its baseline when
+// sets are cleared or destroyed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/interval_set.hpp"
+#include "support/accounting.hpp"
+#include "support/rng.hpp"
+
+namespace tg::core {
+namespace {
+
+vex::SrcLoc loc(uint32_t line) { return vex::SrcLoc{0, line}; }
+
+/// The original std::map representation, kept as an executable spec.
+class RefSet {
+ public:
+  void add(uint64_t lo, uint64_t hi, vex::SrcLoc at) {
+    uint64_t new_lo = lo;
+    uint64_t new_hi = hi;
+    vex::SrcLoc merged = at;
+    bool absorbed = false;
+    auto it = map_.lower_bound(lo);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.hi >= lo) it = prev;  // touches from the left
+    }
+    while (it != map_.end() && it->first <= new_hi) {
+      if (!absorbed) {
+        merged = it->second.loc;  // lowest-addressed absorbed loc wins
+        absorbed = true;
+      }
+      new_lo = std::min(new_lo, it->first);
+      new_hi = std::max(new_hi, it->second.hi);
+      it = map_.erase(it);
+    }
+    map_[new_lo] = {new_hi, merged};
+  }
+
+  void clear() { map_.clear(); }
+
+  size_t interval_count() const { return map_.size(); }
+
+  uint64_t byte_count() const {
+    uint64_t total = 0;
+    for (const auto& [lo, node] : map_) total += node.hi - lo;
+    return total;
+  }
+
+  struct Entry {
+    uint64_t lo;
+    uint64_t hi;
+    vex::SrcLoc loc;
+  };
+  std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    for (const auto& [lo, node] : map_) out.push_back({lo, node.hi, node.loc});
+    return out;
+  }
+
+ private:
+  struct Node {
+    uint64_t hi;
+    vex::SrcLoc loc;
+  };
+  std::map<uint64_t, Node> map_;
+};
+
+/// Arena and reference must hold the same intervals with the same locs.
+void expect_same(const IntervalSet& set, const RefSet& ref) {
+  const std::vector<RefSet::Entry> expected = ref.entries();
+  ASSERT_EQ(set.interval_count(), expected.size());
+  EXPECT_EQ(set.byte_count(), ref.byte_count());
+  size_t i = 0;
+  set.for_each([&](uint64_t lo, uint64_t hi, vex::SrcLoc at) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(lo, expected[i].lo) << "interval " << i;
+    EXPECT_EQ(hi, expected[i].hi) << "interval " << i;
+    EXPECT_EQ(at.file, expected[i].loc.file) << "interval " << i;
+    EXPECT_EQ(at.line, expected[i].loc.line) << "interval " << i;
+    ++i;
+  });
+  EXPECT_EQ(i, expected.size());
+  if (!expected.empty()) {
+    EXPECT_EQ(set.bounds().lo, expected.front().lo);
+    EXPECT_EQ(set.bounds().hi, expected.back().hi);
+  } else {
+    EXPECT_TRUE(set.bounds().empty());
+  }
+}
+
+/// One random add/clear workload, mirrored into both models after every
+/// step, with byte-level contains() spot checks.
+void fuzz_one(uint64_t seed, uint32_t steps, uint32_t addr_space,
+              uint32_t max_len, double clear_chance) {
+  Rng rng(seed);
+  IntervalSet set;
+  RefSet ref;
+  std::set<uint64_t> bytes;
+  uint32_t line = 1;
+  for (uint32_t step = 0; step < steps; ++step) {
+    if (clear_chance > 0 && rng.chance(clear_chance)) {
+      set.clear();
+      ref.clear();
+      bytes.clear();
+    } else {
+      const uint64_t lo = rng.below(addr_space);
+      const uint64_t hi = lo + 1 + rng.below(max_len);
+      const vex::SrcLoc at = loc(line++);
+      set.add(lo, hi, at);
+      ref.add(lo, hi, at);
+      for (uint64_t b = lo; b < hi; ++b) bytes.insert(b);
+    }
+    expect_same(set, ref);
+    for (int probe = 0; probe < 8; ++probe) {
+      const uint64_t addr = rng.below(addr_space + max_len);
+      EXPECT_EQ(set.contains(addr), bytes.count(addr) != 0) << "addr " << addr;
+    }
+  }
+}
+
+TEST(IntervalFuzz, RandomSmallDense) { fuzz_one(1, 600, 256, 16, 0.01); }
+TEST(IntervalFuzz, RandomWideSparse) { fuzz_one(2, 400, 1u << 16, 64, 0.0); }
+TEST(IntervalFuzz, RandomWithClears) { fuzz_one(3, 600, 4096, 32, 0.05); }
+TEST(IntervalFuzz, RandomLongRanges) { fuzz_one(4, 300, 2048, 512, 0.02); }
+TEST(IntervalFuzz, ManySeeds) {
+  for (uint64_t seed = 10; seed < 30; ++seed) {
+    fuzz_one(seed, 120, 1024, 48, 0.03);
+  }
+}
+
+TEST(IntervalFuzz, DenseSweepMatchesReference) {
+  IntervalSet set;
+  RefSet ref;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    set.add(i * 8, i * 8 + 8, loc(1));
+    ref.add(i * 8, i * 8 + 8, loc(1));
+  }
+  expect_same(set, ref);
+  EXPECT_EQ(set.interval_count(), 1u);
+}
+
+TEST(IntervalFuzz, BackwardSweepMatchesReference) {
+  IntervalSet set;
+  RefSet ref;
+  for (uint64_t i = 4096; i-- > 0;) {
+    set.add(i * 8, i * 8 + 8, loc(static_cast<uint32_t>(i + 1)));
+    ref.add(i * 8, i * 8 + 8, loc(static_cast<uint32_t>(i + 1)));
+  }
+  expect_same(set, ref);
+  EXPECT_EQ(set.interval_count(), 1u);
+}
+
+TEST(IntervalFuzz, StridedThenBridgeMatchesReference) {
+  IntervalSet set;
+  RefSet ref;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    set.add(i * 64, i * 64 + 8, loc(1));
+    ref.add(i * 64, i * 64 + 8, loc(1));
+  }
+  expect_same(set, ref);
+  EXPECT_EQ(set.interval_count(), 1000u);
+  set.add(0, 64 * 1000, loc(2));
+  ref.add(0, 64 * 1000, loc(2));
+  expect_same(set, ref);
+  EXPECT_EQ(set.interval_count(), 1u);
+}
+
+TEST(IntervalFuzz, IntersectsMatchesByteModel) {
+  Rng rng(77);
+  for (int round = 0; round < 60; ++round) {
+    IntervalSet a;
+    IntervalSet b;
+    std::set<uint64_t> bytes_a;
+    std::set<uint64_t> bytes_b;
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.below(40));
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t lo = rng.below(2048);
+      uint64_t hi = lo + 1 + rng.below(16);
+      a.add(lo, hi, loc(1));
+      for (uint64_t x = lo; x < hi; ++x) bytes_a.insert(x);
+      lo = rng.below(2048);
+      hi = lo + 1 + rng.below(16);
+      b.add(lo, hi, loc(2));
+      for (uint64_t x = lo; x < hi; ++x) bytes_b.insert(x);
+    }
+    bool truth = false;
+    for (uint64_t x : bytes_a) {
+      if (bytes_b.count(x) != 0) {
+        truth = true;
+        break;
+      }
+    }
+    EXPECT_EQ(a.intersects(b), truth) << "round " << round;
+    EXPECT_EQ(b.intersects(a), truth) << "round " << round;
+  }
+}
+
+TEST(IntervalFuzz, OverlapVisitorMatchesReference) {
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    IntervalSet a;
+    IntervalSet b;
+    RefSet ref_a;
+    RefSet ref_b;
+    uint32_t line = 1;
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.below(50));
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t lo = rng.below(1024);
+      uint64_t hi = lo + 1 + rng.below(24);
+      vex::SrcLoc at = loc(line++);
+      a.add(lo, hi, at);
+      ref_a.add(lo, hi, at);
+      lo = rng.below(1024);
+      hi = lo + 1 + rng.below(24);
+      at = loc(line++);
+      b.add(lo, hi, at);
+      ref_b.add(lo, hi, at);
+    }
+    // Expected overlaps from the reference entries, in address order.
+    std::vector<IntervalSet::Overlap> expected;
+    for (const RefSet::Entry& ea : ref_a.entries()) {
+      for (const RefSet::Entry& eb : ref_b.entries()) {
+        const uint64_t lo = std::max(ea.lo, eb.lo);
+        const uint64_t hi = std::min(ea.hi, eb.hi);
+        if (lo < hi) expected.push_back({lo, hi, ea.loc, eb.loc});
+      }
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const IntervalSet::Overlap& x, const IntervalSet::Overlap& y) {
+                return x.lo < y.lo;
+              });
+    size_t i = 0;
+    a.for_each_overlap(b, [&](const IntervalSet::Overlap& got) {
+      ASSERT_LT(i, expected.size()) << "round " << round;
+      EXPECT_EQ(got.lo, expected[i].lo);
+      EXPECT_EQ(got.hi, expected[i].hi);
+      EXPECT_EQ(got.this_loc.line, expected[i].this_loc.line);
+      EXPECT_EQ(got.other_loc.line, expected[i].other_loc.line);
+      ++i;
+    });
+    EXPECT_EQ(i, expected.size()) << "round " << round;
+  }
+}
+
+TEST(IntervalFuzz, AccountingReturnsToBaseline) {
+  MemAccountant& accountant = MemAccountant::instance();
+  const int64_t baseline =
+      accountant.category_bytes(MemCategory::kIntervalTrees);
+  {
+    IntervalSet set;
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+      const uint64_t lo = rng.below(1u << 16);
+      set.add(lo, lo + 1 + rng.below(32), loc(1));
+    }
+    EXPECT_GT(set.arena_bytes(), 0u);
+    EXPECT_EQ(accountant.category_bytes(MemCategory::kIntervalTrees),
+              baseline + static_cast<int64_t>(set.arena_bytes()));
+    const uint64_t released = set.clear();
+    EXPECT_GT(released, 0u);
+    EXPECT_EQ(set.arena_bytes(), 0u);
+    EXPECT_EQ(accountant.category_bytes(MemCategory::kIntervalTrees),
+              baseline);
+    // Reusable after a wholesale release.
+    set.add(10, 20, loc(2));
+    EXPECT_TRUE(set.contains(15));
+  }
+  // Destruction releases too.
+  EXPECT_EQ(accountant.category_bytes(MemCategory::kIntervalTrees), baseline);
+}
+
+TEST(IntervalFuzz, ClearReturnsExactArenaBytes) {
+  IntervalSet set;
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t lo = rng.below(1u << 14);
+    set.add(lo, lo + 1 + rng.below(16), loc(1));
+  }
+  const uint64_t before = set.arena_bytes();
+  EXPECT_EQ(set.clear(), before);
+  EXPECT_EQ(set.clear(), 0u);  // idempotent once empty
+}
+
+}  // namespace
+}  // namespace tg::core
