@@ -69,6 +69,28 @@ void BM_IntervalSetIntersection(benchmark::State& state) {
 }
 BENCHMARK(BM_IntervalSetIntersection)->Arg(256)->Arg(4096);
 
+void BM_IntervalSetSpillRoundTrip(benchmark::State& state) {
+  // The governor's eviction lane: serialize an arena snapshot, drop the
+  // resident trees, reload on demand. Round-trips are representation-exact,
+  // so re-serializing the reloaded set yields the same image every iteration.
+  Rng rng(17);
+  core::IntervalSet set;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    const uint64_t lo = rng.below(1u << 22);
+    set.add(lo, lo + 1 + rng.below(64), {});
+  }
+  std::vector<uint8_t> image;
+  for (auto _ : state) {
+    image.clear();
+    set.serialize(image);
+    set.clear();
+    benchmark::DoNotOptimize(set.deserialize(image.data(), image.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(image.size()));
+}
+BENCHMARK(BM_IntervalSetSpillRoundTrip)->Arg(1024)->Arg(16384);
+
 // --- the full access-recording lane: builder cursor + arena add -------------
 //
 // These drive SegmentGraphBuilder::record_access - the code every guest

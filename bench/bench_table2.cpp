@@ -12,13 +12,21 @@
 //  * Archer's report count varies with the seed (the paper's "149 to 273");
 //    pass --seeds N to sample several.
 //
-// Usage: bench_table2 [--s N] [--seeds N] [--csv]
+// Also emits the memory-pressure governor sweep (--pressure-json FILE):
+// the racy mini-LULESH under a descending ladder of --max-tree-bytes
+// ceilings, recording the exact accounted interval-tree peak, spill/reload
+// counters and timings per ceiling - the data behind EXPERIMENTS.md's
+// peak-vs-ceiling table (schema "taskgrind-pressure-v1").
+//
+// Usage: bench_table2 [--s N] [--seeds N] [--csv] [--pressure-json FILE]
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "lulesh/lulesh.hpp"
+#include "support/json.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "tools/session.hpp"
@@ -33,6 +41,7 @@ using tools::ToolKind;
 struct Cell {
   double seconds = 0;
   double mib = 0;
+  uint64_t tree_peak = 0;  // exact accounted interval-tree high-water mark
   size_t reports_lo = 0;
   size_t reports_hi = 0;
   bool deadlock = false;
@@ -59,6 +68,8 @@ Cell measure(const lulesh::LuleshParams& params, ToolKind tool, int threads,
     times.push_back(result.exec_seconds);
     cell.mib = std::max(cell.mib,
                         static_cast<double>(result.peak_bytes) / 1048576.0);
+    cell.tree_peak =
+        std::max(cell.tree_peak, result.analysis_stats.peak_tree_bytes);
     cell.reports_lo = std::min(cell.reports_lo, result.raw_report_count);
     cell.reports_hi = std::max(cell.reports_hi, result.raw_report_count);
   }
@@ -73,6 +84,93 @@ std::string report_range(const Cell& cell) {
   }
   return std::to_string(cell.reports_lo) + " to " +
          std::to_string(cell.reports_hi);
+}
+
+/// The governor sweep: one racy mini-LULESH recording per ceiling, from
+/// "bites hard" (half the unbounded tree peak) to unlimited. The workload
+/// is deliberately heavier-per-task than Table II's shape (more iterations,
+/// larger task bodies) so its unbounded interval-tree peak (~520 KiB)
+/// clears the smallest ceiling by 2x and the spill machinery provably runs.
+int run_pressure_sweep(const std::string& json_path) {
+  lulesh::LuleshParams params;
+  params.s = 10;
+  params.tel = 8;
+  params.tnl = 8;
+  params.iters = 8;
+  params.racy = true;
+  const rt::GuestProgram program = lulesh::make_lulesh(params);
+
+  const uint64_t ceilings[] = {256ull << 10, 512ull << 10, 4ull << 20, 0};
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "taskgrind-pressure-v1");
+  json.key("workload").begin_object();
+  json.field("program", "lulesh");
+  json.field("s", static_cast<uint64_t>(params.s));
+  json.field("tel", static_cast<uint64_t>(params.tel));
+  json.field("tnl", static_cast<uint64_t>(params.tnl));
+  json.field("iters", static_cast<uint64_t>(params.iters));
+  json.field("racy", params.racy);
+  json.field("num_threads", static_cast<uint64_t>(1));
+  json.field("analysis_threads", static_cast<uint64_t>(2));
+  json.end_object();  // workload
+  json.key("entries").begin_array();
+
+  TextTable table({"ceiling (KiB)", "tree-peak (KiB)", "spilled",
+                   "spill (KiB)", "reloads", "stalls", "exec (s)",
+                   "adjudicate (s)", "raw reports"});
+  for (uint64_t ceiling : ceilings) {
+    SessionOptions options;
+    options.tool = ToolKind::kTaskgrind;
+    options.num_threads = 1;
+    options.taskgrind.streaming = true;
+    options.taskgrind.analysis_threads = 2;
+    options.taskgrind.max_tree_bytes = ceiling;
+    const SessionResult result = tools::run_session(program, options);
+    const core::AnalysisStats& stats = result.analysis_stats;
+
+    json.begin_object();
+    json.field("max_tree_bytes", ceiling);
+    json.field("peak_tree_bytes", stats.peak_tree_bytes);
+    json.field("peak_bytes", result.peak_bytes);
+    json.field("segments_spilled", stats.segments_spilled);
+    json.field("spill_bytes_written", stats.spill_bytes_written);
+    json.field("spill_reloads", stats.spill_reloads);
+    json.field("enqueue_stalls", stats.enqueue_stalls);
+    json.field("exec_seconds", result.exec_seconds);
+    json.field("analysis_seconds", result.analysis_seconds);
+    json.field("report_count", static_cast<uint64_t>(result.report_count));
+    json.field("raw_report_count",
+               static_cast<uint64_t>(result.raw_report_count));
+    json.end_object();
+
+    table.add_row(
+        {ceiling == 0 ? "unlimited" : std::to_string(ceiling / 1024),
+         std::to_string(stats.peak_tree_bytes / 1024),
+         std::to_string(stats.segments_spilled),
+         std::to_string(stats.spill_bytes_written / 1024),
+         std::to_string(stats.spill_reloads),
+         std::to_string(stats.enqueue_stalls),
+         format_seconds(result.exec_seconds),
+         format_seconds(result.analysis_seconds),
+         std::to_string(result.raw_report_count)});
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << json.str() << "\n";
+  std::printf(
+      "Memory-pressure governor sweep: racy mini-LULESH -s %d -tel %d"
+      " -tnl %d -i %d\n\n%s\nwritten to %s\n",
+      params.s, params.tel, params.tnl, params.iters,
+      table.render().c_str(), json_path.c_str());
+  return 0;
 }
 
 int run(int s, int seeds, bool csv) {
@@ -90,8 +188,8 @@ int run(int s, int seeds, bool csv) {
 
   TextTable table({"racy", "threads", "no-tools (s)", "archer (s)",
                    "taskgrind (s)", "no-tools (MiB)", "archer (MiB)",
-                   "taskgrind (MiB)", "archer reports",
-                   "taskgrind reports"});
+                   "taskgrind (MiB)", "taskgrind tree-peak (KiB)",
+                   "archer reports", "taskgrind reports"});
 
   for (bool racy : {false, true}) {
     params.racy = racy;
@@ -105,8 +203,9 @@ int run(int s, int seeds, bool csv) {
                      format_seconds(archer.seconds),
                      format_seconds(taskgrind.seconds),
                      format_mib(none.mib), format_mib(archer.mib),
-                     format_mib(taskgrind.mib), report_range(archer),
-                     report_range(taskgrind)});
+                     format_mib(taskgrind.mib),
+                     std::to_string(taskgrind.tree_peak / 1024),
+                     report_range(archer), report_range(taskgrind)});
     }
   }
 
@@ -132,6 +231,7 @@ int main(int argc, char** argv) {
   int s = 16;
   int seeds = 3;
   bool csv = false;
+  std::string pressure_json;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--s") == 0 && i + 1 < argc) {
       s = std::atoi(argv[++i]);
@@ -139,7 +239,12 @@ int main(int argc, char** argv) {
       seeds = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
+    } else if (std::strcmp(argv[i], "--pressure-json") == 0 && i + 1 < argc) {
+      pressure_json = argv[++i];
     }
+  }
+  if (!pressure_json.empty()) {
+    return tg::bench::run_pressure_sweep(pressure_json);
   }
   return tg::bench::run(s, seeds, csv);
 }

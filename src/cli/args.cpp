@@ -31,6 +31,23 @@ bool parse_positive_int(const char* text, int& out) {
   return true;
 }
 
+/// parse_u64 plus an optional K/M/G binary suffix (--max-tree-bytes=4M).
+bool parse_bytes(const char* text, uint64_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  std::string digits = text;
+  uint64_t shift = 0;
+  const char last = digits.back();
+  if (last == 'K' || last == 'k') shift = 10;
+  if (last == 'M' || last == 'm') shift = 20;
+  if (last == 'G' || last == 'g') shift = 30;
+  if (shift != 0) digits.pop_back();
+  uint64_t value = 0;
+  if (!parse_u64(digits.c_str(), value)) return false;
+  if (shift != 0 && value > (UINT64_MAX >> shift)) return false;
+  out = value << shift;
+  return true;
+}
+
 ParseOutcome fail(std::string message) {
   ParseOutcome outcome;
   outcome.ok = false;
@@ -54,6 +71,11 @@ const char* usage_text() {
       "                         (default for taskgrind)\n"
       "  --post-mortem          whole-graph Algorithm 1 after execution\n"
       "                         (the verification oracle)\n"
+      "  --max-tree-bytes=N     ceiling on interval-tree bytes; cold\n"
+      "                         segments spill to disk (K/M/G suffixes ok;\n"
+      "                         default unlimited; streaming only)\n"
+      "  --spill-dir=PATH       directory for the spill archive (default: a\n"
+      "                         session temp dir, removed on exit)\n"
       "  --json=FILE            write machine-readable session results\n"
       "  --no-suppress-stack    disable the segment-local stack filter\n"
       "  --no-suppress-tls      disable the TLS filter\n"
@@ -117,6 +139,17 @@ ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
       out.session.taskgrind.streaming = true;
     } else if (arg == "--post-mortem") {
       out.session.taskgrind.streaming = false;
+    } else if (arg.rfind("--max-tree-bytes=", 0) == 0) {
+      if (!parse_bytes(value("--max-tree-bytes="),
+                       out.session.taskgrind.max_tree_bytes)) {
+        return fail("invalid value for --max-tree-bytes: '" +
+                    std::string(value("--max-tree-bytes=")) + "'");
+      }
+    } else if (arg.rfind("--spill-dir=", 0) == 0) {
+      out.session.taskgrind.spill_dir = value("--spill-dir=");
+      if (out.session.taskgrind.spill_dir.empty()) {
+        return fail("--spill-dir needs a path");
+      }
     } else if (arg.rfind("--json=", 0) == 0) {
       out.json_path = value("--json=");
       if (out.json_path.empty()) return fail("--json needs a file path");

@@ -132,6 +132,10 @@ int main(int argc, char** argv) {
     case tg::tools::SessionResult::Status::kBudget:
       std::printf("guest execution exceeded the instruction budget\n");
       return 3;
+    case tg::tools::SessionResult::Status::kConfig:
+      std::fprintf(stderr, "%s\n", result.error.c_str());
+      std::fprintf(stderr, "%s", tg::cli::usage_text());
+      return 1;
     case tg::tools::SessionResult::Status::kOk:
       break;
   }

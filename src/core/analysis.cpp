@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "support/accounting.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
 
@@ -288,6 +289,10 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
   result.stats.segments_active = active.size();
   result.stats.index_bytes = graph.index_bytes();
   result.stats.oracle_bytes = graph.oracle_bytes();
+  // Exact interval-tree high-water mark, same source as the streaming
+  // engine's - the memory-overhead tables read it from either mode.
+  result.stats.peak_tree_bytes = static_cast<uint64_t>(
+      MemAccountant::instance().category_peak(MemCategory::kIntervalTrees));
   result.stats.seconds = now_seconds() - start;
   return result;
 }

@@ -37,6 +37,13 @@ struct AnalysisOptions {
   /// Cap on reported findings, applied once after the merged sort/dedup so
   /// the surviving set is identical at every thread count.
   size_t max_reports = 200'000;
+  /// Memory-pressure governor (streaming engine only): ceiling on accounted
+  /// interval-tree bytes. 0 = unlimited. Over the ceiling, the coldest
+  /// closed segments' arenas are spilled to disk and reloaded on demand -
+  /// a representation change only, findings stay byte-identical.
+  uint64_t max_tree_bytes = 0;
+  /// Directory for the spill archive; empty = a session temp directory.
+  std::string spill_dir;
 };
 
 struct AnalysisStats {
@@ -58,6 +65,11 @@ struct AnalysisStats {
   uint64_t peak_tree_bytes = 0;      // interval-tree arena high-water mark
   uint64_t pairs_deferred = 0;       // scanned before ordering was known
   uint64_t retire_sweeps = 0;        // frontier retirement sweeps run
+  // Memory-pressure governor counters (zero unless max_tree_bytes is set).
+  uint64_t segments_spilled = 0;     // segments whose arenas went to disk
+  uint64_t spill_bytes_written = 0;  // archive bytes appended
+  uint64_t spill_reloads = 0;        // on-demand arena reloads at finish
+  uint64_t enqueue_stalls = 0;       // builder waits for scans to unpin
   bool streamed = false;             // produced by the streaming engine
   double seconds = 0;                // post-execution adjudication time
 };

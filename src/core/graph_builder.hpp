@@ -133,6 +133,12 @@ class SegmentGraphBuilder {
   /// none). Used by tools that keep their own per-access structures.
   SegId current_segment(int tid);
 
+  /// Drops every per-thread access cursor (next access re-resolves through
+  /// the slow path). The memory-pressure governor calls this after evicting
+  /// a segment's arenas so no cached IntervalSet pointer can outlive them;
+  /// per-thread ignore flags survive, as with any other invalidation.
+  void invalidate_access_cursors() { invalidate_cursors(); }
+
   /// Expands deferred task-level links into segment edges and freezes the
   /// graph. Call exactly once, after execution finished.
   SegmentGraph& finalize();

@@ -270,6 +270,99 @@ void IntervalSet::add_slow(uint64_t lo, uint64_t hi, vex::SrcLoc loc) {
   cursor_item_ = ii;
 }
 
+namespace {
+
+template <typename T>
+void put(std::vector<uint8_t>& out, T value) {
+  const size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+bool get(const uint8_t* data, size_t size, size_t& at, T& value) {
+  if (size - at < sizeof(T)) return false;
+  std::memcpy(&value, data + at, sizeof(T));
+  at += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void IntervalSet::serialize(std::vector<uint8_t>& out) const {
+  put<uint32_t>(out, static_cast<uint32_t>(chunks_.size()));
+  uint32_t free_count = 0;
+  for (const Chunk* c = free_list_; c != nullptr; c = c->next_free) {
+    ++free_count;
+  }
+  put<uint32_t>(out, free_count);
+  put<uint64_t>(out, static_cast<uint64_t>(count_));
+  put<uint64_t>(out, bytes_);
+  put<uint64_t>(out, static_cast<uint64_t>(chunks_.capacity()));
+  for (const Chunk* c : chunks_) {
+    put<uint32_t>(out, c->cap);
+    put<uint32_t>(out, c->count);
+    const size_t payload = c->count * sizeof(Interval);
+    const size_t at = out.size();
+    out.resize(at + payload);
+    std::memcpy(out.data() + at, c->items(), payload);
+  }
+  // Free-list chunks carry no intervals but do carry accounted bytes; their
+  // capacities must survive the round trip for exact re-accounting.
+  for (const Chunk* c = free_list_; c != nullptr; c = c->next_free) {
+    put<uint32_t>(out, c->cap);
+  }
+}
+
+size_t IntervalSet::deserialize(const uint8_t* data, size_t size) {
+  clear();
+  size_t at = 0;
+  uint32_t nchunks = 0;
+  uint32_t nfree = 0;
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+  uint64_t dir_cap = 0;
+  if (!get(data, size, at, nchunks) || !get(data, size, at, nfree) ||
+      !get(data, size, at, count) || !get(data, size, at, bytes) ||
+      !get(data, size, at, dir_cap)) {
+    return 0;
+  }
+  chunks_.reserve(static_cast<size_t>(dir_cap));
+  sync_directory_accounting();
+  for (uint32_t k = 0; k < nchunks; ++k) {
+    uint32_t cap = 0;
+    uint32_t cnt = 0;
+    if (!get(data, size, at, cap) || !get(data, size, at, cnt) || cap == 0 ||
+        cnt > cap || size - at < cnt * sizeof(Interval)) {
+      clear();
+      return 0;
+    }
+    Chunk* chunk = alloc_chunk(cap);
+    std::memcpy(chunk->items(), data + at, cnt * sizeof(Interval));
+    chunk->count = cnt;
+    at += cnt * sizeof(Interval);
+    chunks_.push_back(chunk);
+  }
+  for (uint32_t k = 0; k < nfree; ++k) {
+    uint32_t cap = 0;
+    if (!get(data, size, at, cap) || cap == 0) {
+      clear();
+      return 0;
+    }
+    // Not alloc_chunk: that would first-fit from the free list being built
+    // here and collapse distinct capacities, breaking exact re-accounting.
+    auto* chunk = static_cast<Chunk*>(::operator new(chunk_alloc_bytes(cap)));
+    chunk->cap = cap;
+    account(static_cast<int64_t>(chunk_alloc_bytes(cap)));
+    recycle_chunk(chunk);
+  }
+  count_ = static_cast<size_t>(count);
+  bytes_ = bytes;
+  cursor_chunk_ = 0;
+  cursor_item_ = 0;
+  return at;
+}
+
 IntervalSet::Bounds IntervalSet::bounds() const {
   if (chunks_.empty()) return {};
   const Chunk& back = *chunks_.back();

@@ -69,6 +69,21 @@ class IntervalSet {
   /// including recycled ones) is freed wholesale.
   uint64_t clear();
 
+  /// Appends an exact snapshot of the arena to `out`: per-chunk capacity
+  /// and contents, the free-list chunk capacities, and the directory's
+  /// reserved capacity. deserialize() rebuilds the identical layout, so
+  /// arena_bytes() round-trips byte-for-byte - the spill archive relies on
+  /// "bytes released on evict == bytes re-accounted on reload". The set
+  /// itself is unchanged.
+  void serialize(std::vector<uint8_t>& out) const;
+
+  /// Restores a serialize() snapshot, replacing the current contents (the
+  /// old arena is released and its bytes un-accounted first). Returns the
+  /// number of bytes consumed from `data`, or 0 on a malformed image (the
+  /// set is left empty in that case). The append cursor resets - it is a
+  /// performance hint only.
+  size_t deserialize(const uint8_t* data, size_t size);
+
   bool empty() const { return count_ == 0; }
   size_t interval_count() const { return count_; }
   uint64_t byte_count() const { return bytes_; }

@@ -84,6 +84,12 @@ std::string stats_summary(const AnalysisStats& stats) {
         << " live-peak=" << stats.peak_live_segments
         << " retired-bytes=" << stats.retired_tree_bytes
         << " sweeps=" << stats.retire_sweeps;
+    if (stats.segments_spilled > 0 || stats.enqueue_stalls > 0) {
+      out << " spilled=" << stats.segments_spilled
+          << " spill-bytes=" << stats.spill_bytes_written
+          << " reloads=" << stats.spill_reloads
+          << " stalls=" << stats.enqueue_stalls;
+    }
   }
   return out.str();
 }

@@ -1,0 +1,100 @@
+#include "core/spill.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/accounting.hpp"
+#include "support/assert.hpp"
+
+namespace tg::core {
+
+namespace {
+
+std::string temp_template() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string base = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  if (base.back() == '/') base.pop_back();
+  return base + "/taskgrind-spill-XXXXXX";
+}
+
+}  // namespace
+
+SpillArchive::SpillArchive(const std::string& dir) {
+  dir_ = dir;
+  if (dir_.empty()) {
+    std::string tmpl = temp_template();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      error_ = "cannot create spill temp directory under " + tmpl + ": " +
+               std::strerror(errno);
+      return;
+    }
+    dir_ = tmpl;
+    owns_dir_ = true;
+  }
+  path_ = dir_ + "/segments.spill";
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) {
+    error_ = "cannot create spill archive " + path_ + ": " +
+             std::strerror(errno);
+    if (owns_dir_) ::rmdir(dir_.c_str());
+    path_.clear();
+  }
+}
+
+SpillArchive::~SpillArchive() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+  if (owns_dir_) ::rmdir(dir_.c_str());
+  account_meta(-meta_bytes_);
+}
+
+void SpillArchive::account_meta(int64_t delta) {
+  if (delta != 0) {
+    meta_bytes_ += delta;
+    MemAccountant::instance().add(MemCategory::kSpillMeta, delta);
+  }
+}
+
+bool SpillArchive::write_record(uint32_t id,
+                                const std::vector<uint8_t>& bytes) {
+  if (file_ == nullptr) return false;
+  TG_ASSERT_MSG(!has_record(id), "segment spilled twice");
+  if (std::fseek(file_, static_cast<long>(end_offset_), SEEK_SET) != 0 ||
+      std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    error_ = "spill write failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+  table_.emplace(id, Record{end_offset_, bytes.size()});
+  account_meta(static_cast<int64_t>(sizeof(uint32_t) + sizeof(Record) +
+                                    2 * sizeof(void*)));
+  end_offset_ += bytes.size();
+  bytes_written_ += bytes.size();
+  return true;
+}
+
+bool SpillArchive::read_record(uint32_t id, std::vector<uint8_t>& out) {
+  if (file_ == nullptr) return false;
+  const auto it = table_.find(id);
+  if (it == table_.end()) return false;
+  out.resize(it->second.size);
+  if (std::fseek(file_, static_cast<long>(it->second.offset), SEEK_SET) !=
+          0 ||
+      std::fread(out.data(), 1, out.size(), file_) != out.size()) {
+    error_ = "spill read failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool SpillArchive::validate_dir(const std::string& dir, std::string* error) {
+  SpillArchive probe(dir);
+  if (!probe.ok() && error != nullptr) *error = probe.error();
+  return probe.ok();
+}
+
+}  // namespace tg::core

@@ -1,0 +1,82 @@
+// On-disk segment archives for the memory-pressure governor.
+//
+// When accounted interval-tree bytes cross the --max-tree-bytes ceiling,
+// the streaming engine serializes the coldest closed segments' arenas into
+// one append-only archive file and frees the in-memory trees; a deferred
+// pair whose member was spilled reloads the exact arena at adjudication
+// time. This is a *representation* change, not a precision change: the
+// archive round-trips the exact interval/SrcLoc contents (page-granularity
+// coarsening, the classic memory-bounding alternative, would change
+// findings and is explicitly rejected - see DESIGN.md).
+//
+// One archive per session. The file (and the temp directory, when the
+// archive created one) is removed in the destructor, which covers normal
+// finalize and every early-error unwind alike. Only the offset table and a
+// scratch buffer live in memory, accounted under MemCategory::kSpillMeta.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tg::core {
+
+class SpillArchive {
+ public:
+  /// Opens (creating) the archive file inside `dir`; an empty `dir` means a
+  /// fresh mkdtemp() directory under $TMPDIR (default /tmp) that is removed
+  /// with the archive. Failure is reported through ok()/error(), never
+  /// thrown.
+  explicit SpillArchive(const std::string& dir);
+  ~SpillArchive();
+
+  SpillArchive(const SpillArchive&) = delete;
+  SpillArchive& operator=(const SpillArchive&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& error() const { return error_; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one record for `id` (a segment's serialized reads + writes
+  /// arenas). Records are write-once: spilling the same id twice is a bug.
+  /// Returns false (and sets error()) on IO failure - the caller keeps the
+  /// trees in memory in that case, trading the ceiling for correctness.
+  bool write_record(uint32_t id, const std::vector<uint8_t>& bytes);
+
+  /// Reads the record for `id` back into `out`. False when absent or on IO
+  /// failure.
+  bool read_record(uint32_t id, std::vector<uint8_t>& out);
+
+  bool has_record(uint32_t id) const {
+    return table_.find(id) != table_.end();
+  }
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Eager best-effort probe: can a session archive be created under `dir`?
+  /// Used by the session layer to fail fast with a clear message instead of
+  /// silently running unbounded. The probe file is removed again.
+  static bool validate_dir(const std::string& dir, std::string* error);
+
+ private:
+  struct Record {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+  };
+
+  void account_meta(int64_t delta);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string dir_;
+  bool owns_dir_ = false;
+  uint64_t end_offset_ = 0;
+  uint64_t bytes_written_ = 0;
+  std::unordered_map<uint32_t, Record> table_;
+  int64_t meta_bytes_ = 0;
+  std::string error_;
+};
+
+}  // namespace tg::core

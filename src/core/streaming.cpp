@@ -26,6 +26,13 @@ StreamingAnalyzer::StreamingAnalyzer(SegmentGraph& graph,
   TG_ASSERT_MSG(graph_.has_predecessor_index(),
                 "StreamingAnalyzer needs SegmentGraph::enable_predecessor_"
                 "index() before segments exist");
+  if (options_.max_tree_bytes > 0) {
+    spill_ = std::make_unique<SpillArchive>(options_.spill_dir);
+    // The session layer validates the directory eagerly; if creation fails
+    // anyway (e.g. the disk filled up since), run unbounded rather than
+    // wrong - the governor is a memory policy, not a correctness gate.
+    if (!spill_->ok()) spill_.reset();
+  }
   const int nthreads = std::max(1, options_.threads);
   workers_.reserve(static_cast<size_t>(nthreads));
   for (int t = 0; t < nthreads; ++t) {
@@ -53,6 +60,9 @@ void StreamingAnalyzer::grow_marks() {
   retired_.resize(n, 0);
   pending_.resize(n, 0);
   live_pos_.resize(n, kNoPos);
+  spilled_.resize(n, 0);
+  resident_.resize(n, 0);
+  deferred_refs_.resize(n, 0);
 }
 
 void StreamingAnalyzer::segment_closed(SegId id) {
@@ -112,28 +122,44 @@ void StreamingAnalyzer::segment_closed(SegId id) {
       ++pairs_mutex_;
       continue;
     }
+    if (!resident_[entry.id]) {
+      // The partner's arenas were spilled: every enqueue-time filter above
+      // is tree-free and already ran, so only the overlap scan remains -
+      // deferred to finish(), after an on-demand reload, with the identical
+      // predicate. Both members are flagged so retirement spills (rather
+      // than frees) their trees.
+      spill_deferred_pairs_.emplace_back(id, entry.id);
+      ++deferred_refs_[id];
+      ++deferred_refs_[entry.id];
+      ++pairs_deferred_;
+      continue;
+    }
     partners.push_back(&partner);
     ++pairs_deferred_;
   }
 
   live_pos_[id] = static_cast<uint32_t>(live_.size());
   live_.push_back(LiveEntry{id, lo, hi});
+  resident_[id] = 1;
   peak_live_segments_ = std::max<uint64_t>(peak_live_segments_, live_.size());
 
-  if (partners.empty()) return;
-  auto batch = std::make_unique<Batch>();
-  batch->seg = id;
-  batch->seg_ptr = &seg;
-  batch->partners = std::move(partners);
-  ++pending_[id];
-  for (const Segment* partner : batch->partners) ++pending_[partner->id];
-  Batch* raw = batch.get();
-  batches_.push_back(std::move(batch));
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    queue_.push_back(raw);
+  if (!partners.empty()) {
+    auto batch = std::make_unique<Batch>();
+    batch->seg = id;
+    batch->seg_ptr = &seg;
+    batch->partners = std::move(partners);
+    ++pending_[id];
+    for (const Segment* partner : batch->partners) ++pending_[partner->id];
+    ++inflight_;
+    Batch* raw = batch.get();
+    batches_.push_back(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      queue_.push_back(raw);
+    }
+    queue_cv_.notify_one();
   }
-  queue_cv_.notify_one();
+  check_pressure();
 }
 
 void StreamingAnalyzer::frontier_advanced(const std::vector<SegId>& frontier) {
@@ -205,13 +231,27 @@ void StreamingAnalyzer::retire(SegId id) {
   live_.pop_back();
   live_pos_[id] = kNoPos;
   if (pending_[id] == 0) {
-    Segment& segment = graph_.segment(id);
-    retired_tree_bytes_ += segment.reads.clear() + segment.writes.clear();
-    std::vector<uint64_t>().swap(segment.mutexes);
-    ++segments_retired_;
+    release_trees(id);
   } else {
     retire_waiting_.push_back(id);  // a worker still scans it; free later
   }
+}
+
+void StreamingAnalyzer::release_trees(SegId id) {
+  Segment& segment = graph_.segment(id);
+  if (!resident_[id]) {
+    // Arenas already live in the archive (evicted earlier); nothing in
+    // memory to free.
+  } else if (deferred_refs_[id] > 0 && spill_ != nullptr && !spilled_[id]) {
+    // A deferred pair still needs these trees at finish: spilling instead
+    // of freeing keeps the byte-identical-findings guarantee intact.
+    evict(id);
+  } else {
+    retired_tree_bytes_ += segment.reads.clear() + segment.writes.clear();
+    resident_[id] = 0;
+  }
+  std::vector<uint64_t>().swap(segment.mutexes);
+  ++segments_retired_;
 }
 
 void StreamingAnalyzer::drain_completed() {
@@ -223,6 +263,7 @@ void StreamingAnalyzer::drain_completed() {
   for (Batch* batch : done) {
     if (batch->drained) continue;
     batch->drained = true;
+    --inflight_;
     --pending_[batch->seg];
     for (const Segment* partner : batch->partners) --pending_[partner->id];
   }
@@ -236,10 +277,7 @@ void StreamingAnalyzer::flush_retire_waiting() {
       retire_waiting_[kept++] = id;
       continue;
     }
-    Segment& segment = graph_.segment(id);
-    retired_tree_bytes_ += segment.reads.clear() + segment.writes.clear();
-    std::vector<uint64_t>().swap(segment.mutexes);
-    ++segments_retired_;
+    release_trees(id);
   }
   retire_waiting_.resize(kept);
 }
@@ -259,7 +297,110 @@ void StreamingAnalyzer::worker_loop() {
       std::lock_guard<std::mutex> lock(completed_mutex_);
       completed_.push_back(batch);
     }
+    completed_cv_.notify_all();  // backpressure: a pinned segment may unpin
   }
+}
+
+namespace {
+uint64_t tree_bytes_now() {
+  return static_cast<uint64_t>(
+      MemAccountant::instance().category_bytes(MemCategory::kIntervalTrees));
+}
+}  // namespace
+
+void StreamingAnalyzer::check_pressure() {
+  if (spill_ == nullptr || finished_) return;
+  const uint64_t ceiling = options_.max_tree_bytes;
+  // Hysteresis: act above 3/4 of the ceiling, evict down to 1/2, so the
+  // governor is not re-entered on every access once near the limit.
+  if (tree_bytes_now() <= ceiling - ceiling / 4) return;
+  const uint64_t low = ceiling / 2;
+  for (;;) {
+    drain_completed();
+    // Coldest-first eviction: among resident live segments no worker still
+    // scans, lowest segment id first - the oldest closed segment has
+    // survived the most retirement sweeps, so it sits in the longest
+    // unordered window and is the least likely to be paired again soon.
+    candidates_.clear();
+    for (const LiveEntry& entry : live_) {
+      if (resident_[entry.id] && pending_[entry.id] == 0) {
+        candidates_.push_back(entry.id);
+      }
+    }
+    std::sort(candidates_.begin(), candidates_.end());
+    for (SegId id : candidates_) {
+      if (tree_bytes_now() <= low) break;
+      evict(id);
+      if (resident_[id]) return;  // archive IO failure: ceiling best-effort
+    }
+    if (tree_bytes_now() <= low) return;
+    if (inflight_ == 0) return;  // the rest is open segments: not evictable
+    // Everything evictable is pinned by in-flight scans: backpressure. The
+    // builder stalls until a batch completes, then retries the sweep.
+    ++enqueue_stalls_;
+    {
+      std::unique_lock<std::mutex> lock(completed_mutex_);
+      completed_cv_.wait(lock, [&] { return !completed_.empty(); });
+    }
+  }
+}
+
+void StreamingAnalyzer::evict(SegId id) {
+  Segment& segment = graph_.segment(id);
+  TG_ASSERT(resident_[id] && pending_[id] == 0);
+  TG_ASSERT_MSG(!spilled_[id], "segment evicted twice");
+  spill_buf_.clear();
+  segment.reads.serialize(spill_buf_);
+  segment.writes.serialize(spill_buf_);
+  if (!spill_->write_record(id, spill_buf_)) return;  // IO failure: keep trees
+  spilled_[id] = 1;
+  segment.reads.clear();
+  segment.writes.clear();
+  resident_[id] = 0;
+  ++segments_spilled_;
+  spill_bytes_written_ += spill_buf_.size();
+  // No per-thread access cursor may outlive an arena the governor released.
+  if (invalidate_cursors_) invalidate_cursors_();
+}
+
+const Segment& StreamingAnalyzer::loaded_segment(SegId id, SegId keep) {
+  Segment& segment = graph_.segment(id);
+  if (resident_[id]) return segment;
+  TG_ASSERT_MSG(spill_ != nullptr && spilled_[id],
+                "non-resident segment has no archive record");
+  // Unload the oldest reloaded arenas (never `keep`, never a stale entry)
+  // until back under half the ceiling - adjudication stays bounded too.
+  size_t at = 0;
+  while (at < loaded_lru_.size() &&
+         tree_bytes_now() > options_.max_tree_bytes / 2) {
+    const SegId victim = loaded_lru_[at];
+    if (!resident_[victim]) {  // already unloaded through another path
+      loaded_lru_.erase(loaded_lru_.begin() + static_cast<ptrdiff_t>(at));
+      continue;
+    }
+    if (victim == keep) {
+      ++at;
+      continue;
+    }
+    Segment& vs = graph_.segment(victim);
+    vs.reads.clear();
+    vs.writes.clear();
+    resident_[victim] = 0;
+    loaded_lru_.erase(loaded_lru_.begin() + static_cast<ptrdiff_t>(at));
+  }
+  spill_buf_.clear();
+  TG_ASSERT_MSG(spill_->read_record(id, spill_buf_),
+                "spill archive lost a record");
+  const size_t used_reads =
+      segment.reads.deserialize(spill_buf_.data(), spill_buf_.size());
+  TG_ASSERT_MSG(used_reads != 0, "corrupt spill record (reads)");
+  const size_t used_writes = segment.writes.deserialize(
+      spill_buf_.data() + used_reads, spill_buf_.size() - used_reads);
+  TG_ASSERT_MSG(used_writes != 0, "corrupt spill record (writes)");
+  resident_[id] = 1;
+  ++spill_reloads_;
+  loaded_lru_.push_back(id);
+  return segment;
 }
 
 void StreamingAnalyzer::run_batch(Batch& batch) {
@@ -298,6 +439,25 @@ AnalysisResult StreamingAnalyzer::finish() {
   drain_completed();
   flush_retire_waiting();
 
+  if (spill_ != nullptr) {
+    // Adjudication reloads spilled arenas; make room under the ceiling
+    // first. Never-retired segments still hold their trees: every pair
+    // involving them was either scanned by a worker (its outcome no longer
+    // needs the arenas) or spill-deferred (deferred_refs pins it), so the
+    // pinned ones are archived and the rest freed outright.
+    for (const LiveEntry& entry : live_) {
+      if (!resident_[entry.id]) continue;
+      if (deferred_refs_[entry.id] > 0) {
+        evict(entry.id);
+      } else {
+        Segment& segment = graph_.segment(entry.id);
+        segment.reads.clear();
+        segment.writes.clear();
+        resident_[entry.id] = 0;
+      }
+    }
+  }
+
   // Adjudicate every deferred pair with the full index - the identical
   // predicate the post-mortem pass applies, in the identical precedence
   // order, so kept pairs (and with them raw_conflicts / suppressed_*) match
@@ -333,6 +493,32 @@ AnalysisResult StreamingAnalyzer::finish() {
       }
     }
   }
+
+  // Pairs whose partner was spilled before the segment closed: the
+  // tree-free filters ran at enqueue; the ordering verdict and the overlap
+  // scan run here, in post-mortem precedence order, over arenas reloaded
+  // on demand. The alloc registry is final, so provenance matches a
+  // scan-time lookup exactly.
+  for (const auto& pair : spill_deferred_pairs_) {
+    const Segment& a0 = graph_.segment(pair.first);
+    const Segment& b0 = graph_.segment(pair.second);
+    if (options_.use_region_fast_path && graph_.region_ordered(a0, b0)) {
+      ++region_fast;
+      continue;
+    }
+    const bool hb_ordered =
+        options_.use_bitset_oracle
+            ? graph_.ordered_oracle(pair.first, pair.second)
+            : graph_.ordered(pair.first, pair.second);
+    if (hb_ordered) {
+      ++adjudicated_ordered;
+      continue;
+    }
+    const Segment& a = loaded_segment(pair.first, kNoSeg);
+    const Segment& b = loaded_segment(pair.second, pair.first);
+    scan_pair_conflicts(a, b, program_, allocs_, options_, result.stats,
+                        result.reports);
+  }
   canonicalize_reports(result.reports, options_.max_reports);
 
   AnalysisStats& stats = result.stats;
@@ -352,6 +538,10 @@ AnalysisResult StreamingAnalyzer::finish() {
       MemAccountant::instance().category_peak(MemCategory::kIntervalTrees));
   stats.pairs_deferred = pairs_deferred_;
   stats.retire_sweeps = retire_sweeps_;
+  stats.segments_spilled = segments_spilled_;
+  stats.spill_bytes_written = spill_bytes_written_;
+  stats.spill_reloads = spill_reloads_;
+  stats.enqueue_stalls = enqueue_stalls_;
   stats.streamed = true;
   stats.seconds = now_seconds() - start;
   result_ = std::move(result);

@@ -33,13 +33,16 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/analysis.hpp"
 #include "core/graph_builder.hpp"
+#include "core/spill.hpp"
 
 namespace tg::core {
 
@@ -65,6 +68,26 @@ class StreamingAnalyzer final : public SegmentSink {
 
   /// Segments whose trees were freed before program end (test hook).
   uint64_t segments_retired() const { return segments_retired_; }
+
+  /// Memory-pressure governor entry point (builder thread). Cheap no-op
+  /// unless options.max_tree_bytes is set; over the trigger watermark it
+  /// spills the coldest unpinned closed segments' arenas to disk and, when
+  /// everything evictable is pinned by in-flight scans, blocks until a
+  /// batch completes (the backpressure rule - counted as enqueue_stalls).
+  /// Called from the enqueue path and periodically from the access path,
+  /// which bounds open-segment growth between graph events.
+  void check_pressure();
+
+  /// Hook run after every eviction, before the arena is freed: the builder
+  /// installs its access-cursor invalidation here so no per-thread cursor
+  /// can outlive an arena the governor just released.
+  void set_cursor_invalidator(std::function<void()> fn) {
+    invalidate_cursors_ = std::move(fn);
+  }
+
+  /// Governor test hooks.
+  uint64_t segments_spilled() const { return segments_spilled_; }
+  const SpillArchive* spill_archive() const { return spill_.get(); }
 
  private:
   /// One deferred pair: overlaps + suppression already computed by a
@@ -105,6 +128,17 @@ class StreamingAnalyzer final : public SegmentSink {
   void flush_retire_waiting();
   void retire(SegId id);
   void grow_marks();
+  /// Serializes a resident segment's arenas into the archive and frees the
+  /// in-memory trees. No-op (keeping the trees) on archive IO failure:
+  /// the ceiling is best-effort, correctness is not.
+  void evict(SegId id);
+  /// Retirement-time tree release: frees the arenas, unless a deferred
+  /// pair still needs them at finish - then they are spilled instead.
+  void release_trees(SegId id);
+  /// Finish-time access to a (possibly spilled) segment's trees. Reloads
+  /// from the archive on demand, unloading the oldest reloaded arenas
+  /// (never `keep`) to stay under the ceiling.
+  const Segment& loaded_segment(SegId id, SegId keep);
 
   SegmentGraph& graph_;
   const vex::Program& program_;
@@ -118,6 +152,26 @@ class StreamingAnalyzer final : public SegmentSink {
   std::vector<uint8_t> retired_;     // seg id -> provably dead
   std::vector<uint32_t> pending_;    // seg id -> batches still scanning it
   std::vector<SegId> retire_waiting_;  // retired but pending_ > 0
+
+  // Memory-pressure governor state (inert unless max_tree_bytes is set).
+  // Eviction is keyed on the same predecessor-index facts the live set
+  // maintains (only closed, unretired segments are candidates) plus the
+  // retirement refcounts (pending_ == 0: no worker may still scan the
+  // arena). Coldest-first = lowest segment id: the oldest closed segment
+  // has survived the most frontier sweeps unretired, so it sits in the
+  // longest unordered window and is the least likely to be paired soon.
+  std::unique_ptr<SpillArchive> spill_;
+  std::function<void()> invalidate_cursors_;
+  std::vector<uint8_t> spilled_;      // seg id -> archive holds its arenas
+  std::vector<uint8_t> resident_;     // seg id -> trees currently in memory
+  std::vector<uint32_t> deferred_refs_;  // finish-time scans needing its trees
+  // Pairs whose partner was already spilled when the segment closed: the
+  // enqueue-time filters (region, ordered, bbox, mutex - all tree-free)
+  // already ran; the overlap scan happens at finish after reload, with the
+  // identical predicate, so findings stay byte-identical.
+  std::vector<std::pair<SegId, SegId>> spill_deferred_pairs_;
+  std::vector<uint8_t> spill_buf_;    // serialize/reload scratch
+  std::vector<SegId> loaded_lru_;     // finish-time reload cache, oldest first
 
   // Sweep scratch (epoch-marked so nothing is cleared per sweep).
   std::vector<uint32_t> mark_sweep_;   // last sweep id that touched node
@@ -134,7 +188,9 @@ class StreamingAnalyzer final : public SegmentSink {
   std::deque<Batch*> queue_;
   bool stopping_ = false;
   std::mutex completed_mutex_;
+  std::condition_variable completed_cv_;  // backpressure wakeup
   std::vector<Batch*> completed_;
+  size_t inflight_ = 0;  // enqueued, not yet drained (builder thread)
   std::deque<std::unique_ptr<Batch>> batches_;  // owns everything enqueued
 
   // Counters (builder thread).
@@ -148,6 +204,10 @@ class StreamingAnalyzer final : public SegmentSink {
   uint64_t pairs_region_enqueue_ = 0;
   uint64_t pairs_mutex_ = 0;
   uint64_t pairs_skipped_bbox_ = 0;
+  uint64_t segments_spilled_ = 0;
+  uint64_t spill_bytes_written_ = 0;
+  uint64_t spill_reloads_ = 0;
+  uint64_t enqueue_stalls_ = 0;
 
   bool finished_ = false;
   AnalysisResult result_;

@@ -25,7 +25,12 @@ void TaskgrindTool::attach(vex::Vm& vm) {
     }
     streamer_ = std::make_unique<StreamingAnalyzer>(
         builder_.graph(), vm.program(), &allocs_, analysis_options());
+    streamer_->set_cursor_invalidator(
+        [this] { builder_.invalidate_access_cursors(); });
     builder_.set_sink(streamer_.get());
+    // The governor also runs off the access path (below): graph events can
+    // be arbitrarily far apart while open segments keep growing.
+    governed_ = options_.max_tree_bytes > 0;
   }
 }
 
@@ -69,6 +74,7 @@ void TaskgrindTool::on_load(vex::ThreadCtx& thread, GuestAddr addr,
   ++access_events_;
   builder_.record_access(thread.tid, remap_stack(addr), size,
                          /*is_write=*/false, loc);
+  if (governed_ && (access_events_ & 1023u) == 0) streamer_->check_pressure();
 }
 
 void TaskgrindTool::on_store(vex::ThreadCtx& thread, GuestAddr addr,
@@ -77,6 +83,7 @@ void TaskgrindTool::on_store(vex::ThreadCtx& thread, GuestAddr addr,
   ++access_events_;
   builder_.record_access(thread.tid, remap_stack(addr), size,
                          /*is_write=*/true, loc);
+  if (governed_ && (access_events_ & 1023u) == 0) streamer_->check_pressure();
 }
 
 void TaskgrindTool::on_client_request(vex::ThreadCtx& thread, uint64_t code,
@@ -324,6 +331,8 @@ AnalysisOptions TaskgrindTool::analysis_options() const {
   options.use_bitset_oracle = options_.use_bitset_oracle;
   options.threads = options_.analysis_threads;
   options.max_reports = options_.max_reports;
+  options.max_tree_bytes = options_.max_tree_bytes;
+  options.spill_dir = options_.spill_dir;
   return options;
 }
 

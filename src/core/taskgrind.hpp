@@ -125,6 +125,7 @@ class TaskgrindTool : public vex::Tool, public rt::RtEvents {
   // cursors (one flag load instead of a std::set lookup per access).
   vex::GuestAddr remap_stack(vex::GuestAddr addr);
   uint64_t access_events_ = 0;
+  bool governed_ = false;  // streaming + max_tree_bytes: periodic pressure
   bool finalized_ = false;
 };
 

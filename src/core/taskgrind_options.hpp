@@ -47,6 +47,15 @@ struct TaskgrindOptions {
   /// post-mortem pass, which remains available as the verification oracle
   /// (set false / pass --post-mortem).
   bool streaming = true;
+  /// Memory-pressure governor (streaming only): ceiling on accounted
+  /// interval-tree bytes; 0 = unlimited. Over the ceiling the coldest
+  /// closed segments' arenas are spilled to a disk archive and reloaded on
+  /// demand at adjudication - a representation change only, findings stay
+  /// byte-identical - and the enqueue path stalls when every candidate is
+  /// pinned by an in-flight scan.
+  uint64_t max_tree_bytes = 0;
+  /// Directory for the spill archive; empty = a session temp directory.
+  std::string spill_dir;
 };
 
 }  // namespace tg::core

@@ -22,6 +22,8 @@ const char* mem_category_name(MemCategory category) {
       return "runtime";
     case MemCategory::kTranslation:
       return "translation";
+    case MemCategory::kSpillMeta:
+      return "spill-metadata";
     case MemCategory::kOther:
       return "other";
     case MemCategory::kCount:

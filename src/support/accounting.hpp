@@ -23,6 +23,7 @@ enum class MemCategory : uint8_t {
   kAccessHistory,     // ROMP-style per-location history
   kRuntime,           // minomp task descriptors, deques
   kTranslation,       // VM translation cache
+  kSpillMeta,         // spill archive offset table + IO buffer
   kOther,
   kCount,
 };

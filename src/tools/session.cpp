@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/spill.hpp"
 #include "core/taskgrind.hpp"
 #include "runtime/execution.hpp"
 #include "support/accounting.hpp"
@@ -82,6 +83,20 @@ SessionResult run_session(const rt::GuestProgram& program,
   if (!tool_supports(options.tool, program)) {
     result.status = SessionResult::Status::kNcs;
     return result;
+  }
+  // Fail fast on an unusable spill directory instead of silently running the
+  // governor unbounded: the user asked for a ceiling, so an archive that can
+  // never be created is a configuration error, not a degraded mode.
+  if (options.tool == ToolKind::kTaskgrind && options.taskgrind.streaming &&
+      options.taskgrind.max_tree_bytes > 0 &&
+      !options.taskgrind.spill_dir.empty()) {
+    std::string error;
+    if (!core::SpillArchive::validate_dir(options.taskgrind.spill_dir,
+                                          &error)) {
+      result.status = SessionResult::Status::kConfig;
+      result.error = "spill directory unusable: " + error;
+      return result;
+    }
   }
 
   // Fresh accounting per session so peak_bytes is per-run.
@@ -193,6 +208,7 @@ const char* status_name(SessionResult::Status status) {
     case SessionResult::Status::kCrash: return "crash";
     case SessionResult::Status::kDeadlock: return "deadlock";
     case SessionResult::Status::kBudget: return "budget";
+    case SessionResult::Status::kConfig: return "config";
   }
   return "?";
 }
@@ -221,6 +237,8 @@ std::string session_json(const SessionOptions& options,
   json.field("use_bbox_pruning", tg.use_bbox_pruning);
   json.field("use_bitset_oracle", tg.use_bitset_oracle);
   json.field("max_reports", static_cast<uint64_t>(tg.max_reports));
+  json.field("max_tree_bytes", tg.max_tree_bytes);
+  json.field("spill_dir", tg.spill_dir);
   json.key("ignore_list").begin_array();
   for (const std::string& prefix : tg.ignore_list) json.value(prefix);
   json.end_array();
@@ -261,6 +279,10 @@ std::string session_json(const SessionOptions& options,
   json.field("retired_tree_bytes", stats.retired_tree_bytes);
   json.field("peak_tree_bytes", stats.peak_tree_bytes);
   json.field("retire_sweeps", stats.retire_sweeps);
+  json.field("segments_spilled", stats.segments_spilled);
+  json.field("spill_bytes_written", stats.spill_bytes_written);
+  json.field("spill_reloads", stats.spill_reloads);
+  json.field("enqueue_stalls", stats.enqueue_stalls);
   json.field("index_bytes", stats.index_bytes);
   json.field("oracle_bytes", stats.oracle_bytes);
   json.field("seconds", stats.seconds);
@@ -291,6 +313,7 @@ Verdict classify(bool ground_truth_race, const SessionResult& result) {
       return Verdict::kSegv;
     case SessionResult::Status::kDeadlock:
     case SessionResult::Status::kBudget:
+    case SessionResult::Status::kConfig:
       return Verdict::kDeadlock;
     case SessionResult::Status::kOk:
       break;

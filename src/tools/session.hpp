@@ -45,9 +45,11 @@ struct SessionResult {
     kCrash,     // tool crashed (ROMP segv / OOM)
     kDeadlock,  // guest execution deadlocked
     kBudget,    // guest execution exceeded the instruction budget
+    kConfig,    // invalid configuration (e.g. unwritable --spill-dir)
   };
 
   Status status = Status::kOk;
+  std::string error;            // human-readable detail for kConfig
   size_t report_count = 0;      // deduplicated findings
   size_t raw_report_count = 0;  // per-location / per-conflict volume
                                 // (what Table II's "N of reports" counts)

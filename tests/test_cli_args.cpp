@@ -42,13 +42,43 @@ TEST(CliArgs, MalformedNumbersAreUsageErrors) {
   for (const char* arg :
        {"--threads=two", "--threads=", "--threads=0", "--threads=-3",
         "--threads=4x", "--seed=banana", "--analysis-threads=1e9",
-        "--max-reports-shown=??"}) {
+        "--max-reports-shown=??", "--max-tree-bytes=", "--max-tree-bytes=x",
+        "--max-tree-bytes=-1", "--max-tree-bytes=4Q", "--max-tree-bytes=K",
+        "--max-tree-bytes=1MM"}) {
     CliOptions cli;
     const ParseOutcome outcome = parse({arg, "fib"}, cli);
     EXPECT_FALSE(outcome.ok) << arg << " should be rejected";
     EXPECT_NE(outcome.error.find("invalid value"), std::string::npos)
         << arg << ": " << outcome.error;
   }
+}
+
+TEST(CliArgs, MaxTreeBytesAcceptsSuffixes) {
+  const struct {
+    const char* arg;
+    uint64_t expected;
+  } cases[] = {
+      {"--max-tree-bytes=0", 0},
+      {"--max-tree-bytes=4096", 4096},
+      {"--max-tree-bytes=256K", 256ull << 10},
+      {"--max-tree-bytes=256k", 256ull << 10},
+      {"--max-tree-bytes=4M", 4ull << 20},
+      {"--max-tree-bytes=2G", 2ull << 30},
+  };
+  for (const auto& c : cases) {
+    CliOptions cli;
+    const ParseOutcome outcome = parse({c.arg, "fib"}, cli);
+    ASSERT_TRUE(outcome.ok) << c.arg << ": " << outcome.error;
+    EXPECT_EQ(cli.session.taskgrind.max_tree_bytes, c.expected) << c.arg;
+  }
+}
+
+TEST(CliArgs, SpillDirRoundTrips) {
+  CliOptions cli;
+  ASSERT_TRUE(parse({"--spill-dir=/tmp/spill", "fib"}, cli).ok);
+  EXPECT_EQ(cli.session.taskgrind.spill_dir, "/tmp/spill");
+  CliOptions empty;
+  EXPECT_FALSE(parse({"--spill-dir=", "fib"}, empty).ok);
 }
 
 TEST(CliArgs, UnknownOptionIsUsageError) {
@@ -91,7 +121,7 @@ TEST(CliArgs, UsageMentionsEveryMode) {
   const std::string usage = usage_text();
   for (const char* needle :
        {"--streaming", "--post-mortem", "--json", "--tool",
-        "--analysis-threads"}) {
+        "--analysis-threads", "--max-tree-bytes", "--spill-dir"}) {
     EXPECT_NE(usage.find(needle), std::string::npos) << needle;
   }
 }
@@ -117,7 +147,10 @@ TEST(SessionJson, SchemaAndRoundTrippedValues) {
         "\"status\":\"ok\"", "\"report_count\":1", "\"reports\":[",
         "\"stats\":", "\"streamed\":true", "\"segments_retired\":",
         "\"peak_live_segments\":", "\"retired_tree_bytes\":",
-        "\"pairs_deferred\":", "\"raw_conflicts\":"}) {
+        "\"pairs_deferred\":", "\"raw_conflicts\":",
+        "\"max_tree_bytes\":0", "\"spill_dir\":\"\"",
+        "\"segments_spilled\":0", "\"spill_bytes_written\":0",
+        "\"spill_reloads\":0", "\"enqueue_stalls\":0"}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   // Report text contains newlines - they must arrive escaped.

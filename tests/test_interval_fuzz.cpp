@@ -254,6 +254,114 @@ TEST(IntervalFuzz, OverlapVisitorMatchesReference) {
   }
 }
 
+/// Spill round trip: serialize -> clear -> deserialize must reproduce the
+/// set interval-for-interval (SrcLoc merge results included - the same
+/// parity the differential suites rely on) AND byte-for-byte in the arena
+/// accounting, so evict/reload cycles are exact in both directions.
+void roundtrip_one(uint64_t seed, uint32_t steps, uint32_t addr_space,
+                   uint32_t max_len) {
+  MemAccountant& accountant = MemAccountant::instance();
+  Rng rng(seed);
+  IntervalSet set;
+  RefSet ref;
+  uint32_t line = 1;
+  for (uint32_t step = 0; step < steps; ++step) {
+    const uint64_t lo = rng.below(addr_space);
+    const uint64_t hi = lo + 1 + rng.below(max_len);
+    const vex::SrcLoc at = loc(line++);
+    set.add(lo, hi, at);
+    ref.add(lo, hi, at);
+  }
+  const uint64_t arena_before = set.arena_bytes();
+  const int64_t accounted_before =
+      accountant.category_bytes(MemCategory::kIntervalTrees);
+
+  std::vector<uint8_t> image;
+  set.serialize(image);
+  EXPECT_EQ(set.arena_bytes(), arena_before);  // serialize does not mutate
+  const uint64_t released = set.clear();
+  EXPECT_EQ(released, arena_before);  // evict releases exactly what was held
+
+  const size_t used = set.deserialize(image.data(), image.size());
+  EXPECT_EQ(used, image.size());  // the record is consumed exactly
+  expect_same(set, ref);
+  // Reload re-accounts exactly the bytes the evict released.
+  EXPECT_EQ(set.arena_bytes(), arena_before);
+  EXPECT_EQ(accountant.category_bytes(MemCategory::kIntervalTrees),
+            accounted_before);
+
+  // Representation-exact: a second serialization is byte-identical.
+  std::vector<uint8_t> image2;
+  set.serialize(image2);
+  EXPECT_EQ(image, image2);
+
+  // The reloaded set keeps working (reloads feed finish-time scans only,
+  // but growth must not corrupt it either).
+  set.add(0, addr_space + max_len, loc(line));
+  ref.add(0, addr_space + max_len, loc(line));
+  expect_same(set, ref);
+}
+
+TEST(IntervalFuzz, SerializeRoundTripSmallDense) { roundtrip_one(21, 600, 256, 16); }
+TEST(IntervalFuzz, SerializeRoundTripWideSparse) { roundtrip_one(22, 400, 1u << 16, 64); }
+TEST(IntervalFuzz, SerializeRoundTripLongRanges) { roundtrip_one(23, 300, 2048, 512); }
+TEST(IntervalFuzz, SerializeRoundTripManySeeds) {
+  for (uint64_t seed = 40; seed < 60; ++seed) {
+    roundtrip_one(seed, 150, 1024, 48);
+  }
+}
+
+TEST(IntervalFuzz, SerializeRoundTripEmptySet) {
+  IntervalSet set;
+  std::vector<uint8_t> image;
+  set.serialize(image);
+  EXPECT_GT(image.size(), 0u);  // a header is always present
+  set.add(10, 20, loc(1));
+  EXPECT_EQ(set.deserialize(image.data(), image.size()), image.size());
+  EXPECT_EQ(set.interval_count(), 0u);
+  EXPECT_EQ(set.arena_bytes(), 0u);
+  EXPECT_TRUE(set.bounds().empty());
+}
+
+TEST(IntervalFuzz, SerializeRoundTripPreservesFreeList) {
+  // Merging absorbs chunks into the free list; the round trip must keep
+  // their capacities so arena_bytes is exact, not just the live contents.
+  IntervalSet set;
+  for (uint64_t i = 0; i < 1000; ++i) set.add(i * 64, i * 64 + 8, loc(1));
+  set.add(0, 64 * 1000, loc(2));  // bridge: everything merges into one
+  ASSERT_EQ(set.interval_count(), 1u);
+  const uint64_t arena_before = set.arena_bytes();
+  std::vector<uint8_t> image;
+  set.serialize(image);
+  ASSERT_EQ(set.clear(), arena_before);
+  ASSERT_EQ(set.deserialize(image.data(), image.size()), image.size());
+  EXPECT_EQ(set.arena_bytes(), arena_before);
+  EXPECT_EQ(set.interval_count(), 1u);
+}
+
+TEST(IntervalFuzz, DeserializeRejectsTruncatedImages) {
+  IntervalSet set;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t lo = rng.below(4096);
+    set.add(lo, lo + 1 + rng.below(32), loc(1));
+  }
+  std::vector<uint8_t> image;
+  set.serialize(image);
+  for (size_t cut : {size_t{0}, size_t{3}, image.size() / 2,
+                     image.size() - 1}) {
+    IntervalSet victim;
+    victim.add(1, 2, loc(9));
+    EXPECT_EQ(victim.deserialize(image.data(), cut), 0u) << "cut " << cut;
+    // A malformed image leaves the set empty, never half-loaded.
+    EXPECT_EQ(victim.interval_count(), 0u) << "cut " << cut;
+  }
+  // The untruncated image still loads.
+  IntervalSet ok;
+  EXPECT_EQ(ok.deserialize(image.data(), image.size()), image.size());
+  EXPECT_EQ(ok.interval_count(), set.interval_count());
+}
+
 TEST(IntervalFuzz, AccountingReturnsToBaseline) {
   MemAccountant& accountant = MemAccountant::instance();
   const int64_t baseline =

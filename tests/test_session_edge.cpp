@@ -2,6 +2,8 @@
 // rendering details, and the dedup key's symmetry.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/report.hpp"
 #include "programs/registry.hpp"
 #include "tools/session.hpp"
@@ -75,6 +77,73 @@ TEST(SessionEdge, ReportTextsCapped) {
   const SessionResult result = run_session(*program, options);
   EXPECT_LE(result.report_texts.size(), 8u);
   EXPECT_GE(result.report_count, result.report_texts.size());
+}
+
+// --- memory-pressure governor configuration ------------------------------
+
+TEST(SessionEdge, UnwritableSpillDirIsConfigError) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = 2;
+  options.taskgrind.max_tree_bytes = 64 * 1024;
+  options.taskgrind.spill_dir = "/dev/null/not-a-directory";
+  const SessionResult result = run_session(*program, options);
+  EXPECT_EQ(result.status, SessionResult::Status::kConfig);
+  EXPECT_NE(result.error.find("spill directory unusable"), std::string::npos)
+      << result.error;
+  // The probe never reaches execution, so there is nothing to report.
+  EXPECT_EQ(result.report_count, 0u);
+}
+
+TEST(SessionEdge, SpillDirOnlyValidatedWhenGoverned) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = 2;
+  // A bad directory without a ceiling is inert configuration, not an error.
+  options.taskgrind.spill_dir = "/dev/null/not-a-directory";
+  EXPECT_EQ(run_session(*program, options).status,
+            SessionResult::Status::kOk);
+}
+
+TEST(SessionEdge, SpillFilesRemovedOnBudgetAbort) {
+  // Early-error unwind: the guest blows its instruction budget mid-run;
+  // the archive (and its records) must still be cleaned up.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tg-session-edge-spill";
+  std::filesystem::create_directories(dir);
+  const rt::GuestProgram* program = progs::find_program("cilk-fib");
+  ASSERT_NE(program, nullptr);
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = 2;
+  options.max_retired = 30'000;  // aborts fib(16) partway (~57k to finish)
+  options.taskgrind.max_tree_bytes = 4 * 1024;  // spill eagerly
+  options.taskgrind.spill_dir = dir.string();
+  const SessionResult result = run_session(*program, options);
+  EXPECT_EQ(result.status, SessionResult::Status::kBudget);
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionEdge, GovernorKeepsVerdictsOnNormalRuns) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tg-session-edge-normal";
+  std::filesystem::create_directories(dir);
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = 2;
+  options.taskgrind.max_tree_bytes = 4 * 1024;
+  options.taskgrind.spill_dir = dir.string();
+  const SessionResult result = run_session(*program, options);
+  EXPECT_TRUE(result.racy());
+  EXPECT_TRUE(std::filesystem::is_empty(dir));  // normal finalize cleans up
+  std::filesystem::remove_all(dir);
 }
 
 // --- report rendering ----------------------------------------------------
