@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/fingerprint.hpp"
 #include "core/graph_builder.hpp"
 #include "core/interval_set.hpp"
 #include "core/segment_graph.hpp"
@@ -90,6 +91,78 @@ void BM_IntervalSetSpillRoundTrip(benchmark::State& state) {
                           static_cast<int64_t>(image.size()));
 }
 BENCHMARK(BM_IntervalSetSpillRoundTrip)->Arg(1024)->Arg(16384);
+
+// --- access fingerprints: the pre-tree-walk pair filter ---------------------
+
+/// Finalizing both fingerprint levels at segment close. Arg(1) selects the
+/// access pattern: dense (one long page run), strided (many short runs),
+/// sparse (random pages, exercises hash spread + the run cap).
+void BM_FingerprintBuild(benchmark::State& state) {
+  Rng rng(23);
+  core::IntervalSet set;
+  const int64_t n = state.range(0);
+  switch (state.range(1)) {
+    case 0:  // dense
+      for (int64_t i = 0; i < n; ++i) {
+        set.add(0x1000 + static_cast<uint64_t>(i) * 8,
+                0x1000 + static_cast<uint64_t>(i) * 8 + 8, {});
+      }
+      break;
+    case 1:  // strided
+      for (int64_t i = 0; i < n; ++i) {
+        set.add(static_cast<uint64_t>(i) * 8192,
+                static_cast<uint64_t>(i) * 8192 + 64, {});
+      }
+      break;
+    default:  // sparse
+      for (int64_t i = 0; i < n; ++i) {
+        const uint64_t lo = rng.below(1u << 16) * 4096;
+        set.add(lo, lo + 1 + rng.below(256), {});
+      }
+      break;
+  }
+  for (auto _ : state) {
+    core::AccessFingerprint fp;
+    fp.build_from(set);
+    benchmark::DoNotOptimize(fp.ready());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(set.interval_count()));
+}
+BENCHMARK(BM_FingerprintBuild)
+    ->Args({16384, 0})
+    ->Args({4096, 1})
+    ->Args({4096, 2});
+
+/// The enqueue-time test itself: word-AND loop + two-pointer run intersect.
+/// Arg(0) selects the mix: 0 = miss (far-apart page sets, the filter's
+/// payoff case), 1 = partial overlap (level 0 collides, level 1 decides),
+/// 2 = hit (same pages - worst case, falls through to the tree walk).
+void BM_FingerprintIntersect(benchmark::State& state) {
+  core::IntervalSet a;
+  core::IntervalSet b;
+  const uint64_t offset = state.range(0) == 0   ? (1ull << 40)
+                          : state.range(0) == 1 ? (1ull << 14) * 4096
+                                                : 0;
+  // Small page sets for the miss case so level 0 (the word AND) usually
+  // decides alone; the larger sets saturate enough level-0 bits that the
+  // run directories have to arbitrate.
+  const uint64_t nruns = state.range(0) == 0 ? 16 : 256;
+  for (uint64_t i = 0; i < nruns; ++i) {
+    a.add(i * 16384, i * 16384 + 4096, {});
+    b.add(offset + i * 16384 + (state.range(0) == 1 ? 8192 : 0),
+          offset + i * 16384 + (state.range(0) == 1 ? 8192 : 0) + 4096, {});
+  }
+  core::AccessFingerprint fa;
+  core::AccessFingerprint fb;
+  fa.build_from(a);
+  fb.build_from(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fa.maybe_intersects(fb));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FingerprintIntersect)->Arg(0)->Arg(1)->Arg(2);
 
 // --- the full access-recording lane: builder cursor + arena add -------------
 //

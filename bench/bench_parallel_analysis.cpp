@@ -9,63 +9,89 @@
 //    still runs, and provably-dead segments retire their interval trees, so
 //    analysis overlaps execution and peak memory tracks the live frontier.
 //
-// Findings must be identical across every row (asserted by
+// Each (mode, threads) point runs with the access-fingerprint pair filter
+// on and off - the "fp" / "scanned" / "skipped-fp" columns show how many
+// full tree walks the two-level fingerprints prove away. Findings must be
+// identical across every row (asserted by
 // tests/test_streaming_differential.cpp).
 //
+// --fingerprint-json FILE switches to the fingerprint sweep: the
+// filter-stage funnel (bbox -> fingerprint -> tree walk) on LULESH in both
+// modes, plus the PR 4 pressure sweep (256 KiB ceiling) with the filter on
+// and off, emitted under schema "taskgrind-fingerprint-v1".
+//
 // Usage: bench_parallel_analysis [--s N] [--csv] [--quick] [--json FILE]
+//                                [--fingerprint-json FILE]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "lulesh/lulesh.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 #include "tools/session.hpp"
 
 namespace tg::bench {
 namespace {
 
-int run(int s, bool csv, const std::string& json_path) {
+rt::GuestProgram make_program(int s) {
   lulesh::LuleshParams params;
   params.s = s;
   params.iters = 8;   // more iterations -> more segments -> more pairs
   params.tel = 8;
   params.tnl = 8;
   params.racy = true;
-  const rt::GuestProgram program = lulesh::make_lulesh(params);
+  return lulesh::make_lulesh(params);
+}
 
-  TextTable table({"mode", "analysis threads", "exec (s)", "analysis (s)",
-                   "total (s)", "peak KiB", "retired", "live peak",
-                   "findings"});
+/// Pairs that actually paid a full tree walk: everything examined minus
+/// every pre-walk verdict (region window, ordering, mutex, fingerprint).
+uint64_t pairs_scanned(const core::AnalysisStats& stats) {
+  return stats.pairs_total - stats.pairs_region_fast - stats.pairs_ordered -
+         stats.pairs_mutex - stats.pairs_skipped_fingerprint;
+}
+
+int run(int s, bool csv, const std::string& json_path) {
+  const rt::GuestProgram program = make_program(s);
+
+  TextTable table({"mode", "fp", "analysis threads", "exec (s)",
+                   "analysis (s)", "total (s)", "peak KiB", "scanned",
+                   "skipped-fp", "findings"});
   double post_mortem_total = 0;
   double streaming_total = 0;
   uint64_t post_mortem_peak = 0;
   uint64_t streaming_peak = 0;
   std::string json;
   for (const bool streaming : {false, true}) {
-    for (int threads : {1, 2, 4, 8}) {
-      tools::SessionOptions options;
-      options.tool = tools::ToolKind::kTaskgrind;
-      options.num_threads = 1;
-      options.taskgrind.streaming = streaming;
-      options.taskgrind.analysis_threads = threads;
-      const tools::SessionResult result = tools::run_session(program, options);
-      const auto& stats = result.analysis_stats;
-      const double total = result.exec_seconds + result.analysis_seconds;
-      if (threads == 4) {
-        (streaming ? streaming_total : post_mortem_total) = total;
-        (streaming ? streaming_peak : post_mortem_peak) = result.peak_bytes;
-        if (streaming) json = tools::session_json(options, result);
+    for (const bool fingerprints : {true, false}) {
+      for (int threads : {1, 2, 4, 8}) {
+        tools::SessionOptions options;
+        options.tool = tools::ToolKind::kTaskgrind;
+        options.num_threads = 1;
+        options.taskgrind.streaming = streaming;
+        options.taskgrind.analysis_threads = threads;
+        options.taskgrind.use_fingerprints = fingerprints;
+        const tools::SessionResult result =
+            tools::run_session(program, options);
+        const auto& stats = result.analysis_stats;
+        const double total = result.exec_seconds + result.analysis_seconds;
+        if (threads == 4 && fingerprints) {
+          (streaming ? streaming_total : post_mortem_total) = total;
+          (streaming ? streaming_peak : post_mortem_peak) = result.peak_bytes;
+          if (streaming) json = tools::session_json(options, result);
+        }
+        table.add_row({streaming ? "streaming" : "post-mortem",
+                       fingerprints ? "on" : "off",
+                       std::to_string(threads),
+                       format_seconds(result.exec_seconds),
+                       format_seconds(result.analysis_seconds),
+                       format_seconds(total),
+                       std::to_string(result.peak_bytes / 1024),
+                       std::to_string(pairs_scanned(stats)),
+                       std::to_string(stats.pairs_skipped_fingerprint),
+                       std::to_string(result.report_count)});
       }
-      table.add_row({streaming ? "streaming" : "post-mortem",
-                     std::to_string(threads),
-                     format_seconds(result.exec_seconds),
-                     format_seconds(result.analysis_seconds),
-                     format_seconds(total),
-                     std::to_string(result.peak_bytes / 1024),
-                     std::to_string(stats.segments_retired),
-                     std::to_string(stats.peak_live_segments),
-                     std::to_string(result.report_count)});
     }
   }
   std::printf(
@@ -74,7 +100,10 @@ int run(int s, bool csv, const std::string& json_path) {
       "In streaming mode the analysis column is only the post-finalize\n"
       "adjudication of deferred pairs - the pair scans themselves ran on\n"
       "background workers while the guest executed, and retired segments\n"
-      "freed their interval trees early, which is why peak KiB drops.\n",
+      "freed their interval trees early, which is why peak KiB drops.\n"
+      "'scanned' counts pairs that paid a full interval-tree walk;\n"
+      "'skipped-fp' counts pairs the two-level access fingerprints proved\n"
+      "disjoint before any walk (findings are identical in every row).\n",
       s, csv ? table.csv().c_str() : table.render().c_str());
   if (post_mortem_total > 0) {
     std::printf(
@@ -94,6 +123,129 @@ int run(int s, bool csv, const std::string& json_path) {
   return 0;
 }
 
+/// The fingerprint sweep behind results/BENCH_fingerprint.json: how far the
+/// filter funnel (bbox -> fingerprint -> tree walk) collapses the pair
+/// pipeline, and what that does to governor reloads under a 256 KiB
+/// ceiling. Findings are asserted identical across the sweep.
+int run_fingerprint_sweep(int s, const std::string& json_path) {
+  const rt::GuestProgram program = make_program(s);
+  constexpr uint64_t kCeiling = 256ull << 10;
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "taskgrind-fingerprint-v1");
+  json.key("workload").begin_object();
+  json.field("program", "lulesh");
+  json.field("s", static_cast<uint64_t>(s));
+  json.field("tel", static_cast<uint64_t>(8));
+  json.field("tnl", static_cast<uint64_t>(8));
+  json.field("iters", static_cast<uint64_t>(8));
+  json.field("racy", true);
+  json.field("num_threads", static_cast<uint64_t>(1));
+  json.field("analysis_threads", static_cast<uint64_t>(4));
+  json.end_object();  // workload
+
+  TextTable funnel({"mode", "fp", "pairs", "skipped-bbox", "pre-walk",
+                    "skipped-fp", "scanned", "fp KiB", "analysis (s)",
+                    "raw reports"});
+  json.key("funnel").begin_array();
+  for (const bool streaming : {false, true}) {
+    for (const bool fingerprints : {true, false}) {
+      tools::SessionOptions options;
+      options.tool = tools::ToolKind::kTaskgrind;
+      options.num_threads = 1;
+      options.taskgrind.streaming = streaming;
+      options.taskgrind.analysis_threads = 4;
+      options.taskgrind.use_fingerprints = fingerprints;
+      const tools::SessionResult result = tools::run_session(program, options);
+      const auto& stats = result.analysis_stats;
+      json.begin_object();
+      json.field("mode", streaming ? "streaming" : "post-mortem");
+      json.field("fingerprints", fingerprints);
+      json.field("pairs_total", stats.pairs_total);
+      json.field("pairs_skipped_bbox", stats.pairs_skipped_bbox);
+      json.field("pairs_region_fast", stats.pairs_region_fast);
+      json.field("pairs_ordered", stats.pairs_ordered);
+      json.field("pairs_mutex", stats.pairs_mutex);
+      json.field("pairs_skipped_fingerprint", stats.pairs_skipped_fingerprint);
+      json.field("pairs_scanned", pairs_scanned(stats));
+      json.field("fingerprint_bytes", stats.fingerprint_bytes);
+      json.field("analysis_seconds", result.analysis_seconds);
+      json.field("report_count", static_cast<uint64_t>(result.report_count));
+      json.field("raw_report_count",
+                 static_cast<uint64_t>(result.raw_report_count));
+      json.end_object();
+      funnel.add_row(
+          {streaming ? "streaming" : "post-mortem",
+           fingerprints ? "on" : "off", std::to_string(stats.pairs_total),
+           std::to_string(stats.pairs_skipped_bbox),
+           std::to_string(stats.pairs_region_fast + stats.pairs_ordered +
+                          stats.pairs_mutex),
+           std::to_string(stats.pairs_skipped_fingerprint),
+           std::to_string(pairs_scanned(stats)),
+           std::to_string(stats.fingerprint_bytes / 1024),
+           format_seconds(result.analysis_seconds),
+           std::to_string(result.raw_report_count)});
+    }
+  }
+  json.end_array();  // funnel
+
+  TextTable pressure({"fp", "spilled", "reloads", "reloads-avoided",
+                      "stalls", "raw reports"});
+  json.key("pressure").begin_array();
+  for (const bool fingerprints : {true, false}) {
+    tools::SessionOptions options;
+    options.tool = tools::ToolKind::kTaskgrind;
+    options.num_threads = 1;
+    options.taskgrind.streaming = true;
+    options.taskgrind.analysis_threads = 4;
+    options.taskgrind.use_fingerprints = fingerprints;
+    options.taskgrind.max_tree_bytes = kCeiling;
+    const tools::SessionResult result = tools::run_session(program, options);
+    const auto& stats = result.analysis_stats;
+    json.begin_object();
+    json.field("fingerprints", fingerprints);
+    json.field("max_tree_bytes", kCeiling);
+    json.field("peak_tree_bytes", stats.peak_tree_bytes);
+    json.field("segments_spilled", stats.segments_spilled);
+    json.field("spill_reloads", stats.spill_reloads);
+    json.field("spill_reloads_avoided", stats.spill_reloads_avoided);
+    json.field("enqueue_stalls", stats.enqueue_stalls);
+    json.field("report_count", static_cast<uint64_t>(result.report_count));
+    json.field("raw_report_count",
+               static_cast<uint64_t>(result.raw_report_count));
+    json.end_object();
+    pressure.add_row({fingerprints ? "on" : "off",
+                      std::to_string(stats.segments_spilled),
+                      std::to_string(stats.spill_reloads),
+                      std::to_string(stats.spill_reloads_avoided),
+                      std::to_string(stats.enqueue_stalls),
+                      std::to_string(result.raw_report_count)});
+  }
+  json.end_array();  // pressure
+  json.end_object();
+
+  std::printf(
+      "Access-fingerprint filter funnel (racy mini-LULESH -s %d -tel 8"
+      " -tnl 8 -i 8, 4 analysis threads):\n\n%s\n"
+      "'pre-walk' sums the region/ordering/mutex verdicts; 'scanned' is\n"
+      "what is left paying a full interval-tree walk after the fingerprint\n"
+      "filter. Raw reports are identical in every row - the fingerprints\n"
+      "only ever prove disjointness.\n\n"
+      "Governor interaction under a 256 KiB interval-tree ceiling:\n\n%s\n"
+      "A reload-avoided is a deferred pair whose partner sat in the spill\n"
+      "archive but whose resident fingerprints settled the pair at enqueue\n"
+      "time - adjudication never touched the disk for it.\n",
+      s, funnel.render().c_str(), pressure.render().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str() << "\n";
+    std::printf("fingerprint json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace tg::bench
 
@@ -101,6 +253,7 @@ int main(int argc, char** argv) {
   int s = 12;
   bool csv = false;
   std::string json_path;
+  std::string fingerprint_json;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--s") == 0 && i + 1 < argc) {
       s = std::atoi(argv[++i]);
@@ -110,7 +263,13 @@ int main(int argc, char** argv) {
       s = 8;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fingerprint-json") == 0 &&
+               i + 1 < argc) {
+      fingerprint_json = argv[++i];
     }
+  }
+  if (!fingerprint_json.empty()) {
+    return tg::bench::run_fingerprint_sweep(s, fingerprint_json);
   }
   return tg::bench::run(s, csv, json_path);
 }

@@ -118,7 +118,7 @@ int run_pressure_sweep(const std::string& json_path) {
   json.key("entries").begin_array();
 
   TextTable table({"ceiling (KiB)", "tree-peak (KiB)", "spilled",
-                   "spill (KiB)", "reloads", "stalls", "exec (s)",
+                   "spill (KiB)", "reloads", "avoided", "stalls", "exec (s)",
                    "adjudicate (s)", "raw reports"});
   for (uint64_t ceiling : ceilings) {
     SessionOptions options;
@@ -137,6 +137,7 @@ int run_pressure_sweep(const std::string& json_path) {
     json.field("segments_spilled", stats.segments_spilled);
     json.field("spill_bytes_written", stats.spill_bytes_written);
     json.field("spill_reloads", stats.spill_reloads);
+    json.field("spill_reloads_avoided", stats.spill_reloads_avoided);
     json.field("enqueue_stalls", stats.enqueue_stalls);
     json.field("exec_seconds", result.exec_seconds);
     json.field("analysis_seconds", result.analysis_seconds);
@@ -151,6 +152,7 @@ int run_pressure_sweep(const std::string& json_path) {
          std::to_string(stats.segments_spilled),
          std::to_string(stats.spill_bytes_written / 1024),
          std::to_string(stats.spill_reloads),
+         std::to_string(stats.spill_reloads_avoided),
          std::to_string(stats.enqueue_stalls),
          format_seconds(result.exec_seconds),
          format_seconds(result.analysis_seconds),

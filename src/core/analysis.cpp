@@ -170,6 +170,10 @@ struct PairWorker {
       stats.pairs_mutex++;
       return;
     }
+    if (options.use_fingerprints && fingerprints_disjoint(s1, s2)) {
+      stats.pairs_skipped_fingerprint++;
+      return;
+    }
     scan_pair_conflicts(s1, s2, program, allocs, options, stats, reports);
   }
 };
@@ -274,6 +278,8 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
     result.stats.pairs_ordered += worker.stats.pairs_ordered;
     result.stats.pairs_region_fast += worker.stats.pairs_region_fast;
     result.stats.pairs_mutex += worker.stats.pairs_mutex;
+    result.stats.pairs_skipped_fingerprint +=
+        worker.stats.pairs_skipped_fingerprint;
     result.stats.raw_conflicts += worker.stats.raw_conflicts;
     result.stats.suppressed_stack += worker.stats.suppressed_stack;
     result.stats.suppressed_tls += worker.stats.suppressed_tls;
@@ -293,6 +299,8 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
   // engine's - the memory-overhead tables read it from either mode.
   result.stats.peak_tree_bytes = static_cast<uint64_t>(
       MemAccountant::instance().category_peak(MemCategory::kIntervalTrees));
+  result.stats.fingerprint_bytes = static_cast<uint64_t>(
+      MemAccountant::instance().category_peak(MemCategory::kFingerprints));
   result.stats.seconds = now_seconds() - start;
   return result;
 }

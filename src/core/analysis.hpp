@@ -29,6 +29,10 @@ struct AnalysisOptions {
   /// disjoint footprints are never generated. Sound: such pairs cannot
   /// produce an overlap, so findings are identical either way.
   bool use_bbox_pruning = true;
+  /// Test the two-level access fingerprints (core/fingerprint) before any
+  /// tree walk and before reloading a spilled partner. Sound: fingerprints
+  /// can only prove disjointness, so findings are identical either way.
+  bool use_fingerprints = true;
   /// Answer ordered() from the ancestor-bitset oracle instead of the
   /// timestamp index. Requires the graph to have been finalized with
   /// SegmentGraph::enable_bitset_oracle(true). Verification only.
@@ -52,6 +56,7 @@ struct AnalysisStats {
   uint64_t pairs_ordered = 0;        // skipped via reachability
   uint64_t pairs_region_fast = 0;    // skipped via Eq. 1
   uint64_t pairs_mutex = 0;          // skipped via shared mutex
+  uint64_t pairs_skipped_fingerprint = 0;  // proved disjoint pre tree walk
   uint64_t raw_conflicts = 0;        // overlaps before suppression/dedup
   uint64_t suppressed_stack = 0;
   uint64_t suppressed_tls = 0;
@@ -69,7 +74,9 @@ struct AnalysisStats {
   uint64_t segments_spilled = 0;     // segments whose arenas went to disk
   uint64_t spill_bytes_written = 0;  // archive bytes appended
   uint64_t spill_reloads = 0;        // on-demand arena reloads at finish
+  uint64_t spill_reloads_avoided = 0;  // spilled-partner pairs settled by fp
   uint64_t enqueue_stalls = 0;       // builder waits for scans to unpin
+  uint64_t fingerprint_bytes = 0;    // run-directory high-water mark
   bool streamed = false;             // produced by the streaming engine
   double seconds = 0;                // post-execution adjudication time
 };

@@ -1,0 +1,180 @@
+#include "core/fingerprint.hpp"
+
+#include <cstring>
+
+#include "support/accounting.hpp"
+
+namespace tg::core {
+
+namespace {
+
+template <typename T>
+void put(std::vector<uint8_t>& out, T value) {
+  const size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+bool get(const uint8_t* data, size_t size, size_t& at, T& value) {
+  if (size - at < sizeof(T) || at > size) return false;
+  std::memcpy(&value, data + at, sizeof(T));
+  at += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+AccessFingerprint::AccessFingerprint(AccessFingerprint&& other) noexcept
+    : runs_(std::move(other.runs_)),
+      accounted_(other.accounted_),
+      ready_(other.ready_) {
+  std::memcpy(words_, other.words_, sizeof(words_));
+  std::memset(other.words_, 0, sizeof(other.words_));
+  other.runs_.clear();
+  other.accounted_ = 0;
+  other.ready_ = false;
+}
+
+AccessFingerprint& AccessFingerprint::operator=(
+    AccessFingerprint&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  runs_ = std::move(other.runs_);
+  accounted_ = other.accounted_;
+  ready_ = other.ready_;
+  std::memcpy(words_, other.words_, sizeof(words_));
+  std::memset(other.words_, 0, sizeof(other.words_));
+  other.runs_.clear();
+  other.accounted_ = 0;
+  other.ready_ = false;
+  return *this;
+}
+
+void AccessFingerprint::release() {
+  if (accounted_ != 0) {
+    MemAccountant::instance().add(MemCategory::kFingerprints, -accounted_);
+    accounted_ = 0;
+  }
+  std::vector<PageRun>().swap(runs_);
+  std::memset(words_, 0, sizeof(words_));
+  ready_ = false;
+}
+
+void AccessFingerprint::account_runs() {
+  const int64_t now =
+      static_cast<int64_t>(runs_.capacity() * sizeof(PageRun));
+  if (now != accounted_) {
+    MemAccountant::instance().add(MemCategory::kFingerprints,
+                                  now - accounted_);
+    accounted_ = now;
+  }
+}
+
+void AccessFingerprint::build_from(const IntervalSet& set) {
+  release();
+  std::memcpy(words_, set.fingerprint_words(), sizeof(words_));
+
+  // Level 1: coalesce the interval walk into page runs. Intervals arrive
+  // ordered and disjoint, so adjacent-or-overlapping page ranges merge into
+  // the directory's back run; past kMaxRuns the back run widens instead
+  // (over-approximate, still sound).
+  set.for_each([this](uint64_t lo, uint64_t hi, vex::SrcLoc) {
+    const uint64_t plo = lo >> kFingerprintPageShift;
+    const uint64_t phi = ((hi - 1) >> kFingerprintPageShift) + 1;
+    if (!runs_.empty() && plo <= runs_.back().hi) {
+      if (phi > runs_.back().hi) runs_.back().hi = phi;
+      return;
+    }
+    if (runs_.size() == kMaxRuns) {
+      runs_.back().hi = phi;
+      return;
+    }
+    runs_.push_back({plo, phi});
+  });
+  account_runs();
+
+  // A reloaded/deserialized set has an empty incremental bitmap; re-derive
+  // level 0 from the runs (widened runs only over-mark - sound). A run set
+  // wider than the bitmap saturates it, same as IntervalSet::fp_note.
+  bool words_zero = true;
+  for (uint32_t w = 0; w < kFingerprintWords; ++w) {
+    if (words_[w] != 0) words_zero = false;
+  }
+  if (words_zero && !runs_.empty()) {
+    uint64_t pages = 0;
+    for (const PageRun& run : runs_) pages += run.hi - run.lo;
+    if (pages >= kFingerprintBits) {
+      std::memset(words_, 0xFF, sizeof(words_));
+    } else {
+      for (const PageRun& run : runs_) {
+        for (uint64_t p = run.lo; p < run.hi; ++p) {
+          const uint32_t slot = fingerprint_slot(p);
+          words_[slot >> 6] |= 1ull << (slot & 63);
+        }
+      }
+    }
+  }
+  ready_ = true;
+}
+
+bool AccessFingerprint::runs_intersect(const AccessFingerprint& other) const {
+  size_t a = 0;
+  size_t b = 0;
+  while (a < runs_.size() && b < other.runs_.size()) {
+    const PageRun& ra = runs_[a];
+    const PageRun& rb = other.runs_[b];
+    if (ra.hi <= rb.lo) {
+      ++a;
+    } else if (rb.hi <= ra.lo) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AccessFingerprint::serialize(std::vector<uint8_t>& out) const {
+  put<uint8_t>(out, ready_ ? 1 : 0);
+  put<uint32_t>(out, static_cast<uint32_t>(runs_.size()));
+  for (uint32_t w = 0; w < kFingerprintWords; ++w) put<uint64_t>(out, words_[w]);
+  for (const PageRun& run : runs_) {
+    put<uint64_t>(out, run.lo);
+    put<uint64_t>(out, run.hi);
+  }
+}
+
+size_t AccessFingerprint::deserialize(const uint8_t* data, size_t size) {
+  release();
+  size_t at = 0;
+  uint8_t ready = 0;
+  uint32_t nruns = 0;
+  if (!get(data, size, at, ready) || !get(data, size, at, nruns) ||
+      ready > 1 || nruns > kMaxRuns) {
+    return 0;
+  }
+  uint64_t words[kFingerprintWords];
+  for (uint32_t w = 0; w < kFingerprintWords; ++w) {
+    if (!get(data, size, at, words[w])) return 0;
+  }
+  std::vector<PageRun> runs;
+  runs.reserve(nruns);
+  uint64_t prev_hi = 0;
+  for (uint32_t k = 0; k < nruns; ++k) {
+    PageRun run;
+    if (!get(data, size, at, run.lo) || !get(data, size, at, run.hi) ||
+        run.lo >= run.hi || (k > 0 && run.lo <= prev_hi)) {
+      return 0;
+    }
+    prev_hi = run.hi;
+    runs.push_back(run);
+  }
+  std::memcpy(words_, words, sizeof(words_));
+  runs_ = std::move(runs);
+  account_runs();
+  ready_ = ready != 0;
+  return at;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,101 @@
+// Two-level conservative access fingerprints (pair-scan pre-filter).
+//
+// Algorithm 1 intersects the exact interval trees of every unordered
+// segment pair; after the bounding-box filter, interleaved-but-disjoint
+// access sets (strided fork-join partitions, the LULESH common case) still
+// pay a full tree walk - and a disk reload when the PR 4 governor evicted a
+// partner. An AccessFingerprint is a compact summary that can prove
+// disjointness without touching the trees:
+//
+//   level 0: a fixed 512-bit hashed 4 KiB-page-occupancy bitmap,
+//            maintained incrementally by IntervalSet::add and compared
+//            with a plain 64-bit-word AND loop;
+//   level 1: a small sorted directory of touched page runs derived from
+//            the chunk directory at segment close, compared with a
+//            two-pointer intersect - it catches the hash collisions that
+//            alias distinct strided partitions onto the same level-0 bits.
+//
+// Soundness: both levels over-approximate the touched page set (hashing
+// aliases pages together; a full run directory widens its last run), so
+// "fingerprints disjoint" implies "byte sets disjoint" - the filter can
+// only skip pairs the exact scan would find empty, never drop a conflict.
+// The converse is deliberately not assumed anywhere. Findings therefore
+// stay byte-identical by construction; --no-fingerprints only disables the
+// filter, never changes what is reported.
+//
+// Fingerprints live outside the evicted arena bytes, so the streaming
+// analyzer keeps them resident when a segment spills and adjudicates
+// fingerprint-disjoint deferred pairs at finish() with zero reloads. They
+// also serialize alongside the spill record for archive crash-consistency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interval_set.hpp"
+
+namespace tg::core {
+
+class AccessFingerprint {
+ public:
+  /// Half-open run of touched page numbers, [lo, hi).
+  struct PageRun {
+    uint64_t lo;
+    uint64_t hi;
+  };
+
+  /// Level-1 capacity. Past this the final run widens to absorb new pages -
+  /// a sound over-approximation that keeps the directory O(1)-sized.
+  static constexpr size_t kMaxRuns = 64;
+
+  AccessFingerprint() = default;
+  ~AccessFingerprint() { release(); }
+  AccessFingerprint(AccessFingerprint&& other) noexcept;
+  AccessFingerprint& operator=(AccessFingerprint&& other) noexcept;
+  AccessFingerprint(const AccessFingerprint&) = delete;
+  AccessFingerprint& operator=(const AccessFingerprint&) = delete;
+
+  /// Builds both levels from a finalized set. Level 0 reuses the bitmap the
+  /// set maintained incrementally during recording; a set restored by
+  /// deserialize() carries no bitmap, so the words are re-derived from the
+  /// intervals. Run-directory bytes are accounted under kFingerprints.
+  void build_from(const IntervalSet& set);
+
+  /// True once build_from ran. Pairs with an unready side are treated as
+  /// maybe-intersecting (filter silently off - e.g. hand-built test graphs).
+  bool ready() const { return ready_; }
+
+  /// Conservative intersection test: false means the underlying byte sets
+  /// are provably disjoint; true means nothing.
+  bool maybe_intersects(const AccessFingerprint& other) const {
+    uint64_t hit = 0;
+    for (uint32_t w = 0; w < kFingerprintWords; ++w) {
+      hit |= words_[w] & other.words_[w];
+    }
+    if (hit == 0) return false;
+    return runs_intersect(other);
+  }
+
+  /// Appends a portable snapshot (ready flag, words, runs) to `out`.
+  void serialize(std::vector<uint8_t>& out) const;
+
+  /// Restores a serialize() snapshot, replacing the current contents.
+  /// Returns bytes consumed, or 0 on a malformed/truncated image (the
+  /// fingerprint is left unready in that case).
+  size_t deserialize(const uint8_t* data, size_t size);
+
+  const uint64_t* words() const { return words_; }
+  const std::vector<PageRun>& runs() const { return runs_; }
+
+ private:
+  bool runs_intersect(const AccessFingerprint& other) const;
+  void release();
+  void account_runs();
+
+  uint64_t words_[kFingerprintWords] = {};
+  std::vector<PageRun> runs_;  // sorted, disjoint, non-adjacent
+  int64_t accounted_ = 0;      // bytes charged to kFingerprints
+  bool ready_ = false;
+};
+
+}  // namespace tg::core

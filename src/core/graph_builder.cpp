@@ -91,6 +91,11 @@ void SegmentGraphBuilder::close_segment(TTask& t) {
       ++dtv_gen_warnings_;
     }
   }
+  // The trees are immutable from here on: finalize the pair-scan
+  // fingerprints before the sink sees the segment, so the streaming
+  // enqueue-time filter can use them (and they survive a later spill of
+  // the arenas).
+  segment.finalize_fingerprints();
   t.prev_seg = t.cur_seg;
   t.cur_seg = kNoSeg;
   if (sink_ != nullptr) sink_->segment_closed(t.prev_seg);

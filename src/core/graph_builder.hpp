@@ -76,20 +76,46 @@ class SegmentGraphBuilder {
   bool compute_frontier(std::vector<SegId>& out) const;
 
   // --- scalar event API ---------------------------------------------------
+  /// Registers a task under its parent (fork edge) inside `region`; `flags`
+  /// carry the rt::TaskFlags that drive suppression and ordering rules.
   void task_create(uint64_t task, uint64_t parent, uint32_t flags,
                    uint64_t region, vex::SrcLoc loc);
+  /// Declared in/out dependence: every segment of `succ` is ordered after
+  /// the completion of `pred`.
   void dependence(uint64_t pred, uint64_t succ);
+  /// `task` starts (or resumes) executing on worker thread `tid`.
   void schedule_begin(uint64_t task, int tid);
+  /// `task` leaves `tid` (preemption or completion); the thread's access
+  /// cursor is dropped so stray accesses cannot land in the old segment.
   void schedule_end(uint64_t task, int tid);
+  /// `task` finished: closes its open segment and publishes completion
+  /// edges to dependent tasks and joining parents.
   void task_complete(uint64_t task);
+  /// Entry to a synchronizing construct (taskwait, taskgroup end, join...):
+  /// splits the task's segment so pre-sync accesses stay separable.
   void sync_begin(rt::SyncKind kind, uint64_t task, int tid);
+  /// Exit from the construct: the post-sync segment is ordered after every
+  /// task the sync waited for.
   void sync_end(rt::SyncKind kind, uint64_t task, int tid);
+  /// Opens a taskgroup scope on `task` (children join at the group's end).
   void taskgroup_begin(uint64_t task);
+  /// `task` reached barrier `epoch` of `region`; its pre-barrier segment
+  /// becomes a predecessor of every post-release segment.
   void barrier_arrive(uint64_t region, uint64_t epoch, uint64_t task);
+  /// Barrier `epoch` released: post-barrier segments start ordered after
+  /// all arrivals.
   void barrier_release(uint64_t region, uint64_t epoch);
+  /// A parallel region begins under `enc_task` with `nthreads` implicit
+  /// tasks; establishes the region window used by the streaming filters.
   void parallel_begin(uint64_t region, uint64_t enc_task, int nthreads);
+  /// The region's implicit barrier completed; the encountering task resumes
+  /// ordered after every implicit task.
   void parallel_end(uint64_t region, uint64_t enc_task);
+  /// `task` holds `mutex` (task-level for mutexinoutset when `task_level`);
+  /// pairs sharing a mutex are exempted from the race predicate.
   void mutex_acquired(uint64_t task, uint64_t mutex, bool task_level);
+  /// Out-of-band fulfillment of a detached task's allow-completion event,
+  /// attributed to `fulfiller_tid`.
   void task_fulfill(uint64_t task, int fulfiller_tid);
   /// FEB transitions: a release splits the task's segment and remembers the
   /// pre-split segment on the (addr, channel) slot; an acquire splits and

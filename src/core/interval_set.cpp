@@ -16,7 +16,11 @@ IntervalSet::IntervalSet(IntervalSet&& other) noexcept
       arena_bytes_(other.arena_bytes_),
       directory_bytes_(other.directory_bytes_),
       cursor_chunk_(other.cursor_chunk_),
-      cursor_item_(other.cursor_item_) {
+      cursor_item_(other.cursor_item_),
+      fp_last_page_(other.fp_last_page_) {
+  std::memcpy(fp_words_, other.fp_words_, sizeof(fp_words_));
+  std::memset(other.fp_words_, 0, sizeof(other.fp_words_));
+  other.fp_last_page_ = ~0ull;
   other.chunks_.clear();
   other.free_list_ = nullptr;
   other.count_ = 0;
@@ -88,6 +92,8 @@ uint64_t IntervalSet::clear() {
   bytes_ = 0;
   cursor_chunk_ = 0;
   cursor_item_ = 0;
+  std::memset(fp_words_, 0, sizeof(fp_words_));
+  fp_last_page_ = ~0ull;
   return released;
 }
 

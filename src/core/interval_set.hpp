@@ -30,6 +30,19 @@
 
 namespace tg::core {
 
+/// Level-0 fingerprint geometry, shared with core/fingerprint. 512 bits of
+/// hashed 4 KiB-page occupancy: small enough to live inline in every set,
+/// wide enough that strided fork-join partitions rarely collide.
+inline constexpr uint32_t kFingerprintWords = 8;
+inline constexpr uint32_t kFingerprintBits = kFingerprintWords * 64;
+inline constexpr uint32_t kFingerprintPageShift = 12;
+
+/// Bit slot for a page number: top bits of a Fibonacci multiplicative hash,
+/// so arithmetic page sequences (the strided-kernel case) spread evenly.
+inline uint32_t fingerprint_slot(uint64_t page) {
+  return static_cast<uint32_t>((page * 0x9E3779B97F4A7C15ull) >> 55);
+}
+
 class IntervalSet {
  public:
   IntervalSet() = default;
@@ -44,6 +57,14 @@ class IntervalSet {
   /// (it was recorded first for the canonical dense-sweep pattern).
   void add(uint64_t lo, uint64_t hi, vex::SrcLoc loc) {
     TG_ASSERT(lo < hi);
+    // Level-0 fingerprint upkeep. A dense sweep stays on one page for 4 KiB
+    // of accesses, so the single-compare skip below keeps the fast lane at
+    // two shifts and one branch for the dominant pattern.
+    const uint64_t page_hi = (hi - 1) >> kFingerprintPageShift;
+    if (page_hi != fp_last_page_ ||
+        (lo >> kFingerprintPageShift) != fp_last_page_) {
+      fp_note(lo >> kFingerprintPageShift, page_hi);
+    }
     // Fast lane: the last-touched interval. Dense sweeps either re-touch
     // bytes already covered or extend the interval's upper end in place.
     if (cursor_chunk_ < chunks_.size()) {
@@ -91,6 +112,12 @@ class IntervalSet {
   /// Exact bytes currently allocated for this set (chunks + directory) -
   /// the number the memory accountant is charged with.
   uint64_t arena_bytes() const { return static_cast<uint64_t>(arena_bytes_); }
+
+  /// Level-0 fingerprint words maintained incrementally by add(): hashed
+  /// page-occupancy bits over everything ever recorded into this set. Reset
+  /// by clear()/deserialize() (a reloaded arena carries no incremental
+  /// bitmap - AccessFingerprint::build_from falls back to the intervals).
+  const uint64_t* fingerprint_words() const { return fp_words_; }
 
   /// Tight address bounding box over all intervals, half-open [lo, hi).
   /// {0, 0} when empty. O(1): the intervals are disjoint and ordered, so
@@ -202,6 +229,23 @@ class IntervalSet {
   void account(int64_t delta);
   void sync_directory_accounting();
 
+  /// Marks pages [p0, p1] in the level-0 bitmap. A range wider than the
+  /// bitmap saturates it outright (still a sound over-approximation) so one
+  /// giant interval cannot turn the inline hot path into a page loop.
+  void fp_note(uint64_t p0, uint64_t p1) {
+    if (p1 - p0 >= kFingerprintBits) {
+      for (uint32_t w = 0; w < kFingerprintWords; ++w) fp_words_[w] = ~0ull;
+      fp_last_page_ = p1;
+      return;
+    }
+    for (uint64_t p = p0;; ++p) {
+      const uint32_t slot = fingerprint_slot(p);
+      fp_words_[slot >> 6] |= 1ull << (slot & 63);
+      if (p == p1) break;
+    }
+    fp_last_page_ = p1;
+  }
+
   std::vector<Chunk*> chunks_;  // live chunks in address order
   Chunk* free_list_ = nullptr;  // recycled chunks, freed on clear()
   size_t count_ = 0;            // intervals across all chunks
@@ -210,6 +254,8 @@ class IntervalSet {
   int64_t directory_bytes_ = 0;
   uint32_t cursor_chunk_ = 0;   // last-touched interval (the append hint)
   uint32_t cursor_item_ = 0;
+  uint64_t fp_words_[kFingerprintWords] = {};  // level-0 page bitmap
+  uint64_t fp_last_page_ = ~0ull;              // last page marked by fp_note
 };
 
 }  // namespace tg::core

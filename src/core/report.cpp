@@ -70,6 +70,7 @@ std::string stats_summary(const AnalysisStats& stats) {
   std::ostringstream out;
   out << "pairs=" << stats.pairs_total
       << " skipped-bbox=" << stats.pairs_skipped_bbox
+      << " skipped-fp=" << stats.pairs_skipped_fingerprint
       << " ordered=" << stats.pairs_ordered
       << " region-fast=" << stats.pairs_region_fast
       << " mutex=" << stats.pairs_mutex
@@ -88,6 +89,7 @@ std::string stats_summary(const AnalysisStats& stats) {
       out << " spilled=" << stats.segments_spilled
           << " spill-bytes=" << stats.spill_bytes_written
           << " reloads=" << stats.spill_reloads
+          << " reloads-avoided=" << stats.spill_reloads_avoided
           << " stalls=" << stats.enqueue_stalls;
     }
   }

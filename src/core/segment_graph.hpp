@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fingerprint.hpp"
 #include "core/interval_set.hpp"
 #include "vex/thread.hpp"
 
@@ -62,7 +63,23 @@ struct Segment {
   bool dtv_changed_during = false;   // dtv gen moved while segment ran
   std::vector<uint64_t> mutexes;     // task mutexes (mutexinoutset), sorted
 
+  // Finalized access fingerprints (core/fingerprint). Built at segment
+  // close; they live outside the evicted tree bytes, so they stay resident
+  // when the pressure governor spills the interval arenas.
+  AccessFingerprint fp_reads;
+  AccessFingerprint fp_writes;
+
   bool has_accesses() const { return !reads.empty() || !writes.empty(); }
+
+  /// Builds both direction fingerprints from the (now immutable) trees.
+  void finalize_fingerprints() {
+    fp_reads.build_from(reads);
+    fp_writes.build_from(writes);
+  }
+
+  bool fingerprints_ready() const {
+    return fp_reads.ready() && fp_writes.ready();
+  }
 
   /// Bounding box over reads U writes, for the pair-pruning sweeps.
   IntervalSet::Bounds access_bounds() const {
@@ -73,6 +90,18 @@ struct Segment {
     return {std::min(r.lo, w.lo), std::max(r.hi, w.hi)};
   }
 };
+
+/// The Algorithm 1 pre-filter: true when the fingerprints prove that
+/// neither segment's writes can touch the other's reads or writes. Both
+/// directions of w ∩ (r ∪ w) are covered; an unready side disables the
+/// filter for the pair (returns false), so manually-built graphs are
+/// simply unfiltered, never mis-filtered.
+inline bool fingerprints_disjoint(const Segment& a, const Segment& b) {
+  if (!a.fingerprints_ready() || !b.fingerprints_ready()) return false;
+  return !a.fp_writes.maybe_intersects(b.fp_writes) &&
+         !a.fp_writes.maybe_intersects(b.fp_reads) &&
+         !b.fp_writes.maybe_intersects(a.fp_reads);
+}
 
 /// Constant-size per-segment timestamp (the order-maintenance index entry).
 /// `chain`/`chain_pos` are assigned by the builder when the segment is

@@ -122,6 +122,17 @@ void StreamingAnalyzer::segment_closed(SegId id) {
       ++pairs_mutex_;
       continue;
     }
+    if (options_.use_fingerprints && fingerprints_disjoint(seg, partner)) {
+      // The two-level fingerprints prove the byte sets disjoint: no batch
+      // scan, no spill deferral, no deferred_refs pin. Crucially this runs
+      // before the residency check - fingerprints stay resident when the
+      // governor evicts a partner's arenas, so a fingerprint-disjoint pair
+      // against a spilled segment is settled right here, with no reload
+      // ever scheduled.
+      ++pairs_skipped_fingerprint_;
+      if (!resident_[entry.id]) ++spill_reloads_avoided_;
+      continue;
+    }
     if (!resident_[entry.id]) {
       // The partner's arenas were spilled: every enqueue-time filter above
       // is tree-free and already ran, so only the overlap scan remains -
@@ -350,6 +361,11 @@ void StreamingAnalyzer::evict(SegId id) {
   TG_ASSERT(resident_[id] && pending_[id] == 0);
   TG_ASSERT_MSG(!spilled_[id], "segment evicted twice");
   spill_buf_.clear();
+  // Record layout: [fp_reads][fp_writes][reads arena][writes arena]. The
+  // fingerprints stay resident in the Segment - the archived copy makes
+  // the record self-describing (crash-consistent archive format).
+  segment.fp_reads.serialize(spill_buf_);
+  segment.fp_writes.serialize(spill_buf_);
   segment.reads.serialize(spill_buf_);
   segment.writes.serialize(spill_buf_);
   if (!spill_->write_record(id, spill_buf_)) return;  // IO failure: keep trees
@@ -391,11 +407,22 @@ const Segment& StreamingAnalyzer::loaded_segment(SegId id, SegId keep) {
   spill_buf_.clear();
   TG_ASSERT_MSG(spill_->read_record(id, spill_buf_),
                 "spill archive lost a record");
-  const size_t used_reads =
-      segment.reads.deserialize(spill_buf_.data(), spill_buf_.size());
+  // Skip-validate the fingerprint sections (the Segment's resident
+  // fingerprints are authoritative; the archived copies exist for the
+  // record format's own integrity).
+  AccessFingerprint archived_fp;
+  size_t off = archived_fp.deserialize(spill_buf_.data(), spill_buf_.size());
+  TG_ASSERT_MSG(off != 0, "corrupt spill record (read fingerprint)");
+  const size_t used_fpw = archived_fp.deserialize(spill_buf_.data() + off,
+                                                  spill_buf_.size() - off);
+  TG_ASSERT_MSG(used_fpw != 0, "corrupt spill record (write fingerprint)");
+  off += used_fpw;
+  const size_t used_reads = segment.reads.deserialize(spill_buf_.data() + off,
+                                                      spill_buf_.size() - off);
   TG_ASSERT_MSG(used_reads != 0, "corrupt spill record (reads)");
+  off += used_reads;
   const size_t used_writes = segment.writes.deserialize(
-      spill_buf_.data() + used_reads, spill_buf_.size() - used_reads);
+      spill_buf_.data() + off, spill_buf_.size() - off);
   TG_ASSERT_MSG(used_writes != 0, "corrupt spill record (writes)");
   resident_[id] = 1;
   ++spill_reloads_;
@@ -514,6 +541,15 @@ AnalysisResult StreamingAnalyzer::finish() {
       ++adjudicated_ordered;
       continue;
     }
+    if (options_.use_fingerprints && fingerprints_disjoint(a0, b0)) {
+      // Defensive re-check: disjoint means the exact scan would find
+      // nothing - settle without touching the archive. (Unreachable while
+      // the enqueue-time filter runs with the same option; kept so any
+      // future deferral path is still reload-free.) The pair stays counted
+      // under pairs_deferred.
+      ++spill_reloads_avoided_;
+      continue;
+    }
     const Segment& a = loaded_segment(pair.first, kNoSeg);
     const Segment& b = loaded_segment(pair.second, pair.first);
     scan_pair_conflicts(a, b, program_, allocs_, options_, result.stats,
@@ -523,8 +559,10 @@ AnalysisResult StreamingAnalyzer::finish() {
 
   AnalysisStats& stats = result.stats;
   stats.pairs_total = pairs_region_enqueue_ + pairs_ordered_enqueue_ +
-                      pairs_mutex_ + pairs_deferred_;
+                      pairs_mutex_ + pairs_skipped_fingerprint_ +
+                      pairs_deferred_;
   stats.pairs_skipped_bbox = pairs_skipped_bbox_;
+  stats.pairs_skipped_fingerprint = pairs_skipped_fingerprint_;
   stats.pairs_ordered = pairs_ordered_enqueue_ + adjudicated_ordered;
   stats.pairs_region_fast = pairs_region_enqueue_ + region_fast;
   stats.pairs_mutex = pairs_mutex_;
@@ -541,7 +579,10 @@ AnalysisResult StreamingAnalyzer::finish() {
   stats.segments_spilled = segments_spilled_;
   stats.spill_bytes_written = spill_bytes_written_;
   stats.spill_reloads = spill_reloads_;
+  stats.spill_reloads_avoided = spill_reloads_avoided_;
   stats.enqueue_stalls = enqueue_stalls_;
+  stats.fingerprint_bytes = static_cast<uint64_t>(
+      MemAccountant::instance().category_peak(MemCategory::kFingerprints));
   stats.streamed = true;
   stats.seconds = now_seconds() - start;
   result_ = std::move(result);

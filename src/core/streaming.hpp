@@ -204,6 +204,8 @@ class StreamingAnalyzer final : public SegmentSink {
   uint64_t pairs_region_enqueue_ = 0;
   uint64_t pairs_mutex_ = 0;
   uint64_t pairs_skipped_bbox_ = 0;
+  uint64_t pairs_skipped_fingerprint_ = 0;
+  uint64_t spill_reloads_avoided_ = 0;
   uint64_t segments_spilled_ = 0;
   uint64_t spill_bytes_written_ = 0;
   uint64_t spill_reloads_ = 0;

@@ -328,6 +328,7 @@ AnalysisOptions TaskgrindTool::analysis_options() const {
   options.suppress_tls = options_.suppress_tls;
   options.respect_mutexes = options_.respect_mutexes;
   options.use_bbox_pruning = options_.use_bbox_pruning;
+  options.use_fingerprints = options_.use_fingerprints;
   options.use_bitset_oracle = options_.use_bitset_oracle;
   options.threads = options_.analysis_threads;
   options.max_reports = options_.max_reports;

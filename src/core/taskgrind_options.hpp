@@ -37,6 +37,11 @@ struct TaskgrindOptions {
   /// Skip pair generation for segments with disjoint address bounding
   /// boxes (sound; findings are unchanged).
   bool use_bbox_pruning = true;
+  /// Test the two-level access fingerprints (hashed page bitmap + page-run
+  /// directory, core/fingerprint) before any tree walk and before reloading
+  /// a spilled partner. Sound pre-filter: it can only prove disjointness,
+  /// so findings are unchanged either way (disable with --no-fingerprints).
+  bool use_fingerprints = true;
   /// Build the O(n^2/8) ancestor bitsets at finalize and answer ordering
   /// from them instead of the O(n) timestamp index. Verification only.
   bool use_bitset_oracle = false;

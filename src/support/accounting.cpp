@@ -24,6 +24,8 @@ const char* mem_category_name(MemCategory category) {
       return "translation";
     case MemCategory::kSpillMeta:
       return "spill-metadata";
+    case MemCategory::kFingerprints:
+      return "fingerprints";
     case MemCategory::kOther:
       return "other";
     case MemCategory::kCount:

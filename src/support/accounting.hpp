@@ -24,6 +24,7 @@ enum class MemCategory : uint8_t {
   kRuntime,           // minomp task descriptors, deques
   kTranslation,       // VM translation cache
   kSpillMeta,         // spill archive offset table + IO buffer
+  kFingerprints,      // per-segment access fingerprints (run directories)
   kOther,
   kCount,
 };

@@ -235,6 +235,7 @@ std::string session_json(const SessionOptions& options,
   json.field("replace_allocator", tg.replace_allocator);
   json.field("respect_mutexes", tg.respect_mutexes);
   json.field("use_bbox_pruning", tg.use_bbox_pruning);
+  json.field("use_fingerprints", tg.use_fingerprints);
   json.field("use_bitset_oracle", tg.use_bitset_oracle);
   json.field("max_reports", static_cast<uint64_t>(tg.max_reports));
   json.field("max_tree_bytes", tg.max_tree_bytes);
@@ -266,6 +267,7 @@ std::string session_json(const SessionOptions& options,
   json.field("streamed", stats.streamed);
   json.field("pairs_total", stats.pairs_total);
   json.field("pairs_skipped_bbox", stats.pairs_skipped_bbox);
+  json.field("pairs_skipped_fingerprint", stats.pairs_skipped_fingerprint);
   json.field("pairs_ordered", stats.pairs_ordered);
   json.field("pairs_region_fast", stats.pairs_region_fast);
   json.field("pairs_mutex", stats.pairs_mutex);
@@ -282,7 +284,9 @@ std::string session_json(const SessionOptions& options,
   json.field("segments_spilled", stats.segments_spilled);
   json.field("spill_bytes_written", stats.spill_bytes_written);
   json.field("spill_reloads", stats.spill_reloads);
+  json.field("spill_reloads_avoided", stats.spill_reloads_avoided);
   json.field("enqueue_stalls", stats.enqueue_stalls);
+  json.field("fingerprint_bytes", stats.fingerprint_bytes);
   json.field("index_bytes", stats.index_bytes);
   json.field("oracle_bytes", stats.oracle_bytes);
   json.field("seconds", stats.seconds);

@@ -10,10 +10,12 @@
 // sets are cleared or destroyed.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <set>
 #include <vector>
 
+#include "core/fingerprint.hpp"
 #include "core/interval_set.hpp"
 #include "support/accounting.hpp"
 #include "support/rng.hpp"
@@ -399,6 +401,188 @@ TEST(IntervalFuzz, ClearReturnsExactArenaBytes) {
   const uint64_t before = set.arena_bytes();
   EXPECT_EQ(set.clear(), before);
   EXPECT_EQ(set.clear(), 0u);  // idempotent once empty
+}
+
+// --- access fingerprints -----------------------------------------------------
+
+/// The soundness contract: the fingerprint may only prove disjointness. If
+/// the exact trees intersect, maybe_intersects must say so - the converse
+/// (maybe => intersects) is deliberately never asserted anywhere.
+void fingerprint_soundness_one(uint64_t seed) {
+  Rng rng(seed);
+  // Random address scale per run: byte-scale sets live on one page (where
+  // level 0 degenerates to a single bit), page- and superpage-scale sets
+  // exercise multi-page runs and hash spread.
+  const uint64_t units[] = {1, 64, 4096, 1u << 16};
+  const uint64_t unit = units[rng.below(4)];
+  // Half the pairs get a huge base offset, so genuinely disjoint pairs
+  // (the case the filter exists for) occur often, not just by luck.
+  const uint64_t base_b = rng.chance(0.5) ? (1ull << 32) : 0;
+
+  IntervalSet a;
+  IntervalSet b;
+  const uint32_t adds = 4 + rng.below(60);
+  for (uint32_t i = 0; i < adds; ++i) {
+    const uint64_t lo = rng.below(1u << 12) * unit;
+    const uint64_t len = 1 + rng.below(256) * unit;
+    a.add(lo, lo + len, loc(1));
+    const uint64_t lob = base_b + rng.below(1u << 12) * unit;
+    const uint64_t lenb = 1 + rng.below(256) * unit;
+    b.add(lob, lob + lenb, loc(2));
+  }
+  AccessFingerprint fa;
+  AccessFingerprint fb;
+  fa.build_from(a);
+  fb.build_from(b);
+  ASSERT_TRUE(fa.ready() && fb.ready());
+  if (a.intersects(b)) {
+    EXPECT_TRUE(fa.maybe_intersects(fb)) << "seed " << seed;
+  }
+  if (!fa.maybe_intersects(fb)) {
+    EXPECT_FALSE(a.intersects(b)) << "seed " << seed;
+  }
+
+  // A fingerprint rebuilt from a deserialized arena (no incremental level-0
+  // bitmap: it is re-derived from the intervals) must obey the same
+  // contract against the original's fingerprint.
+  std::vector<uint8_t> image;
+  a.serialize(image);
+  IntervalSet reloaded;
+  ASSERT_EQ(reloaded.deserialize(image.data(), image.size()), image.size());
+  AccessFingerprint fa2;
+  fa2.build_from(reloaded);
+  if (a.intersects(b)) {
+    EXPECT_TRUE(fa2.maybe_intersects(fb)) << "seed " << seed << " reloaded";
+  }
+}
+
+TEST(IntervalFuzz, FingerprintSoundness) {
+  for (uint64_t seed = 100; seed < 400; ++seed) {
+    fingerprint_soundness_one(seed);
+  }
+}
+
+TEST(IntervalFuzz, FingerprintProvesDisjointnessSomewhere) {
+  // Non-vacuousness: on far-apart page-scale sets the filter must actually
+  // fire, otherwise the soundness fuzz proves nothing.
+  IntervalSet a;
+  IntervalSet b;
+  for (uint64_t i = 0; i < 32; ++i) {
+    a.add(i * 8192, i * 8192 + 4096, loc(1));
+    b.add((1ull << 40) + i * 8192, (1ull << 40) + i * 8192 + 4096, loc(2));
+  }
+  AccessFingerprint fa;
+  AccessFingerprint fb;
+  fa.build_from(a);
+  fb.build_from(b);
+  EXPECT_FALSE(fa.maybe_intersects(fb));
+  EXPECT_TRUE(fa.maybe_intersects(fa));  // self-overlap is never filtered
+}
+
+TEST(IntervalFuzz, FingerprintRunCapStaysSound) {
+  // Way past kMaxRuns distinct page runs: the directory widens its last run
+  // instead of growing, which may only over-approximate.
+  IntervalSet sparse;
+  for (uint64_t i = 0; i < 4 * AccessFingerprint::kMaxRuns; ++i) {
+    sparse.add(i * (1u << 20), i * (1u << 20) + 8, loc(1));
+  }
+  AccessFingerprint fp;
+  fp.build_from(sparse);
+  EXPECT_LE(fp.runs().size(), AccessFingerprint::kMaxRuns);
+  // Every touched page is still covered by some run.
+  sparse.for_each([&](uint64_t lo, uint64_t hi, vex::SrcLoc) {
+    const uint64_t plo = lo >> kFingerprintPageShift;
+    const uint64_t phi = ((hi - 1) >> kFingerprintPageShift) + 1;
+    bool covered = false;
+    for (const AccessFingerprint::PageRun& run : fp.runs()) {
+      if (run.lo <= plo && phi <= run.hi) covered = true;
+    }
+    EXPECT_TRUE(covered) << "interval [" << lo << ", " << hi << ")";
+  });
+  // An overlapping set must still be flagged as maybe-intersecting.
+  IntervalSet probe;
+  probe.add(100 * (1u << 20), 100 * (1u << 20) + 4, loc(2));
+  AccessFingerprint fprobe;
+  fprobe.build_from(probe);
+  EXPECT_TRUE(fp.maybe_intersects(fprobe));
+}
+
+TEST(IntervalFuzz, FingerprintSerializeRoundTrip) {
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet set;
+    const uint32_t adds = rng.below(200);
+    for (uint32_t i = 0; i < adds; ++i) {
+      const uint64_t lo = rng.below(1u << 16) * 4096;
+      set.add(lo, lo + 1 + rng.below(1u << 14), loc(1));
+    }
+    AccessFingerprint fp;
+    fp.build_from(set);
+    std::vector<uint8_t> image;
+    fp.serialize(image);
+
+    AccessFingerprint back;
+    ASSERT_EQ(back.deserialize(image.data(), image.size()), image.size());
+    EXPECT_EQ(back.ready(), fp.ready());
+    ASSERT_EQ(back.runs().size(), fp.runs().size());
+    for (size_t i = 0; i < fp.runs().size(); ++i) {
+      EXPECT_EQ(back.runs()[i].lo, fp.runs()[i].lo);
+      EXPECT_EQ(back.runs()[i].hi, fp.runs()[i].hi);
+    }
+    for (uint32_t w = 0; w < kFingerprintWords; ++w) {
+      EXPECT_EQ(back.words()[w], fp.words()[w]);
+    }
+    // Second serialize is byte-identical (the spill archive's invariant).
+    std::vector<uint8_t> image2;
+    back.serialize(image2);
+    EXPECT_EQ(image, image2);
+  }
+}
+
+TEST(IntervalFuzz, FingerprintDeserializeRejectsTruncatedImages) {
+  IntervalSet set;
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t lo = rng.below(1u << 10) * 4096;
+    set.add(lo, lo + 1 + rng.below(64), loc(1));
+  }
+  AccessFingerprint fp;
+  fp.build_from(set);
+  ASSERT_GT(fp.runs().size(), 1u);
+  std::vector<uint8_t> image;
+  fp.serialize(image);
+  for (size_t cut = 0; cut < image.size(); ++cut) {
+    AccessFingerprint victim;
+    EXPECT_EQ(victim.deserialize(image.data(), cut), 0u) << "cut " << cut;
+    EXPECT_FALSE(victim.ready()) << "cut " << cut;
+  }
+  // Corrupt run ordering is rejected too, not just short reads.
+  std::vector<uint8_t> bad = image;
+  const size_t runs_at = 1 + 4 + sizeof(uint64_t) * kFingerprintWords;
+  uint64_t lo1;
+  std::memcpy(&lo1, bad.data() + runs_at, sizeof(lo1));
+  lo1 += 1u << 20;  // first run now starts after the second
+  std::memcpy(bad.data() + runs_at, &lo1, sizeof(lo1));
+  AccessFingerprint victim;
+  EXPECT_EQ(victim.deserialize(bad.data(), bad.size()), 0u);
+}
+
+TEST(IntervalFuzz, FingerprintAccountingReturnsToBaseline) {
+  MemAccountant& accountant = MemAccountant::instance();
+  const int64_t baseline =
+      accountant.category_bytes(MemCategory::kFingerprints);
+  {
+    IntervalSet set;
+    for (uint64_t i = 0; i < 48; ++i) {
+      set.add(i * (1u << 20), i * (1u << 20) + 8, loc(1));
+    }
+    AccessFingerprint fp;
+    fp.build_from(set);
+    EXPECT_GT(accountant.category_bytes(MemCategory::kFingerprints),
+              baseline);
+  }
+  // Destruction releases the run directory.
+  EXPECT_EQ(accountant.category_bytes(MemCategory::kFingerprints), baseline);
 }
 
 }  // namespace

@@ -33,7 +33,8 @@ constexpr uint64_t kUnlimited = 0;
 SessionResult run_governed(const rt::GuestProgram& program,
                            uint64_t max_tree_bytes, int analysis_threads,
                            int num_threads = 2,
-                           const std::string& spill_dir = "") {
+                           const std::string& spill_dir = "",
+                           bool use_fingerprints = true) {
   SessionOptions options;
   options.tool = ToolKind::kTaskgrind;
   options.num_threads = num_threads;
@@ -41,6 +42,7 @@ SessionResult run_governed(const rt::GuestProgram& program,
   options.taskgrind.analysis_threads = analysis_threads;
   options.taskgrind.max_tree_bytes = max_tree_bytes;
   options.taskgrind.spill_dir = spill_dir;
+  options.taskgrind.use_fingerprints = use_fingerprints;
   return run_session(program, options);
 }
 
@@ -108,6 +110,16 @@ TEST(PressureDifferential, RegistryPrograms) {
         expect_identical_findings(oracle, governed, label);
         expect_ceiling_respected(governed, ceiling, label);
         EXPECT_TRUE(governed.analysis_stats.streamed) << label;
+        if (ceiling == kTinyCeiling) {
+          // The fallback path (no fingerprint filter) must stay
+          // byte-identical too - this is the lane --no-fingerprints takes.
+          const SessionResult no_fp = run_governed(
+              program, ceiling, threads, /*num_threads=*/2,
+              /*spill_dir=*/"", /*use_fingerprints=*/false);
+          expect_identical_findings(oracle, no_fp, label + " no-fp");
+          EXPECT_EQ(no_fp.analysis_stats.pairs_skipped_fingerprint, 0u)
+              << label;
+        }
       }
     }
   }
@@ -159,11 +171,56 @@ TEST(PressureDifferential, LuleshCeilingSweep) {
       expect_ceiling_respected(governed, ceiling, label);
       if (ceiling == kSmallCeiling) {
         // Below the unbounded peak the governor must actually have worked.
+        // Every deferred pair is either reloaded and scanned or settled
+        // reload-free by the fingerprints - on this strided kernel the
+        // fingerprint filter routinely gets all of them, so reloads alone
+        // may legitimately be zero.
         EXPECT_GT(governed.analysis_stats.segments_spilled, 0u) << label;
         EXPECT_GT(governed.analysis_stats.spill_bytes_written, 0u) << label;
-        EXPECT_GT(governed.analysis_stats.spill_reloads, 0u) << label;
+        EXPECT_GT(governed.analysis_stats.spill_reloads +
+                      governed.analysis_stats.spill_reloads_avoided,
+                  0u)
+            << label;
       }
     }
+  }
+}
+
+// The tentpole claim of the fingerprint layer under pressure: deferred
+// pairs whose partner was spilled are settled at enqueue time from the
+// resident fingerprints, so adjudication at finish() skips the disk reload
+// entirely - with findings byte-identical to both the oracle and the
+// fingerprint-off governed run.
+TEST(PressureDifferential, FingerprintsAvoidReloads) {
+  lulesh::LuleshParams params;
+  params.s = 10;
+  params.iters = 8;
+  params.tel = 8;
+  params.tnl = 8;
+  params.racy = true;
+  const rt::GuestProgram program = lulesh::make_lulesh(params);
+
+  const SessionResult oracle = run_oracle(program, /*num_threads=*/1);
+  for (int threads : {1, 2, 4, 8}) {
+    const std::string label = "lulesh fp sweep @" + std::to_string(threads);
+    const SessionResult with_fp = run_governed(
+        program, kSmallCeiling, threads, /*num_threads=*/1);
+    const SessionResult without_fp = run_governed(
+        program, kSmallCeiling, threads, /*num_threads=*/1,
+        /*spill_dir=*/"", /*use_fingerprints=*/false);
+    expect_identical_findings(oracle, with_fp, label + " fp-on");
+    expect_identical_findings(oracle, without_fp, label + " fp-off");
+
+    // The filter must have settled spilled-partner pairs without the
+    // archive, and can never make the reload count worse: every reload it
+    // allows is one the fingerprint-off run also pays.
+    EXPECT_GT(with_fp.analysis_stats.spill_reloads_avoided, 0u) << label;
+    EXPECT_LE(with_fp.analysis_stats.spill_reloads,
+              without_fp.analysis_stats.spill_reloads)
+        << label;
+    EXPECT_GT(without_fp.analysis_stats.spill_reloads, 0u) << label;
+    EXPECT_EQ(without_fp.analysis_stats.spill_reloads_avoided, 0u) << label;
+    EXPECT_GT(with_fp.analysis_stats.fingerprint_bytes, 0u) << label;
   }
 }
 

@@ -22,12 +22,14 @@ namespace tg::tools {
 namespace {
 
 SessionResult run_with(const rt::GuestProgram& program, bool streaming,
-                       int analysis_threads, int num_threads = 2) {
+                       int analysis_threads, int num_threads = 2,
+                       bool use_fingerprints = true) {
   SessionOptions options;
   options.tool = ToolKind::kTaskgrind;
   options.num_threads = num_threads;
   options.taskgrind.streaming = streaming;
   options.taskgrind.analysis_threads = analysis_threads;
+  options.taskgrind.use_fingerprints = use_fingerprints;
   return run_session(program, options);
 }
 
@@ -81,6 +83,34 @@ TEST(StreamingDifferential, RandomPrograms) {
       expect_identical_findings(
           oracle, streamed,
           "seed " + std::to_string(seed) + " @" + std::to_string(threads));
+    }
+  }
+}
+
+// The --no-fingerprints fallback lane: with the filter disabled, every
+// pair the fingerprints would have pruned goes through the full tree walk
+// again - findings must be byte-identical to the oracle in both streaming
+// and post-mortem mode. (CI runs this shard under ASan/UBSan so the
+// fallback path stays exercised sanitized.)
+TEST(StreamingDifferential, NoFingerprintsRegistry) {
+  for (const rt::GuestProgram& program : progs::all_programs()) {
+    const SessionResult oracle = run_with(program, /*streaming=*/false, 1);
+    const SessionResult oracle_no_fp =
+        run_with(program, /*streaming=*/false, 1, /*num_threads=*/2,
+                 /*use_fingerprints=*/false);
+    expect_identical_findings(oracle, oracle_no_fp,
+                              program.name + " post-mortem no-fp");
+    EXPECT_EQ(oracle_no_fp.analysis_stats.pairs_skipped_fingerprint, 0u)
+        << program.name;
+    for (int threads : {1, 2, 4, 8}) {
+      const SessionResult streamed =
+          run_with(program, /*streaming=*/true, threads, /*num_threads=*/2,
+                   /*use_fingerprints=*/false);
+      const std::string label = program.name + " no-fp @" +
+                                std::to_string(threads) + " workers";
+      expect_identical_findings(oracle, streamed, label);
+      EXPECT_EQ(streamed.analysis_stats.pairs_skipped_fingerprint, 0u)
+          << label;
     }
   }
 }
