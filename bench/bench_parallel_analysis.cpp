@@ -20,16 +20,25 @@
 // modes, plus the PR 4 pressure sweep (256 KiB ceiling) with the filter on
 // and off, emitted under schema "taskgrind-fingerprint-v1".
 //
+// --fuzz-json FILE switches to the schedule-fuzz sweep: N seeds plus the
+// deterministic perturbation taxonomy over a schedule-dependent registry
+// program, every distinct report backed by a replay-verified certificate,
+// emitted under schema "taskgrind-fuzz-v1".
+//
 // Usage: bench_parallel_analysis [--s N] [--csv] [--quick] [--json FILE]
 //                                [--fingerprint-json FILE]
+//                                [--fuzz-json FILE] [--fuzz-runs N]
+//                                [--fuzz-program NAME]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "lulesh/lulesh.hpp"
+#include "programs/registry.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
+#include "tools/fuzz.hpp"
 #include "tools/session.hpp"
 
 namespace tg::bench {
@@ -246,6 +255,60 @@ int run_fingerprint_sweep(int s, const std::string& json_path) {
   return 0;
 }
 
+/// The schedule-fuzz sweep behind results/BENCH_fuzz.json: how many of a
+/// program's findings are schedule-dependent, and whether every distinct
+/// report's certificate replays to the same report set.
+int run_fuzz_sweep(const std::string& program_name, int runs,
+                   const std::string& json_path) {
+  const rt::GuestProgram* program = progs::find_program(program_name);
+  if (program == nullptr) {
+    std::fprintf(stderr, "unknown program '%s'\n", program_name.c_str());
+    return 1;
+  }
+  tools::FuzzOptions options;
+  options.base.tool = tools::ToolKind::kTaskgrind;
+  options.base.num_threads = 2;
+  options.runs = runs;
+  const tools::FuzzResult result = tools::run_fuzz(*program, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "fuzz sweep failed: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  TextTable table({"run", "seed", "rotation", "pop", "yield", "reports",
+                   "new"});
+  for (const tools::FuzzRun& run : result.runs) {
+    table.add_row({std::to_string(run.index), std::to_string(run.seed),
+                   std::to_string(run.perturbation.steal_rotation),
+                   run.perturbation.pop_fifo ? "fifo" : "lifo",
+                   run.perturbation.yield_period == 0
+                       ? "-"
+                       : std::to_string(run.perturbation.yield_period),
+                   std::to_string(run.report_keys.size()),
+                   std::to_string(run.new_keys.size())});
+  }
+  uint64_t verified = 0;
+  for (const auto& cert : result.certificates) {
+    if (cert.verified) ++verified;
+  }
+  std::printf(
+      "Schedule-fuzz sweep (%s, 2 threads, %d runs):\n\n%s\n"
+      "baseline %zu report(s), %zu distinct across the sweep, %zu only\n"
+      "reachable through a perturbed schedule; %llu/%zu certificates\n"
+      "replay-verified.\n",
+      program->name.c_str(), runs, table.render().c_str(),
+      result.baseline_keys.size(), result.distinct_keys.size(),
+      result.schedule_dependent_keys.size(),
+      static_cast<unsigned long long>(verified), result.certificates.size());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << tools::fuzz_json(result) << "\n";
+    std::printf("fuzz json written to %s\n", json_path.c_str());
+  }
+  return result.all_certificates_verified() ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace tg::bench
 
@@ -254,6 +317,10 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string json_path;
   std::string fingerprint_json;
+  std::string fuzz_json_path;
+  std::string fuzz_program = "sched-flag";
+  int fuzz_runs = 24;
+  bool want_fuzz = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--s") == 0 && i + 1 < argc) {
       s = std::atoi(argv[++i]);
@@ -266,7 +333,19 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--fingerprint-json") == 0 &&
                i + 1 < argc) {
       fingerprint_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--fuzz-json") == 0 && i + 1 < argc) {
+      fuzz_json_path = argv[++i];
+      want_fuzz = true;
+    } else if (std::strcmp(argv[i], "--fuzz-runs") == 0 && i + 1 < argc) {
+      fuzz_runs = std::atoi(argv[++i]);
+      want_fuzz = true;
+    } else if (std::strcmp(argv[i], "--fuzz-program") == 0 && i + 1 < argc) {
+      fuzz_program = argv[++i];
+      want_fuzz = true;
     }
+  }
+  if (want_fuzz) {
+    return tg::bench::run_fuzz_sweep(fuzz_program, fuzz_runs, fuzz_json_path);
   }
   if (!fingerprint_json.empty()) {
     return tg::bench::run_fingerprint_sweep(s, fingerprint_json);

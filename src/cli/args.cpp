@@ -77,6 +77,16 @@ const char* usage_text() {
       "  --spill-dir=PATH       directory for the spill archive (default: a\n"
       "                         session temp dir, removed on exit)\n"
       "  --json=FILE            write machine-readable session results\n"
+      "  --json-canonical=FILE  write the canonical (run-invariant) session\n"
+      "                         JSON; byte-identical across record/replay\n"
+      "  --record-trace=FILE    record the executed schedule to a replayable\n"
+      "                         trace file\n"
+      "  --replay-trace=FILE    replay a recorded schedule; threads/seed and\n"
+      "                         scheduler config come from the trace header\n"
+      "  --fuzz-schedules=N     sweep N seeds + deterministic perturbations,\n"
+      "                         dedupe reports, keep a replay certificate\n"
+      "                         per distinct report (taskgrind only)\n"
+      "  --fuzz-certs=DIR       write certificate traces to DIR\n"
       "  --no-suppress-stack    disable the segment-local stack filter\n"
       "  --no-suppress-tls      disable the TLS filter\n"
       "  --no-bbox-pruning      disable bounding-box pair pruning\n"
@@ -154,6 +164,31 @@ ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
     } else if (arg.rfind("--json=", 0) == 0) {
       out.json_path = value("--json=");
       if (out.json_path.empty()) return fail("--json needs a file path");
+    } else if (arg.rfind("--json-canonical=", 0) == 0) {
+      out.canonical_json_path = value("--json-canonical=");
+      if (out.canonical_json_path.empty()) {
+        return fail("--json-canonical needs a file path");
+      }
+    } else if (arg.rfind("--record-trace=", 0) == 0) {
+      out.session.record_trace = value("--record-trace=");
+      if (out.session.record_trace.empty()) {
+        return fail("--record-trace needs a file path");
+      }
+    } else if (arg.rfind("--replay-trace=", 0) == 0) {
+      out.session.replay_trace = value("--replay-trace=");
+      if (out.session.replay_trace.empty()) {
+        return fail("--replay-trace needs a file path");
+      }
+    } else if (arg.rfind("--fuzz-schedules=", 0) == 0) {
+      if (!parse_positive_int(value("--fuzz-schedules="), out.fuzz_runs)) {
+        return fail("invalid value for --fuzz-schedules: '" +
+                    std::string(value("--fuzz-schedules=")) + "'");
+      }
+    } else if (arg.rfind("--fuzz-certs=", 0) == 0) {
+      out.fuzz_cert_dir = value("--fuzz-certs=");
+      if (out.fuzz_cert_dir.empty()) {
+        return fail("--fuzz-certs needs a directory path");
+      }
     } else if (arg == "--no-suppress-stack") {
       out.session.taskgrind.suppress_stack = false;
     } else if (arg == "--no-suppress-tls") {
@@ -202,6 +237,17 @@ ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
     } else {
       return fail("unknown option: " + arg);
     }
+  }
+  // Mode exclusions are parse errors, not session errors: the combinations
+  // are contradictory invocations, so they get usage text and exit 1.
+  if (!out.session.record_trace.empty() &&
+      !out.session.replay_trace.empty()) {
+    return fail("cannot combine --record-trace with --replay-trace");
+  }
+  if (out.fuzz_runs > 0 && (!out.session.record_trace.empty() ||
+                            !out.session.replay_trace.empty())) {
+    return fail("cannot combine --fuzz-schedules with --record-trace or "
+                "--replay-trace");
   }
   return {};
 }

@@ -15,6 +15,9 @@ struct CliOptions {
   size_t max_shown = 3;
   std::string dot_path;
   std::string json_path;   // --json=FILE machine-readable emission
+  std::string canonical_json_path;  // --json-canonical=FILE (run-invariant)
+  int fuzz_runs = 0;                // --fuzz-schedules=N (0 = no sweep)
+  std::string fuzz_cert_dir;        // --fuzz-certs=DIR certificate output
   bool want_parallelism = false;
   bool want_list = false;
   bool want_help = false;

@@ -17,9 +17,90 @@
 #include "programs/registry.hpp"
 #include "runtime/execution.hpp"
 #include "support/table.hpp"
+#include "tools/fuzz.hpp"
 #include "tools/session.hpp"
 
 namespace {
+
+std::string perturbation_label(const tg::rt::SchedulePerturbation& p) {
+  if (!p.any()) return "-";
+  std::string label;
+  if (p.steal_rotation != 0) {
+    label += "rot=" + std::to_string(p.steal_rotation);
+  }
+  if (p.pop_fifo) label += (label.empty() ? "" : " ") + std::string("fifo");
+  if (p.yield_period != 0) {
+    label += (label.empty() ? "" : " ") + std::string("yield/") +
+             std::to_string(p.yield_period);
+  }
+  return label;
+}
+
+/// The --fuzz-schedules=N driver: sweep, print the per-run table and the
+/// certificate summary, optionally emit taskgrind-fuzz-v1 JSON.
+int run_fuzz_mode(const tg::rt::GuestProgram& program,
+                  const tg::cli::CliOptions& cli) {
+  tg::tools::FuzzOptions options;
+  options.base = cli.session;
+  options.runs = cli.fuzz_runs;
+  options.certificate_dir = cli.fuzz_cert_dir;
+
+  std::printf("== fuzzing %d schedules of %s (%d threads, base seed %llu)\n",
+              options.runs, program.name.c_str(), cli.session.num_threads,
+              static_cast<unsigned long long>(cli.session.seed));
+  const tg::tools::FuzzResult result = tg::tools::run_fuzz(program, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
+    std::fprintf(stderr, "%s", tg::cli::usage_text());
+    return 1;
+  }
+
+  tg::TextTable table({"run", "seed", "perturbation", "status", "reports",
+                       "new"});
+  for (const tg::tools::FuzzRun& run : result.runs) {
+    table.add_row({std::to_string(run.index), std::to_string(run.seed),
+                   perturbation_label(run.perturbation),
+                   run.status == tg::tools::SessionResult::Status::kOk
+                       ? "ok"
+                       : "error",
+                   std::to_string(run.report_keys.size()),
+                   std::to_string(run.new_keys.size())});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf(
+      "distinct reports: %zu (%zu in the default run, %zu schedule-"
+      "dependent)\n",
+      result.distinct_keys.size(), result.baseline_keys.size(),
+      result.schedule_dependent_keys.size());
+  for (const std::string& key : result.schedule_dependent_keys) {
+    std::printf("  schedule-dependent: %s\n", key.c_str());
+  }
+  for (const tg::tools::FuzzCertificate& cert : result.certificates) {
+    std::printf("certificate (run %d, %zu events)%s: %s\n", cert.run,
+                cert.trace.events.size(),
+                cert.verified ? " verified by replay" : " NOT VERIFIED",
+                cert.file.empty() ? "in-memory only" : cert.file.c_str());
+  }
+
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << tg::tools::fuzz_json(result) << "\n";
+  }
+  if (!result.all_certificates_verified()) {
+    std::printf("some certificates failed replay verification\n");
+    return 3;
+  }
+  if (result.distinct_keys.empty()) {
+    std::printf("no determinacy races reported under any schedule\n");
+    return 0;
+  }
+  return 2;
+}
 
 int list_programs() {
   tg::TextTable table({"name", "category", "race", "description"});
@@ -68,6 +149,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (cli.fuzz_runs > 0) return run_fuzz_mode(*program, cli);
+
   std::printf("== %s under %s (%d threads, seed %llu)\n",
               program->name.c_str(), tg::tools::tool_name(options.tool),
               options.num_threads,
@@ -110,6 +193,29 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << tg::tools::session_json(options, result) << "\n";
+  }
+  if (!cli.canonical_json_path.empty()) {
+    std::ofstream out(cli.canonical_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   cli.canonical_json_path.c_str());
+      return 1;
+    }
+    out << tg::tools::session_json(options, result, /*canonical=*/true)
+        << "\n";
+  }
+
+  if (!options.record_trace.empty() &&
+      result.status != tg::tools::SessionResult::Status::kConfig) {
+    std::printf("schedule trace recorded to %s (%llu events)\n",
+                options.record_trace.c_str(),
+                static_cast<unsigned long long>(result.schedule_events));
+  }
+  if (!options.replay_trace.empty() &&
+      result.status != tg::tools::SessionResult::Status::kConfig) {
+    std::printf("schedule replayed from %s (%llu events)\n",
+                options.replay_trace.c_str(),
+                static_cast<unsigned long long>(result.schedule_events));
   }
 
   if (!result.output.empty()) {

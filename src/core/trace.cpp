@@ -1,0 +1,557 @@
+#include "core/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "runtime/task.hpp"
+#include "runtime/worker.hpp"
+#include "support/accounting.hpp"
+
+namespace tg::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'G', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr uint32_t kVersion = 1;
+// magic + version + name_len + num_threads + seed + quantum + 4 flag bytes
+// + steal_rotation + yield_period + yield_limit + event_count.
+constexpr uint64_t kHeaderFixedBytes = 8 + 4 + 4 + 4 + 8 + 8 + 4 + 8 + 4 + 4 + 8;
+constexpr uint64_t kEventBytes = 1 + 4 + 8 + 8;
+constexpr uint64_t kChecksumBytes = 8;
+
+constexpr uint64_t kRootParent = ~0ull;
+
+uint64_t fnv1a(std::span<const uint8_t> bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(uint8_t(v >> (8 * i)));
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(uint8_t(v >> (8 * i)));
+}
+
+/// Bounds-checked little-endian reader over the serialized buffer.
+struct Reader {
+  std::span<const uint8_t> bytes;
+  size_t pos = 0;
+  bool truncated = false;
+
+  bool take(void* out, size_t n) {
+    if (bytes.size() - pos < n) {
+      truncated = true;
+      return false;
+    }
+    std::memcpy(out, bytes.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  uint8_t u8() {
+    uint8_t v = 0;
+    take(&v, 1);
+    return v;
+  }
+  uint32_t u32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(u8()) << (8 * i);
+    return v;
+  }
+  uint64_t u64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(u8()) << (8 * i);
+    return v;
+  }
+};
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = "schedule trace: " + message;
+  return false;
+}
+
+}  // namespace
+
+const char* trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPickNone: return "pick-none";
+    case TraceEventKind::kPickInline: return "pick-inline";
+    case TraceEventKind::kPickOwn: return "pick-own";
+    case TraceEventKind::kPickSteal: return "pick-steal";
+    case TraceEventKind::kThreadBegin: return "thread-begin";
+    case TraceEventKind::kParallelBegin: return "parallel-begin";
+    case TraceEventKind::kParallelEnd: return "parallel-end";
+    case TraceEventKind::kTaskCreate: return "task-create";
+    case TraceEventKind::kDependence: return "dependence";
+    case TraceEventKind::kScheduleBegin: return "schedule-begin";
+    case TraceEventKind::kScheduleEnd: return "schedule-end";
+    case TraceEventKind::kTaskComplete: return "task-complete";
+    case TraceEventKind::kSyncBegin: return "sync-begin";
+    case TraceEventKind::kSyncEnd: return "sync-end";
+    case TraceEventKind::kTaskgroupBegin: return "taskgroup-begin";
+    case TraceEventKind::kBarrierArrive: return "barrier-arrive";
+    case TraceEventKind::kBarrierRelease: return "barrier-release";
+    case TraceEventKind::kMutexAcquired: return "mutex-acquired";
+    case TraceEventKind::kMutexReleased: return "mutex-released";
+    case TraceEventKind::kThreadprivate: return "threadprivate";
+    case TraceEventKind::kFebRelease: return "feb-release";
+    case TraceEventKind::kFebAcquire: return "feb-acquire";
+    case TraceEventKind::kTaskDetach: return "task-detach";
+    case TraceEventKind::kTaskFulfill: return "task-fulfill";
+    case TraceEventKind::kCount: break;
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string() const {
+  std::ostringstream out;
+  out << trace_event_kind_name(kind) << " worker=" << worker << " a=" << a
+      << " b=" << b;
+  return out.str();
+}
+
+uint64_t ScheduleTrace::serialized_bytes() const {
+  return kHeaderFixedBytes + config.program.size() +
+         kEventBytes * events.size() + kChecksumBytes;
+}
+
+std::vector<uint8_t> ScheduleTrace::serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(serialized_bytes());
+  for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<uint32_t>(config.program.size()));
+  for (char c : config.program) out.push_back(static_cast<uint8_t>(c));
+  put_u32(out, static_cast<uint32_t>(config.num_threads));
+  put_u64(out, config.seed);
+  put_u64(out, config.quantum);
+  out.push_back(config.serialize_single_thread ? 1 : 0);
+  out.push_back(config.merge_mergeable ? 1 : 0);
+  out.push_back(config.recycle_captures ? 1 : 0);
+  out.push_back(config.perturb.pop_fifo ? 1 : 0);
+  put_u64(out, config.perturb.steal_rotation);
+  put_u32(out, config.perturb.yield_period);
+  put_u32(out, config.perturb.yield_limit);
+  put_u64(out, events.size());
+  for (const TraceEvent& event : events) {
+    out.push_back(static_cast<uint8_t>(event.kind));
+    put_u32(out, static_cast<uint32_t>(event.worker));
+    put_u64(out, event.a);
+    put_u64(out, event.b);
+  }
+  put_u64(out, fnv1a(out));
+  return out;
+}
+
+bool ScheduleTrace::deserialize(std::span<const uint8_t> bytes,
+                                ScheduleTrace& out, std::string* error) {
+  // Checksum first: any flipped bit is "corrupt", not a confusing
+  // field-level message about whatever the flip happened to decode as.
+  if (bytes.size() < kHeaderFixedBytes + kChecksumBytes) {
+    return fail(error, "truncated (shorter than the fixed header)");
+  }
+  const uint64_t want = fnv1a(bytes.subspan(0, bytes.size() - 8));
+  Reader tail{bytes.subspan(bytes.size() - 8)};
+  if (tail.u64() != want) return fail(error, "checksum mismatch (corrupt)");
+
+  Reader r{bytes.subspan(0, bytes.size() - 8)};
+  char magic[8];
+  r.take(magic, 8);
+  if (std::memcmp(magic, kMagic, 8) != 0) {
+    return fail(error, "bad magic (not a schedule trace)");
+  }
+  const uint32_t version = r.u32();
+  if (version != kVersion) {
+    return fail(error,
+                "unsupported version " + std::to_string(version) +
+                    " (expected " + std::to_string(kVersion) + ")");
+  }
+
+  out = ScheduleTrace{};
+  const uint32_t name_len = r.u32();
+  if (r.bytes.size() - r.pos < name_len) {
+    return fail(error, "truncated program name");
+  }
+  out.config.program.assign(
+      reinterpret_cast<const char*>(r.bytes.data() + r.pos), name_len);
+  r.pos += name_len;
+
+  out.config.num_threads = static_cast<int>(r.u32());
+  out.config.seed = r.u64();
+  out.config.quantum = r.u64();
+  uint8_t flags[4];
+  for (uint8_t& flag : flags) {
+    flag = r.u8();
+    if (flag > 1) return fail(error, "corrupt flag byte");
+  }
+  out.config.serialize_single_thread = flags[0] != 0;
+  out.config.merge_mergeable = flags[1] != 0;
+  out.config.recycle_captures = flags[2] != 0;
+  out.config.perturb.pop_fifo = flags[3] != 0;
+  out.config.perturb.steal_rotation = r.u64();
+  out.config.perturb.yield_period = r.u32();
+  out.config.perturb.yield_limit = r.u32();
+  const uint64_t count = r.u64();
+  if (r.truncated) return fail(error, "truncated header");
+  if ((r.bytes.size() - r.pos) != count * kEventBytes) {
+    return fail(error, (r.bytes.size() - r.pos) < count * kEventBytes
+                           ? "truncated event array"
+                           : "trailing bytes after event array");
+  }
+  out.events.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceEvent event;
+    const uint8_t kind = r.u8();
+    if (kind >= static_cast<uint8_t>(TraceEventKind::kCount)) {
+      return fail(error, "invalid event kind at index " + std::to_string(i));
+    }
+    event.kind = static_cast<TraceEventKind>(kind);
+    event.worker = static_cast<int32_t>(r.u32());
+    event.a = r.u64();
+    event.b = r.u64();
+    out.events.push_back(event);
+  }
+  return true;
+}
+
+bool ScheduleTrace::save(const std::string& path, std::string* error) const {
+  const std::vector<uint8_t> bytes = serialize();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return fail(error, "cannot open " + path + " for writing");
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    std::remove(path.c_str());
+    return fail(error, "write to " + path + " failed");
+  }
+  return true;
+}
+
+bool ScheduleTrace::load(const std::string& path, ScheduleTrace& out,
+                         std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return fail(error, "cannot open " + path);
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) return fail(error, "read of " + path + " failed");
+  return deserialize(bytes, out, error);
+}
+
+// --- ScheduleRecorder ----------------------------------------------------
+
+ScheduleRecorder::~ScheduleRecorder() {
+  MemAccountant::instance().add(MemCategory::kTrace, -accounted_);
+}
+
+void ScheduleRecorder::append(TraceEventKind kind, int32_t worker, uint64_t a,
+                              uint64_t b) {
+  trace_.events.push_back(TraceEvent{kind, worker, a, b});
+  const int64_t held = static_cast<int64_t>(trace_.events.capacity() *
+                                            sizeof(TraceEvent));
+  if (held != accounted_) {
+    MemAccountant::instance().add(MemCategory::kTrace, held - accounted_);
+    accounted_ = held;
+  }
+}
+
+void ScheduleRecorder::observe_decision(int worker,
+                                        const rt::SchedDecision& decision) {
+  switch (decision.source) {
+    case rt::SchedDecision::Source::kNone:
+      append(TraceEventKind::kPickNone, worker, 0, 0);
+      break;
+    case rt::SchedDecision::Source::kInline:
+      append(TraceEventKind::kPickInline, worker, decision.task_id, 0);
+      break;
+    case rt::SchedDecision::Source::kOwn:
+      append(TraceEventKind::kPickOwn, worker, decision.task_id, 0);
+      break;
+    case rt::SchedDecision::Source::kSteal:
+      append(TraceEventKind::kPickSteal, worker, decision.task_id,
+             static_cast<uint64_t>(decision.victim));
+      break;
+  }
+}
+
+rt::SchedDecision ScheduleRecorder::next_decision(int worker) {
+  (void)worker;  // never driving
+  return {};
+}
+
+void ScheduleRecorder::replay_mismatch(int worker,
+                                       const rt::SchedDecision& decision,
+                                       const char* why) {
+  (void)worker; (void)decision; (void)why;  // never driving
+}
+
+void ScheduleRecorder::on_thread_begin(int tid) {
+  append(TraceEventKind::kThreadBegin, tid, 0, 0);
+}
+void ScheduleRecorder::on_parallel_begin(rt::Region& region,
+                                         rt::Task& encountering) {
+  append(TraceEventKind::kParallelBegin, -1, region.id, encountering.id);
+}
+void ScheduleRecorder::on_parallel_end(rt::Region& region,
+                                       rt::Task& encountering) {
+  append(TraceEventKind::kParallelEnd, -1, region.id, encountering.id);
+}
+void ScheduleRecorder::on_task_create(rt::Task& task, rt::Task* parent) {
+  append(TraceEventKind::kTaskCreate, -1, task.id,
+         parent != nullptr ? parent->id : kRootParent);
+}
+void ScheduleRecorder::on_dependence(rt::Task& pred, rt::Task& succ,
+                                     vex::GuestAddr addr) {
+  (void)addr;  // implied by the (pred, succ) pair and the program
+  append(TraceEventKind::kDependence, -1, pred.id, succ.id);
+}
+void ScheduleRecorder::on_task_schedule_begin(rt::Task& task,
+                                              rt::Worker& worker) {
+  append(TraceEventKind::kScheduleBegin, worker.index(), task.id, 0);
+}
+void ScheduleRecorder::on_task_schedule_end(rt::Task& task,
+                                            rt::Worker& worker) {
+  append(TraceEventKind::kScheduleEnd, worker.index(), task.id, 0);
+}
+void ScheduleRecorder::on_task_complete(rt::Task& task) {
+  append(TraceEventKind::kTaskComplete, -1, task.id, 0);
+}
+void ScheduleRecorder::on_sync_begin(rt::SyncKind kind, rt::Task& task,
+                                     rt::Worker& worker) {
+  append(TraceEventKind::kSyncBegin, worker.index(), task.id,
+         static_cast<uint64_t>(kind));
+}
+void ScheduleRecorder::on_sync_end(rt::SyncKind kind, rt::Task& task,
+                                   rt::Worker& worker) {
+  append(TraceEventKind::kSyncEnd, worker.index(), task.id,
+         static_cast<uint64_t>(kind));
+}
+void ScheduleRecorder::on_taskgroup_begin(rt::Task& task) {
+  append(TraceEventKind::kTaskgroupBegin, -1, task.id, 0);
+}
+void ScheduleRecorder::on_barrier_arrive(rt::Region& region,
+                                         rt::Worker& worker, uint64_t epoch) {
+  append(TraceEventKind::kBarrierArrive, worker.index(), region.id, epoch);
+}
+void ScheduleRecorder::on_barrier_release(rt::Region& region,
+                                          uint64_t epoch) {
+  append(TraceEventKind::kBarrierRelease, -1, region.id, epoch);
+}
+void ScheduleRecorder::on_mutex_acquired(rt::Task& task, uint64_t mutex_id,
+                                         bool task_level) {
+  append(TraceEventKind::kMutexAcquired, -1, task.id,
+         mutex_id << 1 | (task_level ? 1 : 0));
+}
+void ScheduleRecorder::on_mutex_released(rt::Task& task, uint64_t mutex_id,
+                                         bool task_level) {
+  append(TraceEventKind::kMutexReleased, -1, task.id,
+         mutex_id << 1 | (task_level ? 1 : 0));
+}
+void ScheduleRecorder::on_threadprivate(rt::Task& task, uint32_t var,
+                                        vex::GuestAddr addr) {
+  (void)var;
+  append(TraceEventKind::kThreadprivate, -1, task.id, addr);
+}
+void ScheduleRecorder::on_feb_release(rt::Task& task, vex::GuestAddr addr,
+                                      bool full_channel) {
+  append(TraceEventKind::kFebRelease, -1, task.id,
+         addr << 1 | (full_channel ? 1 : 0));
+}
+void ScheduleRecorder::on_feb_acquire(rt::Task& task, vex::GuestAddr addr,
+                                      bool full_channel) {
+  append(TraceEventKind::kFebAcquire, -1, task.id,
+         addr << 1 | (full_channel ? 1 : 0));
+}
+void ScheduleRecorder::on_task_detach(rt::Task& task) {
+  append(TraceEventKind::kTaskDetach, -1, task.id, 0);
+}
+void ScheduleRecorder::on_task_fulfill(rt::Task& task,
+                                       rt::Worker& fulfiller) {
+  append(TraceEventKind::kTaskFulfill, fulfiller.index(), task.id, 0);
+}
+
+// --- ScheduleReplayer ----------------------------------------------------
+
+void ScheduleReplayer::diverge(const std::string& message) {
+  if (diverged_) return;
+  diverged_ = true;
+  first_divergence_ = message;
+  std::fprintf(stderr, "taskgrind: replay divergence: %s\n", message.c_str());
+}
+
+void ScheduleReplayer::verify(TraceEventKind kind, int32_t worker, uint64_t a,
+                              uint64_t b) {
+  if (diverged_) return;
+  const TraceEvent actual{kind, worker, a, b};
+  if (pos_ >= trace_.events.size()) {
+    diverge("at event " + std::to_string(pos_) +
+            ": trace exhausted, but execution raised [" + actual.to_string() +
+            "]");
+    return;
+  }
+  const TraceEvent& expected = trace_.events[pos_];
+  if (!(expected == actual)) {
+    diverge("at event " + std::to_string(pos_) + ": expected [" +
+            expected.to_string() + "], got [" + actual.to_string() + "]");
+    return;
+  }
+  ++pos_;
+}
+
+void ScheduleReplayer::observe_decision(int worker,
+                                        const rt::SchedDecision& decision) {
+  (void)worker; (void)decision;  // always driving
+}
+
+rt::SchedDecision ScheduleReplayer::next_decision(int worker) {
+  if (diverged_) return {};
+  if (pos_ >= trace_.events.size()) {
+    diverge("at event " + std::to_string(pos_) +
+            ": trace exhausted, but worker " + std::to_string(worker) +
+            " asked for a decision");
+    return {};
+  }
+  const TraceEvent& event = trace_.events[pos_];
+  rt::SchedDecision decision;
+  switch (event.kind) {
+    case TraceEventKind::kPickNone:
+      decision = {rt::SchedDecision::Source::kNone, 0, -1};
+      break;
+    case TraceEventKind::kPickInline:
+      decision = {rt::SchedDecision::Source::kInline, event.a, -1};
+      break;
+    case TraceEventKind::kPickOwn:
+      decision = {rt::SchedDecision::Source::kOwn, event.a, -1};
+      break;
+    case TraceEventKind::kPickSteal:
+      decision = {rt::SchedDecision::Source::kSteal, event.a,
+                  static_cast<int>(event.b)};
+      break;
+    default:
+      diverge("at event " + std::to_string(pos_) + ": expected [" +
+              event.to_string() + "], got a decision request from worker " +
+              std::to_string(worker));
+      return {};
+  }
+  if (event.worker != worker) {
+    diverge("at event " + std::to_string(pos_) + ": expected [" +
+            event.to_string() + "], got a decision request from worker " +
+            std::to_string(worker));
+    return {};
+  }
+  ++pos_;
+  return decision;
+}
+
+void ScheduleReplayer::replay_mismatch(int worker,
+                                       const rt::SchedDecision& decision,
+                                       const char* why) {
+  std::ostringstream out;
+  out << "at event " << (pos_ - 1) << ": decision ["
+      << rt::sched_source_name(decision.source) << " task=" << decision.task_id
+      << " victim=" << decision.victim << "] is not applicable for worker "
+      << worker << ": " << why;
+  diverge(out.str());
+}
+
+void ScheduleReplayer::on_thread_begin(int tid) {
+  verify(TraceEventKind::kThreadBegin, tid, 0, 0);
+}
+void ScheduleReplayer::on_parallel_begin(rt::Region& region,
+                                         rt::Task& encountering) {
+  verify(TraceEventKind::kParallelBegin, -1, region.id, encountering.id);
+}
+void ScheduleReplayer::on_parallel_end(rt::Region& region,
+                                       rt::Task& encountering) {
+  verify(TraceEventKind::kParallelEnd, -1, region.id, encountering.id);
+}
+void ScheduleReplayer::on_task_create(rt::Task& task, rt::Task* parent) {
+  verify(TraceEventKind::kTaskCreate, -1, task.id,
+         parent != nullptr ? parent->id : kRootParent);
+}
+void ScheduleReplayer::on_dependence(rt::Task& pred, rt::Task& succ,
+                                     vex::GuestAddr addr) {
+  (void)addr;
+  verify(TraceEventKind::kDependence, -1, pred.id, succ.id);
+}
+void ScheduleReplayer::on_task_schedule_begin(rt::Task& task,
+                                              rt::Worker& worker) {
+  verify(TraceEventKind::kScheduleBegin, worker.index(), task.id, 0);
+}
+void ScheduleReplayer::on_task_schedule_end(rt::Task& task,
+                                            rt::Worker& worker) {
+  verify(TraceEventKind::kScheduleEnd, worker.index(), task.id, 0);
+}
+void ScheduleReplayer::on_task_complete(rt::Task& task) {
+  verify(TraceEventKind::kTaskComplete, -1, task.id, 0);
+}
+void ScheduleReplayer::on_sync_begin(rt::SyncKind kind, rt::Task& task,
+                                     rt::Worker& worker) {
+  verify(TraceEventKind::kSyncBegin, worker.index(), task.id,
+         static_cast<uint64_t>(kind));
+}
+void ScheduleReplayer::on_sync_end(rt::SyncKind kind, rt::Task& task,
+                                   rt::Worker& worker) {
+  verify(TraceEventKind::kSyncEnd, worker.index(), task.id,
+         static_cast<uint64_t>(kind));
+}
+void ScheduleReplayer::on_taskgroup_begin(rt::Task& task) {
+  verify(TraceEventKind::kTaskgroupBegin, -1, task.id, 0);
+}
+void ScheduleReplayer::on_barrier_arrive(rt::Region& region,
+                                         rt::Worker& worker, uint64_t epoch) {
+  verify(TraceEventKind::kBarrierArrive, worker.index(), region.id, epoch);
+}
+void ScheduleReplayer::on_barrier_release(rt::Region& region,
+                                          uint64_t epoch) {
+  verify(TraceEventKind::kBarrierRelease, -1, region.id, epoch);
+}
+void ScheduleReplayer::on_mutex_acquired(rt::Task& task, uint64_t mutex_id,
+                                         bool task_level) {
+  verify(TraceEventKind::kMutexAcquired, -1, task.id,
+         mutex_id << 1 | (task_level ? 1 : 0));
+}
+void ScheduleReplayer::on_mutex_released(rt::Task& task, uint64_t mutex_id,
+                                         bool task_level) {
+  verify(TraceEventKind::kMutexReleased, -1, task.id,
+         mutex_id << 1 | (task_level ? 1 : 0));
+}
+void ScheduleReplayer::on_threadprivate(rt::Task& task, uint32_t var,
+                                        vex::GuestAddr addr) {
+  (void)var;
+  verify(TraceEventKind::kThreadprivate, -1, task.id, addr);
+}
+void ScheduleReplayer::on_feb_release(rt::Task& task, vex::GuestAddr addr,
+                                      bool full_channel) {
+  verify(TraceEventKind::kFebRelease, -1, task.id,
+         addr << 1 | (full_channel ? 1 : 0));
+}
+void ScheduleReplayer::on_feb_acquire(rt::Task& task, vex::GuestAddr addr,
+                                      bool full_channel) {
+  verify(TraceEventKind::kFebAcquire, -1, task.id,
+         addr << 1 | (full_channel ? 1 : 0));
+}
+void ScheduleReplayer::on_task_detach(rt::Task& task) {
+  verify(TraceEventKind::kTaskDetach, -1, task.id, 0);
+}
+void ScheduleReplayer::on_task_fulfill(rt::Task& task,
+                                       rt::Worker& fulfiller) {
+  verify(TraceEventKind::kTaskFulfill, fulfiller.index(), task.id, 0);
+}
+
+}  // namespace tg::core

@@ -1,0 +1,240 @@
+// Deterministic schedule record/replay (RecPlay-style).
+//
+// A ScheduleTrace captures everything schedule-relevant about one execution
+// of the cooperative minomp runtime as a single global event stream: every
+// scheduling decision (inline pick / own-deque pop / steal, including the
+// idle rounds), plus the runtime event sequence the tools observe - task
+// creation order, dependence edges, schedule begin/end, sync and barrier
+// arrival order, mutex and FEB transitions, and the per-worker client
+// request order they induce. Because the runtime's only nondeterminism
+// funnels through Runtime::find_task_for, replaying the recorded decisions
+// reproduces the recorded execution bit-for-bit; the rest of the stream is
+// pure verification, so replay detects divergence at the exact event index
+// instead of producing silently different findings.
+//
+// The on-disk format is self-contained and versioned (magic + version +
+// config header + event array + checksum), mirrors the spill archive's
+// exactness discipline (byte counts are computable in advance via
+// serialized_bytes()), and the deserializer rejects truncation, trailing
+// bytes, unknown event kinds, and checksum mismatches with a specific
+// message rather than reading garbage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/events.hpp"
+#include "runtime/schedule.hpp"
+
+namespace tg::core {
+
+/// Everything needed to re-run the recorded session deterministically.
+/// Replay overrides the live RtOptions with these values, so a trace is a
+/// complete witness even when the recording run used a perturbation.
+struct TraceConfig {
+  std::string program;
+  int num_threads = 1;
+  uint64_t seed = 1;
+  uint64_t quantum = 20000;
+  bool serialize_single_thread = true;
+  bool merge_mergeable = true;
+  bool recycle_captures = false;
+  rt::SchedulePerturbation perturb;
+
+  bool operator==(const TraceConfig&) const = default;
+};
+
+enum class TraceEventKind : uint8_t {
+  // Scheduling decisions (the replayed part). a = task id; b = steal victim.
+  kPickNone = 0,
+  kPickInline,
+  kPickOwn,
+  kPickSteal,
+  // Runtime events (the verified part).
+  kThreadBegin,     // worker = tid
+  kParallelBegin,   // a = region, b = encountering task
+  kParallelEnd,     // a = region, b = encountering task
+  kTaskCreate,      // a = task, b = parent (~0 for the root)
+  kDependence,      // a = pred task, b = succ task
+  kScheduleBegin,   // worker, a = task
+  kScheduleEnd,     // worker, a = task
+  kTaskComplete,    // a = task
+  kSyncBegin,       // worker, a = task, b = SyncKind
+  kSyncEnd,         // worker, a = task, b = SyncKind
+  kTaskgroupBegin,  // a = task
+  kBarrierArrive,   // worker, a = region, b = epoch
+  kBarrierRelease,  // a = region, b = epoch
+  kMutexAcquired,   // a = task, b = mutex_id << 1 | task_level
+  kMutexReleased,   // a = task, b = mutex_id << 1 | task_level
+  kThreadprivate,   // a = task, b = addr
+  kFebRelease,      // a = task, b = addr << 1 | full_channel
+  kFebAcquire,      // a = task, b = addr << 1 | full_channel
+  kTaskDetach,      // a = task
+  kTaskFulfill,     // worker = fulfiller, a = task
+  kCount,
+};
+
+const char* trace_event_kind_name(TraceEventKind kind);
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kPickNone;
+  int32_t worker = -1;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  bool operator==(const TraceEvent&) const = default;
+
+  /// "steal worker=1 a=17 b=0" - for divergence messages.
+  std::string to_string() const;
+};
+
+class ScheduleTrace {
+ public:
+  TraceConfig config;
+  std::vector<TraceEvent> events;
+
+  /// Exact size in bytes of serialize()'s output.
+  uint64_t serialized_bytes() const;
+
+  std::vector<uint8_t> serialize() const;
+
+  /// Strict: rejects short buffers, bad magic/version, invalid event kinds,
+  /// trailing bytes, and checksum mismatches. On failure returns false with
+  /// a specific message in *error and leaves `out` unspecified.
+  static bool deserialize(std::span<const uint8_t> bytes, ScheduleTrace& out,
+                          std::string* error);
+
+  /// File round-trip; failures reported via *error, never thrown.
+  bool save(const std::string& path, std::string* error) const;
+  static bool load(const std::string& path, ScheduleTrace& out,
+                   std::string* error);
+};
+
+/// Attach as BOTH the runtime's SchedulePort (to capture decisions) and the
+/// last RtEvents listener (to capture the event stream) of a live run.
+/// Event storage is accounted under MemCategory::kTrace for the recorder's
+/// lifetime.
+class ScheduleRecorder : public rt::RtEvents, public rt::SchedulePort {
+ public:
+  explicit ScheduleRecorder(ScheduleTrace& trace) : trace_(trace) {}
+  ~ScheduleRecorder() override;
+  ScheduleRecorder(const ScheduleRecorder&) = delete;
+  ScheduleRecorder& operator=(const ScheduleRecorder&) = delete;
+
+  // SchedulePort (observing side).
+  bool driving() const override { return false; }
+  void observe_decision(int worker,
+                        const rt::SchedDecision& decision) override;
+  rt::SchedDecision next_decision(int worker) override;
+  void replay_mismatch(int worker, const rt::SchedDecision& decision,
+                       const char* why) override;
+
+  // RtEvents.
+  void on_thread_begin(int tid) override;
+  void on_parallel_begin(rt::Region& region, rt::Task& encountering) override;
+  void on_parallel_end(rt::Region& region, rt::Task& encountering) override;
+  void on_task_create(rt::Task& task, rt::Task* parent) override;
+  void on_dependence(rt::Task& pred, rt::Task& succ,
+                     vex::GuestAddr addr) override;
+  void on_task_schedule_begin(rt::Task& task, rt::Worker& worker) override;
+  void on_task_schedule_end(rt::Task& task, rt::Worker& worker) override;
+  void on_task_complete(rt::Task& task) override;
+  void on_sync_begin(rt::SyncKind kind, rt::Task& task,
+                     rt::Worker& worker) override;
+  void on_sync_end(rt::SyncKind kind, rt::Task& task,
+                   rt::Worker& worker) override;
+  void on_taskgroup_begin(rt::Task& task) override;
+  void on_barrier_arrive(rt::Region& region, rt::Worker& worker,
+                         uint64_t epoch) override;
+  void on_barrier_release(rt::Region& region, uint64_t epoch) override;
+  void on_mutex_acquired(rt::Task& task, uint64_t mutex_id,
+                         bool task_level) override;
+  void on_mutex_released(rt::Task& task, uint64_t mutex_id,
+                         bool task_level) override;
+  void on_threadprivate(rt::Task& task, uint32_t var,
+                        vex::GuestAddr addr) override;
+  void on_feb_release(rt::Task& task, vex::GuestAddr addr,
+                      bool full_channel) override;
+  void on_feb_acquire(rt::Task& task, vex::GuestAddr addr,
+                      bool full_channel) override;
+  void on_task_detach(rt::Task& task) override;
+  void on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) override;
+
+ private:
+  void append(TraceEventKind kind, int32_t worker, uint64_t a, uint64_t b);
+
+  ScheduleTrace& trace_;
+  int64_t accounted_ = 0;
+};
+
+/// Attach as BOTH the runtime's SchedulePort (driving decisions from the
+/// trace) and the last RtEvents listener (verifying the event stream) of a
+/// replay run. Divergence is loud but non-fatal: the first mismatch prints
+/// the event index with expected/actual to stderr and is latched in
+/// first_divergence(); from then on every decision is "idle", which winds
+/// the run down (typically as a deadlock the session layer converts into a
+/// configuration error).
+class ScheduleReplayer : public rt::RtEvents, public rt::SchedulePort {
+ public:
+  explicit ScheduleReplayer(const ScheduleTrace& trace) : trace_(trace) {}
+
+  bool diverged() const { return diverged_; }
+  const std::string& first_divergence() const { return first_divergence_; }
+  uint64_t events_consumed() const { return pos_; }
+  /// True iff the whole trace was replayed without divergence.
+  bool fully_consumed() const {
+    return !diverged_ && pos_ == trace_.events.size();
+  }
+
+  // SchedulePort (driving side).
+  bool driving() const override { return true; }
+  void observe_decision(int worker,
+                        const rt::SchedDecision& decision) override;
+  rt::SchedDecision next_decision(int worker) override;
+  void replay_mismatch(int worker, const rt::SchedDecision& decision,
+                       const char* why) override;
+
+  // RtEvents: each callback must match the next recorded event exactly.
+  void on_thread_begin(int tid) override;
+  void on_parallel_begin(rt::Region& region, rt::Task& encountering) override;
+  void on_parallel_end(rt::Region& region, rt::Task& encountering) override;
+  void on_task_create(rt::Task& task, rt::Task* parent) override;
+  void on_dependence(rt::Task& pred, rt::Task& succ,
+                     vex::GuestAddr addr) override;
+  void on_task_schedule_begin(rt::Task& task, rt::Worker& worker) override;
+  void on_task_schedule_end(rt::Task& task, rt::Worker& worker) override;
+  void on_task_complete(rt::Task& task) override;
+  void on_sync_begin(rt::SyncKind kind, rt::Task& task,
+                     rt::Worker& worker) override;
+  void on_sync_end(rt::SyncKind kind, rt::Task& task,
+                   rt::Worker& worker) override;
+  void on_taskgroup_begin(rt::Task& task) override;
+  void on_barrier_arrive(rt::Region& region, rt::Worker& worker,
+                         uint64_t epoch) override;
+  void on_barrier_release(rt::Region& region, uint64_t epoch) override;
+  void on_mutex_acquired(rt::Task& task, uint64_t mutex_id,
+                         bool task_level) override;
+  void on_mutex_released(rt::Task& task, uint64_t mutex_id,
+                         bool task_level) override;
+  void on_threadprivate(rt::Task& task, uint32_t var,
+                        vex::GuestAddr addr) override;
+  void on_feb_release(rt::Task& task, vex::GuestAddr addr,
+                      bool full_channel) override;
+  void on_feb_acquire(rt::Task& task, vex::GuestAddr addr,
+                      bool full_channel) override;
+  void on_task_detach(rt::Task& task) override;
+  void on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) override;
+
+ private:
+  void verify(TraceEventKind kind, int32_t worker, uint64_t a, uint64_t b);
+  void diverge(const std::string& message);
+
+  const ScheduleTrace& trace_;
+  size_t pos_ = 0;
+  bool diverged_ = false;
+  std::string first_divergence_;
+};
+
+}  // namespace tg::core

@@ -108,6 +108,49 @@ std::vector<GuestProgram> misc_programs() {
         f.ret(f.ld(f.c(sa(sum))));
       }));
 
+  // A schedule-dependent race: a critical-guarded flag arms a racy store,
+  // so the race between the reader's conditional write and the victim's
+  // unconditional write exists only on schedules where the arming task's
+  // critical section executes before the reader's. Built for the schedule
+  // fuzzer: the default schedule misses the race, a perturbed one finds it.
+  v.push_back(make_program(
+      "sched-flag", "demo", true, {"parallel", "single", "task"},
+      "a critical-guarded flag arms a racy write only on some schedules",
+      [](Ctx& c) {
+        const GuestAddr flag = c.pb.global("flag", 8);
+        const GuestAddr data = c.pb.global("data", 8);
+        c.in_single([&](FnBuilder& pf) {
+          // Task A ("arm"): raise the flag under the critical section.
+          pf.line(8);
+          c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            tf.line(9);
+            c.omp.critical(tf, "flag_lock",
+                           [&] { tf.st(tf.c(sa(flag)), tf.c(1)); });
+          });
+          // Task C ("victim"): always write data. Created before B so the
+          // default LIFO pop runs B's probe first (flag still down, clean)
+          // while a FIFO pop flip delays the probe past A's store.
+          pf.line(13);
+          c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            tf.line(14);
+            tf.st(tf.c(sa(data)), tf.c(2));
+          });
+          // Task B ("probe"): sample the flag under the same critical
+          // section; write data only when the flag was already armed.
+          pf.line(17);
+          c.omp.task(pf, {}, {}, [&](FnBuilder& tf, TaskArgs&) {
+            Slot armed = tf.slot();
+            tf.line(18);
+            c.omp.critical(tf, "flag_lock",
+                           [&] { armed.set(tf.ld(tf.c(sa(flag)))); });
+            tf.if_(armed.get(), [&] {
+              tf.line(21);
+              tf.st(tf.c(sa(data)), tf.c(1));  // races with C when armed
+            });
+          });
+        });
+      }));
+
   // Pipeline over dependences: stages connected by inout chains, clean.
   v.push_back(make_program(
       "dep-pipeline", "demo", false,

@@ -255,38 +255,143 @@ bool Runtime::mutexes_available(const Task& task) const {
   return true;
 }
 
+const char* sched_source_name(SchedDecision::Source source) {
+  switch (source) {
+    case SchedDecision::Source::kNone:
+      return "none";
+    case SchedDecision::Source::kInline:
+      return "inline";
+    case SchedDecision::Source::kOwn:
+      return "own";
+    case SchedDecision::Source::kSteal:
+      return "steal";
+  }
+  return "?";
+}
+
 Task* Runtime::find_task_for(Worker& worker) {
+  if (options_.sched != nullptr && options_.sched->driving()) {
+    return find_task_replay(worker);
+  }
+  SchedDecision decision;
+  Task* task = find_task_live(worker, decision);
+  if (options_.sched != nullptr) {
+    options_.sched->observe_decision(worker.index(), decision);
+  }
+  return task;
+}
+
+Task* Runtime::find_task_live(Worker& worker, SchedDecision& decision) {
   // An undeferred child being waited on takes absolute priority: the parent
   // is suspended until it completes.
   if (worker.has_exec() && worker.top().pending_inline != nullptr) {
     Task* pending = worker.top().pending_inline;
     if (pending->state == TaskState::kReady && mutexes_available(*pending)) {
+      decision = {SchedDecision::Source::kInline, pending->id, -1};
       return pending;  // undeferred child: never in any deque
     }
   }
 
-  // Own deque, newest first (LIFO).
+  // Own deque, newest first (LIFO) - or oldest first under the pop_fifo
+  // perturbation (still a legal order; it only changes which ready task
+  // wins).
   auto& deque = worker.deque();
-  for (size_t i = deque.size(); i-- > 0;) {
+  const size_t dn = deque.size();
+  for (size_t k = dn; k-- > 0;) {
+    const size_t i = options_.perturb.pop_fifo ? dn - 1 - k : k;
     Task* task = deque[i];
     if (!mutexes_available(*task)) continue;
     deque.erase(deque.begin() + static_cast<ptrdiff_t>(i));
+    decision = {SchedDecision::Source::kOwn, task->id, -1};
     return task;
   }
 
-  // Steal: random victims, oldest first (FIFO).
+  // Bounded yield injection: every yield_period-th arrival at the steal
+  // stage comes up empty, surfacing schedules where a worker loses the
+  // race for a task it would normally have won.
+  const SchedulePerturbation& perturb = options_.perturb;
+  ++steal_rounds_;
+  if (perturb.yield_period != 0 && yields_injected_ < perturb.yield_limit &&
+      steal_rounds_ % perturb.yield_period == 0) {
+    ++yields_injected_;
+    decision = {SchedDecision::Source::kNone, 0, -1};
+    return nullptr;
+  }
+
+  // Steal: random victims (rotated under perturbation), oldest first (FIFO).
   const size_t nworkers = workers_.size();
   for (size_t attempt = 0; attempt < 2 * nworkers; ++attempt) {
-    Worker& victim = *workers_[rng_.below(nworkers)];
+    const size_t index =
+        (rng_.below(nworkers) + perturb.steal_rotation) % nworkers;
+    Worker& victim = *workers_[index];
     if (&victim == &worker) continue;
     auto& vdq = victim.deque();
     for (size_t i = 0; i < vdq.size(); ++i) {
       Task* task = vdq[i];
       if (!mutexes_available(*task)) continue;
       vdq.erase(vdq.begin() + static_cast<ptrdiff_t>(i));
+      decision = {SchedDecision::Source::kSteal, task->id,
+                  static_cast<int>(index)};
       return task;
     }
   }
+  decision = {SchedDecision::Source::kNone, 0, -1};
+  return nullptr;
+}
+
+Task* Runtime::find_task_replay(Worker& worker) {
+  SchedulePort& port = *options_.sched;
+  const SchedDecision d = port.next_decision(worker.index());
+  switch (d.source) {
+    case SchedDecision::Source::kNone:
+      return nullptr;
+    case SchedDecision::Source::kInline: {
+      Task* pending =
+          worker.has_exec() ? worker.top().pending_inline : nullptr;
+      if (pending == nullptr || pending->id != d.task_id) {
+        port.replay_mismatch(worker.index(), d,
+                             "worker is not waiting on that inline child");
+        return nullptr;
+      }
+      if (pending->state != TaskState::kReady ||
+          !mutexes_available(*pending)) {
+        port.replay_mismatch(worker.index(), d,
+                             "inline child is not runnable");
+        return nullptr;
+      }
+      return pending;
+    }
+    case SchedDecision::Source::kOwn:
+      return take_for_replay(worker, worker, d);
+    case SchedDecision::Source::kSteal: {
+      if (d.victim < 0 || static_cast<size_t>(d.victim) >= workers_.size()) {
+        port.replay_mismatch(worker.index(), d,
+                             "steal victim does not exist");
+        return nullptr;
+      }
+      return take_for_replay(worker, *workers_[static_cast<size_t>(d.victim)],
+                             d);
+    }
+  }
+  return nullptr;
+}
+
+Task* Runtime::take_for_replay(Worker& worker, Worker& victim,
+                               const SchedDecision& decision) {
+  auto& deque = victim.deque();
+  for (size_t i = 0; i < deque.size(); ++i) {
+    Task* task = deque[i];
+    if (task->id != decision.task_id) continue;
+    if (!mutexes_available(*task)) {
+      options_.sched->replay_mismatch(worker.index(), decision,
+                                      "task's mutexes are held");
+      return nullptr;
+    }
+    deque.erase(deque.begin() + static_cast<ptrdiff_t>(i));
+    return task;
+  }
+  options_.sched->replay_mismatch(worker.index(), decision,
+                                  "task is not in the victim's deque");
   return nullptr;
 }
 

@@ -26,6 +26,7 @@
 
 #include "runtime/deps.hpp"
 #include "runtime/events.hpp"
+#include "runtime/schedule.hpp"
 #include "runtime/task.hpp"
 #include "runtime/worker.hpp"
 #include "support/rng.hpp"
@@ -43,6 +44,8 @@ struct RtOptions {
   bool recycle_captures = false;  // __kmp_fast_allocate-style recycling
                                   // (ablation for the paper's §IV-B note)
   uint64_t max_retired = 4'000'000'000ull;  // runaway-guest safety stop
+  SchedulePerturbation perturb;   // fuzzer-controlled schedule mutations
+  SchedulePort* sched = nullptr;  // record/replay port (not owned)
 };
 
 struct RunOutcome {
@@ -89,6 +92,10 @@ class Runtime : public vex::IntrinsicHandler {
   bool step_worker(Worker& worker);
   void handle_run_result(Worker& worker, vex::RunResult result);
   Task* find_task_for(Worker& worker);
+  Task* find_task_live(Worker& worker, SchedDecision& decision);
+  Task* find_task_replay(Worker& worker);
+  Task* take_for_replay(Worker& worker, Worker& victim,
+                        const SchedDecision& decision);
   void begin_task_on(Worker& worker, Task* task);
   void finish_top_exec(Worker& worker);
   void complete_task(Task& task, Worker* worker);
@@ -171,6 +178,8 @@ class Runtime : public vex::IntrinsicHandler {
   vex::FuncId fn_feb_ = vex::kNoFunc;
 
   size_t rr_cursor_ = 0;  // round-robin scheduling cursor
+  uint64_t steal_rounds_ = 0;     // find_task_for calls that reached stealing
+  uint32_t yields_injected_ = 0;  // perturbation yields spent so far
 };
 
 }  // namespace tg::rt

@@ -1,0 +1,91 @@
+// Schedule capture/steering hooks for the minomp work-stealing scheduler.
+//
+// Everything nondeterministic in an execution funnels through one choke
+// point: Runtime::find_task_for, where a worker picks its next task (its
+// waited-on undeferred child, its own deque, or a steal victim's deque).
+// This header defines the two ways the rest of the system plugs into that
+// choke point:
+//
+//  * SchedulePort - an observer/driver interface. In *record* mode the
+//    runtime reports every decision it makes (core/trace appends them to a
+//    replayable trace); in *replay* mode the runtime asks the port for the
+//    next decision instead of consulting its own deques and RNG, which is
+//    how a recorded schedule is re-executed exactly (RecPlay-style).
+//
+//  * SchedulePerturbation - deterministic schedule mutations for the fuzz
+//    driver (tools/fuzz): rotate steal victims, flip the owner's LIFO pop
+//    to FIFO, and inject bounded artificial misses ("yields") at steal
+//    points. All three only re-order *legal* schedules - they never violate
+//    task readiness, dependences, or mutex exclusion - so every perturbed
+//    run is an execution the real runtime could have produced.
+#pragma once
+
+#include <cstdint>
+
+namespace tg::rt {
+
+/// One scheduling decision: the outcome of a Runtime::find_task_for call.
+struct SchedDecision {
+  enum class Source : uint8_t {
+    kNone = 0,   // nothing runnable (or an injected yield)
+    kInline,     // the waited-on undeferred child
+    kOwn,        // popped from the worker's own deque
+    kSteal,      // taken from `victim`'s deque
+  };
+
+  Source source = Source::kNone;
+  uint64_t task_id = 0;  // meaningful unless source == kNone
+  int victim = -1;       // meaningful only for kSteal
+
+  bool operator==(const SchedDecision&) const = default;
+};
+
+const char* sched_source_name(SchedDecision::Source source);
+
+/// Deterministic schedule mutations applied to the live scheduler. Recorded
+/// into the trace header so a perturbed run replays exactly.
+struct SchedulePerturbation {
+  /// Added (mod team size) to every RNG-drawn steal-victim index.
+  uint64_t steal_rotation = 0;
+  /// Scan the worker's own deque oldest-first instead of newest-first.
+  bool pop_fifo = false;
+  /// Every `yield_period`-th steal attempt comes up empty-handed instead of
+  /// stealing (0 = never). Bounded by yield_limit so progress is preserved.
+  uint32_t yield_period = 0;
+  /// Total injected misses allowed per run.
+  uint32_t yield_limit = 0;
+
+  bool any() const {
+    return steal_rotation != 0 || pop_fifo || yield_period != 0;
+  }
+
+  bool operator==(const SchedulePerturbation&) const = default;
+};
+
+/// Record/replay port. The runtime calls exactly one of the two sides per
+/// find_task_for: observe_decision when deciding live (record), or
+/// next_decision when the port is driving (replay).
+class SchedulePort {
+ public:
+  virtual ~SchedulePort() = default;
+
+  /// True when the port drives scheduling (replay); false when it only
+  /// observes (record).
+  virtual bool driving() const = 0;
+
+  /// Record side: the live scheduler decided `decision` for `worker`.
+  virtual void observe_decision(int worker, const SchedDecision& decision) = 0;
+
+  /// Replay side: the decision `worker` must take next. Returning
+  /// Source::kNone leaves the worker idle this round.
+  virtual SchedDecision next_decision(int worker) = 0;
+
+  /// Replay side: the decision returned by next_decision could not be
+  /// applied (task missing / wrong state) - the trace does not match this
+  /// execution. `why` names the mismatch; the port reports it loudly and
+  /// the runtime continues with an idle round for the worker.
+  virtual void replay_mismatch(int worker, const SchedDecision& decision,
+                               const char* why) = 0;
+};
+
+}  // namespace tg::rt

@@ -26,6 +26,8 @@ const char* mem_category_name(MemCategory category) {
       return "spill-metadata";
     case MemCategory::kFingerprints:
       return "fingerprints";
+    case MemCategory::kTrace:
+      return "trace";
     case MemCategory::kOther:
       return "other";
     case MemCategory::kCount:

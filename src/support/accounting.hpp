@@ -25,6 +25,7 @@ enum class MemCategory : uint8_t {
   kTranslation,       // VM translation cache
   kSpillMeta,         // spill archive offset table + IO buffer
   kFingerprints,      // per-segment access fingerprints (run directories)
+  kTrace,             // schedule record/replay event buffers
   kOther,
   kCount,
 };

@@ -1,0 +1,226 @@
+#include "tools/fuzz.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/json.hpp"
+
+namespace tg::tools {
+
+namespace {
+
+std::vector<std::string> sorted(std::vector<std::string> keys) {
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+const char* fuzz_status_name(SessionResult::Status status) {
+  switch (status) {
+    case SessionResult::Status::kOk: return "ok";
+    case SessionResult::Status::kNcs: return "ncs";
+    case SessionResult::Status::kCrash: return "crash";
+    case SessionResult::Status::kDeadlock: return "deadlock";
+    case SessionResult::Status::kBudget: return "budget";
+    case SessionResult::Status::kConfig: return "config";
+  }
+  return "?";
+}
+
+}  // namespace
+
+rt::SchedulePerturbation fuzz_perturbation(int run, int num_threads) {
+  rt::SchedulePerturbation perturb;
+  if (run == 0) return perturb;  // the unperturbed baseline
+  const int team = std::max(1, num_threads);
+  perturb.steal_rotation = static_cast<uint64_t>(run % team);
+  perturb.pop_fifo = run % 2 == 0;
+  if (run % 3 == 0) {
+    perturb.yield_period = 2;
+    perturb.yield_limit = 16;
+  }
+  return perturb;
+}
+
+FuzzResult run_fuzz(const rt::GuestProgram& program,
+                    const FuzzOptions& options) {
+  FuzzResult result;
+  result.program = program.name;
+  result.num_threads = options.base.num_threads;
+  result.base_seed = options.base.seed;
+
+  if (options.base.tool != ToolKind::kTaskgrind) {
+    result.ok = false;
+    result.error = "schedule fuzzing requires --tool=taskgrind";
+    return result;
+  }
+  if (options.runs < 1) {
+    result.ok = false;
+    result.error = "fuzz sweep needs at least 1 run";
+    return result;
+  }
+  if (!options.base.record_trace.empty() ||
+      !options.base.replay_trace.empty() ||
+      options.base.record_into != nullptr ||
+      options.base.replay_from != nullptr) {
+    result.ok = false;
+    result.error = "fuzz sweep cannot be combined with record/replay";
+    return result;
+  }
+  if (!options.certificate_dir.empty()) {
+    // Best-effort create; an unusable directory is caught at the first save.
+    ::mkdir(options.certificate_dir.c_str(), 0777);
+  }
+
+  std::set<std::string> seen;
+  for (int i = 0; i < options.runs; ++i) {
+    SessionOptions run_options = options.base;
+    run_options.seed = options.base.seed + static_cast<uint64_t>(i);
+    run_options.perturbation = fuzz_perturbation(i, options.base.num_threads);
+
+    core::ScheduleTrace trace;
+    run_options.record_into = &trace;
+    const SessionResult session = run_session(program, run_options);
+
+    FuzzRun run;
+    run.index = i;
+    run.seed = run_options.seed;
+    run.perturbation = run_options.perturbation;
+    run.status = session.status;
+    run.schedule_events = session.schedule_events;
+    run.report_keys = sorted(session.report_keys);
+    for (const std::string& key : run.report_keys) {
+      if (!seen.count(key)) run.new_keys.push_back(key);
+    }
+
+    if (i == 0) result.baseline_keys = run.report_keys;
+
+    if (!run.new_keys.empty()) {
+      FuzzCertificate cert;
+      cert.run = i;
+      cert.trace = std::move(trace);
+      cert.new_keys = run.new_keys;
+      cert.expected_keys = run.report_keys;
+      result.certificates.push_back(std::move(cert));
+    }
+    for (const std::string& key : run.new_keys) seen.insert(key);
+    result.runs.push_back(std::move(run));
+  }
+  result.distinct_keys.assign(seen.begin(), seen.end());
+  std::set<std::string> baseline(result.baseline_keys.begin(),
+                                 result.baseline_keys.end());
+  for (const std::string& key : result.distinct_keys) {
+    if (!baseline.count(key)) result.schedule_dependent_keys.push_back(key);
+  }
+
+  for (size_t k = 0; k < result.certificates.size(); ++k) {
+    FuzzCertificate& cert = result.certificates[k];
+    if (options.verify_certificates) {
+      SessionOptions replay_options = options.base;
+      replay_options.replay_from = &cert.trace;
+      const SessionResult replayed = run_session(program, replay_options);
+      cert.verified = replayed.status == SessionResult::Status::kOk &&
+                      sorted(replayed.report_keys) == cert.expected_keys;
+    }
+    if (!options.certificate_dir.empty()) {
+      cert.file = options.certificate_dir + "/cert-" + std::to_string(k) +
+                  "-" + program.name + ".tgtrace";
+      std::string error;
+      if (!cert.trace.save(cert.file, &error)) {
+        result.ok = false;
+        result.error = error;
+        cert.file.clear();
+      }
+    }
+  }
+  return result;
+}
+
+std::string fuzz_json(const FuzzResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "taskgrind-fuzz-v1");
+  json.field("program", result.program);
+  json.field("num_threads", result.num_threads);
+  json.field("base_seed", result.base_seed);
+  json.field("ok", result.ok);
+  json.field("error", result.error);
+
+  json.key("runs").begin_array();
+  for (const FuzzRun& run : result.runs) {
+    json.begin_object();
+    json.field("run", run.index);
+    json.field("seed", run.seed);
+    json.key("perturbation").begin_object();
+    json.field("steal_rotation", run.perturbation.steal_rotation);
+    json.field("pop_fifo", run.perturbation.pop_fifo);
+    json.field("yield_period",
+               static_cast<uint64_t>(run.perturbation.yield_period));
+    json.field("yield_limit",
+               static_cast<uint64_t>(run.perturbation.yield_limit));
+    json.end_object();
+    json.field("status", fuzz_status_name(run.status));
+    json.field("schedule_events", run.schedule_events);
+    json.key("report_keys").begin_array();
+    for (const std::string& key : run.report_keys) json.value(key);
+    json.end_array();
+    json.key("new_reports").begin_array();
+    for (const std::string& key : run.new_keys) json.value(key);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();  // runs
+
+  json.key("baseline_reports").begin_array();
+  for (const std::string& key : result.baseline_keys) json.value(key);
+  json.end_array();
+  json.key("distinct_reports").begin_array();
+  for (const std::string& key : result.distinct_keys) json.value(key);
+  json.end_array();
+  json.key("schedule_dependent_reports").begin_array();
+  for (const std::string& key : result.schedule_dependent_keys) {
+    json.value(key);
+  }
+  json.end_array();
+
+  json.key("certificates").begin_array();
+  for (const FuzzCertificate& cert : result.certificates) {
+    json.begin_object();
+    json.field("run", cert.run);
+    json.field("events", static_cast<uint64_t>(cert.trace.events.size()));
+    json.field("bytes", cert.trace.serialized_bytes());
+    json.field("verified", cert.verified);
+    json.field("file", cert.file);
+    json.key("reports").begin_array();
+    for (const std::string& key : cert.new_keys) json.value(key);
+    json.end_array();
+    json.key("expected_reports").begin_array();
+    for (const std::string& key : cert.expected_keys) json.value(key);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();  // certificates
+
+  json.key("counts").begin_object();
+  json.field("runs", static_cast<uint64_t>(result.runs.size()));
+  json.field("baseline",
+             static_cast<uint64_t>(result.baseline_keys.size()));
+  json.field("distinct",
+             static_cast<uint64_t>(result.distinct_keys.size()));
+  json.field("schedule_dependent",
+             static_cast<uint64_t>(result.schedule_dependent_keys.size()));
+  json.field("certificates",
+             static_cast<uint64_t>(result.certificates.size()));
+  uint64_t verified = 0;
+  for (const FuzzCertificate& cert : result.certificates) {
+    if (cert.verified) ++verified;
+  }
+  json.field("verified_certificates", verified);
+  json.end_object();  // counts
+
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace tg::tools

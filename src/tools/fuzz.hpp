@@ -1,0 +1,93 @@
+// Schedule fuzzing: sweep seeds and deterministic schedule perturbations,
+// dedupe the findings across runs, and emit a replayable regression
+// certificate for every distinct report.
+//
+// Taskgrind's findings are a function of the executed schedule: a
+// schedule-dependent race (one whose racy code only runs when a particular
+// interleaving is observed through synchronized state) can hide from any
+// single --seed run. The fuzzer runs the same program N times - run 0 is
+// the unperturbed baseline, runs 1..N-1 combine a fresh seed with a
+// deterministic perturbation (steal-victim rotation / LIFO->FIFO pop flip /
+// bounded yield injection, see runtime/schedule.hpp) - records every run's
+// schedule trace in memory, and keys findings by report_dedup_key. The
+// first run that surfaces a new report key donates its trace as that
+// report's certificate, which is self-verified by replaying it and checking
+// the report set matches ("shake"-style schedule exploration, zeta
+// instrument spec; RecPlay's replay-based re-examination).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "tools/session.hpp"
+
+namespace tg::tools {
+
+struct FuzzOptions {
+  /// Template for every run; `tool` must be taskgrind. seed/perturbation
+  /// are overridden per run; record/replay fields must be unset.
+  SessionOptions base;
+  int runs = 16;
+  /// When non-empty, certificate traces are written here (created if
+  /// needed) as cert-<k>-<program>.tgtrace.
+  std::string certificate_dir;
+  /// Replay every certificate and check it reproduces its expected report
+  /// set before reporting it (cheap: one extra run per distinct schedule).
+  bool verify_certificates = true;
+};
+
+struct FuzzRun {
+  int index = 0;
+  uint64_t seed = 0;
+  rt::SchedulePerturbation perturbation;
+  SessionResult::Status status = SessionResult::Status::kOk;
+  uint64_t schedule_events = 0;
+  std::vector<std::string> report_keys;  // sorted
+  std::vector<std::string> new_keys;     // first seen in this run (sorted)
+};
+
+struct FuzzCertificate {
+  int run = 0;  // index of the donating run
+  core::ScheduleTrace trace;
+  std::vector<std::string> new_keys;       // reports this trace witnesses
+  std::vector<std::string> expected_keys;  // the run's full report set
+  bool verified = false;  // replayed clean to expected_keys
+  std::string file;       // path when written to certificate_dir
+};
+
+struct FuzzResult {
+  std::string program;
+  int num_threads = 1;
+  uint64_t base_seed = 1;
+  std::vector<FuzzRun> runs;
+  std::vector<std::string> baseline_keys;    // run 0's report set (sorted)
+  std::vector<std::string> distinct_keys;    // union across runs (sorted)
+  std::vector<std::string> schedule_dependent_keys;  // distinct - baseline
+  std::vector<FuzzCertificate> certificates;
+  bool ok = true;      // false on a config error (bad options, cert IO)
+  std::string error;
+
+  bool all_certificates_verified() const {
+    for (const FuzzCertificate& cert : certificates) {
+      if (!cert.verified) return false;
+    }
+    return true;
+  }
+};
+
+/// The deterministic per-run perturbation taxonomy (exposed so tests and
+/// docs stay in sync with the sweep): run 0 is unperturbed; for i >= 1 the
+/// rotation cycles through the team, every second run flips the own-deque
+/// pop order, and every third run injects bounded yields.
+rt::SchedulePerturbation fuzz_perturbation(int run, int num_threads);
+
+FuzzResult run_fuzz(const rt::GuestProgram& program,
+                    const FuzzOptions& options);
+
+/// Machine-readable sweep emission, schema "taskgrind-fuzz-v1": per-run
+/// report deltas, the dedup sets, and one entry per certificate with its
+/// verification state.
+std::string fuzz_json(const FuzzResult& result);
+
+}  // namespace tg::tools

@@ -1,9 +1,12 @@
 #include "tools/session.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "core/report.hpp"
 #include "core/spill.hpp"
 #include "core/taskgrind.hpp"
+#include "core/trace.hpp"
 #include "runtime/execution.hpp"
 #include "support/accounting.hpp"
 #include "support/assert.hpp"
@@ -99,6 +102,37 @@ SessionResult run_session(const rt::GuestProgram& program,
     }
   }
 
+  // Resolve the record/replay configuration before spending anything on the
+  // run: an unreadable or mismatched trace is a configuration error.
+  core::ScheduleTrace loaded_trace;
+  const core::ScheduleTrace* replay = options.replay_from;
+  if (!options.replay_trace.empty()) {
+    std::string error;
+    if (!core::ScheduleTrace::load(options.replay_trace, loaded_trace,
+                                   &error)) {
+      result.status = SessionResult::Status::kConfig;
+      result.error = error;
+      return result;
+    }
+    replay = &loaded_trace;
+  }
+  core::ScheduleTrace local_trace;
+  core::ScheduleTrace* record = options.record_into;
+  if (!options.record_trace.empty() && record == nullptr) {
+    record = &local_trace;
+  }
+  if (record != nullptr && replay != nullptr) {
+    result.status = SessionResult::Status::kConfig;
+    result.error = "schedule trace: cannot record and replay in one session";
+    return result;
+  }
+  if (replay != nullptr && replay->config.program != program.name) {
+    result.status = SessionResult::Status::kConfig;
+    result.error = "schedule trace: recorded for program '" +
+                   replay->config.program + "', not '" + program.name + "'";
+    return result;
+  }
+
   // Fresh accounting per session so peak_bytes is per-run.
   MemAccountant::instance().reset();
 
@@ -109,18 +143,87 @@ SessionResult run_session(const rt::GuestProgram& program,
   rt_options.seed = options.seed;
   rt_options.quantum = options.quantum;
   rt_options.max_retired = options.max_retired;
+  rt_options.perturb = options.perturbation;
+
+  std::optional<core::ScheduleRecorder> recorder;
+  std::optional<core::ScheduleReplayer> replayer;
+  rt::RtEvents* port_listener = nullptr;
+  if (replay != nullptr) {
+    // The trace header is the witness: it overrides every knob that shaped
+    // the recorded schedule, so a bare --replay-trace reproduces the run.
+    const core::TraceConfig& config = replay->config;
+    rt_options.num_threads = config.num_threads;
+    rt_options.seed = config.seed;
+    rt_options.quantum = config.quantum;
+    rt_options.serialize_single_thread = config.serialize_single_thread;
+    rt_options.merge_mergeable = config.merge_mergeable;
+    rt_options.recycle_captures = config.recycle_captures;
+    rt_options.perturb = config.perturb;
+    replayer.emplace(*replay);
+    rt_options.sched = &*replayer;
+    port_listener = &*replayer;
+  } else if (record != nullptr) {
+    record->events.clear();
+    record->config = core::TraceConfig{
+        program.name,
+        rt_options.num_threads,
+        rt_options.seed,
+        rt_options.quantum,
+        rt_options.serialize_single_thread,
+        rt_options.merge_mergeable,
+        rt_options.recycle_captures,
+        rt_options.perturb};
+    recorder.emplace(*record);
+    rt_options.sched = &*recorder;
+    port_listener = &*recorder;
+  }
+  // The port listens LAST: tools see each event before it is recorded or
+  // checked, so a divergence message always points at an event the tools
+  // already consumed identically.
+  auto with_port = [&](std::vector<rt::RtEvents*> listeners) {
+    if (port_listener != nullptr) listeners.push_back(port_listener);
+    return listeners;
+  };
+  // Runs after the tool finished: settles the trace side of the session.
+  auto finish_schedule_port = [&]() {
+    if (recorder) {
+      result.schedule_events = record->events.size();
+      if (!options.record_trace.empty()) {
+        std::string error;
+        if (!record->save(options.record_trace, &error)) {
+          result.status = SessionResult::Status::kConfig;
+          result.error = error;
+        }
+      }
+    }
+    if (replayer) {
+      result.schedule_events = replayer->events_consumed();
+      if (replayer->diverged()) {
+        // A diverged replay usually winds down as a deadlock (every further
+        // decision is "idle"); surface the divergence, not the symptom.
+        result.status = SessionResult::Status::kConfig;
+        result.error = replayer->first_divergence();
+      } else if (!replayer->fully_consumed()) {
+        result.status = SessionResult::Status::kConfig;
+        result.error = "schedule trace: replay consumed " +
+                       std::to_string(replayer->events_consumed()) + " of " +
+                       std::to_string(replay->events.size()) + " events";
+      }
+    }
+  };
 
   switch (options.tool) {
     case ToolKind::kNone: {
-      rt::Execution exec(guest, rt_options, nullptr, {});
+      rt::Execution exec(guest, rt_options, nullptr, with_port({}));
       fill_exec(result, exec.run());
+      finish_schedule_port();
       result.peak_bytes = MemAccountant::instance().peak();
       return result;
     }
 
     case ToolKind::kTaskgrind: {
       core::TaskgrindTool tool(options.taskgrind);
-      rt::Execution exec(guest, rt_options, &tool, {&tool});
+      rt::Execution exec(guest, rt_options, &tool, with_port({&tool}));
       tool.attach(exec.vm());
       fill_exec(result, exec.run());
       if (result.status == SessionResult::Status::kOk ||
@@ -133,29 +236,31 @@ SessionResult run_session(const rt::GuestProgram& program,
                                   analysis.stats.suppressed_tls;
         std::vector<std::string> texts;
         for (const auto& report : analysis.reports) {
-          texts.push_back(report.to_string());
-          if (texts.size() >= 8) break;
+          result.report_keys.push_back(core::report_dedup_key(report));
+          if (texts.size() < 8) texts.push_back(report.to_string());
         }
         keep_reports(result, std::move(texts), analysis.reports.size());
       }
+      finish_schedule_port();
       result.peak_bytes = MemAccountant::instance().peak();
       return result;
     }
 
     case ToolKind::kArcher: {
       ArcherTool tool;
-      rt::Execution exec(guest, rt_options, &tool, {&tool});
+      rt::Execution exec(guest, rt_options, &tool, with_port({&tool}));
       tool.attach(exec.vm());
       fill_exec(result, exec.run());
       keep_reports(result, tool.reports(), tool.report_count());
       result.raw_report_count = tool.racy_granules();
+      finish_schedule_port();
       result.peak_bytes = MemAccountant::instance().peak();
       return result;
     }
 
     case ToolKind::kTaskSan: {
       TaskSanTool tool;
-      rt::Execution exec(guest, rt_options, &tool, {&tool});
+      rt::Execution exec(guest, rt_options, &tool, with_port({&tool}));
       tool.attach(exec.vm());
       fill_exec(result, exec.run());
       if (result.status == SessionResult::Status::kOk) {
@@ -165,11 +270,12 @@ SessionResult run_session(const rt::GuestProgram& program,
         result.raw_report_count = analysis.stats.raw_conflicts;
         std::vector<std::string> texts;
         for (const auto& report : analysis.reports) {
-          texts.push_back(report.summary());
-          if (texts.size() >= 8) break;
+          result.report_keys.push_back(core::report_dedup_key(report));
+          if (texts.size() < 8) texts.push_back(report.summary());
         }
         keep_reports(result, std::move(texts), analysis.reports.size());
       }
+      finish_schedule_port();
       result.peak_bytes = MemAccountant::instance().peak();
       return result;
     }
@@ -179,7 +285,7 @@ SessionResult run_session(const rt::GuestProgram& program,
       romp_options.max_history_bytes = options.romp_max_history_bytes;
       RompTool tool(romp_options);
       rt::Execution exec(guest, rt_options, &tool,
-                         {&tool.graph_listener(), &tool});
+                         with_port({&tool.graph_listener(), &tool}));
       tool.attach(exec.vm());
       fill_exec(result, exec.run());
       if (tool.crashed() || tool.out_of_memory()) {
@@ -192,6 +298,7 @@ SessionResult run_session(const rt::GuestProgram& program,
         result.raw_report_count = count;
         keep_reports(result, std::move(reports), count);
       }
+      finish_schedule_port();
       result.peak_bytes = MemAccountant::instance().peak();
       return result;
     }
@@ -216,15 +323,55 @@ const char* status_name(SessionResult::Status status) {
 }  // namespace
 
 std::string session_json(const SessionOptions& options,
-                         const SessionResult& result) {
+                         const SessionResult& result, bool canonical) {
   JsonWriter json;
   json.begin_object();
   json.field("schema", "taskgrind-session-v1");
+  json.field("canonical", canonical);
   json.field("tool", tool_name(options.tool));
+
+  if (canonical) {
+    // Only run-invariant fields: what a recorded run and its replay (or two
+    // runs of one seed) must agree on byte-for-byte. No timing, no memory
+    // peaks, no streaming-scheduling counters, and no requested-options
+    // block (a replay's effective options come from the trace header).
+    json.key("result").begin_object();
+    json.field("status", status_name(result.status));
+    json.field("report_count", static_cast<uint64_t>(result.report_count));
+    json.field("raw_report_count",
+               static_cast<uint64_t>(result.raw_report_count));
+    json.field("exit_code", result.exit_code);
+    json.field("retired", result.retired);
+    json.field("tasks_created", result.tasks_created);
+    json.field("schedule_events", result.schedule_events);
+    json.key("reports").begin_array();
+    for (const std::string& text : result.report_texts) json.value(text);
+    json.end_array();
+    json.key("report_keys").begin_array();
+    for (const std::string& key : result.report_keys) json.value(key);
+    json.end_array();
+    json.end_object();  // result
+    const core::AnalysisStats& stats = result.analysis_stats;
+    json.key("stats").begin_object();
+    json.field("raw_conflicts", stats.raw_conflicts);
+    json.field("suppressed_stack", stats.suppressed_stack);
+    json.field("suppressed_tls", stats.suppressed_tls);
+    json.end_object();  // stats
+    json.end_object();
+    return json.str();
+  }
 
   json.key("options").begin_object();
   json.field("num_threads", options.num_threads);
   json.field("seed", options.seed);
+  json.key("perturbation").begin_object();
+  json.field("steal_rotation", options.perturbation.steal_rotation);
+  json.field("pop_fifo", options.perturbation.pop_fifo);
+  json.field("yield_period",
+             static_cast<uint64_t>(options.perturbation.yield_period));
+  json.field("yield_limit",
+             static_cast<uint64_t>(options.perturbation.yield_limit));
+  json.end_object();  // perturbation
   const core::TaskgrindOptions& tg = options.taskgrind;
   json.key("taskgrind").begin_object();
   json.field("streaming", tg.streaming);
@@ -257,8 +404,12 @@ std::string session_json(const SessionOptions& options,
   json.field("peak_bytes", result.peak_bytes);
   json.field("retired", result.retired);
   json.field("tasks_created", result.tasks_created);
+  json.field("schedule_events", result.schedule_events);
   json.key("reports").begin_array();
   for (const std::string& text : result.report_texts) json.value(text);
+  json.end_array();
+  json.key("report_keys").begin_array();
+  for (const std::string& key : result.report_keys) json.value(key);
   json.end_array();
   json.end_object();  // result
 

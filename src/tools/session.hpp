@@ -12,6 +12,10 @@
 #include "runtime/guest_program.hpp"
 #include "runtime/runtime.hpp"
 
+namespace tg::core {
+class ScheduleTrace;
+}
+
 namespace tg::tools {
 
 enum class ToolKind {
@@ -36,6 +40,17 @@ struct SessionOptions {
   /// (core/taskgrind_options.hpp). No flag-by-flag copying anywhere.
   core::TaskgrindOptions taskgrind;
   int64_t romp_max_history_bytes = 1ll << 29;
+
+  /// Schedule record/replay (core/trace.hpp). The file paths are the CLI
+  /// surface; the pointer forms let in-process drivers (the fuzzer, tests)
+  /// skip the disk. Record and replay are mutually exclusive; a replay run
+  /// takes its runtime configuration (threads, seed, quantum, perturbation)
+  /// from the trace header, not from the fields above.
+  std::string record_trace;   // save the recorded trace to this file
+  std::string replay_trace;   // load and replay the trace in this file
+  core::ScheduleTrace* record_into = nullptr;        // not owned
+  const core::ScheduleTrace* replay_from = nullptr;  // not owned
+  rt::SchedulePerturbation perturbation;  // live-schedule mutations (fuzzer)
 };
 
 struct SessionResult {
@@ -54,6 +69,8 @@ struct SessionResult {
   size_t raw_report_count = 0;  // per-location / per-conflict volume
                                 // (what Table II's "N of reports" counts)
   std::vector<std::string> report_texts;  // capped at a few for display
+  std::vector<std::string> report_keys;   // dedup key per finding (uncapped;
+                                          // the fuzzer's report identity)
   std::string output;                     // guest stdout
   int64_t exit_code = 0;
 
@@ -64,6 +81,7 @@ struct SessionResult {
   int64_t peak_bytes = 0;       // accounted peak memory
   uint64_t retired = 0;         // guest instructions
   uint64_t tasks_created = 0;
+  uint64_t schedule_events = 0;  // trace events recorded / replayed
 
   bool racy() const { return report_count > 0; }
 };
@@ -80,8 +98,17 @@ SessionResult run_session(const rt::GuestProgram& program,
 /// effective options, the SessionResult and the full AnalysisStats in one
 /// JSON object - what `--json=FILE`, the benches and CI consume instead of
 /// scraping the human-readable stats line.
+///
+/// With `canonical` set, the emission is restricted to fields that are
+/// byte-for-byte reproducible for one (program, threads, seed, perturbation)
+/// tuple: timing, memory peaks and streaming-scheduling counters are
+/// dropped, as is the requested-options block (a replay run's effective
+/// configuration comes from the trace, not the command line). Canonical
+/// output is the comparison currency of the determinism suite, replay
+/// round-trips and the fuzzer's report dedup.
 std::string session_json(const SessionOptions& options,
-                         const SessionResult& result);
+                         const SessionResult& result,
+                         bool canonical = false);
 
 /// Table I verdict classification.
 enum class Verdict { kTP, kFP, kTN, kFN, kNcs, kSegv, kDeadlock };

@@ -121,9 +121,74 @@ TEST(CliArgs, UsageMentionsEveryMode) {
   const std::string usage = usage_text();
   for (const char* needle :
        {"--streaming", "--post-mortem", "--json", "--tool",
-        "--analysis-threads", "--max-tree-bytes", "--spill-dir"}) {
+        "--analysis-threads", "--max-tree-bytes", "--spill-dir",
+        "--record-trace", "--replay-trace", "--json-canonical",
+        "--fuzz-schedules", "--fuzz-certs"}) {
     EXPECT_NE(usage.find(needle), std::string::npos) << needle;
   }
+}
+
+TEST(CliArgs, TraceFlagsRoundTrip) {
+  CliOptions record;
+  ASSERT_TRUE(parse({"--record-trace=/tmp/a.tgtrace",
+                     "--json-canonical=/tmp/c.json", "fib"},
+                    record)
+                  .ok);
+  EXPECT_EQ(record.session.record_trace, "/tmp/a.tgtrace");
+  EXPECT_EQ(record.canonical_json_path, "/tmp/c.json");
+
+  CliOptions replay;
+  ASSERT_TRUE(parse({"--replay-trace=/tmp/a.tgtrace", "fib"}, replay).ok);
+  EXPECT_EQ(replay.session.replay_trace, "/tmp/a.tgtrace");
+
+  CliOptions fuzz;
+  ASSERT_TRUE(
+      parse({"--fuzz-schedules=24", "--fuzz-certs=/tmp/certs", "fib"}, fuzz)
+          .ok);
+  EXPECT_EQ(fuzz.fuzz_runs, 24);
+  EXPECT_EQ(fuzz.fuzz_cert_dir, "/tmp/certs");
+
+  // Empty values are usage errors, not silently-empty paths.
+  for (auto args : std::vector<std::vector<const char*>>{
+           {"--record-trace=", "fib"},
+           {"--replay-trace=", "fib"},
+           {"--json-canonical=", "fib"},
+           {"--fuzz-certs=", "fib"}}) {
+    CliOptions cli;
+    EXPECT_FALSE(parse(args, cli).ok) << args[0];
+  }
+}
+
+TEST(CliArgs, MalformedFuzzSchedulesIsUsageError) {
+  for (const char* arg : {"--fuzz-schedules=lots", "--fuzz-schedules=0",
+                          "--fuzz-schedules=-4", "--fuzz-schedules="}) {
+    CliOptions cli;
+    const ParseOutcome outcome = parse({arg, "fib"}, cli);
+    EXPECT_FALSE(outcome.ok) << arg;
+    EXPECT_NE(outcome.error.find("invalid value for --fuzz-schedules"),
+              std::string::npos)
+        << arg << ": " << outcome.error;
+  }
+}
+
+TEST(CliArgs, TraceModeExclusionsAreUsageErrors) {
+  CliOptions both;
+  const ParseOutcome record_and_replay = parse(
+      {"--record-trace=/tmp/a", "--replay-trace=/tmp/b", "fib"}, both);
+  EXPECT_FALSE(record_and_replay.ok);
+  EXPECT_NE(record_and_replay.error.find("--record-trace"),
+            std::string::npos);
+
+  CliOptions fuzz_record;
+  EXPECT_FALSE(
+      parse({"--fuzz-schedules=4", "--record-trace=/tmp/a", "fib"},
+            fuzz_record)
+          .ok);
+  CliOptions fuzz_replay;
+  EXPECT_FALSE(
+      parse({"--fuzz-schedules=4", "--replay-trace=/tmp/a", "fib"},
+            fuzz_replay)
+          .ok);
 }
 
 TEST(SessionJson, SchemaAndRoundTrippedValues) {
@@ -156,6 +221,25 @@ TEST(SessionJson, SchemaAndRoundTrippedValues) {
   // Report text contains newlines - they must arrive escaped.
   EXPECT_EQ(json.find('\n'), std::string::npos);
   EXPECT_NE(json.find("\\n"), std::string::npos);
+
+  // The full emission also carries the schedule-trace surface.
+  for (const char* needle :
+       {"\"canonical\":false", "\"perturbation\":", "\"schedule_events\":",
+        "\"report_keys\":["}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+
+  // The canonical variant keeps only run-invariant fields: no options
+  // block (record and replay invocations differ there), no timings.
+  const std::string canonical =
+      tools::session_json(options, result, /*canonical=*/true);
+  EXPECT_NE(canonical.find("\"canonical\":true"), std::string::npos);
+  EXPECT_NE(canonical.find("\"report_keys\":["), std::string::npos);
+  for (const char* absent :
+       {"\"options\":", "\"exec_seconds\"", "\"analysis_seconds\"",
+        "\"peak_bytes\"", "\"streamed\"", "\"seconds\""}) {
+    EXPECT_EQ(canonical.find(absent), std::string::npos) << absent;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+// Determinism regression: the whole analysis pipeline is a pure function
+// of (program, threads, seed, options). Five repeated runs must produce a
+// byte-identical canonical report at every worker count - the invariant
+// record/replay and the schedule fuzzer are built on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lulesh/lulesh.hpp"
+#include "programs/registry.hpp"
+#include "tools/session.hpp"
+
+namespace tg::tools {
+namespace {
+
+constexpr int kRepeats = 5;
+
+SessionOptions base_options(int threads) {
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = threads;
+  return options;
+}
+
+std::string canonical_run(const rt::GuestProgram& program,
+                          const SessionOptions& options) {
+  const SessionResult result = run_session(program, options);
+  EXPECT_NE(result.status, SessionResult::Status::kCrash) << program.name;
+  return session_json(options, result, /*canonical=*/true);
+}
+
+TEST(Determinism, RegistryProgramsAreRepeatable) {
+  for (const auto& program : progs::all_programs()) {
+    for (int threads : {1, 2, 4, 8}) {
+      const SessionOptions options = base_options(threads);
+      const std::string first = canonical_run(program, options);
+      for (int repeat = 1; repeat < kRepeats; ++repeat) {
+        EXPECT_EQ(first, canonical_run(program, options))
+            << program.name << " @" << threads << " repeat " << repeat;
+      }
+    }
+  }
+}
+
+TEST(Determinism, SeedChangesAreIntentional) {
+  // Different seeds may legally pick different schedules, but each seed
+  // must itself be stable.
+  const auto* program = progs::find_program("cilk-racy-sum");
+  ASSERT_NE(program, nullptr);
+  for (uint64_t seed : {1ull, 7ull, 1234567ull}) {
+    SessionOptions options = base_options(4);
+    options.seed = seed;
+    const std::string first = canonical_run(*program, options);
+    for (int repeat = 1; repeat < kRepeats; ++repeat) {
+      EXPECT_EQ(first, canonical_run(*program, options)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Determinism, RacyLuleshIsRepeatable) {
+  lulesh::LuleshParams params;
+  params.s = 6;
+  params.iters = 2;
+  params.tel = 4;
+  params.tnl = 4;
+  params.racy = true;
+  const rt::GuestProgram program = lulesh::make_lulesh(params);
+  for (int threads : {1, 2, 4, 8}) {
+    const SessionOptions options = base_options(threads);
+    const std::string first = canonical_run(program, options);
+    for (int repeat = 1; repeat < kRepeats; ++repeat) {
+      EXPECT_EQ(first, canonical_run(program, options))
+          << "lulesh @" << threads << " repeat " << repeat;
+    }
+  }
+}
+
+TEST(Determinism, PerturbationsAreRepeatable) {
+  // A perturbed schedule is a different but equally deterministic one.
+  const auto* program = progs::find_program("sched-flag");
+  ASSERT_NE(program, nullptr);
+  SessionOptions options = base_options(4);
+  options.perturbation.steal_rotation = 3;
+  options.perturbation.pop_fifo = true;
+  options.perturbation.yield_period = 2;
+  options.perturbation.yield_limit = 16;
+  const std::string first = canonical_run(*program, options);
+  for (int repeat = 1; repeat < kRepeats; ++repeat) {
+    EXPECT_EQ(first, canonical_run(*program, options)) << "repeat " << repeat;
+  }
+}
+
+}  // namespace
+}  // namespace tg::tools

@@ -1,0 +1,183 @@
+// Schedule-fuzzer smoke tests: the seed/perturbation sweep must surface a
+// schedule-dependent race the default run misses, and every certificate it
+// emits must replay to its expected report set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <unistd.h>
+
+#include "programs/registry.hpp"
+#include "tools/fuzz.hpp"
+#include "tools/session.hpp"
+
+namespace tg::tools {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char pattern[] = "/tmp/tg-fuzz-XXXXXX";
+    path_ = mkdtemp(pattern);
+  }
+  ~TempDir() {
+    if (path_.empty()) return;
+    // Only this test writes here; remove whatever the fuzzer produced.
+    std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+FuzzOptions smoke_options(int threads, int runs) {
+  FuzzOptions options;
+  options.base.tool = ToolKind::kTaskgrind;
+  options.base.num_threads = threads;
+  options.runs = runs;
+  return options;
+}
+
+TEST(FuzzPerturbation, TaxonomyIsDeterministic) {
+  // Run 0 is always the unperturbed baseline.
+  EXPECT_FALSE(fuzz_perturbation(0, 4).any());
+  for (int threads : {1, 2, 4, 8}) {
+    for (int run = 1; run < 16; ++run) {
+      const rt::SchedulePerturbation a = fuzz_perturbation(run, threads);
+      const rt::SchedulePerturbation b = fuzz_perturbation(run, threads);
+      EXPECT_TRUE(a == b);
+      EXPECT_EQ(a.pop_fifo, run % 2 == 0);
+      EXPECT_EQ(a.yield_period != 0, run % 3 == 0);
+      EXPECT_LT(a.steal_rotation, static_cast<uint64_t>(std::max(1, threads)));
+    }
+  }
+}
+
+TEST(FuzzSweep, SurfacesScheduleDependentRace) {
+  const auto* program = progs::find_program("sched-flag");
+  ASSERT_NE(program, nullptr);
+
+  // The default-seed single run must miss the armed race...
+  SessionOptions single;
+  single.tool = ToolKind::kTaskgrind;
+  single.num_threads = 2;
+  const SessionResult baseline = run_session(*program, single);
+  ASSERT_EQ(baseline.status, SessionResult::Status::kOk);
+
+  // ...and the 16-run sweep must find it.
+  const FuzzResult result = run_fuzz(*program, smoke_options(2, 16));
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.runs.size(), 16u);
+  EXPECT_EQ(result.baseline_keys.size(), baseline.report_keys.size());
+  EXPECT_FALSE(result.schedule_dependent_keys.empty())
+      << "sweep found no report beyond the default schedule";
+  EXPECT_FALSE(result.certificates.empty());
+  EXPECT_TRUE(result.all_certificates_verified());
+
+  // Every schedule-dependent key is attested by some verified certificate.
+  std::set<std::string> witnessed;
+  for (const FuzzCertificate& cert : result.certificates) {
+    EXPECT_TRUE(cert.verified) << "certificate from run " << cert.run;
+    for (const std::string& key : cert.new_keys) witnessed.insert(key);
+  }
+  for (const std::string& key : result.schedule_dependent_keys) {
+    EXPECT_TRUE(witnessed.count(key)) << key;
+  }
+}
+
+TEST(FuzzSweep, CertificatesReplayFromDisk) {
+  const auto* program = progs::find_program("sched-flag");
+  ASSERT_NE(program, nullptr);
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+
+  FuzzOptions options = smoke_options(2, 16);
+  options.certificate_dir = dir.path();
+  const FuzzResult result = run_fuzz(*program, options);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_FALSE(result.certificates.empty());
+
+  // Round-trip each certificate through its file and replay it: the
+  // regression workflow a user would run from a bug report.
+  for (const FuzzCertificate& cert : result.certificates) {
+    ASSERT_FALSE(cert.file.empty());
+    core::ScheduleTrace trace;
+    std::string error;
+    ASSERT_TRUE(core::ScheduleTrace::load(cert.file, trace, &error)) << error;
+
+    SessionOptions replay;
+    replay.tool = ToolKind::kTaskgrind;
+    replay.replay_from = &trace;
+    const SessionResult replayed = run_session(*program, replay);
+    ASSERT_EQ(replayed.status, SessionResult::Status::kOk);
+    std::vector<std::string> keys = replayed.report_keys;
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(keys, cert.expected_keys);
+  }
+}
+
+TEST(FuzzSweep, StableAcrossRepeats) {
+  const auto* program = progs::find_program("sched-flag");
+  ASSERT_NE(program, nullptr);
+  const FuzzResult first = run_fuzz(*program, smoke_options(2, 8));
+  const FuzzResult second = run_fuzz(*program, smoke_options(2, 8));
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(fuzz_json(first), fuzz_json(second));
+}
+
+TEST(FuzzSweep, JsonStructure) {
+  const auto* program = progs::find_program("sched-flag");
+  ASSERT_NE(program, nullptr);
+  const FuzzResult result = run_fuzz(*program, smoke_options(2, 6));
+  ASSERT_TRUE(result.ok);
+  const std::string json = fuzz_json(result);
+  EXPECT_NE(json.find("\"schema\":\"taskgrind-fuzz-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"program\":\"sched-flag\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"steal_rotation\""), std::string::npos);
+  EXPECT_NE(json.find("\"schedule_dependent_reports\""), std::string::npos);
+  EXPECT_NE(json.find("\"verified_certificates\""), std::string::npos);
+}
+
+TEST(FuzzSweep, RejectsBadOptions) {
+  const auto* program = progs::find_program("sched-flag");
+  ASSERT_NE(program, nullptr);
+
+  FuzzOptions wrong_tool = smoke_options(2, 4);
+  wrong_tool.base.tool = ToolKind::kTaskSan;
+  const FuzzResult r1 = run_fuzz(*program, wrong_tool);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_NE(r1.error.find("taskgrind"), std::string::npos);
+
+  FuzzOptions no_runs = smoke_options(2, 0);
+  const FuzzResult r2 = run_fuzz(*program, no_runs);
+  EXPECT_FALSE(r2.ok);
+
+  FuzzOptions with_record = smoke_options(2, 4);
+  with_record.base.record_trace = "/tmp/never-written.tgtrace";
+  const FuzzResult r3 = run_fuzz(*program, with_record);
+  EXPECT_FALSE(r3.ok);
+  EXPECT_NE(r3.error.find("record/replay"), std::string::npos);
+}
+
+TEST(FuzzSweep, CleanProgramStaysClean) {
+  // A race-free program must produce no reports under any perturbation:
+  // perturbations change the schedule, never the program's semantics.
+  const auto* program = progs::find_program("dep-pipeline");
+  ASSERT_NE(program, nullptr);
+  const FuzzResult result = run_fuzz(*program, smoke_options(4, 8));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.distinct_keys.empty());
+  for (const FuzzRun& run : result.runs) {
+    EXPECT_EQ(run.status, SessionResult::Status::kOk);
+    EXPECT_TRUE(run.report_keys.empty());
+  }
+}
+
+}  // namespace
+}  // namespace tg::tools

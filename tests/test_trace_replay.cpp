@@ -1,0 +1,313 @@
+// Record -> replay differential hardening of the schedule trace subsystem.
+//
+// A recorded run and its replay must agree on everything observable: the
+// schedule event stream (consumed to the last event, no divergence), the
+// findings, and the canonical JSON byte-for-byte. Covered inputs: the full
+// guest-program registry and a sweep of random dependence/taskwait programs
+// at 1/2/4/8 workers, with and without streaming, plus replay under the
+// --max-tree-bytes spill governor. The serializer is hardened separately:
+// exact byte accounting, and rejection of every truncation, bit corruption
+// and wrong-program misuse.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/trace.hpp"
+#include "programs/registry.hpp"
+#include "random_program.hpp"
+#include "tools/session.hpp"
+
+namespace tg::tools {
+namespace {
+
+SessionResult record_run(const rt::GuestProgram& program, int num_threads,
+                         core::ScheduleTrace& trace, bool streaming = true) {
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = num_threads;
+  options.taskgrind.streaming = streaming;
+  options.taskgrind.analysis_threads = 2;
+  options.record_into = &trace;
+  return run_session(program, options);
+}
+
+SessionResult replay_run(const rt::GuestProgram& program,
+                         const core::ScheduleTrace& trace,
+                         bool streaming = true) {
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  // Deliberately NOT copying num_threads/seed: replay must take them from
+  // the trace header.
+  options.taskgrind.streaming = streaming;
+  options.taskgrind.analysis_threads = 2;
+  options.replay_from = &trace;
+  return run_session(program, options);
+}
+
+void expect_replay_identical(const rt::GuestProgram& program,
+                             int num_threads, const std::string& label) {
+  core::ScheduleTrace trace;
+  const SessionResult recorded = record_run(program, num_threads, trace);
+  ASSERT_EQ(recorded.status, SessionResult::Status::kOk) << label;
+  EXPECT_EQ(recorded.schedule_events, trace.events.size()) << label;
+
+  const SessionResult replayed = replay_run(program, trace);
+  ASSERT_EQ(replayed.status, SessionResult::Status::kOk)
+      << label << ": " << replayed.error;
+  // The whole stream was consumed - divergence or shortfall would have
+  // flipped the status to kConfig.
+  EXPECT_EQ(replayed.schedule_events, trace.events.size()) << label;
+
+  const std::string canonical_recorded =
+      session_json(SessionOptions{}, recorded, /*canonical=*/true);
+  const std::string canonical_replayed =
+      session_json(SessionOptions{}, replayed, /*canonical=*/true);
+  EXPECT_EQ(canonical_recorded, canonical_replayed) << label;
+}
+
+TEST(TraceReplay, RegistryPrograms) {
+  for (const rt::GuestProgram& program : progs::all_programs()) {
+    for (int threads : {1, 2, 4, 8}) {
+      expect_replay_identical(
+          program, threads,
+          program.name + " @" + std::to_string(threads) + " workers");
+    }
+  }
+}
+
+TEST(TraceReplay, RandomPrograms) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const progs::RandomProgram spec = progs::RandomProgram::generate(seed);
+    const rt::GuestProgram program = spec.to_guest(seed);
+    for (int threads : {2, 4}) {
+      expect_replay_identical(
+          program, threads,
+          "random seed " + std::to_string(seed) + " @" +
+              std::to_string(threads));
+    }
+  }
+}
+
+// Post-mortem (non-streaming) record/replay: same contract.
+TEST(TraceReplay, PostMortemMode) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  for (int threads : {1, 2, 4, 8}) {
+    core::ScheduleTrace trace;
+    const SessionResult recorded =
+        record_run(*program, threads, trace, /*streaming=*/false);
+    ASSERT_EQ(recorded.status, SessionResult::Status::kOk);
+    const SessionResult replayed =
+        replay_run(*program, trace, /*streaming=*/false);
+    ASSERT_EQ(replayed.status, SessionResult::Status::kOk) << replayed.error;
+    EXPECT_EQ(session_json(SessionOptions{}, recorded, true),
+              session_json(SessionOptions{}, replayed, true));
+  }
+}
+
+// Canonical output is also identical ACROSS analysis modes: record with
+// streaming on, replay the same trace with streaming off (and vice versa) -
+// the analysis mode is a tool knob, not part of the schedule.
+TEST(TraceReplay, AcrossStreamingModes) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  core::ScheduleTrace trace;
+  const SessionResult recorded =
+      record_run(*program, 4, trace, /*streaming=*/true);
+  ASSERT_EQ(recorded.status, SessionResult::Status::kOk);
+  const SessionResult replayed =
+      replay_run(*program, trace, /*streaming=*/false);
+  ASSERT_EQ(replayed.status, SessionResult::Status::kOk) << replayed.error;
+  EXPECT_EQ(session_json(SessionOptions{}, recorded, true),
+            session_json(SessionOptions{}, replayed, true));
+}
+
+// Replaying under the spill governor: bounding analysis memory must not
+// change the schedule or the findings.
+TEST(TraceReplay, UnderMaxTreeBytes) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  core::ScheduleTrace trace;
+  const SessionResult recorded = record_run(*program, 4, trace);
+  ASSERT_EQ(recorded.status, SessionResult::Status::kOk);
+
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.taskgrind.streaming = true;
+  options.taskgrind.analysis_threads = 2;
+  options.taskgrind.max_tree_bytes = 4096;
+  options.replay_from = &trace;
+  const SessionResult replayed = run_session(*program, options);
+  ASSERT_EQ(replayed.status, SessionResult::Status::kOk) << replayed.error;
+  EXPECT_EQ(session_json(SessionOptions{}, recorded, true),
+            session_json(SessionOptions{}, replayed, true));
+}
+
+// A perturbed recording is still a complete witness: the perturbation lands
+// in the trace header and the replay reproduces the perturbed schedule.
+TEST(TraceReplay, PerturbedRecording) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.num_threads = 4;
+  options.perturbation.steal_rotation = 2;
+  options.perturbation.pop_fifo = true;
+  options.perturbation.yield_period = 3;
+  options.perturbation.yield_limit = 16;
+  core::ScheduleTrace trace;
+  options.record_into = &trace;
+  const SessionResult recorded = run_session(*program, options);
+  ASSERT_EQ(recorded.status, SessionResult::Status::kOk);
+  EXPECT_EQ(trace.config.perturb, options.perturbation);
+
+  const SessionResult replayed = replay_run(*program, trace);
+  ASSERT_EQ(replayed.status, SessionResult::Status::kOk) << replayed.error;
+  EXPECT_EQ(session_json(SessionOptions{}, recorded, true),
+            session_json(SessionOptions{}, replayed, true));
+}
+
+// --- serializer hardening -------------------------------------------------
+
+core::ScheduleTrace make_sample_trace() {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  EXPECT_NE(program, nullptr);
+  core::ScheduleTrace trace;
+  const SessionResult recorded = record_run(*program, 2, trace);
+  EXPECT_EQ(recorded.status, SessionResult::Status::kOk);
+  EXPECT_FALSE(trace.events.empty());
+  return trace;
+}
+
+TEST(TraceFormat, ExactBytesAndRoundTrip) {
+  const core::ScheduleTrace trace = make_sample_trace();
+  const std::vector<uint8_t> bytes = trace.serialize();
+  EXPECT_EQ(bytes.size(), trace.serialized_bytes());
+
+  core::ScheduleTrace back;
+  std::string error;
+  ASSERT_TRUE(core::ScheduleTrace::deserialize(bytes, back, &error)) << error;
+  EXPECT_EQ(back.config, trace.config);
+  ASSERT_EQ(back.events.size(), trace.events.size());
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(back.events[i], trace.events[i]) << "event " << i;
+  }
+  // Re-serialization is byte-identical (the format has one encoding).
+  EXPECT_EQ(back.serialize(), bytes);
+}
+
+TEST(TraceFormat, FileRoundTrip) {
+  const core::ScheduleTrace trace = make_sample_trace();
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.tgtrace";
+  std::string error;
+  ASSERT_TRUE(trace.save(path, &error)) << error;
+  core::ScheduleTrace back;
+  ASSERT_TRUE(core::ScheduleTrace::load(path, back, &error)) << error;
+  EXPECT_EQ(back.serialize(), trace.serialize());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(trace.save("/nonexistent-dir/x.tgtrace", &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+  core::ScheduleTrace missing;
+  EXPECT_FALSE(
+      core::ScheduleTrace::load("/nonexistent.tgtrace", missing, &error));
+}
+
+TEST(TraceFormat, EveryTruncationRejected) {
+  const core::ScheduleTrace trace = make_sample_trace();
+  const std::vector<uint8_t> bytes = trace.serialize();
+  for (size_t length = 0; length < bytes.size(); ++length) {
+    core::ScheduleTrace out;
+    std::string error;
+    EXPECT_FALSE(core::ScheduleTrace::deserialize(
+        std::span(bytes.data(), length), out, &error))
+        << "prefix of " << length << " bytes must be rejected";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(TraceFormat, EveryBitCorruptionRejected) {
+  const core::ScheduleTrace trace = make_sample_trace();
+  std::vector<uint8_t> bytes = trace.serialize();
+  // Flip one bit in a spread of positions (every byte would be slow on a
+  // large trace; a fixed stride still covers header, events and checksum).
+  const size_t stride = std::max<size_t>(1, bytes.size() / 256);
+  for (size_t pos = 0; pos < bytes.size(); pos += stride) {
+    bytes[pos] ^= 0x40;
+    core::ScheduleTrace out;
+    std::string error;
+    EXPECT_FALSE(core::ScheduleTrace::deserialize(bytes, out, &error))
+        << "corruption at byte " << pos << " must be rejected";
+    bytes[pos] ^= 0x40;
+  }
+  EXPECT_NE(bytes.size(), 0u);
+}
+
+TEST(TraceFormat, TrailingBytesRejected) {
+  const core::ScheduleTrace trace = make_sample_trace();
+  std::vector<uint8_t> bytes = trace.serialize();
+  bytes.push_back(0);
+  core::ScheduleTrace out;
+  std::string error;
+  EXPECT_FALSE(core::ScheduleTrace::deserialize(bytes, out, &error));
+}
+
+// --- divergence -----------------------------------------------------------
+
+TEST(TraceReplay, TamperedTraceDiverges) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  core::ScheduleTrace trace;
+  ASSERT_EQ(record_run(*program, 2, trace).status,
+            SessionResult::Status::kOk);
+  ASSERT_GT(trace.events.size(), 10u);
+
+  // Corrupt one mid-stream verification payload: replay must flag the exact
+  // event instead of running to completion or crashing.
+  core::ScheduleTrace tampered = trace;
+  tampered.events[10].a += 1;
+  const SessionResult replayed = replay_run(*program, tampered);
+  EXPECT_EQ(replayed.status, SessionResult::Status::kConfig);
+  EXPECT_NE(replayed.error.find("at event"), std::string::npos)
+      << replayed.error;
+
+  // Dropping the tail means the execution outlives the trace.
+  core::ScheduleTrace shortened = trace;
+  shortened.events.resize(trace.events.size() / 2);
+  const SessionResult under = replay_run(*program, shortened);
+  EXPECT_EQ(under.status, SessionResult::Status::kConfig);
+  EXPECT_NE(under.error.find("exhausted"), std::string::npos) << under.error;
+}
+
+TEST(TraceReplay, WrongProgramRejected) {
+  const rt::GuestProgram* recorded_on = progs::find_program("listing4-task");
+  const rt::GuestProgram* other = progs::find_program("cilk-fib");
+  ASSERT_NE(recorded_on, nullptr);
+  ASSERT_NE(other, nullptr);
+  core::ScheduleTrace trace;
+  ASSERT_EQ(record_run(*recorded_on, 2, trace).status,
+            SessionResult::Status::kOk);
+  const SessionResult replayed = replay_run(*other, trace);
+  EXPECT_EQ(replayed.status, SessionResult::Status::kConfig);
+  EXPECT_NE(replayed.error.find("recorded for program"), std::string::npos)
+      << replayed.error;
+}
+
+TEST(TraceReplay, RecordAndReplayMutuallyExclusive) {
+  const rt::GuestProgram* program = progs::find_program("listing4-task");
+  ASSERT_NE(program, nullptr);
+  core::ScheduleTrace trace;
+  ASSERT_EQ(record_run(*program, 2, trace).status,
+            SessionResult::Status::kOk);
+  SessionOptions options;
+  options.tool = ToolKind::kTaskgrind;
+  options.record_into = &trace;
+  options.replay_from = &trace;
+  const SessionResult result = run_session(*program, options);
+  EXPECT_EQ(result.status, SessionResult::Status::kConfig);
+  EXPECT_NE(result.error.find("cannot record and replay"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tg::tools
