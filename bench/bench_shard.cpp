@@ -1,0 +1,181 @@
+// The sharded-analyzer scaling sweep (schema "taskgrind-shard-v1"): the
+// racy mini-LULESH recorded once per worker count {in-process, 1, 2, 4},
+// measuring execution/adjudication overlap, transport volume, the per-shard
+// pair distribution and the enqueue-filter funnel - plus one fault-injected
+// run (--shard-kill-after) proving a SIGKILL'd worker changes nothing.
+//
+// Every entry carries a report identity digest (FNV-1a over the canonical
+// dedup keys); the CI validator asserts it is constant across all entries -
+// the byte-identity acceptance bar, measured rather than assumed.
+//
+// Usage: bench_shard [--s N] [--json FILE]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/segment_stream.hpp"
+#include "lulesh/lulesh.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+#include "tools/session.hpp"
+
+namespace tg::bench {
+namespace {
+
+using tools::SessionOptions;
+using tools::SessionResult;
+using tools::ToolKind;
+
+std::string report_identity(const SessionResult& result) {
+  std::string joined;
+  for (const std::string& key : result.report_keys) {
+    joined += key;
+    joined += '\n';
+  }
+  const uint64_t digest = core::segment_stream_fnv1a(
+      {reinterpret_cast<const uint8_t*>(joined.data()), joined.size()});
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+void emit_entry(JsonWriter& json, const char* mode, int workers,
+                uint32_t kill_after, const SessionResult& result) {
+  const core::AnalysisStats& stats = result.analysis_stats;
+  json.begin_object();
+  json.field("mode", mode);
+  json.field("shard_workers", static_cast<uint64_t>(workers));
+  json.field("shard_kill_after", static_cast<uint64_t>(kill_after));
+  json.field("exec_seconds", result.exec_seconds);
+  json.field("analysis_seconds", result.analysis_seconds);
+  json.field("peak_bytes", result.peak_bytes);
+  // The enqueue-filter funnel: every generated pair is accounted to exactly
+  // one of these bins (deferred = shipped to a scanner / analyzer shard).
+  json.field("pairs_total", stats.pairs_total);
+  json.field("pairs_skipped_bbox", stats.pairs_skipped_bbox);
+  json.field("pairs_region_fast", stats.pairs_region_fast);
+  json.field("pairs_ordered", stats.pairs_ordered);
+  json.field("pairs_mutex", stats.pairs_mutex);
+  json.field("pairs_skipped_fingerprint", stats.pairs_skipped_fingerprint);
+  json.field("pairs_deferred", stats.pairs_deferred);
+  json.field("shard_segments_sent", stats.shard_segments_sent);
+  json.field("shard_bytes_sent", stats.shard_bytes_sent);
+  json.field("shard_deaths", stats.shard_deaths);
+  json.field("shard_pairs_resharded", stats.shard_pairs_resharded);
+  json.field("shard_pairs_local", stats.shard_pairs_local);
+  json.field("shard_degraded", stats.shard_degraded);
+  json.field("enqueue_stalls", stats.enqueue_stalls);
+  json.key("shard_pairs").begin_array();
+  for (const uint64_t count : stats.shard_pairs) json.value(count);
+  json.end_array();
+  json.field("report_count", static_cast<uint64_t>(result.report_count));
+  json.field("raw_report_count",
+             static_cast<uint64_t>(result.raw_report_count));
+  json.field("report_identity", report_identity(result));
+  json.end_object();
+}
+
+int run(int s, const std::string& json_path) {
+  lulesh::LuleshParams params;
+  params.s = s;
+  params.tel = 8;
+  params.tnl = 8;
+  params.iters = 8;
+  params.racy = true;
+  const rt::GuestProgram program = lulesh::make_lulesh(params);
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "taskgrind-shard-v1");
+  json.key("workload").begin_object();
+  json.field("program", "lulesh");
+  json.field("s", static_cast<uint64_t>(params.s));
+  json.field("tel", static_cast<uint64_t>(params.tel));
+  json.field("tnl", static_cast<uint64_t>(params.tnl));
+  json.field("iters", static_cast<uint64_t>(params.iters));
+  json.field("racy", params.racy);
+  json.field("num_threads", static_cast<uint64_t>(1));
+  json.end_object();  // workload
+  json.key("entries").begin_array();
+
+  TextTable table({"backend", "exec (s)", "adjudicate (s)", "deferred",
+                   "shard-pairs", "segments-sent", "bytes-sent", "deaths",
+                   "resharded", "raw reports", "identity"});
+
+  auto run_one = [&](const char* mode, int workers, uint32_t kill_after) {
+    SessionOptions options;
+    options.tool = ToolKind::kTaskgrind;
+    options.num_threads = 1;
+    options.taskgrind.streaming = true;
+    options.taskgrind.analysis_threads = 2;
+    options.taskgrind.shard_workers = workers;
+    options.taskgrind.shard_kill_after = kill_after;
+    const SessionResult result = tools::run_session(program, options);
+    emit_entry(json, mode, workers, kill_after, result);
+
+    const core::AnalysisStats& stats = result.analysis_stats;
+    std::string per_shard;
+    for (size_t i = 0; i < stats.shard_pairs.size(); ++i) {
+      if (i > 0) per_shard += "/";
+      per_shard += std::to_string(stats.shard_pairs[i]);
+    }
+    if (per_shard.empty()) per_shard = "-";
+    table.add_row({mode, format_seconds(result.exec_seconds),
+                   format_seconds(result.analysis_seconds),
+                   std::to_string(stats.pairs_deferred), per_shard,
+                   std::to_string(stats.shard_segments_sent),
+                   std::to_string(stats.shard_bytes_sent),
+                   std::to_string(stats.shard_deaths),
+                   std::to_string(stats.shard_pairs_resharded),
+                   std::to_string(result.raw_report_count),
+                   report_identity(result)});
+  };
+
+  run_one("in-process", 0, 0);
+  run_one("shard-1", 1, 0);
+  run_one("shard-2", 2, 0);
+  run_one("shard-4", 4, 0);
+  // The robustness lane: SIGKILL the worker owning the most pending pairs
+  // once it provably owes outcomes; its lost pairs reshard and the
+  // identity digest must not move.
+  run_one("shard-2-kill", 2, /*kill_after=*/2000);
+
+  json.end_array();
+  json.end_object();
+
+  std::printf(
+      "Sharded analyzer sweep: racy mini-LULESH -s %d -tel %d -tnl %d"
+      " -i %d\n\n%s\n",
+      params.s, params.tel, params.tnl, params.iters,
+      table.render().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json.str() << "\n";
+    std::printf("written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main(int argc, char** argv) {
+  int s = 10;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--s") == 0 && i + 1 < argc) {
+      s = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return tg::bench::run(s, json_path);
+}

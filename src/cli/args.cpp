@@ -1,6 +1,7 @@
 #include "cli/args.hpp"
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
@@ -55,10 +56,55 @@ ParseOutcome fail(std::string message) {
   return outcome;
 }
 
+// --- declarative mode-compatibility table -----------------------------------
+// Every mutually-exclusive flag combination lives here, once: the end-of-
+// parse check walks the pair list and the usage text renders it, so a new
+// mode (or a new exclusion) cannot drift out of sync between the error
+// message and the documentation.
+
+struct Mode {
+  const char* flag;  // as spelled on the command line
+  bool (*active)(const CliOptions&);
+};
+
+enum ModeIndex {
+  kModeRecord,
+  kModeReplay,
+  kModeFuzz,
+  kModeShard,
+  kModePostMortem,
+};
+
+const Mode kModes[] = {
+    {"--record-trace",
+     [](const CliOptions& o) { return !o.session.record_trace.empty(); }},
+    {"--replay-trace",
+     [](const CliOptions& o) { return !o.session.replay_trace.empty(); }},
+    {"--fuzz-schedules", [](const CliOptions& o) { return o.fuzz_runs > 0; }},
+    {"--shard-workers",
+     [](const CliOptions& o) { return o.session.taskgrind.shard_workers > 0; }},
+    {"--post-mortem",
+     [](const CliOptions& o) { return !o.session.taskgrind.streaming; }},
+};
+
+/// Contradictory invocations. Record vs replay is a direction conflict; the
+/// fuzzer owns the schedule (and runs many sessions), so it can neither
+/// honor a fixed trace nor fork an analyzer pool per run; the sharded
+/// backend is a streaming-engine transport, meaningless post-mortem.
+constexpr struct {
+  ModeIndex a;
+  ModeIndex b;
+} kIncompatible[] = {
+    {kModeRecord, kModeReplay},   {kModeFuzz, kModeRecord},
+    {kModeFuzz, kModeReplay},     {kModeShard, kModePostMortem},
+    {kModeShard, kModeFuzz},
+};
+
 }  // namespace
 
 const char* usage_text() {
-  return
+  static const std::string text = [] {
+    std::string s =
       "usage: taskgrind [options] <program> | lulesh [lulesh options]\n"
       "\n"
       "options:\n"
@@ -76,6 +122,18 @@ const char* usage_text() {
       "                         default unlimited; streaming only)\n"
       "  --spill-dir=PATH       directory for the spill archive (default: a\n"
       "                         session temp dir, removed on exit)\n"
+      "  --shard-workers=N      fork N analyzer worker processes and stream\n"
+      "                         closed segments + scan requests to them over\n"
+      "                         the segment-stream-v1 wire schema, sharding\n"
+      "                         pairs by fingerprint page-hash (0 = scan\n"
+      "                         in-process; findings identical either way)\n"
+      "  --shard-inflight-bytes=N  per-worker transport backpressure bound\n"
+      "                         (K/M/G suffixes ok; default 4M)\n"
+      "  --shard-kill-after=N   fault injection: SIGKILL an analyzer worker\n"
+      "                         after N submitted pairs (testing only)\n"
+      "  --suppress=FILE        load suppression rules (stack | tls |\n"
+      "                         src:GLOB[:LINE] | addr:LO-HI; '#' comments)\n"
+      "                         on top of the built-in gauntlet\n"
       "  --json=FILE            write machine-readable session results\n"
       "  --json-canonical=FILE  write the canonical (run-invariant) session\n"
       "                         JSON; byte-identical across record/replay\n"
@@ -99,6 +157,14 @@ const char* usage_text() {
       "  --parallelism          print the work/span profile (taskgrind)\n"
       "\n"
       "lulesh options: -s N  -tel N  -tnl N  -i N  -p  --racy\n";
+    s += "\nincompatible mode combinations:\n";
+    for (const auto& pair : kIncompatible) {
+      s += std::string("  ") + kModes[pair.a].flag + " x " +
+           kModes[pair.b].flag + "\n";
+    }
+    return s;
+  }();
+  return text.c_str();
 }
 
 ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
@@ -160,6 +226,34 @@ ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
       out.session.taskgrind.spill_dir = value("--spill-dir=");
       if (out.session.taskgrind.spill_dir.empty()) {
         return fail("--spill-dir needs a path");
+      }
+    } else if (arg.rfind("--shard-workers=", 0) == 0) {
+      uint64_t workers = 0;
+      if (!parse_u64(value("--shard-workers="), workers) || workers > 64) {
+        return fail("invalid value for --shard-workers (0-64): '" +
+                    std::string(value("--shard-workers=")) + "'");
+      }
+      out.session.taskgrind.shard_workers = static_cast<int>(workers);
+    } else if (arg.rfind("--shard-inflight-bytes=", 0) == 0) {
+      uint64_t bytes = 0;
+      if (!parse_bytes(value("--shard-inflight-bytes="), bytes) ||
+          bytes == 0) {
+        return fail("invalid value for --shard-inflight-bytes: '" +
+                    std::string(value("--shard-inflight-bytes=")) + "'");
+      }
+      out.session.taskgrind.shard_inflight_bytes = bytes;
+    } else if (arg.rfind("--shard-kill-after=", 0) == 0) {
+      uint64_t after = 0;
+      if (!parse_u64(value("--shard-kill-after="), after) ||
+          after > UINT32_MAX) {
+        return fail("invalid value for --shard-kill-after: '" +
+                    std::string(value("--shard-kill-after=")) + "'");
+      }
+      out.session.taskgrind.shard_kill_after = static_cast<uint32_t>(after);
+    } else if (arg.rfind("--suppress=", 0) == 0) {
+      out.session.taskgrind.suppress_file = value("--suppress=");
+      if (out.session.taskgrind.suppress_file.empty()) {
+        return fail("--suppress needs a file path");
       }
     } else if (arg.rfind("--json=", 0) == 0) {
       out.json_path = value("--json=");
@@ -239,15 +333,14 @@ ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
     }
   }
   // Mode exclusions are parse errors, not session errors: the combinations
-  // are contradictory invocations, so they get usage text and exit 1.
-  if (!out.session.record_trace.empty() &&
-      !out.session.replay_trace.empty()) {
-    return fail("cannot combine --record-trace with --replay-trace");
-  }
-  if (out.fuzz_runs > 0 && (!out.session.record_trace.empty() ||
-                            !out.session.replay_trace.empty())) {
-    return fail("cannot combine --fuzz-schedules with --record-trace or "
-                "--replay-trace");
+  // are contradictory invocations, so they get usage text and exit 1. The
+  // table above is the single source of truth - the same pairs render in
+  // the usage text.
+  for (const auto& pair : kIncompatible) {
+    if (kModes[pair.a].active(out) && kModes[pair.b].active(out)) {
+      return fail(std::string("cannot combine ") + kModes[pair.a].flag +
+                  " with " + kModes[pair.b].flag);
+    }
   }
   return {};
 }

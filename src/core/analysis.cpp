@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "core/suppress.hpp"
 #include "support/accounting.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
@@ -96,18 +97,27 @@ void fill_endpoint(RaceEndpoint& e, const Segment& segment,
   e.is_write = is_write;
 }
 
-/// Algorithm 1 line 4: s1.w vs (s2.r U s2.w), one direction.
+/// Algorithm 1 line 4: s1.w vs (s2.r U s2.w), one direction. The §IV
+/// gauntlet is driven by the suppression rule set (core/suppress): callers
+/// without an explicit set get the built-in set matching their flags, so
+/// the historical semantics are unchanged; --suppress=FILE rules run after
+/// the built-ins and count into suppressed_user.
 void conflicts_one_way(const Segment& s1, const Segment& s2,
                        const vex::Program& program,
                        const AllocRegistry* allocs,
                        const AnalysisOptions& options, AnalysisStats& stats,
                        std::vector<RaceReport>& reports) {
+  const SuppressionSet& sup =
+      options.suppressions != nullptr
+          ? *options.suppressions
+          : SuppressionSet::builtin(options.suppress_stack,
+                                    options.suppress_tls);
   auto handle = [&](const IntervalSet& other, bool other_writes) {
     s1.writes.for_each_overlap(
         other, [&](const IntervalSet::Overlap& overlap) {
           stats.raw_conflicts++;
           // §IV-D: segment-local stack reuse.
-          if (options.suppress_stack &&
+          if (sup.stack_enabled() &&
               in_stack_area(s1, overlap.lo, overlap.hi) &&
               in_segment_local_stack(s1, overlap.lo, overlap.hi) &&
               in_segment_local_stack(s2, overlap.lo, overlap.hi)) {
@@ -118,11 +128,18 @@ void conflicts_one_way(const Segment& s1, const Segment& s2,
           // (re)allocated while either segment ran invalidates the
           // end-of-segment snapshot (earlier accesses may have landed in
           // the old blocks), so such segments are never suppressed.
-          if (options.suppress_tls && s1.tid == s2.tid &&
+          if (sup.tls_enabled() && s1.tid == s2.tid &&
               s1.tcb == s2.tcb && s1.dtv_at_end == s2.dtv_at_end &&
               !s1.dtv_changed_during && !s2.dtv_changed_during &&
               in_dtv_blocks(s1, program, overlap.lo, overlap.hi)) {
             stats.suppressed_tls++;
+            return;
+          }
+          // User rules from --suppress=FILE.
+          if (!sup.user_rules().empty() &&
+              sup.matches_user(program, s1, s2, overlap.lo, overlap.hi,
+                               overlap.this_loc, overlap.other_loc)) {
+            stats.suppressed_user++;
             return;
           }
           RaceReport report;
@@ -283,6 +300,7 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
     result.stats.raw_conflicts += worker.stats.raw_conflicts;
     result.stats.suppressed_stack += worker.stats.suppressed_stack;
     result.stats.suppressed_tls += worker.stats.suppressed_tls;
+    result.stats.suppressed_user += worker.stats.suppressed_user;
     result.reports.insert(result.reports.end(), worker.reports.begin(),
                           worker.reports.end());
   }

@@ -20,9 +20,18 @@
 
 namespace tg::core {
 
+class SuppressionSet;
+
 struct AnalysisOptions {
   bool suppress_stack = true;   // paper §IV-D
   bool suppress_tls = true;     // paper §IV-C
+  /// Full suppression rule set (core/suppress). When null, the two flags
+  /// above select the equivalent built-in set - the historical semantics.
+  /// When set, it overrides the flags entirely (the caller is expected to
+  /// have folded them in, as TaskgrindTool does) and may add user rules
+  /// loaded from --suppress=FILE. The set must outlive the analysis, and in
+  /// shard mode must be constructed before the analyzer pool forks.
+  const SuppressionSet* suppressions = nullptr;
   bool respect_mutexes = true;  // mutexinoutset exclusion
   bool use_region_fast_path = true;  // Eq. 1
   /// Bucket active segments by their address bounding box so pairs with
@@ -48,6 +57,16 @@ struct AnalysisOptions {
   uint64_t max_tree_bytes = 0;
   /// Directory for the spill archive; empty = a session temp directory.
   std::string spill_dir;
+  /// Sharded analyzer backend (streaming engine only): number of analyzer
+  /// worker processes to fork. 0 = in-process scan threads (historical
+  /// behavior). Findings are byte-identical either way by construction.
+  int shard_workers = 0;
+  /// Transport backpressure: ceiling on bytes buffered towards one analyzer
+  /// worker before the producer stalls (surfaced as enqueue_stalls).
+  uint64_t shard_inflight_bytes = 4ull << 20;
+  /// Fault-injection test hook: after this many submitted pair requests,
+  /// SIGKILL the worker owning the most provably-unanswered pairs. 0 = off.
+  uint32_t shard_kill_after = 0;
 };
 
 struct AnalysisStats {
@@ -60,6 +79,7 @@ struct AnalysisStats {
   uint64_t raw_conflicts = 0;        // overlaps before suppression/dedup
   uint64_t suppressed_stack = 0;
   uint64_t suppressed_tls = 0;
+  uint64_t suppressed_user = 0;      // muted by --suppress=FILE rules
   uint64_t segments_active = 0;      // task segments that touched memory
   uint64_t index_bytes = 0;          // timestamp order-maintenance index
   uint64_t oracle_bytes = 0;         // ancestor bitsets (0 unless enabled)
@@ -77,6 +97,15 @@ struct AnalysisStats {
   uint64_t spill_reloads_avoided = 0;  // spilled-partner pairs settled by fp
   uint64_t enqueue_stalls = 0;       // builder waits for scans to unpin
   uint64_t fingerprint_bytes = 0;    // run-directory high-water mark
+  // Sharded analyzer backend counters (zero unless shard_workers > 0).
+  uint64_t shard_workers = 0;          // analyzer processes that started
+  uint64_t shard_segments_sent = 0;    // segment images shipped (+ resends)
+  uint64_t shard_bytes_sent = 0;       // framed bytes onto the transport
+  uint64_t shard_deaths = 0;           // workers that died mid-session
+  uint64_t shard_pairs_resharded = 0;  // pairs reassigned after a death
+  uint64_t shard_pairs_local = 0;      // pairs degraded to guest-side scans
+  bool shard_degraded = false;         // pool lost -> in-process fallback
+  std::vector<uint64_t> shard_pairs;   // pairs assigned per shard
   bool streamed = false;             // produced by the streaming engine
   double seconds = 0;                // post-execution adjudication time
 };

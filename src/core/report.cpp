@@ -92,6 +92,18 @@ std::string stats_summary(const AnalysisStats& stats) {
           << " reloads-avoided=" << stats.spill_reloads_avoided
           << " stalls=" << stats.enqueue_stalls;
     }
+    if (stats.shard_workers > 0 || stats.shard_degraded) {
+      out << " shards=" << stats.shard_workers
+          << " shard-segments=" << stats.shard_segments_sent
+          << " shard-bytes=" << stats.shard_bytes_sent
+          << " shard-deaths=" << stats.shard_deaths
+          << " resharded=" << stats.shard_pairs_resharded
+          << " shard-local=" << stats.shard_pairs_local;
+      if (stats.shard_degraded) out << " shard-degraded";
+    }
+  }
+  if (stats.suppressed_user > 0) {
+    out << " suppressed-user=" << stats.suppressed_user;
   }
   return out.str();
 }

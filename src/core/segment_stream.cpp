@@ -1,0 +1,384 @@
+#include "core/segment_stream.hpp"
+
+#include <cstring>
+
+namespace tg::core {
+
+namespace {
+
+// Counts inside decoded images are sanity-capped so a corrupt length field
+// fails the parse instead of sizing a giant vector.
+constexpr uint32_t kMaxWireList = 1u << 20;
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(uint8_t(v >> (8 * i)));
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(uint8_t(v >> (8 * i)));
+}
+
+void put_string(std::vector<uint8_t>& out, const std::string& s) {
+  put_u32(out, uint32_t(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked little-endian reader (the TGTRACE1 idiom).
+struct Reader {
+  std::span<const uint8_t> bytes;
+  size_t pos = 0;
+  bool truncated = false;
+
+  bool take(void* out, size_t n) {
+    if (bytes.size() - pos < n) {
+      truncated = true;
+      return false;
+    }
+    std::memcpy(out, bytes.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  uint8_t u8() {
+    uint8_t v = 0;
+    take(&v, 1);
+    return v;
+  }
+  uint32_t u32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(u8()) << (8 * i);
+    return v;
+  }
+  uint64_t u64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(u8()) << (8 * i);
+    return v;
+  }
+  bool string(std::string& out) {
+    const uint32_t n = u32();
+    if (truncated || n > kMaxWireList) return false;
+    if (bytes.size() - pos < n) {
+      truncated = true;
+      return false;
+    }
+    out.assign(reinterpret_cast<const char*>(bytes.data() + pos), n);
+    pos += n;
+    return true;
+  }
+};
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = "segment stream: " + message;
+  return false;
+}
+
+bool decode_endpoint(Reader& r, WireEndpoint& out, std::string* error) {
+  out.task_id = r.u64();
+  out.segment_id = r.u32();
+  out.tid = int32_t(r.u32());
+  out.line = r.u32();
+  out.is_write = r.u8();
+  if (!r.string(out.file)) return fail(error, "truncated report endpoint");
+  if (out.is_write > 1) return fail(error, "bad endpoint is_write flag");
+  return true;
+}
+
+void encode_endpoint(std::vector<uint8_t>& out, const WireEndpoint& e) {
+  put_u64(out, e.task_id);
+  put_u32(out, e.segment_id);
+  put_u32(out, uint32_t(e.tid));
+  put_u32(out, e.line);
+  out.push_back(e.is_write);
+  put_string(out, e.file);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kSegment: return "segment";
+    case FrameType::kArenas: return "arenas";
+    case FrameType::kPair: return "pair";
+    case FrameType::kOutcome: return "outcome";
+    case FrameType::kFinish: return "finish";
+    case FrameType::kBye: return "bye";
+  }
+  return "?";
+}
+
+uint64_t segment_stream_fnv1a(std::span<const uint8_t> bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void append_stream_header(std::vector<uint8_t>& out) {
+  out.insert(out.end(), kSegmentStreamMagic, kSegmentStreamMagic + 8);
+  put_u32(out, kSegmentStreamVersion);
+  put_u32(out, 0);  // reserved
+}
+
+void append_frame(std::vector<uint8_t>& out, FrameType type, uint32_t id,
+                  std::span<const uint8_t> payload) {
+  put_u32(out, uint32_t(type));
+  put_u32(out, id);
+  put_u64(out, payload.size());
+  put_u64(out, segment_stream_fnv1a(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void FrameDecoder::append(const uint8_t* data, size_t size) {
+  // Compact the consumed prefix before it dominates the buffer.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + ptrdiff_t(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+FrameDecoder::Status FrameDecoder::fail(const std::string& message) {
+  failed_ = true;
+  error_ = "segment stream: " + message;
+  return Status::kError;
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (failed_) return Status::kError;
+  if (!header_done_) {
+    if (buf_.size() - pos_ < kStreamHeaderBytes) return Status::kNeedMore;
+    if (std::memcmp(buf_.data() + pos_, kSegmentStreamMagic, 8) != 0) {
+      return fail("bad magic (not a TGSEGS1 stream)");
+    }
+    Reader r{std::span(buf_).subspan(pos_ + 8)};
+    const uint32_t version = r.u32();
+    if (version != kSegmentStreamVersion) {
+      return fail("unsupported version " + std::to_string(version));
+    }
+    pos_ += kStreamHeaderBytes;
+    header_done_ = true;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return Status::kNeedMore;
+  Reader r{std::span(buf_).subspan(pos_)};
+  const uint32_t type = r.u32();
+  const uint32_t id = r.u32();
+  const uint64_t len = r.u64();
+  const uint64_t checksum = r.u64();
+  if (type < uint32_t(FrameType::kSegment) ||
+      type > uint32_t(FrameType::kBye)) {
+    return fail("unknown frame type " + std::to_string(type));
+  }
+  if (len > kMaxFramePayload) {
+    return fail("oversized frame payload (" + std::to_string(len) +
+                " bytes)");
+  }
+  if (buf_.size() - pos_ - kFrameHeaderBytes < len) return Status::kNeedMore;
+  const std::span<const uint8_t> payload =
+      std::span(buf_).subspan(pos_ + kFrameHeaderBytes, size_t(len));
+  if (segment_stream_fnv1a(payload) != checksum) {
+    return fail("frame checksum mismatch (" +
+                std::string(frame_type_name(FrameType(type))) + " frame, id " +
+                std::to_string(id) + ")");
+  }
+  out.type = FrameType(type);
+  out.id = id;
+  out.payload.assign(payload.begin(), payload.end());
+  pos_ += kFrameHeaderBytes + size_t(len);
+  return Status::kFrame;
+}
+
+// --- segment images ---------------------------------------------------------
+
+void encode_segment_arenas(const Segment& segment, std::vector<uint8_t>& out) {
+  segment.fp_reads.serialize(out);
+  segment.fp_writes.serialize(out);
+  segment.reads.serialize(out);
+  segment.writes.serialize(out);
+}
+
+namespace {
+
+/// Shared arena-image parser. When `restore_fingerprints` is set the
+/// archived fingerprints are loaded into the segment (the shard worker
+/// path); otherwise they are validated and discarded (the spill-reload
+/// path, where the resident fingerprints stay authoritative).
+size_t decode_arenas_impl(const uint8_t* data, size_t size, Segment& segment,
+                          bool restore_fingerprints) {
+  size_t pos = 0;
+  for (AccessFingerprint* fp : {&segment.fp_reads, &segment.fp_writes}) {
+    AccessFingerprint scratch;
+    AccessFingerprint& target = restore_fingerprints ? *fp : scratch;
+    const size_t used = target.deserialize(data + pos, size - pos);
+    if (used == 0) return 0;
+    pos += used;
+  }
+  for (IntervalSet* set : {&segment.reads, &segment.writes}) {
+    const size_t used = set->deserialize(data + pos, size - pos);
+    if (used == 0) return 0;
+    pos += used;
+  }
+  return pos;
+}
+
+}  // namespace
+
+size_t decode_segment_arenas(const uint8_t* data, size_t size,
+                             Segment& segment) {
+  return decode_arenas_impl(data, size, segment, false);
+}
+
+void encode_segment_meta(const Segment& segment, std::vector<uint8_t>& out) {
+  put_u32(out, segment.id);
+  out.push_back(uint8_t(segment.kind));
+  put_u64(out, segment.task_id);
+  put_u32(out, segment.seq_in_task);
+  put_u32(out, uint32_t(segment.tid));
+  put_u64(out, segment.region_id);
+  put_u32(out, segment.first_access_loc.file);
+  put_u32(out, segment.first_access_loc.line);
+  put_u64(out, segment.sp_at_start);
+  put_u64(out, segment.stack_base);
+  put_u64(out, segment.stack_limit);
+  put_u64(out, segment.tcb);
+  put_u64(out, segment.dtv_at_end.gen);
+  put_u32(out, uint32_t(segment.dtv_at_end.blocks.size()));
+  for (uint64_t block : segment.dtv_at_end.blocks) put_u64(out, block);
+  out.push_back(segment.dtv_changed_during ? 1 : 0);
+  put_u32(out, uint32_t(segment.mutexes.size()));
+  for (uint64_t mutex : segment.mutexes) put_u64(out, mutex);
+}
+
+void encode_segment(const Segment& segment, std::vector<uint8_t>& out) {
+  encode_segment_meta(segment, out);
+  encode_segment_arenas(segment, out);
+}
+
+bool decode_segment(std::span<const uint8_t> payload, Segment& out,
+                    std::string* error) {
+  Reader r{payload};
+  out.id = r.u32();
+  const uint8_t kind = r.u8();
+  if (kind > uint8_t(SegKind::kJoin)) {
+    return fail(error, "bad segment kind " + std::to_string(kind));
+  }
+  out.kind = SegKind(kind);
+  out.task_id = r.u64();
+  out.seq_in_task = r.u32();
+  out.tid = int(int32_t(r.u32()));
+  out.region_id = r.u64();
+  out.first_access_loc.file = r.u32();
+  out.first_access_loc.line = r.u32();
+  out.sp_at_start = r.u64();
+  out.stack_base = r.u64();
+  out.stack_limit = r.u64();
+  out.tcb = r.u64();
+  out.dtv_at_end.gen = r.u64();
+  const uint32_t dtv_blocks = r.u32();
+  if (r.truncated || dtv_blocks > kMaxWireList) {
+    return fail(error, "bad segment image (dtv block count)");
+  }
+  out.dtv_at_end.blocks.clear();
+  out.dtv_at_end.blocks.reserve(dtv_blocks);
+  for (uint32_t i = 0; i < dtv_blocks; ++i) {
+    out.dtv_at_end.blocks.push_back(r.u64());
+  }
+  out.dtv_changed_during = r.u8() != 0;
+  const uint32_t mutexes = r.u32();
+  if (r.truncated || mutexes > kMaxWireList) {
+    return fail(error, "bad segment image (mutex count)");
+  }
+  out.mutexes.clear();
+  out.mutexes.reserve(mutexes);
+  for (uint32_t i = 0; i < mutexes; ++i) out.mutexes.push_back(r.u64());
+  if (r.truncated) return fail(error, "truncated segment metadata");
+  const size_t used = decode_arenas_impl(payload.data() + r.pos,
+                                         payload.size() - r.pos, out, true);
+  if (used == 0) return fail(error, "malformed segment arena image");
+  if (r.pos + used != payload.size()) {
+    return fail(error, "trailing bytes after segment image");
+  }
+  return true;
+}
+
+// --- pair / outcome / bye payloads ------------------------------------------
+
+void encode_pair(const WirePair& pair, std::vector<uint8_t>& out) {
+  put_u32(out, pair.a);
+  put_u32(out, pair.b);
+}
+
+bool decode_pair(std::span<const uint8_t> payload, WirePair& out,
+                 std::string* error) {
+  Reader r{payload};
+  out.a = r.u32();
+  out.b = r.u32();
+  if (r.truncated) return fail(error, "truncated pair request");
+  if (r.pos != payload.size()) {
+    return fail(error, "trailing bytes after pair request");
+  }
+  return true;
+}
+
+void encode_outcome(const WireOutcome& outcome, std::vector<uint8_t>& out) {
+  put_u32(out, outcome.a);
+  put_u32(out, outcome.b);
+  put_u64(out, outcome.raw_conflicts);
+  put_u64(out, outcome.suppressed_stack);
+  put_u64(out, outcome.suppressed_tls);
+  put_u64(out, outcome.suppressed_user);
+  put_u32(out, uint32_t(outcome.reports.size()));
+  for (const WireReport& report : outcome.reports) {
+    put_u64(out, report.lo);
+    put_u64(out, report.hi);
+    encode_endpoint(out, report.first);
+    encode_endpoint(out, report.second);
+  }
+}
+
+bool decode_outcome(std::span<const uint8_t> payload, WireOutcome& out,
+                    std::string* error) {
+  Reader r{payload};
+  out.a = r.u32();
+  out.b = r.u32();
+  out.raw_conflicts = r.u64();
+  out.suppressed_stack = r.u64();
+  out.suppressed_tls = r.u64();
+  out.suppressed_user = r.u64();
+  const uint32_t count = r.u32();
+  if (r.truncated || count > kMaxWireList) {
+    return fail(error, "bad outcome (report count)");
+  }
+  out.reports.clear();
+  out.reports.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireReport report;
+    report.lo = r.u64();
+    report.hi = r.u64();
+    if (!decode_endpoint(r, report.first, error)) return false;
+    if (!decode_endpoint(r, report.second, error)) return false;
+    out.reports.push_back(std::move(report));
+  }
+  if (r.truncated) return fail(error, "truncated outcome");
+  if (r.pos != payload.size()) {
+    return fail(error, "trailing bytes after outcome");
+  }
+  return true;
+}
+
+void encode_bye(const WireBye& bye, std::vector<uint8_t>& out) {
+  put_u64(out, bye.pairs_scanned);
+  put_u64(out, bye.segments_received);
+}
+
+bool decode_bye(std::span<const uint8_t> payload, WireBye& out,
+                std::string* error) {
+  Reader r{payload};
+  out.pairs_scanned = r.u64();
+  out.segments_received = r.u64();
+  if (r.truncated) return fail(error, "truncated bye");
+  if (r.pos != payload.size()) return fail(error, "trailing bytes after bye");
+  return true;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,181 @@
+// The `segment-stream-v1` wire schema - closed segments as a versioned,
+// checksummed byte stream (DESIGN.md §11).
+//
+// PR 4 made a closed segment's analysis payload self-contained on disk
+// ([fp_r][fp_w][reads][writes] spill records); this header promotes that
+// format into the one wire schema shared verbatim by
+//
+//   * the spill archive (core/spill): every record is one kArenas frame,
+//     so a corrupt or truncated archive is rejected with a message instead
+//     of being deserialized into garbage;
+//   * the shard transport (core/shard): the guest-side producer streams
+//     kSegment frames (metadata + arenas) and kPair scan requests to
+//     analyzer worker processes, which answer with kOutcome frames;
+//   * future remote analyzers (the ROADMAP's record-then-analyze split):
+//     the stream is position-independent and fully self-describing.
+//
+// Layout (all integers little-endian, like TGTRACE1):
+//
+//   stream header:  8-byte magic "TGSEGS1\0" + u32 version + u32 reserved
+//   frame:          u32 type | u32 id | u64 payload_len | u64 fnv1a-64 of
+//                   the payload | payload bytes
+//
+// Every decode path is strict: short buffers, bad magic/version, unknown
+// frame types, oversized lengths and checksum mismatches all fail with a
+// specific message and never read past the buffer. Findings depend on these
+// bytes, so "reject loudly" beats "best effort" everywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/segment_graph.hpp"
+
+namespace tg::core {
+
+inline constexpr char kSegmentStreamMagic[8] = {'T', 'G', 'S', 'E',
+                                                'G', 'S', '1', '\0'};
+inline constexpr uint32_t kSegmentStreamVersion = 1;
+inline constexpr size_t kStreamHeaderBytes = 8 + 4 + 4;
+inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 8 + 8;
+/// Frames larger than this are rejected as corrupt before any allocation -
+/// a flipped length byte must not become a 2^60-byte resize.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 32;
+
+enum class FrameType : uint32_t {
+  kSegment = 1,  // full closed-segment image (metadata + arenas); id = seg
+  kArenas = 2,   // arenas-only image (the spill-archive record); id = seg
+  kPair = 3,     // scan request {u32 a, u32 b}; id = pair sequence number
+  kOutcome = 4,  // scan result (see WireOutcome); id = pair sequence number
+  kFinish = 5,   // producer -> worker: input exhausted, flush and say bye
+  kBye = 6,      // worker -> producer: final per-shard stats, then exit
+};
+
+const char* frame_type_name(FrameType type);
+
+uint64_t segment_stream_fnv1a(std::span<const uint8_t> bytes);
+
+/// One parsed frame. The payload is a copy (the decoder's buffer compacts).
+struct Frame {
+  FrameType type = FrameType::kSegment;
+  uint32_t id = 0;
+  std::vector<uint8_t> payload;
+};
+
+void append_stream_header(std::vector<uint8_t>& out);
+void append_frame(std::vector<uint8_t>& out, FrameType type, uint32_t id,
+                  std::span<const uint8_t> payload);
+
+/// Incremental stream parser for transports that deliver arbitrary chunks
+/// (socket reads). Feed bytes with append(), pop frames with next(). The
+/// stream header is verified once, before the first frame. kError is
+/// sticky: a corrupt stream yields no further frames.
+class FrameDecoder {
+ public:
+  enum class Status { kNeedMore, kFrame, kError };
+
+  void append(const uint8_t* data, size_t size);
+  /// Pops the next complete frame into `out`. On kError, `error()` holds a
+  /// specific message (bad magic, bad checksum, oversized frame, ...).
+  Status next(Frame& out);
+  const std::string& error() const { return error_; }
+
+ private:
+  Status fail(const std::string& message);
+
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  // consumed prefix, compacted opportunistically
+  bool header_done_ = false;
+  bool failed_ = false;
+  std::string error_;
+};
+
+// --- segment images ---------------------------------------------------------
+
+/// The arenas-only image: [fp_reads][fp_writes][reads][writes] - exactly the
+/// PR 4 spill-record payload. decode returns bytes consumed, or 0 on a
+/// malformed image (the segment's trees are left empty). The archived
+/// fingerprint copies are validated and discarded; the segment's resident
+/// fingerprints stay authoritative, matching the spill reload semantics.
+void encode_segment_arenas(const Segment& segment, std::vector<uint8_t>& out);
+size_t decode_segment_arenas(const uint8_t* data, size_t size,
+                             Segment& segment);
+
+/// The metadata prefix of a full kSegment image: identity, ordering
+/// certificate inputs (task/seq/region for Eq. 1 bookkeeping) and the §IV
+/// suppression inputs (stack window, TCB/DTV snapshot, mutex set). Composing
+/// `meta + arenas` is exactly encode_segment() - the spill archive's record
+/// payload is the verbatim tail of the wire image, which is what lets a
+/// producer ship an already-spilled segment without reloading its trees.
+void encode_segment_meta(const Segment& segment, std::vector<uint8_t>& out);
+
+/// Full closed-segment image (metadata + arenas), the kSegment payload.
+void encode_segment(const Segment& segment, std::vector<uint8_t>& out);
+
+/// Rebuilds a Segment from a kSegment payload, fingerprints included.
+/// Strict; false leaves `out` unspecified and sets *error.
+bool decode_segment(std::span<const uint8_t> payload, Segment& out,
+                    std::string* error);
+
+// --- pair / outcome / bye payloads ------------------------------------------
+
+struct WirePair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+/// One race-report endpoint in transit. The file name crosses as a string
+/// (RaceEndpoint holds a const char* into the guest Program's debug info,
+/// which means nothing in another process); the coordinator re-interns it,
+/// and every comparison downstream (sort, dedup, rendering) is
+/// content-based, so findings stay byte-identical.
+struct WireEndpoint {
+  uint64_t task_id = UINT64_MAX;
+  uint32_t segment_id = 0;
+  int32_t tid = -1;
+  uint32_t line = 0;
+  uint8_t is_write = 0;
+  std::string file;
+};
+
+struct WireReport {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  WireEndpoint first;
+  WireEndpoint second;
+};
+
+/// One scanned pair's result. Zero-conflict outcomes are sent too - the
+/// coordinator tracks pair completion by outcome, which is what makes a
+/// SIGKILL'd worker's lost pairs exactly re-scannable (no double counting,
+/// no holes).
+struct WireOutcome {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint64_t raw_conflicts = 0;
+  uint64_t suppressed_stack = 0;
+  uint64_t suppressed_tls = 0;
+  uint64_t suppressed_user = 0;
+  std::vector<WireReport> reports;
+};
+
+struct WireBye {
+  uint64_t pairs_scanned = 0;
+  uint64_t segments_received = 0;
+};
+
+void encode_pair(const WirePair& pair, std::vector<uint8_t>& out);
+bool decode_pair(std::span<const uint8_t> payload, WirePair& out,
+                 std::string* error);
+
+void encode_outcome(const WireOutcome& outcome, std::vector<uint8_t>& out);
+bool decode_outcome(std::span<const uint8_t> payload, WireOutcome& out,
+                    std::string* error);
+
+void encode_bye(const WireBye& bye, std::vector<uint8_t>& out);
+bool decode_bye(std::span<const uint8_t> payload, WireBye& out,
+                std::string* error);
+
+}  // namespace tg::core

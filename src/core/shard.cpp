@@ -1,0 +1,597 @@
+#include "core/shard.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace tg::core {
+
+namespace {
+
+constexpr size_t kIoChunk = 64u << 10;
+constexpr int kFinishPollTimeoutMs = 30'000;  // wedge guard, not a deadline
+
+[[noreturn]] void worker_fatal(const std::string& message) {
+  std::fprintf(stderr, "taskgrind shard worker: %s\n", message.c_str());
+  ::_exit(1);
+}
+
+/// Blocking full flush of `out` onto `fd`; exits the worker on a dead peer
+/// (the producer treats the resulting EOF as a death and recovers).
+void worker_flush(int fd, std::vector<uint8_t>& out) {
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + pos, out.size() - pos, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::_exit(1);
+    }
+    pos += static_cast<size_t>(n);
+  }
+  out.clear();
+}
+
+void wire_endpoint_from(WireEndpoint& wire, const RaceEndpoint& e) {
+  wire.task_id = e.task_id;
+  wire.segment_id = e.segment_id;
+  wire.tid = e.tid;
+  wire.line = e.line;
+  wire.is_write = e.is_write ? 1 : 0;
+  wire.file = e.file != nullptr ? e.file : "?";
+}
+
+}  // namespace
+
+void run_shard_worker(int fd, const vex::Program& program,
+                      const AnalysisOptions& options) {
+  FrameDecoder decoder;
+  std::unordered_map<uint32_t, std::unique_ptr<Segment>> segments;
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> payload;
+  append_stream_header(out);
+  WireBye bye;
+  uint8_t buf[kIoChunk];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::_exit(1);
+    }
+    if (n == 0) ::_exit(1);  // producer vanished mid-stream
+    decoder.append(buf, static_cast<size_t>(n));
+    Frame frame;
+    for (;;) {
+      const FrameDecoder::Status status = decoder.next(frame);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) worker_fatal(decoder.error());
+      switch (frame.type) {
+        case FrameType::kSegment: {
+          auto segment = std::make_unique<Segment>();
+          std::string error;
+          if (!decode_segment(std::span(frame.payload), *segment, &error)) {
+            worker_fatal(error);
+          }
+          if (segment->id != frame.id) {
+            worker_fatal("segment frame id mismatch");
+          }
+          segments[frame.id] = std::move(segment);
+          bye.segments_received++;
+          break;
+        }
+        case FrameType::kPair: {
+          WirePair pair;
+          std::string error;
+          if (!decode_pair(std::span(frame.payload), pair, &error)) {
+            worker_fatal(error);
+          }
+          const auto a = segments.find(pair.a);
+          const auto b = segments.find(pair.b);
+          if (a == segments.end() || b == segments.end()) {
+            worker_fatal("pair request precedes its segment images");
+          }
+          // The identical scan the in-process workers run, over
+          // byte-identical segment images; provenance resolution waits for
+          // the coordinator, exactly like local batch scans.
+          AnalysisStats stats;
+          std::vector<RaceReport> reports;
+          scan_pair_conflicts(*a->second, *b->second, program, nullptr,
+                              options, stats, reports);
+          WireOutcome outcome;
+          outcome.a = pair.a;
+          outcome.b = pair.b;
+          outcome.raw_conflicts = stats.raw_conflicts;
+          outcome.suppressed_stack = stats.suppressed_stack;
+          outcome.suppressed_tls = stats.suppressed_tls;
+          outcome.suppressed_user = stats.suppressed_user;
+          outcome.reports.reserve(reports.size());
+          for (const RaceReport& report : reports) {
+            WireReport wire;
+            wire.lo = report.lo;
+            wire.hi = report.hi;
+            wire_endpoint_from(wire.first, report.first);
+            wire_endpoint_from(wire.second, report.second);
+            outcome.reports.push_back(std::move(wire));
+          }
+          payload.clear();
+          encode_outcome(outcome, payload);
+          append_frame(out, FrameType::kOutcome, frame.id, payload);
+          worker_flush(fd, out);
+          bye.pairs_scanned++;
+          break;
+        }
+        case FrameType::kFinish: {
+          payload.clear();
+          encode_bye(bye, payload);
+          append_frame(out, FrameType::kBye, 0, payload);
+          worker_flush(fd, out);
+          ::_exit(0);
+        }
+        default:
+          worker_fatal(std::string("unexpected ") +
+                       frame_type_name(frame.type) + " frame");
+      }
+    }
+  }
+}
+
+ShardPool::ShardPool(const vex::Program& program,
+                     const AnalysisOptions& options)
+    : program_(program), options_(options) {
+  const int requested = std::clamp(options.shard_workers, 0, 64);
+  workers_.reserve(static_cast<size_t>(requested));
+  for (int i = 0; i < requested; ++i) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      error_ = "socketpair failed: " + std::string(std::strerror(errno));
+      break;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      error_ = "fork failed: " + std::string(std::strerror(errno));
+      ::close(sv[0]);
+      ::close(sv[1]);
+      break;
+    }
+    if (pid == 0) {
+      // Analyzer worker. Drop every producer-side fd (ours and earlier
+      // workers' - keeping them would defeat their EOF detection), then
+      // serve frames until kFinish. fork() gave us an identical copy of
+      // the program and options (suppression rules included) at identical
+      // addresses; the wire only ever carries segments and pairs.
+      ::close(sv[0]);
+      for (const Worker& other : workers_) {
+        if (other.fd >= 0) ::close(other.fd);
+      }
+      run_shard_worker(sv[1], program_, options_);
+    }
+    ::close(sv[1]);
+    const int flags = ::fcntl(sv[0], F_GETFL, 0);
+    ::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+    Worker worker;
+    worker.pid = pid;
+    worker.fd = sv[0];
+    worker.alive = true;
+    append_stream_header(worker.outbuf);
+    workers_.push_back(std::move(worker));
+    ++alive_count_;
+  }
+  stats_.workers_started = workers_.size();
+  stats_.pairs_per_shard.assign(workers_.size(), 0);
+}
+
+ShardPool::~ShardPool() {
+  for (Worker& worker : workers_) {
+    if (worker.fd >= 0) {
+      ::close(worker.fd);
+      worker.fd = -1;
+    }
+    if (worker.pid > 0) {
+      ::kill(worker.pid, SIGKILL);
+      ::waitpid(worker.pid, nullptr, 0);
+      worker.pid = -1;
+    }
+  }
+}
+
+uint64_t ShardPool::shard_key(const Segment& a, const Segment& b) const {
+  uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  // Fingerprint page-hash partitioning: pairs over the same pages cluster
+  // on the same shard, so images fan out to few workers. Unready
+  // fingerprints (hand-built graphs) fall back to ids - any deterministic
+  // key is correct, placement never affects findings.
+  if (a.fingerprints_ready() && b.fingerprints_ready()) {
+    for (uint32_t i = 0; i < kFingerprintWords; ++i) {
+      mix(a.fp_reads.words()[i] | a.fp_writes.words()[i]);
+      mix(b.fp_reads.words()[i] | b.fp_writes.words()[i]);
+    }
+  } else {
+    mix(a.id);
+    mix(b.id);
+  }
+  return hash;
+}
+
+size_t ShardPool::pick_worker(uint64_t key, bool /*for_reshard*/) const {
+  // Eligible = alive and not yet past kFinish (a finishing worker exits
+  // after its bye; routing anything new to it would be lost).
+  size_t eligible = 0;
+  for (const Worker& worker : workers_) {
+    if (worker.alive && !worker.finish_sent) ++eligible;
+  }
+  if (eligible == 0) return SIZE_MAX;
+  size_t pick = key % eligible;
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].alive || workers_[w].finish_sent) continue;
+    if (pick == 0) return w;
+    --pick;
+  }
+  return SIZE_MAX;
+}
+
+const char* ShardPool::intern(const std::string& s) {
+  return interned_.insert(s).first->c_str();
+}
+
+void ShardPool::queue_frame(size_t w, FrameType type, uint32_t id,
+                            std::span<const uint8_t> payload) {
+  append_frame(workers_[w].outbuf, type, id, payload);
+}
+
+bool ShardPool::ensure_segment_sent(size_t w, SegId id) {
+  Worker& worker = workers_[w];
+  if (!worker.alive) return false;
+  if (id >= worker.segment_sent.size()) {
+    worker.segment_sent.resize(static_cast<size_t>(id) + 1, 0);
+  }
+  if (worker.segment_sent[id]) return true;
+  image_buf_.clear();
+  if (!provider_ || !provider_(id, image_buf_)) return false;
+  queue_frame(w, FrameType::kSegment, id, image_buf_);
+  worker.segment_sent[id] = 1;
+  stats_.segments_sent++;
+  return true;
+}
+
+void ShardPool::absorb_frame(size_t w, Frame& frame) {
+  Worker& worker = workers_[w];
+  std::string error;
+  switch (frame.type) {
+    case FrameType::kOutcome: {
+      WireOutcome wire;
+      if (!decode_outcome(std::span(frame.payload), wire, &error)) {
+        // A worker emitting garbage is treated like a dead worker: its
+        // pending pairs get rescanned elsewhere.
+        handle_death(w, true);
+        return;
+      }
+      const auto it = pending_.find(frame.id);
+      if (it == pending_.end()) return;  // late duplicate; already settled
+      pending_.erase(it);
+      RemoteOutcome outcome;
+      outcome.a = wire.a;
+      outcome.b = wire.b;
+      outcome.raw_conflicts = wire.raw_conflicts;
+      outcome.suppressed_stack = wire.suppressed_stack;
+      outcome.suppressed_tls = wire.suppressed_tls;
+      outcome.suppressed_user = wire.suppressed_user;
+      outcome.reports.reserve(wire.reports.size());
+      for (const WireReport& report : wire.reports) {
+        RaceReport r;
+        r.lo = report.lo;
+        r.hi = report.hi;
+        const auto fill = [this](RaceEndpoint& e, const WireEndpoint& we) {
+          e.task_id = we.task_id;
+          e.segment_id = we.segment_id;
+          e.tid = we.tid;
+          e.file = intern(we.file);
+          e.line = we.line;
+          e.is_write = we.is_write != 0;
+        };
+        fill(r.first, report.first);
+        fill(r.second, report.second);
+        r.alloc = nullptr;  // resolved guest-side at adjudication
+        outcome.reports.push_back(r);
+      }
+      outcomes_.push_back(std::move(outcome));
+      if (pair_done_) pair_done_(wire.a, wire.b);
+      return;
+    }
+    case FrameType::kBye: {
+      WireBye bye;
+      if (!decode_bye(std::span(frame.payload), bye, &error)) {
+        handle_death(w, true);
+        return;
+      }
+      worker.bye_seen = true;  // the EOF that follows is a clean exit
+      return;
+    }
+    default:
+      handle_death(w, true);  // protocol violation == death
+      return;
+  }
+}
+
+bool ShardPool::pump(size_t w) {
+  Worker& worker = workers_[w];
+  if (!worker.alive) return false;
+  // Flush as much buffered output as the socket accepts.
+  while (worker.out_pos < worker.outbuf.size()) {
+    const ssize_t n =
+        ::send(worker.fd, worker.outbuf.data() + worker.out_pos,
+               worker.outbuf.size() - worker.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      worker.out_pos += static_cast<size_t>(n);
+      stats_.bytes_sent += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    handle_death(w, true);
+    return false;
+  }
+  if (worker.out_pos == worker.outbuf.size()) {
+    worker.outbuf.clear();
+    worker.out_pos = 0;
+  } else if (worker.out_pos > kIoChunk) {
+    worker.outbuf.erase(worker.outbuf.begin(),
+                        worker.outbuf.begin() +
+                            static_cast<ptrdiff_t>(worker.out_pos));
+    worker.out_pos = 0;
+  }
+  // Absorb whatever the worker produced. Outcomes a worker managed to send
+  // before a SIGKILL are still delivered here ahead of the EOF, so settled
+  // pairs are never rescanned and lost pairs are exactly the pending ones.
+  uint8_t buf[kIoChunk];
+  for (;;) {
+    const ssize_t n = ::recv(worker.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      worker.decoder.append(buf, static_cast<size_t>(n));
+      Frame frame;
+      for (;;) {
+        const FrameDecoder::Status status = worker.decoder.next(frame);
+        if (status == FrameDecoder::Status::kNeedMore) break;
+        if (status == FrameDecoder::Status::kError) {
+          handle_death(w, true);
+          return false;
+        }
+        absorb_frame(w, frame);
+        if (!worker.alive) return false;
+      }
+      continue;
+    }
+    if (n == 0) {
+      handle_death(w, true);
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    handle_death(w, true);
+    return false;
+  }
+  return worker.alive;
+}
+
+void ShardPool::drain_all() {
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].alive) pump(w);
+  }
+}
+
+void ShardPool::handle_death(size_t w, bool reshard_allowed) {
+  Worker& worker = workers_[w];
+  if (!worker.alive) return;
+  worker.alive = false;
+  --alive_count_;
+  if (worker.fd >= 0) {
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+  if (worker.pid > 0 && ::waitpid(worker.pid, nullptr, WNOHANG) == worker.pid) {
+    worker.pid = -1;  // reaped; otherwise the destructor reaps
+  }
+  if (!worker.bye_seen) stats_.deaths++;
+  // Re-place every pair that died with the worker. Outcomes received before
+  // the EOF already left pending_, so this is exactly the unscanned set.
+  std::vector<PendingPair> lost;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.worker == w) {
+      lost.push_back(it->second);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (PendingPair& pending : lost) {
+    place_pair(pending, reshard_allowed, /*is_reshard=*/true);
+  }
+}
+
+void ShardPool::place_pair(PendingPair pending, bool reshard_allowed,
+                           bool is_reshard) {
+  for (;;) {
+    const size_t target =
+        reshard_allowed ? pick_worker(pending.key, is_reshard) : SIZE_MAX;
+    if (target == SIZE_MAX) {
+      unscanned_.push_back(WirePair{pending.a, pending.b});
+      stats_.pairs_local++;
+      return;
+    }
+    if (!ensure_segment_sent(target, pending.a) ||
+        !ensure_segment_sent(target, pending.b)) {
+      if (!workers_[target].alive) continue;  // died mid-send; try another
+      // Image unavailable (archive failure): scan guest-side at finish.
+      unscanned_.push_back(WirePair{pending.a, pending.b});
+      stats_.pairs_local++;
+      return;
+    }
+    const uint32_t id = next_pair_id_++;
+    std::vector<uint8_t> payload;
+    encode_pair(WirePair{pending.a, pending.b}, payload);
+    queue_frame(target, FrameType::kPair, id, payload);
+    pending.worker = target;
+    pending_[id] = pending;
+    stats_.pairs_per_shard[target]++;
+    if (is_reshard) stats_.pairs_resharded++;
+    // A death inside this pump re-places the pair via handle_death.
+    pump(target);
+    return;
+  }
+}
+
+void ShardPool::wait_for_room(size_t w) {
+  bool counted = false;
+  while (workers_[w].alive &&
+         workers_[w].outbuf.size() - workers_[w].out_pos >
+             options_.shard_inflight_bytes) {
+    if (!counted) {
+      counted = true;
+      stats_.stalls++;
+    }
+    std::vector<pollfd> fds;
+    fds.reserve(workers_.size());
+    for (const Worker& worker : workers_) {
+      if (!worker.alive) continue;
+      pollfd p{};
+      p.fd = worker.fd;
+      p.events = POLLIN;
+      if (worker.out_pos < worker.outbuf.size()) p.events |= POLLOUT;
+      fds.push_back(p);
+    }
+    if (fds.empty()) return;
+    ::poll(fds.data(), fds.size(), 100);
+    drain_all();
+  }
+}
+
+void ShardPool::submit_pair(const Segment& a, const Segment& b) {
+  ++pairs_submitted_;
+  PendingPair pending;
+  pending.a = a.id;
+  pending.b = b.id;
+  pending.key = shard_key(a, b);
+  place_pair(pending, /*reshard_allowed=*/true, /*is_reshard=*/false);
+  // Fault-injection hook: after N submissions, SIGKILL a worker that
+  // provably still owes outcomes, so the differential suite exercises
+  // death detection AND resharding deterministically.
+  if (options_.shard_kill_after > 0 && !kill_fired_ &&
+      pairs_submitted_ >= options_.shard_kill_after) {
+    try_fire_kill();
+  }
+  // PR 2/4 backpressure, transport edition: bound the bytes in flight
+  // towards the busiest shard; the wait drains outcomes, so it cannot
+  // deadlock against a worker blocked on its own sends.
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].alive &&
+        workers_[w].outbuf.size() - workers_[w].out_pos >
+            options_.shard_inflight_bytes) {
+      wait_for_room(w);
+    }
+  }
+}
+
+void ShardPool::try_fire_kill() {
+  // Fast workers often answer pairs before the next submission, so killing
+  // an arbitrary shard would usually lose nothing and the reshard path
+  // would go untested. Instead: pick the worker owning the most pending
+  // pairs, freeze it with SIGSTOP so it cannot answer anything further,
+  // absorb whatever it already wrote, and SIGKILL only if pairs are still
+  // unanswered - those are then provably lost and must reshard. If the
+  // drain settled everything, resume the worker and stay armed for the
+  // next submission.
+  size_t victim = SIZE_MAX;
+  size_t most = 0;
+  std::vector<size_t> owned(workers_.size(), 0);
+  for (const auto& [id, pending] : pending_) owned[pending.worker]++;
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].alive || workers_[w].pid <= 0) continue;
+    if (owned[w] > most) {
+      most = owned[w];
+      victim = w;
+    }
+  }
+  if (victim == SIZE_MAX) return;
+  const pid_t pid = workers_[victim].pid;
+  if (::kill(pid, SIGSTOP) != 0) return;
+  int status = 0;
+  pid_t reaped;
+  while ((reaped = ::waitpid(pid, &status, WUNTRACED)) < 0 &&
+         errno == EINTR) {
+  }
+  if (reaped == pid && !WIFSTOPPED(status)) {
+    workers_[victim].pid = -1;  // it exited instead; reaped right here
+  }
+  pump(victim);
+  if (!workers_[victim].alive) {
+    kill_fired_ = true;  // it raced us to an exit; death path already ran
+    return;
+  }
+  size_t still_pending = 0;
+  for (const auto& [id, pending] : pending_) {
+    if (pending.worker == victim) ++still_pending;
+  }
+  if (still_pending > 0) {
+    kill_fired_ = true;
+    ::kill(pid, SIGKILL);  // a stopped process still dies to SIGKILL
+  } else {
+    ::kill(pid, SIGCONT);
+  }
+}
+
+void ShardPool::poll() { drain_all(); }
+
+void ShardPool::finish() {
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    Worker& worker = workers_[w];
+    if (!worker.alive || worker.finish_sent) continue;
+    queue_frame(w, FrameType::kFinish, 0, {});
+    worker.finish_sent = true;
+  }
+  drain_all();
+  while (alive_count_ > 0) {
+    std::vector<pollfd> fds;
+    fds.reserve(workers_.size());
+    for (const Worker& worker : workers_) {
+      if (!worker.alive) continue;
+      pollfd p{};
+      p.fd = worker.fd;
+      p.events = POLLIN;
+      if (worker.out_pos < worker.outbuf.size()) p.events |= POLLOUT;
+      fds.push_back(p);
+    }
+    if (fds.empty()) break;
+    const int rc = ::poll(fds.data(), fds.size(), kFinishPollTimeoutMs);
+    if (rc == 0) {
+      // A worker has made no progress for the whole window - wedged or
+      // starved beyond reason. Kill it; the EOF path degrades its pairs,
+      // so the session still terminates with identical findings.
+      for (const Worker& worker : workers_) {
+        if (worker.alive && worker.pid > 0) ::kill(worker.pid, SIGKILL);
+      }
+    }
+    drain_all();
+  }
+  // A worker that said bye has answered every pair it was sent; anything
+  // still pending here means its worker died. Degrade defensively.
+  for (const auto& [id, pending] : pending_) {
+    unscanned_.push_back(WirePair{pending.a, pending.b});
+    stats_.pairs_local++;
+  }
+  pending_.clear();
+}
+
+}  // namespace tg::core

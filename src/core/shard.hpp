@@ -1,0 +1,195 @@
+// The sharded analyzer backend - analysis as a (multi-process) service.
+//
+// The streaming engine's scan workers used to be threads inside the guest
+// process. A ShardPool forks a pool of analyzer *processes* instead, wired
+// to the guest by one AF_UNIX stream socketpair each, speaking
+// `segment-stream-v1` (core/segment_stream) in both directions:
+//
+//   producer -> worker:  kSegment frames (full closed-segment images, sent
+//                        lazily to exactly the shards that need them),
+//                        kPair scan requests, kFinish.
+//   worker -> producer:  one kOutcome frame per assigned pair (zero-conflict
+//                        outcomes included - completion tracking), kBye.
+//
+// The pair space is sharded by fingerprint page-hash: a pair's shard key is
+// an FNV-1a fold of both segments' level-0 fingerprint words (the hashed
+// 4 KiB-page bitmaps of PR 5), so pairs touching the same pages tend to
+// land on the same shard and segment images are shipped to few shards.
+//
+// Findings are byte-identical to in-process streaming by construction: the
+// funnel that decides *which* pairs are scanned runs guest-side unchanged,
+// workers run the identical scan_pair_conflicts predicate over
+// byte-identical segment images, and the coordinator adjudicates outcomes
+// (ordering index, alloc provenance, canonical sort/dedup) exactly like
+// local batch outcomes. Where a scan runs cannot change what it finds.
+//
+// Backpressure carries over from PRs 2/4: bytes buffered towards one worker
+// are bounded by shard_inflight_bytes; when the bound is hit the producer
+// blocks (draining outcomes meanwhile) and the wait is surfaced as an
+// enqueue stall, same as the governor's unpin waits.
+//
+// Worker death is survivable: a SIGKILL'd shard is detected via socket
+// EOF/EPIPE, its still-pending pairs are resharded to surviving workers
+// (segment images resent from the resident trees or the spill archive) or,
+// once no worker can take them, degraded to guest-side scans at finish() -
+// either way the same pairs get scanned exactly once, so findings are
+// identical and the event is surfaced in the shard stats.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/segment_stream.hpp"
+
+namespace tg::core {
+
+/// One remotely scanned pair's result, converted back into coordinator
+/// terms: report file names are interned in the pool's string table (stable
+/// for the pool's lifetime; every downstream comparison is content-based),
+/// alloc provenance is left null for finish()-time resolution, exactly like
+/// local batch outcomes.
+struct RemoteOutcome {
+  SegId a = kNoSeg;
+  SegId b = kNoSeg;
+  uint64_t raw_conflicts = 0;
+  uint64_t suppressed_stack = 0;
+  uint64_t suppressed_tls = 0;
+  uint64_t suppressed_user = 0;
+  std::vector<RaceReport> reports;
+};
+
+struct ShardStats {
+  uint64_t workers_started = 0;
+  uint64_t segments_sent = 0;    // images shipped, resends included
+  uint64_t bytes_sent = 0;       // framed bytes handed to the transport
+  uint64_t stalls = 0;           // backpressure waits (-> enqueue_stalls)
+  uint64_t deaths = 0;           // workers lost before their kBye
+  uint64_t pairs_resharded = 0;  // pairs reassigned after a death
+  uint64_t pairs_local = 0;      // pairs degraded to guest-side scans
+  std::vector<uint64_t> pairs_per_shard;  // assignment counts by shard slot
+};
+
+/// Analyzer worker main loop: reads segment-stream-v1 frames from `fd`,
+/// scans requested pairs with the inherited program/options (fork gives the
+/// child an identical copy, suppression rules included), answers with
+/// kOutcome frames and exits. Never returns; exits 0 after kFinish/kBye,
+/// 1 on a protocol error (which the producer treats as a death).
+[[noreturn]] void run_shard_worker(int fd, const vex::Program& program,
+                                   const AnalysisOptions& options);
+
+class ShardPool {
+ public:
+  /// Fetches the full wire image of a (possibly spilled) segment for
+  /// (re)sending. False when the image is unavailable - the pool then
+  /// degrades the affected pair to a guest-side scan.
+  using ImageProvider = std::function<bool(SegId, std::vector<uint8_t>&)>;
+  /// Invoked on the producer thread when a pair's outcome arrives (the
+  /// streaming engine unpins the members' trees here).
+  using PairDone = std::function<void(SegId, SegId)>;
+
+  /// Forks options.shard_workers analyzer processes. Partial starts are
+  /// tolerated (a smaller pool); a pool with no workers reports !ok() and
+  /// the caller falls back to in-process analysis.
+  ShardPool(const vex::Program& program, const AnalysisOptions& options);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  bool ok() const { return alive_count_ > 0; }
+  const std::string& error() const { return error_; }
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  void set_image_provider(ImageProvider provider) {
+    provider_ = std::move(provider);
+  }
+  void set_pair_done(PairDone done) { pair_done_ = std::move(done); }
+
+  /// Routes one surviving pair to its shard (images shipped on first use),
+  /// applying backpressure when the shard's buffered bytes exceed the
+  /// bound. With no live worker left the pair is recorded for a guest-side
+  /// scan instead - the caller need not care which way it went.
+  void submit_pair(const Segment& a, const Segment& b);
+
+  /// Opportunistic non-blocking drain (flush buffered frames, absorb
+  /// outcomes, detect deaths). Called from the enqueue path.
+  void poll();
+
+  /// Sends kFinish everywhere and drains until every worker said kBye or
+  /// died. Deaths during finish degrade their pending pairs to guest-side
+  /// scans (survivors already saw kFinish, so no resharding to them).
+  /// After finish(), outcomes() and unscanned_pairs() are final.
+  void finish();
+
+  std::vector<RemoteOutcome>& outcomes() { return outcomes_; }
+  const std::vector<WirePair>& unscanned_pairs() const { return unscanned_; }
+  const ShardStats& stats() const { return stats_; }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    bool alive = false;
+    bool finish_sent = false;
+    bool bye_seen = false;
+    std::vector<uint8_t> outbuf;  // frames not yet accepted by the socket
+    size_t out_pos = 0;
+    FrameDecoder decoder;
+    std::vector<uint8_t> segment_sent;  // bitmap by SegId
+  };
+
+  struct PendingPair {
+    SegId a = kNoSeg;
+    SegId b = kNoSeg;
+    uint64_t key = 0;  // fingerprint page-hash shard key
+    size_t worker = 0;
+  };
+
+  uint64_t shard_key(const Segment& a, const Segment& b) const;
+  /// The alive worker a key maps to, or npos when none is eligible
+  /// (`for_reshard` additionally excludes workers that saw kFinish).
+  size_t pick_worker(uint64_t key, bool for_reshard) const;
+  bool ensure_segment_sent(size_t w, SegId id);
+  void queue_frame(size_t w, FrameType type, uint32_t id,
+                   std::span<const uint8_t> payload);
+  /// Non-blocking flush + drain for one worker; false when it died.
+  bool pump(size_t w);
+  void drain_all();
+  void handle_death(size_t w, bool reshard_allowed);
+  void place_pair(PendingPair pending, bool reshard_allowed, bool is_reshard);
+  void absorb_frame(size_t w, Frame& frame);
+  const char* intern(const std::string& s);
+  /// Blocks until `w` drains below the in-flight bound or dies.
+  void wait_for_room(size_t w);
+  /// Fault-injection: SIGKILL a worker that provably owns pending pairs,
+  /// or stay armed for the next submission if nobody does yet.
+  void try_fire_kill();
+
+  const vex::Program& program_;
+  const AnalysisOptions& options_;
+  ImageProvider provider_;
+  PairDone pair_done_;
+
+  std::vector<Worker> workers_;
+  int alive_count_ = 0;
+  uint32_t next_pair_id_ = 0;
+  uint64_t pairs_submitted_ = 0;
+  bool kill_fired_ = false;
+  std::unordered_map<uint32_t, PendingPair> pending_;
+  std::vector<RemoteOutcome> outcomes_;
+  std::vector<WirePair> unscanned_;
+  std::vector<uint8_t> image_buf_;
+  std::unordered_set<std::string> interned_;
+  ShardStats stats_;
+  std::string error_;
+};
+
+}  // namespace tg::core

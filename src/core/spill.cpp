@@ -5,7 +5,9 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 
+#include "core/segment_stream.hpp"
 #include "support/accounting.hpp"
 #include "support/assert.hpp"
 
@@ -41,7 +43,22 @@ SpillArchive::SpillArchive(const std::string& dir) {
              std::strerror(errno);
     if (owns_dir_) ::rmdir(dir_.c_str());
     path_.clear();
+    return;
   }
+  scratch_.clear();
+  append_stream_header(scratch_);
+  if (std::fwrite(scratch_.data(), 1, scratch_.size(), file_) !=
+      scratch_.size()) {
+    error_ = "cannot write spill archive header: " +
+             std::string(std::strerror(errno));
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(path_.c_str());
+    if (owns_dir_) ::rmdir(dir_.c_str());
+    path_.clear();
+    return;
+  }
+  end_offset_ = kStreamHeaderBytes;
 }
 
 SpillArchive::~SpillArchive() {
@@ -64,16 +81,19 @@ bool SpillArchive::write_record(uint32_t id,
                                 const std::vector<uint8_t>& bytes) {
   if (file_ == nullptr) return false;
   TG_ASSERT_MSG(!has_record(id), "segment spilled twice");
+  scratch_.clear();
+  append_frame(scratch_, FrameType::kArenas, id, bytes);
   if (std::fseek(file_, static_cast<long>(end_offset_), SEEK_SET) != 0 ||
-      std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+      std::fwrite(scratch_.data(), 1, scratch_.size(), file_) !=
+          scratch_.size()) {
     error_ = "spill write failed: " + std::string(std::strerror(errno));
     return false;
   }
   table_.emplace(id, Record{end_offset_, bytes.size()});
   account_meta(static_cast<int64_t>(sizeof(uint32_t) + sizeof(Record) +
                                     2 * sizeof(void*)));
-  end_offset_ += bytes.size();
-  bytes_written_ += bytes.size();
+  end_offset_ += scratch_.size();
+  bytes_written_ += scratch_.size();
   return true;
 }
 
@@ -81,13 +101,38 @@ bool SpillArchive::read_record(uint32_t id, std::vector<uint8_t>& out) {
   if (file_ == nullptr) return false;
   const auto it = table_.find(id);
   if (it == table_.end()) return false;
-  out.resize(it->second.size);
+  scratch_.resize(kFrameHeaderBytes + it->second.size);
   if (std::fseek(file_, static_cast<long>(it->second.offset), SEEK_SET) !=
           0 ||
-      std::fread(out.data(), 1, out.size(), file_) != out.size()) {
+      std::fread(scratch_.data(), 1, scratch_.size(), file_) !=
+          scratch_.size()) {
     error_ = "spill read failed: " + std::string(std::strerror(errno));
     return false;
   }
+  // Verify the frame in place: a corrupt archive must be reported, never
+  // deserialized into the analysis.
+  uint32_t type = 0;
+  uint32_t frame_id = 0;
+  uint64_t len = 0;
+  uint64_t checksum = 0;
+  for (int i = 0; i < 4; ++i) type |= uint32_t(scratch_[size_t(i)]) << (8 * i);
+  for (int i = 0; i < 4; ++i) {
+    frame_id |= uint32_t(scratch_[size_t(4 + i)]) << (8 * i);
+  }
+  for (int i = 0; i < 8; ++i) len |= uint64_t(scratch_[size_t(8 + i)]) << (8 * i);
+  for (int i = 0; i < 8; ++i) {
+    checksum |= uint64_t(scratch_[size_t(16 + i)]) << (8 * i);
+  }
+  const std::span<const uint8_t> payload =
+      std::span(scratch_).subspan(kFrameHeaderBytes);
+  if (type != uint32_t(FrameType::kArenas) || frame_id != id ||
+      len != it->second.size ||
+      checksum != segment_stream_fnv1a(payload)) {
+    error_ = "spill archive corrupt record for segment " + std::to_string(id) +
+             " (segment-stream-v1 frame verification failed)";
+    return false;
+  }
+  out.assign(payload.begin(), payload.end());
   return true;
 }
 

@@ -13,6 +13,15 @@
 // archive created one) is removed in the destructor, which covers normal
 // finalize and every early-error unwind alike. Only the offset table and a
 // scratch buffer live in memory, accounted under MemCategory::kSpillMeta.
+//
+// Since PR 7 the archive speaks `segment-stream-v1` (core/segment_stream):
+// the file opens with the TGSEGS1 stream header and every record is one
+// checksummed kArenas frame. The record payload is byte-identical to the
+// old format - framing adds only the header and an FNV-1a checksum - but
+// reads now verify type, id, length and checksum, so a corrupt or truncated
+// archive is rejected with a message instead of deserializing garbage. The
+// same frames travel the shard transport, which is what lets the producer
+// ship an already-spilled segment to an analyzer worker straight from disk.
 #pragma once
 
 #include <cstdint>
@@ -39,14 +48,16 @@ class SpillArchive {
   const std::string& error() const { return error_; }
   const std::string& path() const { return path_; }
 
-  /// Appends one record for `id` (a segment's serialized reads + writes
-  /// arenas). Records are write-once: spilling the same id twice is a bug.
-  /// Returns false (and sets error()) on IO failure - the caller keeps the
-  /// trees in memory in that case, trading the ceiling for correctness.
+  /// Appends one record for `id` (a segment's serialized arena image) as a
+  /// checksummed kArenas frame. Records are write-once: spilling the same
+  /// id twice is a bug. Returns false (and sets error()) on IO failure -
+  /// the caller keeps the trees in memory in that case, trading the ceiling
+  /// for correctness.
   bool write_record(uint32_t id, const std::vector<uint8_t>& bytes);
 
-  /// Reads the record for `id` back into `out`. False when absent or on IO
-  /// failure.
+  /// Reads the record payload for `id` back into `out`, verifying the
+  /// frame's type, id, length and checksum. False when absent, on IO
+  /// failure, or when the stored frame fails verification (corruption).
   bool read_record(uint32_t id, std::vector<uint8_t>& out);
 
   bool has_record(uint32_t id) const {
@@ -62,13 +73,14 @@ class SpillArchive {
 
  private:
   struct Record {
-    uint64_t offset = 0;
-    uint64_t size = 0;
+    uint64_t offset = 0;  // frame start (header included)
+    uint64_t size = 0;    // payload bytes
   };
 
   void account_meta(int64_t delta);
 
   std::FILE* file_ = nullptr;
+  std::vector<uint8_t> scratch_;  // reused frame-composition buffer
   std::string path_;
   std::string dir_;
   bool owns_dir_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/segment_stream.hpp"
 #include "support/accounting.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
@@ -26,12 +27,48 @@ StreamingAnalyzer::StreamingAnalyzer(SegmentGraph& graph,
   TG_ASSERT_MSG(graph_.has_predecessor_index(),
                 "StreamingAnalyzer needs SegmentGraph::enable_predecessor_"
                 "index() before segments exist");
+  if (options_.shard_workers > 0) {
+    // The pool forks, and fork() duplicates only the calling thread - so it
+    // must be built before the scan threads AND before the spill archive
+    // opens its file (children must not inherit the stream). A pool that
+    // cannot start a single worker degrades to in-process scan threads;
+    // findings are identical either way, only the stats differ.
+    pool_ = std::make_unique<ShardPool>(program_, options_);
+    if (!pool_->ok()) {
+      pool_.reset();
+      shard_degraded_ = true;
+    }
+  }
   if (options_.max_tree_bytes > 0) {
     spill_ = std::make_unique<SpillArchive>(options_.spill_dir);
     // The session layer validates the directory eagerly; if creation fails
     // anyway (e.g. the disk filled up since), run unbounded rather than
     // wrong - the governor is a memory policy, not a correctness gate.
     if (!spill_->ok()) spill_.reset();
+  }
+  if (pool_ != nullptr) {
+    pool_->set_image_provider([this](SegId id, std::vector<uint8_t>& out) {
+      out.clear();
+      const Segment& segment = graph_.segment(id);
+      if (resident_[id]) {
+        encode_segment(segment, out);
+        return true;
+      }
+      if (spill_ == nullptr || !spilled_[id]) return false;
+      // Already archived: the spill record IS the arenas section of the
+      // wire image (the shared segment-stream-v1 layout), so shipping an
+      // evicted segment needs no reload - prepend the metadata and go.
+      encode_segment_meta(segment, out);
+      spill_buf_.clear();
+      if (!spill_->read_record(id, spill_buf_)) return false;
+      out.insert(out.end(), spill_buf_.begin(), spill_buf_.end());
+      return true;
+    });
+    pool_->set_pair_done([this](SegId a, SegId b) {
+      unpin_deferred(a);
+      unpin_deferred(b);
+    });
+    return;  // shard mode: the analyzer processes replace the scan threads
   }
   const int nthreads = std::max(1, options_.threads);
   workers_.reserve(static_cast<size_t>(nthreads));
@@ -68,10 +105,15 @@ void StreamingAnalyzer::grow_marks() {
 void StreamingAnalyzer::segment_closed(SegId id) {
   TG_ASSERT(!finished_);
   drain_completed();
+  if (pool_ != nullptr) pool_->poll();
   grow_marks();
   const Segment& seg = graph_.segment(id);
   if (seg.kind != SegKind::kTask || !seg.has_accesses()) return;
   ++segments_active_;
+  // Flagged before pairing so the pool's image provider can already ship
+  // this segment (pairs are submitted mid-loop); the live-set entry is still
+  // added after the loop, so the segment never pairs with itself.
+  resident_[id] = 1;
 
   const IntervalSet::Bounds box = seg.access_bounds();
   const uint64_t lo = box.lo;
@@ -133,6 +175,19 @@ void StreamingAnalyzer::segment_closed(SegId id) {
       if (!resident_[entry.id]) ++spill_reloads_avoided_;
       continue;
     }
+    if (pool_ != nullptr) {
+      // Shard mode: the pair survived every sound filter, so it must be
+      // scanned - ship it to its analyzer shard. Both members are pinned
+      // until the outcome arrives: a SIGKILL'd shard's pending pairs need
+      // their images resent, so retirement may spill (or keep) the trees
+      // but never free them early. With every worker dead submit_pair
+      // records the pair for a guest-side scan at finish() instead.
+      ++deferred_refs_[id];
+      ++deferred_refs_[entry.id];
+      ++pairs_deferred_;
+      pool_->submit_pair(seg, partner);
+      continue;
+    }
     if (!resident_[entry.id]) {
       // The partner's arenas were spilled: every enqueue-time filter above
       // is tree-free and already ran, so only the overlap scan remains -
@@ -151,7 +206,6 @@ void StreamingAnalyzer::segment_closed(SegId id) {
 
   live_pos_[id] = static_cast<uint32_t>(live_.size());
   live_.push_back(LiveEntry{id, lo, hi});
-  resident_[id] = 1;
   peak_live_segments_ = std::max<uint64_t>(peak_live_segments_, live_.size());
 
   if (!partners.empty()) {
@@ -176,6 +230,7 @@ void StreamingAnalyzer::segment_closed(SegId id) {
 void StreamingAnalyzer::frontier_advanced(const std::vector<SegId>& frontier) {
   TG_ASSERT(!finished_);
   drain_completed();
+  if (pool_ != nullptr) pool_->poll();
   grow_marks();
   ++retire_sweeps_;
 
@@ -257,12 +312,28 @@ void StreamingAnalyzer::release_trees(SegId id) {
     // A deferred pair still needs these trees at finish: spilling instead
     // of freeing keeps the byte-identical-findings guarantee intact.
     evict(id);
+  } else if (deferred_refs_[id] > 0) {
+    // Pinned but no archive to spill into (shard mode without the
+    // governor): keep the trees resident - a dead shard may need this
+    // image resent. unpin_deferred frees them when the last pair settles.
   } else {
     retired_tree_bytes_ += segment.reads.clear() + segment.writes.clear();
     resident_[id] = 0;
   }
   std::vector<uint64_t>().swap(segment.mutexes);
   ++segments_retired_;
+}
+
+void StreamingAnalyzer::unpin_deferred(SegId id) {
+  TG_ASSERT(deferred_refs_[id] > 0);
+  if (--deferred_refs_[id] > 0) return;
+  if (finished_ || !retired_[id] || !resident_[id]) return;
+  // The last pair that could ever need this retired segment's trees just
+  // settled remotely: release them now, restoring the early-retirement
+  // memory bound shard mode would otherwise lose.
+  Segment& segment = graph_.segment(id);
+  retired_tree_bytes_ += segment.reads.clear() + segment.writes.clear();
+  resident_[id] = 0;
 }
 
 void StreamingAnalyzer::drain_completed() {
@@ -361,13 +432,11 @@ void StreamingAnalyzer::evict(SegId id) {
   TG_ASSERT(resident_[id] && pending_[id] == 0);
   TG_ASSERT_MSG(!spilled_[id], "segment evicted twice");
   spill_buf_.clear();
-  // Record layout: [fp_reads][fp_writes][reads arena][writes arena]. The
-  // fingerprints stay resident in the Segment - the archived copy makes
-  // the record self-describing (crash-consistent archive format).
-  segment.fp_reads.serialize(spill_buf_);
-  segment.fp_writes.serialize(spill_buf_);
-  segment.reads.serialize(spill_buf_);
-  segment.writes.serialize(spill_buf_);
+  // The record payload is the segment-stream-v1 arenas image
+  // ([fp_reads][fp_writes][reads][writes]) - the fingerprints stay resident
+  // in the Segment; the archived copy makes the record self-describing AND
+  // lets the shard pool ship an evicted segment without reloading it.
+  encode_segment_arenas(segment, spill_buf_);
   if (!spill_->write_record(id, spill_buf_)) return;  // IO failure: keep trees
   spilled_[id] = 1;
   segment.reads.clear();
@@ -387,7 +456,7 @@ const Segment& StreamingAnalyzer::loaded_segment(SegId id, SegId keep) {
   // Unload the oldest reloaded arenas (never `keep`, never a stale entry)
   // until back under half the ceiling - adjudication stays bounded too.
   size_t at = 0;
-  while (at < loaded_lru_.size() &&
+  while (options_.max_tree_bytes > 0 && at < loaded_lru_.size() &&
          tree_bytes_now() > options_.max_tree_bytes / 2) {
     const SegId victim = loaded_lru_[at];
     if (!resident_[victim]) {  // already unloaded through another path
@@ -407,23 +476,12 @@ const Segment& StreamingAnalyzer::loaded_segment(SegId id, SegId keep) {
   spill_buf_.clear();
   TG_ASSERT_MSG(spill_->read_record(id, spill_buf_),
                 "spill archive lost a record");
-  // Skip-validate the fingerprint sections (the Segment's resident
-  // fingerprints are authoritative; the archived copies exist for the
-  // record format's own integrity).
-  AccessFingerprint archived_fp;
-  size_t off = archived_fp.deserialize(spill_buf_.data(), spill_buf_.size());
-  TG_ASSERT_MSG(off != 0, "corrupt spill record (read fingerprint)");
-  const size_t used_fpw = archived_fp.deserialize(spill_buf_.data() + off,
-                                                  spill_buf_.size() - off);
-  TG_ASSERT_MSG(used_fpw != 0, "corrupt spill record (write fingerprint)");
-  off += used_fpw;
-  const size_t used_reads = segment.reads.deserialize(spill_buf_.data() + off,
-                                                      spill_buf_.size() - off);
-  TG_ASSERT_MSG(used_reads != 0, "corrupt spill record (reads)");
-  off += used_reads;
-  const size_t used_writes = segment.writes.deserialize(
-      spill_buf_.data() + off, spill_buf_.size() - off);
-  TG_ASSERT_MSG(used_writes != 0, "corrupt spill record (writes)");
+  // decode_segment_arenas validates-and-discards the archived fingerprint
+  // copies (the Segment's resident fingerprints are authoritative) and
+  // rebuilds the two trees.
+  const size_t used =
+      decode_segment_arenas(spill_buf_.data(), spill_buf_.size(), segment);
+  TG_ASSERT_MSG(used == spill_buf_.size(), "corrupt spill record");
   resident_[id] = 1;
   ++spill_reloads_;
   loaded_lru_.push_back(id);
@@ -445,6 +503,7 @@ void StreamingAnalyzer::run_batch(Batch& batch) {
     outcome.raw_conflicts = stats.raw_conflicts;
     outcome.suppressed_stack = stats.suppressed_stack;
     outcome.suppressed_tls = stats.suppressed_tls;
+    outcome.suppressed_user = stats.suppressed_user;
     outcome.reports = std::move(reports);
     batch.outcomes.push_back(std::move(outcome));
   }
@@ -464,6 +523,12 @@ AnalysisResult StreamingAnalyzer::finish() {
   queue_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   drain_completed();
+  if (pool_ != nullptr) {
+    // Drains every shard to its kBye (or death). Afterwards outcomes() is
+    // the complete set of remotely scanned pairs and unscanned_pairs() the
+    // (usually empty) remainder to scan guest-side below.
+    pool_->finish();
+  }
   flush_retire_waiting();
 
   if (spill_ != nullptr) {
@@ -510,12 +575,45 @@ AnalysisResult StreamingAnalyzer::finish() {
       result.stats.raw_conflicts += outcome.raw_conflicts;
       result.stats.suppressed_stack += outcome.suppressed_stack;
       result.stats.suppressed_tls += outcome.suppressed_tls;
+      result.stats.suppressed_user += outcome.suppressed_user;
       for (RaceReport& report : outcome.reports) {
         if (allocs_ != nullptr) {
           // The registry reached its final state (free is a no-op), so this
           // matches what a scan-time lookup in post-mortem mode returns.
           report.alloc = allocs_->containing(report.lo);
         }
+        result.reports.push_back(std::move(report));
+      }
+    }
+  }
+
+  // Remotely scanned pairs get the identical treatment: the shard workers
+  // computed overlaps + suppression over byte-identical segment images with
+  // the identical predicate; the ordering verdict and alloc provenance are
+  // adjudicated here exactly like local batch outcomes, so the surviving
+  // set - and with it every counter - matches in-process streaming.
+  if (pool_ != nullptr) {
+    for (RemoteOutcome& outcome : pool_->outcomes()) {
+      if (outcome.raw_conflicts == 0) continue;  // completion tracking only
+      const Segment& a = graph_.segment(outcome.a);
+      const Segment& b = graph_.segment(outcome.b);
+      if (options_.use_region_fast_path && graph_.region_ordered(a, b)) {
+        ++region_fast;
+        continue;
+      }
+      const bool hb_ordered = options_.use_bitset_oracle
+                                  ? graph_.ordered_oracle(outcome.a, outcome.b)
+                                  : graph_.ordered(outcome.a, outcome.b);
+      if (hb_ordered) {
+        ++adjudicated_ordered;
+        continue;
+      }
+      result.stats.raw_conflicts += outcome.raw_conflicts;
+      result.stats.suppressed_stack += outcome.suppressed_stack;
+      result.stats.suppressed_tls += outcome.suppressed_tls;
+      result.stats.suppressed_user += outcome.suppressed_user;
+      for (RaceReport& report : outcome.reports) {
+        if (allocs_ != nullptr) report.alloc = allocs_->containing(report.lo);
         result.reports.push_back(std::move(report));
       }
     }
@@ -555,6 +653,32 @@ AnalysisResult StreamingAnalyzer::finish() {
     scan_pair_conflicts(a, b, program_, allocs_, options_, result.stats,
                         result.reports);
   }
+
+  // Pairs no shard could scan (every worker dead by assignment time, or
+  // lost during finish with no reshard target): the degradation path. Same
+  // funnel tail as the spill-deferred pairs - the pair set was fixed at
+  // enqueue, so scanning here instead of remotely cannot change findings.
+  if (pool_ != nullptr) {
+    for (const WirePair& pair : pool_->unscanned_pairs()) {
+      const Segment& a0 = graph_.segment(pair.a);
+      const Segment& b0 = graph_.segment(pair.b);
+      if (options_.use_region_fast_path && graph_.region_ordered(a0, b0)) {
+        ++region_fast;
+        continue;
+      }
+      const bool hb_ordered = options_.use_bitset_oracle
+                                  ? graph_.ordered_oracle(pair.a, pair.b)
+                                  : graph_.ordered(pair.a, pair.b);
+      if (hb_ordered) {
+        ++adjudicated_ordered;
+        continue;
+      }
+      const Segment& a = loaded_segment(pair.a, kNoSeg);
+      const Segment& b = loaded_segment(pair.b, pair.a);
+      scan_pair_conflicts(a, b, program_, allocs_, options_, result.stats,
+                          result.reports);
+    }
+  }
   canonicalize_reports(result.reports, options_.max_reports);
 
   AnalysisStats& stats = result.stats;
@@ -580,6 +704,20 @@ AnalysisResult StreamingAnalyzer::finish() {
   stats.spill_bytes_written = spill_bytes_written_;
   stats.spill_reloads = spill_reloads_;
   stats.spill_reloads_avoided = spill_reloads_avoided_;
+  stats.shard_degraded = shard_degraded_;
+  if (pool_ != nullptr) {
+    const ShardStats& shard = pool_->stats();
+    stats.shard_workers = shard.workers_started;
+    stats.shard_segments_sent = shard.segments_sent;
+    stats.shard_bytes_sent = shard.bytes_sent;
+    stats.shard_deaths = shard.deaths;
+    stats.shard_pairs_resharded = shard.pairs_resharded;
+    stats.shard_pairs_local = shard.pairs_local;
+    stats.shard_pairs = shard.pairs_per_shard;
+    // Transport backpressure waits are the shard-mode face of the same
+    // bound the governor's unpin waits enforce.
+    enqueue_stalls_ += shard.stalls;
+  }
   stats.enqueue_stalls = enqueue_stalls_;
   stats.fingerprint_bytes = static_cast<uint64_t>(
       MemAccountant::instance().category_peak(MemCategory::kFingerprints));

@@ -42,6 +42,7 @@
 
 #include "core/analysis.hpp"
 #include "core/graph_builder.hpp"
+#include "core/shard.hpp"
 #include "core/spill.hpp"
 
 namespace tg::core {
@@ -89,6 +90,11 @@ class StreamingAnalyzer final : public SegmentSink {
   uint64_t segments_spilled() const { return segments_spilled_; }
   const SpillArchive* spill_archive() const { return spill_.get(); }
 
+  /// Sharded-backend test hooks: the analyzer pool (null when shard mode is
+  /// off or the pool failed to start) and the fallback flag.
+  const ShardPool* shard_pool() const { return pool_.get(); }
+  bool shard_degraded() const { return shard_degraded_; }
+
  private:
   /// One deferred pair: overlaps + suppression already computed by a
   /// worker, ordering verdict pending. Stats are bucketed per pair so only
@@ -100,6 +106,7 @@ class StreamingAnalyzer final : public SegmentSink {
     uint64_t raw_conflicts = 0;
     uint64_t suppressed_stack = 0;
     uint64_t suppressed_tls = 0;
+    uint64_t suppressed_user = 0;
     std::vector<RaceReport> reports;
   };
 
@@ -139,6 +146,10 @@ class StreamingAnalyzer final : public SegmentSink {
   /// from the archive on demand, unloading the oldest reloaded arenas
   /// (never `keep`) to stay under the ceiling.
   const Segment& loaded_segment(SegId id, SegId keep);
+  /// Drops one deferred-pair pin; when the last pin of an already-retired
+  /// segment drops, its trees are freed (shard mode: the pool just settled
+  /// the last pair that could ever need them).
+  void unpin_deferred(SegId id);
 
   SegmentGraph& graph_;
   const vex::Program& program_;
@@ -161,6 +172,12 @@ class StreamingAnalyzer final : public SegmentSink {
   // has survived the most frontier sweeps unretired, so it sits in the
   // longest unordered window and is the least likely to be paired soon.
   std::unique_ptr<SpillArchive> spill_;
+  // Sharded analyzer backend (inert unless shard_workers > 0). Created in
+  // the constructor BEFORE any scan thread spawns - the pool forks, and
+  // fork() only duplicates the calling thread. When the pool fails to start
+  // the engine falls back to in-process scan threads (shard_degraded_).
+  std::unique_ptr<ShardPool> pool_;
+  bool shard_degraded_ = false;
   std::function<void()> invalidate_cursors_;
   std::vector<uint8_t> spilled_;      // seg id -> archive holds its arenas
   std::vector<uint8_t> resident_;     // seg id -> trees currently in memory

@@ -1,0 +1,221 @@
+#include "core/suppress.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tg::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool parse_addr(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// The endpoint's rendered location, mirroring fill_endpoint in
+/// analysis.cpp: an invalid per-overlap loc falls back to the segment's
+/// first access location for the file, with line 0.
+const char* endpoint_file(const vex::Program& program, const Segment& segment,
+                          vex::SrcLoc loc) {
+  return program.file_name(loc.valid() ? loc.file
+                                       : segment.first_access_loc.file);
+}
+
+}  // namespace
+
+std::string SuppressRule::to_string() const {
+  char buf[64];
+  switch (kind) {
+    case Kind::kStack:
+      return "stack";
+    case Kind::kTls:
+      return "tls";
+    case Kind::kSrcGlob:
+      if (line == 0) return "src:" + pattern;
+      std::snprintf(buf, sizeof buf, ":%u", line);
+      return "src:" + pattern + buf;
+    case Kind::kAddrRange:
+      std::snprintf(buf, sizeof buf, "addr:0x%llx-0x%llx",
+                    static_cast<unsigned long long>(lo),
+                    static_cast<unsigned long long>(hi));
+      return buf;
+  }
+  return "?";
+}
+
+void SuppressionSet::add(SuppressRule rule) {
+  switch (rule.kind) {
+    case SuppressRule::Kind::kStack:
+      stack_ = true;
+      return;
+    case SuppressRule::Kind::kTls:
+      tls_ = true;
+      return;
+    case SuppressRule::Kind::kSrcGlob:
+    case SuppressRule::Kind::kAddrRange:
+      user_.push_back(std::move(rule));
+      return;
+  }
+}
+
+bool SuppressionSet::parse_line(const std::string& raw, std::string* error,
+                                bool* out_added) {
+  if (out_added != nullptr) *out_added = false;
+  const std::string line = trim(raw);
+  if (line.empty() || line[0] == '#') return true;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  SuppressRule rule;
+  if (line == "stack") {
+    rule.kind = SuppressRule::Kind::kStack;
+  } else if (line == "tls") {
+    rule.kind = SuppressRule::Kind::kTls;
+  } else if (line.rfind("src:", 0) == 0) {
+    rule.kind = SuppressRule::Kind::kSrcGlob;
+    std::string body = trim(line.substr(4));
+    // A trailing ":<digits>" is a line constraint; globs themselves may
+    // contain colons, so only an all-numeric final component counts.
+    const size_t colon = body.rfind(':');
+    if (colon != std::string::npos && colon + 1 < body.size()) {
+      const std::string tail = body.substr(colon + 1);
+      if (tail.find_first_not_of("0123456789") == std::string::npos) {
+        rule.line = static_cast<uint32_t>(std::strtoul(tail.c_str(),
+                                                       nullptr, 10));
+        body = body.substr(0, colon);
+      }
+    }
+    if (body.empty()) return fail("empty glob in src: rule");
+    rule.pattern = body;
+  } else if (line.rfind("addr:", 0) == 0) {
+    rule.kind = SuppressRule::Kind::kAddrRange;
+    const std::string body = trim(line.substr(5));
+    const size_t dash = body.find('-');
+    if (dash == std::string::npos ||
+        !parse_addr(trim(body.substr(0, dash)), &rule.lo) ||
+        !parse_addr(trim(body.substr(dash + 1)), &rule.hi)) {
+      return fail("malformed addr: rule (want addr:LO-HI): '" + line + "'");
+    }
+    if (rule.lo >= rule.hi) {
+      return fail("empty address range in addr: rule: '" + line + "'");
+    }
+  } else {
+    return fail("unknown suppression rule: '" + line + "'");
+  }
+  add(std::move(rule));
+  if (out_added != nullptr) *out_added = true;
+  return true;
+}
+
+bool SuppressionSet::load_file(const std::string& path, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open suppression file " + path + ": " +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  int ch;
+  bool ok = true;
+  while (ok) {
+    line.clear();
+    while ((ch = std::fgetc(file)) != EOF && ch != '\n') {
+      line.push_back(static_cast<char>(ch));
+    }
+    if (line.empty() && ch == EOF) break;
+    ++lineno;
+    std::string message;
+    if (!parse_line(line, &message)) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(lineno) + ": " + message;
+      }
+      ok = false;
+    }
+    if (ch == EOF) break;
+  }
+  std::fclose(file);
+  return ok;
+}
+
+bool SuppressionSet::matches_user(const vex::Program& program,
+                                  const Segment& s1, const Segment& s2,
+                                  uint64_t lo, uint64_t hi, vex::SrcLoc loc1,
+                                  vex::SrcLoc loc2) const {
+  for (const SuppressRule& rule : user_) {
+    switch (rule.kind) {
+      case SuppressRule::Kind::kAddrRange:
+        if (lo >= rule.lo && hi <= rule.hi) return true;
+        break;
+      case SuppressRule::Kind::kSrcGlob: {
+        const bool first =
+            (rule.line == 0 || rule.line == loc1.line) &&
+            glob_match(rule.pattern.c_str(), endpoint_file(program, s1, loc1));
+        if (first) return true;
+        const bool second =
+            (rule.line == 0 || rule.line == loc2.line) &&
+            glob_match(rule.pattern.c_str(), endpoint_file(program, s2, loc2));
+        if (second) return true;
+        break;
+      }
+      case SuppressRule::Kind::kStack:
+      case SuppressRule::Kind::kTls:
+        break;  // handled by the built-in gauntlet, never stored here
+    }
+  }
+  return false;
+}
+
+const SuppressionSet& SuppressionSet::builtin(bool stack, bool tls) {
+  static const SuppressionSet* table = [] {
+    static SuppressionSet instances[4];
+    for (int i = 0; i < 4; ++i) {
+      if (i & 1) instances[i].add({SuppressRule::Kind::kStack});
+      if (i & 2) instances[i].add({SuppressRule::Kind::kTls});
+    }
+    return instances;
+  }();
+  return table[(stack ? 1 : 0) | (tls ? 2 : 0)];
+}
+
+bool SuppressionSet::glob_match(const char* pattern, const char* text) {
+  const char* star = nullptr;
+  const char* backtrack = nullptr;
+  while (*text != '\0') {
+    if (*pattern == '?' || *pattern == *text) {
+      ++pattern;
+      ++text;
+    } else if (*pattern == '*') {
+      star = pattern++;
+      backtrack = text;
+    } else if (star != nullptr) {
+      pattern = star + 1;
+      text = ++backtrack;
+    } else {
+      return false;
+    }
+  }
+  while (*pattern == '*') ++pattern;
+  return *pattern == '\0';
+}
+
+}  // namespace tg::core

@@ -1,0 +1,96 @@
+// Pluggable suppression rules (paper §IV, generalized).
+//
+// The §IV gauntlet used to be two hard-coded checks inside the pair scan;
+// real codebases also need to mute known-benign findings (lock-free stats
+// counters, intentionally racy RNG pools, third-party code) without
+// patching the tool. This header turns the gauntlet into data: a
+// SuppressionSet is an ordered list of rules, the built-in stack and TLS
+// checks are the default rule set, and `--suppress=FILE` appends
+// user-defined rules:
+//
+//   # comment                       (blank lines and '#' lines ignored)
+//   stack                          re-enable the §IV-D stack check
+//   tls                            re-enable the §IV-C TLS check
+//   src:GLOB                       mute conflicts whose either endpoint's
+//   src:GLOB:LINE                  source file matches GLOB ('*'/'?'),
+//                                  optionally at one specific line
+//   addr:LO-HI                     mute conflicts fully inside the half-
+//                                  open [LO, HI) address range (hex ok)
+//
+// A user rule fires *after* the built-in checks, counts into the separate
+// `suppressed_user` stat, and - like the built-ins - mutes the overlap
+// before report construction, so `raw - stack - tls - user` stays the
+// pre-dedup finding count in every mode. Rules apply identically in
+// post-mortem, streaming and sharded analysis: the set is built before the
+// analyzer pool forks, so worker processes inherit it and count the same
+// suppressions the in-process scan would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/segment_graph.hpp"
+#include "vex/ir.hpp"
+
+namespace tg::core {
+
+struct SuppressRule {
+  enum class Kind : uint8_t {
+    kStack,      // §IV-D segment-local stack reuse
+    kTls,        // §IV-C thread-local storage
+    kSrcGlob,    // glob over an endpoint's resolved source file (+ line)
+    kAddrRange,  // conflict byte range inside [lo, hi)
+  };
+
+  Kind kind = Kind::kSrcGlob;
+  std::string pattern;  // kSrcGlob
+  uint32_t line = 0;    // kSrcGlob; 0 = any line
+  uint64_t lo = 0;      // kAddrRange, half-open
+  uint64_t hi = 0;
+
+  std::string to_string() const;
+};
+
+class SuppressionSet {
+ public:
+  void add(SuppressRule rule);
+
+  /// Parses one rule line (comments/blank lines yield no rule and true).
+  /// On success *out_added says whether a rule was appended.
+  bool parse_line(const std::string& line, std::string* error,
+                  bool* out_added = nullptr);
+
+  /// Appends every rule in `path`. False (with a "<path>:<line>: ..."
+  /// message) on the first malformed line; rules before it are kept.
+  bool load_file(const std::string& path, std::string* error);
+
+  bool stack_enabled() const { return stack_; }
+  bool tls_enabled() const { return tls_; }
+  /// The user-defined (kSrcGlob / kAddrRange) rules, in file order.
+  const std::vector<SuppressRule>& user_rules() const { return user_; }
+  size_t size() const { return user_.size() + (stack_ ? 1 : 0) + (tls_ ? 1 : 0); }
+
+  /// True when any user rule mutes a write/read-or-write overlap at
+  /// [lo, hi) between s1 and s2, whose endpoint source locations are
+  /// `loc1`/`loc2` (invalid locs fall back to the segments'
+  /// first_access_loc, exactly like report rendering does).
+  bool matches_user(const vex::Program& program, const Segment& s1,
+                    const Segment& s2, uint64_t lo, uint64_t hi,
+                    vex::SrcLoc loc1, vex::SrcLoc loc2) const;
+
+  /// The default gauntlet for a given pair of §IV flags - static instances,
+  /// so AnalysisOptions without an explicit set keep their exact historical
+  /// semantics at zero cost.
+  static const SuppressionSet& builtin(bool stack, bool tls);
+
+  /// Shell-style matcher: '*' = any run, '?' = any one char.
+  static bool glob_match(const char* pattern, const char* text);
+
+ private:
+  bool stack_ = false;
+  bool tls_ = false;
+  std::vector<SuppressRule> user_;
+};
+
+}  // namespace tg::core

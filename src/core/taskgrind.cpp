@@ -11,7 +11,24 @@ using vex::Value;
 
 TaskgrindTool::TaskgrindTool(TaskgrindOptions options)
     : options_(std::move(options)),
-      builder_(SegmentGraphBuilder::Policy{options_.undeferred_parallel}) {}
+      builder_(SegmentGraphBuilder::Policy{options_.undeferred_parallel}) {
+  if (options_.suppress_stack) {
+    SuppressRule rule;
+    rule.kind = SuppressRule::Kind::kStack;
+    suppressions_.add(rule);
+  }
+  if (options_.suppress_tls) {
+    SuppressRule rule;
+    rule.kind = SuppressRule::Kind::kTls;
+    suppressions_.add(rule);
+  }
+  if (!options_.suppress_file.empty()) {
+    // The session layer validates the file eagerly and reports parse errors
+    // as configuration failures; the error is kept for callers that skip
+    // the session (suppress_error()).
+    suppressions_.load_file(options_.suppress_file, &suppress_error_);
+  }
+}
 
 void TaskgrindTool::attach(vex::Vm& vm) {
   vm_ = &vm;
@@ -326,6 +343,9 @@ AnalysisOptions TaskgrindTool::analysis_options() const {
   AnalysisOptions options;
   options.suppress_stack = options_.suppress_stack;
   options.suppress_tls = options_.suppress_tls;
+  // The tool-owned set folds the two flags in and adds any --suppress=FILE
+  // rules; it outlives every analysis and predates the shard pool's fork.
+  options.suppressions = &suppressions_;
   options.respect_mutexes = options_.respect_mutexes;
   options.use_bbox_pruning = options_.use_bbox_pruning;
   options.use_fingerprints = options_.use_fingerprints;
@@ -334,6 +354,9 @@ AnalysisOptions TaskgrindTool::analysis_options() const {
   options.max_reports = options_.max_reports;
   options.max_tree_bytes = options_.max_tree_bytes;
   options.spill_dir = options_.spill_dir;
+  options.shard_workers = options_.shard_workers;
+  options.shard_inflight_bytes = options_.shard_inflight_bytes;
+  options.shard_kill_after = options_.shard_kill_after;
   return options;
 }
 

@@ -23,6 +23,7 @@
 #include "core/analysis.hpp"
 #include "core/graph_builder.hpp"
 #include "core/streaming.hpp"
+#include "core/suppress.hpp"
 #include "core/taskgrind_options.hpp"
 #include "runtime/events.hpp"
 #include "vex/tool.hpp"
@@ -86,6 +87,9 @@ class TaskgrindTool : public vex::Tool, public rt::RtEvents {
   const AllocRegistry& allocs() const { return allocs_; }
   uint64_t access_events() const { return access_events_; }
   const TaskgrindOptions& options() const { return options_; }
+  /// Non-empty when options.suppress_file failed to load/parse (the session
+  /// layer validates eagerly and turns this into a configuration error).
+  const std::string& suppress_error() const { return suppress_error_; }
 
  private:
   /// Client-request codes used by the OMPT adapter (beyond vex::ClientReq).
@@ -117,6 +121,11 @@ class TaskgrindTool : public vex::Tool, public rt::RtEvents {
   AnalysisOptions analysis_options() const;
 
   TaskgrindOptions options_;
+  /// Built-ins per the flags + rules from options_.suppress_file. Owned
+  /// here so it predates the shard pool's fork (workers inherit it) and
+  /// outlives every analysis that points at it.
+  SuppressionSet suppressions_;
+  std::string suppress_error_;
   vex::Vm* vm_ = nullptr;
   SegmentGraphBuilder builder_;
   AllocRegistry allocs_;

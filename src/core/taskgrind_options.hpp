@@ -61,6 +61,22 @@ struct TaskgrindOptions {
   uint64_t max_tree_bytes = 0;
   /// Directory for the spill archive; empty = a session temp directory.
   std::string spill_dir;
+  /// Sharded analyzer backend (streaming only): fork this many analyzer
+  /// worker processes and stream closed segments + scan requests to them
+  /// over the segment-stream-v1 wire schema, sharding the pair space by
+  /// fingerprint page-hash. 0 = in-process scan threads. Findings are
+  /// byte-identical either way by construction.
+  int shard_workers = 0;
+  /// Transport backpressure: ceiling on bytes buffered towards one analyzer
+  /// worker before the producer stalls (surfaced as enqueue_stalls).
+  uint64_t shard_inflight_bytes = 4ull << 20;
+  /// Fault-injection test hook (--shard-kill-after): after this many
+  /// submitted pairs, SIGKILL the worker owning the most unanswered pairs.
+  /// 0 = off.
+  uint32_t shard_kill_after = 0;
+  /// Suppression rule file (--suppress): glob/address rules stacked on top
+  /// of the built-in §IV gauntlet. Empty = built-ins only.
+  std::string suppress_file;
 };
 
 }  // namespace tg::core

@@ -5,6 +5,7 @@
 
 #include "core/report.hpp"
 #include "core/spill.hpp"
+#include "core/suppress.hpp"
 #include "core/taskgrind.hpp"
 #include "core/trace.hpp"
 #include "runtime/execution.hpp"
@@ -98,6 +99,19 @@ SessionResult run_session(const rt::GuestProgram& program,
                                           &error)) {
       result.status = SessionResult::Status::kConfig;
       result.error = "spill directory unusable: " + error;
+      return result;
+    }
+  }
+  // Same policy for --suppress=FILE: the user asked findings to be filtered,
+  // so a file that cannot be parsed is a configuration error, not a run with
+  // silently missing rules.
+  if (options.tool == ToolKind::kTaskgrind &&
+      !options.taskgrind.suppress_file.empty()) {
+    core::SuppressionSet probe;
+    std::string error;
+    if (!probe.load_file(options.taskgrind.suppress_file, &error)) {
+      result.status = SessionResult::Status::kConfig;
+      result.error = error;
       return result;
     }
   }
@@ -233,7 +247,8 @@ SessionResult run_session(const rt::GuestProgram& program,
         result.analysis_stats = analysis.stats;
         result.raw_report_count = analysis.stats.raw_conflicts -
                                   analysis.stats.suppressed_stack -
-                                  analysis.stats.suppressed_tls;
+                                  analysis.stats.suppressed_tls -
+                                  analysis.stats.suppressed_user;
         std::vector<std::string> texts;
         for (const auto& report : analysis.reports) {
           result.report_keys.push_back(core::report_dedup_key(report));
@@ -356,6 +371,7 @@ std::string session_json(const SessionOptions& options,
     json.field("raw_conflicts", stats.raw_conflicts);
     json.field("suppressed_stack", stats.suppressed_stack);
     json.field("suppressed_tls", stats.suppressed_tls);
+    json.field("suppressed_user", stats.suppressed_user);
     json.end_object();  // stats
     json.end_object();
     return json.str();
@@ -387,6 +403,9 @@ std::string session_json(const SessionOptions& options,
   json.field("max_reports", static_cast<uint64_t>(tg.max_reports));
   json.field("max_tree_bytes", tg.max_tree_bytes);
   json.field("spill_dir", tg.spill_dir);
+  json.field("shard_workers", tg.shard_workers);
+  json.field("shard_inflight_bytes", tg.shard_inflight_bytes);
+  json.field("suppress_file", tg.suppress_file);
   json.key("ignore_list").begin_array();
   for (const std::string& prefix : tg.ignore_list) json.value(prefix);
   json.end_array();
@@ -426,6 +445,7 @@ std::string session_json(const SessionOptions& options,
   json.field("raw_conflicts", stats.raw_conflicts);
   json.field("suppressed_stack", stats.suppressed_stack);
   json.field("suppressed_tls", stats.suppressed_tls);
+  json.field("suppressed_user", stats.suppressed_user);
   json.field("segments_active", stats.segments_active);
   json.field("segments_retired", stats.segments_retired);
   json.field("peak_live_segments", stats.peak_live_segments);
@@ -437,6 +457,19 @@ std::string session_json(const SessionOptions& options,
   json.field("spill_reloads", stats.spill_reloads);
   json.field("spill_reloads_avoided", stats.spill_reloads_avoided);
   json.field("enqueue_stalls", stats.enqueue_stalls);
+  // Sharded-backend counters: run-shaped (death timing, backpressure), so
+  // they live in the full block only - canonical output must be identical
+  // across worker counts and fault injections.
+  json.field("shard_workers", stats.shard_workers);
+  json.field("shard_segments_sent", stats.shard_segments_sent);
+  json.field("shard_bytes_sent", stats.shard_bytes_sent);
+  json.field("shard_deaths", stats.shard_deaths);
+  json.field("shard_pairs_resharded", stats.shard_pairs_resharded);
+  json.field("shard_pairs_local", stats.shard_pairs_local);
+  json.field("shard_degraded", stats.shard_degraded);
+  json.key("shard_pairs").begin_array();
+  for (const uint64_t count : stats.shard_pairs) json.value(count);
+  json.end_array();
   json.field("fingerprint_bytes", stats.fingerprint_bytes);
   json.field("index_bytes", stats.index_bytes);
   json.field("oracle_bytes", stats.oracle_bytes);

@@ -123,9 +123,86 @@ TEST(CliArgs, UsageMentionsEveryMode) {
        {"--streaming", "--post-mortem", "--json", "--tool",
         "--analysis-threads", "--max-tree-bytes", "--spill-dir",
         "--record-trace", "--replay-trace", "--json-canonical",
-        "--fuzz-schedules", "--fuzz-certs"}) {
+        "--fuzz-schedules", "--fuzz-certs", "--shard-workers",
+        "--shard-inflight-bytes", "--shard-kill-after", "--suppress"}) {
     EXPECT_NE(usage.find(needle), std::string::npos) << needle;
   }
+  // The mode-compatibility table renders into the usage text from the same
+  // declarative array the parser checks - every excluded pair must appear.
+  EXPECT_NE(usage.find("incompatible mode combinations:"), std::string::npos);
+  for (const char* pair :
+       {"--record-trace x --replay-trace", "--fuzz-schedules x --record-trace",
+        "--fuzz-schedules x --replay-trace", "--shard-workers x --post-mortem",
+        "--shard-workers x --fuzz-schedules"}) {
+    EXPECT_NE(usage.find(pair), std::string::npos) << pair;
+  }
+}
+
+TEST(CliArgs, ShardFlagsRoundTrip) {
+  CliOptions cli;
+  const ParseOutcome outcome =
+      parse({"--shard-workers=4", "--shard-inflight-bytes=8M",
+             "--shard-kill-after=12", "--suppress=/tmp/rules.txt", "fib"},
+            cli);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(cli.session.taskgrind.shard_workers, 4);
+  EXPECT_EQ(cli.session.taskgrind.shard_inflight_bytes, 8ull << 20);
+  EXPECT_EQ(cli.session.taskgrind.shard_kill_after, 12u);
+  EXPECT_EQ(cli.session.taskgrind.suppress_file, "/tmp/rules.txt");
+
+  // Defaults: in-process scan threads, 4M backpressure bound, no rules file.
+  CliOptions defaults;
+  ASSERT_TRUE(parse({"fib"}, defaults).ok);
+  EXPECT_EQ(defaults.session.taskgrind.shard_workers, 0);
+  EXPECT_EQ(defaults.session.taskgrind.shard_inflight_bytes, 4ull << 20);
+  EXPECT_EQ(defaults.session.taskgrind.shard_kill_after, 0u);
+  EXPECT_TRUE(defaults.session.taskgrind.suppress_file.empty());
+}
+
+TEST(CliArgs, MalformedShardFlagsAreUsageErrors) {
+  for (const char* arg :
+       {"--shard-workers=", "--shard-workers=lots", "--shard-workers=-2",
+        "--shard-workers=65", "--shard-inflight-bytes=",
+        "--shard-inflight-bytes=0", "--shard-inflight-bytes=x",
+        "--shard-kill-after=", "--shard-kill-after=never"}) {
+    CliOptions cli;
+    const ParseOutcome outcome = parse({arg, "fib"}, cli);
+    EXPECT_FALSE(outcome.ok) << arg << " should be rejected";
+    EXPECT_NE(outcome.error.find("invalid value"), std::string::npos)
+        << arg << ": " << outcome.error;
+  }
+  CliOptions empty;
+  const ParseOutcome outcome = parse({"--suppress=", "fib"}, empty);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("--suppress needs a file path"),
+            std::string::npos)
+      << outcome.error;
+}
+
+TEST(CliArgs, ShardModeExclusionsAreUsageErrors) {
+  CliOptions post_mortem;
+  const ParseOutcome shard_post_mortem = parse(
+      {"--shard-workers=2", "--post-mortem", "fib"}, post_mortem);
+  EXPECT_FALSE(shard_post_mortem.ok);
+  EXPECT_NE(shard_post_mortem.error.find(
+                "cannot combine --shard-workers with --post-mortem"),
+            std::string::npos)
+      << shard_post_mortem.error;
+
+  CliOptions fuzz;
+  const ParseOutcome shard_fuzz =
+      parse({"--shard-workers=2", "--fuzz-schedules=4", "fib"}, fuzz);
+  EXPECT_FALSE(shard_fuzz.ok);
+  EXPECT_NE(shard_fuzz.error.find(
+                "cannot combine --shard-workers with --fuzz-schedules"),
+            std::string::npos)
+      << shard_fuzz.error;
+
+  // Record/replay compose with sharding - only the listed pairs exclude.
+  CliOptions record;
+  EXPECT_TRUE(
+      parse({"--shard-workers=2", "--record-trace=/tmp/a", "fib"}, record)
+          .ok);
 }
 
 TEST(CliArgs, TraceFlagsRoundTrip) {
@@ -215,7 +292,11 @@ TEST(SessionJson, SchemaAndRoundTrippedValues) {
         "\"pairs_deferred\":", "\"raw_conflicts\":",
         "\"max_tree_bytes\":0", "\"spill_dir\":\"\"",
         "\"segments_spilled\":0", "\"spill_bytes_written\":0",
-        "\"spill_reloads\":0", "\"enqueue_stalls\":0"}) {
+        "\"spill_reloads\":0", "\"enqueue_stalls\":0",
+        "\"suppressed_user\":0", "\"suppress_file\":\"\"",
+        "\"shard_workers\":0", "\"shard_segments_sent\":0",
+        "\"shard_deaths\":0", "\"shard_pairs_resharded\":0",
+        "\"shard_degraded\":false", "\"shard_pairs\":["}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   // Report text contains newlines - they must arrive escaped.
@@ -237,9 +318,11 @@ TEST(SessionJson, SchemaAndRoundTrippedValues) {
   EXPECT_NE(canonical.find("\"report_keys\":["), std::string::npos);
   for (const char* absent :
        {"\"options\":", "\"exec_seconds\"", "\"analysis_seconds\"",
-        "\"peak_bytes\"", "\"streamed\"", "\"seconds\""}) {
+        "\"peak_bytes\"", "\"streamed\"", "\"seconds\"", "\"shard_"}) {
     EXPECT_EQ(canonical.find(absent), std::string::npos) << absent;
   }
+  // The suppression census IS run-invariant, so canonical keeps it.
+  EXPECT_NE(canonical.find("\"suppressed_user\":0"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,321 @@
+// The `segment-stream-v1` wire schema (core/segment_stream, DESIGN.md §11).
+//
+// Findings depend on these bytes: the spill archive and the shard transport
+// share this one format, so every decode path must be strict. The suite
+// covers clean round-trips (segment / pair / outcome / bye, incremental
+// delivery at every chunk boundary) and the rejection surface: truncation
+// at every prefix length must ask for more bytes - never error, never yield
+// a frame - while bad magic, bad version, unknown frame types, oversized
+// lengths, checksum mismatches and trailing payload bytes must all fail
+// with a specific sticky error.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/segment_stream.hpp"
+
+namespace tg::core {
+namespace {
+
+Segment make_segment(SegId id) {
+  Segment seg;
+  seg.id = id;
+  seg.kind = SegKind::kTask;
+  seg.task_id = 7;
+  seg.seq_in_task = 3;
+  seg.tid = 2;
+  seg.region_id = 11;
+  seg.first_access_loc = {4, 120};
+  seg.reads.add(0x1000, 0x1040, {4, 121});
+  seg.reads.add(0x2000, 0x2008, {4, 122});
+  seg.writes.add(0x1020, 0x1030, {4, 123});
+  seg.sp_at_start = 0x7fff0000;
+  seg.stack_base = 0x7fff8000;
+  seg.stack_limit = 0x7ff00000;
+  seg.tcb = 0x5000;
+  seg.mutexes = {3, 9, 42};
+  seg.finalize_fingerprints();
+  return seg;
+}
+
+std::vector<uint8_t> stream_with(FrameType type, uint32_t id,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> bytes;
+  append_stream_header(bytes);
+  append_frame(bytes, type, id, payload);
+  return bytes;
+}
+
+TEST(SegmentStream, SegmentImageRoundTrips) {
+  const Segment original = make_segment(17);
+  std::vector<uint8_t> image;
+  encode_segment(original, image);
+
+  Segment decoded;
+  std::string error;
+  ASSERT_TRUE(decode_segment(image, decoded, &error)) << error;
+  EXPECT_EQ(decoded.id, original.id);
+  EXPECT_EQ(decoded.kind, original.kind);
+  EXPECT_EQ(decoded.task_id, original.task_id);
+  EXPECT_EQ(decoded.seq_in_task, original.seq_in_task);
+  EXPECT_EQ(decoded.tid, original.tid);
+  EXPECT_EQ(decoded.region_id, original.region_id);
+  EXPECT_EQ(decoded.first_access_loc.file, original.first_access_loc.file);
+  EXPECT_EQ(decoded.first_access_loc.line, original.first_access_loc.line);
+  EXPECT_EQ(decoded.sp_at_start, original.sp_at_start);
+  EXPECT_EQ(decoded.stack_base, original.stack_base);
+  EXPECT_EQ(decoded.stack_limit, original.stack_limit);
+  EXPECT_EQ(decoded.tcb, original.tcb);
+  EXPECT_EQ(decoded.mutexes, original.mutexes);
+  // The trees carry the analysis payload - bounds and sizes must survive.
+  EXPECT_EQ(decoded.reads.bounds().lo, original.reads.bounds().lo);
+  EXPECT_EQ(decoded.reads.bounds().hi, original.reads.bounds().hi);
+  EXPECT_EQ(decoded.writes.bounds().lo, original.writes.bounds().lo);
+  EXPECT_EQ(decoded.writes.bounds().hi, original.writes.bounds().hi);
+  // Fingerprints are rebuilt/validated on decode and must stay usable.
+  EXPECT_TRUE(decoded.fingerprints_ready());
+  EXPECT_FALSE(fingerprints_disjoint(decoded, original));
+}
+
+TEST(SegmentStream, MetaPlusArenasComposesToFullImage) {
+  // The shard producer ships spilled segments as metadata + the archive
+  // record verbatim; that composition must equal encode_segment().
+  const Segment seg = make_segment(5);
+  std::vector<uint8_t> full;
+  encode_segment(seg, full);
+  std::vector<uint8_t> composed;
+  encode_segment_meta(seg, composed);
+  std::vector<uint8_t> arenas;
+  encode_segment_arenas(seg, arenas);
+  composed.insert(composed.end(), arenas.begin(), arenas.end());
+  EXPECT_EQ(full, composed);
+}
+
+TEST(SegmentStream, EncodersAppendWithoutClearing) {
+  const Segment seg = make_segment(1);
+  std::vector<uint8_t> out = {0xAB, 0xCD};
+  encode_segment_arenas(seg, out);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out[0], 0xAB);
+  EXPECT_EQ(out[1], 0xCD);
+}
+
+TEST(SegmentStream, ArenasDecodeRejectsTrailingAndTruncated) {
+  const Segment seg = make_segment(2);
+  std::vector<uint8_t> arenas;
+  encode_segment_arenas(seg, arenas);
+
+  Segment out;
+  const size_t used = decode_segment_arenas(arenas.data(), arenas.size(), out);
+  EXPECT_EQ(used, arenas.size());
+
+  // Truncated images must decode to 0, not partially-filled trees.
+  for (size_t cut : {size_t{0}, size_t{1}, arenas.size() / 2,
+                     arenas.size() - 1}) {
+    Segment truncated;
+    EXPECT_EQ(decode_segment_arenas(arenas.data(), cut, truncated), 0u)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SegmentStream, SegmentDecodeRejectsTrailingBytes) {
+  const Segment seg = make_segment(3);
+  std::vector<uint8_t> image;
+  encode_segment(seg, image);
+  image.push_back(0);
+  Segment out;
+  std::string error;
+  EXPECT_FALSE(decode_segment(image, out, &error));
+  EXPECT_NE(error.find("trailing bytes"), std::string::npos) << error;
+}
+
+TEST(SegmentStream, PairOutcomeByeRoundTrip) {
+  WirePair pair{41, 99};
+  std::vector<uint8_t> bytes;
+  encode_pair(pair, bytes);
+  WirePair pair2;
+  std::string error;
+  ASSERT_TRUE(decode_pair(bytes, pair2, &error)) << error;
+  EXPECT_EQ(pair2.a, 41u);
+  EXPECT_EQ(pair2.b, 99u);
+
+  WireOutcome outcome;
+  outcome.a = 4;
+  outcome.b = 9;
+  outcome.raw_conflicts = 12;
+  outcome.suppressed_stack = 3;
+  outcome.suppressed_tls = 1;
+  outcome.suppressed_user = 2;
+  WireReport report;
+  report.lo = 0x1000;
+  report.hi = 0x1008;
+  report.first = {7, 4, 0, 120, 1, "mergesort.c"};
+  report.second = {8, 9, 1, 133, 0, "mergesort.c"};
+  outcome.reports.push_back(report);
+  bytes.clear();
+  encode_outcome(outcome, bytes);
+  WireOutcome outcome2;
+  ASSERT_TRUE(decode_outcome(bytes, outcome2, &error)) << error;
+  EXPECT_EQ(outcome2.raw_conflicts, 12u);
+  EXPECT_EQ(outcome2.suppressed_user, 2u);
+  ASSERT_EQ(outcome2.reports.size(), 1u);
+  EXPECT_EQ(outcome2.reports[0].first.file, "mergesort.c");
+  EXPECT_EQ(outcome2.reports[0].first.is_write, 1);
+  EXPECT_EQ(outcome2.reports[0].second.line, 133u);
+  EXPECT_EQ(outcome2.reports[0].hi, 0x1008u);
+
+  WireBye bye{527, 61};
+  bytes.clear();
+  encode_bye(bye, bytes);
+  WireBye bye2;
+  ASSERT_TRUE(decode_bye(bytes, bye2, &error)) << error;
+  EXPECT_EQ(bye2.pairs_scanned, 527u);
+  EXPECT_EQ(bye2.segments_received, 61u);
+
+  // Trailing bytes are corruption everywhere.
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_bye(bytes, bye2, &error));
+  EXPECT_NE(error.find("trailing bytes"), std::string::npos) << error;
+}
+
+TEST(SegmentStream, DecoderDeliversFramesAtEveryChunking) {
+  const Segment seg = make_segment(8);
+  std::vector<uint8_t> payload;
+  encode_segment(seg, payload);
+  std::vector<uint8_t> bytes;
+  append_stream_header(bytes);
+  append_frame(bytes, FrameType::kSegment, 8, payload);
+  std::vector<uint8_t> pair_payload;
+  encode_pair({8, 9}, pair_payload);
+  append_frame(bytes, FrameType::kPair, 0, pair_payload);
+  append_frame(bytes, FrameType::kFinish, 0, {});
+
+  // Byte-at-a-time delivery: the decoder must never error mid-frame and
+  // must produce exactly the three frames in order.
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    decoder.append(&bytes[i], 1);
+    Frame frame;
+    FrameDecoder::Status status;
+    while ((status = decoder.next(frame)) == FrameDecoder::Status::kFrame) {
+      frames.push_back(frame);
+    }
+    ASSERT_EQ(status, FrameDecoder::Status::kNeedMore)
+        << "byte " << i << ": " << decoder.error();
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kSegment);
+  EXPECT_EQ(frames[0].id, 8u);
+  EXPECT_EQ(frames[0].payload, payload);
+  EXPECT_EQ(frames[1].type, FrameType::kPair);
+  EXPECT_EQ(frames[2].type, FrameType::kFinish);
+  EXPECT_TRUE(frames[2].payload.empty());
+}
+
+TEST(SegmentStream, TruncationIsNeedMoreNeverError) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4};
+  const std::vector<uint8_t> bytes =
+      stream_with(FrameType::kArenas, 3, payload);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.append(bytes.data(), cut);
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore)
+        << "cut at " << cut << ": " << decoder.error();
+  }
+}
+
+TEST(SegmentStream, BadMagicIsRejected) {
+  std::vector<uint8_t> bytes = stream_with(FrameType::kFinish, 0, {});
+  bytes[0] = 'X';
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("bad magic (not a TGSEGS1 stream)"),
+            std::string::npos)
+      << decoder.error();
+}
+
+TEST(SegmentStream, BadVersionIsRejected) {
+  std::vector<uint8_t> bytes = stream_with(FrameType::kFinish, 0, {});
+  bytes[8] = 99;  // u32 version, little-endian
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("unsupported version 99"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(SegmentStream, UnknownFrameTypeIsRejected) {
+  std::vector<uint8_t> bytes = stream_with(FrameType::kFinish, 0, {});
+  bytes[kStreamHeaderBytes] = 0x77;  // frame type field
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("unknown frame type"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(SegmentStream, OversizedPayloadIsRejectedBeforeAllocation) {
+  std::vector<uint8_t> bytes;
+  append_stream_header(bytes);
+  append_frame(bytes, FrameType::kArenas, 1, {});
+  // Rewrite the u64 payload_len at offset header+8 to an absurd value. The
+  // decoder must reject it from the 24 header bytes alone - it never has
+  // (and never waits for) that much data.
+  const uint64_t absurd = kMaxFramePayload + 1;
+  std::memcpy(&bytes[kStreamHeaderBytes + 8], &absurd, sizeof(absurd));
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("oversized frame payload"),
+            std::string::npos)
+      << decoder.error();
+}
+
+TEST(SegmentStream, BitFlipFailsChecksumAndSticks) {
+  std::vector<uint8_t> payload = {10, 20, 30, 40, 50};
+  std::vector<uint8_t> bytes = stream_with(FrameType::kArenas, 2, payload);
+  bytes.back() ^= 0x01;  // flip one payload bit
+
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("frame checksum mismatch"),
+            std::string::npos)
+      << decoder.error();
+
+  // The error is sticky: even a pristine follow-up frame yields nothing.
+  std::vector<uint8_t> clean;
+  append_frame(clean, FrameType::kFinish, 0, {});
+  decoder.append(clean.data(), clean.size());
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+}
+
+TEST(SegmentStream, MalformedPayloadsAreRejected) {
+  std::string error;
+  WirePair pair;
+  std::vector<uint8_t> short_pair = {1, 2, 3};
+  EXPECT_FALSE(decode_pair(short_pair, pair, &error));
+  EXPECT_NE(error.find("truncated pair request"), std::string::npos) << error;
+
+  WireOutcome outcome;
+  std::vector<uint8_t> short_outcome = {0, 0, 0};
+  EXPECT_FALSE(decode_outcome(short_outcome, outcome, &error));
+
+  Segment seg;
+  std::vector<uint8_t> garbage(64, 0xFF);
+  EXPECT_FALSE(decode_segment(garbage, seg, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace tg::core

@@ -1,0 +1,202 @@
+// Differential hardening of the sharded analyzer backend.
+//
+// --shard-workers=N forks N analyzer processes and streams closed segments
+// plus scan requests to them over the segment-stream-v1 wire schema; the
+// coordinator merges per-shard outcomes back into the canonical total
+// order. The in-process streaming engine is the oracle: under every worker
+// count the findings - and the whole canonical session JSON - must be
+// byte-identical, including under the memory-pressure governor (spilled
+// segments ship their archive record verbatim) and across a SIGKILL'd
+// worker (lost pairs are resharded, nothing double-counts).
+//
+// Covered inputs: the full guest-program registry, a sweep of random
+// dependence/taskwait programs, and the racy mini-LULESH.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "lulesh/lulesh.hpp"
+#include "programs/registry.hpp"
+#include "random_program.hpp"
+#include "tools/session.hpp"
+
+namespace tg::tools {
+namespace {
+
+struct ShardRun {
+  SessionOptions options;
+  SessionResult result;
+  std::string canonical;
+};
+
+ShardRun run_sharded(const rt::GuestProgram& program, int shard_workers,
+                uint64_t max_tree_bytes = 0, uint32_t kill_after = 0,
+                int num_threads = 2) {
+  ShardRun run;
+  run.options.tool = ToolKind::kTaskgrind;
+  run.options.num_threads = num_threads;
+  run.options.taskgrind.streaming = true;
+  run.options.taskgrind.shard_workers = shard_workers;
+  run.options.taskgrind.max_tree_bytes = max_tree_bytes;
+  run.options.taskgrind.shard_kill_after = kill_after;
+  run.result = run_session(program, run.options);
+  run.canonical = session_json(run.options, run.result, /*canonical=*/true);
+  return run;
+}
+
+void expect_identical(const ShardRun& oracle, const ShardRun& sharded,
+                      const std::string& label) {
+  ASSERT_EQ(oracle.result.status, sharded.result.status) << label;
+  EXPECT_EQ(oracle.result.report_count, sharded.result.report_count) << label;
+  EXPECT_EQ(oracle.result.raw_report_count, sharded.result.raw_report_count)
+      << label;
+  ASSERT_EQ(oracle.result.report_texts.size(),
+            sharded.result.report_texts.size())
+      << label;
+  for (size_t i = 0; i < oracle.result.report_texts.size(); ++i) {
+    EXPECT_EQ(oracle.result.report_texts[i], sharded.result.report_texts[i])
+        << label << " report " << i;
+  }
+  EXPECT_EQ(oracle.result.report_keys, sharded.result.report_keys) << label;
+  // The strongest form of the claim: the whole canonical session emission
+  // (status, reports, dedup keys, run-invariant stats) is byte-identical.
+  EXPECT_EQ(oracle.canonical, sharded.canonical) << label;
+  EXPECT_EQ(oracle.result.analysis_stats.raw_conflicts,
+            sharded.result.analysis_stats.raw_conflicts)
+      << label;
+  EXPECT_EQ(oracle.result.analysis_stats.suppressed_stack,
+            sharded.result.analysis_stats.suppressed_stack)
+      << label;
+  EXPECT_EQ(oracle.result.analysis_stats.suppressed_tls,
+            sharded.result.analysis_stats.suppressed_tls)
+      << label;
+}
+
+void expect_shard_counters_sane(const ShardRun& sharded, int workers,
+                                const std::string& label) {
+  const core::AnalysisStats& stats = sharded.result.analysis_stats;
+  if (stats.shard_degraded) {
+    // fork/socketpair failed at setup - legal, but nothing to check.
+    return;
+  }
+  EXPECT_EQ(stats.shard_workers, static_cast<uint64_t>(workers)) << label;
+  ASSERT_EQ(stats.shard_pairs.size(), static_cast<size_t>(workers)) << label;
+  const uint64_t assigned = std::accumulate(
+      stats.shard_pairs.begin(), stats.shard_pairs.end(), uint64_t{0});
+  // Every deferred pair was either placed on a shard (possibly twice, after
+  // a death) or degraded to a guest-side scan - never dropped.
+  EXPECT_GE(assigned + stats.shard_pairs_local, stats.pairs_deferred)
+      << label;
+  if (stats.pairs_deferred > 0) {
+    EXPECT_GT(stats.shard_segments_sent, 0u) << label;
+    EXPECT_GT(stats.shard_bytes_sent, 0u) << label;
+  }
+}
+
+}  // namespace
+
+TEST(ShardDifferential, RegistryPrograms) {
+  for (const rt::GuestProgram& program : progs::all_programs()) {
+    const ShardRun oracle = run_sharded(program, /*shard_workers=*/0);
+    for (int workers : {1, 2, 4}) {
+      const ShardRun sharded = run_sharded(program, workers);
+      const std::string label =
+          program.name + " @" + std::to_string(workers) + " workers";
+      expect_identical(oracle, sharded, label);
+      expect_shard_counters_sane(sharded, workers, label);
+    }
+  }
+}
+
+TEST(ShardDifferential, RandomPrograms) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const progs::RandomProgram spec = progs::RandomProgram::generate(seed);
+    const rt::GuestProgram program = spec.to_guest(seed);
+    const ShardRun oracle = run_sharded(program, /*shard_workers=*/0);
+    for (int workers : {2, 4}) {
+      const std::string label = "seed " + std::to_string(seed) + " @" +
+                                std::to_string(workers) + " workers";
+      const ShardRun sharded = run_sharded(program, workers);
+      expect_identical(oracle, sharded, label);
+      expect_shard_counters_sane(sharded, workers, label);
+    }
+  }
+}
+
+TEST(ShardDifferential, LuleshWithAndWithoutGovernor) {
+  lulesh::LuleshParams params;
+  params.s = 10;
+  params.iters = 8;
+  params.tel = 8;
+  params.tnl = 8;
+  params.racy = true;
+  const rt::GuestProgram program = lulesh::make_lulesh(params);
+
+  const ShardRun oracle =
+      run_sharded(program, /*shard_workers=*/0, 0, 0, /*num_threads=*/1);
+  for (int workers : {1, 2, 4}) {
+    const std::string label = "lulesh @" + std::to_string(workers);
+    const ShardRun sharded =
+        run_sharded(program, workers, 0, 0, /*num_threads=*/1);
+    expect_identical(oracle, sharded, label);
+    expect_shard_counters_sane(sharded, workers, label);
+
+    // Under the governor, already-spilled segments ship their archive
+    // record verbatim as the arenas section of the wire image - findings
+    // must not notice.
+    const ShardRun governed = run_sharded(program, workers, /*max_tree_bytes=*/
+                                     64 * 1024, 0, /*num_threads=*/1);
+    expect_identical(oracle, governed, label + " governed");
+    expect_shard_counters_sane(governed, workers, label + " governed");
+    if (!governed.result.analysis_stats.shard_degraded) {
+      EXPECT_GT(governed.result.analysis_stats.segments_spilled, 0u)
+          << label;
+    }
+  }
+}
+
+TEST(ShardDifferential, WorkerDeathIsDetectedAndHarmless) {
+  const rt::GuestProgram* program = progs::find_program("app-mergesort-racy");
+  ASSERT_NE(program, nullptr);
+
+  const ShardRun oracle = run_sharded(*program, /*shard_workers=*/0);
+  for (int workers : {2, 4}) {
+    const std::string label = "kill @" + std::to_string(workers);
+    const ShardRun faulted = run_sharded(*program, workers, 0, /*kill_after=*/3);
+    expect_identical(oracle, faulted, label);
+    const core::AnalysisStats& stats = faulted.result.analysis_stats;
+    if (stats.shard_degraded) continue;
+    // The SIGKILL'd worker must be noticed and its lost pairs recovered -
+    // by resharding or by guest-side scans, both already proven identical.
+    EXPECT_GE(stats.shard_deaths, 1u) << label;
+    EXPECT_GT(stats.shard_pairs_resharded + stats.shard_pairs_local, 0u)
+        << label;
+  }
+}
+
+TEST(ShardDifferential, SuppressionFlagsSurviveTheFork) {
+  // Workers inherit the suppression configuration pre-fork; disabling the
+  // built-in stack/TLS gauntlet must change sharded findings exactly the
+  // way it changes in-process findings.
+  const rt::GuestProgram* program = progs::find_program("app-mergesort-racy");
+  ASSERT_NE(program, nullptr);
+  SessionOptions base;
+  base.tool = ToolKind::kTaskgrind;
+  base.num_threads = 2;
+  base.taskgrind.suppress_stack = false;
+  base.taskgrind.suppress_tls = false;
+
+  SessionOptions local = base;
+  const SessionResult local_result = run_session(*program, local);
+  SessionOptions sharded = base;
+  sharded.taskgrind.shard_workers = 2;
+  const SessionResult sharded_result = run_session(*program, sharded);
+
+  EXPECT_EQ(session_json(local, local_result, /*canonical=*/true),
+            session_json(sharded, sharded_result, /*canonical=*/true));
+  EXPECT_EQ(local_result.analysis_stats.suppressed_stack, 0u);
+  EXPECT_EQ(sharded_result.analysis_stats.suppressed_stack, 0u);
+}
+
+}  // namespace tg::tools
