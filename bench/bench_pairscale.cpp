@@ -1,0 +1,161 @@
+// Pair-generation scaling sweep (schema "taskgrind-pairscale-v1"): the
+// dense-mesh generator grown 10k -> 100k closed segments, with frontier-
+// bounded generation A/B'd against legacy live-window enumeration. The
+// curve the CI validator checks is pairs GENERATED per closed segment:
+// flat under the frontier (the per-close candidate set depends on the mesh
+// width, not its length), growing under legacy enumeration (the laggard
+// construction makes the live window grow ~sqrt(n)).
+//
+// A second block of identity legs re-runs the 10k mesh across frontier
+// on/off x shard workers {1,2,4}, a --max-tree-bytes governed pair, and a
+// post-mortem oracle; every entry carries the FNV-1a report-identity
+// digest and the validator asserts the digest is constant across ALL
+// entries of the file - byte-identity measured, not assumed.
+//
+// Usage: bench_pairscale [--json FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/dense_mesh.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace tg::bench {
+namespace {
+
+using core::AnalysisOptions;
+using core::AnalysisStats;
+using core::DenseMeshRun;
+using core::DenseMeshSpec;
+
+struct Leg {
+  const char* mode;  // "streaming" | "post-mortem"
+  uint64_t segments;
+  bool frontier;
+  int shard_workers;
+  uint64_t max_tree_bytes;
+};
+
+int run(const std::string& json_path) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "taskgrind-pairscale-v1");
+  json.key("workload").begin_object();
+  json.field("generator", "dense-mesh");
+  json.field("lanes", static_cast<uint64_t>(DenseMeshSpec{}.lanes));
+  json.field("laggard_period", std::string("sqrt(steps)"));
+  json.field("racy", true);
+  json.end_object();  // workload
+  json.key("entries").begin_array();
+
+  TextTable table({"mode", "segments", "frontier", "workers", "tree-cap",
+                   "pairs", "per-segment", "never-generated", "live-peak",
+                   "adjudicate (s)", "reports", "identity"});
+
+  auto run_one = [&](const Leg& leg) {
+    const DenseMeshSpec spec = DenseMeshSpec::for_segments(leg.segments);
+    AnalysisOptions options;
+    options.use_frontier_pairs = leg.frontier;
+    options.threads = 4;
+    options.shard_workers = leg.shard_workers;
+    options.max_tree_bytes = leg.max_tree_bytes;
+    const auto t0 = std::chrono::steady_clock::now();
+    const DenseMeshRun run = core::run_dense_mesh(
+        spec, options, std::strcmp(leg.mode, "streaming") == 0);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const AnalysisStats& stats = run.result.stats;
+    const double per_segment = static_cast<double>(stats.pairs_total) /
+                               static_cast<double>(stats.segments_active);
+    json.begin_object();
+    json.field("mode", leg.mode);
+    json.field("frontier", leg.frontier);
+    json.field("shard_workers", static_cast<uint64_t>(leg.shard_workers));
+    json.field("max_tree_bytes", leg.max_tree_bytes);
+    json.field("segments_requested", leg.segments);
+    json.field("segments_active", stats.segments_active);
+    // The generation funnel: the universe n*(n-1)/2 splits exactly into
+    // never-generated (bulk-pruned pre-generation) plus the per-pair bins.
+    json.field("pairs_total", stats.pairs_total);
+    json.field("pairs_never_generated", stats.pairs_never_generated);
+    json.field("pairs_skipped_bbox", stats.pairs_skipped_bbox);
+    json.field("pairs_region_fast", stats.pairs_region_fast);
+    json.field("pairs_ordered", stats.pairs_ordered);
+    json.field("pairs_mutex", stats.pairs_mutex);
+    json.field("pairs_skipped_fingerprint", stats.pairs_skipped_fingerprint);
+    json.field("pairs_scanned", stats.pairs_scanned);
+    json.field("pairs_per_segment", per_segment);
+    json.field("peak_live_segments", stats.peak_live_segments);
+    json.field("segments_spilled", stats.segments_spilled);
+    json.field("analysis_seconds", seconds);
+    json.field("report_count", static_cast<uint64_t>(run.result.reports.size()));
+    json.field("report_identity", run.identity);
+    json.end_object();
+
+    char per[32];
+    std::snprintf(per, sizeof per, "%.1f", per_segment);
+    table.add_row({leg.mode, std::to_string(stats.segments_active),
+                   leg.frontier ? "on" : "off",
+                   std::to_string(leg.shard_workers),
+                   std::to_string(leg.max_tree_bytes),
+                   std::to_string(stats.pairs_total), per,
+                   std::to_string(stats.pairs_never_generated),
+                   std::to_string(stats.peak_live_segments),
+                   format_seconds(seconds),
+                   std::to_string(run.result.reports.size()),
+                   run.identity});
+  };
+
+  // The scaling curve: pairs generated per closed segment, 10k -> 100k.
+  for (const uint64_t segments : {10000u, 30000u, 100000u}) {
+    run_one({"streaming", segments, /*frontier=*/true, 0, 0});
+    run_one({"streaming", segments, /*frontier=*/false, 0, 0});
+  }
+  // Identity legs at 10k: shard fan-out, the memory governor, and the
+  // post-mortem oracle (at 3k - Algorithm 1 over this mesh is the
+  // quadratic wall the curve above documents).
+  for (const bool frontier : {true, false}) {
+    for (const int workers : {1, 2, 4}) {
+      run_one({"streaming", 10000, frontier, workers, 0});
+    }
+    run_one({"streaming", 10000, frontier, 0, /*max_tree_bytes=*/32 << 10});
+  }
+  run_one({"post-mortem", 3000, /*frontier=*/true, 0, 0});
+
+  json.end_array();
+  json.end_object();
+
+  std::printf(
+      "Pair-generation scaling: dense-mesh, frontier-bounded vs legacy\n\n"
+      "%s\n",
+      table.render().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json.str() << "\n";
+    std::printf("written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return tg::bench::run(json_path);
+}

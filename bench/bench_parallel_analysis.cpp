@@ -54,11 +54,10 @@ rt::GuestProgram make_program(int s) {
   return lulesh::make_lulesh(params);
 }
 
-/// Pairs that actually paid a full tree walk: everything examined minus
-/// every pre-walk verdict (region window, ordering, mutex, fingerprint).
+/// Pairs that actually paid a full tree walk whose verdict stood - now a
+/// first-class funnel counter (AnalysisStats::pairs_scanned).
 uint64_t pairs_scanned(const core::AnalysisStats& stats) {
-  return stats.pairs_total - stats.pairs_region_fast - stats.pairs_ordered -
-         stats.pairs_mutex - stats.pairs_skipped_fingerprint;
+  return stats.pairs_scanned;
 }
 
 int run(int s, bool csv, const std::string& json_path) {
@@ -172,6 +171,7 @@ int run_fingerprint_sweep(int s, const std::string& json_path) {
       json.field("mode", streaming ? "streaming" : "post-mortem");
       json.field("fingerprints", fingerprints);
       json.field("pairs_total", stats.pairs_total);
+      json.field("pairs_never_generated", stats.pairs_never_generated);
       json.field("pairs_skipped_bbox", stats.pairs_skipped_bbox);
       json.field("pairs_region_fast", stats.pairs_region_fast);
       json.field("pairs_ordered", stats.pairs_ordered);

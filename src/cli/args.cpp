@@ -148,6 +148,9 @@ const char* usage_text() {
       "  --no-suppress-stack    disable the segment-local stack filter\n"
       "  --no-suppress-tls      disable the TLS filter\n"
       "  --no-bbox-pruning      disable bounding-box pair pruning\n"
+      "  --no-frontier-pairs    disable frontier-bounded pair generation\n"
+      "                         (streaming; the A/B oracle enumerates every\n"
+      "                         live segment per close instead)\n"
       "  --no-fingerprints      disable the access-fingerprint pair filter\n"
       "  --bitset-oracle        order via ancestor bitsets (verification)\n"
       "  --no-replace-allocator keep the recycling allocator\n"
@@ -291,6 +294,8 @@ ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
       out.session.taskgrind.replace_allocator = false;
     } else if (arg == "--no-bbox-pruning") {
       out.session.taskgrind.use_bbox_pruning = false;
+    } else if (arg == "--no-frontier-pairs") {
+      out.session.taskgrind.use_frontier_pairs = false;
     } else if (arg == "--no-fingerprints") {
       out.session.taskgrind.use_fingerprints = false;
     } else if (arg == "--bitset-oracle") {

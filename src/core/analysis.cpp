@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "core/pair_batch.hpp"
 #include "core/suppress.hpp"
 #include "support/accounting.hpp"
 #include "support/assert.hpp"
@@ -167,7 +168,12 @@ struct PairWorker {
   AnalysisStats stats;
   std::vector<RaceReport> reports;
 
-  void pair(SegId a, SegId b) {
+  /// `fp_hint` is the batched level-0 screen's verdict for this pair
+  /// (kSurvive when the screen did not run): kFpDisjoint is an independent
+  /// sound proof of byte-disjointness, so the exact two-level check is
+  /// skipped. Filter precedence is unchanged - the hint is only consulted
+  /// where the fingerprint filter always ran.
+  void pair(SegId a, SegId b, uint8_t fp_hint) {
     const Segment& s1 = graph.segment(std::min(a, b));
     const Segment& s2 = graph.segment(std::max(a, b));
     stats.pairs_total++;
@@ -187,10 +193,13 @@ struct PairWorker {
       stats.pairs_mutex++;
       return;
     }
-    if (options.use_fingerprints && fingerprints_disjoint(s1, s2)) {
+    if (options.use_fingerprints &&
+        (fp_hint == CandidateBatch::kFpDisjoint ||
+         fingerprints_disjoint(s1, s2))) {
       stats.pairs_skipped_fingerprint++;
       return;
     }
+    stats.pairs_scanned++;
     scan_pair_conflicts(s1, s2, program, allocs, options, stats, reports);
   }
 };
@@ -245,14 +254,26 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
 
   // The bbox sweep: sorted by box start, a pair (i, j < k) can only overlap
   // while active[j].lo is below active[i].hi; the first j past that bound
-  // ends i's row (box starts are non-decreasing). Pairs never generated
-  // cannot produce overlaps, so findings are unchanged.
+  // ends i's row (box starts are non-decreasing). Pairs past the bound are
+  // never generated - they cannot produce overlaps, so findings are
+  // unchanged - and count under pairs_never_generated. Note every pair the
+  // sweep DOES generate provably has overlapping boxes (for j before the
+  // bound, lo_j < hi_i and hi_j > lo_j >= lo_i), so pairs_skipped_bbox is
+  // exactly zero in this engine.
   if (options.use_bbox_pruning) {
     std::sort(active.begin(), active.end(),
               [](const ActiveSeg& a, const ActiveSeg& b) {
                 return a.lo != b.lo ? a.lo < b.lo : a.id < b.id;
               });
   }
+
+  // Flatten the candidate side once (SoA: id, bbox, level-0 fingerprint
+  // words): each row's surviving slice is then screened in one batched
+  // pass of vectorizable word-ANDs instead of per-pair object walks. The
+  // batch is read-only after this loop, so the workers share it.
+  CandidateBatch batch;
+  batch.reserve(active.size());
+  for (const ActiveSeg& entry : active) batch.push(graph.segment(entry.id));
 
   const int nthreads =
       std::max(1, std::min<int>(options.threads,
@@ -265,15 +286,28 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
 
   auto run_worker = [&](int index) {
     PairWorker& worker = workers[static_cast<size_t>(index)];
+    std::vector<uint8_t> verdicts;
     // Strided partition of the outer loop: pair (i, j) for all j > i.
     for (size_t i = static_cast<size_t>(index); i < active.size();
          i += static_cast<size_t>(nthreads)) {
-      for (size_t j = i + 1; j < active.size(); ++j) {
-        if (options.use_bbox_pruning && active[j].lo >= active[i].hi) {
-          worker.stats.pairs_skipped_bbox += active.size() - j;
-          break;
-        }
-        worker.pair(active[i].id, active[j].id);
+      size_t bound = active.size();
+      if (options.use_bbox_pruning) {
+        // Box starts are sorted, so the row's end is a binary search: the
+        // first j with active[j].lo >= active[i].hi.
+        const uint64_t row_hi = active[i].hi;
+        bound = static_cast<size_t>(
+            std::partition_point(
+                active.begin() + static_cast<ptrdiff_t>(i) + 1, active.end(),
+                [row_hi](const ActiveSeg& s) { return s.lo < row_hi; }) -
+            active.begin());
+        worker.stats.pairs_never_generated += active.size() - bound;
+      }
+      if (bound <= i + 1) continue;
+      const CandidateBatch::Footprint query(graph.segment(active[i].id));
+      batch.screen(query, i + 1, bound, /*check_bbox=*/false,
+                   options.use_fingerprints, verdicts);
+      for (size_t j = i + 1; j < bound; ++j) {
+        worker.pair(active[i].id, active[j].id, verdicts[j - i - 1]);
       }
     }
   };
@@ -291,12 +325,14 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
   AnalysisResult result;
   for (const PairWorker& worker : workers) {
     result.stats.pairs_total += worker.stats.pairs_total;
+    result.stats.pairs_never_generated += worker.stats.pairs_never_generated;
     result.stats.pairs_skipped_bbox += worker.stats.pairs_skipped_bbox;
     result.stats.pairs_ordered += worker.stats.pairs_ordered;
     result.stats.pairs_region_fast += worker.stats.pairs_region_fast;
     result.stats.pairs_mutex += worker.stats.pairs_mutex;
     result.stats.pairs_skipped_fingerprint +=
         worker.stats.pairs_skipped_fingerprint;
+    result.stats.pairs_scanned += worker.stats.pairs_scanned;
     result.stats.raw_conflicts += worker.stats.raw_conflicts;
     result.stats.suppressed_stack += worker.stats.suppressed_stack;
     result.stats.suppressed_tls += worker.stats.suppressed_tls;
@@ -309,6 +345,13 @@ AnalysisResult analyze_races(const SegmentGraph& graph,
   // the report cap - applied once on the merged set so the survivors do not
   // depend on how the pairs were partitioned across workers.
   canonicalize_reports(result.reports, options.max_reports);
+
+  // Funnel conservation: every unordered pair of active segments was either
+  // generated (pairs_total) or bulk-pruned by the sweep, exactly once.
+  TG_ASSERT_MSG(
+      result.stats.pairs_never_generated + result.stats.pairs_total ==
+          static_cast<uint64_t>(active.size()) * (active.size() - 1) / 2,
+      "pair funnel leak: universe != never_generated + total");
 
   result.stats.segments_active = active.size();
   result.stats.index_bytes = graph.index_bytes();

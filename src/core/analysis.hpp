@@ -38,6 +38,15 @@ struct AnalysisOptions {
   /// disjoint footprints are never generated. Sound: such pairs cannot
   /// produce an overlap, so findings are identical either way.
   bool use_bbox_pruning = true;
+  /// Frontier-bounded pair generation (streaming engine): a closing
+  /// segment enumerates candidates from per-chain live buckets, bulk-
+  /// skipping the prefix of every chain already proved ordered before it
+  /// (the same ancestor walk the per-pair filter runs, applied once per
+  /// chain instead of once per pair) plus everything already retired.
+  /// Sound by construction - only proved-ordered pairs are skipped - so
+  /// findings are identical either way (disable with --no-frontier-pairs
+  /// for the A/B oracle).
+  bool use_frontier_pairs = true;
   /// Test the two-level access fingerprints (core/fingerprint) before any
   /// tree walk and before reloading a spilled partner. Sound: fingerprints
   /// can only prove disjointness, so findings are identical either way.
@@ -70,12 +79,30 @@ struct AnalysisOptions {
 };
 
 struct AnalysisStats {
-  uint64_t pairs_total = 0;          // pairs examined (post bbox pruning)
-  uint64_t pairs_skipped_bbox = 0;   // never generated: disjoint bboxes
+  // The pair funnel. The universe of segment pairs partitions exactly, in
+  // one place:
+  //
+  //   segments_active * (segments_active - 1) / 2
+  //       == pairs_never_generated + pairs_total
+  //   pairs_total == pairs_region_fast + pairs_ordered + pairs_mutex
+  //       + pairs_skipped_bbox + pairs_skipped_fingerprint + pairs_scanned
+  //
+  // `pairs_never_generated` counts pairs bulk-pruned before a candidate is
+  // ever materialized (post-mortem: the sorted bbox sweep's cutoffs;
+  // streaming: frontier-bounded generation - retired partners and proved-
+  // ordered chain prefixes). Every generated pair exits the funnel in
+  // exactly one of the pairs_total buckets; `pairs_scanned` is the residue
+  // whose exact tree-walk verdict stood. (Streaming scans deferred pairs
+  // eagerly before ordering is known - `pairs_deferred` - and the ones
+  // adjudicated ordered/region at finish count there, not under scanned.)
+  uint64_t pairs_total = 0;          // pairs generated (examined per-pair)
+  uint64_t pairs_never_generated = 0;  // bulk-pruned pre-generation
+  uint64_t pairs_skipped_bbox = 0;   // generated, exited on disjoint bboxes
   uint64_t pairs_ordered = 0;        // skipped via reachability
   uint64_t pairs_region_fast = 0;    // skipped via Eq. 1
   uint64_t pairs_mutex = 0;          // skipped via shared mutex
   uint64_t pairs_skipped_fingerprint = 0;  // proved disjoint pre tree walk
+  uint64_t pairs_scanned = 0;        // survived every filter; verdict stood
   uint64_t raw_conflicts = 0;        // overlaps before suppression/dedup
   uint64_t suppressed_stack = 0;
   uint64_t suppressed_tls = 0;
@@ -95,6 +122,8 @@ struct AnalysisStats {
   uint64_t spill_bytes_written = 0;  // archive bytes appended
   uint64_t spill_reloads = 0;        // on-demand arena reloads at finish
   uint64_t spill_reloads_avoided = 0;  // spilled-partner pairs settled by fp
+  uint64_t spill_victims_disjoint = 0;  // evictions fp-disjoint from all
+                                        // open segments (never reloaded)
   uint64_t enqueue_stalls = 0;       // builder waits for scans to unpin
   uint64_t fingerprint_bytes = 0;    // run-directory high-water mark
   // Sharded analyzer backend counters (zero unless shard_workers > 0).

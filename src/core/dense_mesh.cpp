@@ -1,0 +1,192 @@
+#include "core/dense_mesh.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/graph_builder.hpp"
+#include "core/report.hpp"
+#include "core/segment_stream.hpp"
+#include "core/streaming.hpp"
+#include "runtime/task.hpp"
+
+namespace tg::core {
+
+namespace {
+
+// Per-lane address bases. The cell and both halo words of lane k live in
+// one window; halo reads reach into the neighbouring windows, so a lane
+// segment's bounding box spans at most three windows - but the cell word
+// is re-written every row, which keeps every same-lane pair box-
+// overlapping forever (the sweep-defeating property). The stride is one
+// 4K fingerprint page so the batched level-0 screen still discriminates
+// non-neighbour lanes.
+constexpr uint64_t kLaneStride = 0x1000;
+constexpr uint64_t kLaneBase = 0x10000;
+constexpr uint64_t kChanBase = 0x40000;
+constexpr uint64_t kLagChan = 0x60000;
+constexpr uint64_t kRaceWord = 0x70000;
+
+uint64_t cell(uint32_t k) { return kLaneBase + k * kLaneStride; }
+uint64_t bnd_right(uint32_t k) { return kLaneBase + k * kLaneStride + 0x40; }
+uint64_t bnd_left(uint32_t k) { return kLaneBase + k * kLaneStride + 0x48; }
+uint64_t chan_right(uint32_t k) { return kChanBase + k * 0x10; }
+uint64_t chan_left(uint32_t k) { return kChanBase + k * 0x10 + 0x8; }
+
+vex::SrcLoc lane_loc(uint32_t k) { return {0, 10 + k}; }
+vex::SrcLoc race_loc(uint32_t k) { return {0, 200 + k}; }
+
+}  // namespace
+
+uint32_t DenseMeshSpec::period() const {
+  if (laggard_period > 0) return laggard_period;
+  const auto root = static_cast<uint32_t>(std::lround(std::sqrt(steps)));
+  return root < 4 ? 4 : root;
+}
+
+DenseMeshSpec DenseMeshSpec::for_segments(uint64_t segments) {
+  // Each lane-row closes two access-bearing segments (the write block at
+  // the first release of the row, the halo-read block at the first release
+  // of the next row), so rows ~= segments / (2 * lanes).
+  DenseMeshSpec spec;
+  spec.lanes = 8;
+  uint64_t steps = segments / (2 * spec.lanes);
+  if (steps < 4) steps = 4;
+  spec.steps = static_cast<uint32_t>(steps);
+  return spec;
+}
+
+DenseMeshRun run_dense_mesh(const DenseMeshSpec& spec,
+                            const AnalysisOptions& options, bool streaming) {
+  TG_ASSERT_MSG(spec.lanes >= 2, "dense mesh needs at least two lanes");
+  const uint32_t W = spec.lanes;
+  const uint32_t M = spec.steps;
+  const uint32_t K = spec.period();
+  const uint64_t lag_task = W;
+  uint64_t next_ticker = W + 1;
+
+  // Static: reports keep const char* file names resolved through this
+  // program, so its storage must outlive every DenseMeshRun.
+  static const vex::Program program = [] {
+    vex::Program p;
+    p.files = {"dense-mesh.c"};
+    return p;
+  }();
+
+  SegmentGraphBuilder builder;
+  std::unique_ptr<StreamingAnalyzer> streamer;
+  if (streaming) {
+    builder.graph().enable_predecessor_index(true);
+    streamer = std::make_unique<StreamingAnalyzer>(builder.graph(), program,
+                                                   /*allocs=*/nullptr,
+                                                   options);
+    streamer->set_open_fp_provider([&builder](uint64_t* out) {
+      builder.accumulate_open_fingerprints(out);
+    });
+    builder.set_sink(streamer.get());
+  }
+
+  // Root is lane 0: its growth point must sit inside the wavefront or the
+  // reverse sweep from it would never cover the other lanes and nothing
+  // would retire.
+  builder.task_create(0, kNoId, rt::TaskFlags::kImplicit, kNoId, {0, 1});
+  builder.schedule_begin(0, /*tid=*/0);
+  for (uint32_t k = 1; k < W; ++k) {
+    builder.task_create(k, 0, 0, kNoId, {0, 2});
+    builder.schedule_begin(k, /*tid=*/static_cast<int>(k));
+  }
+  builder.task_create(lag_task, 0, 0, kNoId, {0, 3});
+  builder.schedule_begin(lag_task, /*tid=*/static_cast<int>(W));
+
+  for (uint32_t j = 0; j < M; ++j) {
+    const bool lag_sync = (j % K) == K - 1;
+    // Phase 0 (writeEF's wait-for-empty half): before rewriting its halo
+    // words a lane acquires the EMPTY channel its readers released after
+    // consuming the previous row. Without this reverse edge the row-j read
+    // would race the row-j+1 rewrite - the classic halo-exchange bug.
+    if (j > 0) {
+      for (uint32_t k = 0; k < W; ++k) {
+        if (k + 1 < W) builder.feb_acquire(k, chan_right(k), false);
+        if (k > 0) builder.feb_acquire(k, chan_left(k), false);
+      }
+    }
+    // Phase 1: every lane updates its cell and publishes its halo words.
+    for (uint32_t k = 0; k < W; ++k) {
+      const int tid = static_cast<int>(k);
+      builder.record_access(tid, cell(k), 8, /*is_write=*/true, lane_loc(k));
+      if (k + 1 < W) {
+        builder.record_access(tid, bnd_right(k), 8, true, lane_loc(k));
+      }
+      if (k > 0) {
+        builder.record_access(tid, bnd_left(k), 8, true, lane_loc(k));
+      }
+    }
+    // Phase 2: release both neighbour FULL channels (BSP-style, so ancestry
+    // propagates one lane per row in both directions).
+    for (uint32_t k = 0; k < W; ++k) {
+      if (k + 1 < W) builder.feb_release(k, chan_right(k), true);
+      if (k > 0) builder.feb_release(k, chan_left(k), true);
+    }
+    if (lag_sync) builder.feb_release(0, kLagChan, true);
+    // Phase 3 (readFE): acquire FULL from both neighbours, read their halo
+    // words, then release the EMPTY channels so the writers may rewrite.
+    for (uint32_t k = 0; k < W; ++k) {
+      const int tid = static_cast<int>(k);
+      if (k > 0) builder.feb_acquire(k, chan_right(k - 1), true);
+      if (k + 1 < W) builder.feb_acquire(k, chan_left(k + 1), true);
+      if (k > 0) {
+        builder.record_access(tid, bnd_right(k - 1), 8, false, lane_loc(k));
+      }
+      if (k + 1 < W) {
+        builder.record_access(tid, bnd_left(k + 1), 8, false, lane_loc(k));
+      }
+      if (k > 0) builder.feb_release(k, chan_right(k - 1), false);
+      if (k + 1 < W) builder.feb_release(k, chan_left(k + 1), false);
+    }
+    if (lag_sync) builder.feb_acquire(lag_task, kLagChan, true);
+    // One ticker completion per row keeps the retirement sweep cadence
+    // independent of the (never-completing) lane tasks.
+    builder.task_create(next_ticker, 0, 0, kNoId, {0, 4});
+    builder.task_complete(next_ticker);
+    ++next_ticker;
+  }
+
+  if (spec.racy) {
+    // One unordered write per lane to the same word, each from its own
+    // source line: lanes*(lanes-1)/2 racy pairs -> lanes-1 deduped
+    // reports per lane pair line combination, constant in `steps`.
+    for (uint32_t k = 0; k < W; ++k) {
+      builder.record_access(static_cast<int>(k), kRaceWord, 8, true,
+                            race_loc(k));
+    }
+  }
+
+  for (uint32_t k = 1; k < W; ++k) builder.task_complete(k);
+  builder.task_complete(lag_task);
+  builder.sync_begin(rt::SyncKind::kTaskwait, 0, 0);
+  builder.sync_end(rt::SyncKind::kTaskwait, 0, 0);
+  builder.task_complete(0);
+
+  builder.finalize();
+
+  DenseMeshRun run;
+  if (streaming) {
+    run.result = streamer->finish();
+  } else {
+    run.result = analyze_races(builder.graph(), program, nullptr, options);
+  }
+
+  std::string joined;
+  for (const RaceReport& report : run.result.reports) {
+    joined += report_dedup_key(report);
+    joined += '\n';
+  }
+  const uint64_t digest = segment_stream_fnv1a(
+      {reinterpret_cast<const uint8_t*>(joined.data()), joined.size()});
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  run.identity = buf;
+  return run;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,66 @@
+// Dense-mesh workload generator: a synthetic segment stream whose pair
+// universe defeats the 1-D bounding-box sweep by construction.
+//
+// Shape: `lanes` long-lived tasks advance in lockstep rows. Every row, each
+// lane writes its own cell, exchanges halo words with both neighbours
+// through full/empty-bit channels (readable boundary accesses, ordered by
+// the FEB edges), and a throwaway ticker task completes so the builder's
+// retirement sweep keeps ticking. One extra "laggard" task synchronizes
+// with the mesh only every `laggard_period` rows; between its syncs no
+// mesh segment is an ancestor of ALL growth points, so the live window
+// grows to ~lanes * laggard_period segments that are almost all ordered
+// with the next segment to close. That window is exactly the mass
+// frontier-bounded generation prunes without materializing: legacy
+// enumeration generates O(window) candidates per close, the frontier a
+// bounded diagonal band - while findings stay byte-identical.
+//
+// Because every lane re-writes the same cell word on every row, same-lane
+// segment pairs always box-overlap: the post-mortem bbox sweep degrades to
+// O(n^2 / lanes) generated pairs, which is the scaling wall the streaming
+// frontier is measured against (tests/test_dense_mesh.cpp and
+// bench/bench_pairscale.cpp).
+//
+// The generator drives SegmentGraphBuilder directly - no guest VM - so
+// 100k-segment meshes are cheap enough for tier-1 differential tests. The
+// guest-visible twin (same topology, qthreads FEB front-end) is the
+// registry program "dense-mesh" (src/programs/misc.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/analysis.hpp"
+
+namespace tg::core {
+
+struct DenseMeshSpec {
+  uint32_t lanes = 8;    // >= 2
+  uint32_t steps = 64;   // rows per lane
+  /// Rows between laggard syncs (the live-window length). 0 = sqrt(steps),
+  /// which makes legacy per-close generation grow ~sqrt(n) while the
+  /// frontier stays flat - a measurable A/B separation at every size.
+  uint32_t laggard_period = 0;
+  /// Adds one unordered write per lane to a shared word at the end (each
+  /// lane its own source line): lanes*(lanes-1)/2 racy pairs, a constant-
+  /// size finding set whose identity is sensitive to any lost pair.
+  bool racy = true;
+
+  uint32_t period() const;
+  /// Spec with ~`segments` access-bearing closed segments (lanes kept at 8).
+  static DenseMeshSpec for_segments(uint64_t segments);
+};
+
+struct DenseMeshRun {
+  AnalysisResult result;
+  /// FNV-1a over the newline-joined canonical dedup keys of the deduped
+  /// report set - the cross-configuration identity digest.
+  std::string identity;
+};
+
+/// Runs the mesh through the streaming engine (streaming=true) or the
+/// post-mortem pass. `options.use_frontier_pairs` selects the generation
+/// mode under test; shard_workers / max_tree_bytes legs work unchanged.
+DenseMeshRun run_dense_mesh(const DenseMeshSpec& spec,
+                            const AnalysisOptions& options, bool streaming);
+
+}  // namespace tg::core

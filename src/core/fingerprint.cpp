@@ -28,11 +28,13 @@ bool get(const uint8_t* data, size_t size, size_t& at, T& value) {
 AccessFingerprint::AccessFingerprint(AccessFingerprint&& other) noexcept
     : runs_(std::move(other.runs_)),
       accounted_(other.accounted_),
+      page_shift_(other.page_shift_),
       ready_(other.ready_) {
   std::memcpy(words_, other.words_, sizeof(words_));
   std::memset(other.words_, 0, sizeof(other.words_));
   other.runs_.clear();
   other.accounted_ = 0;
+  other.page_shift_ = kFingerprintPageShift;
   other.ready_ = false;
 }
 
@@ -42,11 +44,13 @@ AccessFingerprint& AccessFingerprint::operator=(
   release();
   runs_ = std::move(other.runs_);
   accounted_ = other.accounted_;
+  page_shift_ = other.page_shift_;
   ready_ = other.ready_;
   std::memcpy(words_, other.words_, sizeof(words_));
   std::memset(other.words_, 0, sizeof(other.words_));
   other.runs_.clear();
   other.accounted_ = 0;
+  other.page_shift_ = kFingerprintPageShift;
   other.ready_ = false;
   return *this;
 }
@@ -58,6 +62,7 @@ void AccessFingerprint::release() {
   }
   std::vector<PageRun>().swap(runs_);
   std::memset(words_, 0, sizeof(words_));
+  page_shift_ = kFingerprintPageShift;
   ready_ = false;
 }
 
@@ -73,15 +78,23 @@ void AccessFingerprint::account_runs() {
 
 void AccessFingerprint::build_from(const IntervalSet& set) {
   release();
-  std::memcpy(words_, set.fingerprint_words(), sizeof(words_));
+
+  // Tune the page granule to the set's span: the smallest shift whose
+  // 512-slot map covers the bounding box. Sub-page sharers get 8-byte
+  // granules (real pruning where the fixed 4 KiB shift saw one shared
+  // page); giant spans coarsen instead of saturating. Any shift is sound -
+  // runs over-approximate the byte set at every granule.
+  const IntervalSet::Bounds bounds = set.bounds();
+  page_shift_ = bounds.empty() ? kFingerprintPageShift
+                               : pick_page_shift(bounds.hi - bounds.lo);
 
   // Level 1: coalesce the interval walk into page runs. Intervals arrive
   // ordered and disjoint, so adjacent-or-overlapping page ranges merge into
   // the directory's back run; past kMaxRuns the back run widens instead
   // (over-approximate, still sound).
   set.for_each([this](uint64_t lo, uint64_t hi, vex::SrcLoc) {
-    const uint64_t plo = lo >> kFingerprintPageShift;
-    const uint64_t phi = ((hi - 1) >> kFingerprintPageShift) + 1;
+    const uint64_t plo = lo >> page_shift_;
+    const uint64_t phi = ((hi - 1) >> page_shift_) + 1;
     if (!runs_.empty() && plo <= runs_.back().hi) {
       if (phi > runs_.back().hi) runs_.back().hi = phi;
       return;
@@ -94,9 +107,15 @@ void AccessFingerprint::build_from(const IntervalSet& set) {
   });
   account_runs();
 
-  // A reloaded/deserialized set has an empty incremental bitmap; re-derive
-  // level 0 from the runs (widened runs only over-mark - sound). A run set
-  // wider than the bitmap saturates it, same as IntervalSet::fp_note.
+  // Level 0. At the historical shift the set's incrementally-maintained
+  // bitmap is reused directly (it hashes the same page domain); a tuned
+  // shift - or a reloaded/deserialized set, whose incremental bitmap is
+  // empty - derives the bitmap from the runs instead (widened runs only
+  // over-mark - sound). A run set wider than the bitmap saturates it, same
+  // as IntervalSet::fp_note.
+  if (page_shift_ == kFingerprintPageShift) {
+    std::memcpy(words_, set.fingerprint_words(), sizeof(words_));
+  }
   bool words_zero = true;
   for (uint32_t w = 0; w < kFingerprintWords; ++w) {
     if (words_[w] != 0) words_zero = false;
@@ -118,15 +137,34 @@ void AccessFingerprint::build_from(const IntervalSet& set) {
   ready_ = true;
 }
 
+namespace {
+
+// Half-open byte range of a page run at `shift`. The exclusive page bound
+// can reach 2^(64-shift) (an interval ending at the top of the address
+// space); saturate instead of wrapping.
+inline uint64_t run_byte_lo(AccessFingerprint::PageRun run, uint8_t shift) {
+  return run.lo << shift;
+}
+inline uint64_t run_byte_hi(AccessFingerprint::PageRun run, uint8_t shift) {
+  if (shift != 0 && run.hi >= (UINT64_MAX >> shift)) return UINT64_MAX;
+  return run.hi << shift;
+}
+
+}  // namespace
+
 bool AccessFingerprint::runs_intersect(const AccessFingerprint& other) const {
+  // Compared in byte space so fingerprints tuned to different page shifts
+  // stay mutually testable. At equal shifts this is the same verdict as a
+  // page-space two-pointer walk (shifting is monotone).
   size_t a = 0;
   size_t b = 0;
   while (a < runs_.size() && b < other.runs_.size()) {
     const PageRun& ra = runs_[a];
     const PageRun& rb = other.runs_[b];
-    if (ra.hi <= rb.lo) {
+    if (run_byte_hi(ra, page_shift_) <= run_byte_lo(rb, other.page_shift_)) {
       ++a;
-    } else if (rb.hi <= ra.lo) {
+    } else if (run_byte_hi(rb, other.page_shift_) <=
+               run_byte_lo(ra, page_shift_)) {
       ++b;
     } else {
       return true;
@@ -137,6 +175,7 @@ bool AccessFingerprint::runs_intersect(const AccessFingerprint& other) const {
 
 void AccessFingerprint::serialize(std::vector<uint8_t>& out) const {
   put<uint8_t>(out, ready_ ? 1 : 0);
+  put<uint8_t>(out, page_shift_);
   put<uint32_t>(out, static_cast<uint32_t>(runs_.size()));
   for (uint32_t w = 0; w < kFingerprintWords; ++w) put<uint64_t>(out, words_[w]);
   for (const PageRun& run : runs_) {
@@ -145,13 +184,17 @@ void AccessFingerprint::serialize(std::vector<uint8_t>& out) const {
   }
 }
 
-size_t AccessFingerprint::deserialize(const uint8_t* data, size_t size) {
+size_t AccessFingerprint::deserialize(const uint8_t* data, size_t size,
+                                      uint32_t layout) {
   release();
   size_t at = 0;
   uint8_t ready = 0;
+  uint8_t shift = kFingerprintPageShift;  // layout-1 images predate the field
   uint32_t nruns = 0;
-  if (!get(data, size, at, ready) || !get(data, size, at, nruns) ||
-      ready > 1 || nruns > kMaxRuns) {
+  if (!get(data, size, at, ready) ||
+      (layout >= 2 && !get(data, size, at, shift)) ||
+      !get(data, size, at, nruns) || ready > 1 || shift >= 64 ||
+      nruns > kMaxRuns) {
     return 0;
   }
   uint64_t words[kFingerprintWords];
@@ -173,6 +216,7 @@ size_t AccessFingerprint::deserialize(const uint8_t* data, size_t size) {
   std::memcpy(words_, words, sizeof(words_));
   runs_ = std::move(runs);
   account_runs();
+  page_shift_ = shift;
   ready_ = ready != 0;
   return at;
 }

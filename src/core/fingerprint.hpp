@@ -7,13 +7,22 @@
 // partner. An AccessFingerprint is a compact summary that can prove
 // disjointness without touching the trees:
 //
-//   level 0: a fixed 512-bit hashed 4 KiB-page-occupancy bitmap,
-//            maintained incrementally by IntervalSet::add and compared
-//            with a plain 64-bit-word AND loop;
+//   level 0: a fixed 512-bit hashed page-occupancy bitmap compared with a
+//            plain 64-bit-word AND loop;
 //   level 1: a small sorted directory of touched page runs derived from
 //            the chunk directory at segment close, compared with a
 //            two-pointer intersect - it catches the hash collisions that
 //            alias distinct strided partitions onto the same level-0 bits.
+//
+// The page size is tuned per segment: build_from picks the smallest shift
+// whose 512-slot map covers the segment's bounding-box span, so segments
+// sharing one 4 KiB page but touching disjoint bytes (sub-page sharing)
+// still get discriminating fingerprints, and giant spans coarsen instead
+// of saturating the bitmap. Runs from fingerprints built at different
+// shifts compare in byte space; the level-0 word AND applies only between
+// equal shifts (same hash domain). The shift travels with the serialized
+// image so spill/wire round-trips preserve it (wire layout 2; layout 1
+// images predate the field and decode at the historical 4 KiB shift).
 //
 // Soundness: both levels over-approximate the touched page set (hashing
 // aliases pages together; a full run directory widens its last run), so
@@ -48,6 +57,20 @@ class AccessFingerprint {
   /// a sound over-approximation that keeps the directory O(1)-sized.
   static constexpr size_t kMaxRuns = 64;
 
+  /// Tuning range for the per-segment page shift: 8-byte granules up to
+  /// 16 MiB pages. The historical fixed shift (kFingerprintPageShift) sits
+  /// inside the range, so untuned images stay representable.
+  static constexpr uint8_t kMinPageShift = 3;
+  static constexpr uint8_t kMaxPageShift = 24;
+
+  /// The smallest shift in range whose 512-slot level-0 map covers `span`
+  /// bytes (one slot per page, before hashing).
+  static uint8_t pick_page_shift(uint64_t span) {
+    uint8_t s = kMinPageShift;
+    while (s < kMaxPageShift && (span >> s) > kFingerprintBits) ++s;
+    return s;
+  }
+
   AccessFingerprint() = default;
   ~AccessFingerprint() { release(); }
   AccessFingerprint(AccessFingerprint&& other) noexcept;
@@ -66,26 +89,35 @@ class AccessFingerprint {
   bool ready() const { return ready_; }
 
   /// Conservative intersection test: false means the underlying byte sets
-  /// are provably disjoint; true means nothing.
+  /// are provably disjoint; true means nothing. The level-0 word AND is
+  /// only meaningful between fingerprints hashed at the same page shift;
+  /// mixed-shift pairs fall straight through to the byte-space run
+  /// intersect.
   bool maybe_intersects(const AccessFingerprint& other) const {
-    uint64_t hit = 0;
-    for (uint32_t w = 0; w < kFingerprintWords; ++w) {
-      hit |= words_[w] & other.words_[w];
+    if (page_shift_ == other.page_shift_) {
+      uint64_t hit = 0;
+      for (uint32_t w = 0; w < kFingerprintWords; ++w) {
+        hit |= words_[w] & other.words_[w];
+      }
+      if (hit == 0) return false;
     }
-    if (hit == 0) return false;
     return runs_intersect(other);
   }
 
-  /// Appends a portable snapshot (ready flag, words, runs) to `out`.
+  /// Appends a portable snapshot (ready flag, page shift, words, runs) to
+  /// `out` - the layout-2 image.
   void serialize(std::vector<uint8_t>& out) const;
 
   /// Restores a serialize() snapshot, replacing the current contents.
   /// Returns bytes consumed, or 0 on a malformed/truncated image (the
-  /// fingerprint is left unready in that case).
-  size_t deserialize(const uint8_t* data, size_t size);
+  /// fingerprint is left unready in that case). `layout` 1 reads the
+  /// pre-shift wire image (segment-stream-v1 / old spill archives) and
+  /// assumes the historical 4 KiB shift; layout 2 is current.
+  size_t deserialize(const uint8_t* data, size_t size, uint32_t layout = 2);
 
   const uint64_t* words() const { return words_; }
   const std::vector<PageRun>& runs() const { return runs_; }
+  uint8_t page_shift() const { return page_shift_; }
 
  private:
   bool runs_intersect(const AccessFingerprint& other) const;
@@ -95,6 +127,7 @@ class AccessFingerprint {
   uint64_t words_[kFingerprintWords] = {};
   std::vector<PageRun> runs_;  // sorted, disjoint, non-adjacent
   int64_t accounted_ = 0;      // bytes charged to kFingerprints
+  uint8_t page_shift_ = kFingerprintPageShift;  // run/bitmap granule, log2
   bool ready_ = false;
 };
 

@@ -459,6 +459,16 @@ void SegmentGraphBuilder::record_access_slow(int tid, vex::GuestAddr addr,
   cursor.sets[is_write]->add(addr, addr + size, loc);
 }
 
+void SegmentGraphBuilder::accumulate_open_fingerprints(uint64_t* out) const {
+  for (const auto& [id, t] : tasks_) {
+    if (t.cur_seg == kNoSeg) continue;
+    const Segment& segment = graph_.segment(t.cur_seg);
+    const uint64_t* r = segment.reads.fingerprint_words();
+    const uint64_t* w = segment.writes.fingerprint_words();
+    for (uint32_t k = 0; k < kFingerprintWords; ++k) out[k] |= r[k] | w[k];
+  }
+}
+
 SegId SegmentGraphBuilder::current_segment(int tid) {
   if (static_cast<size_t>(tid) >= cur_task_by_tid_.size()) return kNoSeg;
   const uint64_t task_id = cur_task_by_tid_[static_cast<size_t>(tid)];

@@ -172,6 +172,16 @@ class SegmentGraphBuilder {
   SegmentGraph& graph() { return graph_; }
   size_t task_count() const { return tasks_.size(); }
 
+  /// ORs the incremental level-0 fingerprint words (reads and writes) of
+  /// every currently open segment into `out` (kFingerprintWords words,
+  /// caller-zeroed). The memory governor uses the union to prefer spill
+  /// victims byte-disjoint from everything recorded so far by the still-
+  /// open segments: such a victim's pairs against them are likely settled
+  /// by the fingerprint filter at enqueue (certain, unless the open segment
+  /// touches new overlapping pages later), so its arenas are the least
+  /// likely to ever be reloaded.
+  void accumulate_open_fingerprints(uint64_t* out) const;
+
   /// Number of DTV-generation-changed-during-segment warnings (the paper's
   /// §IV-C "gen number" detection of fragile TLS suppression).
   uint64_t dtv_gen_warnings() const { return dtv_gen_warnings_; }

@@ -1,0 +1,112 @@
+#include "core/pair_batch.hpp"
+
+#include <cstring>
+
+#include "core/segment_graph.hpp"
+
+namespace tg::core {
+
+namespace {
+
+/// Copies one side's level-0 words, substituting all-ones when a non-empty
+/// set carries a reset incremental bitmap (cleared/deserialized arenas): an
+/// unknown bitmap must screen as "may intersect anything".
+void side_words(const IntervalSet& set, uint64_t out[kFingerprintWords]) {
+  const uint64_t* words = set.fingerprint_words();
+  uint64_t any = 0;
+  for (uint32_t k = 0; k < kFingerprintWords; ++k) any |= words[k];
+  if (any == 0 && !set.empty()) {
+    std::memset(out, 0xff, kFingerprintWords * sizeof(uint64_t));
+    return;
+  }
+  std::memcpy(out, words, kFingerprintWords * sizeof(uint64_t));
+}
+
+}  // namespace
+
+CandidateBatch::Footprint::Footprint(const Segment& seg) {
+  const IntervalSet::Bounds box = seg.access_bounds();
+  lo = box.lo;
+  hi = box.hi;
+  side_words(seg.writes, w);
+  side_words(seg.reads, r);
+}
+
+void CandidateBatch::clear() {
+  ids_.clear();
+  lo_.clear();
+  hi_.clear();
+  fpw_.clear();
+}
+
+void CandidateBatch::reserve(size_t n) {
+  ids_.reserve(n);
+  lo_.reserve(n);
+  hi_.reserve(n);
+  fpw_.reserve(n * kWordsPerEntry);
+}
+
+void CandidateBatch::push(const Segment& seg) {
+  const Footprint fp(seg);
+  ids_.push_back(seg.id);
+  lo_.push_back(fp.lo);
+  hi_.push_back(fp.hi);
+  const size_t at = fpw_.size();
+  fpw_.resize(at + kWordsPerEntry);
+  std::memcpy(&fpw_[at], fp.w, kFingerprintWords * sizeof(uint64_t));
+  std::memcpy(&fpw_[at + kFingerprintWords], fp.r,
+              kFingerprintWords * sizeof(uint64_t));
+}
+
+void CandidateBatch::erase_prefix(size_t n) {
+  if (n == 0) return;
+  ids_.erase(ids_.begin(), ids_.begin() + static_cast<ptrdiff_t>(n));
+  lo_.erase(lo_.begin(), lo_.begin() + static_cast<ptrdiff_t>(n));
+  hi_.erase(hi_.begin(), hi_.begin() + static_cast<ptrdiff_t>(n));
+  fpw_.erase(fpw_.begin(),
+             fpw_.begin() + static_cast<ptrdiff_t>(n * kWordsPerEntry));
+}
+
+void CandidateBatch::swap_remove(size_t i) {
+  const size_t last = ids_.size() - 1;
+  ids_[i] = ids_[last];
+  lo_[i] = lo_[last];
+  hi_[i] = hi_[last];
+  if (i != last) {
+    std::memcpy(&fpw_[i * kWordsPerEntry], &fpw_[last * kWordsPerEntry],
+                kWordsPerEntry * sizeof(uint64_t));
+  }
+  ids_.pop_back();
+  lo_.pop_back();
+  hi_.pop_back();
+  fpw_.resize(fpw_.size() - kWordsPerEntry);
+}
+
+void CandidateBatch::screen(const Footprint& query, size_t begin, size_t end,
+                            bool check_bbox, bool check_fp,
+                            std::vector<uint8_t>& verdicts) const {
+  verdicts.resize(end - begin);
+  if (end <= begin) return;
+  const uint64_t qlo = query.lo;
+  const uint64_t qhi = query.hi;
+  const uint64_t* fpw = fpw_.data();
+  // Flat, branch-free body: both predicates are computed unconditionally
+  // per entry so the loop vectorizes; the conflict test covers exactly the
+  // three racy directions (wq&w, wq&r, rq&w - two reads never conflict).
+  for (size_t i = begin; i < end; ++i) {
+    const uint64_t* f = fpw + i * kWordsPerEntry;
+    uint64_t hit = 0;
+    for (uint32_t k = 0; k < kFingerprintWords; ++k) {
+      const uint64_t bw = f[k];
+      const uint64_t br = f[kFingerprintWords + k];
+      hit |= (query.w[k] & (bw | br)) | (query.r[k] & bw);
+    }
+    const bool bbox_dis = hi_[i] <= qlo || qhi <= lo_[i];
+    uint8_t v = kSurvive;
+    if (check_fp && hit == 0) v = kFpDisjoint;
+    if (check_bbox && bbox_dis) v = kBboxDisjoint;
+    verdicts[i - begin] = v;
+  }
+}
+
+}  // namespace tg::core

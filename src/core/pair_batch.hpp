@@ -1,0 +1,92 @@
+// Batched pair screening - the SIMD-friendly front half of the pair funnel.
+//
+// Both analysis engines used to adjudicate candidate pairs one at a time:
+// pointer-chase to the partner segment, compare bounding boxes, then walk
+// two AccessFingerprint objects word by word. This module flattens the
+// candidate side into structure-of-arrays batches - parallel arrays of
+// segment id, bounding box and a 16-word level-0 fingerprint snapshot - so
+// one query segment is screened against a whole batch in a single pass of
+// branch-free 64-bit AND/OR loops the compiler can vectorize.
+//
+// The screen is a *sound pre-filter*, never a verdict on its own:
+//
+//  * bbox: half-open boxes that do not overlap cannot share a byte.
+//  * fingerprint: the level-0 words are the IntervalSet's incremental
+//    hashed page-occupancy bitmaps (interval_set.hpp), an over-approximation
+//    of the byte set by construction. A zero AND across every conflict
+//    direction (w&w, w&r, r&w) proves the pair cannot conflict; a non-zero
+//    AND proves nothing and the caller falls through to the exact two-level
+//    AccessFingerprint check and, past that, the tree walk.
+//
+// Entries snapshot their words at push() time, so a batch stays valid after
+// the memory governor spills (or retirement frees) the source arenas.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/interval_set.hpp"
+
+namespace tg::core {
+
+struct Segment;
+
+class CandidateBatch {
+ public:
+  /// Level-0 words per entry: writes then reads.
+  static constexpr uint32_t kWordsPerEntry = 2 * kFingerprintWords;
+
+  /// Screen verdicts, in filter-precedence order: a bbox-disjoint pair is
+  /// classified bbox even when its fingerprints are also disjoint, matching
+  /// the per-pair filter order both engines apply.
+  enum Verdict : uint8_t {
+    kSurvive = 0,       // proves nothing; run the exact filters
+    kBboxDisjoint = 1,  // bounding boxes cannot overlap
+    kFpDisjoint = 2,    // level-0 page bitmaps prove byte-disjointness
+  };
+
+  /// One query segment's side of the screen: bounding box plus level-0
+  /// words with the same validity substitution entries get (see push).
+  struct Footprint {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    uint64_t w[kFingerprintWords] = {};
+    uint64_t r[kFingerprintWords] = {};
+    Footprint() = default;
+    explicit Footprint(const Segment& seg);
+  };
+
+  void clear();
+  void reserve(size_t n);
+  /// Appends the segment's id, bounding box and level-0 word snapshot. A
+  /// side whose interval set is non-empty but carries a reset incremental
+  /// bitmap (cleared or deserialized arenas) is stored as all-ones, so the
+  /// screen can only pass it through - never mis-filter it.
+  void push(const Segment& seg);
+  /// Drops the first n entries from every array (bucket-head compaction).
+  void erase_prefix(size_t n);
+  /// Replaces entry i with the last entry and pops it (mirrors the live
+  /// set's swap-removal, keeping indices aligned).
+  void swap_remove(size_t i);
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  uint32_t id(size_t i) const { return ids_[i]; }
+
+  /// Screens entries [begin, end) against the query in one flat pass and
+  /// writes end-begin verdicts. `check_bbox` / `check_fp` gate the two
+  /// classifications independently (an engine with bbox pruning or
+  /// fingerprints disabled must not skip on them).
+  void screen(const Footprint& query, size_t begin, size_t end,
+              bool check_bbox, bool check_fp,
+              std::vector<uint8_t>& verdicts) const;
+
+ private:
+  std::vector<uint32_t> ids_;
+  std::vector<uint64_t> lo_;
+  std::vector<uint64_t> hi_;
+  std::vector<uint64_t> fpw_;  // kWordsPerEntry per entry, writes then reads
+};
+
+}  // namespace tg::core

@@ -69,11 +69,13 @@ std::string report_dedup_key(const RaceReport& report) {
 std::string stats_summary(const AnalysisStats& stats) {
   std::ostringstream out;
   out << "pairs=" << stats.pairs_total
+      << " never-generated=" << stats.pairs_never_generated
       << " skipped-bbox=" << stats.pairs_skipped_bbox
       << " skipped-fp=" << stats.pairs_skipped_fingerprint
       << " ordered=" << stats.pairs_ordered
       << " region-fast=" << stats.pairs_region_fast
       << " mutex=" << stats.pairs_mutex
+      << " scanned=" << stats.pairs_scanned
       << " active-segments=" << stats.segments_active
       << " index-bytes=" << stats.index_bytes;
   if (stats.oracle_bytes > 0) {

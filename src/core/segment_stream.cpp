@@ -101,6 +101,7 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kOutcome: return "outcome";
     case FrameType::kFinish: return "finish";
     case FrameType::kBye: return "bye";
+    case FrameType::kPairBatch: return "pair-batch";
   }
   return "?";
 }
@@ -153,9 +154,11 @@ FrameDecoder::Status FrameDecoder::next(Frame& out) {
     }
     Reader r{std::span(buf_).subspan(pos_ + 8)};
     const uint32_t version = r.u32();
-    if (version != kSegmentStreamVersion) {
+    if (version < kSegmentStreamMinVersion ||
+        version > kSegmentStreamVersion) {
       return fail("unsupported version " + std::to_string(version));
     }
+    version_ = version;
     pos_ += kStreamHeaderBytes;
     header_done_ = true;
   }
@@ -166,8 +169,11 @@ FrameDecoder::Status FrameDecoder::next(Frame& out) {
   const uint64_t len = r.u64();
   const uint64_t checksum = r.u64();
   if (type < uint32_t(FrameType::kSegment) ||
-      type > uint32_t(FrameType::kBye)) {
+      type > uint32_t(FrameType::kPairBatch)) {
     return fail("unknown frame type " + std::to_string(type));
+  }
+  if (type == uint32_t(FrameType::kPairBatch) && version_ < 2) {
+    return fail("pair-batch frame in a v1 stream");
   }
   if (len > kMaxFramePayload) {
     return fail("oversized frame payload (" + std::to_string(len) +
@@ -204,12 +210,12 @@ namespace {
 /// path); otherwise they are validated and discarded (the spill-reload
 /// path, where the resident fingerprints stay authoritative).
 size_t decode_arenas_impl(const uint8_t* data, size_t size, Segment& segment,
-                          bool restore_fingerprints) {
+                          bool restore_fingerprints, uint32_t fp_layout) {
   size_t pos = 0;
   for (AccessFingerprint* fp : {&segment.fp_reads, &segment.fp_writes}) {
     AccessFingerprint scratch;
     AccessFingerprint& target = restore_fingerprints ? *fp : scratch;
-    const size_t used = target.deserialize(data + pos, size - pos);
+    const size_t used = target.deserialize(data + pos, size - pos, fp_layout);
     if (used == 0) return 0;
     pos += used;
   }
@@ -225,7 +231,9 @@ size_t decode_arenas_impl(const uint8_t* data, size_t size, Segment& segment,
 
 size_t decode_segment_arenas(const uint8_t* data, size_t size,
                              Segment& segment) {
-  return decode_arenas_impl(data, size, segment, false);
+  // Spill archives are written and read by the same process, so they are
+  // always the current layout.
+  return decode_arenas_impl(data, size, segment, false, 2);
 }
 
 void encode_segment_meta(const Segment& segment, std::vector<uint8_t>& out) {
@@ -255,7 +263,7 @@ void encode_segment(const Segment& segment, std::vector<uint8_t>& out) {
 }
 
 bool decode_segment(std::span<const uint8_t> payload, Segment& out,
-                    std::string* error) {
+                    std::string* error, uint32_t wire_version) {
   Reader r{payload};
   out.id = r.u32();
   const uint8_t kind = r.u8();
@@ -292,8 +300,9 @@ bool decode_segment(std::span<const uint8_t> payload, Segment& out,
   out.mutexes.reserve(mutexes);
   for (uint32_t i = 0; i < mutexes; ++i) out.mutexes.push_back(r.u64());
   if (r.truncated) return fail(error, "truncated segment metadata");
-  const size_t used = decode_arenas_impl(payload.data() + r.pos,
-                                         payload.size() - r.pos, out, true);
+  const size_t used =
+      decode_arenas_impl(payload.data() + r.pos, payload.size() - r.pos, out,
+                         true, wire_version >= 2 ? 2 : 1);
   if (used == 0) return fail(error, "malformed segment arena image");
   if (r.pos + used != payload.size()) {
     return fail(error, "trailing bytes after segment image");
@@ -316,6 +325,37 @@ bool decode_pair(std::span<const uint8_t> payload, WirePair& out,
   if (r.truncated) return fail(error, "truncated pair request");
   if (r.pos != payload.size()) {
     return fail(error, "trailing bytes after pair request");
+  }
+  return true;
+}
+
+void encode_pair_batch(const std::vector<WirePair>& pairs,
+                       std::vector<uint8_t>& out) {
+  put_u32(out, uint32_t(pairs.size()));
+  for (const WirePair& pair : pairs) {
+    put_u32(out, pair.a);
+    put_u32(out, pair.b);
+  }
+}
+
+bool decode_pair_batch(std::span<const uint8_t> payload,
+                       std::vector<WirePair>& out, std::string* error) {
+  Reader r{payload};
+  const uint32_t count = r.u32();
+  if (r.truncated || count > kMaxWireList) {
+    return fail(error, "bad pair batch (count)");
+  }
+  out.clear();
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WirePair pair;
+    pair.a = r.u32();
+    pair.b = r.u32();
+    out.push_back(pair);
+  }
+  if (r.truncated) return fail(error, "truncated pair batch");
+  if (r.pos != payload.size()) {
+    return fail(error, "trailing bytes after pair batch");
   }
   return true;
 }

@@ -1,5 +1,5 @@
-// The `segment-stream-v1` wire schema - closed segments as a versioned,
-// checksummed byte stream (DESIGN.md §11).
+// The `segment-stream-v2` wire schema - closed segments as a versioned,
+// checksummed byte stream (DESIGN.md §11/§12).
 //
 // PR 4 made a closed segment's analysis payload self-contained on disk
 // ([fp_r][fp_w][reads][writes] spill records); this header promotes that
@@ -24,6 +24,12 @@
 // frame types, oversized lengths and checksum mismatches all fail with a
 // specific message and never read past the buffer. Findings depend on these
 // bytes, so "reject loudly" beats "best effort" everywhere.
+//
+// Versioning: writers emit v2. Readers accept v1 and v2 streams - v2 adds
+// the kPairBatch frame (many scan requests in one frame; outcomes stay
+// per-pair, ids base+k) and a per-fingerprint page-shift byte inside the
+// arena images. A kPairBatch frame inside a v1 stream is rejected, and v1
+// arena images decode at the historical fixed 4 KiB fingerprint shift.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +43,9 @@ namespace tg::core {
 
 inline constexpr char kSegmentStreamMagic[8] = {'T', 'G', 'S', 'E',
                                                 'G', 'S', '1', '\0'};
-inline constexpr uint32_t kSegmentStreamVersion = 1;
+inline constexpr uint32_t kSegmentStreamVersion = 2;
+/// Oldest stream version FrameDecoder still reads.
+inline constexpr uint32_t kSegmentStreamMinVersion = 1;
 inline constexpr size_t kStreamHeaderBytes = 8 + 4 + 4;
 inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 8 + 8;
 /// Frames larger than this are rejected as corrupt before any allocation -
@@ -51,6 +59,9 @@ enum class FrameType : uint32_t {
   kOutcome = 4,  // scan result (see WireOutcome); id = pair sequence number
   kFinish = 5,   // producer -> worker: input exhausted, flush and say bye
   kBye = 6,      // worker -> producer: final per-shard stats, then exit
+  kPairBatch = 7,  // v2: scan requests {u32 n, n x {u32 a, u32 b}}; the
+                   // frame id is the first pair's sequence number, pair k
+                   // answers as id+k - completion stays per-pair exact
 };
 
 const char* frame_type_name(FrameType type);
@@ -81,12 +92,16 @@ class FrameDecoder {
   /// specific message (bad magic, bad checksum, oversized frame, ...).
   Status next(Frame& out);
   const std::string& error() const { return error_; }
+  /// Stream version parsed from the header; 0 until the header decoded.
+  /// Callers pass it to decode_segment so v1 images parse correctly.
+  uint32_t version() const { return version_; }
 
  private:
   Status fail(const std::string& message);
 
   std::vector<uint8_t> buf_;
   size_t pos_ = 0;  // consumed prefix, compacted opportunistically
+  uint32_t version_ = 0;
   bool header_done_ = false;
   bool failed_ = false;
   std::string error_;
@@ -115,9 +130,12 @@ void encode_segment_meta(const Segment& segment, std::vector<uint8_t>& out);
 void encode_segment(const Segment& segment, std::vector<uint8_t>& out);
 
 /// Rebuilds a Segment from a kSegment payload, fingerprints included.
-/// Strict; false leaves `out` unspecified and sets *error.
+/// Strict; false leaves `out` unspecified and sets *error. `wire_version`
+/// is the stream version the payload arrived in (FrameDecoder::version());
+/// v1 images lack the fingerprint page-shift byte.
 bool decode_segment(std::span<const uint8_t> payload, Segment& out,
-                    std::string* error);
+                    std::string* error,
+                    uint32_t wire_version = kSegmentStreamVersion);
 
 // --- pair / outcome / bye payloads ------------------------------------------
 
@@ -169,6 +187,16 @@ struct WireBye {
 void encode_pair(const WirePair& pair, std::vector<uint8_t>& out);
 bool decode_pair(std::span<const uint8_t> payload, WirePair& out,
                  std::string* error);
+
+/// v2 kPairBatch payload: every pair the producer routed to one worker for
+/// one closing segment, shipped as a single frame instead of per-pair
+/// kPair frames. Outcomes still come back one per pair (id = frame id +
+/// index), so the coordinator's exactly-once completion tracking is
+/// unchanged under worker SIGKILL.
+void encode_pair_batch(const std::vector<WirePair>& pairs,
+                       std::vector<uint8_t>& out);
+bool decode_pair_batch(std::span<const uint8_t> payload,
+                       std::vector<WirePair>& out, std::string* error);
 
 void encode_outcome(const WireOutcome& outcome, std::vector<uint8_t>& out);
 bool decode_outcome(std::span<const uint8_t> payload, WireOutcome& out,

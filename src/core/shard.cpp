@@ -79,7 +79,8 @@ void run_shard_worker(int fd, const vex::Program& program,
         case FrameType::kSegment: {
           auto segment = std::make_unique<Segment>();
           std::string error;
-          if (!decode_segment(std::span(frame.payload), *segment, &error)) {
+          if (!decode_segment(std::span(frame.payload), *segment, &error,
+                              decoder.version())) {
             worker_fatal(error);
           }
           if (segment->id != frame.id) {
@@ -89,45 +90,59 @@ void run_shard_worker(int fd, const vex::Program& program,
           bye.segments_received++;
           break;
         }
-        case FrameType::kPair: {
-          WirePair pair;
+        case FrameType::kPair:
+        case FrameType::kPairBatch: {
+          std::vector<WirePair> pairs;
           std::string error;
-          if (!decode_pair(std::span(frame.payload), pair, &error)) {
+          if (frame.type == FrameType::kPair) {
+            WirePair pair;
+            if (!decode_pair(std::span(frame.payload), pair, &error)) {
+              worker_fatal(error);
+            }
+            pairs.push_back(pair);
+          } else if (!decode_pair_batch(std::span(frame.payload), pairs,
+                                        &error)) {
             worker_fatal(error);
-          }
-          const auto a = segments.find(pair.a);
-          const auto b = segments.find(pair.b);
-          if (a == segments.end() || b == segments.end()) {
-            worker_fatal("pair request precedes its segment images");
           }
           // The identical scan the in-process workers run, over
           // byte-identical segment images; provenance resolution waits for
-          // the coordinator, exactly like local batch scans.
-          AnalysisStats stats;
-          std::vector<RaceReport> reports;
-          scan_pair_conflicts(*a->second, *b->second, program, nullptr,
-                              options, stats, reports);
-          WireOutcome outcome;
-          outcome.a = pair.a;
-          outcome.b = pair.b;
-          outcome.raw_conflicts = stats.raw_conflicts;
-          outcome.suppressed_stack = stats.suppressed_stack;
-          outcome.suppressed_tls = stats.suppressed_tls;
-          outcome.suppressed_user = stats.suppressed_user;
-          outcome.reports.reserve(reports.size());
-          for (const RaceReport& report : reports) {
-            WireReport wire;
-            wire.lo = report.lo;
-            wire.hi = report.hi;
-            wire_endpoint_from(wire.first, report.first);
-            wire_endpoint_from(wire.second, report.second);
-            outcome.reports.push_back(std::move(wire));
+          // the coordinator, exactly like local batch scans. A batch
+          // answers one kOutcome per pair (id = frame id + index) so
+          // completion tracking stays per-pair exact, but flushes once.
+          for (size_t k = 0; k < pairs.size(); ++k) {
+            const WirePair& pair = pairs[k];
+            const auto a = segments.find(pair.a);
+            const auto b = segments.find(pair.b);
+            if (a == segments.end() || b == segments.end()) {
+              worker_fatal("pair request precedes its segment images");
+            }
+            AnalysisStats stats;
+            std::vector<RaceReport> reports;
+            scan_pair_conflicts(*a->second, *b->second, program, nullptr,
+                                options, stats, reports);
+            WireOutcome outcome;
+            outcome.a = pair.a;
+            outcome.b = pair.b;
+            outcome.raw_conflicts = stats.raw_conflicts;
+            outcome.suppressed_stack = stats.suppressed_stack;
+            outcome.suppressed_tls = stats.suppressed_tls;
+            outcome.suppressed_user = stats.suppressed_user;
+            outcome.reports.reserve(reports.size());
+            for (const RaceReport& report : reports) {
+              WireReport wire;
+              wire.lo = report.lo;
+              wire.hi = report.hi;
+              wire_endpoint_from(wire.first, report.first);
+              wire_endpoint_from(wire.second, report.second);
+              outcome.reports.push_back(std::move(wire));
+            }
+            payload.clear();
+            encode_outcome(outcome, payload);
+            append_frame(out, FrameType::kOutcome,
+                         frame.id + uint32_t(k), payload);
+            bye.pairs_scanned++;
           }
-          payload.clear();
-          encode_outcome(outcome, payload);
-          append_frame(out, FrameType::kOutcome, frame.id, payload);
           worker_flush(fd, out);
-          bye.pairs_scanned++;
           break;
         }
         case FrameType::kFinish: {
@@ -495,6 +510,78 @@ void ShardPool::submit_pair(const Segment& a, const Segment& b) {
   // PR 2/4 backpressure, transport edition: bound the bytes in flight
   // towards the busiest shard; the wait drains outcomes, so it cannot
   // deadlock against a worker blocked on its own sends.
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].alive &&
+        workers_[w].outbuf.size() - workers_[w].out_pos >
+            options_.shard_inflight_bytes) {
+      wait_for_room(w);
+    }
+  }
+}
+
+void ShardPool::submit_pairs(const Segment& a,
+                             const std::vector<const Segment*>& partners) {
+  if (partners.empty()) return;
+  pairs_submitted_ += partners.size();
+  // Group the survivors by target shard so each shard gets one kPairBatch
+  // frame for this closing segment instead of one kPair frame per pair.
+  std::vector<std::vector<PendingPair>> groups(workers_.size());
+  for (const Segment* b : partners) {
+    PendingPair pending;
+    pending.a = a.id;
+    pending.b = b->id;
+    pending.key = shard_key(a, *b);
+    const size_t target = pick_worker(pending.key, /*for_reshard=*/false);
+    if (target == SIZE_MAX) {
+      unscanned_.push_back(WirePair{pending.a, pending.b});
+      stats_.pairs_local++;
+      continue;
+    }
+    groups[target].push_back(pending);
+  }
+  std::vector<WirePair> wire;
+  std::vector<uint8_t> payload;
+  for (size_t w = 0; w < groups.size(); ++w) {
+    if (groups[w].empty()) continue;
+    // A shard can die while an earlier group ships (pump -> handle_death);
+    // image fetches can also fail. Either way the per-pair path re-picks a
+    // live worker or degrades, pair by pair.
+    bool routed = workers_[w].alive && !workers_[w].finish_sent &&
+                  ensure_segment_sent(w, a.id);
+    if (routed) {
+      for (const PendingPair& pending : groups[w]) {
+        if (!ensure_segment_sent(w, pending.b)) {
+          routed = false;
+          break;
+        }
+      }
+    }
+    if (!routed) {
+      for (PendingPair& pending : groups[w]) {
+        place_pair(pending, /*reshard_allowed=*/true, /*is_reshard=*/false);
+      }
+      continue;
+    }
+    const uint32_t base = next_pair_id_;
+    next_pair_id_ += uint32_t(groups[w].size());
+    wire.clear();
+    for (size_t k = 0; k < groups[w].size(); ++k) {
+      PendingPair& pending = groups[w][k];
+      pending.worker = w;
+      wire.push_back(WirePair{pending.a, pending.b});
+      pending_[base + uint32_t(k)] = pending;
+      stats_.pairs_per_shard[w]++;
+    }
+    payload.clear();
+    encode_pair_batch(wire, payload);
+    queue_frame(w, FrameType::kPairBatch, base, payload);
+    // A death inside this pump re-places the whole batch via handle_death.
+    pump(w);
+  }
+  if (options_.shard_kill_after > 0 && !kill_fired_ &&
+      pairs_submitted_ >= options_.shard_kill_after) {
+    try_fire_kill();
+  }
   for (size_t w = 0; w < workers_.size(); ++w) {
     if (workers_[w].alive &&
         workers_[w].outbuf.size() - workers_[w].out_pos >

@@ -3,11 +3,13 @@
 // The streaming engine's scan workers used to be threads inside the guest
 // process. A ShardPool forks a pool of analyzer *processes* instead, wired
 // to the guest by one AF_UNIX stream socketpair each, speaking
-// `segment-stream-v1` (core/segment_stream) in both directions:
+// `segment-stream-v2` (core/segment_stream) in both directions:
 //
 //   producer -> worker:  kSegment frames (full closed-segment images, sent
 //                        lazily to exactly the shards that need them),
-//                        kPair scan requests, kFinish.
+//                        kPairBatch scan requests (one frame per closing
+//                        segment per shard; resharded singles use kPair),
+//                        kFinish.
 //   worker -> producer:  one kOutcome frame per assigned pair (zero-conflict
 //                        outcomes included - completion tracking), kBye.
 //
@@ -118,6 +120,14 @@ class ShardPool {
   /// bound. With no live worker left the pair is recorded for a guest-side
   /// scan instead - the caller need not care which way it went.
   void submit_pair(const Segment& a, const Segment& b);
+
+  /// Routes every surviving pair of one closing segment at once: partners
+  /// are grouped by shard and each group ships as a single kPairBatch
+  /// frame (v2) instead of per-pair kPair frames. Outcomes, completion
+  /// tracking and death recovery stay per-pair - a group whose shard died
+  /// mid-submit falls back to the per-pair path pair by pair.
+  void submit_pairs(const Segment& a,
+                    const std::vector<const Segment*>& partners);
 
   /// Opportunistic non-blocking drain (flush buffered frames, absorb
   /// outcomes, detect deaths). Called from the enqueue path.

@@ -111,18 +111,26 @@ void StreamingAnalyzer::segment_closed(SegId id) {
   if (seg.kind != SegKind::kTask || !seg.has_accesses()) return;
   ++segments_active_;
   // Flagged before pairing so the pool's image provider can already ship
-  // this segment (pairs are submitted mid-loop); the live-set entry is still
-  // added after the loop, so the segment never pairs with itself.
+  // this segment (pairs are submitted right after the enumeration); the
+  // live-set entry is still added after the loop, so the segment never
+  // pairs with itself.
   resident_[id] = 1;
 
-  const IntervalSet::Bounds box = seg.access_bounds();
-  const uint64_t lo = box.lo;
-  const uint64_t hi = box.hi;
+  const CandidateBatch::Footprint query(seg);
+  const uint64_t lo = query.lo;
+  const uint64_t hi = query.hi;
+  const bool frontier = options_.use_frontier_pairs;
+  ++close_epoch_;
 
   // Mark every live ancestor of the closed segment: those pairs are ordered
   // on the partial graph already, and happens-before is monotone, so they
   // can be dropped for good. The walk prunes at retired nodes (the retired
-  // set is ancestor-closed), bounding it to the live window.
+  // set is ancestor-closed), bounding it to the live window. In frontier
+  // mode each visited node also raises its chain's threshold - the live
+  // entries of a chain at or below the deepest visited position are exactly
+  // the visited ones (chain prefixes are ancestor-connected and retirement
+  // is ancestor-closed), so the per-pair ordered test collapses to one
+  // binary search per chain.
   ++sweep_id_;
   mark_sweep_[id] = sweep_id_;
   dfs_stack_.clear();
@@ -134,79 +142,187 @@ void StreamingAnalyzer::segment_closed(SegId id) {
       if (mark_sweep_[v] == sweep_id_ || retired_[v]) continue;
       mark_sweep_[v] = sweep_id_;
       dfs_stack_.push_back(v);
+      if (!frontier) continue;
+      const OrderStamp& st = graph_.stamp(v);
+      // A chain without a bucket has no live entries: nothing to cut.
+      if (st.chain == kNoChain || st.chain >= buckets_.size()) continue;
+      ChainBucket& b = buckets_[st.chain];
+      if (b.thresh_epoch != close_epoch_) {
+        b.thresh_epoch = close_epoch_;
+        b.thresh = st.chain_pos;
+      } else if (st.chain_pos > b.thresh) {
+        b.thresh = st.chain_pos;
+      }
     }
   }
 
-  // Pair against the live set. Three sound, findings-preserving filters:
-  // proved-ordered (above), disjoint bounding boxes (cannot overlap), and
-  // shared mutexes (immutable after segment open, same test post-mortem
-  // applies). Everything else is deferred to a worker batch.
+  // Pair against the live set. The same sound, findings-preserving filters
+  // both generation modes apply: proved-ordered (above), disjoint bounding
+  // boxes (cannot overlap), shared mutexes (immutable after segment open,
+  // same test post-mortem applies) and the fingerprints. Bboxes and level-0
+  // fingerprint words are screened batched (core/pair_batch) over the
+  // snapshot arrays; everything surviving is deferred to a worker batch.
   std::vector<const Segment*> partners;
-  for (const LiveEntry& entry : live_) {
-    const Segment& partner = graph_.segment(entry.id);
+  std::vector<const Segment*> shard_partners;
+  uint64_t generated = 0;
+
+  const auto examine = [&](SegId pid, uint8_t verdict, bool check_mark) {
+    const Segment& partner = graph_.segment(pid);
     if (options_.use_region_fast_path && graph_.region_ordered(seg, partner)) {
       // Same precedence as the post-mortem pass: the region window check
       // runs before the ordering query. Windows are published at
       // parallel_end, so both are final here.
       ++pairs_region_enqueue_;
-      continue;
+      return;
     }
-    if (mark_sweep_[entry.id] == sweep_id_) {
+    if (check_mark && mark_sweep_[pid] == sweep_id_) {
       ++pairs_ordered_enqueue_;
-      continue;
+      return;
     }
-    if (entry.hi <= lo || hi <= entry.lo) {
+    if (verdict == CandidateBatch::kBboxDisjoint) {
       ++pairs_skipped_bbox_;
-      continue;
+      return;
     }
     if (options_.respect_mutexes &&
         sorted_sets_intersect(seg.mutexes, partner.mutexes)) {
       ++pairs_mutex_;
-      continue;
+      return;
     }
-    if (options_.use_fingerprints && fingerprints_disjoint(seg, partner)) {
-      // The two-level fingerprints prove the byte sets disjoint: no batch
-      // scan, no spill deferral, no deferred_refs pin. Crucially this runs
-      // before the residency check - fingerprints stay resident when the
-      // governor evicts a partner's arenas, so a fingerprint-disjoint pair
-      // against a spilled segment is settled right here, with no reload
-      // ever scheduled.
+    if (options_.use_fingerprints &&
+        (verdict == CandidateBatch::kFpDisjoint ||
+         fingerprints_disjoint(seg, partner))) {
+      // The batched level-0 screen or the exact two-level check proved the
+      // byte sets disjoint: no batch scan, no spill deferral, no
+      // deferred_refs pin. Crucially this runs before the residency check -
+      // the screen's word snapshots and the fingerprints stay resident when
+      // the governor evicts a partner's arenas, so a fingerprint-disjoint
+      // pair against a spilled segment is settled right here, with no
+      // reload ever scheduled.
       ++pairs_skipped_fingerprint_;
-      if (!resident_[entry.id]) ++spill_reloads_avoided_;
-      continue;
+      if (!resident_[pid]) ++spill_reloads_avoided_;
+      return;
     }
     if (pool_ != nullptr) {
       // Shard mode: the pair survived every sound filter, so it must be
-      // scanned - ship it to its analyzer shard. Both members are pinned
-      // until the outcome arrives: a SIGKILL'd shard's pending pairs need
-      // their images resent, so retirement may spill (or keep) the trees
-      // but never free them early. With every worker dead submit_pair
+      // scanned - collected here and shipped to the analyzer shards as one
+      // batch frame per shard after the enumeration. Both members are
+      // pinned until the outcome arrives: a SIGKILL'd shard's pending pairs
+      // need their images resent, so retirement may spill (or keep) the
+      // trees but never free them early. With every worker dead the pool
       // records the pair for a guest-side scan at finish() instead.
       ++deferred_refs_[id];
-      ++deferred_refs_[entry.id];
+      ++deferred_refs_[pid];
       ++pairs_deferred_;
-      pool_->submit_pair(seg, partner);
-      continue;
+      shard_partners.push_back(&partner);
+      return;
     }
-    if (!resident_[entry.id]) {
+    if (!resident_[pid]) {
       // The partner's arenas were spilled: every enqueue-time filter above
       // is tree-free and already ran, so only the overlap scan remains -
       // deferred to finish(), after an on-demand reload, with the identical
       // predicate. Both members are flagged so retirement spills (rather
       // than frees) their trees.
-      spill_deferred_pairs_.emplace_back(id, entry.id);
+      spill_deferred_pairs_.emplace_back(id, pid);
       ++deferred_refs_[id];
-      ++deferred_refs_[entry.id];
+      ++deferred_refs_[pid];
       ++pairs_deferred_;
-      continue;
+      return;
     }
     partners.push_back(&partner);
     ++pairs_deferred_;
+  };
+
+  if (frontier) {
+    // Frontier-bounded generation: walk only chains with live entries, cut
+    // each at its ancestor threshold. Entries at or below the cut are
+    // proved ordered without ever materializing a candidate; the suffix is
+    // screened batched and examined per pair (region/mutex/exact-
+    // fingerprint residue). The mark check is skipped: on live entries the
+    // threshold and the mark are the same predicate.
+    for (size_t ci = 0; ci < active_chains_.size();) {
+      const uint32_t chain = active_chains_[ci];
+      ChainBucket& b = buckets_[chain];
+      if (b.head == b.pos.size()) {
+        // Fully retired: recycle the arrays, drop the chain from the walk.
+        b.pos.clear();
+        b.dead.clear();
+        b.batch.clear();
+        b.head = 0;
+        chain_active_[chain] = 0;
+        active_chains_[ci] = active_chains_.back();
+        active_chains_.pop_back();
+        continue;
+      }
+      if (b.head >= 64 && b.head * 2 >= b.pos.size()) {
+        // The retired prefix dominates: compact it away (amortized O(1)).
+        const ptrdiff_t n = static_cast<ptrdiff_t>(b.head);
+        b.pos.erase(b.pos.begin(), b.pos.begin() + n);
+        b.dead.erase(b.dead.begin(), b.dead.begin() + n);
+        b.batch.erase_prefix(b.head);
+        b.head = 0;
+      }
+      size_t cut = b.head;
+      if (b.thresh_epoch == close_epoch_) {
+        cut = static_cast<size_t>(
+            std::upper_bound(b.pos.begin() + static_cast<ptrdiff_t>(b.head),
+                             b.pos.end(), b.thresh) -
+            b.pos.begin());
+      }
+      const size_t end = b.pos.size();
+      if (cut < end) {
+        generated += end - cut;
+        b.batch.screen(query, cut, end, /*check_bbox=*/true,
+                       options_.use_fingerprints, verdicts_);
+        for (size_t i = cut; i < end; ++i) {
+          examine(b.batch.id(i), verdicts_[i - cut], /*check_mark=*/false);
+        }
+      }
+      ++ci;
+    }
+  } else {
+    // Legacy flat enumeration (--no-frontier-pairs, the A/B oracle): every
+    // live segment is examined per pair, with the batched screen replacing
+    // the scalar bbox compare and pre-filtering the fingerprint words.
+    live_batch_.screen(query, 0, live_batch_.size(), /*check_bbox=*/true,
+                       options_.use_fingerprints, verdicts_);
+    generated = live_.size();
+    for (size_t i = 0; i < live_.size(); ++i) {
+      examine(live_[i].id, verdicts_[i], /*check_mark=*/true);
+    }
   }
+
+  // Funnel conservation, maintained arithmetically: this close contributes
+  // segments_active_ - 1 pairs to the universe; `generated` were
+  // materialized, the rest - retired partners in both modes, plus the
+  // proved-ordered chain prefixes in frontier mode - never were.
+  pairs_never_generated_ += (segments_active_ - 1) - generated;
 
   live_pos_[id] = static_cast<uint32_t>(live_.size());
   live_.push_back(LiveEntry{id, lo, hi});
   peak_live_segments_ = std::max<uint64_t>(peak_live_segments_, live_.size());
+  if (frontier) {
+    const OrderStamp& st = graph_.stamp(id);
+    TG_ASSERT_MSG(st.chain != kNoChain, "closed task segment has no chain");
+    if (st.chain >= buckets_.size()) buckets_.resize(st.chain + 1);
+    if (st.chain >= chain_active_.size()) chain_active_.resize(st.chain + 1, 0);
+    ChainBucket& b = buckets_[st.chain];
+    // A task's segments close in timeline order, so bucket entries arrive
+    // pre-sorted by chain position.
+    TG_ASSERT(b.pos.empty() || b.pos.back() < st.chain_pos);
+    b.pos.push_back(st.chain_pos);
+    b.dead.push_back(0);
+    b.batch.push(seg);
+    if (!chain_active_[st.chain]) {
+      chain_active_[st.chain] = 1;
+      active_chains_.push_back(st.chain);
+    }
+  } else {
+    live_batch_.push(seg);
+  }
+
+  if (pool_ != nullptr && !shard_partners.empty()) {
+    pool_->submit_pairs(seg, shard_partners);
+  }
 
   if (!partners.empty()) {
     auto batch = std::make_unique<Batch>();
@@ -296,6 +412,23 @@ void StreamingAnalyzer::retire(SegId id) {
   live_[pos] = live_.back();
   live_.pop_back();
   live_pos_[id] = kNoPos;
+  if (options_.use_frontier_pairs) {
+    // Mark the bucket entry dead and advance the head past the retired
+    // prefix. Retirement is ancestor-closed, so per chain the retired set
+    // is always a prefix once a sweep completes; mid-sweep the head may lag
+    // a marked entry, which the next advance (or the next retire on this
+    // chain) catches up with.
+    const OrderStamp& st = graph_.stamp(id);
+    ChainBucket& b = buckets_[st.chain];
+    const auto it =
+        std::lower_bound(b.pos.begin() + static_cast<ptrdiff_t>(b.head),
+                         b.pos.end(), st.chain_pos);
+    TG_ASSERT(it != b.pos.end() && *it == st.chain_pos);
+    b.dead[static_cast<size_t>(it - b.pos.begin())] = 1;
+    while (b.head < b.pos.size() && b.dead[b.head]) ++b.head;
+  } else {
+    live_batch_.swap_remove(pos);
+  }
   if (pending_[id] == 0) {
     release_trees(id);
   } else {
@@ -410,10 +543,32 @@ void StreamingAnalyzer::check_pressure() {
       }
     }
     std::sort(candidates_.begin(), candidates_.end());
-    for (SegId id : candidates_) {
+    // Preference pass: victims whose level-0 fingerprint words are disjoint
+    // from the union over every still-open segment go first (stable, so
+    // coldest-first survives within each class). Their pairs against the
+    // open set are settled by the fingerprint screen at enqueue time, so
+    // they are the least likely to ever need a reload.
+    size_t n_disjoint = 0;
+    if (open_fp_provider_ != nullptr && !candidates_.empty()) {
+      uint64_t open_mask[kFingerprintWords] = {};
+      open_fp_provider_(open_mask);
+      const auto mid = std::stable_partition(
+          candidates_.begin(), candidates_.end(), [&](SegId cid) {
+            const CandidateBatch::Footprint fp(graph_.segment(cid));
+            uint64_t hit = 0;
+            for (uint32_t k = 0; k < kFingerprintWords; ++k) {
+              hit |= (fp.w[k] | fp.r[k]) & open_mask[k];
+            }
+            return hit == 0;
+          });
+      n_disjoint = static_cast<size_t>(mid - candidates_.begin());
+    }
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      const SegId id = candidates_[i];
       if (tree_bytes_now() <= low) break;
       evict(id);
       if (resident_[id]) return;  // archive IO failure: ceiling best-effort
+      if (i < n_disjoint) ++spill_victims_disjoint_;
     }
     if (tree_bytes_now() <= low) return;
     if (inflight_ == 0) return;  // the rest is open segments: not evictable
@@ -683,13 +838,25 @@ AnalysisResult StreamingAnalyzer::finish() {
 
   AnalysisStats& stats = result.stats;
   stats.pairs_total = pairs_region_enqueue_ + pairs_ordered_enqueue_ +
-                      pairs_mutex_ + pairs_skipped_fingerprint_ +
-                      pairs_deferred_;
+                      pairs_mutex_ + pairs_skipped_bbox_ +
+                      pairs_skipped_fingerprint_ + pairs_deferred_;
+  stats.pairs_never_generated = pairs_never_generated_;
   stats.pairs_skipped_bbox = pairs_skipped_bbox_;
   stats.pairs_skipped_fingerprint = pairs_skipped_fingerprint_;
   stats.pairs_ordered = pairs_ordered_enqueue_ + adjudicated_ordered;
   stats.pairs_region_fast = pairs_region_enqueue_ + region_fast;
   stats.pairs_mutex = pairs_mutex_;
+  // Deferred pairs whose eager scan verdict stood at adjudication (the rest
+  // were proved ordered/region after the fact and count there instead) -
+  // keeping the funnel partition exact:
+  //   total == region + ordered + mutex + bbox + fingerprint + scanned.
+  stats.pairs_scanned = pairs_deferred_ - adjudicated_ordered - region_fast;
+  // Conservation over the whole run: every unordered pair of access-bearing
+  // task segments either entered the funnel or was bulk-pruned before
+  // generation, exactly once.
+  TG_ASSERT_MSG(stats.pairs_never_generated + stats.pairs_total ==
+                    segments_active_ * (segments_active_ - 1) / 2,
+                "pair funnel leak: universe != never_generated + total");
   stats.segments_active = segments_active_;
   stats.index_bytes = graph_.index_bytes();
   stats.oracle_bytes = graph_.oracle_bytes();
@@ -704,6 +871,7 @@ AnalysisResult StreamingAnalyzer::finish() {
   stats.spill_bytes_written = spill_bytes_written_;
   stats.spill_reloads = spill_reloads_;
   stats.spill_reloads_avoided = spill_reloads_avoided_;
+  stats.spill_victims_disjoint = spill_victims_disjoint_;
   stats.shard_degraded = shard_degraded_;
   if (pool_ != nullptr) {
     const ShardStats& shard = pool_->stats();

@@ -42,6 +42,7 @@
 
 #include "core/analysis.hpp"
 #include "core/graph_builder.hpp"
+#include "core/pair_batch.hpp"
 #include "core/shard.hpp"
 #include "core/spill.hpp"
 
@@ -86,6 +87,14 @@ class StreamingAnalyzer final : public SegmentSink {
     invalidate_cursors_ = std::move(fn);
   }
 
+  /// Open-segment fingerprint union provider (the builder's
+  /// accumulate_open_fingerprints). When installed, the governor prefers
+  /// spill victims whose level-0 words are disjoint from the union - the
+  /// candidates least likely to ever need a reload.
+  void set_open_fp_provider(std::function<void(uint64_t*)> fn) {
+    open_fp_provider_ = std::move(fn);
+  }
+
   /// Governor test hooks.
   uint64_t segments_spilled() const { return segments_spilled_; }
   const SpillArchive* spill_archive() const { return spill_.get(); }
@@ -127,6 +136,24 @@ class StreamingAnalyzer final : public SegmentSink {
     uint64_t hi = 0;
   };
 
+  /// Frontier-bounded generation: the live segments of ONE builder chain
+  /// (one task's serial timeline), in chain_pos order. Because consecutive
+  /// chain positions are edge-connected, the ancestors of a closing segment
+  /// within a chain are exactly a prefix - so the per-pair ordered check
+  /// collapses to one threshold (the deepest chain position the close-time
+  /// ancestor walk visited) and a binary search: everything at or below it
+  /// is proved ordered and never becomes a candidate. The retired set is
+  /// also a per-chain prefix (retirement is ancestor-closed), so retirement
+  /// just advances `head`.
+  struct ChainBucket {
+    std::vector<uint32_t> pos;   // chain_pos of each entry, ascending
+    std::vector<uint8_t> dead;   // retired marks (head may lag mid-sweep)
+    CandidateBatch batch;        // ids + bboxes + level-0 word snapshots
+    size_t head = 0;             // first unretired entry
+    uint32_t thresh = 0;         // deepest ancestor chain_pos this close
+    uint32_t thresh_epoch = 0;   // close epoch the threshold belongs to
+  };
+
   void worker_loop();
   void run_batch(Batch& batch);
   /// Releases the scan refcounts of finished batches (builder thread).
@@ -164,6 +191,18 @@ class StreamingAnalyzer final : public SegmentSink {
   std::vector<uint32_t> pending_;    // seg id -> batches still scanning it
   std::vector<SegId> retire_waiting_;  // retired but pending_ > 0
 
+  // Frontier-bounded generation state (use_frontier_pairs). Buckets are
+  // indexed by builder chain id; only chains with a live entry are walked
+  // per close (active_chains_, order-maintained by swap-removal).
+  std::vector<ChainBucket> buckets_;
+  std::vector<uint32_t> active_chains_;
+  std::vector<uint8_t> chain_active_;
+  uint32_t close_epoch_ = 0;  // stamps per-chain thresholds per close
+  // Legacy-mode (--no-frontier-pairs) mirror of live_, same indices, so the
+  // batched screen runs over the flat live set too.
+  CandidateBatch live_batch_;
+  std::vector<uint8_t> verdicts_;  // screen scratch (builder thread)
+
   // Memory-pressure governor state (inert unless max_tree_bytes is set).
   // Eviction is keyed on the same predecessor-index facts the live set
   // maintains (only closed, unretired segments are candidates) plus the
@@ -179,6 +218,7 @@ class StreamingAnalyzer final : public SegmentSink {
   std::unique_ptr<ShardPool> pool_;
   bool shard_degraded_ = false;
   std::function<void()> invalidate_cursors_;
+  std::function<void(uint64_t*)> open_fp_provider_;
   std::vector<uint8_t> spilled_;      // seg id -> archive holds its arenas
   std::vector<uint8_t> resident_;     // seg id -> trees currently in memory
   std::vector<uint32_t> deferred_refs_;  // finish-time scans needing its trees
@@ -222,7 +262,9 @@ class StreamingAnalyzer final : public SegmentSink {
   uint64_t pairs_mutex_ = 0;
   uint64_t pairs_skipped_bbox_ = 0;
   uint64_t pairs_skipped_fingerprint_ = 0;
+  uint64_t pairs_never_generated_ = 0;
   uint64_t spill_reloads_avoided_ = 0;
+  uint64_t spill_victims_disjoint_ = 0;
   uint64_t segments_spilled_ = 0;
   uint64_t spill_bytes_written_ = 0;
   uint64_t spill_reloads_ = 0;

@@ -44,6 +44,9 @@ void TaskgrindTool::attach(vex::Vm& vm) {
         builder_.graph(), vm.program(), &allocs_, analysis_options());
     streamer_->set_cursor_invalidator(
         [this] { builder_.invalidate_access_cursors(); });
+    streamer_->set_open_fp_provider([this](uint64_t* out) {
+      builder_.accumulate_open_fingerprints(out);
+    });
     builder_.set_sink(streamer_.get());
     // The governor also runs off the access path (below): graph events can
     // be arbitrarily far apart while open segments keep growing.
@@ -348,6 +351,7 @@ AnalysisOptions TaskgrindTool::analysis_options() const {
   options.suppressions = &suppressions_;
   options.respect_mutexes = options_.respect_mutexes;
   options.use_bbox_pruning = options_.use_bbox_pruning;
+  options.use_frontier_pairs = options_.use_frontier_pairs;
   options.use_fingerprints = options_.use_fingerprints;
   options.use_bitset_oracle = options_.use_bitset_oracle;
   options.threads = options_.analysis_threads;

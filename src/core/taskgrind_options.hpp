@@ -37,6 +37,13 @@ struct TaskgrindOptions {
   /// Skip pair generation for segments with disjoint address bounding
   /// boxes (sound; findings are unchanged).
   bool use_bbox_pruning = true;
+  /// Frontier-bounded pair generation (streaming): closing segments
+  /// enumerate candidates from per-chain live buckets, bulk-skipping
+  /// retired partners and proved-ordered chain prefixes instead of testing
+  /// every live segment per pair. Sound - only proved-ordered pairs are
+  /// skipped - so findings are unchanged (disable with
+  /// --no-frontier-pairs for the A/B oracle).
+  bool use_frontier_pairs = true;
   /// Test the two-level access fingerprints (hashed page bitmap + page-run
   /// directory, core/fingerprint) before any tree walk and before reloading
   /// a spilled partner. Sound pre-filter: it can only prove disjointness,

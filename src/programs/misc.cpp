@@ -174,6 +174,78 @@ std::vector<GuestProgram> misc_programs() {
         });
       }));
 
+  // Guest twin of the core/dense_mesh generator (same topology, driven
+  // through the qthreads front-end instead of the builder): lanes march in
+  // lockstep rows, exchanging halo words through full/empty bits. writeEF's
+  // wait-for-empty half is the reader's ack, so the halo protocol is
+  // race-free; the one deliberate race is the per-lane tally write at the
+  // end. Kept small - it rides every all_programs() differential suite.
+  v.push_back(make_program(
+      "dense-mesh", "demo", true, {"task", "taskwait", "feb"},
+      "qthreads halo-exchange mesh (5 lanes x 8 rows) with an "
+      "unsynchronized per-lane tally write",
+      [](Ctx& c) {
+        constexpr int64_t W = 5;
+        constexpr int64_t M = 8;
+        rt::Qthreads qt(c.pb);
+        const GuestAddr cells = c.pb.global("cells", 8 * W);
+        const GuestAddr bnd_right = c.pb.global("bnd_right", 8 * W);
+        const GuestAddr bnd_left = c.pb.global("bnd_left", 8 * W);
+        const GuestAddr chan_right = c.pb.global("chan_right", 8 * W);
+        const GuestAddr chan_left = c.pb.global("chan_left", 8 * W);
+        const GuestAddr ack_right = c.pb.global("ack_right", 8 * W);
+        const GuestAddr ack_left = c.pb.global("ack_left", 8 * W);
+        const GuestAddr tally = c.pb.global("tally", 8);
+        FnBuilder& f = c.f();
+        qt.program(f, f.c(W), {}, [&](FnBuilder& pf, TaskArgs&) {
+          for (int64_t k = 0; k < W; ++k) {
+            qt.fork(pf, {}, [&, k](FnBuilder& tf, TaskArgs&) {
+              for (int64_t j = 0; j < M; ++j) {
+                // Phase 0: wait for last row's readers to ack before the
+                // halo words may be rewritten. The payload lives outside
+                // the FEB word, so readFE's own empty-bit is NOT the ack -
+                // it flips before the reader touches the payload.
+                if (j > 0) {
+                  if (k + 1 < W) {
+                    qt.readFE(tf, tf.c(sa(ack_right) + 8 * k));
+                  }
+                  if (k > 0) qt.readFE(tf, tf.c(sa(ack_left) + 8 * k));
+                }
+                // Phase 1: update own cell, publish halo words.
+                tf.line(10 + static_cast<int>(k));
+                tf.st(tf.c(sa(cells) + 8 * k), tf.c(j));
+                if (k + 1 < W) tf.st(tf.c(sa(bnd_right) + 8 * k), tf.c(j));
+                if (k > 0) tf.st(tf.c(sa(bnd_left) + 8 * k), tf.c(j));
+                // Phase 2: hand both halos to the neighbours.
+                if (k + 1 < W) {
+                  qt.writeEF(tf, tf.c(sa(chan_right) + 8 * k), tf.c(j));
+                }
+                if (k > 0) {
+                  qt.writeEF(tf, tf.c(sa(chan_left) + 8 * k), tf.c(j));
+                }
+                // Phase 3: consume the neighbours' halos, then ack so they
+                // may overwrite them next row.
+                if (k > 0) {
+                  qt.readFE(tf, tf.c(sa(chan_right) + 8 * (k - 1)));
+                  tf.ld(tf.c(sa(bnd_right) + 8 * (k - 1)));
+                  qt.writeEF(tf, tf.c(sa(ack_right) + 8 * (k - 1)), tf.c(1));
+                }
+                if (k + 1 < W) {
+                  qt.readFE(tf, tf.c(sa(chan_left) + 8 * (k + 1)));
+                  tf.ld(tf.c(sa(bnd_left) + 8 * (k + 1)));
+                  qt.writeEF(tf, tf.c(sa(ack_left) + 8 * (k + 1)), tf.c(1));
+                }
+              }
+              // The deliberate race: every lane stamps the shared tally
+              // word with no ordering, each from its own source line.
+              tf.line(100 + static_cast<int>(k));
+              tf.st(tf.c(sa(tally)), tf.c(k));
+            });
+          }
+          qt.join_all(pf);
+        });
+      }));
+
   return v;
 }
 

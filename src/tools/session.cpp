@@ -398,6 +398,7 @@ std::string session_json(const SessionOptions& options,
   json.field("replace_allocator", tg.replace_allocator);
   json.field("respect_mutexes", tg.respect_mutexes);
   json.field("use_bbox_pruning", tg.use_bbox_pruning);
+  json.field("use_frontier_pairs", tg.use_frontier_pairs);
   json.field("use_fingerprints", tg.use_fingerprints);
   json.field("use_bitset_oracle", tg.use_bitset_oracle);
   json.field("max_reports", static_cast<uint64_t>(tg.max_reports));
@@ -435,12 +436,16 @@ std::string session_json(const SessionOptions& options,
   const core::AnalysisStats& stats = result.analysis_stats;
   json.key("stats").begin_object();
   json.field("streamed", stats.streamed);
+  // The full pair funnel (analysis.hpp): universe == never_generated +
+  // total, and total partitions exactly into the six exit buckets.
   json.field("pairs_total", stats.pairs_total);
+  json.field("pairs_never_generated", stats.pairs_never_generated);
   json.field("pairs_skipped_bbox", stats.pairs_skipped_bbox);
   json.field("pairs_skipped_fingerprint", stats.pairs_skipped_fingerprint);
   json.field("pairs_ordered", stats.pairs_ordered);
   json.field("pairs_region_fast", stats.pairs_region_fast);
   json.field("pairs_mutex", stats.pairs_mutex);
+  json.field("pairs_scanned", stats.pairs_scanned);
   json.field("pairs_deferred", stats.pairs_deferred);
   json.field("raw_conflicts", stats.raw_conflicts);
   json.field("suppressed_stack", stats.suppressed_stack);
@@ -456,6 +461,7 @@ std::string session_json(const SessionOptions& options,
   json.field("spill_bytes_written", stats.spill_bytes_written);
   json.field("spill_reloads", stats.spill_reloads);
   json.field("spill_reloads_avoided", stats.spill_reloads_avoided);
+  json.field("spill_victims_disjoint", stats.spill_victims_disjoint);
   json.field("enqueue_stalls", stats.enqueue_stalls);
   // Sharded-backend counters: run-shaped (death timing, backpressure), so
   // they live in the full block only - canonical output must be identical

@@ -489,10 +489,11 @@ TEST(IntervalFuzz, FingerprintRunCapStaysSound) {
   AccessFingerprint fp;
   fp.build_from(sparse);
   EXPECT_LE(fp.runs().size(), AccessFingerprint::kMaxRuns);
-  // Every touched page is still covered by some run.
+  // Every touched page is still covered by some run, at whatever page
+  // granularity the span-tuned build picked.
   sparse.for_each([&](uint64_t lo, uint64_t hi, vex::SrcLoc) {
-    const uint64_t plo = lo >> kFingerprintPageShift;
-    const uint64_t phi = ((hi - 1) >> kFingerprintPageShift) + 1;
+    const uint64_t plo = lo >> fp.page_shift();
+    const uint64_t phi = ((hi - 1) >> fp.page_shift()) + 1;
     bool covered = false;
     for (const AccessFingerprint::PageRun& run : fp.runs()) {
       if (run.lo <= plo && phi <= run.hi) covered = true;

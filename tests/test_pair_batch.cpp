@@ -1,0 +1,324 @@
+// Batched pair screening and its wire face.
+//
+// The CandidateBatch screen is a *pre-filter*: kBboxDisjoint / kFpDisjoint
+// verdicts must be provable, kSurvive proves nothing. The suite pins the
+// soundness obligations - a genuinely conflicting pair is never screened
+// out, a cleared/deserialized bitmap is substituted with all-ones so it can
+// only pass through - and the v1/v2 wire compatibility rules: a v1 stream
+// (no page-shift byte in fingerprint images, no kPairBatch frames) still
+// decodes, and a kPairBatch frame inside a v1 stream is rejected.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/pair_batch.hpp"
+#include "core/segment_graph.hpp"
+#include "core/segment_stream.hpp"
+
+namespace tg::core {
+namespace {
+
+Segment make_segment(SegId id) {
+  Segment seg;
+  seg.id = id;
+  seg.kind = SegKind::kTask;
+  seg.task_id = 7;
+  seg.seq_in_task = 3;
+  seg.tid = 2;
+  seg.region_id = 11;
+  seg.first_access_loc = {4, 120};
+  // Both spans > 2^20 bytes so build_from tunes each page shift to the
+  // historical 4 KiB (12) - the only shift a layout-1 image can carry
+  // implicitly.
+  seg.reads.add(0x1000, 0x1040, {4, 121});
+  seg.reads.add(0x180000, 0x180010, {4, 122});
+  seg.writes.add(0x1020, 0x1030, {4, 123});
+  seg.writes.add(0x160000, 0x160010, {4, 124});
+  seg.sp_at_start = 0x7fff0000;
+  seg.stack_base = 0x7fff8000;
+  seg.stack_limit = 0x7ff00000;
+  seg.tcb = 0x5000;
+  seg.mutexes = {3, 9, 42};
+  seg.finalize_fingerprints();
+  return seg;
+}
+
+// --- pair-batch payload ------------------------------------------------------
+
+TEST(PairBatch, PayloadRoundTrips) {
+  const std::vector<WirePair> pairs = {{1, 2}, {9, 4}, {100000, 3}};
+  std::vector<uint8_t> payload;
+  encode_pair_batch(pairs, payload);
+
+  std::vector<WirePair> decoded;
+  std::string error;
+  ASSERT_TRUE(decode_pair_batch(payload, decoded, &error)) << error;
+  ASSERT_EQ(decoded.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(decoded[i].a, pairs[i].a);
+    EXPECT_EQ(decoded[i].b, pairs[i].b);
+  }
+
+  std::vector<uint8_t> empty_payload;
+  encode_pair_batch({}, empty_payload);
+  ASSERT_TRUE(decode_pair_batch(empty_payload, decoded, &error)) << error;
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(PairBatch, MalformedPayloadsAreRejected) {
+  std::vector<uint8_t> payload;
+  encode_pair_batch({{1, 2}, {3, 4}}, payload);
+  std::vector<WirePair> decoded;
+  std::string error;
+
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<uint8_t> short_payload(payload.begin(),
+                                       payload.begin() + cut);
+    EXPECT_FALSE(decode_pair_batch(short_payload, decoded, &error))
+        << "cut at " << cut;
+  }
+  std::vector<uint8_t> trailing = payload;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_pair_batch(trailing, decoded, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+// --- v1 wire compatibility ---------------------------------------------------
+
+std::vector<uint8_t> v1_stream_header() {
+  std::vector<uint8_t> bytes;
+  append_stream_header(bytes);
+  bytes[8] = 1;  // u32 version, little-endian: rewrite 2 -> 1
+  return bytes;
+}
+
+// Layout-1 fingerprint image: layout 2 minus the page-shift byte at
+// offset 1 (ready | shift | nruns | words | runs). Only faithful when the
+// fingerprint's shift is the historical 12, which make_segment guarantees.
+void append_v1_fingerprint(const AccessFingerprint& fp,
+                           std::vector<uint8_t>& out) {
+  ASSERT_EQ(fp.page_shift(), kFingerprintPageShift);
+  std::vector<uint8_t> image;
+  fp.serialize(image);
+  image.erase(image.begin() + 1);
+  out.insert(out.end(), image.begin(), image.end());
+}
+
+TEST(PairBatch, V1StreamStillDecodes) {
+  const Segment original = make_segment(17);
+  std::vector<uint8_t> v1_image;
+  encode_segment_meta(original, v1_image);
+  append_v1_fingerprint(original.fp_reads, v1_image);
+  append_v1_fingerprint(original.fp_writes, v1_image);
+  original.reads.serialize(v1_image);
+  original.writes.serialize(v1_image);
+
+  std::vector<uint8_t> bytes = v1_stream_header();
+  append_frame(bytes, FrameType::kSegment, 17, v1_image);
+  std::vector<uint8_t> pair_payload;
+  encode_pair({17, 18}, pair_payload);
+  append_frame(bytes, FrameType::kPair, 0, pair_payload);
+  append_frame(bytes, FrameType::kFinish, 0, {});
+
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame)
+      << decoder.error();
+  EXPECT_EQ(decoder.version(), 1u);
+  ASSERT_EQ(frame.type, FrameType::kSegment);
+
+  Segment decoded;
+  std::string error;
+  ASSERT_TRUE(decode_segment(frame.payload, decoded, &error,
+                             decoder.version()))
+      << error;
+  EXPECT_EQ(decoded.id, original.id);
+  EXPECT_EQ(decoded.mutexes, original.mutexes);
+  EXPECT_EQ(decoded.fp_reads.page_shift(), kFingerprintPageShift);
+  EXPECT_TRUE(decoded.fp_reads.ready());
+  EXPECT_TRUE(decoded.reads.intersects(original.reads));
+  EXPECT_TRUE(decoded.writes.intersects(original.writes));
+  // A v2-shaped image (with the shift byte) must NOT parse as v1: the
+  // stray byte shifts every later field.
+  std::vector<uint8_t> v2_image;
+  encode_segment(original, v2_image);
+  EXPECT_FALSE(decode_segment(v2_image, decoded, &error, 1));
+
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kPair);
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kFinish);
+}
+
+TEST(PairBatch, PairBatchFrameRejectedInV1Stream) {
+  std::vector<uint8_t> payload;
+  encode_pair_batch({{1, 2}}, payload);
+  std::vector<uint8_t> bytes = v1_stream_header();
+  append_frame(bytes, FrameType::kPairBatch, 0, payload);
+
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("pair-batch frame in a v1 stream"),
+            std::string::npos)
+      << decoder.error();
+
+  // The same frame in a v2 stream is fine.
+  std::vector<uint8_t> v2 = {};
+  append_stream_header(v2);
+  append_frame(v2, FrameType::kPairBatch, 0, payload);
+  FrameDecoder ok;
+  ok.append(v2.data(), v2.size());
+  ASSERT_EQ(ok.next(frame), FrameDecoder::Status::kFrame) << ok.error();
+  EXPECT_EQ(frame.type, FrameType::kPairBatch);
+}
+
+// --- fingerprint page-shift tuning -------------------------------------------
+
+TEST(PairBatch, PageShiftAutoTunesToTheSpan) {
+  // One 512-slot level-0 map: the picked shift is the smallest whose pages
+  // cover the span.
+  EXPECT_EQ(AccessFingerprint::pick_page_shift(0),
+            AccessFingerprint::kMinPageShift);
+  EXPECT_EQ(AccessFingerprint::pick_page_shift(512 * 8),
+            AccessFingerprint::kMinPageShift);
+  EXPECT_EQ(AccessFingerprint::pick_page_shift(1 << 21),
+            kFingerprintPageShift);
+  EXPECT_EQ(AccessFingerprint::pick_page_shift(UINT64_MAX),
+            AccessFingerprint::kMaxPageShift);
+
+  // A dense small segment tunes below the historical 4 KiB granule and
+  // the tuned shift survives a serialize round-trip (layout 2).
+  IntervalSet set;
+  set.add(0x100, 0x140, {1, 1});
+  set.add(0x200, 0x240, {1, 2});
+  AccessFingerprint fp;
+  fp.build_from(set);
+  EXPECT_LT(fp.page_shift(), kFingerprintPageShift);
+
+  std::vector<uint8_t> image;
+  fp.serialize(image);
+  AccessFingerprint back;
+  ASSERT_GT(back.deserialize(image.data(), image.size(), 2), 0u);
+  EXPECT_EQ(back.page_shift(), fp.page_shift());
+  EXPECT_TRUE(back.maybe_intersects(fp));
+
+  // The layout-1 reader has no shift field to read: it must assume the
+  // historical 12 regardless of the writer's tuning.
+  std::vector<uint8_t> v1 = image;
+  v1.erase(v1.begin() + 1);
+  AccessFingerprint legacy;
+  ASSERT_GT(legacy.deserialize(v1.data(), v1.size(), 1), 0u);
+  EXPECT_EQ(legacy.page_shift(), kFingerprintPageShift);
+}
+
+// --- screen soundness --------------------------------------------------------
+
+Segment access_segment(SegId id, uint64_t wlo, uint64_t whi, uint64_t rlo = 0,
+                       uint64_t rhi = 0) {
+  Segment seg;
+  seg.id = id;
+  seg.kind = SegKind::kTask;
+  if (whi > wlo) seg.writes.add(wlo, whi, {1, 1});
+  if (rhi > rlo) seg.reads.add(rlo, rhi, {1, 2});
+  seg.finalize_fingerprints();
+  return seg;
+}
+
+TEST(PairBatch, ScreenVerdictsAreProvable) {
+  // Query writes page 1 and reads page 8 (4 KiB pages).
+  const Segment query =
+      access_segment(1, 0x1000, 0x1100, 0x8000, 0x8010);
+  const CandidateBatch::Footprint q(query);
+
+  CandidateBatch batch;
+  // Overlapping bytes: must survive every screen configuration.
+  batch.push(access_segment(2, 0x1080, 0x1090));
+  // Bbox-disjoint: above the query's [0x1000, 0x8010) box.
+  batch.push(access_segment(3, 0x100000, 0x100100));
+  // Bbox-overlapping but page-disjoint (page 3): fingerprint-screenable.
+  batch.push(access_segment(4, 0x3000, 0x3008));
+  // Read-only candidate on the query's read page: two reads never
+  // conflict, so the conflict mask is zero even though bytes overlap.
+  batch.push(access_segment(5, 0, 0, 0x8000, 0x8010));
+
+  std::vector<uint8_t> verdicts;
+  batch.screen(q, 0, batch.size(), /*check_bbox=*/true, /*check_fp=*/true,
+               verdicts);
+  ASSERT_EQ(verdicts.size(), 4u);
+  EXPECT_EQ(verdicts[0], CandidateBatch::kSurvive);
+  EXPECT_EQ(verdicts[1], CandidateBatch::kBboxDisjoint);
+  EXPECT_EQ(verdicts[2], CandidateBatch::kFpDisjoint);
+  EXPECT_EQ(verdicts[3], CandidateBatch::kFpDisjoint);
+
+  // Gates are independent: with a filter off, its verdict may not be used.
+  batch.screen(q, 0, batch.size(), false, true, verdicts);
+  EXPECT_EQ(verdicts[1], CandidateBatch::kFpDisjoint);  // boxes ignored
+  batch.screen(q, 0, batch.size(), true, false, verdicts);
+  EXPECT_EQ(verdicts[2], CandidateBatch::kSurvive);
+  batch.screen(q, 0, batch.size(), false, false, verdicts);
+  for (const uint8_t v : verdicts) {
+    EXPECT_EQ(v, CandidateBatch::kSurvive);
+  }
+}
+
+TEST(PairBatch, ClearedBitmapScreensAsAllOnes) {
+  // Round-trip the candidate through the wire: IntervalSet::deserialize
+  // leaves the incremental level-0 bitmap reset, which the batch must
+  // substitute with all-ones - the screen may pass such an entry through,
+  // never prove it disjoint.
+  const Segment original = access_segment(4, 0x3000, 0x3008);
+  std::vector<uint8_t> image;
+  encode_segment(original, image);
+  Segment decoded;
+  std::string error;
+  ASSERT_TRUE(decode_segment(image, decoded, &error)) << error;
+  ASSERT_FALSE(decoded.writes.empty());
+
+  const Segment query =
+      access_segment(1, 0x1000, 0x1100, 0x8000, 0x8010);
+  CandidateBatch batch;
+  batch.push(decoded);
+  std::vector<uint8_t> verdicts;
+  batch.screen(CandidateBatch::Footprint(query), 0, batch.size(), true, true,
+               verdicts);
+  // Page-disjoint in truth (page 3 vs pages 1 and 8), but the screen no
+  // longer has trustworthy words - it must keep the pair.
+  EXPECT_EQ(verdicts[0], CandidateBatch::kSurvive);
+
+  // The same substitution applies to a query built from decoded arenas.
+  CandidateBatch fresh;
+  fresh.push(access_segment(4, 0x3000, 0x3008));
+  fresh.screen(CandidateBatch::Footprint(decoded), 0, fresh.size(), true,
+               true, verdicts);
+  EXPECT_EQ(verdicts[0], CandidateBatch::kSurvive);
+}
+
+TEST(PairBatch, EditingOperationsKeepArraysAligned) {
+  CandidateBatch batch;
+  for (SegId id = 1; id <= 6; ++id) {
+    batch.push(access_segment(id, 0x1000 * id, 0x1000 * id + 8));
+  }
+  batch.erase_prefix(2);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch.id(0), 3u);
+  batch.swap_remove(0);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.id(0), 6u);
+
+  // The surviving entries still screen with their own footprints: entry 6
+  // overlaps a query at its window, entries 4 and 5 are box-disjoint.
+  const Segment query = access_segment(9, 0x6000, 0x6008);
+  std::vector<uint8_t> verdicts;
+  batch.screen(CandidateBatch::Footprint(query), 0, batch.size(), true, true,
+               verdicts);
+  EXPECT_EQ(verdicts[0], CandidateBatch::kSurvive);
+  EXPECT_EQ(verdicts[1], CandidateBatch::kBboxDisjoint);
+  EXPECT_EQ(verdicts[2], CandidateBatch::kBboxDisjoint);
+}
+
+}  // namespace
+}  // namespace tg::core

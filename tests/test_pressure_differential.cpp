@@ -177,6 +177,15 @@ TEST(PressureDifferential, LuleshCeilingSweep) {
         // may legitimately be zero.
         EXPECT_GT(governed.analysis_stats.segments_spilled, 0u) << label;
         EXPECT_GT(governed.analysis_stats.spill_bytes_written, 0u) << label;
+        // Victim selection prefers segments fingerprint-disjoint from every
+        // open segment (they can never be paired against what is still
+        // growing, so spilling them risks no reload). On this kernel such
+        // victims exist at the small ceiling.
+        EXPECT_GT(governed.analysis_stats.spill_victims_disjoint, 0u)
+            << label;
+        EXPECT_LE(governed.analysis_stats.spill_victims_disjoint,
+                  governed.analysis_stats.segments_spilled)
+            << label;
         EXPECT_GT(governed.analysis_stats.spill_reloads +
                       governed.analysis_stats.spill_reloads_avoided,
                   0u)

@@ -1,4 +1,6 @@
-// The `segment-stream-v1` wire schema (core/segment_stream, DESIGN.md §11).
+// The `segment-stream-v2` wire schema (core/segment_stream, DESIGN.md §11).
+// v1 acceptance and the v2-only kPairBatch frame are covered in
+// test_pair_batch.cpp.
 //
 // Findings depend on these bytes: the spill archive and the shard transport
 // share this one format, so every decode path must be strict. The suite
