@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "tools/plugin.hpp"
+
 namespace tg::cli {
 
 namespace {
@@ -108,8 +110,11 @@ const char* usage_text() {
       "usage: taskgrind [options] <program> | lulesh [lulesh options]\n"
       "\n"
       "options:\n"
-      "  --list                 list registered guest programs\n"
-      "  --tool=NAME            taskgrind|archer|tasksanitizer|romp|none\n"
+      "  --list                 list registered guest programs\n";
+    // The tool list renders from the plugin registry (tools/plugin.hpp),
+    // so it cannot drift from the tools actually registered.
+    s += "  --tool=NAME            " + tg::tools::tool_name_list() + "\n";
+    s +=
       "  --threads=N            team size (default 4)\n"
       "  --seed=N               scheduler seed (default 1)\n"
       "  --analysis-threads=N   streaming workers / post-mortem pass width\n"
@@ -195,7 +200,8 @@ ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
     } else if (arg.rfind("--tool=", 0) == 0) {
       const auto tool = tools::tool_from_name(value("--tool="));
       if (!tool.has_value()) {
-        return fail(std::string("unknown tool '") + value("--tool=") + "'");
+        return fail(std::string("unknown tool '") + value("--tool=") +
+                    "' (tools: " + tools::tool_name_list() + ")");
       }
       out.session.tool = *tool;
     } else if (arg.rfind("--threads=", 0) == 0) {

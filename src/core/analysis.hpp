@@ -108,6 +108,7 @@ struct AnalysisStats {
   uint64_t suppressed_tls = 0;
   uint64_t suppressed_user = 0;      // muted by --suppress=FILE rules
   uint64_t segments_active = 0;      // task segments that touched memory
+  uint64_t future_edges = 0;         // non-fork-join get-edges (futures)
   uint64_t index_bytes = 0;          // timestamp order-maintenance index
   uint64_t oracle_bytes = 0;         // ancestor bitsets (0 unless enabled)
   // Streaming engine counters (zero in post-mortem mode).

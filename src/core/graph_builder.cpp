@@ -410,6 +410,32 @@ void SegmentGraphBuilder::feb_acquire(uint64_t task_id, vex::GuestAddr addr,
   }
 }
 
+void SegmentGraphBuilder::future_create(uint64_t future_id, uint64_t task_id) {
+  future_tasks_[future_id] = task_id;
+}
+
+void SegmentGraphBuilder::future_get(uint64_t future_id, uint64_t getter_id,
+                                     int tid) {
+  (void)tid;
+  auto it = future_tasks_.find(future_id);
+  if (it == future_tasks_.end()) return;
+  TTask& g = task(getter_id);
+  close_segment(g);
+  const SegId cont = open_segment(g, g.bound_tid);
+  // The runtime only reports a get once the future task completed, so its
+  // completion segments are final and the get-edge can be drawn eagerly -
+  // happens-before is monotone, an "ordered" verdict can never be revoked.
+  const TTask& ft = task(it->second);
+  auto link = [&](SegId from) {
+    if (from == kNoSeg || from == cont) return;
+    graph_.add_edge(from, cont);
+    ++future_edges_;
+    if (sink_ != nullptr) sink_->future_edge(from, cont);
+  };
+  link(ft.last_seg);
+  if (ft.fulfill_pre_seg != ft.last_seg) link(ft.fulfill_pre_seg);
+}
+
 void SegmentGraphBuilder::invalidate_cursors() {
   for (AccessCursor& cursor : cursors_) {
     cursor.resolved = false;
@@ -626,6 +652,19 @@ void SegmentGraphBuilder::Listener::on_feb_acquire(rt::Task& task,
                                                    vex::GuestAddr addr,
                                                    bool full_channel) {
   builder_.feb_acquire(task.id, addr, full_channel);
+}
+
+void SegmentGraphBuilder::Listener::on_future_create(rt::Task& task,
+                                                     uint64_t future_id) {
+  builder_.future_create(future_id, task.id);
+}
+
+void SegmentGraphBuilder::Listener::on_future_get(rt::Task& getter,
+                                                  rt::Task& future_task,
+                                                  uint64_t future_id,
+                                                  rt::Worker& worker) {
+  (void)future_task;
+  builder_.future_get(future_id, getter.id, worker.index());
 }
 
 }  // namespace tg::core

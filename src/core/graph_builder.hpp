@@ -40,11 +40,19 @@ class SegmentSink {
  public:
   virtual ~SegmentSink() = default;
   /// `id` just closed: its access trees, mutexes and suppression metadata
-  /// are final (only *incoming* graph edges may still be added later).
+  /// are final. Graph edges may still be added later in either direction:
+  /// incoming (dependences, joins) and - for FEB release slots and future
+  /// get-edges - outgoing from a long-closed segment to a new one. Both are
+  /// safe for analysis because happens-before only ever *grows*.
   virtual void segment_closed(SegId id) = 0;
   /// Every future segment will be a descendant of (or equal to) one of
   /// `frontier` - the growth points of all uncompleted tasks.
   virtual void frontier_advanced(const std::vector<SegId>& frontier) = 0;
+  /// A non-fork-join get-edge `from -> to` was just added (future_get):
+  /// `from` is the future task's completion segment (often closed, possibly
+  /// retired), `to` the getter's freshly opened continuation. Sharded
+  /// backends forward these so remote workers see the identical graph.
+  virtual void future_edge(SegId from, SegId to) { (void)from; (void)to; }
 };
 
 class SegmentGraphBuilder {
@@ -122,6 +130,18 @@ class SegmentGraphBuilder {
   /// draws an edge from the remembered segment.
   void feb_release(uint64_t task, vex::GuestAddr addr, bool full_channel);
   void feb_acquire(uint64_t task, vex::GuestAddr addr, bool full_channel);
+  /// Futures: `future_create` binds handle `future_id` to `task` (the fork
+  /// edge itself arrives through the ordinary task_create event);
+  /// `future_get` splits the getter's segment and draws the non-fork-join
+  /// get-edge from the future task's completion segments to the getter's
+  /// continuation. The runtime guarantees the future task completed before
+  /// the get returns, so the edge is final the moment it is drawn.
+  void future_create(uint64_t future_id, uint64_t task);
+  void future_get(uint64_t future_id, uint64_t getter, int tid);
+  /// Non-fork-join get-edges drawn so far. Counted here - not in the
+  /// analysis engines - so the stat is identical across streaming,
+  /// post-mortem and sharded runs by construction.
+  uint64_t future_edges() const { return future_edges_; }
 
   // --- access recording -----------------------------------------------------
   /// The per-access hot path (paper Fig. 4: every guest load/store lands
@@ -272,6 +292,9 @@ class SegmentGraphBuilder {
                         bool full_channel) override;
     void on_feb_acquire(rt::Task& task, vex::GuestAddr addr,
                         bool full_channel) override;
+    void on_future_create(rt::Task& task, uint64_t future_id) override;
+    void on_future_get(rt::Task& getter, rt::Task& future_task,
+                       uint64_t future_id, rt::Worker& worker) override;
 
    private:
     SegmentGraphBuilder& builder_;
@@ -321,6 +344,8 @@ class SegmentGraphBuilder {
 
   std::vector<std::pair<uint64_t, uint64_t>> deps_;  // (pred, succ)
   std::map<std::pair<vex::GuestAddr, bool>, SegId> feb_last_release_;
+  std::map<uint64_t, uint64_t> future_tasks_;  // future handle -> task id
+  uint64_t future_edges_ = 0;                  // get-edges drawn
   std::vector<PendingJoin> joins_;
   std::vector<uint64_t> cur_task_by_tid_;  // announced task per thread
   std::vector<AccessCursor> cursors_;      // per-tid access fast lane

@@ -102,6 +102,7 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kFinish: return "finish";
     case FrameType::kBye: return "bye";
     case FrameType::kPairBatch: return "pair-batch";
+    case FrameType::kFutureEdge: return "future-edge";
   }
   return "?";
 }
@@ -169,11 +170,15 @@ FrameDecoder::Status FrameDecoder::next(Frame& out) {
   const uint64_t len = r.u64();
   const uint64_t checksum = r.u64();
   if (type < uint32_t(FrameType::kSegment) ||
-      type > uint32_t(FrameType::kPairBatch)) {
+      type > uint32_t(FrameType::kFutureEdge)) {
     return fail("unknown frame type " + std::to_string(type));
   }
   if (type == uint32_t(FrameType::kPairBatch) && version_ < 2) {
     return fail("pair-batch frame in a v1 stream");
+  }
+  if (type == uint32_t(FrameType::kFutureEdge) && version_ < 3) {
+    return fail("future-edge frame in a v" + std::to_string(version_) +
+                " stream");
   }
   if (len > kMaxFramePayload) {
     return fail("oversized frame payload (" + std::to_string(len) +
@@ -325,6 +330,23 @@ bool decode_pair(std::span<const uint8_t> payload, WirePair& out,
   if (r.truncated) return fail(error, "truncated pair request");
   if (r.pos != payload.size()) {
     return fail(error, "trailing bytes after pair request");
+  }
+  return true;
+}
+
+void encode_future_edge(SegId from, SegId to, std::vector<uint8_t>& out) {
+  put_u32(out, from);
+  put_u32(out, to);
+}
+
+bool decode_future_edge(std::span<const uint8_t> payload, WirePair& out,
+                        std::string* error) {
+  Reader r{payload};
+  out.a = r.u32();
+  out.b = r.u32();
+  if (r.truncated) return fail(error, "truncated future edge");
+  if (r.pos != payload.size()) {
+    return fail(error, "trailing bytes after future edge");
   }
   return true;
 }

@@ -1,4 +1,4 @@
-// The `segment-stream-v2` wire schema - closed segments as a versioned,
+// The `segment-stream-v3` wire schema - closed segments as a versioned,
 // checksummed byte stream (DESIGN.md §11/§12).
 //
 // PR 4 made a closed segment's analysis payload self-contained on disk
@@ -25,10 +25,12 @@
 // specific message and never read past the buffer. Findings depend on these
 // bytes, so "reject loudly" beats "best effort" everywhere.
 //
-// Versioning: writers emit v2. Readers accept v1 and v2 streams - v2 adds
+// Versioning: writers emit v3. Readers accept v1..v3 streams - v2 added
 // the kPairBatch frame (many scan requests in one frame; outcomes stay
 // per-pair, ids base+k) and a per-fingerprint page-shift byte inside the
-// arena images. A kPairBatch frame inside a v1 stream is rejected, and v1
+// arena images; v3 adds the kFutureEdge frame (a non-fork-join get-edge
+// `from -> to`, so shard workers mirror the guest's exact DAG). A frame
+// type inside a stream whose version predates it is rejected, and v1
 // arena images decode at the historical fixed 4 KiB fingerprint shift.
 #pragma once
 
@@ -43,7 +45,7 @@ namespace tg::core {
 
 inline constexpr char kSegmentStreamMagic[8] = {'T', 'G', 'S', 'E',
                                                 'G', 'S', '1', '\0'};
-inline constexpr uint32_t kSegmentStreamVersion = 2;
+inline constexpr uint32_t kSegmentStreamVersion = 3;
 /// Oldest stream version FrameDecoder still reads.
 inline constexpr uint32_t kSegmentStreamMinVersion = 1;
 inline constexpr size_t kStreamHeaderBytes = 8 + 4 + 4;
@@ -62,6 +64,8 @@ enum class FrameType : uint32_t {
   kPairBatch = 7,  // v2: scan requests {u32 n, n x {u32 a, u32 b}}; the
                    // frame id is the first pair's sequence number, pair k
                    // answers as id+k - completion stays per-pair exact
+  kFutureEdge = 8,  // v3: non-fork-join get-edge {u32 from, u32 to};
+                    // id = from - keeps worker graph mirrors exact
 };
 
 const char* frame_type_name(FrameType type);
@@ -187,6 +191,12 @@ struct WireBye {
 void encode_pair(const WirePair& pair, std::vector<uint8_t>& out);
 bool decode_pair(std::span<const uint8_t> payload, WirePair& out,
                  std::string* error);
+
+/// v3 kFutureEdge payload: one get-edge (from -> to). Same shape as a
+/// WirePair but semantically a graph edge, not a scan request.
+void encode_future_edge(SegId from, SegId to, std::vector<uint8_t>& out);
+bool decode_future_edge(std::span<const uint8_t> payload, WirePair& out,
+                        std::string* error);
 
 /// v2 kPairBatch payload: every pair the producer routed to one worker for
 /// one closing segment, shipped as a single frame instead of per-pair

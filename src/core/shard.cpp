@@ -59,6 +59,7 @@ void run_shard_worker(int fd, const vex::Program& program,
   std::unordered_map<uint32_t, std::unique_ptr<Segment>> segments;
   std::vector<uint8_t> out;
   std::vector<uint8_t> payload;
+  std::vector<WirePair> future_edges;  // broadcast DAG-mirror edges
   append_stream_header(out);
   WireBye bye;
   uint8_t buf[kIoChunk];
@@ -143,6 +144,19 @@ void run_shard_worker(int fd, const vex::Program& program,
             bye.pairs_scanned++;
           }
           worker_flush(fd, out);
+          break;
+        }
+        case FrameType::kFutureEdge: {
+          // v3 get-edge broadcast: absorbed to keep this shard's DAG
+          // mirror exact. No reply - ordering is adjudicated guest-side,
+          // where the authoritative index lives - but a malformed edge is
+          // a protocol error like any other frame.
+          WirePair edge;
+          std::string error;
+          if (!decode_future_edge(std::span(frame.payload), edge, &error)) {
+            worker_fatal(error);
+          }
+          future_edges.push_back(edge);
           break;
         }
         case FrameType::kFinish: {
@@ -490,6 +504,17 @@ void ShardPool::wait_for_room(size_t w) {
     if (fds.empty()) return;
     ::poll(fds.data(), fds.size(), 100);
     drain_all();
+  }
+}
+
+void ShardPool::broadcast_future_edge(SegId from, SegId to) {
+  if (alive_count_ == 0) return;
+  std::vector<uint8_t> payload;
+  encode_future_edge(from, to, payload);
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].alive || workers_[w].finish_sent) continue;
+    queue_frame(w, FrameType::kFutureEdge, from, payload);
+    pump(w);
   }
 }
 

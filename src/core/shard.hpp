@@ -129,6 +129,12 @@ class ShardPool {
   void submit_pairs(const Segment& a,
                     const std::vector<const Segment*>& partners);
 
+  /// Broadcasts one non-fork-join get-edge (v3 kFutureEdge) to every live
+  /// worker, so remote graph mirrors match the guest's DAG exactly. Fire
+  /// and forget: workers absorb the edge without answering (ordering is
+  /// still adjudicated guest-side, where the authoritative index lives).
+  void broadcast_future_edge(SegId from, SegId to);
+
   /// Opportunistic non-blocking drain (flush buffered frames, absorb
   /// outcomes, detect deaths). Called from the enqueue path.
   void poll();

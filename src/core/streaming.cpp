@@ -343,6 +343,14 @@ void StreamingAnalyzer::segment_closed(SegId id) {
   check_pressure();
 }
 
+void StreamingAnalyzer::future_edge(SegId from, SegId to) {
+  // The local engine needs no bookkeeping: the edge already landed in the
+  // shared graph before this hook fires, and HB only grows, so every
+  // funnel/retirement decision made earlier stays sound. Only remote graph
+  // mirrors need to hear about it.
+  if (pool_ != nullptr) pool_->broadcast_future_edge(from, to);
+}
+
 void StreamingAnalyzer::frontier_advanced(const std::vector<SegId>& frontier) {
   TG_ASSERT(!finished_);
   drain_completed();
@@ -406,6 +414,7 @@ void StreamingAnalyzer::frontier_advanced(const std::vector<SegId>& frontier) {
 
 void StreamingAnalyzer::retire(SegId id) {
   retired_[id] = 1;
+  if (retire_probe_) retire_probe_(id, graph_.size());
   const uint32_t pos = live_pos_[id];
   if (pos == kNoPos) return;  // synthetic or accessless: nothing to free
   live_pos_[live_.back().id] = pos;

@@ -63,6 +63,11 @@ class StreamingAnalyzer final : public SegmentSink {
   // --- SegmentSink (builder thread) ----------------------------------------
   void segment_closed(SegId id) override;
   void frontier_advanced(const std::vector<SegId>& frontier) override;
+  /// Non-fork-join get-edge: forwarded to the shard pool so remote workers
+  /// mirror the guest's exact DAG. The local engine needs no bookkeeping -
+  /// the edge is already in the graph's predecessor index, and monotone
+  /// happens-before means no earlier verdict can be invalidated by it.
+  void future_edge(SegId from, SegId to) override;
 
   /// Drains the pipeline and adjudicates every deferred pair against the
   /// finalized graph. Requires graph.finalized(). Idempotent.
@@ -103,6 +108,15 @@ class StreamingAnalyzer final : public SegmentSink {
   /// off or the pool failed to start) and the fallback flag.
   const ShardPool* shard_pool() const { return pool_.get(); }
   bool shard_degraded() const { return shard_degraded_; }
+
+  /// Retirement property-test hook (builder thread): called for every
+  /// segment the moment it is retired, with the graph size at that instant.
+  /// Tests snapshot (retired, later-created) obligations and check them
+  /// against the finalized oracle - retirement must only ever claim
+  /// provably-ordered segments, even when get-edges extend the live window.
+  void set_retire_probe(std::function<void(SegId, size_t)> fn) {
+    retire_probe_ = std::move(fn);
+  }
 
  private:
   /// One deferred pair: overlaps + suppression already computed by a
@@ -219,6 +233,7 @@ class StreamingAnalyzer final : public SegmentSink {
   bool shard_degraded_ = false;
   std::function<void()> invalidate_cursors_;
   std::function<void(uint64_t*)> open_fp_provider_;
+  std::function<void(SegId, size_t)> retire_probe_;
   std::vector<uint8_t> spilled_;      // seg id -> archive holds its arenas
   std::vector<uint8_t> resident_;     // seg id -> trees currently in memory
   std::vector<uint32_t> deferred_refs_;  // finish-time scans needing its trees

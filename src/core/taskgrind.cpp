@@ -245,6 +245,12 @@ void TaskgrindTool::decode(uint64_t code, std::span<const Value> args) {
     case Req::kFebAcquire:
       builder_.feb_acquire(u(0), u(1), u(2) != 0);
       return;
+    case Req::kFutureCreate:
+      builder_.future_create(u(0), u(1));
+      return;
+    case Req::kFutureGet:
+      builder_.future_get(u(0), u(1), i32(2));
+      return;
   }
   // Unknown requests are ignored, like Valgrind does.
 }
@@ -340,6 +346,17 @@ void TaskgrindTool::on_feb_acquire(rt::Task& task, GuestAddr addr,
   forward(Req::kFebAcquire, {task.id, addr, full_channel ? 1ull : 0ull});
 }
 
+void TaskgrindTool::on_future_create(rt::Task& task, uint64_t future_id) {
+  forward(Req::kFutureCreate, {future_id, task.id});
+}
+
+void TaskgrindTool::on_future_get(rt::Task& getter, rt::Task& future_task,
+                                  uint64_t future_id, rt::Worker& worker) {
+  (void)future_task;
+  forward(Req::kFutureGet,
+          {future_id, getter.id, static_cast<uint64_t>(worker.index())});
+}
+
 // --- analysis ----------------------------------------------------------------
 
 AnalysisOptions TaskgrindTool::analysis_options() const {
@@ -373,9 +390,15 @@ AnalysisResult TaskgrindTool::run_analysis() {
     builder_.finalize();
     finalized_ = true;
   }
-  if (streamer_ != nullptr) return streamer_->finish();
-  return analyze_races(builder_.graph(), vm_->program(), &allocs_,
-                       analysis_options());
+  // future_edges comes from the builder, not the engines, so the count is
+  // identical across streaming, post-mortem and sharded runs.
+  AnalysisResult result =
+      streamer_ != nullptr
+          ? streamer_->finish()
+          : analyze_races(builder_.graph(), vm_->program(), &allocs_,
+                          analysis_options());
+  result.stats.future_edges = builder_.future_edges();
+  return result;
 }
 
 }  // namespace tg::core

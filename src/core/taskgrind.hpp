@@ -75,6 +75,9 @@ class TaskgrindTool : public vex::Tool, public rt::RtEvents {
                       bool full_channel) override;
   void on_feb_acquire(rt::Task& task, vex::GuestAddr addr,
                       bool full_channel) override;
+  void on_future_create(rt::Task& task, uint64_t future_id) override;
+  void on_future_get(rt::Task& getter, rt::Task& future_task,
+                     uint64_t future_id, rt::Worker& worker) override;
 
   // --- analysis --------------------------------------------------------------
   /// Finalizes the segment graph (idempotent) and produces the findings:
@@ -84,6 +87,9 @@ class TaskgrindTool : public vex::Tool, public rt::RtEvents {
   AnalysisResult run_analysis();
 
   SegmentGraphBuilder& builder() { return builder_; }
+  /// Streaming engine (null in post-mortem mode); lets the retirement
+  /// property tests install a retire probe after attach().
+  StreamingAnalyzer* streamer() { return streamer_.get(); }
   const AllocRegistry& allocs() const { return allocs_; }
   uint64_t access_events() const { return access_events_; }
   const TaskgrindOptions& options() const { return options_; }
@@ -110,6 +116,8 @@ class TaskgrindTool : public vex::Tool, public rt::RtEvents {
     kFulfill,
     kFebRelease,
     kFebAcquire,
+    kFutureCreate,
+    kFutureGet,
   };
 
   /// The adapter side: packs scalars and crosses the client-request

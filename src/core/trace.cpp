@@ -105,6 +105,8 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kFebAcquire: return "feb-acquire";
     case TraceEventKind::kTaskDetach: return "task-detach";
     case TraceEventKind::kTaskFulfill: return "task-fulfill";
+    case TraceEventKind::kFutureCreate: return "future-create";
+    case TraceEventKind::kFutureGet: return "future-get";
     case TraceEventKind::kCount: break;
   }
   return "?";
@@ -384,6 +386,15 @@ void ScheduleRecorder::on_task_fulfill(rt::Task& task,
                                        rt::Worker& fulfiller) {
   append(TraceEventKind::kTaskFulfill, fulfiller.index(), task.id, 0);
 }
+void ScheduleRecorder::on_future_create(rt::Task& task, uint64_t future_id) {
+  append(TraceEventKind::kFutureCreate, -1, task.id, future_id);
+}
+void ScheduleRecorder::on_future_get(rt::Task& getter, rt::Task& future_task,
+                                     uint64_t future_id, rt::Worker& worker) {
+  (void)future_id;
+  append(TraceEventKind::kFutureGet, worker.index(), getter.id,
+         future_task.id);
+}
 
 // --- ScheduleReplayer ----------------------------------------------------
 
@@ -552,6 +563,15 @@ void ScheduleReplayer::on_task_detach(rt::Task& task) {
 void ScheduleReplayer::on_task_fulfill(rt::Task& task,
                                        rt::Worker& fulfiller) {
   verify(TraceEventKind::kTaskFulfill, fulfiller.index(), task.id, 0);
+}
+void ScheduleReplayer::on_future_create(rt::Task& task, uint64_t future_id) {
+  verify(TraceEventKind::kFutureCreate, -1, task.id, future_id);
+}
+void ScheduleReplayer::on_future_get(rt::Task& getter, rt::Task& future_task,
+                                     uint64_t future_id, rt::Worker& worker) {
+  (void)future_id;
+  verify(TraceEventKind::kFutureGet, worker.index(), getter.id,
+         future_task.id);
 }
 
 }  // namespace tg::core

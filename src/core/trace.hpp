@@ -73,6 +73,8 @@ enum class TraceEventKind : uint8_t {
   kFebAcquire,      // a = task, b = addr << 1 | full_channel
   kTaskDetach,      // a = task
   kTaskFulfill,     // worker = fulfiller, a = task
+  kFutureCreate,    // a = task, b = future handle
+  kFutureGet,       // worker = getter's worker, a = getter, b = future task
   kCount,
 };
 
@@ -161,6 +163,9 @@ class ScheduleRecorder : public rt::RtEvents, public rt::SchedulePort {
                       bool full_channel) override;
   void on_task_detach(rt::Task& task) override;
   void on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) override;
+  void on_future_create(rt::Task& task, uint64_t future_id) override;
+  void on_future_get(rt::Task& getter, rt::Task& future_task,
+                     uint64_t future_id, rt::Worker& worker) override;
 
  private:
   void append(TraceEventKind kind, int32_t worker, uint64_t a, uint64_t b);
@@ -226,6 +231,9 @@ class ScheduleReplayer : public rt::RtEvents, public rt::SchedulePort {
                       bool full_channel) override;
   void on_task_detach(rt::Task& task) override;
   void on_task_fulfill(rt::Task& task, rt::Worker& fulfiller) override;
+  void on_future_create(rt::Task& task, uint64_t future_id) override;
+  void on_future_get(rt::Task& getter, rt::Task& future_task,
+                     uint64_t future_id, rt::Worker& worker) override;
 
  private:
   void verify(TraceEventKind kind, int32_t worker, uint64_t a, uint64_t b);

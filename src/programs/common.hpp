@@ -57,10 +57,12 @@ GuestProgram make_program(std::string name, std::string category,
                           std::string description,
                           std::function<void(Ctx&)> body);
 
-/// Registry sections (defined across drb.cpp / tmb.cpp / misc.cpp).
+/// Registry sections (defined across drb.cpp / tmb.cpp / misc.cpp /
+/// apps.cpp / futures.cpp).
 std::vector<GuestProgram> drb_programs();
 std::vector<GuestProgram> tmb_programs();
 std::vector<GuestProgram> misc_programs();
 std::vector<GuestProgram> app_programs();
+std::vector<GuestProgram> futures_programs();
 
 }  // namespace tg::progs

@@ -1,0 +1,135 @@
+// The futures workload family (ISSUE 9): the first registry programs whose
+// segment graphs are NOT series-parallel. Every inter-task edge below that
+// matters is a future_get edge - a DAG edge from the fulfilling task's
+// completion segments to the getter's continuation - which no fork-join
+// nesting (task/taskwait/taskgroup) can express. These are the programs the
+// futures differential suite pins across engines, and the workload
+// --tool=futures is gated to.
+#include "programs/common.hpp"
+
+namespace tg::progs {
+
+namespace {
+
+int64_t sa(GuestAddr addr) { return static_cast<int64_t>(addr); }
+
+}  // namespace
+
+std::vector<GuestProgram> futures_programs() {
+  std::vector<GuestProgram> v;
+
+  // A linear pipeline threaded through future handles: stage k gets stage
+  // k-1's handle, reads its cell and writes the next one. The handles are
+  // plain 64-bit words captured into the next stage, so the stage tasks
+  // are all siblings - the chain exists only as get-edges. Clean: every
+  // cross-stage access is ordered by its get.
+  v.push_back(make_program(
+      "future-pipeline", "futures", false, {"parallel", "single", "futures"},
+      "4-stage pipeline where each stage awaits the previous stage's "
+      "future handle",
+      [](Ctx& c) {
+        constexpr int64_t kStages = 4;
+        const GuestAddr cells = c.pb.global("cells", 8 * (kStages + 1));
+        c.in_single([&](FnBuilder& pf) {
+          pf.st(pf.c(sa(cells)), pf.c(1));
+          V prev = c.omp.future(pf, {}, [&](FnBuilder& tf, TaskArgs&) {
+            tf.line(10);
+            tf.st(tf.c(sa(cells) + 8),
+                  tf.ld(tf.c(sa(cells))) * tf.c(2));
+          });
+          for (int64_t k = 1; k < kStages; ++k) {
+            prev = c.omp.future(
+                pf, {prev}, [&, k](FnBuilder& tf, TaskArgs& ta) {
+                  c.omp.future_get(tf, ta.get(0));
+                  tf.line(10 + static_cast<int>(k));
+                  tf.st(tf.c(sa(cells) + 8 * (k + 1)),
+                        tf.ld(tf.c(sa(cells) + 8 * k)) * tf.c(2));
+                });
+          }
+          c.omp.future_get(pf, prev);
+          pf.line(20);
+          pf.st(pf.c(sa(cells)), pf.ld(pf.c(sa(cells) + 8 * kStages)));
+        });
+      }));
+
+  // Two sibling futures write the same word. Both gets order each future
+  // before the final read, but nothing orders the futures against each
+  // other - the race is exactly the pair of writes, and a tool that
+  // treated get() like a taskwait-of-everything would miss it.
+  v.push_back(make_program(
+      "futures-with-races", "futures", true,
+      {"parallel", "single", "futures"},
+      "two unordered futures write one word; gets protect only the final "
+      "read",
+      [](Ctx& c) {
+        const GuestAddr shared = c.pb.global("shared", 8);
+        const GuestAddr out = c.pb.global("out", 8);
+        c.in_single([&](FnBuilder& pf) {
+          V a = c.omp.future(pf, {}, [&](FnBuilder& tf, TaskArgs&) {
+            tf.line(10);
+            tf.st(tf.c(sa(shared)), tf.c(1));  // races with line 12
+          });
+          V b = c.omp.future(pf, {}, [&](FnBuilder& tf, TaskArgs&) {
+            tf.line(12);
+            tf.st(tf.c(sa(shared)), tf.c(2));  // races with line 10
+          });
+          c.omp.future_get(pf, a);
+          c.omp.future_get(pf, b);
+          pf.line(15);
+          pf.st(pf.c(sa(out)), pf.ld(pf.c(sa(shared))));  // ordered: clean
+        });
+      }));
+
+  // A balanced reduction combined through futures: leaves fill their own
+  // slots, each combiner gets its two children's handles and folds their
+  // slots, the root's get publishes the total. The graph is a genuine
+  // in-tree of get-edges (multiple non-fork-join joins), clean, and the
+  // exit code checks the reduction actually happened in order.
+  v.push_back(make_program(
+      "future-reduce", "futures", false, {"parallel", "single", "futures"},
+      "8-leaf future-based tree reduction joined purely by get-edges",
+      [](Ctx& c) {
+        constexpr int64_t kLeaves = 8;
+        const GuestAddr slots = c.pb.global("slots", 8 * (2 * kLeaves));
+        const GuestAddr total = c.pb.global("total", 8);
+        c.in_single([&](FnBuilder& pf) {
+          // Heap-shaped slot tree: node n's children are 2n and 2n+1;
+          // leaves are nodes kLeaves..2*kLeaves-1.
+          std::vector<V> handles(2 * kLeaves);
+          for (int64_t n = 2 * kLeaves - 1; n >= 1; --n) {
+            if (n >= kLeaves) {
+              const int64_t value = n - kLeaves + 1;  // leaves hold 1..8
+              handles[static_cast<size_t>(n)] =
+                  c.omp.future(pf, {}, [&, n, value](FnBuilder& tf,
+                                                     TaskArgs&) {
+                    tf.line(10);
+                    tf.st(tf.c(sa(slots) + 8 * n), tf.c(value));
+                  });
+            } else {
+              handles[static_cast<size_t>(n)] = c.omp.future(
+                  pf,
+                  {handles[static_cast<size_t>(2 * n)],
+                   handles[static_cast<size_t>(2 * n + 1)]},
+                  [&, n](FnBuilder& tf, TaskArgs& ta) {
+                    c.omp.future_get(tf, ta.get(0));
+                    c.omp.future_get(tf, ta.get(1));
+                    tf.line(20);
+                    tf.st(tf.c(sa(slots) + 8 * n),
+                          tf.ld(tf.c(sa(slots) + 8 * (2 * n))) +
+                              tf.ld(tf.c(sa(slots) + 8 * (2 * n + 1))));
+                  });
+            }
+          }
+          c.omp.future_get(pf, handles[1]);
+          pf.line(30);
+          pf.st(pf.c(sa(total)), pf.ld(pf.c(sa(slots) + 8)));
+        });
+        // Exit code 0 iff the tree reduced 1..8 to 36.
+        FnBuilder& f = c.f();
+        f.ret(f.ld(f.c(sa(total))) - f.c(36));
+      }));
+
+  return v;
+}
+
+}  // namespace tg::progs

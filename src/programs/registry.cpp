@@ -29,6 +29,7 @@ const std::vector<rt::GuestProgram>& all_programs() {
     for (auto& p : tmb_programs()) all.push_back(std::move(p));
     for (auto& p : misc_programs()) all.push_back(std::move(p));
     for (auto& p : app_programs()) all.push_back(std::move(p));
+    for (auto& p : futures_programs()) all.push_back(std::move(p));
     return all;
   }();
   return programs;

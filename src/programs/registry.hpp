@@ -14,7 +14,7 @@ const std::vector<rt::GuestProgram>& all_programs();
 /// nullptr when not found.
 const rt::GuestProgram* find_program(std::string_view name);
 
-/// Programs of one category ("drb", "tmb", "demo").
+/// Programs of one category ("drb", "tmb", "demo", "futures").
 std::vector<const rt::GuestProgram*> programs_in(std::string_view category);
 
 }  // namespace tg::progs

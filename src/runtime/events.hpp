@@ -115,6 +115,18 @@ class RtEvents {
   virtual void on_task_fulfill(Task& task, Worker& fulfiller) {
     (void)task; (void)fulfiller;
   }
+
+  /// Futures (non-fork-join DAG edges). `on_future_create` fires after the
+  /// future's backing task was created and bound to `future_id`;
+  /// `on_future_get` fires on the getter's worker once the future task has
+  /// completed, i.e. at the point the happens-before get-edge becomes real.
+  virtual void on_future_create(Task& task, uint64_t future_id) {
+    (void)task; (void)future_id;
+  }
+  virtual void on_future_get(Task& getter, Task& future_task,
+                             uint64_t future_id, Worker& worker) {
+    (void)getter; (void)future_task; (void)future_id; (void)worker;
+  }
 };
 
 }  // namespace tg::rt

@@ -160,6 +160,25 @@ void Omp::fulfill_event(FnBuilder& f, V handle) {
   f.intrinsic(IntrinsicId::kFulfillEvent, {handle}, {});
 }
 
+V Omp::future(FnBuilder& f, const std::vector<V>& captures,
+              const OutlinedBody& body) {
+  FnBuilder& outlined = outline(f, "future");
+  {
+    TaskArgs args(outlined);
+    body(outlined, args);
+    if (!outlined.terminated()) outlined.ret();
+  }
+  std::vector<V> args;
+  args.insert(args.end(), captures.begin(), captures.end());
+  return f.intrinsic(IntrinsicId::kFutureCreate, args,
+                     {static_cast<int64_t>(outlined.id()),
+                      static_cast<int64_t>(captures.size())});
+}
+
+void Omp::future_get(FnBuilder& f, V handle) {
+  f.intrinsic(IntrinsicId::kFutureGet, {handle}, {});
+}
+
 void Omp::annotate_tasks_deferrable(FnBuilder& f) {
   f.client_request(static_cast<uint64_t>(vex::ClientReq::kTgTasksDeferrable),
                    {});

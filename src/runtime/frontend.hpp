@@ -140,6 +140,15 @@ class Omp {
   vex::V detach_event(vex::FnBuilder& f);
   void fulfill_event(vex::FnBuilder& f, vex::V handle);
 
+  /// future := async(body) - the body runs as a deferred future task;
+  /// returns the future handle (a plain 64-bit word the guest may pass
+  /// around or store in memory like any other value).
+  vex::V future(vex::FnBuilder& f, const std::vector<vex::V>& captures,
+                const OutlinedBody& body);
+  /// future.get() - blocks until the future's task completed, establishing
+  /// the non-fork-join happens-before get-edge.
+  void future_get(vex::FnBuilder& f, vex::V handle);
+
   /// Taskgrind client request (paper §V-B): annotate that tasks are
   /// semantically deferrable even when the runtime serializes them.
   void annotate_tasks_deferrable(vex::FnBuilder& f);
@@ -198,6 +207,13 @@ class Qthreads {
 
   /// Waits for every qthread forked by the current task.
   void join_all(vex::FnBuilder& f) { omp_.taskwait(f); }
+
+  /// qthread_fork_future: fork returning a handle join-able via get().
+  vex::V fork_future(vex::FnBuilder& f, const std::vector<vex::V>& captures,
+                     const OutlinedBody& body) {
+    return omp_.future(f, captures, body);
+  }
+  void get(vex::FnBuilder& f, vex::V handle) { omp_.future_get(f, handle); }
 
   // FEB operations on a 64-bit word at `addr`.
   void writeEF(vex::FnBuilder& f, vex::V addr, vex::V value);

@@ -292,6 +292,38 @@ Task* Runtime::find_task_live(Worker& worker, SchedDecision& decision) {
     }
   }
 
+  // Leapfrogging: a worker parked on future_get may stack only the awaited
+  // future above the parked activation. Any other task could transitively
+  // get() a future buried below the top of this stack, which can never
+  // resume first - with stacked child execution that is a deadlock no
+  // fork-join program can hit but get-edge DAGs can (two workers bury each
+  // other's awaited futures). Gets only ever target already-created
+  // futures, so the await chains a leapfrogging stack builds are acyclic
+  // and some worker always holds a runnable future: progress is guaranteed.
+  if (worker.has_exec() && worker.top().blocked &&
+      worker.top().awaited_future != nullptr) {
+    Task* awaited = worker.top().awaited_future;
+    if (awaited->state == TaskState::kReady && mutexes_available(*awaited)) {
+      for (size_t v = 0; v < workers_.size(); ++v) {
+        Worker& holder = *workers_[v];
+        auto& hdq = holder.deque();
+        for (size_t i = 0; i < hdq.size(); ++i) {
+          if (hdq[i] != awaited) continue;
+          hdq.erase(hdq.begin() + static_cast<ptrdiff_t>(i));
+          decision = &holder == &worker
+                         ? SchedDecision{SchedDecision::Source::kOwn,
+                                         awaited->id, -1}
+                         : SchedDecision{SchedDecision::Source::kSteal,
+                                         awaited->id, static_cast<int>(v)};
+          return awaited;
+        }
+      }
+    }
+    // Running, parked on another stack, or completing: wait for it.
+    decision = {SchedDecision::Source::kNone, 0, -1};
+    return nullptr;
+  }
+
   // Own deque, newest first (LIFO) - or oldest first under the pop_fifo
   // perturbation (still a legal order; it only changes which ready task
   // wins).
@@ -523,6 +555,10 @@ Runtime::Result Runtime::on_intrinsic(vex::HostCtx& ctx, vex::IntrinsicId id,
       return do_task_detach(*worker);
     case vex::IntrinsicId::kFulfillEvent:
       return do_fulfill(args[0].u, *worker);
+    case vex::IntrinsicId::kFutureCreate:
+      return do_future_create(ctx, args, iargs);
+    case vex::IntrinsicId::kFutureGet:
+      return do_future_get(args[0].u, *worker);
     case vex::IntrinsicId::kFebWriteEF:
     case vex::IntrinsicId::kFebReadFE:
     case vex::IntrinsicId::kFebReadFF:
@@ -938,6 +974,70 @@ Runtime::Result Runtime::do_fulfill(uint64_t handle, Worker& worker) {
   if (task->state == TaskState::kFinished) {
     complete_task(*task, &worker);
   }
+  return Result::cont();
+}
+
+Runtime::Result Runtime::do_future_create(vex::HostCtx& ctx,
+                                          std::span<const Value> args,
+                                          std::span<const int64_t> iargs) {
+  Worker& worker = *Worker::of(ctx.thread);
+  const auto fn = static_cast<vex::FuncId>(iargs[0]);
+  const auto ncapt = static_cast<uint32_t>(iargs[1]);
+  TG_ASSERT(args.size() == ncapt);
+
+  Task* creator = worker.current_task();
+  Region* region = worker.region;
+
+  // Futures stay deferred even in single-threaded teams: a get on an
+  // inlined future would self-deadlock, and the whole point of the handle
+  // is that completion is awaited at the get, not at creation. The getter
+  // parks at a task scheduling point, so a lone worker still makes
+  // progress by running the future task from its own deque.
+  Task& task = make_task(creator, region, fn, TaskFlags::kFuture);
+  task.create_loc = ctx.loc;
+  task.capture = alloc_capture(ctx.thread, ncapt, args.subspan(0, ncapt));
+  task.capture_words = ncapt;
+  task.descriptor = alloc_descriptor(ctx.thread);
+  touch_descriptor(ctx.thread, task, 0);
+  bump_team_counter(ctx.thread, 1);
+
+  creator->children_live++;
+  task.group = creator->open_group != nullptr ? creator->open_group
+                                              : creator->group;
+  if (task.group != nullptr) task.group->live++;
+  if (region != nullptr) region->pending_explicit++;
+
+  emit([&](RtEvents& l) { l.on_task_create(task, creator); });
+
+  const uint64_t future_id = next_future_id_++;
+  futures_[future_id] = &task;
+  emit([&](RtEvents& l) { l.on_future_create(task, future_id); });
+
+  task.state = TaskState::kReady;
+  worker.deque().push_back(&task);
+  return Result::cont(Value::from_u(future_id));
+}
+
+Runtime::Result Runtime::do_future_get(uint64_t handle, Worker& worker) {
+  auto it = futures_.find(handle);
+  TG_ASSERT_MSG(it != futures_.end(), "get of unknown future");
+  Task* future_task = it->second;
+  Exec& e = worker.top();
+  if (future_task->state != TaskState::kCompleted) {
+    e.blocked = true;
+    e.block_reason = SyncKind::kTaskwait;
+    e.at_tsp = true;  // the getter's worker may run the future meanwhile
+    e.awaited_future = future_task;  // ...but ONLY the future (leapfrog)
+    return Result::block();
+  }
+  e.blocked = false;
+  e.awaited_future = nullptr;
+  // The handle stays valid: a future may be gotten repeatedly and by
+  // several tasks, each get adding its own happens-before edge.
+  Task* getter = worker.current_task();
+  emit([&](RtEvents& l) {
+    l.on_future_get(*getter, *future_task, handle, worker);
+  });
   return Result::cont();
 }
 

@@ -120,6 +120,9 @@ class Runtime : public vex::IntrinsicHandler {
   Result do_critical_end(Worker& worker, uint64_t mutex_id);
   Result do_task_detach(Worker& worker);
   Result do_fulfill(uint64_t handle, Worker& worker);
+  Result do_future_create(vex::HostCtx& ctx, std::span<const vex::Value> args,
+                          std::span<const int64_t> iargs);
+  Result do_future_get(uint64_t handle, Worker& worker);
   Result do_threadprivate_addr(Worker& worker, uint32_t var, uint32_t size);
   Result do_feb(vex::HostCtx& ctx, vex::IntrinsicId id,
                 std::span<const vex::Value> args);
@@ -157,8 +160,10 @@ class Runtime : public vex::IntrinsicHandler {
   uint64_t next_task_id_ = 0;
   uint64_t next_region_id_ = 0;
   uint64_t next_detach_event_ = 1;
+  uint64_t next_future_id_ = 1;
 
   std::map<uint64_t, Task*> detach_events_;
+  std::map<uint64_t, Task*> futures_;  // future handle -> backing task
   std::map<uint64_t, Worker*> critical_owner_;
   std::set<uint64_t> held_task_mutexes_;
   std::map<std::pair<uint32_t, int>, vex::GuestAddr> threadprivate_;

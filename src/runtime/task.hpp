@@ -37,6 +37,9 @@ struct TaskFlags {
   static constexpr uint32_t kMergeable = 1u << 3;
   static constexpr uint32_t kDetachable = 1u << 4;
   static constexpr uint32_t kInitial = 1u << 5;
+  // A future's backing task: always deferred (a get would self-deadlock on
+  // an inlined future), completion is awaited by handle via future_get.
+  static constexpr uint32_t kFuture = 1u << 6;
   // Runtime-internal: undeferred only because the region ran single-threaded
   // (LLVM behaviour; indistinguishable through OMPT, so tools must NOT read
   // this bit - it exists for runtime assertions and tests).

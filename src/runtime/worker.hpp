@@ -26,6 +26,12 @@ struct Exec {
   bool at_tsp = false;      // parked at a task scheduling point
   bool sync_open = false;   // a sync_begin event was emitted, end pending
   Task* pending_inline = nullptr;  // undeferred child being waited on
+  // Leapfrog discipline (futures): while parked on future_get, the only
+  // task this worker may stack above the parked activation is the awaited
+  // future itself. Stacking anything else can bury the getter under work
+  // that transitively waits on it - a deadlock fork-join blocking can
+  // never produce, but get-edges can.
+  Task* awaited_future = nullptr;
 };
 
 class Worker {

@@ -1,0 +1,43 @@
+#include "tools/futures.hpp"
+
+#include <algorithm>
+
+#include "runtime/guest_program.hpp"
+
+namespace tg::tools {
+
+namespace {
+
+class FuturesPlugin final : public ToolPlugin {
+ public:
+  ToolKind kind() const override { return ToolKind::kFutures; }
+  const char* name() const override { return "futures"; }
+  const char* description() const override {
+    return "futures-aware determinacy races (taskgrind engine over the "
+           "non-fork-join get-edge DAG)";
+  }
+  bool supports(const rt::GuestProgram& program) const override {
+    // The specialization gate, inverted from TaskSan's: this tool exists
+    // for programs that create non-fork-join edges, so a program with no
+    // futures is "ncs" here (run plain taskgrind instead).
+    return std::find(program.features.begin(), program.features.end(),
+                     "futures") != program.features.end();
+  }
+  bool validate(const SessionOptions& options,
+                std::string* error) const override {
+    return validate_taskgrind_config(options, error);
+  }
+  bool uses_taskgrind_engine() const override { return true; }
+  void run(const ToolRunContext& ctx, SessionResult& result) const override {
+    run_taskgrind_engine(ctx, result);
+  }
+};
+
+}  // namespace
+
+const ToolPlugin& futures_plugin() {
+  static const FuturesPlugin plugin;
+  return plugin;
+}
+
+}  // namespace tg::tools

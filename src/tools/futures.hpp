@@ -1,0 +1,26 @@
+// The futures race-detection tool - the taskgrind engine pointed at the
+// non-fork-join workload family (ISSUE 9, "Efficient Race Detection with
+// Futures" in PAPERS.md).
+//
+// Futures break the series-parallel shape every other workload here has:
+// a future_get draws a DAG edge from the fulfilling task's completion
+// segments to the getter's continuation, which no fork-join nesting can
+// express. The engine already handles that - the chain-label/interval-
+// certificate index falls back to label-pruned DFS on non-SP edges and
+// stays exact - so the futures tool is deliberately thin: it IS the
+// taskgrind engine (same options, same analysis, byte-identical findings),
+// registered as its own plugin with a feature gate requiring the program
+// to actually use futures. That makes --tool=futures an executable claim:
+// "this program's future DAG was ordered by the general-DAG path", and it
+// exercises the plugin registry's gate/validate/run surface end to end -
+// the template every later tool (taint, loop profiler) follows.
+#pragma once
+
+#include "tools/plugin.hpp"
+
+namespace tg::tools {
+
+/// Registry singleton behind --tool=futures.
+const ToolPlugin& futures_plugin();
+
+}  // namespace tg::tools

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "support/json.hpp"
+#include "tools/plugin.hpp"
 
 namespace tg::tools {
 
@@ -50,9 +51,12 @@ FuzzResult run_fuzz(const rt::GuestProgram& program,
   result.num_threads = options.base.num_threads;
   result.base_seed = options.base.seed;
 
-  if (options.base.tool != ToolKind::kTaskgrind) {
+  // The fuzzer dedups by taskgrind report keys, so any plugin riding that
+  // engine (taskgrind itself, futures) can be fuzzed.
+  if (!find_tool(options.base.tool)->uses_taskgrind_engine()) {
     result.ok = false;
-    result.error = "schedule fuzzing requires --tool=taskgrind";
+    result.error = "schedule fuzzing requires a taskgrind-engine tool "
+                   "(--tool=taskgrind or --tool=futures)";
     return result;
   }
   if (options.runs < 1) {

@@ -1,0 +1,256 @@
+#include "tools/plugin.hpp"
+
+#include <algorithm>
+
+#include "core/report.hpp"
+#include "core/spill.hpp"
+#include "core/suppress.hpp"
+#include "core/taskgrind.hpp"
+#include "runtime/execution.hpp"
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+#include "tools/archer.hpp"
+#include "tools/futures.hpp"
+#include "tools/romp.hpp"
+#include "tools/tasksan.hpp"
+
+namespace tg::tools {
+
+namespace {
+
+void fill_exec(SessionResult& result, const rt::ExecResult& exec) {
+  result.output = exec.output;
+  result.exit_code = exec.outcome.exit_code;
+  result.exec_seconds = exec.wall_seconds;
+  result.retired = exec.retired;
+  result.tasks_created = exec.tasks_created;
+  switch (exec.outcome.status) {
+    case rt::RunOutcome::Status::kOk:
+      break;
+    case rt::RunOutcome::Status::kDeadlock:
+      result.status = SessionResult::Status::kDeadlock;
+      break;
+    case rt::RunOutcome::Status::kBudgetExceeded:
+      result.status = SessionResult::Status::kBudget;
+      break;
+  }
+}
+
+void keep_reports(SessionResult& result, std::vector<std::string> texts,
+                  size_t count) {
+  result.report_count = count;
+  constexpr size_t kKeep = 8;
+  if (texts.size() > kKeep) texts.resize(kKeep);
+  result.report_texts = std::move(texts);
+}
+
+}  // namespace
+
+bool validate_taskgrind_config(const SessionOptions& options,
+                               std::string* error) {
+  if (options.taskgrind.streaming && options.taskgrind.max_tree_bytes > 0 &&
+      !options.taskgrind.spill_dir.empty()) {
+    std::string detail;
+    if (!core::SpillArchive::validate_dir(options.taskgrind.spill_dir,
+                                          &detail)) {
+      *error = "spill directory unusable: " + detail;
+      return false;
+    }
+  }
+  if (!options.taskgrind.suppress_file.empty()) {
+    core::SuppressionSet probe;
+    if (!probe.load_file(options.taskgrind.suppress_file, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void run_taskgrind_engine(const ToolRunContext& ctx, SessionResult& result) {
+  core::TaskgrindTool tool(ctx.options.taskgrind);
+  rt::Execution exec(ctx.guest, ctx.rt_options, &tool, ctx.with_port({&tool}));
+  tool.attach(exec.vm());
+  fill_exec(result, exec.run());
+  if (result.status == SessionResult::Status::kOk ||
+      result.status == SessionResult::Status::kBudget) {
+    const core::AnalysisResult analysis = tool.run_analysis();
+    result.analysis_seconds = analysis.stats.seconds;
+    result.analysis_stats = analysis.stats;
+    result.raw_report_count = analysis.stats.raw_conflicts -
+                              analysis.stats.suppressed_stack -
+                              analysis.stats.suppressed_tls -
+                              analysis.stats.suppressed_user;
+    std::vector<std::string> texts;
+    for (const auto& report : analysis.reports) {
+      result.report_keys.push_back(core::report_dedup_key(report));
+      if (texts.size() < 8) texts.push_back(report.to_string());
+    }
+    keep_reports(result, std::move(texts), analysis.reports.size());
+  }
+}
+
+namespace {
+
+class NonePlugin final : public ToolPlugin {
+ public:
+  ToolKind kind() const override { return ToolKind::kNone; }
+  const char* name() const override { return "none"; }
+  const char* description() const override {
+    return "uninstrumented reference run (no analysis)";
+  }
+  void run(const ToolRunContext& ctx, SessionResult& result) const override {
+    rt::Execution exec(ctx.guest, ctx.rt_options, nullptr, ctx.with_port({}));
+    fill_exec(result, exec.run());
+  }
+};
+
+class TaskgrindPlugin final : public ToolPlugin {
+ public:
+  ToolKind kind() const override { return ToolKind::kTaskgrind; }
+  const char* name() const override { return "taskgrind"; }
+  const char* description() const override {
+    return "determinacy races via the segment graph (the paper's tool)";
+  }
+  bool uses_taskgrind_engine() const override { return true; }
+  bool validate(const SessionOptions& options,
+                std::string* error) const override {
+    return validate_taskgrind_config(options, error);
+  }
+  void run(const ToolRunContext& ctx, SessionResult& result) const override {
+    run_taskgrind_engine(ctx, result);
+  }
+};
+
+class ArcherPlugin final : public ToolPlugin {
+ public:
+  ToolKind kind() const override { return ToolKind::kArcher; }
+  const char* name() const override { return "archer"; }
+  const char* description() const override {
+    return "schedule-bound vector-clock model (Archer/TSan)";
+  }
+  void run(const ToolRunContext& ctx, SessionResult& result) const override {
+    ArcherTool tool;
+    rt::Execution exec(ctx.guest, ctx.rt_options, &tool,
+                       ctx.with_port({&tool}));
+    tool.attach(exec.vm());
+    fill_exec(result, exec.run());
+    keep_reports(result, tool.reports(), tool.report_count());
+    result.raw_report_count = tool.racy_granules();
+  }
+};
+
+class TaskSanPlugin final : public ToolPlugin {
+ public:
+  ToolKind kind() const override { return ToolKind::kTaskSan; }
+  const char* name() const override { return "tasksanitizer"; }
+  std::vector<const char*> aliases() const override { return {"tasksan"}; }
+  const char* description() const override {
+    return "TaskSanitizer model (Clang-8-era feature set; ncs otherwise)";
+  }
+  bool supports(const rt::GuestProgram& program) const override {
+    const auto& supported = TaskSanTool::supported_features();
+    for (const std::string& feature : program.features) {
+      if (std::find(supported.begin(), supported.end(), feature) ==
+          supported.end()) {
+        return false;
+      }
+    }
+    return true;
+  }
+  void run(const ToolRunContext& ctx, SessionResult& result) const override {
+    TaskSanTool tool;
+    rt::Execution exec(ctx.guest, ctx.rt_options, &tool,
+                       ctx.with_port({&tool}));
+    tool.attach(exec.vm());
+    fill_exec(result, exec.run());
+    if (result.status == SessionResult::Status::kOk) {
+      const core::AnalysisResult analysis = tool.run_analysis();
+      result.analysis_seconds = analysis.stats.seconds;
+      result.analysis_stats = analysis.stats;
+      result.raw_report_count = analysis.stats.raw_conflicts;
+      std::vector<std::string> texts;
+      for (const auto& report : analysis.reports) {
+        result.report_keys.push_back(core::report_dedup_key(report));
+        if (texts.size() < 8) texts.push_back(report.summary());
+      }
+      keep_reports(result, std::move(texts), analysis.reports.size());
+    }
+  }
+};
+
+class RompPlugin final : public ToolPlugin {
+ public:
+  ToolKind kind() const override { return ToolKind::kRomp; }
+  const char* name() const override { return "romp"; }
+  const char* description() const override {
+    return "ROMP model (access-history race checks)";
+  }
+  void run(const ToolRunContext& ctx, SessionResult& result) const override {
+    RompOptions romp_options;
+    romp_options.max_history_bytes = ctx.options.romp_max_history_bytes;
+    RompTool tool(romp_options);
+    rt::Execution exec(ctx.guest, ctx.rt_options, &tool,
+                       ctx.with_port({&tool.graph_listener(), &tool}));
+    tool.attach(exec.vm());
+    fill_exec(result, exec.run());
+    if (tool.crashed() || tool.out_of_memory()) {
+      result.status = SessionResult::Status::kCrash;
+    } else if (result.status == SessionResult::Status::kOk) {
+      const double start = now_seconds();
+      auto reports = tool.run_analysis();
+      result.analysis_seconds = now_seconds() - start;
+      const size_t count = reports.size();
+      result.raw_report_count = count;
+      keep_reports(result, std::move(reports), count);
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<const ToolPlugin*>& tool_registry() {
+  static const std::vector<const ToolPlugin*> registry = [] {
+    static const NonePlugin none;
+    static const TaskgrindPlugin taskgrind;
+    static const ArcherPlugin archer;
+    static const TaskSanPlugin tasksan;
+    static const RompPlugin romp;
+    // Listing order == usage order: the paper's tool first, the comparison
+    // tools, the futures workload tool, the uninstrumented reference last.
+    std::vector<const ToolPlugin*> tools = {
+        &taskgrind, &archer, &tasksan, &romp, &futures_plugin(), &none};
+    return tools;
+  }();
+  return registry;
+}
+
+const ToolPlugin* find_tool(ToolKind kind) {
+  for (const ToolPlugin* tool : tool_registry()) {
+    if (tool->kind() == kind) return tool;
+  }
+  TG_UNREACHABLE("ToolKind without a registered plugin");
+}
+
+const ToolPlugin* find_tool_named(std::string_view name) {
+  for (const ToolPlugin* tool : tool_registry()) {
+    if (name == tool->name()) return tool;
+    for (const char* alias : tool->aliases()) {
+      if (name == alias) return tool;
+    }
+  }
+  return nullptr;
+}
+
+const std::string& tool_name_list() {
+  static const std::string list = [] {
+    std::string s;
+    for (const ToolPlugin* tool : tool_registry()) {
+      if (!s.empty()) s += '|';
+      s += tool->name();
+    }
+    return s;
+  }();
+  return list;
+}
+
+}  // namespace tg::tools

@@ -1,0 +1,100 @@
+// The tool-plugin registry - the tools layer as an extensible substrate
+// (ROADMAP: "multi-tool platform on the minivex substrate", DESIGN §13).
+//
+// A ToolPlugin packages one analysis tool's whole session lifecycle behind
+// the tool-agnostic engine: identity (kind / canonical name / aliases /
+// description - the single source the CLI's --tool= list, tool_name and
+// tool_from_name are generated from, so the usage text can never drift
+// from the registered tools), the feature gate (supports - the "ncs"
+// check), pre-run configuration validation, and the run hook that executes
+// one guest program under the tool's event listeners and fills the
+// SessionResult. run_session (tools/session.cpp) owns everything
+// tool-independent - config resolution, the schedule record/replay port,
+// memory accounting, trace settling - and delegates the rest to the
+// registered plugin: adding a tool means registering one object, not
+// editing a switch in four places.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/session.hpp"
+
+namespace tg::rt {
+class RtEvents;
+struct RtOptions;
+}  // namespace tg::rt
+
+namespace tg::vex {
+struct Program;
+}  // namespace tg::vex
+
+namespace tg::tools {
+
+/// Everything run_session resolved before handing control to the plugin.
+/// `with_port` appends the schedule record/replay port listener; plugins
+/// must route every listener list through it so the port always listens
+/// LAST (tools see each event before it is recorded or checked).
+struct ToolRunContext {
+  const rt::GuestProgram& program;  // registry entry (features, metadata)
+  const vex::Program& guest;        // the built IR
+  const rt::RtOptions& rt_options;  // resolved runtime configuration
+  const SessionOptions& options;    // the session's tool knobs
+  const std::function<std::vector<rt::RtEvents*>(std::vector<rt::RtEvents*>)>&
+      with_port;
+};
+
+class ToolPlugin {
+ public:
+  virtual ~ToolPlugin() = default;
+
+  virtual ToolKind kind() const = 0;
+  /// Canonical --tool= spelling; what tool_name(kind) returns.
+  virtual const char* name() const = 0;
+  /// Alternate accepted spellings (e.g. "tasksan"). Not listed in usage.
+  virtual std::vector<const char*> aliases() const { return {}; }
+  /// One line for the README tool table / future `--tools` listing.
+  virtual const char* description() const = 0;
+  /// The "ncs" gate: can the tool instrument this program at all?
+  virtual bool supports(const rt::GuestProgram&) const { return true; }
+  /// Pre-run configuration check, run before anything is spent on the
+  /// session. Returning false fails the session as Status::kConfig.
+  virtual bool validate(const SessionOptions&, std::string*) const {
+    return true;
+  }
+  /// True for tools that run the taskgrind analysis engine (and therefore
+  /// honor the full TaskgrindOptions block and fill AnalysisStats).
+  virtual bool uses_taskgrind_engine() const { return false; }
+  /// Executes the guest under the tool's listeners and fills `result`
+  /// (status, reports, exec/analysis stats). Crashes and deadlocks are
+  /// reported through result.status, never thrown.
+  virtual void run(const ToolRunContext& ctx, SessionResult& result) const = 0;
+};
+
+/// Every registered plugin, in CLI listing order.
+const std::vector<const ToolPlugin*>& tool_registry();
+/// Lookup by kind. Never null - every ToolKind is registered (enforced by
+/// an assert at registry construction).
+const ToolPlugin* find_tool(ToolKind kind);
+/// Lookup by canonical name or alias; null on an unknown name.
+const ToolPlugin* find_tool_named(std::string_view name);
+/// "taskgrind|archer|...|none" - generated from the registry for the CLI
+/// usage text and the unknown-tool error message.
+const std::string& tool_name_list();
+
+// --- shared plugin building blocks ------------------------------------------
+
+/// The taskgrind-engine session body (execute + run_analysis + report
+/// extraction), shared by every plugin that rides the engine (taskgrind
+/// itself, the futures tool).
+void run_taskgrind_engine(const ToolRunContext& ctx, SessionResult& result);
+
+/// Fail-fast checks for the TaskgrindOptions block (unusable --spill-dir,
+/// unparsable --suppress=FILE): the user asked for a behavior the session
+/// could never deliver, which is a configuration error, not a degraded run.
+bool validate_taskgrind_config(const SessionOptions& options,
+                               std::string* error);
+
+}  // namespace tg::tools

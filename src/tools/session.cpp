@@ -1,115 +1,42 @@
 #include "tools/session.hpp"
 
-#include <algorithm>
 #include <optional>
 
-#include "core/report.hpp"
-#include "core/spill.hpp"
-#include "core/suppress.hpp"
-#include "core/taskgrind.hpp"
 #include "core/trace.hpp"
 #include "runtime/execution.hpp"
 #include "support/accounting.hpp"
 #include "support/assert.hpp"
 #include "support/json.hpp"
-#include "support/stats.hpp"
-#include "tools/archer.hpp"
-#include "tools/romp.hpp"
-#include "tools/tasksan.hpp"
+#include "tools/plugin.hpp"
 
 namespace tg::tools {
 
-const char* tool_name(ToolKind kind) {
-  switch (kind) {
-    case ToolKind::kNone: return "none";
-    case ToolKind::kTaskgrind: return "taskgrind";
-    case ToolKind::kArcher: return "archer";
-    case ToolKind::kTaskSan: return "tasksanitizer";
-    case ToolKind::kRomp: return "romp";
-  }
-  return "?";
-}
+const char* tool_name(ToolKind kind) { return find_tool(kind)->name(); }
 
 std::optional<ToolKind> tool_from_name(std::string_view name) {
-  if (name == "none") return ToolKind::kNone;
-  if (name == "taskgrind") return ToolKind::kTaskgrind;
-  if (name == "archer") return ToolKind::kArcher;
-  if (name == "tasksanitizer" || name == "tasksan") return ToolKind::kTaskSan;
-  if (name == "romp") return ToolKind::kRomp;
-  return std::nullopt;
+  const ToolPlugin* tool = find_tool_named(name);
+  if (tool == nullptr) return std::nullopt;
+  return tool->kind();
 }
 
 bool tool_supports(ToolKind tool, const rt::GuestProgram& program) {
-  if (tool != ToolKind::kTaskSan) return true;
-  const auto& supported = TaskSanTool::supported_features();
-  for (const std::string& feature : program.features) {
-    if (std::find(supported.begin(), supported.end(), feature) ==
-        supported.end()) {
-      return false;
-    }
-  }
-  return true;
+  return find_tool(tool)->supports(program);
 }
-
-namespace {
-
-void fill_exec(SessionResult& result, const rt::ExecResult& exec) {
-  result.output = exec.output;
-  result.exit_code = exec.outcome.exit_code;
-  result.exec_seconds = exec.wall_seconds;
-  result.retired = exec.retired;
-  result.tasks_created = exec.tasks_created;
-  switch (exec.outcome.status) {
-    case rt::RunOutcome::Status::kOk:
-      break;
-    case rt::RunOutcome::Status::kDeadlock:
-      result.status = SessionResult::Status::kDeadlock;
-      break;
-    case rt::RunOutcome::Status::kBudgetExceeded:
-      result.status = SessionResult::Status::kBudget;
-      break;
-  }
-}
-
-void keep_reports(SessionResult& result, std::vector<std::string> texts,
-                  size_t count) {
-  result.report_count = count;
-  constexpr size_t kKeep = 8;
-  if (texts.size() > kKeep) texts.resize(kKeep);
-  result.report_texts = std::move(texts);
-}
-
-}  // namespace
 
 SessionResult run_session(const rt::GuestProgram& program,
                           const SessionOptions& options) {
   SessionResult result;
-  if (!tool_supports(options.tool, program)) {
+  const ToolPlugin* plugin = find_tool(options.tool);
+  if (!plugin->supports(program)) {
     result.status = SessionResult::Status::kNcs;
     return result;
   }
-  // Fail fast on an unusable spill directory instead of silently running the
-  // governor unbounded: the user asked for a ceiling, so an archive that can
-  // never be created is a configuration error, not a degraded mode.
-  if (options.tool == ToolKind::kTaskgrind && options.taskgrind.streaming &&
-      options.taskgrind.max_tree_bytes > 0 &&
-      !options.taskgrind.spill_dir.empty()) {
+  // Fail fast on configuration the session could never honor (unusable
+  // --spill-dir, unparsable --suppress=FILE): the plugin validates its own
+  // knobs before anything is spent on the run.
+  {
     std::string error;
-    if (!core::SpillArchive::validate_dir(options.taskgrind.spill_dir,
-                                          &error)) {
-      result.status = SessionResult::Status::kConfig;
-      result.error = "spill directory unusable: " + error;
-      return result;
-    }
-  }
-  // Same policy for --suppress=FILE: the user asked findings to be filtered,
-  // so a file that cannot be parsed is a configuration error, not a run with
-  // silently missing rules.
-  if (options.tool == ToolKind::kTaskgrind &&
-      !options.taskgrind.suppress_file.empty()) {
-    core::SuppressionSet probe;
-    std::string error;
-    if (!probe.load_file(options.taskgrind.suppress_file, &error)) {
+    if (!plugin->validate(options, &error)) {
       result.status = SessionResult::Status::kConfig;
       result.error = error;
       return result;
@@ -226,99 +153,11 @@ SessionResult run_session(const rt::GuestProgram& program,
     }
   };
 
-  switch (options.tool) {
-    case ToolKind::kNone: {
-      rt::Execution exec(guest, rt_options, nullptr, with_port({}));
-      fill_exec(result, exec.run());
-      finish_schedule_port();
-      result.peak_bytes = MemAccountant::instance().peak();
-      return result;
-    }
-
-    case ToolKind::kTaskgrind: {
-      core::TaskgrindTool tool(options.taskgrind);
-      rt::Execution exec(guest, rt_options, &tool, with_port({&tool}));
-      tool.attach(exec.vm());
-      fill_exec(result, exec.run());
-      if (result.status == SessionResult::Status::kOk ||
-          result.status == SessionResult::Status::kBudget) {
-        const core::AnalysisResult analysis = tool.run_analysis();
-        result.analysis_seconds = analysis.stats.seconds;
-        result.analysis_stats = analysis.stats;
-        result.raw_report_count = analysis.stats.raw_conflicts -
-                                  analysis.stats.suppressed_stack -
-                                  analysis.stats.suppressed_tls -
-                                  analysis.stats.suppressed_user;
-        std::vector<std::string> texts;
-        for (const auto& report : analysis.reports) {
-          result.report_keys.push_back(core::report_dedup_key(report));
-          if (texts.size() < 8) texts.push_back(report.to_string());
-        }
-        keep_reports(result, std::move(texts), analysis.reports.size());
-      }
-      finish_schedule_port();
-      result.peak_bytes = MemAccountant::instance().peak();
-      return result;
-    }
-
-    case ToolKind::kArcher: {
-      ArcherTool tool;
-      rt::Execution exec(guest, rt_options, &tool, with_port({&tool}));
-      tool.attach(exec.vm());
-      fill_exec(result, exec.run());
-      keep_reports(result, tool.reports(), tool.report_count());
-      result.raw_report_count = tool.racy_granules();
-      finish_schedule_port();
-      result.peak_bytes = MemAccountant::instance().peak();
-      return result;
-    }
-
-    case ToolKind::kTaskSan: {
-      TaskSanTool tool;
-      rt::Execution exec(guest, rt_options, &tool, with_port({&tool}));
-      tool.attach(exec.vm());
-      fill_exec(result, exec.run());
-      if (result.status == SessionResult::Status::kOk) {
-        const core::AnalysisResult analysis = tool.run_analysis();
-        result.analysis_seconds = analysis.stats.seconds;
-        result.analysis_stats = analysis.stats;
-        result.raw_report_count = analysis.stats.raw_conflicts;
-        std::vector<std::string> texts;
-        for (const auto& report : analysis.reports) {
-          result.report_keys.push_back(core::report_dedup_key(report));
-          if (texts.size() < 8) texts.push_back(report.summary());
-        }
-        keep_reports(result, std::move(texts), analysis.reports.size());
-      }
-      finish_schedule_port();
-      result.peak_bytes = MemAccountant::instance().peak();
-      return result;
-    }
-
-    case ToolKind::kRomp: {
-      RompOptions romp_options;
-      romp_options.max_history_bytes = options.romp_max_history_bytes;
-      RompTool tool(romp_options);
-      rt::Execution exec(guest, rt_options, &tool,
-                         with_port({&tool.graph_listener(), &tool}));
-      tool.attach(exec.vm());
-      fill_exec(result, exec.run());
-      if (tool.crashed() || tool.out_of_memory()) {
-        result.status = SessionResult::Status::kCrash;
-      } else if (result.status == SessionResult::Status::kOk) {
-        const double start = now_seconds();
-        auto reports = tool.run_analysis();
-        result.analysis_seconds = now_seconds() - start;
-        const size_t count = reports.size();
-        result.raw_report_count = count;
-        keep_reports(result, std::move(reports), count);
-      }
-      finish_schedule_port();
-      result.peak_bytes = MemAccountant::instance().peak();
-      return result;
-    }
-  }
-  TG_UNREACHABLE("unhandled tool kind");
+  const ToolRunContext ctx{program, guest, rt_options, options, with_port};
+  plugin->run(ctx, result);
+  finish_schedule_port();
+  result.peak_bytes = MemAccountant::instance().peak();
+  return result;
 }
 
 namespace {
@@ -452,6 +291,7 @@ std::string session_json(const SessionOptions& options,
   json.field("suppressed_tls", stats.suppressed_tls);
   json.field("suppressed_user", stats.suppressed_user);
   json.field("segments_active", stats.segments_active);
+  json.field("future_edges", stats.future_edges);
   json.field("segments_retired", stats.segments_retired);
   json.field("peak_live_segments", stats.peak_live_segments);
   json.field("retired_tree_bytes", stats.retired_tree_bytes);

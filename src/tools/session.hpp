@@ -18,16 +18,23 @@ class ScheduleTrace;
 
 namespace tg::tools {
 
+/// One value per registered plugin (tools/plugin.hpp). The enum stays the
+/// cheap session-level handle; everything name-shaped (canonical spelling,
+/// aliases, the CLI's --tool= list) derives from the registry, so this
+/// list and the usage text cannot drift apart.
 enum class ToolKind {
   kNone,       // uninstrumented reference run
   kTaskgrind,
   kArcher,
   kTaskSan,
   kRomp,
+  kFutures,    // taskgrind engine gated to futures (non-fork-join) programs
 };
 
+/// Registry-derived canonical name (plugin->name()).
 const char* tool_name(ToolKind kind);
-/// std::nullopt on an unknown name (callers decide how to report it).
+/// Registry-derived lookup over names and aliases; std::nullopt on an
+/// unknown name (callers decide how to report it).
 std::optional<ToolKind> tool_from_name(std::string_view name);
 
 struct SessionOptions {

@@ -98,6 +98,8 @@ const char* intrinsic_name(IntrinsicId id) {
     case IntrinsicId::kFebReadFF: return "feb_readFF";
     case IntrinsicId::kFebFill: return "feb_fill";
     case IntrinsicId::kFebEmpty: return "feb_empty";
+    case IntrinsicId::kFutureCreate: return "future_create";
+    case IntrinsicId::kFutureGet: return "future_get";
     case IntrinsicId::kSleepMs: return "sleep_ms";
     case IntrinsicId::kExit: return "exit";
   }

@@ -161,6 +161,12 @@ enum class IntrinsicId : uint32_t {
   kFebFill,     // args: addr - mark full without writing
   kFebEmpty,    // args: addr - mark empty
 
+  // Futures (non-fork-join parallelism). A future is a deferred task whose
+  // completion another task may wait on by handle; the get establishes a
+  // happens-before edge outside the series-parallel fork-join skeleton.
+  kFutureCreate,  // args: captures...; iargs: fn, ncapt -> future handle
+  kFutureGet,     // args: handle - block until the future task completed
+
   // Misc guest services.
   kSleepMs,  // scheduling hint; cooperative yield
   kExit,

@@ -9,6 +9,15 @@
 // between creations. The oracle computes the logical HB closure from the
 // same dependence rules (via rt::DepResolver) plus the taskwait joins, and
 // declares a race iff some unordered pair conflicts on a cell.
+//
+// generate_futures() additionally marks a fraction of the tasks as futures
+// and lets later tasks `get` earlier futures' handles at body start - the
+// resulting graphs are NOT series-parallel (a get-edge joins two siblings
+// no fork-join nesting can relate), which is exactly the shape the futures
+// differential suite feeds the ordering index. Gets only ever target
+// earlier-created futures, so the await order is acyclic and deadlock-free
+// at every worker count. The oracle adds one logical edge per get
+// (fulfiller -> getter); everything else is shared with the SP generator.
 #pragma once
 
 #include <array>
@@ -35,6 +44,9 @@ struct RandomTaskSpec {
   std::vector<rt::Dep> deps;  // addr field holds the dep-var INDEX here
   std::vector<RandomAccess> accesses;
   bool taskwait_after = false;
+  bool is_future = false;     // created via future_create, not task
+  std::vector<size_t> gets;   // earlier future task indices awaited at
+                              // body start (before any access)
 };
 
 struct RandomProgram {
@@ -64,6 +76,51 @@ struct RandomProgram {
     return p;
   }
 
+  /// Non-series-parallel variant: some tasks are futures, later tasks get
+  /// earlier futures. Futures carry no dependences (matching the runtime,
+  /// where future_create bypasses the dep resolver); ordinary tasks keep
+  /// the full dep/taskwait mix, so get-edges interleave with SP edges.
+  static RandomProgram generate_futures(uint64_t seed) {
+    Rng rng(seed);
+    RandomProgram p;
+    std::vector<size_t> futures_so_far;
+    const int ntasks = 5 + static_cast<int>(rng.below(10));
+    for (int t = 0; t < ntasks; ++t) {
+      RandomTaskSpec spec;
+      spec.is_future = rng.chance(0.4);
+      if (!spec.is_future) {
+        const int ndeps = static_cast<int>(rng.below(3));
+        for (int d = 0; d < ndeps; ++d) {
+          const rt::DepKind kind =
+              std::array{rt::DepKind::kIn, rt::DepKind::kOut,
+                         rt::DepKind::kInOut}[rng.below(3)];
+          spec.deps.push_back(rt::Dep{kind, rng.below(kRandomDepVars)});
+        }
+      }
+      for (size_t f : futures_so_far) {
+        if (spec.gets.size() < 3 && rng.chance(0.3)) spec.gets.push_back(f);
+      }
+      const int naccesses = 1 + static_cast<int>(rng.below(2));
+      for (int a = 0; a < naccesses; ++a) {
+        spec.accesses.push_back(RandomAccess{
+            static_cast<int>(rng.below(kRandomCells)), rng.chance(0.5)});
+      }
+      spec.taskwait_after = rng.chance(0.1);
+      if (spec.is_future) {
+        futures_so_far.push_back(static_cast<size_t>(t));
+      }
+      p.specs.push_back(std::move(spec));
+    }
+    return p;
+  }
+
+  bool uses_futures() const {
+    for (const RandomTaskSpec& spec : specs) {
+      if (spec.is_future) return true;
+    }
+    return false;
+  }
+
   /// Host-side oracle: which cells race, per the logical task graph.
   std::set<int> racy_cells() const {
     const size_t n = specs.size();
@@ -86,6 +143,12 @@ struct RandomProgram {
         adj[edge.pred->id].push_back(i);
       }
       tasks.push_back(std::move(task));
+    }
+    // future_get joins: the get runs at the getter's body start and only
+    // returns after the future completed, so the whole fulfilling task
+    // happens-before every access of the getter.
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t f : specs[j].gets) adj[f].push_back(j);
     }
     // taskwait joins: everything created before the wait happens-before
     // everything created after it.
@@ -127,43 +190,62 @@ struct RandomProgram {
     return racy;
   }
 
-  /// Builds the guest program (cells live in a global array).
+  /// Builds the guest program (cells live in a global array). Futures are
+  /// created via future_create; a task's `gets` arrive as captured handle
+  /// words and are awaited at body start, before any access.
   rt::GuestProgram to_guest(uint64_t seed) const {
     std::vector<RandomTaskSpec> specs_copy = specs;
+    const bool futures = uses_futures();
+    std::vector<std::string> features = {"parallel", "single", "task"};
+    if (futures) features.push_back("futures");
     return make_program(
-        "random-" + std::to_string(seed), "random",
-        /*has_race=*/!racy_cells().empty(), {"parallel", "single", "task"},
-        "randomly generated dependence/taskwait program",
+        (futures ? "random-futures-" : "random-") + std::to_string(seed),
+        "random",
+        /*has_race=*/!racy_cells().empty(), std::move(features),
+        futures ? "randomly generated futures/dependence/taskwait program"
+                : "randomly generated dependence/taskwait program",
         [specs_copy](Ctx& c) {
           const GuestAddr cells = c.pb.global("cells", 8 * kRandomCells);
           const GuestAddr dep_vars = c.pb.global("deps", 8 * kRandomDepVars);
           c.omp.annotate_tasks_deferrable(c.f());
           c.in_single([&](FnBuilder& pf) {
+            std::vector<V> handles(specs_copy.size());
             uint32_t line = 100;
-            for (const RandomTaskSpec& spec : specs_copy) {
+            for (size_t t = 0; t < specs_copy.size(); ++t) {
+              const RandomTaskSpec& spec = specs_copy[t];
               pf.line(line);
-              TaskOpts opts;
-              for (const rt::Dep& dep : spec.deps) {
-                opts.deps.push_back(rt::DepSpec{
-                    dep.kind,
-                    pf.c(static_cast<int64_t>(dep_vars + dep.addr * 8))});
-              }
+              std::vector<V> captures;
+              for (size_t f : spec.gets) captures.push_back(handles[f]);
+              const size_t ngets = spec.gets.size();
               const std::vector<RandomAccess> accesses = spec.accesses;
               const uint32_t task_line = line;
-              c.omp.task(pf, opts, {},
-                         [&, accesses, task_line](FnBuilder& tf, TaskArgs&) {
-                           tf.line(task_line + 1);
-                           for (const RandomAccess& access : accesses) {
-                             V addr = tf.c(static_cast<int64_t>(
-                                 cells +
-                                 static_cast<uint64_t>(access.cell) * 8));
-                             if (access.is_write) {
-                               tf.st(addr, tf.c(1));
-                             } else {
-                               tf.ld(addr);
-                             }
-                           }
-                         });
+              const auto body = [&, accesses, task_line,
+                                 ngets](FnBuilder& tf, TaskArgs& ta) {
+                for (size_t g = 0; g < ngets; ++g) {
+                  c.omp.future_get(tf, ta.get(static_cast<uint32_t>(g)));
+                }
+                tf.line(task_line + 1);
+                for (const RandomAccess& access : accesses) {
+                  V addr = tf.c(static_cast<int64_t>(
+                      cells + static_cast<uint64_t>(access.cell) * 8));
+                  if (access.is_write) {
+                    tf.st(addr, tf.c(1));
+                  } else {
+                    tf.ld(addr);
+                  }
+                }
+              };
+              if (spec.is_future) {
+                handles[t] = c.omp.future(pf, captures, body);
+              } else {
+                TaskOpts opts;
+                for (const rt::Dep& dep : spec.deps) {
+                  opts.deps.push_back(rt::DepSpec{
+                      dep.kind,
+                      pf.c(static_cast<int64_t>(dep_vars + dep.addr * 8))});
+                }
+                c.omp.task(pf, opts, captures, body);
+              }
               if (spec.taskwait_after) c.omp.taskwait(pf);
               line += 10;
             }

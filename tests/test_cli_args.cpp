@@ -29,7 +29,8 @@ TEST(CliArgs, UnknownToolIsUsageError) {
 
 TEST(CliArgs, KnownToolsParse) {
   for (const char* name :
-       {"taskgrind", "archer", "tasksanitizer", "romp", "none"}) {
+       {"taskgrind", "archer", "tasksanitizer", "romp", "futures",
+        "none"}) {
     CliOptions cli;
     const ParseOutcome outcome =
         parse({("--tool=" + std::string(name)).c_str(), "fib"}, cli);

@@ -70,7 +70,8 @@ TEST(Registry, MetadataCoherent) {
     EXPECT_FALSE(program.features.empty()) << program.name;
     EXPECT_FALSE(program.description.empty()) << program.name;
     EXPECT_TRUE(program.build != nullptr) << program.name;
-    EXPECT_TRUE(program.uses("task") || program.uses("taskloop"))
+    EXPECT_TRUE(program.uses("task") || program.uses("taskloop") ||
+                program.uses("futures"))
         << program.name << " is not a tasking benchmark?";
   }
 }

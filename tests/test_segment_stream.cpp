@@ -302,12 +302,51 @@ TEST(SegmentStream, BitFlipFailsChecksumAndSticks) {
   EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
 }
 
+TEST(SegmentStream, FutureEdgeRoundTrip) {
+  std::vector<uint8_t> payload;
+  encode_future_edge(5, 9, payload);
+  const std::vector<uint8_t> bytes =
+      stream_with(FrameType::kFutureEdge, 5, payload);
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kFutureEdge);
+  EXPECT_EQ(frame.id, 5u);
+  WirePair edge;
+  std::string error;
+  ASSERT_TRUE(decode_future_edge(frame.payload, edge, &error)) << error;
+  EXPECT_EQ(edge.a, 5u);
+  EXPECT_EQ(edge.b, 9u);
+}
+
+TEST(SegmentStream, FutureEdgeRejectedInPreV3Streams) {
+  // A v2 producer can never have emitted a get-edge; a frame claiming
+  // otherwise is corruption, not compatibility.
+  std::vector<uint8_t> payload;
+  encode_future_edge(1, 2, payload);
+  std::vector<uint8_t> bytes = stream_with(FrameType::kFutureEdge, 1, payload);
+  bytes[8] = 2;  // u32 version, little-endian: claim a v2 stream
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("future-edge frame in a v2 stream"),
+            std::string::npos)
+      << decoder.error();
+}
+
 TEST(SegmentStream, MalformedPayloadsAreRejected) {
   std::string error;
   WirePair pair;
   std::vector<uint8_t> short_pair = {1, 2, 3};
   EXPECT_FALSE(decode_pair(short_pair, pair, &error));
   EXPECT_NE(error.find("truncated pair request"), std::string::npos) << error;
+
+  WirePair edge;
+  std::vector<uint8_t> short_edge = {7, 0, 0, 0, 1};
+  EXPECT_FALSE(decode_future_edge(short_edge, edge, &error));
+  EXPECT_FALSE(error.empty());
 
   WireOutcome outcome;
   std::vector<uint8_t> short_outcome = {0, 0, 0};

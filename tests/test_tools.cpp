@@ -208,7 +208,7 @@ TEST(Verdicts, Names) {
 TEST(Session, ToolNamesRoundTrip) {
   for (ToolKind kind : {ToolKind::kNone, ToolKind::kTaskgrind,
                         ToolKind::kArcher, ToolKind::kTaskSan,
-                        ToolKind::kRomp}) {
+                        ToolKind::kRomp, ToolKind::kFutures}) {
     EXPECT_EQ(tool_from_name(tool_name(kind)), kind);
   }
 }
