@@ -9,9 +9,11 @@
 #include <string_view>
 #include <vector>
 
+#include "core/dense_mesh.hpp"
 #include "core/fingerprint.hpp"
 #include "core/graph_builder.hpp"
 #include "core/interval_set.hpp"
+#include "core/pair_batch.hpp"
 #include "core/segment_graph.hpp"
 #include "runtime/task.hpp"
 #include "support/json.hpp"
@@ -163,6 +165,98 @@ void BM_FingerprintIntersect(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FingerprintIntersect)->Arg(0)->Arg(1)->Arg(2);
+
+// --- batched candidate screen: scalar loop vs the AVX2 kernel ---------------
+//
+// The same batch and query screened by both kernels (forced through
+// set_screen_kernel, restored to kAuto after the loop), so the reported
+// ratio is the SIMD speedup on the branch-free SoA pass itself. Entries mix
+// write-only and read+write footprints over a 4M window; roughly half
+// box-overlap the query, so neither predicate short-circuits trivially.
+
+core::Segment screen_segment(Rng& rng, core::SegId id) {
+  core::Segment seg;
+  seg.id = id;
+  seg.kind = core::SegKind::kTask;
+  const uint64_t wlo = 0x1000 + rng.below(1u << 22);
+  seg.writes.add(wlo, wlo + 64, {});
+  if (rng.chance(0.5)) {
+    const uint64_t rlo = 0x1000 + rng.below(1u << 22);
+    seg.reads.add(rlo, rlo + 64, {});
+  }
+  seg.finalize_fingerprints();
+  return seg;
+}
+
+void run_batch_screen(benchmark::State& state,
+                      core::CandidateBatch::ScreenKernel kernel) {
+  using Batch = core::CandidateBatch;
+  if (kernel == Batch::ScreenKernel::kSimd && !Batch::simd_supported()) {
+    state.SkipWithError("AVX2 not available on this CPU");
+    return;
+  }
+  Rng rng(29);
+  Batch batch;
+  const int64_t n = state.range(0);
+  batch.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    batch.push(screen_segment(rng, static_cast<core::SegId>(i + 1)));
+  }
+  const core::Segment query_seg = screen_segment(rng, 0);
+  const Batch::Footprint query(query_seg);
+  Batch::set_screen_kernel(kernel);
+  std::vector<uint8_t> verdicts;
+  for (auto _ : state) {
+    batch.screen(query, 0, batch.size(), /*check_bbox=*/true,
+                 /*check_fp=*/true, verdicts);
+    benchmark::DoNotOptimize(verdicts.data());
+  }
+  Batch::set_screen_kernel(Batch::ScreenKernel::kAuto);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BatchScreenScalar(benchmark::State& state) {
+  run_batch_screen(state, core::CandidateBatch::ScreenKernel::kScalar);
+}
+BENCHMARK(BM_BatchScreenScalar)->Arg(1024)->Arg(16384);
+
+void BM_BatchScreenSimd(benchmark::State& state) {
+  run_batch_screen(state, core::CandidateBatch::ScreenKernel::kSimd);
+}
+BENCHMARK(BM_BatchScreenSimd)->Arg(1024)->Arg(16384);
+
+// --- retirement sweeps: incremental vs from-scratch over the dense mesh ------
+//
+// End-to-end dense-mesh runs (builder + streaming engine), differing only
+// in AnalysisOptions::incremental_retire. The laggard construction makes
+// the live window ~lanes * sqrt(steps), so the full-sweep leg re-walks a
+// growing window on every advance while the incremental leg touches the
+// delta; bench_retire sweeps the full curve, this pair keeps the 20k point
+// visible in the micro suite.
+
+void run_retire_sweep(benchmark::State& state, bool incremental) {
+  const core::DenseMeshSpec spec =
+      core::DenseMeshSpec::for_segments(static_cast<uint64_t>(state.range(0)));
+  core::AnalysisOptions options;
+  options.threads = 2;
+  options.incremental_retire = incremental;
+  for (auto _ : state) {
+    const core::DenseMeshRun run =
+        core::run_dense_mesh(spec, options, /*streaming=*/true);
+    benchmark::DoNotOptimize(run.result.stats.retire_sweep_visits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_RetireSweepIncremental(benchmark::State& state) {
+  run_retire_sweep(state, true);
+}
+BENCHMARK(BM_RetireSweepIncremental)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_RetireSweepFull(benchmark::State& state) {
+  run_retire_sweep(state, false);
+}
+BENCHMARK(BM_RetireSweepFull)->Arg(20000)->Unit(benchmark::kMillisecond);
 
 // --- the full access-recording lane: builder cursor + arena add -------------
 //

@@ -1,0 +1,163 @@
+// Retirement-sweep cost sweep (schema "taskgrind-retire-v1"): the dense-
+// mesh generator grown 10k -> 1M closed segments, with incremental sweeps
+// A/B'd against the from-scratch oracle (--full-sweeps). The curve the CI
+// validator checks is sweep VISITS per closed segment: flat under the
+// incremental sweep (each close touches the delta since the last advance,
+// not the whole live window), growing under full sweeps (every advance
+// re-walks the ~lanes * sqrt(steps) live window from every growth point).
+// Full legs stop at 100k - the from-scratch rewalk is the quadratic wall
+// this bench documents, and 1M of it is minutes, not seconds.
+//
+// A second block of identity legs re-runs the 10k mesh across incremental
+// on/off x shard workers {1,2,4} and a --max-tree-bytes governed pair;
+// every entry carries the report-identity digest AND the order-independent
+// retirement-set digest. The validator asserts the report identity is
+// constant across ALL entries and the retirement digest is constant
+// within each mesh size (it hashes the retired id set, which grows with
+// the mesh) - retirement equality measured per run, not assumed from the
+// unit suite.
+//
+// Usage: bench_retire [--json FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/dense_mesh.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace tg::bench {
+namespace {
+
+using core::AnalysisOptions;
+using core::AnalysisStats;
+using core::DenseMeshRun;
+using core::DenseMeshSpec;
+
+struct Leg {
+  uint64_t segments;
+  bool incremental;
+  int shard_workers;
+  uint64_t max_tree_bytes;
+};
+
+int run(const std::string& json_path) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "taskgrind-retire-v1");
+  json.key("workload").begin_object();
+  json.field("generator", "dense-mesh");
+  json.field("lanes", static_cast<uint64_t>(DenseMeshSpec{}.lanes));
+  json.field("laggard_period", std::string("sqrt(steps)"));
+  json.field("racy", true);
+  json.end_object();  // workload
+  json.key("entries").begin_array();
+
+  TextTable table({"sweep", "segments", "workers", "tree-cap", "sweeps",
+                   "visits", "visits/seg", "retired", "live-peak",
+                   "analysis (s)", "identity", "retire-digest"});
+
+  auto run_one = [&](const Leg& leg) {
+    const DenseMeshSpec spec = DenseMeshSpec::for_segments(leg.segments);
+    AnalysisOptions options;
+    options.threads = 4;
+    options.incremental_retire = leg.incremental;
+    options.shard_workers = leg.shard_workers;
+    options.max_tree_bytes = leg.max_tree_bytes;
+    const auto t0 = std::chrono::steady_clock::now();
+    const DenseMeshRun run =
+        core::run_dense_mesh(spec, options, /*streaming=*/true);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const AnalysisStats& stats = run.result.stats;
+    const double per_segment = static_cast<double>(stats.retire_sweep_visits) /
+                               static_cast<double>(stats.segments_active);
+    json.begin_object();
+    json.field("sweep", leg.incremental ? "incremental" : "full");
+    json.field("shard_workers", static_cast<uint64_t>(leg.shard_workers));
+    json.field("max_tree_bytes", leg.max_tree_bytes);
+    json.field("segments_requested", leg.segments);
+    json.field("segments_active", stats.segments_active);
+    json.field("retire_sweeps", stats.retire_sweeps);
+    json.field("retire_sweep_visits", stats.retire_sweep_visits);
+    json.field("visits_per_segment", per_segment);
+    json.field("sweeps_skipped_wide", stats.sweeps_skipped_wide);
+    json.field("segments_retired", stats.segments_retired);
+    json.field("peak_live_segments", stats.peak_live_segments);
+    json.field("analysis_seconds", seconds);
+    json.field("report_count",
+               static_cast<uint64_t>(run.result.reports.size()));
+    json.field("report_identity", run.identity);
+    json.field("retire_digest", run.retire_digest);
+    json.end_object();
+
+    char per[32];
+    std::snprintf(per, sizeof per, "%.1f", per_segment);
+    table.add_row({leg.incremental ? "incremental" : "full",
+                   std::to_string(stats.segments_active),
+                   std::to_string(leg.shard_workers),
+                   std::to_string(leg.max_tree_bytes),
+                   std::to_string(stats.retire_sweeps),
+                   std::to_string(stats.retire_sweep_visits), per,
+                   std::to_string(stats.segments_retired),
+                   std::to_string(stats.peak_live_segments),
+                   format_seconds(seconds), run.identity,
+                   run.retire_digest});
+  };
+
+  // The scaling curve: sweep visits per closed segment. The incremental
+  // legs run to 1M; the full-sweep oracle stops where its superlinear
+  // growth is already unambiguous.
+  for (const uint64_t segments :
+       {10000ull, 30000ull, 100000ull, 300000ull, 1000000ull}) {
+    run_one({segments, /*incremental=*/true, 0, 0});
+  }
+  for (const uint64_t segments : {10000ull, 30000ull, 100000ull}) {
+    run_one({segments, /*incremental=*/false, 0, 0});
+  }
+  // Identity legs at 10k: shard fan-out and the memory governor, both
+  // sweep modes. The validator pins one report identity and one
+  // retirement digest across every entry above and below.
+  for (const bool incremental : {true, false}) {
+    for (const int workers : {1, 2, 4}) {
+      run_one({10000, incremental, workers, 0});
+    }
+    run_one({10000, incremental, 0, /*max_tree_bytes=*/32 << 10});
+  }
+
+  json.end_array();
+  json.end_object();
+
+  std::printf(
+      "Retirement-sweep scaling: dense-mesh, incremental vs full sweeps\n\n"
+      "%s\n",
+      table.render().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json.str() << "\n";
+    std::printf("written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return tg::bench::run(json_path);
+}

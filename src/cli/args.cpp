@@ -156,6 +156,9 @@ const char* usage_text() {
       "  --no-frontier-pairs    disable frontier-bounded pair generation\n"
       "                         (streaming; the A/B oracle enumerates every\n"
       "                         live segment per close instead)\n"
+      "  --full-sweeps          disable incremental retirement sweeps\n"
+      "                         (streaming; the A/B oracle re-derives the\n"
+      "                         retired set from scratch every advance)\n"
       "  --no-fingerprints      disable the access-fingerprint pair filter\n"
       "  --bitset-oracle        order via ancestor bitsets (verification)\n"
       "  --no-replace-allocator keep the recycling allocator\n"
@@ -302,6 +305,8 @@ ParseOutcome parse_args(int argc, const char* const* argv, CliOptions& out) {
       out.session.taskgrind.use_bbox_pruning = false;
     } else if (arg == "--no-frontier-pairs") {
       out.session.taskgrind.use_frontier_pairs = false;
+    } else if (arg == "--full-sweeps") {
+      out.session.taskgrind.incremental_retire = false;
     } else if (arg == "--no-fingerprints") {
       out.session.taskgrind.use_fingerprints = false;
     } else if (arg == "--bitset-oracle") {

@@ -47,6 +47,13 @@ struct AnalysisOptions {
   /// findings are identical either way (disable with --no-frontier-pairs
   /// for the A/B oracle).
   bool use_frontier_pairs = true;
+  /// Incremental retirement sweeps (streaming engine): persistent per-chain
+  /// reverse walks whose visited sets survive frontier advances, seeded
+  /// with the edges added since the last sweep, so each sweep touches
+  /// O(graph delta + newly retired) nodes instead of the whole live window.
+  /// Retires exactly the set the from-scratch sweep would, by construction
+  /// (disable with --full-sweeps for the A/B oracle).
+  bool incremental_retire = true;
   /// Test the two-level access fingerprints (core/fingerprint) before any
   /// tree walk and before reloading a spilled partner. Sound: fingerprints
   /// can only prove disjointness, so findings are identical either way.
@@ -118,6 +125,10 @@ struct AnalysisStats {
   uint64_t peak_tree_bytes = 0;      // interval-tree arena high-water mark
   uint64_t pairs_deferred = 0;       // scanned before ordering was known
   uint64_t retire_sweeps = 0;        // frontier retirement sweeps run
+  uint64_t retire_sweep_visits = 0;  // nodes marked across all sweeps
+  uint64_t sweeps_skipped_wide = 0;  // sweeps abandoned on a wide frontier
+                                     //   (always 0 since the cap removal;
+                                     //   kept so a regression is visible)
   // Memory-pressure governor counters (zero unless max_tree_bytes is set).
   uint64_t segments_spilled = 0;     // segments whose arenas went to disk
   uint64_t spill_bytes_written = 0;  // archive bytes appended

@@ -1,7 +1,9 @@
 #include "core/dense_mesh.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "core/graph_builder.hpp"
 #include "core/report.hpp"
@@ -74,6 +76,7 @@ DenseMeshRun run_dense_mesh(const DenseMeshSpec& spec,
 
   SegmentGraphBuilder builder;
   std::unique_ptr<StreamingAnalyzer> streamer;
+  std::vector<SegId> retired_ids;
   if (streaming) {
     builder.graph().enable_predecessor_index(true);
     streamer = std::make_unique<StreamingAnalyzer>(builder.graph(), program,
@@ -81,6 +84,9 @@ DenseMeshRun run_dense_mesh(const DenseMeshSpec& spec,
                                                    options);
     streamer->set_open_fp_provider([&builder](uint64_t* out) {
       builder.accumulate_open_fingerprints(out);
+    });
+    streamer->set_retire_probe([&retired_ids](SegId id, size_t) {
+      retired_ids.push_back(id);
     });
     builder.set_sink(streamer.get());
   }
@@ -186,6 +192,16 @@ DenseMeshRun run_dense_mesh(const DenseMeshSpec& spec,
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(digest));
   run.identity = buf;
+
+  // Retirement-set digest: order-independent (retire order differs between
+  // the incremental and full sweeps within one frontier advance).
+  std::sort(retired_ids.begin(), retired_ids.end());
+  const uint64_t retire_digest = segment_stream_fnv1a(
+      {reinterpret_cast<const uint8_t*>(retired_ids.data()),
+       retired_ids.size() * sizeof(SegId)});
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(retire_digest));
+  run.retire_digest = buf;
   return run;
 }
 

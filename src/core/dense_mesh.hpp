@@ -55,6 +55,11 @@ struct DenseMeshRun {
   /// FNV-1a over the newline-joined canonical dedup keys of the deduped
   /// report set - the cross-configuration identity digest.
   std::string identity;
+  /// FNV-1a over the sorted retired segment ids (streaming legs only;
+  /// post-mortem retires nothing and digests the empty set). Incremental
+  /// and full sweeps must produce the same value - the retirement-set
+  /// identity the A/B legs compare.
+  std::string retire_digest;
 };
 
 /// Runs the mesh through the streaming engine (streaming=true) or the

@@ -1,6 +1,11 @@
 #include "core/pair_batch.hpp"
 
+#include <cstdlib>
 #include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "core/segment_graph.hpp"
 
@@ -82,31 +87,165 @@ void CandidateBatch::swap_remove(size_t i) {
   fpw_.resize(fpw_.size() - kWordsPerEntry);
 }
 
-void CandidateBatch::screen(const Footprint& query, size_t begin, size_t end,
-                            bool check_bbox, bool check_fp,
-                            std::vector<uint8_t>& verdicts) const {
-  verdicts.resize(end - begin);
-  if (end <= begin) return;
+namespace {
+
+/// The scalar screen loop: flat, branch-free body - both predicates are
+/// computed unconditionally per entry so the loop vectorizes; the conflict
+/// test covers exactly the three racy directions (wq&w, wq&r, rq&w - two
+/// reads never conflict). Also the tail loop and the differential oracle
+/// for the AVX2 kernel: the verdict logic here is the specification.
+void screen_scalar(const CandidateBatch::Footprint& query, size_t begin,
+                   size_t end, bool check_bbox, bool check_fp,
+                   const uint64_t* lo, const uint64_t* hi, const uint64_t* fpw,
+                   uint8_t* out) {
   const uint64_t qlo = query.lo;
   const uint64_t qhi = query.hi;
-  const uint64_t* fpw = fpw_.data();
-  // Flat, branch-free body: both predicates are computed unconditionally
-  // per entry so the loop vectorizes; the conflict test covers exactly the
-  // three racy directions (wq&w, wq&r, rq&w - two reads never conflict).
   for (size_t i = begin; i < end; ++i) {
-    const uint64_t* f = fpw + i * kWordsPerEntry;
+    const uint64_t* f = fpw + i * CandidateBatch::kWordsPerEntry;
     uint64_t hit = 0;
     for (uint32_t k = 0; k < kFingerprintWords; ++k) {
       const uint64_t bw = f[k];
       const uint64_t br = f[kFingerprintWords + k];
       hit |= (query.w[k] & (bw | br)) | (query.r[k] & bw);
     }
-    const bool bbox_dis = hi_[i] <= qlo || qhi <= lo_[i];
-    uint8_t v = kSurvive;
-    if (check_fp && hit == 0) v = kFpDisjoint;
-    if (check_bbox && bbox_dis) v = kBboxDisjoint;
-    verdicts[i - begin] = v;
+    const bool bbox_dis = hi[i] <= qlo || qhi <= lo[i];
+    uint8_t v = CandidateBatch::kSurvive;
+    if (check_fp && hit == 0) v = CandidateBatch::kFpDisjoint;
+    if (check_bbox && bbox_dis) v = CandidateBatch::kBboxDisjoint;
+    out[i - begin] = v;
   }
+}
+
+#if defined(__x86_64__)
+
+/// AVX2 screen: the fingerprint reduction runs 256 bits at a time (each
+/// side's 8 words are two vector ops instead of eight scalar ones) and the
+/// bbox compare runs four entries per iteration. Unsigned u64 comparison
+/// is signed cmpgt after flipping the sign bit of both operands. Verdicts
+/// are bit-identical to screen_scalar: same precedence (bbox overrides
+/// fp), same half-open box predicate, same three conflict directions.
+// GCC does not propagate the target attribute into lambdas, so the loads
+// are spelled out via a macro instead of a helper.
+#define TG_LOAD256(p) \
+  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))
+
+__attribute__((target("avx2"))) void screen_avx2(
+    const CandidateBatch::Footprint& query, size_t begin, size_t end,
+    bool check_bbox, bool check_fp, const uint64_t* lo, const uint64_t* hi,
+    const uint64_t* fpw, uint8_t* out) {
+  static_assert(kFingerprintWords == 8,
+                "screen_avx2 assumes two 256-bit lanes per side");
+  const __m256i qw0 = TG_LOAD256(&query.w[0]);
+  const __m256i qw1 = TG_LOAD256(&query.w[4]);
+  const __m256i qr0 = TG_LOAD256(&query.r[0]);
+  const __m256i qr1 = TG_LOAD256(&query.r[4]);
+  const __m256i sign =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
+  const __m256i qlo4 = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(query.lo)), sign);
+  const __m256i qhi4 = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(query.hi)), sign);
+  size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    // Box overlap per lane: hi > qlo AND qhi > lo; the disjoint bits are
+    // the complement (exactly `hi <= qlo || qhi <= lo`).
+    const __m256i lo4 = _mm256_xor_si256(TG_LOAD256(&lo[i]), sign);
+    const __m256i hi4 = _mm256_xor_si256(TG_LOAD256(&hi[i]), sign);
+    const __m256i overlap = _mm256_and_si256(_mm256_cmpgt_epi64(hi4, qlo4),
+                                             _mm256_cmpgt_epi64(qhi4, lo4));
+    const unsigned bbox_dis =
+        ~static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(overlap))) &
+        0xfu;
+    for (size_t j = 0; j < 4; ++j) {
+      const uint64_t* f = fpw + (i + j) * CandidateBatch::kWordsPerEntry;
+      const __m256i bw0 = TG_LOAD256(f);
+      const __m256i bw1 = TG_LOAD256(f + 4);
+      const __m256i br0 = TG_LOAD256(f + 8);
+      const __m256i br1 = TG_LOAD256(f + 12);
+      __m256i acc =
+          _mm256_or_si256(_mm256_and_si256(qw0, _mm256_or_si256(bw0, br0)),
+                          _mm256_and_si256(qr0, bw0));
+      acc = _mm256_or_si256(
+          acc,
+          _mm256_or_si256(_mm256_and_si256(qw1, _mm256_or_si256(bw1, br1)),
+                          _mm256_and_si256(qr1, bw1)));
+      const bool fp_dis = _mm256_testz_si256(acc, acc) != 0;
+      uint8_t v = CandidateBatch::kSurvive;
+      if (check_fp && fp_dis) v = CandidateBatch::kFpDisjoint;
+      if (check_bbox && ((bbox_dis >> j) & 1u) != 0) {
+        v = CandidateBatch::kBboxDisjoint;
+      }
+      out[i + j - begin] = v;
+    }
+  }
+  screen_scalar(query, i, end, check_bbox, check_fp, lo, hi, fpw,
+                out + (i - begin));
+}
+
+#undef TG_LOAD256
+
+#endif  // __x86_64__
+
+/// Test/bench override; kAuto defers to TG_SCREEN_KERNEL, then the CPU.
+CandidateBatch::ScreenKernel g_forced_kernel =
+    CandidateBatch::ScreenKernel::kAuto;
+
+CandidateBatch::ScreenKernel resolve_kernel() {
+  using ScreenKernel = CandidateBatch::ScreenKernel;
+  ScreenKernel choice = g_forced_kernel;
+  if (choice == ScreenKernel::kAuto) {
+    static const ScreenKernel env_choice = [] {
+      const char* env = std::getenv("TG_SCREEN_KERNEL");
+      if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+        return ScreenKernel::kScalar;
+      }
+      if (env != nullptr && std::strcmp(env, "simd") == 0) {
+        return ScreenKernel::kSimd;
+      }
+      return CandidateBatch::simd_supported() ? ScreenKernel::kSimd
+                                              : ScreenKernel::kScalar;
+    }();
+    choice = env_choice;
+  }
+  if (choice == ScreenKernel::kSimd && !CandidateBatch::simd_supported()) {
+    choice = ScreenKernel::kScalar;
+  }
+  return choice;
+}
+
+}  // namespace
+
+void CandidateBatch::set_screen_kernel(ScreenKernel kernel) {
+  g_forced_kernel = kernel;
+}
+
+CandidateBatch::ScreenKernel CandidateBatch::active_kernel() {
+  return resolve_kernel();
+}
+
+bool CandidateBatch::simd_supported() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void CandidateBatch::screen(const Footprint& query, size_t begin, size_t end,
+                            bool check_bbox, bool check_fp,
+                            std::vector<uint8_t>& verdicts) const {
+  verdicts.resize(end - begin);
+  if (end <= begin) return;
+#if defined(__x86_64__)
+  if (resolve_kernel() == ScreenKernel::kSimd) {
+    screen_avx2(query, begin, end, check_bbox, check_fp, lo_.data(),
+                hi_.data(), fpw_.data(), verdicts.data());
+    return;
+  }
+#endif
+  screen_scalar(query, begin, end, check_bbox, check_fp, lo_.data(),
+                hi_.data(), fpw_.data(), verdicts.data());
 }
 
 }  // namespace tg::core

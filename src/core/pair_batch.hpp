@@ -46,6 +46,22 @@ class CandidateBatch {
     kFpDisjoint = 2,    // level-0 page bitmaps prove byte-disjointness
   };
 
+  /// Screen kernel selection. kAuto resolves to the AVX2 kernel when the
+  /// CPU supports it, else the scalar loop; the TG_SCREEN_KERNEL env var
+  /// (values: scalar | simd) overrides auto-detection, and
+  /// set_screen_kernel overrides both (tests and benches force a kernel
+  /// this way). Both kernels produce bit-identical verdict arrays by
+  /// construction - the scalar loop doubles as the differential oracle.
+  /// Forcing kSimd on a CPU without AVX2 clamps to scalar (check
+  /// simd_supported()). Set before screening begins; the choice is read
+  /// unsynchronized on the screening threads.
+  enum class ScreenKernel : uint8_t { kAuto, kScalar, kSimd };
+  static void set_screen_kernel(ScreenKernel kernel);
+  /// The kernel screen() will actually run (never kAuto).
+  static ScreenKernel active_kernel();
+  /// Does this CPU (and build) have the AVX2 kernel available?
+  static bool simd_supported();
+
   /// One query segment's side of the screen: bounding box plus level-0
   /// words with the same validity substitution entries get (see push).
   struct Footprint {

@@ -86,7 +86,11 @@ std::string stats_summary(const AnalysisStats& stats) {
         << " retired=" << stats.segments_retired
         << " live-peak=" << stats.peak_live_segments
         << " retired-bytes=" << stats.retired_tree_bytes
-        << " sweeps=" << stats.retire_sweeps;
+        << " sweeps=" << stats.retire_sweeps
+        << " sweep-visits=" << stats.retire_sweep_visits;
+    if (stats.sweeps_skipped_wide > 0) {
+      out << " sweeps-skipped-wide=" << stats.sweeps_skipped_wide;
+    }
     if (stats.segments_spilled > 0 || stats.enqueue_stalls > 0) {
       out << " spilled=" << stats.segments_spilled
           << " spill-bytes=" << stats.spill_bytes_written

@@ -47,6 +47,7 @@ void SegmentGraph::add_edge(SegId from, SegId to) {
   ++edge_count_;
   MemAccountant::instance().add(MemCategory::kSegments, 8);
   accounted_bytes_ += 8;
+  if (edge_observer_) edge_observer_(from, to);
 }
 
 void SegmentGraph::set_chain(SegId id, uint32_t chain, uint32_t pos) {

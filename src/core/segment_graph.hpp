@@ -21,8 +21,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fingerprint.hpp"
@@ -135,6 +137,17 @@ class SegmentGraph {
   /// duplicates are tolerated.
   void add_edge(SegId from, SegId to);
 
+  /// Pre-finalize edge delta hook: called for every edge add_edge actually
+  /// records (self edges and the consecutive-duplicate filter excluded; a
+  /// duplicate that slips past the cheap filter may fire again). The
+  /// incremental retirement sweep seeds its dirty set from this - walks
+  /// prune at already-visited nodes, so a late edge landing inside a
+  /// visited set is the one event that must reopen a walk. At most one
+  /// observer; pass nullptr to uninstall.
+  void set_edge_observer(std::function<void(SegId, SegId)> fn) {
+    edge_observer_ = std::move(fn);
+  }
+
   /// Declares the segment's position on a serial chain (the builder calls
   /// this at segment creation with the task's timeline). Consecutive
   /// positions of one chain MUST be connected by edges; same-chain queries
@@ -220,6 +233,7 @@ class SegmentGraph {
   bool finalized_ = false;
   bool bitset_oracle_enabled_ = false;
   bool predecessor_index_enabled_ = false;
+  std::function<void(SegId, SegId)> edge_observer_;
 
   // Verification oracle (built only when enabled).
   std::vector<uint64_t> ancestors_;  // n x words bit matrix

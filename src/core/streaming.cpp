@@ -11,9 +11,6 @@ namespace tg::core {
 
 namespace {
 inline constexpr uint32_t kNoPos = UINT32_MAX;
-/// Sweeps cost |frontier| reverse walks; past this many distinct growth
-/// points a sweep is skipped (retirement is best-effort, skipping is safe).
-inline constexpr size_t kMaxFrontierPoints = 256;
 }  // namespace
 
 StreamingAnalyzer::StreamingAnalyzer(SegmentGraph& graph,
@@ -27,6 +24,13 @@ StreamingAnalyzer::StreamingAnalyzer(SegmentGraph& graph,
   TG_ASSERT_MSG(graph_.has_predecessor_index(),
                 "StreamingAnalyzer needs SegmentGraph::enable_predecessor_"
                 "index() before segments exist");
+  if (options_.incremental_retire) {
+    // Edge-delta hook for the incremental sweep's dirty set: the builder
+    // adds every edge on this thread, so no synchronization is needed.
+    graph_.set_edge_observer([this](SegId from, SegId to) {
+      pending_edges_.emplace_back(from, to);
+    });
+  }
   if (options_.shard_workers > 0) {
     // The pool forks, and fork() duplicates only the calling thread - so it
     // must be built before the scan threads AND before the spill archive
@@ -78,6 +82,7 @@ StreamingAnalyzer::StreamingAnalyzer(SegmentGraph& graph,
 }
 
 StreamingAnalyzer::~StreamingAnalyzer() {
+  if (options_.incremental_retire) graph_.set_edge_observer(nullptr);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stopping_ = true;
@@ -94,6 +99,11 @@ void StreamingAnalyzer::grow_marks() {
   mark_sweep_.resize(n, 0);
   mark_point_.resize(n, 0);
   mark_count_.resize(n, 0);
+  if (options_.incremental_retire) {
+    cnt_.resize(n, 0);
+    cnt_pos_.resize(n, 0);
+    point_seen_.resize(n, 0);
+  }
   retired_.resize(n, 0);
   pending_.resize(n, 0);
   live_pos_.resize(n, kNoPos);
@@ -358,19 +368,29 @@ void StreamingAnalyzer::frontier_advanced(const std::vector<SegId>& frontier) {
   grow_marks();
   ++retire_sweeps_;
 
-  std::vector<SegId> points = frontier;
-  std::sort(points.begin(), points.end());
-  points.erase(std::unique(points.begin(), points.end()), points.end());
-
-  if (points.empty()) {
+  if (frontier.empty()) {
     // No uncompleted task left: nothing can run, every live segment is dead.
-    std::vector<SegId> ids;
-    ids.reserve(live_.size());
-    for (const LiveEntry& entry : live_) ids.push_back(entry.id);
-    for (SegId id : ids) retire(id);
+    retire_scratch_.clear();
+    retire_scratch_.reserve(live_.size());
+    for (const LiveEntry& entry : live_) retire_scratch_.push_back(entry.id);
+    for (SegId id : retire_scratch_) retire(id);
+    if (options_.incremental_retire) reset_incremental();
     return;
   }
-  if (points.size() > kMaxFrontierPoints) return;
+  if (options_.incremental_retire) {
+    incremental_sweep(frontier);
+  } else {
+    full_sweep(frontier);
+  }
+}
+
+void StreamingAnalyzer::full_sweep(const std::vector<SegId>& frontier) {
+  sweep_points_ = frontier;
+  std::sort(sweep_points_.begin(), sweep_points_.end());
+  sweep_points_.erase(
+      std::unique(sweep_points_.begin(), sweep_points_.end()),
+      sweep_points_.end());
+  const std::vector<SegId>& points = sweep_points_;
 
   // A segment retires when it is a strict ancestor of EVERY growth point:
   // every future segment attaches below some point, hence is ordered after
@@ -386,6 +406,7 @@ void StreamingAnalyzer::frontier_advanced(const std::vector<SegId>& frontier) {
         mark_sweep_[v] = sweep_id_;
         mark_point_[v] = k;
         mark_count_[v] = 1;
+        ++retire_sweep_visits_;
         // Only nodes seen by the first walk can be seen by all of them.
         if (k == 0) candidates_.push_back(v);
         return true;
@@ -393,6 +414,7 @@ void StreamingAnalyzer::frontier_advanced(const std::vector<SegId>& frontier) {
       if (mark_point_[v] == k) return false;  // already counted this walk
       mark_point_[v] = k;
       ++mark_count_[v];
+      ++retire_sweep_visits_;
       return true;
     };
     dfs_stack_.clear();
@@ -412,8 +434,175 @@ void StreamingAnalyzer::frontier_advanced(const std::vector<SegId>& frontier) {
   }
 }
 
+void StreamingAnalyzer::bucket_move(SegId id, uint32_t from, uint32_t to) {
+  if (from > 0) {
+    std::vector<SegId>& bucket = cnt_buckets_[from];
+    const uint32_t pos = cnt_pos_[id];
+    bucket[pos] = bucket.back();
+    cnt_pos_[bucket[pos]] = pos;
+    bucket.pop_back();
+  }
+  if (to > 0) {
+    if (cnt_buckets_.size() <= to) cnt_buckets_.resize(to + 1);
+    cnt_pos_[id] = static_cast<uint32_t>(cnt_buckets_[to].size());
+    cnt_buckets_[to].push_back(id);
+  }
+}
+
+void StreamingAnalyzer::bucket_remove(SegId id) {
+  if (cnt_[id] > 0) bucket_move(id, cnt_[id], 0);
+}
+
+void StreamingAnalyzer::slot_walk(WalkSlot& slot, SegId from) {
+  const size_t words = (graph_.size() + 63) / 64;
+  if (slot.visited.size() < words) slot.visited.resize(words, 0);
+  auto visit = [&](SegId v) -> bool {
+    if (retired_[v]) return false;  // its ancestors are retired too
+    uint64_t& word = slot.visited[v >> 6];
+    const uint64_t bit = 1ull << (v & 63);
+    if (word & bit) return false;  // pruned: marked by an earlier sweep
+    word |= bit;
+    slot.marks.push_back(v);
+    bucket_move(v, cnt_[v], cnt_[v] + 1);
+    ++cnt_[v];
+    ++retire_sweep_visits_;
+    return true;
+  };
+  dfs_stack_.clear();
+  if (visit(from)) dfs_stack_.push_back(from);
+  while (!dfs_stack_.empty()) {
+    const SegId u = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    for (SegId v : graph_.predecessors(u)) {
+      if (visit(v)) dfs_stack_.push_back(v);
+    }
+  }
+}
+
+void StreamingAnalyzer::teardown_slot(size_t index) {
+  WalkSlot& slot = slots_[index];
+  for (SegId v : slot.marks) {
+    if (retired_[v]) continue;  // left the buckets when it retired
+    bucket_move(v, cnt_[v], cnt_[v] - 1);
+    --cnt_[v];
+  }
+  slot_index_.erase(slot.key);
+  slot.marks.clear();
+  std::fill(slot.visited.begin(), slot.visited.end(), 0);
+  slot_pool_.push_back(std::move(slot));
+  if (index + 1 != slots_.size()) {
+    slots_[index] = std::move(slots_.back());
+    slot_index_[slots_[index].key] = static_cast<uint32_t>(index);
+  }
+  slots_.pop_back();
+}
+
+void StreamingAnalyzer::reset_incremental() {
+  while (!slots_.empty()) teardown_slot(slots_.size() - 1);
+  pending_edges_.clear();
+}
+
+void StreamingAnalyzer::incremental_sweep(const std::vector<SegId>& frontier) {
+  // Effective frontier by chain dominance: a growth point with a smaller
+  // chain position is an ancestor of every later point on the same chain
+  // (consecutive positions are edge-connected and the chain's retired set
+  // is a prefix below every point), so the later points' walks can add
+  // nothing to the intersection. One slot per chain, keyed by the earliest
+  // point; synthetic points (fork/join/barrier, no chain) are their own
+  // singleton slots. EVERY frontier point - dominated or not - is stamped
+  // into point_seen_, because a point is excluded from retiring no matter
+  // which walks reach it.
+  ++point_epoch_;
+  effective_.clear();
+  for (const SegId p : frontier) {
+    point_seen_[p] = point_epoch_;
+    const OrderStamp& st = graph_.stamp(p);
+    const bool synthetic = st.chain == kNoChain;
+    const uint64_t key = synthetic ? (kSyntheticSlot | p) : st.chain;
+    const uint32_t pos = synthetic ? 0 : st.chain_pos;
+    const auto [it, inserted] = effective_.try_emplace(key, p, pos);
+    if (!inserted && pos < it->second.second) it->second = {p, pos};
+  }
+
+  // Tear down slots whose key left the frontier (task completed, synthetic
+  // point released): their marks stop counting towards the intersection.
+  for (size_t i = 0; i < slots_.size();) {
+    if (effective_.find(slots_[i].key) == effective_.end()) {
+      teardown_slot(i);
+    } else {
+      ++i;
+    }
+  }
+
+  // Create or advance a walk per effective point. A chain's earliest point
+  // only ever moves forward (new points enter at the chain's current head
+  // position), so the restarted walk prunes at the previous walk's visited
+  // set and pays only for the newly reachable delta; if the invariant were
+  // ever violated the slot is rebuilt from scratch, which is correct for
+  // any point.
+  for (const auto& [key, point_pos] : effective_) {
+    const auto it = slot_index_.find(key);
+    if (it != slot_index_.end()) {
+      WalkSlot& slot = slots_[it->second];
+      slot.stamp = point_epoch_;
+      if (slot.point == point_pos.first) continue;
+      if ((key & kSyntheticSlot) == 0 && point_pos.second < slot.point_pos) {
+        teardown_slot(it->second);  // regression: rebuild fresh below
+      } else {
+        slot.point = point_pos.first;
+        slot.point_pos = point_pos.second;
+        slot_walk(slot, slot.point);
+        continue;
+      }
+    }
+    WalkSlot slot;
+    if (!slot_pool_.empty()) {
+      slot = std::move(slot_pool_.back());
+      slot_pool_.pop_back();
+    }
+    slot.key = key;
+    slot.point = point_pos.first;
+    slot.point_pos = point_pos.second;
+    slot.stamp = point_epoch_;
+    slot_index_[key] = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(slot));
+    slot_walk(slots_.back(), slots_.back().point);
+  }
+
+  // Edge deltas since the last sweep. A walk this sweep reads the current
+  // adjacency, so only an edge landing INSIDE a persistent visited set can
+  // have been missed - reopen the walk from its source. Pruning matches
+  // the full sweep: edges into retired nodes are never traversed (the full
+  // walk stops at the retired node before reading its predecessors).
+  for (const auto& [from, to] : pending_edges_) {
+    if (retired_[from] || retired_[to]) continue;
+    for (WalkSlot& slot : slots_) {
+      const size_t word = to >> 6;
+      if (word >= slot.visited.size()) continue;
+      if ((slot.visited[word] & (1ull << (to & 63))) == 0) continue;
+      slot_walk(slot, from);
+    }
+  }
+  pending_edges_.clear();
+
+  // Retire scan: exactly the unretired nodes marked by every active slot,
+  // minus the current frontier points. The bucket holds points and nodes
+  // about to retire only, so the scan is O(newly dead + |frontier|), never
+  // O(live window).
+  const uint32_t nslots = static_cast<uint32_t>(slots_.size());
+  retire_scratch_.clear();
+  if (nslots < cnt_buckets_.size()) {
+    for (const SegId u : cnt_buckets_[nslots]) {
+      if (point_seen_[u] == point_epoch_) continue;
+      retire_scratch_.push_back(u);
+    }
+  }
+  for (const SegId u : retire_scratch_) retire(u);
+}
+
 void StreamingAnalyzer::retire(SegId id) {
   retired_[id] = 1;
+  if (options_.incremental_retire) bucket_remove(id);
   if (retire_probe_) retire_probe_(id, graph_.size());
   const uint32_t pos = live_pos_[id];
   if (pos == kNoPos) return;  // synthetic or accessless: nothing to free
@@ -876,6 +1065,8 @@ AnalysisResult StreamingAnalyzer::finish() {
       MemAccountant::instance().category_peak(MemCategory::kIntervalTrees));
   stats.pairs_deferred = pairs_deferred_;
   stats.retire_sweeps = retire_sweeps_;
+  stats.retire_sweep_visits = retire_sweep_visits_;
+  stats.sweeps_skipped_wide = sweeps_skipped_wide_;
   stats.segments_spilled = segments_spilled_;
   stats.spill_bytes_written = spill_bytes_written_;
   stats.spill_reloads = spill_reloads_;

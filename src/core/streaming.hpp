@@ -37,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -168,8 +169,42 @@ class StreamingAnalyzer final : public SegmentSink {
     uint32_t thresh_epoch = 0;   // close epoch the threshold belongs to
   };
 
+  /// One persistent reverse walk of the incremental retirement sweep
+  /// (options.incremental_retire). A slot is keyed by builder chain - the
+  /// earliest-position growth point of a chain dominates every later one
+  /// (consecutive chain positions are edge-connected, so the later point's
+  /// ancestor set is a superset) - or, for synthetic growth points
+  /// (fork/join/barrier, no chain), by the segment itself. The visited
+  /// bitvector survives sweeps: when the slot's point advances, the walk
+  /// restarts from the new point and prunes at everything already visited,
+  /// so each sweep marks only the delta.
+  struct WalkSlot {
+    uint64_t key = 0;       // chain id, or kSyntheticSlot | seg id
+    SegId point = kNoSeg;   // growth point the walk last started from
+    uint32_t point_pos = 0; // chain_pos of `point` (chain-keyed slots)
+    uint32_t stamp = 0;     // point_epoch_ the slot was last confirmed in
+    std::vector<uint64_t> visited;  // bitvector over seg ids (persistent)
+    std::vector<SegId> marks;       // visited nodes, for teardown
+  };
+
   void worker_loop();
   void run_batch(Batch& batch);
+  /// The from-scratch retirement sweep (--full-sweeps): one pruned reverse
+  /// DFS per growth point, epoch-marked counting. The A/B oracle for the
+  /// incremental sweep; retires the identical set by construction.
+  void full_sweep(const std::vector<SegId>& frontier);
+  /// The incremental sweep: persistent per-slot walks + the count buckets.
+  void incremental_sweep(const std::vector<SegId>& frontier);
+  /// Extends one slot's pruned reverse walk from `from`.
+  void slot_walk(WalkSlot& slot, SegId from);
+  /// Drops a slot: decrements the mark counts of its unretired marks and
+  /// recycles its arrays through the freelist.
+  void teardown_slot(size_t index);
+  /// Drops all incremental state (the all-dead branch: nothing can retire
+  /// twice, and a later non-empty frontier rebuilds from scratch).
+  void reset_incremental();
+  void bucket_remove(SegId id);
+  void bucket_move(SegId id, uint32_t from, uint32_t to);
   /// Releases the scan refcounts of finished batches (builder thread).
   void drain_completed();
   /// Frees the trees of retired segments no worker still scans.
@@ -252,6 +287,30 @@ class StreamingAnalyzer final : public SegmentSink {
   uint32_t sweep_id_ = 0;
   std::vector<SegId> dfs_stack_;
   std::vector<SegId> candidates_;
+  std::vector<SegId> sweep_points_;    // full-sweep sorted/uniqued frontier
+  std::vector<SegId> retire_scratch_;  // ids collected before retire() calls
+
+  // Incremental retirement state (options.incremental_retire). cnt_[v] is
+  // the number of active slots whose persistent walk has marked v; the
+  // count buckets keep every unretired marked node findable by its exact
+  // count, so the per-sweep eligible set is bucket[#slots] - points and
+  // soon-to-retire nodes only - with no live-window scan anywhere.
+  static constexpr uint64_t kSyntheticSlot = 1ull << 32;
+  std::vector<WalkSlot> slots_;
+  std::vector<WalkSlot> slot_pool_;    // torn-down slots, arrays recycled
+  std::unordered_map<uint64_t, uint32_t> slot_index_;  // key -> slots_ index
+  std::vector<uint32_t> cnt_;          // seg id -> marking slots
+  std::vector<uint32_t> cnt_pos_;      // seg id -> index in its bucket
+  std::vector<std::vector<SegId>> cnt_buckets_;  // count -> unretired nodes
+  std::vector<uint32_t> point_seen_;   // seg id -> last epoch it was a point
+  uint32_t point_epoch_ = 0;
+  // Effective frontier scratch: slot key -> (earliest point, chain_pos).
+  std::unordered_map<uint64_t, std::pair<SegId, uint32_t>> effective_;
+  // Edge delta since the last sweep (SegmentGraph::set_edge_observer). A
+  // late edge a->b with b already visited and a not is the only graph
+  // change a pruned persistent walk can miss; walks started this sweep read
+  // the current adjacency and need no replay.
+  std::vector<std::pair<SegId, SegId>> pending_edges_;
 
   // Work queue.
   std::vector<std::thread> workers_;
@@ -271,6 +330,8 @@ class StreamingAnalyzer final : public SegmentSink {
   uint64_t retired_tree_bytes_ = 0;
   uint64_t peak_live_segments_ = 0;
   uint64_t retire_sweeps_ = 0;
+  uint64_t retire_sweep_visits_ = 0;
+  uint64_t sweeps_skipped_wide_ = 0;
   uint64_t pairs_deferred_ = 0;
   uint64_t pairs_ordered_enqueue_ = 0;
   uint64_t pairs_region_enqueue_ = 0;

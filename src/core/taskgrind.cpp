@@ -369,6 +369,7 @@ AnalysisOptions TaskgrindTool::analysis_options() const {
   options.respect_mutexes = options_.respect_mutexes;
   options.use_bbox_pruning = options_.use_bbox_pruning;
   options.use_frontier_pairs = options_.use_frontier_pairs;
+  options.incremental_retire = options_.incremental_retire;
   options.use_fingerprints = options_.use_fingerprints;
   options.use_bitset_oracle = options_.use_bitset_oracle;
   options.threads = options_.analysis_threads;

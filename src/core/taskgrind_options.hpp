@@ -44,6 +44,12 @@ struct TaskgrindOptions {
   /// skipped - so findings are unchanged (disable with
   /// --no-frontier-pairs for the A/B oracle).
   bool use_frontier_pairs = true;
+  /// Incremental retirement sweeps (streaming): persistent per-chain
+  /// reverse walks keep their visited sets across frontier advances, so a
+  /// sweep pays for the graph delta, not the live window. Retires exactly
+  /// the full sweep's set by construction (disable with --full-sweeps for
+  /// the A/B oracle).
+  bool incremental_retire = true;
   /// Test the two-level access fingerprints (hashed page bitmap + page-run
   /// directory, core/fingerprint) before any tree walk and before reloading
   /// a spilled partner. Sound pre-filter: it can only prove disjointness,

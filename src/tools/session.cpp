@@ -238,6 +238,7 @@ std::string session_json(const SessionOptions& options,
   json.field("respect_mutexes", tg.respect_mutexes);
   json.field("use_bbox_pruning", tg.use_bbox_pruning);
   json.field("use_frontier_pairs", tg.use_frontier_pairs);
+  json.field("incremental_retire", tg.incremental_retire);
   json.field("use_fingerprints", tg.use_fingerprints);
   json.field("use_bitset_oracle", tg.use_bitset_oracle);
   json.field("max_reports", static_cast<uint64_t>(tg.max_reports));
@@ -297,6 +298,8 @@ std::string session_json(const SessionOptions& options,
   json.field("retired_tree_bytes", stats.retired_tree_bytes);
   json.field("peak_tree_bytes", stats.peak_tree_bytes);
   json.field("retire_sweeps", stats.retire_sweeps);
+  json.field("retire_sweep_visits", stats.retire_sweep_visits);
+  json.field("sweeps_skipped_wide", stats.sweeps_skipped_wide);
   json.field("segments_spilled", stats.segments_spilled);
   json.field("spill_bytes_written", stats.spill_bytes_written);
   json.field("spill_reloads", stats.spill_reloads);

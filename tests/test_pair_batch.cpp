@@ -9,6 +9,7 @@
 // decodes, and a kPairBatch frame inside a v1 stream is rejected.
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
 #include <vector>
 
@@ -295,6 +296,112 @@ TEST(PairBatch, ClearedBitmapScreensAsAllOnes) {
   fresh.screen(CandidateBatch::Footprint(decoded), 0, fresh.size(), true,
                true, verdicts);
   EXPECT_EQ(verdicts[0], CandidateBatch::kSurvive);
+}
+
+// --- scalar vs SIMD differential ---------------------------------------------
+
+/// Restores auto dispatch however the test exits.
+struct KernelGuard {
+  ~KernelGuard() {
+    CandidateBatch::set_screen_kernel(CandidateBatch::ScreenKernel::kAuto);
+  }
+};
+
+/// Random access-bearing segment. One in eight lives near the top of the
+/// address space (sign bit set) so the kernel's unsigned bbox comparison is
+/// exercised on both sides of the signed/unsigned divide.
+Segment random_access_segment(std::mt19937_64& rng, SegId id) {
+  Segment seg;
+  seg.id = id;
+  seg.kind = SegKind::kTask;
+  const uint64_t base =
+      (rng() & 7) == 0 ? 0x8000000000000000ull : 0x1000ull;
+  const auto span = [&](IntervalSet& side) {
+    const uint64_t lo = base + rng() % 0x40000;
+    side.add(lo, lo + 1 + rng() % 0x4000, {1, 1});
+  };
+  const uint32_t nw = static_cast<uint32_t>(rng() % 3);
+  const uint32_t nr = static_cast<uint32_t>(rng() % 3);
+  for (uint32_t i = 0; i < nw; ++i) span(seg.writes);
+  for (uint32_t i = 0; i < nr; ++i) span(seg.reads);
+  seg.finalize_fingerprints();
+  return seg;
+}
+
+TEST(PairBatch, SimdVerdictsAreBitIdenticalToScalarFuzz) {
+  if (!CandidateBatch::simd_supported()) {
+    GTEST_SKIP() << "no AVX2 on this host; the scalar loop is the only "
+                    "kernel and trivially agrees with itself";
+  }
+  KernelGuard guard;
+  std::mt19937_64 rng(0x7a5c9d31u);
+  std::vector<uint8_t> scalar_verdicts;
+  std::vector<uint8_t> simd_verdicts;
+  for (int iter = 0; iter < 300; ++iter) {
+    // Batch sizes cover empty, sub-lane and non-multiple-of-4 tails.
+    const size_t n = rng() % 19;
+    CandidateBatch batch;
+    for (size_t i = 0; i < n; ++i) {
+      Segment seg = random_access_segment(rng, static_cast<SegId>(i + 2));
+      if ((rng() & 3) == 0 && seg.has_accesses()) {
+        // Wire round-trip: the decoded arenas carry reset incremental
+        // bitmaps, so push() stores all-ones words (the cleared-bitmap
+        // rule) - the kernels must agree on those too.
+        std::vector<uint8_t> image;
+        encode_segment(seg, image);
+        Segment decoded;
+        std::string error;
+        ASSERT_TRUE(decode_segment(image, decoded, &error)) << error;
+        batch.push(decoded);
+      } else {
+        batch.push(seg);
+      }
+    }
+    CandidateBatch::Footprint query(random_access_segment(rng, 1));
+    if ((rng() & 7) == 0) {
+      // Raw adversarial footprint: arbitrary box and words, including the
+      // inverted-box shapes no real segment produces.
+      query.lo = rng();
+      query.hi = rng();
+      for (uint32_t k = 0; k < kFingerprintWords; ++k) {
+        query.w[k] = rng() & rng();
+        query.r[k] = rng() & rng();
+      }
+    }
+    const size_t begin = n == 0 ? 0 : rng() % (n + 1);
+    const size_t end = begin + (n - begin == 0 ? 0 : rng() % (n - begin + 1));
+    const bool check_bbox = (rng() & 1) != 0;
+    const bool check_fp = (rng() & 1) != 0;
+
+    CandidateBatch::set_screen_kernel(CandidateBatch::ScreenKernel::kScalar);
+    ASSERT_EQ(CandidateBatch::active_kernel(),
+              CandidateBatch::ScreenKernel::kScalar);
+    batch.screen(query, begin, end, check_bbox, check_fp, scalar_verdicts);
+
+    CandidateBatch::set_screen_kernel(CandidateBatch::ScreenKernel::kSimd);
+    ASSERT_EQ(CandidateBatch::active_kernel(),
+              CandidateBatch::ScreenKernel::kSimd);
+    batch.screen(query, begin, end, check_bbox, check_fp, simd_verdicts);
+
+    ASSERT_EQ(scalar_verdicts, simd_verdicts)
+        << "iter " << iter << " n=" << n << " [" << begin << ", " << end
+        << ") bbox=" << check_bbox << " fp=" << check_fp;
+  }
+}
+
+TEST(PairBatch, ForcedSimdClampsToScalarWhenUnsupported) {
+  KernelGuard guard;
+  CandidateBatch::set_screen_kernel(CandidateBatch::ScreenKernel::kSimd);
+  if (CandidateBatch::simd_supported()) {
+    EXPECT_EQ(CandidateBatch::active_kernel(),
+              CandidateBatch::ScreenKernel::kSimd);
+  } else {
+    EXPECT_EQ(CandidateBatch::active_kernel(),
+              CandidateBatch::ScreenKernel::kScalar);
+  }
+  CandidateBatch::set_screen_kernel(CandidateBatch::ScreenKernel::kScalar);
+  EXPECT_EQ(CandidateBatch::active_kernel(),
+            CandidateBatch::ScreenKernel::kScalar);
 }
 
 TEST(PairBatch, EditingOperationsKeepArraysAligned) {

@@ -1,0 +1,252 @@
+// Incremental retirement sweeps vs the from-scratch oracle (--full-sweeps).
+//
+// The incremental sweep's contract is exact equality: at every frontier
+// advance it must retire precisely the set the full sweep would, so the two
+// modes' retirement event streams - compared per sweep via the (graph size
+// at retire, id) pairs the retire probe records - must match on every
+// workload, at every analysis thread count. Three input families pin this:
+//
+//  * the dense-mesh generator (laggard-stretched live windows, FEB edges),
+//    including a memory-governed leg, with the order-independent
+//    retirement-set digest compared across modes;
+//  * a builder-driven program whose frontier holds >256 growth points -
+//    the shape the removed kMaxFrontierPoints cap used to silently bail
+//    on. Both modes must retire the root prefix WHILE the frontier is
+//    wide, and sweeps_skipped_wide must stay 0;
+//  * registry, random fork-join and random futures (non-SP) guests through
+//    the full TaskgrindTool pipeline at {1, 2, 4, 8} analysis threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dense_mesh.hpp"
+#include "core/graph_builder.hpp"
+#include "core/streaming.hpp"
+#include "core/taskgrind.hpp"
+#include "programs/registry.hpp"
+#include "random_program.hpp"
+#include "runtime/execution.hpp"
+
+namespace tg::core {
+namespace {
+
+using RetireEvents = std::vector<std::pair<size_t, SegId>>;
+
+/// Within one sweep the two modes discover dead nodes in different orders
+/// (DFS candidate order vs count-bucket order), but the graph size is
+/// constant across a sweep - so sorting by (size, id) compares the per-
+/// sweep retirement SETS, which is exactly the equality the incremental
+/// sweep promises.
+void expect_same_retirement(RetireEvents a, RetireEvents b,
+                            const std::string& label) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " event " << i;
+  }
+}
+
+// --- dense mesh --------------------------------------------------------------
+
+AnalysisOptions mesh_options(bool incremental) {
+  AnalysisOptions options;
+  options.threads = 2;
+  options.incremental_retire = incremental;
+  return options;
+}
+
+TEST(RetireIncremental, DenseMeshRetiresIdenticalSets) {
+  for (const uint64_t segments : {2000ull, 20000ull}) {
+    const DenseMeshSpec spec = DenseMeshSpec::for_segments(segments);
+    const DenseMeshRun inc =
+        run_dense_mesh(spec, mesh_options(true), /*streaming=*/true);
+    const DenseMeshRun full =
+        run_dense_mesh(spec, mesh_options(false), /*streaming=*/true);
+    const std::string label = "mesh-" + std::to_string(segments);
+    EXPECT_EQ(inc.identity, full.identity) << label;
+    EXPECT_EQ(inc.retire_digest, full.retire_digest) << label;
+    EXPECT_EQ(inc.result.stats.segments_retired,
+              full.result.stats.segments_retired)
+        << label;
+    EXPECT_GT(inc.result.stats.segments_retired, 0u) << label;
+    EXPECT_EQ(inc.result.stats.sweeps_skipped_wide, 0u) << label;
+    EXPECT_EQ(full.result.stats.sweeps_skipped_wide, 0u) << label;
+    EXPECT_GT(inc.result.stats.retire_sweep_visits, 0u) << label;
+    // The peak live window must not regress either way: identical per-sweep
+    // retirement implies identical peaks.
+    EXPECT_EQ(inc.result.stats.peak_live_segments,
+              full.result.stats.peak_live_segments)
+        << label;
+  }
+}
+
+TEST(RetireIncremental, DenseMeshGovernedLegMatches) {
+  const DenseMeshSpec spec = DenseMeshSpec::for_segments(2000);
+  const DenseMeshRun plain =
+      run_dense_mesh(spec, mesh_options(true), /*streaming=*/true);
+  for (const bool incremental : {true, false}) {
+    AnalysisOptions governed = mesh_options(incremental);
+    governed.max_tree_bytes = 32 << 10;
+    const DenseMeshRun run = run_dense_mesh(spec, governed, true);
+    const std::string label =
+        std::string("governed incremental=") + (incremental ? "1" : "0");
+    EXPECT_EQ(run.identity, plain.identity) << label;
+    EXPECT_EQ(run.retire_digest, plain.retire_digest) << label;
+  }
+}
+
+// --- wide frontier (the removed kMaxFrontierPoints cap) ----------------------
+
+struct WideRun {
+  RetireEvents events;
+  size_t retired_while_wide = 0;  // retire events before any completion
+  AnalysisResult result;
+};
+
+/// ~300 simultaneously-uncompleted tasks, each with its own access-bearing
+/// segment: the frontier holds >256 growth points, the regime where the old
+/// cap silently disabled retirement and let the live window grow without
+/// bound. The root's early segments are ancestors of every growth point and
+/// must retire DURING that regime in both sweep modes.
+WideRun run_wide_frontier(bool incremental) {
+  constexpr uint32_t kTasks = 300;
+  static const vex::Program program = [] {
+    vex::Program p;
+    p.files = {"wide-frontier.c"};
+    return p;
+  }();
+
+  WideRun run;
+  SegmentGraphBuilder builder;
+  builder.graph().enable_predecessor_index(true);
+  AnalysisOptions options;
+  options.threads = 1;
+  options.incremental_retire = incremental;
+  StreamingAnalyzer streamer(builder.graph(), program, /*allocs=*/nullptr,
+                             options);
+  streamer.set_retire_probe([&run](SegId id, size_t graph_size) {
+    run.events.emplace_back(graph_size, id);
+  });
+  builder.set_sink(&streamer);
+
+  builder.task_create(0, kNoId, rt::TaskFlags::kImplicit, kNoId, {0, 1});
+  builder.schedule_begin(0, /*tid=*/0);
+  builder.record_access(0, 0x1000, 8, /*is_write=*/true, {0, 1});
+  for (uint32_t k = 1; k <= kTasks; ++k) {
+    builder.task_create(k, 0, 0, kNoId, {0, 2});
+    builder.schedule_begin(k, /*tid=*/static_cast<int>(k));
+    builder.record_access(static_cast<int>(k), 0x1000 + 0x100ull * k, 8,
+                          true, {0, 3});
+  }
+  // Ticker completions keep the sweep cadence going while every real task
+  // stays uncompleted - the frontier is >256 points for all of them.
+  for (uint32_t t = 0; t < 64; ++t) {
+    builder.task_create(kTasks + 1 + t, 0, 0, kNoId, {0, 4});
+    builder.task_complete(kTasks + 1 + t);
+  }
+  run.retired_while_wide = run.events.size();
+
+  for (uint32_t k = 1; k <= kTasks; ++k) builder.task_complete(k);
+  builder.task_complete(0);
+  builder.finalize();
+  run.result = streamer.finish();
+  return run;
+}
+
+TEST(RetireIncremental, WideFrontierRetiresWithoutSkipping) {
+  WideRun inc = run_wide_frontier(true);
+  WideRun full = run_wide_frontier(false);
+  // The regression the cap removal fixes: retirement must happen while the
+  // frontier is wider than the old 256-point limit, in BOTH modes.
+  EXPECT_GT(inc.retired_while_wide, 0u);
+  EXPECT_GT(full.retired_while_wide, 0u);
+  EXPECT_EQ(inc.retired_while_wide, full.retired_while_wide);
+  EXPECT_EQ(inc.result.stats.sweeps_skipped_wide, 0u);
+  EXPECT_EQ(full.result.stats.sweeps_skipped_wide, 0u);
+  expect_same_retirement(inc.events, full.events, "wide-frontier");
+}
+
+// --- guest programs through the full pipeline --------------------------------
+
+struct ToolRun {
+  vex::Program guest;
+  std::unique_ptr<TaskgrindTool> tool;
+  std::unique_ptr<RetireEvents> events = std::make_unique<RetireEvents>();
+  AnalysisResult result;
+};
+
+ToolRun run_tool(const rt::GuestProgram& program, bool incremental,
+                 int analysis_threads) {
+  ToolRun r;
+  r.guest = program.build();
+  TaskgrindOptions topts;
+  topts.streaming = true;
+  topts.incremental_retire = incremental;
+  topts.analysis_threads = analysis_threads;
+  r.tool = std::make_unique<TaskgrindTool>(topts);
+  rt::RtOptions rt_options;
+  rt_options.num_threads = 2;
+  rt::Execution exec(r.guest, rt_options, r.tool.get(), {r.tool.get()});
+  r.tool->attach(exec.vm());
+  auto* sink = r.events.get();
+  r.tool->streamer()->set_retire_probe([sink](SegId id, size_t graph_size) {
+    sink->emplace_back(graph_size, id);
+  });
+  exec.run();
+  r.result = r.tool->run_analysis();
+  return r;
+}
+
+void expect_modes_agree(const rt::GuestProgram& program,
+                        const std::string& label) {
+  const ToolRun oracle = run_tool(program, /*incremental=*/false, 2);
+  EXPECT_EQ(oracle.result.stats.sweeps_skipped_wide, 0u) << label;
+  for (const int threads : {1, 2, 4, 8}) {
+    const ToolRun inc = run_tool(program, /*incremental=*/true, threads);
+    const std::string at = label + " @" + std::to_string(threads);
+    expect_same_retirement(*oracle.events, *inc.events, at);
+    EXPECT_EQ(oracle.result.reports.size(), inc.result.reports.size()) << at;
+    for (size_t i = 0; i < oracle.result.reports.size() &&
+                       i < inc.result.reports.size();
+         ++i) {
+      EXPECT_EQ(report_dedup_key(oracle.result.reports[i]),
+                report_dedup_key(inc.result.reports[i]))
+          << at << " report " << i;
+    }
+    EXPECT_EQ(inc.result.stats.sweeps_skipped_wide, 0u) << at;
+  }
+}
+
+TEST(RetireIncremental, RegistryPrograms) {
+  for (const rt::GuestProgram& program : progs::all_programs()) {
+    expect_modes_agree(program, program.name);
+  }
+}
+
+TEST(RetireIncremental, RandomForkJoinPrograms) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const progs::RandomProgram spec = progs::RandomProgram::generate(seed);
+    const rt::GuestProgram program = spec.to_guest(seed);
+    expect_modes_agree(program, "random-" + std::to_string(seed));
+  }
+}
+
+TEST(RetireIncremental, RandomFuturesDags) {
+  // Futures (non-SP) graphs add late get-edges - the one event that can
+  // land inside a persistent walk's visited set, i.e. the pending-edge
+  // replay path of the incremental sweep.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const progs::RandomProgram spec =
+        progs::RandomProgram::generate_futures(seed);
+    const rt::GuestProgram program = spec.to_guest(seed);
+    expect_modes_agree(program, "futures-" + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace tg::core
